@@ -1,0 +1,586 @@
+//! AQT adversaries and the (w, α, β) compliance checker.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// The restriction triple of Section 6.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AqtParams {
+    /// Window length `w`: the rates below bind over every span of `W ≥ w`
+    /// consecutive steps.
+    pub w: u64,
+    /// Global arrival rate `α`: at most `⌈αW⌉` messages per window.
+    pub alpha: f64,
+    /// Local arrival rate `β`: at most `⌈βW⌉` messages from any source and
+    /// at most `⌈βW⌉` to any destination per window.
+    pub beta: f64,
+}
+
+impl AqtParams {
+    /// Per-window global budget `⌊α·w⌋` (we use the floor so generated
+    /// traffic is safely compliant for windows of every length ≥ w).
+    pub fn window_budget(&self) -> u64 {
+        (self.alpha * self.w as f64).floor() as u64
+    }
+
+    /// Per-window per-endpoint budget `⌊β·w⌋`.
+    pub fn endpoint_budget(&self) -> u64 {
+        (self.beta * self.w as f64).floor() as u64
+    }
+}
+
+/// A source of dynamically arriving messages. The adversary is
+/// *non-adaptive*: it may know the routing algorithm but not its random
+/// choices, which is why implementations receive no feedback channel.
+pub trait Adversary {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// The (source, destination) pairs injected at time `t`. Must be called
+    /// with strictly increasing `t`.
+    fn inject(&mut self, t: u64) -> Vec<(usize, usize)>;
+
+    /// The declared restriction parameters.
+    fn params(&self) -> AqtParams;
+}
+
+// ---------------------------------------------------------------------------
+// Compliance checking
+// ---------------------------------------------------------------------------
+
+/// Sliding-window auditor: feeds on the same injection stream and verifies
+/// the (w, α, β) restrictions over windows of length `w` and `2w`
+/// (violations over longer windows imply violations over these by
+/// averaging, up to rounding of `⌈αW⌉`).
+#[derive(Debug)]
+pub struct ComplianceChecker {
+    params: AqtParams,
+    p: usize,
+    history: VecDeque<Vec<(usize, usize)>>, // last 2w steps
+    violations: Vec<String>,
+}
+
+impl ComplianceChecker {
+    /// Create a checker for `p` processors under `params`.
+    pub fn new(p: usize, params: AqtParams) -> Self {
+        Self { params, p, history: VecDeque::new(), violations: Vec::new() }
+    }
+
+    /// Record one step's injections.
+    pub fn record(&mut self, msgs: &[(usize, usize)]) {
+        self.history.push_back(msgs.to_vec());
+        let max_hist = (2 * self.params.w) as usize;
+        if self.history.len() > max_hist {
+            self.history.pop_front();
+        }
+        for &win in &[self.params.w, 2 * self.params.w] {
+            let win = win as usize;
+            if self.history.len() < win {
+                continue;
+            }
+            let slice: Vec<&Vec<(usize, usize)>> =
+                self.history.iter().rev().take(win).collect();
+            let total: usize = slice.iter().map(|v| v.len()).sum();
+            let cap = (self.params.alpha * win as f64).ceil() as usize;
+            if total > cap {
+                self.violations
+                    .push(format!("window {win}: {total} messages > ⌈αW⌉ = {cap}"));
+            }
+            let mut per_src = vec![0usize; self.p];
+            let mut per_dst = vec![0usize; self.p];
+            for v in &slice {
+                for &(s, d) in v.iter() {
+                    per_src[s] += 1;
+                    per_dst[d] += 1;
+                }
+            }
+            let ecap = (self.params.beta * win as f64).ceil() as usize;
+            for i in 0..self.p {
+                if per_src[i] > ecap {
+                    self.violations
+                        .push(format!("window {win}: source {i} sent {} > ⌈βW⌉ = {ecap}", per_src[i]));
+                }
+                if per_dst[i] > ecap {
+                    self.violations
+                        .push(format!("window {win}: dest {i} got {} > ⌈βW⌉ = {ecap}", per_dst[i]));
+                }
+            }
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Whether the stream has been compliant.
+    pub fn is_compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversaries
+// ---------------------------------------------------------------------------
+
+/// Spreads its window budget evenly over steps, sources round-robin,
+/// destinations round-robin (maximally balanced compliant traffic).
+#[derive(Debug)]
+pub struct SteadyAdversary {
+    p: usize,
+    params: AqtParams,
+    carry: f64,
+    next_src: usize,
+    next_dst: usize,
+}
+
+impl SteadyAdversary {
+    /// Create for `p` processors.
+    pub fn new(p: usize, params: AqtParams) -> Self {
+        Self { p, params, carry: 0.0, next_src: 0, next_dst: 1 % p.max(1) }
+    }
+}
+
+impl Adversary for SteadyAdversary {
+    fn name(&self) -> &'static str {
+        "steady"
+    }
+
+    fn params(&self) -> AqtParams {
+        self.params
+    }
+
+    fn inject(&mut self, _t: u64) -> Vec<(usize, usize)> {
+        // Emit ⌊α⌋..⌈α⌉ messages per step so every window of length W ≥ w
+        // carries ≤ ⌊αW⌋ + 1 ≤ ⌈αW⌉ messages.
+        self.carry += self.params.alpha;
+        let k = self.carry.floor() as usize;
+        self.carry -= k as f64;
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let src = self.next_src;
+            let mut dst = self.next_dst;
+            if dst == src {
+                dst = (dst + 1) % self.p;
+            }
+            out.push((src, dst));
+            self.next_src = (self.next_src + 1) % self.p;
+            self.next_dst = (self.next_dst + 3) % self.p;
+        }
+        out
+    }
+}
+
+/// The Theorem 6.5 instability witness: one message from a *fixed source*
+/// every `max(1, ⌈1/β⌉)` steps. Against any algorithm on BSP(g) with
+/// `g > 1/β`, the source's queue grows without bound.
+#[derive(Debug)]
+pub struct SingleTargetAdversary {
+    p: usize,
+    params: AqtParams,
+    src: usize,
+    period: u64,
+    next_dst: usize,
+}
+
+impl SingleTargetAdversary {
+    /// Create with the hot source `src`.
+    pub fn new(p: usize, params: AqtParams, src: usize) -> Self {
+        assert!(src < p);
+        let period = (1.0 / params.beta).ceil().max(1.0) as u64;
+        Self { p, params, src, period, next_dst: (src + 1) % p }
+    }
+}
+
+impl Adversary for SingleTargetAdversary {
+    fn name(&self) -> &'static str {
+        "single-target"
+    }
+
+    fn params(&self) -> AqtParams {
+        self.params
+    }
+
+    fn inject(&mut self, t: u64) -> Vec<(usize, usize)> {
+        if !t.is_multiple_of(self.period) {
+            return Vec::new();
+        }
+        let dst = self.next_dst;
+        // Rotate destinations so no destination exceeds its β budget.
+        self.next_dst += 1;
+        if self.next_dst == self.src {
+            self.next_dst += 1;
+        }
+        self.next_dst %= self.p;
+        if self.next_dst == self.src {
+            self.next_dst = (self.next_dst + 1) % self.p;
+        }
+        vec![(self.src, dst)]
+    }
+}
+
+/// Injects its entire window budget in the first step of every window —
+/// the burstiest compliant pattern (worst case for interval routers).
+#[derive(Debug)]
+pub struct BurstyAdversary {
+    p: usize,
+    params: AqtParams,
+    next_src: usize,
+}
+
+impl BurstyAdversary {
+    /// Create for `p` processors.
+    pub fn new(p: usize, params: AqtParams) -> Self {
+        Self { p, params, next_src: 0 }
+    }
+}
+
+impl Adversary for BurstyAdversary {
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+
+    fn params(&self) -> AqtParams {
+        self.params
+    }
+
+    fn inject(&mut self, t: u64) -> Vec<(usize, usize)> {
+        if !t.is_multiple_of(self.params.w) {
+            return Vec::new();
+        }
+        // Respect both budgets: per-source/destination at most ⌊βw⌋ within
+        // the burst; spread round-robin.
+        let total = self.params.window_budget() as usize;
+        let ecap = self.params.endpoint_budget().max(1) as usize;
+        let mut per_src = vec![0usize; self.p];
+        let mut per_dst = vec![0usize; self.p];
+        let mut out = Vec::with_capacity(total);
+        let mut src = self.next_src;
+        let mut dst = (src + 1) % self.p;
+        let mut guard = 0;
+        while out.len() < total && guard < total * self.p * 4 {
+            guard += 1;
+            if per_src[src] < ecap {
+                // find a dst with spare budget
+                let mut tries = 0;
+                while (per_dst[dst] >= ecap || dst == src) && tries < self.p {
+                    dst = (dst + 1) % self.p;
+                    tries += 1;
+                }
+                if per_dst[dst] < ecap && dst != src {
+                    per_src[src] += 1;
+                    per_dst[dst] += 1;
+                    out.push((src, dst));
+                }
+            }
+            src = (src + 1) % self.p;
+        }
+        self.next_src = src;
+        out
+    }
+}
+
+/// Random compliant traffic: each step draws a Poisson-ish number of
+/// messages (Bernoulli thinning of the steady budget) with random compliant
+/// endpoints. Budgets are enforced by per-window bookkeeping.
+#[derive(Debug)]
+pub struct RandomAdversary {
+    p: usize,
+    params: AqtParams,
+    rng: ChaCha8Rng,
+    // Remaining budgets for the current window.
+    window_left: u64,
+    src_left: Vec<u64>,
+    dst_left: Vec<u64>,
+}
+
+impl RandomAdversary {
+    /// Create with a seed.
+    pub fn new(p: usize, params: AqtParams, seed: u64) -> Self {
+        let mut s = Self {
+            p,
+            params,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            window_left: 0,
+            src_left: vec![0; p],
+            dst_left: vec![0; p],
+        };
+        s.reset_window();
+        s
+    }
+
+    fn reset_window(&mut self) {
+        self.window_left = self.params.window_budget();
+        let e = self.params.endpoint_budget();
+        self.src_left.iter_mut().for_each(|v| *v = e);
+        self.dst_left.iter_mut().for_each(|v| *v = e);
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn params(&self) -> AqtParams {
+        self.params
+    }
+
+    fn inject(&mut self, t: u64) -> Vec<(usize, usize)> {
+        if t.is_multiple_of(self.params.w) {
+            self.reset_window();
+        }
+        let mut out = Vec::new();
+        // Expected α messages per step, bounded by remaining budgets.
+        let mut expect = self.params.alpha;
+        while expect > 0.0 && self.window_left > 0 {
+            let fire = if expect >= 1.0 { true } else { self.rng.gen_bool(expect) };
+            expect -= 1.0;
+            if !fire {
+                continue;
+            }
+            // Random compliant endpoints (a few retries, then skip).
+            for _ in 0..8 {
+                let src = self.rng.gen_range(0..self.p);
+                let dst = self.rng.gen_range(0..self.p);
+                if src != dst && self.src_left[src] > 0 && self.dst_left[dst] > 0 {
+                    self.src_left[src] -= 1;
+                    self.dst_left[dst] -= 1;
+                    self.window_left -= 1;
+                    out.push((src, dst));
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+
+/// On/off traffic: full-rate steady injection during "on" windows, silence
+/// during "off" windows. Compliant by construction (silence only helps);
+/// stresses routers with duty-cycle transients.
+#[derive(Debug)]
+pub struct OnOffAdversary {
+    inner: SteadyAdversary,
+    params: AqtParams,
+    on_windows: u64,
+    off_windows: u64,
+}
+
+impl OnOffAdversary {
+    /// Create with `on_windows` of traffic followed by `off_windows` of
+    /// silence, repeating.
+    pub fn new(p: usize, params: AqtParams, on_windows: u64, off_windows: u64) -> Self {
+        assert!(on_windows > 0);
+        Self { inner: SteadyAdversary::new(p, params), params, on_windows, off_windows }
+    }
+}
+
+impl Adversary for OnOffAdversary {
+    fn name(&self) -> &'static str {
+        "on-off"
+    }
+
+    fn params(&self) -> AqtParams {
+        self.params
+    }
+
+    fn inject(&mut self, t: u64) -> Vec<(usize, usize)> {
+        let cycle = (self.on_windows + self.off_windows) * self.params.w;
+        let phase = t % cycle;
+        if phase < self.on_windows * self.params.w {
+            self.inner.inject(t)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A rotating hot spot: in window `k`, one designated source sends at the
+/// full per-endpoint rate; the designation rotates every window. Unlike
+/// [`SingleTargetAdversary`] this pattern is *globally* demanding while
+/// still local-compliant — the worst realistic shape for interval routers
+/// that amortize over sources.
+#[derive(Debug)]
+pub struct RotatingHotSpotAdversary {
+    p: usize,
+    params: AqtParams,
+    next_dst: usize,
+}
+
+impl RotatingHotSpotAdversary {
+    /// Create for `p` processors.
+    pub fn new(p: usize, params: AqtParams) -> Self {
+        assert!(p >= 2);
+        Self { p, params, next_dst: 0 }
+    }
+}
+
+impl Adversary for RotatingHotSpotAdversary {
+    fn name(&self) -> &'static str {
+        "rotating-hotspot"
+    }
+
+    fn params(&self) -> AqtParams {
+        self.params
+    }
+
+    fn inject(&mut self, t: u64) -> Vec<(usize, usize)> {
+        let w = self.params.w;
+        let window = t / w;
+        let src = (window as usize) % self.p;
+        // Spread the per-window endpoint budget evenly over the window's
+        // steps so sub-window spans stay compliant.
+        let budget = self.params.endpoint_budget().min(self.params.window_budget());
+        let step_in_window = t % w;
+        // Fire on the first `budget` steps of the window, one message each.
+        if step_in_window < budget {
+            let mut dst = self.next_dst;
+            if dst == src {
+                dst = (dst + 1) % self.p;
+            }
+            self.next_dst = (dst + 1) % self.p;
+            vec![(src, dst)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_checked(adv: &mut dyn Adversary, p: usize, steps: u64) -> (u64, ComplianceChecker) {
+        let mut checker = ComplianceChecker::new(p, adv.params());
+        let mut total = 0u64;
+        for t in 0..steps {
+            let msgs = adv.inject(t);
+            total += msgs.len() as u64;
+            checker.record(&msgs);
+        }
+        (total, checker)
+    }
+
+    #[test]
+    fn steady_is_compliant_and_hits_rate() {
+        let params = AqtParams { w: 32, alpha: 4.0, beta: 0.25 };
+        let mut adv = SteadyAdversary::new(64, params);
+        let (total, checker) = run_checked(&mut adv, 64, 2048);
+        assert!(checker.is_compliant(), "{:?}", checker.violations());
+        let rate = total as f64 / 2048.0;
+        assert!((rate - 4.0).abs() < 0.2, "rate={rate}");
+    }
+
+    #[test]
+    fn single_target_is_compliant() {
+        let params = AqtParams { w: 16, alpha: 0.5, beta: 0.5 };
+        let mut adv = SingleTargetAdversary::new(16, params, 3);
+        let (total, checker) = run_checked(&mut adv, 16, 1024);
+        assert!(checker.is_compliant(), "{:?}", checker.violations());
+        // One message every ⌈1/β⌉ = 2 steps.
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn single_target_always_same_source() {
+        let params = AqtParams { w: 16, alpha: 1.0, beta: 1.0 };
+        let mut adv = SingleTargetAdversary::new(8, params, 5);
+        for t in 0..100 {
+            for (s, d) in adv.inject(t) {
+                assert_eq!(s, 5);
+                assert_ne!(d, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_is_compliant() {
+        let params = AqtParams { w: 64, alpha: 2.0, beta: 0.25 };
+        let mut adv = BurstyAdversary::new(32, params);
+        let (total, checker) = run_checked(&mut adv, 32, 1024);
+        assert!(checker.is_compliant(), "{:?}", checker.violations());
+        assert!(total > 0);
+        // All arrivals in first steps of windows.
+        let mut adv2 = BurstyAdversary::new(32, params);
+        for t in 0..256 {
+            let msgs = adv2.inject(t);
+            if t % 64 != 0 {
+                assert!(msgs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_compliant() {
+        let params = AqtParams { w: 32, alpha: 3.0, beta: 0.5 };
+        let mut adv = RandomAdversary::new(32, params, 7);
+        let (total, checker) = run_checked(&mut adv, 32, 2048);
+        assert!(checker.is_compliant(), "{:?}", checker.violations());
+        assert!(total > 1000, "total={total}");
+    }
+
+    #[test]
+    fn checker_catches_global_violation() {
+        let params = AqtParams { w: 4, alpha: 1.0, beta: 1.0 };
+        let mut checker = ComplianceChecker::new(4, params);
+        // 3 messages per step for 4 steps = 12 > ⌈1·4⌉ = 4.
+        for _ in 0..4 {
+            checker.record(&[(0, 1), (1, 2), (2, 3)]);
+        }
+        assert!(!checker.is_compliant());
+    }
+
+    #[test]
+    fn checker_catches_endpoint_violation() {
+        let params = AqtParams { w: 4, alpha: 10.0, beta: 0.25 };
+        let mut checker = ComplianceChecker::new(4, params);
+        // Source 0 sends every step: 4 > ⌈0.25·4⌉ = 1 per window.
+        for _ in 0..4 {
+            checker.record(&[(0, 1)]);
+        }
+        assert!(!checker.is_compliant());
+        assert!(checker.violations()[0].contains("source 0"));
+    }
+
+    #[test]
+    fn on_off_is_compliant_and_silent_when_off() {
+        let params = AqtParams { w: 32, alpha: 2.0, beta: 0.25 };
+        let mut adv = OnOffAdversary::new(32, params, 2, 2);
+        let (total, checker) = run_checked(&mut adv, 32, 2048);
+        assert!(checker.is_compliant(), "{:?}", checker.violations());
+        // Half the cycle is silent: roughly half the steady volume.
+        assert!(total > 0);
+        let mut adv2 = OnOffAdversary::new(32, params, 1, 1);
+        for t in 32..64 {
+            assert!(adv2.inject(t).is_empty(), "t={t} should be an off window");
+        }
+    }
+
+    #[test]
+    fn rotating_hotspot_is_compliant_and_rotates() {
+        let params = AqtParams { w: 32, alpha: 1.0, beta: 0.25 };
+        let mut adv = RotatingHotSpotAdversary::new(16, params);
+        let mut checker = ComplianceChecker::new(16, params);
+        let mut sources = std::collections::BTreeSet::new();
+        for t in 0..(32 * 20) {
+            let msgs = adv.inject(t);
+            for &(s, _) in &msgs {
+                sources.insert(s);
+            }
+            checker.record(&msgs);
+        }
+        assert!(checker.is_compliant(), "{:?}", checker.violations());
+        assert!(sources.len() >= 10, "hot spot failed to rotate: {sources:?}");
+    }
+
+    #[test]
+    fn window_budgets() {
+        let params = AqtParams { w: 100, alpha: 2.5, beta: 0.1 };
+        assert_eq!(params.window_budget(), 250);
+        assert_eq!(params.endpoint_budget(), 10);
+    }
+}

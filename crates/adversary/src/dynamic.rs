@@ -1,0 +1,412 @@
+//! The dynamic routers of Section 6.2 and stability analysis.
+//!
+//! Both routers partition the time line into intervals and route each
+//! interval's arrivals as one static batch:
+//!
+//! * [`AlgorithmB`] (Theorem 6.7) — intervals of length `w`; each batch is
+//!   scheduled with Unbalanced-Send on the BSP(m); a batch's *service time*
+//!   is the real elapsed machine time of its superstep, `Σ_t max(1,
+//!   f_m(m_t))` over the schedule's span — a rare overloaded step really
+//!   costs its exponential penalty, exactly the failure mode the theorem's
+//!   M/G/1 argument absorbs.
+//! * [`BspGIntervalRouter`] (Theorem 6.5) — intervals of length
+//!   `max(g·⌈w/g⌉, L)`; a batch with per-processor maximum `h` is one
+//!   h-relation costing `g·h`(+L). Stable iff `β ≤ 1/g`.
+//!
+//! Service is consumed through a Lindley-type backlog recursion: every
+//! interval contributes `interval_len` time units of capacity; unfinished
+//! batches queue FIFO. A [`StabilityTrace`] records backlog and queue-length
+//! trajectories for the stability experiments.
+
+use crate::adversary::Adversary;
+use pbw_core::schedule::slot_loads;
+use pbw_core::schedulers::{Scheduler, UnbalancedSend};
+use pbw_core::workload::Workload;
+use pbw_models::PenaltyFn;
+
+/// Time series from a dynamic-routing run.
+#[derive(Debug, Clone)]
+pub struct StabilityTrace {
+    /// Interval length in machine steps.
+    pub interval_len: u64,
+    /// Messages waiting (in unfinished batches) at each interval boundary.
+    pub queue_msgs: Vec<u64>,
+    /// Outstanding service time (time units of work not yet performed) at
+    /// each interval boundary.
+    pub backlog_time: Vec<f64>,
+    /// Service time of each completed batch.
+    pub service_times: Vec<f64>,
+    /// Total messages injected.
+    pub injected: u64,
+    /// Total messages delivered.
+    pub delivered: u64,
+    /// Per-batch sojourn times, in intervals (completion − arrival), for
+    /// every batch that finished during the run.
+    pub batch_delays: Vec<u64>,
+}
+
+impl StabilityTrace {
+    /// The q-th percentile of batch sojourn (in intervals); `None` if no
+    /// batch completed.
+    pub fn delay_percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.batch_delays.is_empty() {
+            return None;
+        }
+        let mut d = self.batch_delays.clone();
+        d.sort_unstable();
+        let idx = ((d.len() - 1) as f64 * q).round() as usize;
+        Some(d[idx])
+    }
+
+    /// Mean batch sojourn in intervals.
+    pub fn mean_delay(&self) -> f64 {
+        if self.batch_delays.is_empty() {
+            return 0.0;
+        }
+        self.batch_delays.iter().sum::<u64>() as f64 / self.batch_delays.len() as f64
+    }
+
+    /// Mean batch service time.
+    pub fn mean_service(&self) -> f64 {
+        if self.service_times.is_empty() {
+            return 0.0;
+        }
+        self.service_times.iter().sum::<f64>() / self.service_times.len() as f64
+    }
+
+    /// Backlog growth per interval, estimated from the second half of the
+    /// run (a stable system hovers near zero; an unstable one grows
+    /// linearly).
+    pub fn backlog_growth(&self) -> f64 {
+        let n = self.backlog_time.len();
+        if n < 8 {
+            return 0.0;
+        }
+        let q3 = &self.backlog_time[n / 2..3 * n / 4];
+        let q4 = &self.backlog_time[3 * n / 4..];
+        let m3 = q3.iter().sum::<f64>() / q3.len() as f64;
+        let m4 = q4.iter().sum::<f64>() / q4.len() as f64;
+        (m4 - m3) / (n as f64 / 4.0)
+    }
+
+    /// Heuristic stability verdict: backlog does not grow by a significant
+    /// fraction of the interval length per interval.
+    pub fn looks_stable(&self) -> bool {
+        self.backlog_growth() < 0.05 * self.interval_len as f64
+    }
+
+    /// Maximum queued message count over the last half of the run.
+    pub fn max_late_queue(&self) -> u64 {
+        let n = self.queue_msgs.len();
+        self.queue_msgs[n / 2..].iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A batch waiting for (or in) service.
+#[derive(Debug, Clone)]
+struct Batch {
+    msgs: u64,
+    service_left: f64,
+    service_total: f64,
+    arrived: u64, // interval index of arrival
+}
+
+fn run_interval_router<F>(
+    adv: &mut dyn Adversary,
+    interval_len: u64,
+    intervals: u64,
+    mut service_of: F,
+) -> StabilityTrace
+where
+    F: FnMut(&[(usize, usize)]) -> f64,
+{
+    let mut queue: Vec<Batch> = Vec::new();
+    let mut trace = StabilityTrace {
+        interval_len,
+        queue_msgs: Vec::with_capacity(intervals as usize),
+        backlog_time: Vec::with_capacity(intervals as usize),
+        service_times: Vec::new(),
+        injected: 0,
+        delivered: 0,
+        batch_delays: Vec::new(),
+    };
+    let mut t = 0u64;
+    for interval_idx in 0..intervals {
+        // Collect this interval's arrivals.
+        let mut arrivals: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..interval_len {
+            arrivals.extend(adv.inject(t));
+            t += 1;
+        }
+        trace.injected += arrivals.len() as u64;
+        // They become a batch (service computed when it enters the queue —
+        // the schedule is drawn when the batch starts transmitting, but its
+        // duration is independent of queue state, so computing it now is
+        // equivalent).
+        let mut pushed_now = false;
+        if !arrivals.is_empty() {
+            let service = service_of(&arrivals);
+            trace.service_times.push(service);
+            queue.push(Batch {
+                msgs: arrivals.len() as u64,
+                service_left: service,
+                service_total: service,
+                arrived: interval_idx,
+            });
+            pushed_now = true;
+        }
+        // Consume `interval_len` time units of capacity FIFO. The *current*
+        // interval's batch is eligible only in the next interval (the paper
+        // starts batch i at interval i+1), so withhold the batch that
+        // arrived during this interval, if any.
+        let withhold = usize::from(pushed_now);
+        let eligible = queue.len() - withhold;
+        let mut capacity = interval_len as f64;
+        let mut done = 0usize;
+        for b in queue.iter_mut().take(eligible) {
+            if capacity <= 0.0 {
+                break;
+            }
+            let used = b.service_left.min(capacity);
+            b.service_left -= used;
+            capacity -= used;
+            if b.service_left <= 1e-9 {
+                done += 1;
+                trace.delivered += b.msgs;
+                trace.batch_delays.push(interval_idx.saturating_sub(b.arrived));
+            }
+        }
+        let _ = done;
+        queue.retain(|b| b.service_left > 1e-9);
+        // Sanity: a batch's service never exceeds its total.
+        debug_assert!(queue.iter().all(|b| b.service_left <= b.service_total + 1e-9));
+        trace.queue_msgs.push(queue.iter().map(|b| b.msgs).sum());
+        trace.backlog_time.push(queue.iter().map(|b| b.service_left).sum());
+    }
+    trace
+}
+
+/// The paper's Algorithm B on the BSP(m): interval length `w`, per-batch
+/// service measured from an actual Unbalanced-Send schedule under the
+/// exponential penalty.
+///
+/// ```
+/// use pbw_adversary::{AlgorithmB, AqtParams, SteadyAdversary};
+///
+/// let params = AqtParams { w: 64, alpha: 2.0, beta: 0.25 };
+/// let mut adversary = SteadyAdversary::new(64, params);
+/// let router = AlgorithmB { p: 64, m: 8, w: 64, eps: 0.3, seed: 1 };
+/// let trace = router.run(&mut adversary, 100);
+/// assert!(trace.looks_stable()); // α = 2 ≪ m/(1+ε)
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmB {
+    /// Number of processors.
+    pub p: usize,
+    /// Aggregate bandwidth `m`.
+    pub m: usize,
+    /// Interval length `w` (the adversary's window).
+    pub w: u64,
+    /// Unbalanced-Send slack ε.
+    pub eps: f64,
+    /// RNG seed (each batch gets an independent substream).
+    pub seed: u64,
+}
+
+impl AlgorithmB {
+    /// Route `intervals` windows of traffic from `adv`; returns the trace.
+    pub fn run(&self, adv: &mut dyn Adversary, intervals: u64) -> StabilityTrace {
+        let mut batch_idx = 0u64;
+        let p = self.p;
+        let m = self.m;
+        let eps = self.eps;
+        let seed = self.seed;
+        run_interval_router(adv, self.w, intervals, move |arrivals| {
+            batch_idx += 1;
+            let mut sends: Vec<Vec<usize>> = vec![Vec::new(); p];
+            for &(s, d) in arrivals {
+                sends[s].push(d);
+            }
+            let wl = Workload::from_dests(sends);
+            let sched =
+                UnbalancedSend::new(eps).schedule(&wl, m, seed ^ batch_idx.wrapping_mul(0x9E37));
+            // Real elapsed time: every step of the span costs
+            // max(1, f_m(load)) under the exponential penalty.
+            let loads = slot_loads(&sched, &wl);
+            loads
+                .iter()
+                .map(|&l| PenaltyFn::Exponential.charge(l, m).max(1.0))
+                .sum()
+        })
+    }
+}
+
+/// The Theorem 6.5 BSP(g) router: intervals of `max(g·⌈w/g⌉, L)` steps;
+/// each batch is one h-relation costing `max(g·h, L)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BspGIntervalRouter {
+    /// Number of processors.
+    pub p: usize,
+    /// Per-processor gap `g`.
+    pub g: u64,
+    /// Latency `L`.
+    pub l: u64,
+    /// The adversary window `w`.
+    pub w: u64,
+}
+
+impl BspGIntervalRouter {
+    /// The router's interval length `max(g·⌈w/g⌉, L)`.
+    pub fn interval_len(&self) -> u64 {
+        (self.g * pbw_models::div_ceil(self.w, self.g)).max(self.l)
+    }
+
+    /// Route `intervals` windows of traffic from `adv`.
+    pub fn run(&self, adv: &mut dyn Adversary, intervals: u64) -> StabilityTrace {
+        let p = self.p;
+        let g = self.g;
+        let l = self.l;
+        run_interval_router(adv, self.interval_len(), intervals, move |arrivals| {
+            let mut sent = vec![0u64; p];
+            let mut recv = vec![0u64; p];
+            for &(s, d) in arrivals {
+                sent[s] += 1;
+                recv[d] += 1;
+            }
+            let h = sent
+                .iter()
+                .chain(recv.iter())
+                .copied()
+                .max()
+                .unwrap_or(0);
+            ((g * h) as f64).max(l as f64)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{
+        AqtParams, BurstyAdversary, RandomAdversary, SingleTargetAdversary, SteadyAdversary,
+    };
+
+    #[test]
+    fn bsp_g_stable_below_beta_threshold() {
+        // β = 1/(2g) < 1/g: stable (Theorem 6.5, second part).
+        let (p, g) = (64usize, 8u64);
+        let params = AqtParams { w: 64, alpha: 0.0625, beta: 0.0625 }; // 1/(2g)
+        let mut adv = SingleTargetAdversary::new(p, params, 0);
+        let router = BspGIntervalRouter { p, g, l: 8, w: params.w };
+        let trace = router.run(&mut adv, 400);
+        assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
+        assert!(trace.max_late_queue() < 32);
+    }
+
+    #[test]
+    fn bsp_g_unstable_above_beta_threshold() {
+        // β = 2/g > 1/g: the single-target adversary defeats BSP(g)
+        // (Theorem 6.5, first part).
+        let (p, g) = (64usize, 8u64);
+        let params = AqtParams { w: 64, alpha: 0.25, beta: 0.25 }; // 2/g
+        let mut adv = SingleTargetAdversary::new(p, params, 0);
+        let router = BspGIntervalRouter { p, g, l: 8, w: params.w };
+        let trace = router.run(&mut adv, 400);
+        assert!(!trace.looks_stable(), "growth={}", trace.backlog_growth());
+        // Queue grows roughly linearly: late queue much larger than early.
+        assert!(trace.queue_msgs.last().unwrap() > &(trace.queue_msgs[10] + 50));
+    }
+
+    #[test]
+    fn algorithm_b_stable_at_same_local_rate_that_kills_bsp_g() {
+        // The headline of Section 6.2: a local rate β ≫ 1/g that makes
+        // BSP(g) unstable is comfortably routed on the BSP(m).
+        let (p, m) = (64usize, 8usize); // g = 8
+        let params = AqtParams { w: 64, alpha: 2.0, beta: 0.25 }; // β = 2/g
+        let mut adv = SingleTargetAdversary::new(p, params, 0);
+        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 5 };
+        let trace = algo.run(&mut adv, 400);
+        assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
+    }
+
+    #[test]
+    fn algorithm_b_stable_near_global_capacity() {
+        // α close to (but below) m/(1+ε): stable.
+        let (p, m) = (64usize, 8usize);
+        let params = AqtParams { w: 128, alpha: 5.0, beta: 0.5 };
+        let mut adv = SteadyAdversary::new(p, params);
+        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 9 };
+        let trace = algo.run(&mut adv, 300);
+        assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
+        assert!(trace.delivered > 0);
+    }
+
+    #[test]
+    fn algorithm_b_unstable_above_global_capacity() {
+        // α > m: no schedule can keep up (Corollary 6.6 analogue for m).
+        let (p, m) = (64usize, 8usize);
+        let params = AqtParams { w: 64, alpha: 12.0, beta: 0.5 };
+        let mut adv = SteadyAdversary::new(p, params);
+        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 2 };
+        let trace = algo.run(&mut adv, 300);
+        assert!(!trace.looks_stable(), "growth={}", trace.backlog_growth());
+    }
+
+    #[test]
+    fn bursty_traffic_handled_when_stable() {
+        let (p, m) = (32usize, 8usize);
+        let params = AqtParams { w: 64, alpha: 3.0, beta: 0.25 };
+        let mut adv = BurstyAdversary::new(p, params);
+        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 3 };
+        let trace = algo.run(&mut adv, 200);
+        assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
+        // Most of what was injected got delivered.
+        assert!(trace.delivered as f64 >= 0.9 * trace.injected as f64);
+    }
+
+    #[test]
+    fn random_traffic_delivery_accounting() {
+        let (p, m) = (32usize, 4usize);
+        let params = AqtParams { w: 32, alpha: 2.0, beta: 0.25 };
+        let mut adv = RandomAdversary::new(p, params, 11);
+        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 13 };
+        let trace = algo.run(&mut adv, 200);
+        let pending: u64 = *trace.queue_msgs.last().unwrap();
+        assert_eq!(trace.delivered + pending, trace.injected);
+    }
+
+    #[test]
+    fn expected_service_scales_with_w_squared_over_u_shape() {
+        // Thm 6.7's service bound is O(w²/u); at fixed utilization the mean
+        // *batch* service grows linearly with w (each batch carries αw
+        // messages served at rate ~m). Check linear growth in w.
+        let (p, m) = (64usize, 8usize);
+        let mut services = Vec::new();
+        for w in [32u64, 64, 128] {
+            let params = AqtParams { w, alpha: 4.0, beta: 0.25 };
+            let mut adv = SteadyAdversary::new(p, params);
+            let algo = AlgorithmB { p, m, w, eps: 0.3, seed: 1 };
+            let trace = algo.run(&mut adv, 100);
+            services.push(trace.mean_service());
+        }
+        assert!(services[1] > services[0] * 1.5);
+        assert!(services[2] > services[1] * 1.5);
+    }
+
+    #[test]
+    fn trace_growth_zero_for_short_runs() {
+        let trace = StabilityTrace {
+            interval_len: 10,
+            queue_msgs: vec![0; 4],
+            backlog_time: vec![0.0; 4],
+            service_times: vec![],
+            injected: 0,
+            delivered: 0,
+            batch_delays: vec![],
+        };
+        assert_eq!(trace.backlog_growth(), 0.0);
+        assert!(trace.looks_stable());
+        assert_eq!(trace.mean_service(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pbw-adversary
+//!
+//! The dynamic unbalanced-routing problem of Section 6.2: messages arrive
+//! over an infinite time line, chosen by an adversary of the Adversarial
+//! Queuing Theory (AQT) style of Borodin et al., constrained by a window
+//! length `w`, a *global arrival rate* `α` and a *local arrival rate* `β`:
+//! in any `W ≥ w` consecutive steps the adversary may inject at most `⌈αW⌉`
+//! messages in total, at most `⌈βW⌉` from any one source and at most `⌈βW⌉`
+//! to any one destination.
+//!
+//! * [`adversary`] — the [`adversary::Adversary`] trait, concrete
+//!   adversaries (steady, bursty, random, and the single-target instability
+//!   witness of Theorem 6.5), and a sliding-window compliance checker.
+//! * [`dynamic`] — the routers: [`dynamic::AlgorithmB`] (the paper's
+//!   interval-partitioned BSP(m) router built on Unbalanced-Send) and
+//!   [`dynamic::BspGIntervalRouter`] (the Theorem 6.5 BSP(g) router, stable
+//!   exactly when `β ≤ 1/g`), plus [`dynamic::StabilityTrace`] analysis.
+//! * [`mg1`] — a discrete-event M/G/1 queue with the heavy-tailed service
+//!   law `S₀''` of Claim 6.8, cross-checked against the
+//!   Pollaczek–Khinchine closed forms in `pbw_models::bounds`.
+//! * [`thresholds`] — empirical calibration of Theorem 6.7's `(a, b, r, u)`
+//!   constants for Unbalanced-Send, deriving the stability thresholds the
+//!   dynamic experiments verify.
+
+pub mod adversary;
+pub mod dynamic;
+pub mod mg1;
+pub mod thresholds;
+
+pub use adversary::{
+    Adversary, AqtParams, BurstyAdversary, ComplianceChecker, OnOffAdversary, RandomAdversary,
+    RotatingHotSpotAdversary, SingleTargetAdversary, SteadyAdversary,
+};
+pub use dynamic::{AlgorithmB, BspGIntervalRouter, StabilityTrace};

@@ -1,0 +1,191 @@
+//! The M/G/1 reduction of Claim 6.8.
+//!
+//! Theorem 6.7's stability proof dominates the interval system by an M/G/1
+//! queue `S''`: Bernoulli arrivals at rate `r` (the per-interval failure
+//! probability of algorithm A), service drawn from the heavy-tailed law
+//! `S₀''` that takes value `k·w/u` with probability `1/k⁴ − 1/(k+1)⁴`
+//! (`k ≥ 1`). The queue is stable when `r·E[S] < 1`, i.e. `1.21·r·w/u < 1`.
+//!
+//! This module provides the service-law sampler, a discrete-event M/G/1
+//! simulator (Lindley recursion), and mean-queue measurement at departure
+//! instants — cross-checked in tests against the Pollaczek–Khinchine
+//! formula in `pbw_models::bounds`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The service-time law `S₀''` of Claim 6.8: `P[S = k·w/u] = 1/k⁴ −
+/// 1/(k+1)⁴` for integers `k ≥ 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLaw {
+    /// Interval length `w`.
+    pub w: f64,
+    /// Slack `u`.
+    pub u: f64,
+}
+
+impl ServiceLaw {
+    /// Draw a service time.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: P[S ≤ k·w/u] = 1 − 1/(k+1)⁴, so
+        // k = ⌈(1−U)^{−1/4}⌉ − 1 with U uniform.
+        let unif: f64 = rng.gen_range(0.0..1.0);
+        let k = ((1.0 - unif).powf(-0.25)).ceil() - 1.0;
+        let k = k.max(1.0);
+        k * self.w / self.u
+    }
+
+    /// First and second moments (numeric, `terms` series terms).
+    pub fn moments(&self, terms: usize) -> (f64, f64) {
+        pbw_models::bounds::mg1_service_moments(self.w, self.u, terms)
+    }
+}
+
+/// Result of an M/G/1 simulation run.
+#[derive(Debug, Clone)]
+pub struct Mg1Outcome {
+    /// Number of arrivals processed.
+    pub arrivals: u64,
+    /// Mean queue length observed at departure instants.
+    pub mean_queue_at_departures: f64,
+    /// Mean time-in-system (sojourn) per customer.
+    pub mean_sojourn: f64,
+    /// Maximum backlog (unfinished work) observed.
+    pub max_backlog: f64,
+    /// Utilization estimate `r·E[S]` from the realized stream.
+    pub utilization: f64,
+}
+
+/// Simulate a discrete-time M/G/1 queue: an arrival occurs at each integer
+/// step independently with probability `r`; service times are drawn from
+/// `law`. FIFO, single server.
+pub fn simulate_mg1(r: f64, law: ServiceLaw, steps: u64, seed: u64) -> Mg1Outcome {
+    assert!((0.0..=1.0).contains(&r));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // (arrival_time, departure_time) for in-flight customers; Lindley:
+    // departure = max(arrival, prev_departure) + service.
+    let mut prev_departure = 0.0f64;
+    let mut departures: Vec<(f64, f64)> = Vec::new(); // (arrival, departure)
+    let mut total_service = 0.0f64;
+    let mut arrivals = 0u64;
+    let mut max_backlog = 0.0f64;
+    for t in 0..steps {
+        if rng.gen_bool(r) {
+            arrivals += 1;
+            let s = law.sample(&mut rng);
+            total_service += s;
+            let start = prev_departure.max(t as f64);
+            let dep = start + s;
+            departures.push((t as f64, dep));
+            prev_departure = dep;
+            max_backlog = max_backlog.max(dep - t as f64);
+        }
+    }
+    // Queue length at departure instants: number of customers who have
+    // arrived but not departed at each departure time.
+    let mut mean_q = 0.0f64;
+    if !departures.is_empty() {
+        // departures are in FIFO order; arrival times ascending.
+        let arr_times: Vec<f64> = departures.iter().map(|d| d.0).collect();
+        let mut q_sum = 0.0f64;
+        for (idx, &(_, dep)) in departures.iter().enumerate() {
+            // customers with arrival ≤ dep and index > idx (not yet departed).
+            let upper = arr_times.partition_point(|&a| a <= dep);
+            q_sum += (upper.saturating_sub(idx + 1)) as f64;
+        }
+        mean_q = q_sum / departures.len() as f64;
+    }
+    let mean_sojourn = if departures.is_empty() {
+        0.0
+    } else {
+        departures.iter().map(|&(a, d)| d - a).sum::<f64>() / departures.len() as f64
+    };
+    Mg1Outcome {
+        arrivals,
+        mean_queue_at_departures: mean_q,
+        mean_sojourn,
+        max_backlog,
+        utilization: if steps == 0 { 0.0 } else { total_service / steps as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_law_is_at_least_w_over_u() {
+        let law = ServiceLaw { w: 10.0, u: 2.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let s = law.sample(&mut rng);
+            assert!(s >= 5.0 - 1e-12);
+            assert!((s / 5.0).fract().abs() < 1e-9, "quantized to multiples of w/u");
+        }
+    }
+
+    #[test]
+    fn service_law_mean_matches_series() {
+        let law = ServiceLaw { w: 8.0, u: 4.0 };
+        let (m1, _) = law.moments(100_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples = 200_000;
+        let mean: f64 =
+            (0..samples).map(|_| law.sample(&mut rng)).sum::<f64>() / samples as f64;
+        assert!((mean - m1).abs() / m1 < 0.02, "sampled {mean} vs series {m1}");
+        // Claim 6.8: E[S] < 1.21·w/u.
+        assert!(m1 < 1.21 * 8.0 / 4.0);
+    }
+
+    #[test]
+    fn stable_when_utilization_below_one() {
+        // 1.21·r·w/u = 1.21·0.1·10/4 ≈ 0.30 < 1 → stable, modest backlog.
+        let law = ServiceLaw { w: 10.0, u: 4.0 };
+        let out = simulate_mg1(0.1, law, 200_000, 3);
+        assert!(out.utilization < 0.5);
+        assert!(out.mean_queue_at_departures < 5.0);
+    }
+
+    #[test]
+    fn unstable_when_utilization_above_one() {
+        // r·E[S] ≈ 0.9·(1.18·10) ≈ 10 ≫ 1 → backlog grows with run length.
+        let law = ServiceLaw { w: 10.0, u: 1.0 };
+        let short = simulate_mg1(0.9, law, 20_000, 4);
+        let long = simulate_mg1(0.9, law, 80_000, 4);
+        assert!(long.max_backlog > 3.0 * short.max_backlog);
+    }
+
+    #[test]
+    fn mean_queue_tracks_pollaczek_khinchine() {
+        // Moderate utilization; compare simulated departure-instant queue to
+        // the P-K formula with the law's numeric moments.
+        let law = ServiceLaw { w: 6.0, u: 3.0 };
+        let r = 0.25;
+        let (m1, m2) = law.moments(100_000);
+        let predicted = pbw_models::bounds::mg1_mean_queue(r, m1, m2);
+        let out = simulate_mg1(r, law, 2_000_000, 7);
+        let rel = (out.mean_queue_at_departures - predicted).abs() / predicted.max(0.1);
+        assert!(
+            rel < 0.25,
+            "simulated {} vs P-K {predicted}",
+            out.mean_queue_at_departures
+        );
+    }
+
+    #[test]
+    fn sojourn_exceeds_service_mean() {
+        let law = ServiceLaw { w: 10.0, u: 4.0 };
+        let (m1, _) = law.moments(10_000);
+        let out = simulate_mg1(0.2, law, 100_000, 9);
+        assert!(out.mean_sojourn >= m1 * 0.9);
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let law = ServiceLaw { w: 10.0, u: 4.0 };
+        let out = simulate_mg1(0.0, law, 10_000, 1);
+        assert_eq!(out.arrivals, 0);
+        assert_eq!(out.mean_queue_at_departures, 0.0);
+    }
+}

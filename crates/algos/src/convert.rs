@@ -1,0 +1,66 @@
+//! The Section 4 "general strategy": converting PRAM algorithms to the
+//! globally-limited models.
+//!
+//! > *Given an EREW PRAM or QRQW PRAM algorithm that runs in time `t(n)` and
+//! > work `w(n)`, it can be converted into a QSM(m) algorithm that runs in
+//! > time `O(n/m + t(n) + w(n)/m)` [...] We can map this onto the BSP(m) to
+//! > run in time `O(L·t(n) + w(n)/m)` by pipelining the computations in each
+//! > of the `t(n)` steps.*
+//!
+//! The distribution step routes the `n` inputs onto the first `m` processors
+//! (`n/m` time); the simulation then executes each PRAM step with at most
+//! `m` memory accesses per machine step.
+
+/// QSM(m) time of the converted algorithm: `n/m + t + w/m`.
+pub fn qsm_m_time(n: u64, m: usize, t: u64, w: u64) -> f64 {
+    n as f64 / m as f64 + t as f64 + w as f64 / m as f64
+}
+
+/// BSP(m) time of the converted algorithm: `L·t + w/m` (+ input
+/// distribution `n/m + L`).
+pub fn bsp_m_time(n: u64, m: usize, t: u64, w: u64, l: u64) -> f64 {
+    n as f64 / m as f64 + (l as f64) * t as f64 + w as f64 / m as f64 + l as f64
+}
+
+/// The naive g-model emulation of Section 4 (first paragraph): a QSM(g) /
+/// BSP(g) algorithm of communication time `T` runs on the corresponding
+/// m-model in the same time `T`, by splitting each communication step into
+/// `g` substeps of `p/g = m` messages.
+pub fn g_emulation_time(t_g: f64) -> f64 {
+    t_g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qsm_conversion_formula() {
+        // n = 1024, m = 64, EREW t = 10, w = 2048: 16 + 10 + 32 = 58.
+        assert!((qsm_m_time(1024, 64, 10, 2048) - 58.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsp_conversion_adds_latency_per_step() {
+        let q = qsm_m_time(1024, 64, 10, 2048);
+        let b = bsp_m_time(1024, 64, 10, 2048, 8);
+        assert!(b > q);
+        assert!((b - (16.0 + 80.0 + 32.0 + 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_optimal_algorithms_convert_to_n_over_m() {
+        // For w(n) = O(n) and t(n) = O(lg n), QSM(m) time is O(n/m + lg n):
+        // dominated by n/m when m ≤ n / lg n.
+        let (n, m) = (1u64 << 20, 256usize);
+        let t = 20u64;
+        let w = 2 * n;
+        let time = qsm_m_time(n, m, t, w);
+        assert!(time < 4.0 * (n as f64 / m as f64));
+    }
+
+    #[test]
+    fn g_emulation_preserves_time() {
+        assert_eq!(g_emulation_time(123.0), 123.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Leader Recognition (Definition 5.1, Theorem 5.2, Lemma 5.3).
+//!
+//! Input: `p` cells, exactly one holding `1`. Output: every processor must
+//! learn the index of that cell.
+//!
+//! * On the **CRCW PRAM(m)** the input lives in the concurrently-readable
+//!   ROM: every processor reads its own cell, the finder publishes its
+//!   index through one shared cell, everyone reads it concurrently —
+//!   `O(max(lg p / w, 1))` steps (here: 3 machine steps).
+//! * On the **QSM(m)**, Lemma 5.3 shows `Ω(p·lg m / (m·w))` is required
+//!   *even when every processor knows the whole input*; the natural
+//!   matching upper bound is a QSM(m) broadcast of the leader's index:
+//!   `Θ(lg m + p/m)`. The measured separation is `Θ(p/m)` — exactly the
+//!   `Ω(p·lg m/(m·lg p))` ER-vs-CR gap of the abstract (up to the `lg`
+//!   factors the lower bound tracks).
+
+use crate::Measured;
+use pbw_models::{CostModel, MachineParams, PenaltyFn, QsmM};
+use pbw_pram::{AccessMode, Pram};
+use pbw_sim::{QsmMachine, Word};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Leader Recognition on the CRCW PRAM(m): 3 steps, any `m ≥ 1`.
+pub fn crcw_pram_m(p: usize, m: usize, leader: usize) -> Measured {
+    assert!(leader < p);
+    let mut rom = vec![0 as Word; p];
+    rom[leader] = 1;
+    let mut pram = Pram::with_rom(AccessMode::CrcwArbitrary, m.max(1), rom);
+
+    // Step 1: everyone probes its own ROM cell; the finder publishes.
+    pram.step(p, |pid, ctx| {
+        if ctx.read_rom(pid) == 1 {
+            ctx.write(0, pid as Word + 1);
+        }
+    });
+    // Step 2: everyone reads the shared cell concurrently and checks.
+    let all_correct = AtomicBool::new(true);
+    pram.step(p, |_pid, ctx| {
+        let v = ctx.read(0);
+        if v != leader as Word + 1 {
+            all_correct.store(false, Ordering::Relaxed);
+        }
+    });
+    Measured {
+        time: pram.time() as f64,
+        rounds: pram.steps() as usize,
+        ok: all_correct.load(Ordering::Relaxed),
+    }
+}
+
+
+/// Leader Recognition on the CRCW PRAM(m) with `word_bits`-bit cells:
+/// publishing the winner's index takes `⌈lg p / w⌉` chunked writes, giving
+/// the theorem's full `O(max(lg p / w, 1))` shape.
+pub fn crcw_pram_m_wordsize(p: usize, m: usize, leader: usize, word_bits: u32) -> Measured {
+    assert!(leader < p);
+    assert!(word_bits >= 1);
+    let mut rom = vec![0 as Word; p];
+    rom[leader] = 1;
+    // Cells hold word_bits-bit chunks of the index; we need
+    // ⌈lg p / w⌉ of them.
+    let id_bits = (usize::BITS - p.leading_zeros()).max(1);
+    let chunks = id_bits.div_ceil(word_bits).max(1) as usize;
+    let mut pram = Pram::with_rom(AccessMode::CrcwArbitrary, m.max(chunks), rom);
+
+    // The finder publishes its index chunk by chunk (+1 marker on the
+    // value so a zero chunk is distinguishable from an unwritten cell).
+    for c in 0..chunks {
+        let mask = (1u64 << word_bits.min(63)) - 1;
+        pram.step(p, move |pid, ctx| {
+            if ctx.read_rom(pid) == 1 {
+                let chunk = ((pid as u64) >> (c as u32 * word_bits)) & mask;
+                ctx.write(c, chunk as Word + 1);
+            }
+        });
+    }
+    // Everyone reassembles the index from the chunks.
+    let all_correct = AtomicBool::new(true);
+    for c in 0..chunks {
+        let shift = c as u32 * word_bits;
+        let leader_u = leader as u64;
+        let mask = (1u64 << word_bits.min(63)) - 1;
+        pram.step(p, |_pid, ctx| {
+            let v = ctx.read(c) - 1;
+            if v as u64 != (leader_u >> shift) & mask {
+                all_correct.store(false, Ordering::Relaxed);
+            }
+        });
+    }
+    Measured {
+        time: pram.time() as f64,
+        rounds: pram.steps() as usize,
+        ok: all_correct.load(Ordering::Relaxed),
+    }
+}
+
+/// Leader Recognition on the QSM(m): the leader publishes its index, which
+/// is then broadcast (doubling over `m` cells + a strided fan-out);
+/// `Θ(lg m + p/m)`.
+pub fn qsm_m(params: MachineParams, leader: usize) -> Measured {
+    let p = params.p;
+    let m = params.m;
+    assert!(leader < p);
+    let tag = leader as Word + 1;
+
+    let mut qsm: QsmMachine<Option<Word>> = QsmMachine::new(params, m, |_| None);
+    // The leader knows it is the leader (its input cell holds the 1) and
+    // publishes its index.
+    qsm.phase(move |pid, s, _res, ctx| {
+        if pid == leader {
+            ctx.write(0, tag);
+            *s = Some(tag);
+        }
+    });
+    // Doubling over the m cells.
+    let mut known = 1usize;
+    let mut rounds = 1usize;
+    while known < m {
+        let k = known;
+        qsm.phase(move |pid, _s, _res, ctx| {
+            if pid >= k && pid < (2 * k).min(m) {
+                ctx.read(pid - k);
+            }
+        });
+        qsm.phase(move |pid, s, res, ctx| {
+            if pid >= k && pid < (2 * k).min(m) {
+                if let Some(r) = res.first() {
+                    *s = Some(r.value);
+                    ctx.write(pid, r.value);
+                }
+            }
+        });
+        known *= 2;
+        rounds += 2;
+    }
+    // Strided fan-out: processor i reads cell i mod m at injection slot
+    // i div m (m requests per machine step, κ = p/m spread over p/m steps).
+    qsm.phase(move |pid, s, _res, ctx| {
+        if s.is_none() {
+            ctx.read_at(pid % m, (pid / m) as u64);
+        }
+    });
+    qsm.phase(move |_pid, s, res, _ctx| {
+        if let Some(r) = res.first() {
+            *s = Some(r.value);
+        }
+    });
+    let ok = qsm.states().iter().all(|s| *s == Some(tag));
+    let model = QsmM { m, penalty: PenaltyFn::Exponential };
+    Measured { time: model.run_cost(qsm.profiles()), rounds: rounds + 2, ok }
+}
+
+/// The measured CR-vs-ER separation for one parameter point: QSM(m) time
+/// over CRCW PRAM(m) time.
+pub fn measured_separation(params: MachineParams, leader: usize) -> f64 {
+    let cr = crcw_pram_m(params.p, params.m, leader);
+    let er = qsm_m(params, leader);
+    assert!(cr.ok && er.ok);
+    er.time / cr.time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crcw_finds_any_leader() {
+        for leader in [0usize, 1, 17, 63] {
+            let r = crcw_pram_m(64, 4, leader);
+            assert!(r.ok, "leader={leader}");
+            assert!(r.time <= 6.0, "CRCW PRAM(m) must be O(1), got {}", r.time);
+        }
+    }
+
+    #[test]
+    fn qsm_m_finds_any_leader() {
+        let params = MachineParams::from_gap(128, 8, 4);
+        for leader in [0usize, 5, 127] {
+            let r = qsm_m(params, leader);
+            assert!(r.ok, "leader={leader}");
+        }
+    }
+
+    #[test]
+    fn qsm_m_time_matches_bound() {
+        let params = MachineParams::from_gap(1024, 16, 4);
+        let r = qsm_m(params, 100);
+        assert!(r.ok);
+        let bound = pbw_models::lg(params.m as f64) + params.p as f64 / params.m as f64;
+        assert!(r.time <= 6.0 * bound, "time {} vs Θ({bound})", r.time);
+        assert!(r.time >= params.p as f64 / params.m as f64 * 0.5);
+    }
+
+    #[test]
+    fn separation_grows_like_p_over_m() {
+        let s1 = measured_separation(MachineParams::from_gap(256, 16, 4), 3);
+        let s2 = measured_separation(MachineParams::from_gap(1024, 64, 4), 3);
+        // Same m/p ratio → similar separation; now grow p at fixed m:
+        let s3 = measured_separation(MachineParams::new_unchecked(1024, 64, 16, 4), 3);
+        assert!(s3 > s1, "separation must grow as p/m grows (s1={s1}, s3={s3})");
+        assert!((s1 / s2 - 1.0).abs() < 0.8, "s1={s1} s2={s2}");
+    }
+
+    #[test]
+    fn wordsize_variant_correct_across_widths() {
+        for w in [1u32, 2, 4, 8, 16, 64] {
+            let r = crcw_pram_m_wordsize(256, 4, 137, w);
+            assert!(r.ok, "w={w}");
+        }
+    }
+
+    #[test]
+    fn wordsize_time_scales_as_lg_p_over_w() {
+        // Thm 5.2's O(max(lg p / w, 1)): halving w doubles the chunk count.
+        let t8 = crcw_pram_m_wordsize(1 << 12, 4, 99, 8).time;
+        let t2 = crcw_pram_m_wordsize(1 << 12, 4, 99, 2).time;
+        let t1 = crcw_pram_m_wordsize(1 << 12, 4, 99, 1).time;
+        assert!(t2 > 2.0 * t8 * 0.7, "t8={t8} t2={t2}");
+        assert!(t1 > 1.5 * t2 * 0.8, "t2={t2} t1={t1}");
+    }
+
+    #[test]
+    fn crcw_uses_concurrent_read_essentially() {
+        // With m = 1 shared cell the CRCW PRAM(m) still finishes in O(1):
+        // bandwidth does not limit concurrent reading — the point of §5.
+        let r = crcw_pram_m(4096, 1, 1234);
+        assert!(r.ok);
+        assert!(r.time <= 6.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! One-to-all personalized communication (the Section 1 motivating example
+//! and Table 1 row 1).
+//!
+//! Processor 0 sends a *distinct* message to each of the other `p−1`
+//! processors. Since a processor can inject only one message per step, the
+//! sends pipeline over `p−1` steps; at most one message is in flight per
+//! step, so any aggregate bandwidth `m ≥ 1` suffices: BSP(m) cost `Θ(p+L)`.
+//! Under a per-processor gap `g`, the same program costs `g·(p−1)`: the
+//! locally-limited model is slower by exactly `Θ(g)`.
+//!
+//! The same single execution is priced under all four models — the
+//! separation is a property of the metric, not of different programs.
+
+use crate::Measured;
+use pbw_models::MachineParams;
+use pbw_sim::{BspMachine, CostSummary, QsmMachine, Word};
+
+/// Outcome for both model families.
+#[derive(Debug, Clone, Copy)]
+pub struct OneToAllOutcome {
+    /// The full pricing of the message-passing run.
+    pub bsp: CostSummary,
+    /// The full pricing of the shared-memory run.
+    pub qsm: CostSummary,
+    /// Whether every processor received its personalized value.
+    pub ok: bool,
+}
+
+/// Run one-to-all personalized communication on both engines.
+pub fn run(params: MachineParams) -> OneToAllOutcome {
+    let p = params.p;
+
+    // --- Message passing: processor 0 pipelines p−1 personalized sends.
+    let mut bsp: BspMachine<Word, Word> = BspMachine::new(params, |_| -1);
+    bsp.superstep(|pid, _s, _in, out| {
+        if pid == 0 {
+            for d in 1..p {
+                out.send(d, 100 + d as Word); // auto slots pipeline 0,1,2,…
+            }
+        }
+    });
+    bsp.superstep(|pid, s, inbox, _out| {
+        if pid == 0 {
+            *s = 100;
+        } else {
+            *s = inbox.first().copied().unwrap_or(-1);
+        }
+    });
+    let bsp_ok = bsp
+        .states()
+        .iter()
+        .enumerate()
+        .all(|(pid, &s)| s == 100 + if pid == 0 { 0 } else { pid as Word });
+    let bsp_summary = CostSummary::price(params, bsp.profiles());
+
+    // --- Shared memory: processor 0 writes p−1 personalized cells
+    // (pipelined one request per step); everyone reads its own cell
+    // (exclusive: κ = 1, one step each since requests stagger naturally).
+    let mut qsm: QsmMachine<Word> = QsmMachine::new(params, p, |_| -1);
+    qsm.phase(|pid, _s, _res, ctx| {
+        if pid == 0 {
+            for d in 1..p {
+                ctx.write(d, 100 + d as Word);
+            }
+        }
+    });
+    qsm.phase(|pid, _s, _res, ctx| {
+        if pid != 0 {
+            // Stagger reads so no machine step carries more than one
+            // request per processor — pid-th slot keeps the profile honest
+            // without exceeding m either (p reads over p slots).
+            ctx.read_at(pid, pid as u64);
+        }
+    });
+    qsm.phase(|pid, s, res, _ctx| {
+        if pid == 0 {
+            *s = 100;
+        } else {
+            *s = res.first().map(|r| r.value).unwrap_or(-1);
+        }
+    });
+    let qsm_ok = qsm
+        .states()
+        .iter()
+        .enumerate()
+        .all(|(pid, &s)| s == 100 + if pid == 0 { 0 } else { pid as Word });
+    let qsm_summary = CostSummary::price(params, qsm.profiles());
+
+    OneToAllOutcome { bsp: bsp_summary, qsm: qsm_summary, ok: bsp_ok && qsm_ok }
+}
+
+/// Convenience: the measured BSP(m)-vs-BSP(g) pair as `Measured` records.
+pub fn measured_pair(params: MachineParams) -> (Measured, Measured) {
+    let out = run(params);
+    (
+        Measured { time: out.bsp.bsp_m_exp, rounds: 2, ok: out.ok },
+        Measured { time: out.bsp.bsp_g, rounds: 2, ok: out.ok },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_gets_their_value() {
+        let params = MachineParams::from_gap(64, 8, 8);
+        assert!(run(params).ok);
+    }
+
+    #[test]
+    fn bsp_separation_is_theta_g() {
+        let params = MachineParams::from_gap(256, 16, 16);
+        let out = run(params);
+        // BSP(g) = g·(p−1) (+recv h=1 → g·h dominated by sender) vs
+        // BSP(m) = p−1 (+L).
+        let sep = out.bsp.bsp_g / out.bsp.bsp_m_exp;
+        assert!(sep > 8.0 && sep <= 16.5, "sep={sep}");
+    }
+
+    #[test]
+    fn qsm_separation_is_theta_g() {
+        let params = MachineParams::from_gap(256, 16, 16);
+        let out = run(params);
+        let sep = out.qsm.qsm_g / out.qsm.qsm_m_exp;
+        assert!(sep > 8.0 && sep <= 16.5, "sep={sep}");
+    }
+
+    #[test]
+    fn bsp_m_cost_close_to_p() {
+        let params = MachineParams::from_gap(128, 8, 4);
+        let out = run(params);
+        let p = 128.0;
+        assert!(out.bsp.bsp_m_exp >= p - 1.0);
+        assert!(out.bsp.bsp_m_exp <= p + 3.0 * params.l as f64 + 2.0);
+    }
+
+    #[test]
+    fn no_bandwidth_overload_ever() {
+        // One message per slot: BSP(m) exp and linear agree.
+        let params = MachineParams::from_gap(64, 8, 2);
+        let out = run(params);
+        assert!((out.bsp.bsp_m_exp - out.bsp.bsp_m_linear).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_machine() {
+        let params = MachineParams::from_gap(2, 1, 1);
+        assert!(run(params).ok);
+    }
+}

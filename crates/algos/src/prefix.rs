@@ -1,0 +1,236 @@
+//! Parallel prefix sums on the QSM(m): `Θ(n/m + lg m)`.
+//!
+//! Prefix sums underpin most of the paper's algorithmic toolkit (the τ
+//! preamble opens with one, the sorting algorithm's offsets are one, the
+//! PRAM conversions lean on work-optimal scans). The QSM(m) shape mirrors
+//! summation — local fold, collector scan, local fixup:
+//!
+//! 1. each processor folds its `n/p` block and publishes the partial
+//!    (staggered funnel: `m` requests per machine step);
+//! 2. collector `j < m` gathers the partials of group `j` (processors
+//!    `[j·p/m, (j+1)·p/m)`), scans them locally, and publishes the group
+//!    total;
+//! 3. the `m` group totals are scanned in `lg m` Hillis–Steele rounds over
+//!    two ping-pong cell buffers (each cell is read by at most two
+//!    collectors per round: `κ ≤ 2`);
+//! 4. collectors write every block's exclusive offset; every processor
+//!    reads its offset back (staggered) and fixes up its block locally.
+
+use crate::Measured;
+use pbw_models::{CostModel, MachineParams, PenaltyFn, QsmM};
+use pbw_sim::{QsmMachine, Word};
+
+/// Sequential reference.
+pub fn sequential_exclusive_prefix(xs: &[Word]) -> Vec<Word> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0 as Word;
+    for &x in xs {
+        out.push(acc);
+        acc = acc.wrapping_add(x);
+    }
+    out
+}
+
+#[derive(Debug, Clone, Default)]
+struct St {
+    partial: Word,
+    group_scan: Vec<Word>, // exclusive scan of this collector's group partials
+    group_offset: Word,    // exclusive offset of this collector's group
+    result: Vec<Word>,     // final exclusive prefixes of this block
+}
+
+/// Exclusive prefix sums of `inputs` on the QSM(m), block-distributed
+/// (`n/p` per processor). `ok` verifies against the sequential reference.
+pub fn qsm_m(params: MachineParams, inputs: &[Word]) -> Measured {
+    let p = params.p;
+    let m = params.m;
+    assert!(inputs.len().is_multiple_of(p), "input must divide evenly");
+    assert!(p.is_multiple_of(m), "m must divide p");
+    let per = inputs.len() / p;
+    let group = p / m;
+
+    // Cells: [0, p) block partials; two m-cell scan buffers; [.., +p)
+    // per-block exclusive offsets.
+    let part0 = 0;
+    let buf_a = p;
+    let buf_b = p + m;
+    let off0 = p + 2 * m;
+    let mut qsm: QsmMachine<St> = QsmMachine::new(params, off0 + p, |pid| St {
+        partial: inputs[pid * per..(pid + 1) * per].iter().sum(),
+        ..St::default()
+    });
+
+    // 1. Publish block partials (staggered funnel).
+    qsm.phase(move |pid, s, _res, ctx| {
+        ctx.charge_work(per as u64);
+        ctx.write_at(part0 + pid, s.partial, (pid / m) as u64);
+    });
+    // 2a. Collectors gather their group's partials.
+    qsm.phase(move |pid, _s, _res, ctx| {
+        if pid < m {
+            for k in 0..group {
+                ctx.read_at(part0 + pid * group + k, k as u64);
+            }
+        }
+    });
+    // 2b. Collectors scan locally and seed buffer A with group totals.
+    qsm.phase(move |pid, s, res, ctx| {
+        if pid < m {
+            let mut acc = 0 as Word;
+            s.group_scan = res
+                .iter()
+                .map(|r| {
+                    let v = acc;
+                    acc = acc.wrapping_add(r.value);
+                    v
+                })
+                .collect();
+            ctx.charge_work(group as u64);
+            ctx.write(buf_a + pid, acc);
+        }
+    });
+    // 3. Hillis–Steele inclusive scan of the m totals, ping-pong A ↔ B.
+    let mut dist = 1usize;
+    let mut rounds = 3usize;
+    let mut src = buf_a;
+    let mut dst = buf_b;
+    while dist < m {
+        let (d, s_, t_) = (dist, src, dst);
+        qsm.phase(move |pid, _s, _res, ctx| {
+            if pid < m {
+                ctx.read(s_ + pid);
+                if pid >= d {
+                    ctx.read(s_ + pid - d);
+                }
+            }
+        });
+        qsm.phase(move |pid, _s, res, ctx| {
+            if pid < m {
+                let mut v = res[0].value;
+                if res.len() > 1 {
+                    v = v.wrapping_add(res[1].value);
+                }
+                ctx.write(t_ + pid, v);
+            }
+        });
+        std::mem::swap(&mut src, &mut dst);
+        dist *= 2;
+        rounds += 2;
+    }
+    // 3b. Collector j's exclusive group offset = inclusive[j−1] (0 for 0).
+    let fin = src; // buffer holding the final inclusive scan
+    qsm.phase(move |pid, _s, _res, ctx| {
+        if pid < m && pid > 0 {
+            ctx.read(fin + pid - 1);
+        }
+    });
+    qsm.phase(move |pid, s, res, _ctx| {
+        if pid < m {
+            s.group_offset = res.first().map(|r| r.value).unwrap_or(0);
+        }
+    });
+    // 4a. Collectors write every block's exclusive offset, staggered.
+    qsm.phase(move |pid, s, _res, ctx| {
+        if pid < m {
+            for k in 0..group {
+                let off = s.group_offset.wrapping_add(s.group_scan[k]);
+                ctx.write_at(off0 + pid * group + k, off, k as u64);
+            }
+        }
+    });
+    // 4b. Everyone reads its block offset back (staggered) …
+    qsm.phase(move |pid, _s, _res, ctx| {
+        ctx.read_at(off0 + pid, (pid / m) as u64);
+    });
+    // … and fixes up locally.
+    qsm.phase(move |pid, s, res, ctx| {
+        let base = res[0].value;
+        let mut acc = base;
+        s.result = inputs[pid * per..(pid + 1) * per]
+            .iter()
+            .map(|&x| {
+                let v = acc;
+                acc = acc.wrapping_add(x);
+                v
+            })
+            .collect();
+        ctx.charge_work(per as u64);
+    });
+    rounds += 5;
+
+    // Verify.
+    let expect = sequential_exclusive_prefix(inputs);
+    let mut got = Vec::with_capacity(inputs.len());
+    for st in qsm.states() {
+        got.extend_from_slice(&st.result);
+    }
+    let ok = got == expect;
+    let model = QsmM { m, penalty: PenaltyFn::Exponential };
+    Measured { time: model.run_cost(qsm.profiles()), rounds, ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn inputs(n: usize, seed: u64) -> Vec<Word> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-100..100)).collect()
+    }
+
+    #[test]
+    fn sequential_reference() {
+        assert_eq!(sequential_exclusive_prefix(&[3, 1, 4]), vec![0, 3, 4]);
+        assert!(sequential_exclusive_prefix(&[]).is_empty());
+    }
+
+    #[test]
+    fn prefix_correct_small() {
+        let mp = MachineParams::from_gap(16, 4, 2);
+        assert!(qsm_m(mp, &inputs(16 * 4, 1)).ok);
+    }
+
+    #[test]
+    fn prefix_correct_larger() {
+        let mp = MachineParams::from_gap(256, 16, 4);
+        assert!(qsm_m(mp, &inputs(256 * 16, 2)).ok);
+    }
+
+    #[test]
+    fn prefix_correct_one_element_per_proc() {
+        let mp = MachineParams::from_gap(64, 8, 2);
+        assert!(qsm_m(mp, &inputs(64, 3)).ok);
+    }
+
+    #[test]
+    fn prefix_handles_negative_values() {
+        let mp = MachineParams::from_gap(32, 4, 2);
+        let xs: Vec<Word> = (0..64).map(|i| if i % 2 == 0 { -5 } else { 7 }).collect();
+        assert!(qsm_m(mp, &xs).ok);
+    }
+
+    #[test]
+    fn prefix_within_bound() {
+        let mp = MachineParams::from_gap(512, 16, 4);
+        let n = 512 * 16;
+        let r = qsm_m(mp, &inputs(n, 4));
+        assert!(r.ok);
+        let bound = n as f64 / mp.m as f64 + pbw_models::lg(mp.m as f64);
+        assert!(r.time <= 8.0 * bound, "time {} vs Θ({bound})", r.time);
+    }
+
+    #[test]
+    fn prefix_m_equals_one() {
+        // Degenerate machine: single collector does everything.
+        let mp = MachineParams::from_bandwidth(16, 1, 2);
+        assert!(qsm_m(mp, &inputs(32, 5)).ok);
+    }
+
+    #[test]
+    fn prefix_m_equals_p() {
+        let mp = MachineParams::from_bandwidth(16, 16, 2);
+        assert!(qsm_m(mp, &inputs(32, 6)).ok);
+    }
+}

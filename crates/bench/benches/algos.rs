@@ -1,0 +1,53 @@
+//! Wall-clock benchmarks of the extension algorithms: prefix sums,
+//! collectives, the QSM(m) scheduling exercise and the full Theorem 6.2
+//! protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbw_core::protocol::unbalanced_send_protocol;
+use pbw_core::qsm_sched::{run_unbalanced_reads, RequestBatch};
+use pbw_core::workload;
+use pbw_models::MachineParams;
+
+fn bench_prefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix");
+    group.sample_size(10);
+    let mp = MachineParams::from_gap(256, 16, 4);
+    let xs: Vec<i64> = (0..256 * 16).map(|i| (i % 7) as i64).collect();
+    group.bench_function("qsm_m_4k", |b| b.iter(|| pbw_algos::prefix::qsm_m(mp, &xs)));
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    let mp = MachineParams::from_gap(64, 8, 4);
+    group.bench_function("total_exchange_p64", |b| {
+        b.iter(|| pbw_algos::collectives::total_exchange(mp))
+    });
+    group.bench_function("transpose_p64_b4", |b| {
+        b.iter(|| pbw_algos::collectives::matrix_transpose(mp, 4, 1))
+    });
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(10);
+    let mp = MachineParams::from_bandwidth(256, 32, 4);
+    let wl = workload::uniform_random(256, 32, 1);
+    group.bench_function("thm62_end_to_end", |b| {
+        b.iter(|| unbalanced_send_protocol(&wl, mp, 0.3, 7))
+    });
+    let mem: Vec<i64> = (0..128).collect();
+    let batch = RequestBatch::new(
+        (0..256).map(|pid| (0..8).map(|k| (pid * 7 + k * 13) % 128).collect()).collect(),
+        128,
+    );
+    group.bench_function("qsm_unbalanced_reads", |b| {
+        b.iter(|| run_unbalanced_reads(mp, &mem, &batch, 0.3, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefix, bench_collectives, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Wall-clock benchmarks of the dynamic routing system (Section 6.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbw_adversary::mg1::{simulate_mg1, ServiceLaw};
+use pbw_adversary::{AlgorithmB, AqtParams, BspGIntervalRouter, SteadyAdversary};
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic");
+    group.sample_size(10);
+    let p = 64;
+    let params = AqtParams { w: 64, alpha: 4.0, beta: 0.25 };
+    group.bench_function("algorithm_b_100_intervals", |b| {
+        b.iter(|| {
+            let mut adv = SteadyAdversary::new(p, params);
+            AlgorithmB { p, m: 8, w: 64, eps: 0.3, seed: 1 }.run(&mut adv, 100)
+        })
+    });
+    group.bench_function("bsp_g_router_100_intervals", |b| {
+        b.iter(|| {
+            let mut adv = SteadyAdversary::new(p, params);
+            BspGIntervalRouter { p, g: 8, l: 8, w: 64 }.run(&mut adv, 100)
+        })
+    });
+    group.bench_function("mg1_100k_steps", |b| {
+        b.iter(|| simulate_mg1(0.2, ServiceLaw { w: 10.0, u: 4.0 }, 100_000, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Raw simulator throughput: superstep/phase rates of the BSP and QSM
+//! engines under rayon, across processor counts and message volumes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbw_models::MachineParams;
+use pbw_sim::{BspMachine, QsmMachine};
+
+fn bench_bsp_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp_engine");
+    for &p in &[256usize, 1024, 4096] {
+        let mp = MachineParams::from_gap(p, 16, 8);
+        group.bench_with_input(BenchmarkId::new("ring_superstep", p), &mp, |b, &mp| {
+            let mut machine: BspMachine<u64, u64> = BspMachine::new(mp, |_| 0);
+            b.iter(|| {
+                machine.superstep(|pid, s, inbox, out| {
+                    *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                    out.send((pid + 1) % mp.p, pid as u64);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_qsm_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsm_engine");
+    for &p in &[256usize, 1024, 4096] {
+        let mp = MachineParams::from_gap(p, 16, 8);
+        group.bench_with_input(BenchmarkId::new("rw_phase", p), &mp, |b, &mp| {
+            let mut machine: QsmMachine<u64> = QsmMachine::new(mp, p, |_| 0);
+            b.iter(|| {
+                machine.phase(|pid, _s, _res, ctx| {
+                    ctx.write(pid, pid as i64);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsp_engine, bench_qsm_engine);
+criterion_main!(benches);

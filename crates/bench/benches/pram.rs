@@ -1,0 +1,43 @@
+//! PRAM engine benchmarks: the §4.1 h-relation realizations and the
+//! list-ranking substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbw_pram::hrelation;
+use pbw_pram::primitives::Fidelity;
+
+fn relation(p: usize, h: usize) -> Vec<Vec<(usize, i64)>> {
+    (0..p).map(|src| (0..h).map(|k| (((src + k + 1) % p), k as i64)).collect()).collect()
+}
+
+fn bench_hrelation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hrelation");
+    group.sample_size(10);
+    for &h in &[4usize, 16] {
+        let sends = relation(16, h);
+        group.bench_with_input(BenchmarkId::new("teams", h), &sends, |b, s| {
+            b.iter(|| hrelation::realize_teams(s))
+        });
+        group.bench_with_input(BenchmarkId::new("chainsort", h), &sends, |b, s| {
+            b.iter(|| hrelation::realize_chainsort(s))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_charged", h), &sends, |b, s| {
+            b.iter(|| hrelation::realize_dense(s, Fidelity::Charged))
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_ranking");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let list = pbw_algos::list_ranking::random_list(n, 1);
+        group.bench_with_input(BenchmarkId::new("random_mate", n), &list, |b, l| {
+            b.iter(|| pbw_algos::list_ranking::pram_list_ranking(l, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hrelation, bench_list_ranking);
+criterion_main!(benches);

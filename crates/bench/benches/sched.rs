@@ -1,0 +1,49 @@
+//! Wall-clock benchmarks of the Section 6.1 schedulers: how fast can the
+//! schedule itself be computed and validated, host-side, at realistic
+//! message counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbw_core::schedulers::{EagerSend, OfflineOptimal, Scheduler, UnbalancedSend};
+use pbw_core::{evaluate_schedule, workload};
+use pbw_models::PenaltyFn;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    for &per in &[64u64, 256] {
+        let p = 1024;
+        let m = 64;
+        let wl = workload::uniform_random(p, per, 1);
+        group.bench_with_input(BenchmarkId::new("unbalanced_send", per), &wl, |b, wl| {
+            b.iter(|| UnbalancedSend::new(0.2).schedule(black_box(wl), m, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("offline_optimal", per), &wl, |b, wl| {
+            b.iter(|| OfflineOptimal.schedule(black_box(wl), m, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("eager", per), &wl, |b, wl| {
+            b.iter(|| EagerSend.schedule(black_box(wl), m, 0))
+        });
+        let sched = UnbalancedSend::new(0.2).schedule(&wl, m, 7);
+        group.bench_with_input(BenchmarkId::new("evaluate_exp", per), &sched, |b, s| {
+            b.iter(|| evaluate_schedule(black_box(s), &wl, m, PenaltyFn::Exponential))
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers_skewed");
+    let p = 1024;
+    let m = 64;
+    let wl = workload::single_hot_sender(p, 65536, 16, 2);
+    group.bench_function("unbalanced_send_hot", |b| {
+        b.iter(|| UnbalancedSend::new(0.2).schedule(black_box(&wl), m, 3))
+    });
+    let wl2 = workload::zipf_senders(p, 4096, 1.2, 3);
+    group.bench_function("unbalanced_send_zipf", |b| {
+        b.iter(|| UnbalancedSend::new(0.2).schedule(black_box(&wl2), m, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_skewed);
+criterion_main!(benches);

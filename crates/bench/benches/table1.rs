@@ -1,0 +1,27 @@
+//! Wall-clock benchmarks of the Table 1 algorithm simulations (one model
+//! each): measures the simulator's throughput on the paper's problems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbw_algos::{broadcast, one_to_all, reduce, sort};
+use pbw_models::MachineParams;
+
+fn bench_table1(c: &mut Criterion) {
+    let mp = MachineParams::from_gap(512, 16, 16);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("one_to_all", |b| b.iter(|| one_to_all::run(mp)));
+    group.bench_function("broadcast_qsm_m", |b| b.iter(|| broadcast::qsm_m(mp)));
+    group.bench_function("broadcast_bsp_g", |b| b.iter(|| broadcast::bsp_g(mp)));
+    group.bench_function("ternary_nonreceipt", |b| {
+        b.iter(|| broadcast::ternary_nonreceipt(mp, true))
+    });
+    let bits: Vec<i64> = (0..512).map(|i| (i % 2) as i64).collect();
+    group.bench_function("parity_qsm_m", |b| b.iter(|| reduce::qsm_m(mp, &bits, reduce::Op::Xor)));
+    let keys: Vec<i64> = (0..512).map(|i| ((i * 7919) % 512) as i64).collect();
+    group.bench_function("sort_qsm_m", |b| b.iter(|| sort::qsm_m(mp, &keys)));
+    group.bench_function("sort_bsp_m", |b| b.iter(|| sort::bsp_m(mp, &keys)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

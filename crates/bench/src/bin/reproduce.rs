@@ -1,0 +1,48 @@
+//! Reproduce the paper's tables and quantitative claims.
+//!
+//! ```text
+//! reproduce [--quick] [EXPERIMENT ...]
+//! ```
+//!
+//! With no experiment ids, runs the whole suite (see `reproduce --list`).
+//! `--quick` shrinks machine sizes and sweep grids (used by CI).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--list") {
+        for id in pbw_bench::experiments::ALL {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: reproduce [--quick] [--list] [EXPERIMENT ...]");
+        println!("experiments: {}", pbw_bench::experiments::ALL.join(", "));
+        return ExitCode::SUCCESS;
+    }
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() {
+        pbw_bench::experiments::ALL.to_vec()
+    } else {
+        requested
+    };
+    for id in ids {
+        match pbw_bench::experiments::run(id, quick) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,160 @@
+//! Experiments for Section 6.2: the dynamic stability phase diagram
+//! (Theorems 6.5/6.7) and the M/G/1 reduction (Claim 6.8).
+
+use crate::table::{fmt, Table};
+use pbw_adversary::mg1::{simulate_mg1, ServiceLaw};
+use pbw_adversary::{
+    AlgorithmB, AqtParams, BspGIntervalRouter, SingleTargetAdversary, SteadyAdversary,
+};
+use pbw_models::bounds;
+
+/// The stability phase diagram: BSP(g) collapses past β = 1/g while
+/// Algorithm B on the BSP(m) absorbs the same traffic, up to the global
+/// capacity.
+pub fn dynamic(quick: bool) -> String {
+    let p = 64usize;
+    let g = 8u64;
+    let m = (p as u64 / g) as usize; // 8
+    let w = 64u64;
+    let intervals = if quick { 200 } else { 800 };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Dynamic routing stability (Thms 6.5/6.7): p = {p}, g = {g}, m = {m}, w = {w} ==\n"
+    ));
+    out.push_str(&format!(
+        "BSP(g) threshold: β ≤ 1/g = {}; BSP(m) global threshold ≈ m/(1+ε)\n\n",
+        fmt(bounds::dynamic_bsp_g_beta_threshold(g))
+    ));
+
+    // Sweep β around 1/g with the single-target adversary of Thm 6.5.
+    let mut t = Table::new(vec![
+        "β (×1/g)",
+        "adversary",
+        "BSP(g) growth/interval",
+        "BSP(g) verdict",
+        "BSP(m) growth/interval",
+        "BSP(m) verdict",
+    ]);
+    for beta_mult in [0.5, 0.9, 1.5, 3.0] {
+        let beta = beta_mult / g as f64;
+        let params = AqtParams { w, alpha: beta, beta };
+        let mut adv_g = SingleTargetAdversary::new(p, params, 0);
+        let router_g = BspGIntervalRouter { p, g, l: 8, w };
+        let tg = router_g.run(&mut adv_g, intervals);
+        let mut adv_m = SingleTargetAdversary::new(p, params, 0);
+        let algo_m = AlgorithmB { p, m, w, eps: 0.3, seed: 5 };
+        let tm = algo_m.run(&mut adv_m, intervals);
+        t.row(vec![
+            fmt(beta_mult),
+            "single-target".to_string(),
+            fmt(tg.backlog_growth()),
+            if tg.looks_stable() { "stable".into() } else { "UNSTABLE".to_string() },
+            fmt(tm.backlog_growth()),
+            if tm.looks_stable() { "stable".into() } else { "UNSTABLE".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Sweep global rate α against the BSP(m) capacity with steady traffic.
+    out.push('\n');
+    let mut t2 = Table::new(vec![
+        "α (×m)",
+        "adversary",
+        "BSP(m) growth/interval",
+        "verdict",
+        "mean batch service",
+        "p99 delay (intervals)",
+    ]);
+    for alpha_mult in [0.25, 0.6, 0.75, 1.5] {
+        let alpha = alpha_mult * m as f64;
+        let params = AqtParams { w, alpha, beta: 0.5 };
+        let mut adv = SteadyAdversary::new(p, params);
+        let algo = AlgorithmB { p, m, w, eps: 0.3, seed: 9 };
+        let tr = algo.run(&mut adv, intervals);
+        t2.row(vec![
+            fmt(alpha_mult),
+            "steady".to_string(),
+            fmt(tr.backlog_growth()),
+            if tr.looks_stable() { "stable".into() } else { "UNSTABLE".to_string() },
+            fmt(tr.mean_service()),
+            tr.delay_percentile(0.99).map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    out.push_str(&t2.render());
+
+    // Theorem 6.7's constants, calibrated empirically for Unbalanced-Send.
+    let cal = pbw_adversary::thresholds::calibrate(p, m, 0.3, w as f64, 40, 4 * w, 7);
+    out.push_str(&format!(
+        "\nThm 6.7 calibration for A = Unbalanced-Send(0.3): a = {:.2}, b = {:.2}, r = {:.3},\n u = {:.0} → derived thresholds α* = {:.2} (global), β* = {:.3} (local)\n",
+        cal.a, cal.b, cal.r, cal.u, cal.alpha_star, cal.beta_star
+    ));
+    out.push_str("\n(BSP(g) destabilizes just past β = 1/g; Algorithm B routes local rates far\n beyond 1/g and is limited only by the aggregate capacity m/(1+ε).)\n");
+    out
+}
+
+/// Claim 6.8: the dominating M/G/1 system — simulation vs the
+/// Pollaczek–Khinchine closed form, stability at 1.21·r·w/u < 1.
+pub fn mg1(quick: bool) -> String {
+    let steps = if quick { 200_000 } else { 2_000_000 };
+    let mut out = String::new();
+    out.push_str("== M/G/1 reduction (Claim 6.8): service S₀'' = k·w/u w.p. 1/k⁴−1/(k+1)⁴ ==\n");
+    let mut t = Table::new(vec![
+        "r",
+        "w",
+        "u",
+        "1.21·r·w/u",
+        "mean queue (sim)",
+        "P-K formula",
+        "verdict",
+    ]);
+    for (r, w, u) in [(0.05, 10.0, 4.0), (0.15, 10.0, 4.0), (0.25, 6.0, 3.0), (0.35, 8.0, 2.0)] {
+        let law = ServiceLaw { w, u };
+        let util = bounds::mg1_utilization(r, w, u);
+        let sim = simulate_mg1(r, law, steps, 17);
+        let (m1, m2) = law.moments(100_000);
+        let pk = if r * m1 < 1.0 {
+            fmt(bounds::mg1_mean_queue(r, m1, m2))
+        } else {
+            "unstable".to_string()
+        };
+        t.row(vec![
+            fmt(r),
+            fmt(w),
+            fmt(u),
+            fmt(util),
+            fmt(sim.mean_queue_at_departures),
+            pk,
+            if util < 1.0 { "stable".into() } else { "UNSTABLE".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Simulated departure-instant queues track the Pollaczek–Khinchine prediction;\n the 1.21·r·w/u < 1 criterion marks the stability frontier.)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_phase_diagram_shape() {
+        let r = dynamic(true);
+        // BSP(g) must be unstable somewhere above the threshold and
+        // Algorithm B must remain stable on the single-target rows.
+        assert!(r.contains("UNSTABLE"), "{r}");
+        let single_target_rows: Vec<&str> =
+            r.lines().filter(|l| l.contains("single-target")).collect();
+        assert_eq!(single_target_rows.len(), 4);
+        for row in &single_target_rows {
+            // The BSP(m) verdict (last column) must be stable.
+            assert!(row.trim_end().ends_with("stable"), "{row}");
+        }
+    }
+
+    #[test]
+    fn mg1_report_has_stable_and_unstable() {
+        let r = mg1(true);
+        assert!(r.contains("stable"));
+        assert!(r.contains("UNSTABLE"));
+    }
+}

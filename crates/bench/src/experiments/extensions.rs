@@ -1,0 +1,302 @@
+//! Extension experiments: artifacts the paper states without tables
+//! (the QSM(m) "exercise", Claim 4.2's audit, the balanced-collective
+//! non-separation, and the randomized h-relation realization).
+
+use crate::table::{fmt, Table};
+use pbw_algos::collectives;
+use pbw_core::qsm_sched::{run_unbalanced_reads, RequestBatch};
+use pbw_models::MachineParams;
+use pbw_pram::hrelation::check_delivery;
+use pbw_pram::hrelation_rand::realize_randomized;
+use pbw_sim::Word;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The QSM(m) scheduling exercise: unbalanced shared-memory read batches
+/// land within (1+ε) of `max(n/m, x̄, κ)`.
+pub fn qsm_exercise(quick: bool) -> String {
+    let p = if quick { 256 } else { 1024 };
+    let m = p / 8;
+    let msize = 256;
+    let params = MachineParams::from_bandwidth(p, m, 4);
+    let mem: Vec<Word> = (0..msize).map(|i| 9000 + i as Word).collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== QSM(m) unbalanced access scheduling (the paper's reader exercise): p = {p}, m = {m} ==\n"
+    ));
+    let mut t = Table::new(vec!["batch", "n", "x̄", "κ", "lower", "measured", "ratio"]);
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let batches: Vec<(&str, RequestBatch)> = vec![
+        (
+            "uniform",
+            RequestBatch::new(
+                (0..p).map(|_| (0..16).map(|_| rng.gen_range(0..msize)).collect()).collect(),
+                msize,
+            ),
+        ),
+        ("hot-requester", {
+            let mut reqs: Vec<Vec<usize>> =
+                (0..p).map(|_| (0..4).map(|_| rng.gen_range(0..msize)).collect()).collect();
+            reqs[0] = (0..(8 * p)).map(|_| rng.gen_range(0..msize)).collect();
+            RequestBatch::new(reqs, msize)
+        }),
+        ("hot-location", {
+            RequestBatch::new(
+                (0..p)
+                    .map(|_| {
+                        (0..8)
+                            .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..msize) })
+                            .collect()
+                    })
+                    .collect(),
+                msize,
+            )
+        }),
+    ];
+    for (name, batch) in batches {
+        let r = run_unbalanced_reads(params, &mem, &batch, 0.3, 7);
+        assert!(r.ok, "{name}");
+        t.row(vec![
+            name.to_string(),
+            batch.n().to_string(),
+            batch.xbar().to_string(),
+            batch.contention().to_string(),
+            fmt(r.lower),
+            fmt(r.cost),
+            fmt(r.ratio),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Same window trick, shared-memory edition: within (1+ε) of max(n/m, x̄, κ);\n when one location is hot, κ binds and no schedule can do better.)\n");
+    out
+}
+
+/// Balanced collectives: total exchange and matrix transpose show **no**
+/// local-vs-global separation — the converse of the headline claim.
+pub fn collectives_exp(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("== Balanced collectives: no imbalance ⇒ no separation (§1/§3) ==\n");
+    let mut t = Table::new(vec!["collective", "p", "BSP(m)", "BSP(g)", "separation"]);
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
+    for &p in sizes {
+        let mp = MachineParams::from_gap(p, 8, 4);
+        let (te, tes) = collectives::total_exchange(mp);
+        assert!(te.ok);
+        t.row(vec![
+            "total-exchange".to_string(),
+            p.to_string(),
+            fmt(tes.bsp_m_exp),
+            fmt(tes.bsp_g),
+            fmt(tes.bsp_separation()),
+        ]);
+        let tr = collectives::matrix_transpose(mp, 4, 1);
+        assert!(tr.measured.ok);
+        t.row(vec![
+            "transpose(b=4)".to_string(),
+            p.to_string(),
+            fmt(tr.summary.bsp_m_exp),
+            fmt(tr.summary.bsp_g),
+            fmt(tr.summary.bsp_separation()),
+        ]);
+        let (ga, gs) = collectives::gather(mp);
+        assert!(ga.ok);
+        t.row(vec![
+            "gather".to_string(),
+            p.to_string(),
+            fmt(gs.bsp_m_exp),
+            fmt(gs.bsp_g),
+            fmt(gs.bsp_separation()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Balanced traffic: separation ≈ 1 for total exchange/transpose. Gather is the\n one-to-all pattern mirrored — its Θ(g) separation comes back, because a single\n hot *endpoint* is exactly the imbalance the paper's bound describes.)\n");
+    out
+}
+
+/// The randomized O(h + lg* p) h-relation realization.
+pub fn hrel_randomized(quick: bool) -> String {
+    let p = if quick { 8 } else { 16 };
+    let mut out = String::new();
+    out.push_str("== Randomized h-relation realization on CRCW: O(h + lg* p) (§4.1) ==\n");
+    let mut t = Table::new(vec!["h", "time", "time/h", "deterministic teams time/h"]);
+    let hs: Vec<usize> = if quick { vec![2, 8, 32] } else { vec![1, 2, 4, 8, 16, 32, 64] };
+    for h in hs {
+        let sends: Vec<Vec<(usize, Word)>> = (0..p)
+            .map(|src| (0..h).map(|k| (((src + k + 1) % p), k as Word)).collect())
+            .collect();
+        let rnd = realize_randomized(&sends, 3);
+        assert!(check_delivery(&sends, &rnd));
+        let det = pbw_pram::hrelation::realize_teams(&sends);
+        t.row(vec![
+            h.to_string(),
+            rnd.time.to_string(),
+            fmt(rnd.time as f64 / h as f64),
+            fmt(det.time as f64 / h as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(time/h converges to a small constant as the lg* additive term amortizes.)\n");
+    out
+}
+
+
+/// Ablation: list ranking via the work-optimal PRAM conversion vs. direct
+/// pointer jumping on the BSP(m) — linear vs. superlinear growth in `n`.
+pub fn list_ranking_ablation(quick: bool) -> String {
+    use pbw_algos::list_ranking::{bsp_m_pointer_jumping, converted, random_list};
+    let params = MachineParams::from_bandwidth(64, 16, 4);
+    let mut out = String::new();
+    out.push_str("== Ablation: list ranking — PRAM conversion vs direct pointer jumping (BSP(m)) ==\n");
+    let mut t = Table::new(vec![
+        "n",
+        "conversion (QSM(m))",
+        "conversion (BSP(m))",
+        "pointer jumping (BSP(m))",
+        "pj rounds",
+    ]);
+    let sizes: &[usize] = if quick { &[1024, 4096] } else { &[1024, 2048, 4096, 8192, 16384] };
+    for &n in sizes {
+        let (q, b) = converted(params, n, 3);
+        assert!(q.ok && b.ok);
+        let pj = bsp_m_pointer_jumping(params, &random_list(n, 3));
+        assert!(pj.ok);
+        t.row(vec![
+            n.to_string(),
+            fmt(q.time),
+            fmt(b.time),
+            fmt(pj.time),
+            pj.rounds.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(The conversion column doubles with n — Θ(n/m); pointer jumping grows by a bit\n more than 2× per doubling — the lg n factor. At simulable n the conversion's\n work constant (~28 engine-ops per node) still dominates: asymptotics vs\n constants, reported as measured.)\n");
+    out
+}
+
+
+/// The Claim 4.2 sensitivity audit applied to profiled broadcast runs.
+pub fn sensitivity_audit(quick: bool) -> String {
+    use pbw_algos::sensitivity::{audit_broadcast, profiled_ternary, profiled_tree};
+    let mut out = String::new();
+    out.push_str("== Claim 4.2 sensitivity audit of broadcast executions (Thm 4.1 machinery) ==\n");
+    let mut t = Table::new(vec![
+        "algorithm",
+        "p",
+        "Π(x_t+x̄_t+1)",
+        "≥ p?",
+        "instance lower",
+        "Thm 4.1 lower",
+    ]);
+    let configs: &[(usize, u64, u64)] =
+        if quick { &[(243, 27, 8)] } else { &[(243, 27, 8), (729, 27, 27), (2048, 8, 32)] };
+    for &(p, g, l) in configs {
+        let mp = MachineParams::from_gap(p, g, l);
+        let tern = audit_broadcast(mp, &profiled_ternary(mp, false), &profiled_ternary(mp, true));
+        assert!(tern.reaches_p);
+        t.row(vec![
+            "ternary non-receipt".to_string(),
+            p.to_string(),
+            tern.product.to_string(),
+            "yes".to_string(),
+            fmt(tern.instance_lower),
+            fmt(tern.theorem_lower),
+        ]);
+        let tree = audit_broadcast(mp, &profiled_tree(mp, false), &profiled_tree(mp, true));
+        assert!(tree.reaches_p);
+        t.row(vec![
+            "fan-out tree".to_string(),
+            p.to_string(),
+            tree.product.to_string(),
+            "yes".to_string(),
+            fmt(tree.instance_lower),
+            fmt(tree.theorem_lower),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Every terminating broadcast's sensitivity product covers p — the mechanized\n necessary condition behind Theorem 4.1; the ternary protocol meets it with the\n minimum possible per-round factor 3, one message per processor.)\n");
+    out
+}
+
+
+/// Ablation: native algorithms per model — block bitonic (the g-model's
+/// natural sorter, perfectly balanced) vs sample sort (designed for the
+/// global budget), both executed and priced under both metrics.
+pub fn sorting_ablation(quick: bool) -> String {
+    use pbw_algos::{bitonic, sort};
+    use rand::{Rng, SeedableRng};
+    let mut out = String::new();
+    out.push_str("== Ablation: sorting — block bitonic vs sample sort under both metrics ==\n");
+    let mut t = Table::new(vec![
+        "n",
+        "bitonic BSP(g)",
+        "bitonic BSP(m)",
+        "sample BSP(g)",
+        "sample BSP(m)",
+        "sample advantage (m-model)",
+    ]);
+    let sizes: &[usize] = if quick { &[16] } else { &[8, 16, 32] };
+    for &per in sizes {
+        let mp = MachineParams::from_gap(64, 8, 4);
+        let n = 64 * per;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(per as u64);
+        let keys: Vec<Word> = (0..n).map(|_| rng.gen_range(-100_000..100_000)).collect();
+        let (bit, bsum) = bitonic::bsp_block_sort(mp, &keys);
+        let (smp, ssum) = sort::bsp_m_detailed(mp, &keys);
+        assert!(bit.ok && smp.ok);
+        t.row(vec![
+            n.to_string(),
+            fmt(bsum.bsp_g),
+            fmt(bsum.bsp_m_exp),
+            fmt(ssum.bsp_g),
+            fmt(ssum.bsp_m_exp),
+            fmt(bsum.bsp_m_exp / ssum.bsp_m_exp),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Bitonic's communication is perfectly balanced, so the global budget buys it\n nothing — while sample sort, which moves each key O(1) times through a\n staggered window, exploits it. The design lesson of Table 1's sorting row.)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qsm_exercise_runs() {
+        let r = qsm_exercise(true);
+        assert!(r.contains("hot-location"));
+    }
+
+    #[test]
+    fn collectives_show_no_separation_when_balanced() {
+        let r = collectives_exp(true);
+        // Every total-exchange row's separation ≈ 1.
+        for line in r.lines().filter(|l| l.starts_with("total-exchange")) {
+            let sep: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+            assert!((sep - 1.0).abs() < 0.1, "{line}");
+        }
+    }
+
+    #[test]
+    fn hrel_randomized_runs() {
+        assert!(hrel_randomized(true).contains("time/h"));
+    }
+
+    #[test]
+    fn ablation_runs() {
+        assert!(list_ranking_ablation(true).contains("pointer jumping"));
+    }
+
+    #[test]
+    fn sorting_ablation_runs() {
+        let r = sorting_ablation(true);
+        assert!(r.contains("bitonic"));
+    }
+
+    #[test]
+    fn sensitivity_audit_runs() {
+        let r = sensitivity_audit(true);
+        assert!(r.contains("ternary non-receipt"));
+        assert!(r.contains("yes"));
+    }
+}

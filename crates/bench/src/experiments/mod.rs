@@ -1,0 +1,79 @@
+//! The experiment suite. Each submodule exposes `run(quick) -> String`
+//! returning a rendered report; the `reproduce` binary concatenates them.
+
+pub mod dynamics;
+pub mod extensions;
+pub mod scheduling;
+pub mod separations;
+
+/// All experiment ids in presentation order.
+pub const ALL: &[&str] = &[
+    "table1",
+    "broadcast-lb",
+    "gvsm-routing",
+    "unbalanced-send",
+    "consecutive-send",
+    "granular-send",
+    "flits",
+    "overhead",
+    "penalty-ablation",
+    "whp-phase",
+    "preamble",
+    "dynamic",
+    "mg1",
+    "cr-sim",
+    "leader",
+    "hrel-crcw",
+    "hrel-randomized",
+    "qsm-exercise",
+    "collectives",
+    "list-ranking-ablation",
+    "sorting-ablation",
+    "sensitivity-audit",
+];
+
+/// Dispatch one experiment by id.
+pub fn run(id: &str, quick: bool) -> Option<String> {
+    Some(match id {
+        "table1" => separations::table1(quick),
+        "broadcast-lb" => separations::broadcast_lb(quick),
+        "gvsm-routing" => separations::gvsm_routing(quick),
+        "cr-sim" => separations::cr_sim(quick),
+        "leader" => separations::leader(quick),
+        "hrel-crcw" => separations::hrel_crcw(quick),
+        "preamble" => separations::preamble(quick),
+        "unbalanced-send" => scheduling::unbalanced_send(quick),
+        "consecutive-send" => scheduling::consecutive_send(quick),
+        "granular-send" => scheduling::granular_send(quick),
+        "flits" => scheduling::flits(quick),
+        "overhead" => scheduling::overhead(quick),
+        "penalty-ablation" => scheduling::penalty_ablation(quick),
+        "whp-phase" => scheduling::whp_phase(quick),
+        "dynamic" => dynamics::dynamic(quick),
+        "mg1" => dynamics::mg1(quick),
+        "hrel-randomized" => extensions::hrel_randomized(quick),
+        "qsm-exercise" => extensions::qsm_exercise(quick),
+        "collectives" => extensions::collectives_exp(quick),
+        "list-ranking-ablation" => extensions::list_ranking_ablation(quick),
+        "sorting-ablation" => extensions::sorting_ablation(quick),
+        "sensitivity-audit" => extensions::sensitivity_audit(quick),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_dispatches() {
+        for id in ALL {
+            assert!(run(id, true).is_some(), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("nope", true).is_none());
+    }
+}

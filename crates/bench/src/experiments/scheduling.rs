@@ -1,0 +1,404 @@
+//! Experiments for the Section 6.1 scheduling algorithms (Theorems
+//! 6.2–6.4, the flit and overhead variants, and the §2 penalty ablation).
+
+use crate::table::{fmt, Table};
+use pbw_core::flits::{
+    evaluate_overhead_schedule, OverheadSend, UnbalancedFlitSend,
+};
+use pbw_core::schedule::to_profile;
+use pbw_core::schedulers::{
+    xbar_small, EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend,
+    UnbalancedGranularSend, UnbalancedSend,
+};
+use pbw_core::{evaluate_schedule, workload, Workload};
+use pbw_models::{bounds, PenaltyFn, SelfSchedulingBspM, SuperstepProfile};
+use pbw_models::CostModel;
+
+fn skew_suite(p: usize, quick: bool) -> Vec<(&'static str, Workload)> {
+    let mut v = vec![
+        ("uniform", workload::uniform_random(p, 64, 1)),
+        ("hot-sender", workload::single_hot_sender(p, (p as u64) * 16, 8, 2)),
+        ("zipf-1.2", workload::zipf_senders(p, 512, 1.2, 3)),
+    ];
+    if !quick {
+        v.push(("bimodal", workload::bimodal(p, 0.1, 512, 8, 4)));
+        v.push(("permutation", workload::permutation(p, 5)));
+        v.push(("total-exchange", workload::total_exchange(p)));
+    }
+    v
+}
+
+/// Theorem 6.2: Unbalanced-Send vs the offline optimum and the oblivious
+/// baseline, under the exponential penalty.
+pub fn unbalanced_send(quick: bool) -> String {
+    let p = if quick { 512 } else { 2048 };
+    let m = p / 4; // ε²m must be large for the w.h.p. no-overload event
+    let eps = 0.3;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Unbalanced-Send (Thm 6.2): p = {p}, m = {m}, ε = {eps} (exp penalty) ==\n"
+    ));
+    let mut t = Table::new(vec![
+        "workload",
+        "n",
+        "h",
+        "opt lower",
+        "offline",
+        "U-Send",
+        "eager",
+        "U-Send/opt",
+        "max slot load",
+        "≤m?",
+    ]);
+    for (name, wl) in skew_suite(p, quick) {
+        let opt = evaluate_schedule(&OfflineOptimal.schedule(&wl, m, 0), &wl, m, PenaltyFn::Exponential);
+        let us = evaluate_schedule(&UnbalancedSend::new(eps).schedule(&wl, m, 7), &wl, m, PenaltyFn::Exponential);
+        let eager = evaluate_schedule(&EagerSend.schedule(&wl, m, 0), &wl, m, PenaltyFn::Exponential);
+        t.row(vec![
+            name.to_string(),
+            us.n.to_string(),
+            us.h.to_string(),
+            fmt(us.opt_lower),
+            fmt(opt.model_time),
+            fmt(us.model_time),
+            fmt(eager.model_time),
+            fmt(us.ratio_to_opt),
+            us.max_slot_load.to_string(),
+            if us.no_slot_exceeds_m { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(U-Send stays within (1+ε) of the offline optimum; the oblivious eager\n schedule pays the exponential overload penalty.)\n");
+    out
+}
+
+/// Theorem 6.3: the consecutive variant and its additive `x̄'` term.
+pub fn consecutive_send(quick: bool) -> String {
+    let p = if quick { 512 } else { 2048 };
+    let m = p / 4;
+    let eps = 0.3;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Unbalanced-Consecutive-Send (Thm 6.3): p = {p}, m = {m}, ε = {eps} ==\n"
+    ));
+    let mut t = Table::new(vec![
+        "workload",
+        "makespan",
+        "target (1+ε)n/m + x̄'",
+        "within?",
+        "max slot load",
+        "≤m?",
+    ]);
+    for (name, wl) in skew_suite(p, quick) {
+        let sched = UnbalancedConsecutiveSend::new(eps).schedule(&wl, m, 11);
+        let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+        let target = (1.0 + eps) * wl.n_flits() as f64 / m as f64
+            + xbar_small(&wl, m, eps) as f64;
+        let target = target.max(wl.xbar() as f64);
+        t.row(vec![
+            name.to_string(),
+            fmt(cost.makespan as f64),
+            fmt(target),
+            if (cost.makespan as f64) <= target + 2.0 { "yes".into() } else { "NO".to_string() },
+            cost.max_slot_load.to_string(),
+            if cost.no_slot_exceeds_m { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Theorem 6.4: the granular variant — window `c·n/m`, grid `t' = n/p`.
+pub fn granular_send(quick: bool) -> String {
+    let p = if quick { 512 } else { 2048 };
+    let m = p / 4;
+    let c = 3.0;
+    let mut out = String::new();
+    out.push_str(&format!("== Unbalanced-Granular-Send (Thm 6.4): p = {p}, m = {m}, c = {c} ==\n"));
+    let mut t =
+        Table::new(vec!["workload", "makespan", "c·n/m + x̄", "within?", "max slot load", "≤m?"]);
+    for (name, wl) in skew_suite(p, quick) {
+        let sched = UnbalancedGranularSend::new(c).schedule(&wl, m, 13);
+        let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+        let target = c * wl.n_flits() as f64 / m as f64 + wl.xbar() as f64;
+        t.row(vec![
+            name.to_string(),
+            fmt(cost.makespan as f64),
+            fmt(target),
+            if (cost.makespan as f64) <= target { "yes".into() } else { "NO".to_string() },
+            cost.max_slot_load.to_string(),
+            if cost.no_slot_exceeds_m { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// The §6.1 long-message variant: flits in consecutive steps, additive ℓ̂.
+pub fn flits(quick: bool) -> String {
+    let p = if quick { 256 } else { 1024 };
+    let m = p / 16;
+    let eps = 0.25;
+    let mut out = String::new();
+    out.push_str(&format!("== Long messages (flit-contiguous): p = {p}, m = {m}, ε = {eps} ==\n"));
+    let mut t = Table::new(vec![
+        "length law",
+        "n flits",
+        "ℓ̂",
+        "makespan",
+        "(1+ε)n/m + ℓ̂ (+x̄ if huge)",
+        "exp slowdown c_m/makespan",
+    ]);
+    let laws: Vec<(&str, Workload)> = vec![
+        ("fixed-4", {
+            let base = workload::uniform_random(p, 16, 21);
+            Workload::new(
+                base.sends()
+                    .iter()
+                    .map(|l| l.iter().map(|msg| workload::Msg { dest: msg.dest, len: 4 }).collect())
+                    .collect(),
+            )
+        }),
+        ("geometric-8", workload::variable_length(p, 16, 8.0, 22)),
+        ("heavy-tail", {
+            // A few very long messages on top of a geometric base.
+            let mut wl = workload::variable_length(p, 12, 4.0, 23).sends().to_vec();
+            wl[0].push(workload::Msg { dest: 1, len: 256 });
+            wl[p / 2].push(workload::Msg { dest: 0, len: 512 });
+            Workload::new(wl)
+        }),
+    ];
+    for (name, wl) in laws {
+        let sched = UnbalancedFlitSend::new(eps).schedule(&wl, m, 31);
+        let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+        let w = (1.0 + eps) * wl.n_flits() as f64 / m as f64;
+        let target = (w + wl.lhat() as f64).max(wl.xbar() as f64);
+        // Mild overloads are possible at finite m; what matters is that the
+        // exponential penalty stays a (1+o(1)) factor: c_m / makespan.
+        let slowdown = cost.c_m / cost.makespan.max(1) as f64;
+        t.row(vec![
+            name.to_string(),
+            wl.n_flits().to_string(),
+            wl.lhat().to_string(),
+            fmt(cost.makespan as f64),
+            fmt(target),
+            fmt(slowdown),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// The §6.1 LogP-overhead variant.
+pub fn overhead(quick: bool) -> String {
+    let p = if quick { 256 } else { 1024 };
+    let m = p / 16;
+    let eps = 0.25;
+    let mut out = String::new();
+    out.push_str(&format!("== Start-up overhead o (LogP-style): p = {p}, m = {m}, ε = {eps} ==\n"));
+    let mut t = Table::new(vec!["o", "makespan", "target (1+ε)(1+o/ℓ̄)n/m + ℓ̂ + o", "ratio", "exp slowdown"]);
+    let os: Vec<u64> = if quick { vec![0, 4, 16] } else { vec![0, 1, 4, 16, 64] };
+    let wl = workload::variable_length(p, 16, 6.0, 33);
+    for o in os {
+        let sched = OverheadSend::new(eps, o).schedule(&wl, m, 17);
+        let cost = evaluate_overhead_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+        let target = bounds::overhead_send_target(
+            wl.n_flits(),
+            m,
+            wl.lbar(),
+            wl.lhat(),
+            o,
+            eps,
+            p,
+            1,
+        );
+        let slowdown = cost.c_m / cost.makespan.max(1) as f64;
+        t.row(vec![
+            o.to_string(),
+            fmt(cost.makespan as f64),
+            fmt(target),
+            fmt(cost.makespan as f64 / target),
+            fmt(slowdown),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// §2 ablation: the exponential penalty's cost of obliviousness, the linear
+/// floor, and the self-scheduling metric's (1+ε)-faithfulness.
+pub fn penalty_ablation(quick: bool) -> String {
+    let p = if quick { 512 } else { 2048 };
+    let m = p / 16;
+    let l = 4u64;
+    let eps = 0.2;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Penalty ablation (§2): p = {p}, m = {m} — pricing the same runs under every metric ==\n"
+    ));
+    let mut t = Table::new(vec![
+        "workload",
+        "schedule",
+        "BSP(m) exp",
+        "BSP(m) linear",
+        "ssBSP(m)",
+        "exp/ss",
+    ]);
+    let ss = SelfSchedulingBspM { m, l };
+    for (name, wl) in skew_suite(p, quick) {
+        for (sname, profile) in [
+            ("U-Send", to_profile(&UnbalancedSend::new(eps).schedule(&wl, m, 3), &wl)),
+            ("eager", to_profile(&EagerSend.schedule(&wl, m, 0), &wl)),
+        ] {
+            let profs: [SuperstepProfile; 1] = [profile];
+            let exp = pbw_models::BspM { m, l, penalty: PenaltyFn::Exponential }.run_cost(&profs);
+            let lin = pbw_models::BspM { m, l, penalty: PenaltyFn::Linear }.run_cost(&profs);
+            let self_s = ss.run_cost(&profs);
+            t.row(vec![
+                name.to_string(),
+                sname.to_string(),
+                fmt(exp),
+                fmt(lin),
+                fmt(self_s),
+                fmt(exp / self_s),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Scheduled sends price within (1+ε) of the self-scheduling metric under the\n exponential penalty — the §2 claim that the simplified metric suffices; the\n oblivious schedule's exp/ss ratio explodes.)\n");
+    out
+}
+
+
+/// How the w.h.p. guarantee behaves at finite parameters: sweep ε and m,
+/// report the fraction of overloaded steps and the optimality ratio. The
+/// theorem's failure probability is `e^{−Ω(ε²m)}` — the table shows the
+/// overload mass melting away as ε²m grows.
+pub fn whp_phase(quick: bool) -> String {
+    let p = 1024usize;
+    let per = if quick { 32 } else { 64 };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Theorem 6.2's w.h.p. guarantee at finite ε²m (p = {p}, uniform {per}/proc) ==\n"
+    ));
+    let mut t = Table::new(vec![
+        "m",
+        "ε",
+        "ε²m",
+        "overloaded steps %",
+        "max load / m",
+        "ratio to opt",
+    ]);
+    for &m in &[16usize, 64, 256] {
+        for &eps in &[0.1f64, 0.3, 0.6] {
+            let wl = workload::uniform_random(p, per as u64, 5);
+            let sched = UnbalancedSend::new(eps).schedule(&wl, m, 11);
+            let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+            let pct = 100.0 * cost.overloaded_slots as f64 / cost.makespan.max(1) as f64;
+            t.row(vec![
+                m.to_string(),
+                fmt(eps),
+                fmt(eps * eps * m as f64),
+                fmt(pct),
+                fmt(cost.max_slot_load as f64 / m as f64),
+                fmt(cost.ratio_to_opt),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Overload mass and the penalty's bite vanish as ε²m grows — the finite-size\n face of the e^{−Ω(ε²m)} failure probability. Even where overloads persist,\n each costs only e^{m_t/m−1} ≈ 1+o(1), keeping the ratio near 1+ε.)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbalanced_send_near_optimal_on_suite() {
+        // The report-level claim, checked numerically: within (1+ε) of the
+        // offline optimum under the exponential penalty (a small extra
+        // slack covers mild finite-m overloads, which cost e^{o(1)} each).
+        let (p, m, eps) = (512usize, 128usize, 0.3);
+        for (name, wl) in skew_suite(p, true) {
+            let us = evaluate_schedule(
+                &UnbalancedSend::new(eps).schedule(&wl, m, 7),
+                &wl,
+                m,
+                PenaltyFn::Exponential,
+            );
+            assert!(us.ratio_to_opt <= 1.0 + eps + 0.15, "{name}: {}", us.ratio_to_opt);
+        }
+        assert!(unbalanced_send(true).contains("U-Send"));
+    }
+
+    #[test]
+    fn consecutive_within_targets() {
+        let r = consecutive_send(true);
+        for line in r.lines().filter(|l| l.contains("  ")) {
+            assert!(!line.contains(" NO "), "{line}");
+        }
+    }
+
+    #[test]
+    fn granular_within_targets() {
+        let (p, m, c) = (512usize, 128usize, 3.0);
+        for (name, wl) in skew_suite(p, true) {
+            let cost = evaluate_schedule(
+                &UnbalancedGranularSend::new(c).schedule(&wl, m, 13),
+                &wl,
+                m,
+                PenaltyFn::Exponential,
+            );
+            let target = c * wl.n_flits() as f64 / m as f64 + wl.xbar() as f64;
+            assert!((cost.makespan as f64) <= target, "{name}");
+        }
+        assert!(granular_send(true).contains("Granular"));
+    }
+
+    #[test]
+    fn flits_penalty_stays_mild() {
+        let r = flits(true);
+        // Every slowdown cell must be ~1 (the report prints them in the
+        // last column); recompute one numerically for rigor.
+        let wl = workload::variable_length(256, 16, 8.0, 22);
+        let m = 64;
+        let cost = evaluate_schedule(
+            &UnbalancedFlitSend::new(0.25).schedule(&wl, m, 31),
+            &wl,
+            m,
+            PenaltyFn::Exponential,
+        );
+        assert!(cost.c_m <= 1.3 * cost.makespan as f64, "{} vs {}", cost.c_m, cost.makespan);
+        assert!(r.contains("exp slowdown"));
+    }
+
+    #[test]
+    fn overhead_ratio_near_one() {
+        let r = overhead(true);
+        assert!(r.contains("exp slowdown"));
+        let wl = workload::variable_length(256, 16, 6.0, 33);
+        let m = 64;
+        let sched = OverheadSend::new(0.25, 8).schedule(&wl, m, 17);
+        let cost = evaluate_overhead_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+        let target = bounds::overhead_send_target(
+            wl.n_flits(), m, wl.lbar(), wl.lhat(), 8, 0.25, 256, 1,
+        );
+        assert!((cost.makespan as f64) <= 1.2 * target + wl.xbar() as f64);
+    }
+
+    #[test]
+    fn ablation_runs() {
+        let r = penalty_ablation(true);
+        assert!(r.contains("ssBSP"));
+    }
+
+    #[test]
+    fn whp_phase_shows_melting_overloads() {
+        let r = whp_phase(true);
+        assert!(r.contains("ε²m"));
+        // The largest-ε²m row must have (near-)zero overload.
+        let rows: Vec<&str> = r.lines().filter(|l| l.starts_with("256")).collect();
+        assert!(!rows.is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! Experiments for Sections 4 and 5: Table 1, the broadcast lower bound,
+//! the routing gap, concurrent-read simulation, leader recognition, the
+//! CRCW h-relation substrate and the τ preamble.
+
+use crate::table::{fmt, Table};
+use pbw_algos::{broadcast, cr_sim, leader as leader_algo, list_ranking, one_to_all, reduce, sort};
+use pbw_core::schedulers::{Scheduler, UnbalancedSend};
+use pbw_core::{evaluate_schedule, workload};
+use pbw_models::{bounds, MachineParams, PenaltyFn};
+use pbw_pram::hrelation;
+use pbw_pram::primitives::Fidelity;
+use pbw_sim::Word;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_bits(n: usize, seed: u64) -> Vec<Word> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..2)).collect()
+}
+
+fn random_keys(n: usize, seed: u64) -> Vec<Word> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+}
+
+/// Table 1: measured model costs for the five problems at `n = p`,
+/// `m = p/g`, with the paper's predicted separation next to the measured
+/// one.
+pub fn table1(quick: bool) -> String {
+    let configs: &[(usize, u64, u64)] = if quick {
+        &[(256, 16, 16)]
+    } else {
+        &[(256, 16, 16), (1024, 16, 16), (1024, 32, 32), (4096, 16, 16)]
+    };
+    let mut out = String::new();
+    out.push_str("== Table 1: locally- vs globally-limited models (n = p, m = p/g) ==\n");
+    for &(p, g, l) in configs {
+        let mp = MachineParams::from_gap(p, g, l);
+        let n = p;
+        out.push_str(&format!("\n-- p = {p}, g = {g}, m = {}, L = {l} --\n", mp.m));
+        let mut t = Table::new(vec![
+            "problem",
+            "QSM(m)",
+            "QSM(g)",
+            "BSP(m)",
+            "BSP(g)",
+            "sep QSM",
+            "sep BSP",
+            "paper sep",
+        ]);
+
+        // One-to-all personalized communication.
+        let ota = one_to_all::run(mp);
+        assert!(ota.ok);
+        t.row(vec![
+            "one-to-all".to_string(),
+            fmt(ota.qsm.qsm_m_exp),
+            fmt(ota.qsm.qsm_g),
+            fmt(ota.bsp.bsp_m_exp),
+            fmt(ota.bsp.bsp_g),
+            fmt(ota.qsm.qsm_separation()),
+            fmt(ota.bsp.bsp_separation()),
+            format!("Θ(g) = {g}"),
+        ]);
+
+        // Broadcasting.
+        let bqm = broadcast::qsm_m(mp);
+        let bqg = broadcast::qsm_g(mp);
+        let bbm = broadcast::bsp_m(mp);
+        let bbg = broadcast::bsp_g(mp);
+        assert!(bqm.ok && bqg.ok && bbm.ok && bbg.ok);
+        let pred = pbw_models::lg(p as f64) / pbw_models::lg(g as f64);
+        t.row(vec![
+            "broadcast".to_string(),
+            fmt(bqm.time),
+            fmt(bqg.time),
+            fmt(bbm.time),
+            fmt(bbg.time),
+            fmt(bqg.time / bqm.time),
+            fmt(bbg.time / bbm.time),
+            format!("Θ(lg p/lg g) = {}", fmt(pred)),
+        ]);
+
+        // Parity (summation is the same machinery under Op::Sum).
+        let bits = random_bits(n, 42);
+        let pqm = reduce::qsm_m(mp, &bits, reduce::Op::Xor);
+        let pqg = reduce::qsm_g(mp, &bits, reduce::Op::Xor);
+        let pbm = reduce::bsp_m(mp, &bits, reduce::Op::Xor);
+        let pbg = reduce::bsp_g(mp, &bits, reduce::Op::Xor);
+        assert!(pqm.ok && pqg.ok && pbm.ok && pbg.ok);
+        let pred = pbw_models::lg(n as f64) / pbw_models::lg(pbw_models::lg(n as f64));
+        t.row(vec![
+            "parity".to_string(),
+            fmt(pqm.time),
+            fmt(pqg.time),
+            fmt(pbm.time),
+            fmt(pbg.time),
+            fmt(pqg.time / pqm.time),
+            fmt(pbg.time / pbm.time),
+            format!("Ω(lg n/lglg n) = {}", fmt(pred)),
+        ]);
+
+        // List ranking: measured PRAM conversion for the m-models, the
+        // Beame–Håstad-derived lower bound for the g-models.
+        let (lrq, lrb) = list_ranking::converted(mp, n, 7);
+        assert!(lrq.ok && lrb.ok);
+        let glb = bounds::g_model_lower(n, g);
+        t.row(vec![
+            "list ranking".to_string(),
+            fmt(lrq.time),
+            format!("≥{}", fmt(glb)),
+            fmt(lrb.time),
+            format!("≥{}", fmt(glb)),
+            "(asympt.)".to_string(),
+            "(asympt.)".to_string(),
+            format!("Ω(lg n/lglg n) = {}", fmt(pred)),
+        ]);
+
+        // Sorting: measured sample sort — the SAME executions priced under
+        // the local metrics give honest g-columns (staggering is free
+        // there), and the measured separation is exactly the imbalance of
+        // the sort's communication.
+        let keys = random_keys(n, 11);
+        let (sq, sqs) = sort::qsm_m_detailed(mp, &keys);
+        let (sb, sbs) = sort::bsp_m_detailed(mp, &keys);
+        assert!(sq.ok && sb.ok);
+        t.row(vec![
+            "sorting".to_string(),
+            fmt(sq.time),
+            format!("{} (≥{})", fmt(sqs.qsm_g), fmt(glb)),
+            fmt(sb.time),
+            format!("{} (≥{})", fmt(sbs.bsp_g), fmt(glb)),
+            fmt(sqs.qsm_separation()),
+            fmt(sbs.bsp_separation()),
+            format!("Θ(lg n/lglg n) = {}", fmt(pred)),
+        ]);
+
+        out.push_str(&t.render());
+    }
+    out.push_str(
+        "\n(g-model cells marked ≥ are the paper's Ω lower bounds. For list ranking and\n sorting the separation is asymptotic — the measured m-model constants dominate\n the Ω bound at simulable n; what the simulation does establish is the m-model\n upper-bound *shape*, O(n/m)-with-constants, versus a g-model bound growing as\n g·lg n/lglg n.)\n",
+    );
+    out
+}
+
+/// Theorem 4.1: the deterministic BSP(g) broadcast lower bound vs. the
+/// fan-out-⌈L/g⌉ tree and the §4.2 ternary non-receipt algorithm.
+pub fn broadcast_lb(quick: bool) -> String {
+    let p = if quick { 729 } else { 6561 };
+    let g = 27u64;
+    let mut out = String::new();
+    out.push_str(&format!("== Broadcast on BSP(g): Thm 4.1 lower bound vs algorithms (p = {p}, g = {g}) ==\n"));
+    let mut t = Table::new(vec!["L", "L/g", "Thm4.1 lower", "tree (measured)", "ternary (measured)", "tree/lower"]);
+    let ls: Vec<u64> = if quick { vec![27, 108, 432] } else { vec![27, 54, 108, 216, 432, 1728] };
+    for l in ls {
+        let mp = MachineParams::from_gap(p, g, l);
+        let lower = bounds::broadcast_bsp_g_lower(p, g, l);
+        let tree = broadcast::bsp_g(mp);
+        assert!(tree.ok);
+        let ternary = broadcast::ternary_nonreceipt(mp, true);
+        assert!(ternary.ok);
+        let tern_cell = if l <= g {
+            format!("{} = g·⌈lg₃p⌉+L", fmt(ternary.time))
+        } else {
+            fmt(ternary.time)
+        };
+        t.row(vec![
+            fmt(l as f64),
+            fmt(l as f64 / g as f64),
+            fmt(lower),
+            fmt(tree.time),
+            tern_cell,
+            fmt(tree.time / lower),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(The tree tracks the lower bound within a small constant across L/g; at L ≤ g\n the non-receipt protocol achieves g·⌈lg₃ p⌉, beating receive-only trees.)\n");
+    out
+}
+
+/// Proposition 6.1 vs the global lower bound: the routing gap appears
+/// exactly when the relation is imbalanced (`h ≥ g·n/p`).
+pub fn gvsm_routing(quick: bool) -> String {
+    let p = if quick { 256 } else { 1024 };
+    let g = 16u64;
+    let l = 8u64;
+    let mp = MachineParams::from_gap(p, g, l);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Unbalanced routing: BSP(g) vs BSP(m) (p = {p}, g = {g}, m = {}) ==\n",
+        mp.m
+    ));
+    let mut t = Table::new(vec![
+        "hot sender load",
+        "imbalance h/(n/p)",
+        "BSP(g) = g(x̄+ȳ)+L",
+        "BSP(m) measured",
+        "global lower",
+        "gap meas",
+        "gap pred",
+    ]);
+    let hots: Vec<u64> =
+        if quick { vec![16, 256, 4096] } else { vec![16, 64, 256, 1024, 4096, 16384] };
+    for hot in hots {
+        let wl = workload::single_hot_sender(p, hot, 16, 3);
+        let sched = UnbalancedSend::new(0.2).schedule(&wl, mp.m, 9);
+        let cost = evaluate_schedule(&sched, &wl, mp.m, PenaltyFn::Exponential);
+        let local = bounds::routing_bsp_g(wl.xbar(), wl.ybar(), g, l);
+        let lower = bounds::routing_global_lower(wl.n_flits(), mp.m, wl.xbar(), wl.ybar());
+        let pred = (local / lower).min(g as f64 * 2.0);
+        t.row(vec![
+            fmt(hot as f64),
+            fmt(wl.imbalance()),
+            fmt(local),
+            fmt(cost.model_time),
+            fmt(lower),
+            fmt(local / cost.model_time),
+            fmt(pred),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(The measured gap approaches Θ(g) once the hot sender dominates: h ≥ g·n/p.)\n");
+    out
+}
+
+/// Theorem 5.1: one CRCW PRAM(m) read step on the QSM(m) in O(p/m).
+pub fn cr_sim(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("== Simulating a CRCW PRAM(m) read step on QSM(m) (Thm 5.1) ==\n");
+    let mut t = Table::new(vec!["p", "m", "pattern", "measured", "p/m", "ratio"]);
+    let configs: &[(usize, usize)] =
+        if quick { &[(256, 16)] } else { &[(256, 16), (1024, 32), (2048, 32), (4096, 64)] };
+    for &(p, m) in configs {
+        let mp = MachineParams::from_bandwidth(p, m, 4);
+        let mem: Vec<Word> = (0..64).map(|i| 500 + i as Word).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for (name, addrs) in [
+            ("all-same", vec![5usize; p]),
+            ("distinct", (0..p).map(|i| i % 64).collect::<Vec<_>>()),
+            (
+                "power-law",
+                (0..p)
+                    .map(|_| if rng.gen_bool(0.75) { rng.gen_range(0..2) } else { rng.gen_range(0..64) })
+                    .collect::<Vec<_>>(),
+            ),
+        ] {
+            let r = cr_sim::simulate_read_step(mp, &mem, &addrs);
+            assert!(r.ok, "p={p} m={m} {name}");
+            let bound = bounds::cr_sim_slowdown(p, m);
+            t.row(vec![
+                p.to_string(),
+                m.to_string(),
+                name.to_string(),
+                fmt(r.time),
+                fmt(bound),
+                fmt(r.time / bound),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(Measured/(p/m) stays a small constant across patterns and sizes: O(p/m).)\n");
+    out
+}
+
+/// Theorem 5.2 / Lemma 5.3: the Leader Recognition separation.
+pub fn leader(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("== Leader Recognition: CRCW PRAM(m) vs QSM(m) (Thm 5.2) ==\n");
+    let mut t = Table::new(vec![
+        "p",
+        "m",
+        "CRCW PRAM(m)",
+        "QSM(m)",
+        "sep meas",
+        "paper Ω(p·lgm/(m·lgp))",
+        "previous 2^√lgp",
+    ]);
+    let configs: &[(usize, usize)] = if quick {
+        &[(1024, 16)]
+    } else {
+        &[(256, 16), (1024, 16), (4096, 16), (4096, 64), (16384, 64)]
+    };
+    for &(p, m) in configs {
+        let mp = MachineParams::from_bandwidth(p, m, 4);
+        let cr = leader_algo::crcw_pram_m(p, m, p / 3);
+        let er = leader_algo::qsm_m(mp, p / 3);
+        assert!(cr.ok && er.ok);
+        t.row(vec![
+            p.to_string(),
+            m.to_string(),
+            fmt(cr.time),
+            fmt(er.time),
+            fmt(er.time / cr.time),
+            fmt(bounds::er_cr_separation(p, m)),
+            fmt(bounds::previous_er_cr_separation(p)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // The word-size dimension of Thm 5.2: CRCW PRAM(m) leader recognition
+    // takes ⌈lg p / w⌉ + ⌈lg p / w⌉ steps when cells hold w bits.
+    out.push('\n');
+    let mut t2 = Table::new(vec!["p", "w (bits)", "CRCW PRAM(m) measured", "paper max(lg p/w, 1)"]);
+    let p_fix = 1 << 12;
+    for w in [1u32, 2, 4, 12, 64] {
+        let r = leader_algo::crcw_pram_m_wordsize(p_fix, 4, 99, w);
+        assert!(r.ok);
+        t2.row(vec![
+            p_fix.to_string(),
+            w.to_string(),
+            fmt(r.time),
+            fmt((pbw_models::lg(p_fix as f64) / w as f64).max(1.0)),
+        ]);
+    }
+    out.push_str(&t2.render());
+    out.push_str("\n(When m ≪ p the measured separation dwarfs the previously known 2^Ω(√lg p);\n the w-sweep shows the O(max(lg p/w, 1)) cell-width dependence of Thm 5.2.)\n");
+    out
+}
+
+/// Section 4.1: the O(h) CRCW h-relation realizations.
+pub fn hrel_crcw(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("== Realizing h-relations on the CRCW PRAM in O(h) (§4.1) ==\n");
+    let mut t = Table::new(vec!["p", "h", "dense (t)", "teams (t)", "chainsort (t)", "t/h (teams)"]);
+    let p = if quick { 8 } else { 16 };
+    let hs: Vec<usize> = if quick { vec![2, 8] } else { vec![1, 2, 4, 8, 16, 32] };
+    for h in hs {
+        let sends: Vec<Vec<(usize, Word)>> = (0..p)
+            .map(|src| (0..h).map(|k| (((src + k + 1) % p), k as Word)).collect())
+            .collect();
+        let dense = hrelation::realize_dense(&sends, Fidelity::Charged);
+        let teams = hrelation::realize_teams(&sends);
+        let chain = hrelation::realize_chainsort(&sends);
+        assert!(hrelation::check_delivery(&sends, &dense));
+        assert!(hrelation::check_delivery(&sends, &teams));
+        assert!(hrelation::check_delivery(&sends, &chain));
+        t.row(vec![
+            p.to_string(),
+            h.to_string(),
+            fmt(dense.time as f64),
+            fmt(teams.time as f64),
+            fmt(chain.time as f64),
+            fmt(teams.time as f64 / h as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(time/h converges to a constant: the O(h) realization that powers the\n CRCW→BSP(g) lower-bound conversion.)\n");
+    out
+}
+
+/// The τ preamble: measured cost of computing and broadcasting n.
+pub fn preamble(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("== τ preamble: compute & broadcast n on BSP(m) ==\n");
+    let mut t = Table::new(vec!["p", "m", "L", "measured", "τ bound", "ratio"]);
+    let configs: &[(usize, usize, u64)] = if quick {
+        &[(256, 16, 8)]
+    } else {
+        &[(256, 16, 8), (1024, 32, 8), (1024, 64, 16), (4096, 64, 8), (4096, 256, 32)]
+    };
+    for &(p, m, l) in configs {
+        let mp = MachineParams::from_bandwidth(p, m, l);
+        let counts: Vec<u64> = (0..p).map(|i| (i % 13) as u64).collect();
+        let pre = pbw_core::preamble::compute_and_broadcast_n(mp, &counts);
+        assert_eq!(pre.n, counts.iter().sum::<u64>());
+        t.row(vec![
+            p.to_string(),
+            m.to_string(),
+            l.to_string(),
+            fmt(pre.bsp_m_cost),
+            fmt(pre.tau_bound),
+            fmt(pre.bsp_m_cost / pre.tau_bound),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reports_and_separates() {
+        let r = table1(true);
+        assert!(r.contains("one-to-all"));
+        assert!(r.contains("sorting"));
+    }
+
+    #[test]
+    fn broadcast_lb_runs() {
+        let r = broadcast_lb(true);
+        assert!(r.contains("Thm4.1"));
+    }
+
+    #[test]
+    fn gvsm_runs() {
+        assert!(gvsm_routing(true).contains("imbalance"));
+    }
+
+    #[test]
+    fn cr_sim_runs() {
+        assert!(cr_sim(true).contains("power-law"));
+    }
+
+    #[test]
+    fn leader_runs() {
+        assert!(leader(true).contains("CRCW"));
+    }
+
+    #[test]
+    fn hrel_runs() {
+        assert!(hrel_crcw(true).contains("teams"));
+    }
+
+    #[test]
+    fn preamble_runs() {
+        assert!(preamble(true).contains("τ bound"));
+    }
+}

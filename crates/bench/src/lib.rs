@@ -1,0 +1,39 @@
+//! # pbw-bench
+//!
+//! The experiment harness: every table and quantitative claim of the paper
+//! as a reproducible, parameterized experiment. The `reproduce` binary
+//! prints paper-shaped tables with a *paper* (predicted-bound) column next
+//! to the *measured* (simulator) column; `EXPERIMENTS.md` records the
+//! outputs.
+//!
+//! Experiment ids (match DESIGN.md):
+//!
+//! | id | paper source |
+//! |---|---|
+//! | `table1` | Table 1 separations (one-to-all, broadcast, parity/summation, list ranking, sorting) |
+//! | `broadcast-lb` | Theorem 4.1 + the §4.2 ternary non-receipt algorithm |
+//! | `unbalanced-send` | Theorem 6.2 |
+//! | `consecutive-send` | Theorem 6.3 |
+//! | `granular-send` | Theorem 6.4 |
+//! | `flits` | §6.1 long-message variant |
+//! | `overhead` | §6.1 LogP-`o` variant |
+//! | `gvsm-routing` | Proposition 6.1 vs. the global lower bound |
+//! | `dynamic` | Theorems 6.5/6.7 stability phase diagram |
+//! | `mg1` | Claim 6.8 |
+//! | `cr-sim` | Theorem 5.1 |
+//! | `leader` | Theorem 5.2 / Lemma 5.3 (incl. the cell-width sweep) |
+//! | `hrel-crcw` | §4.1 h-relation realization |
+//! | `hrel-randomized` | §4.1 randomized O(h + lg* p) realization |
+//! | `penalty-ablation` | §2 self-scheduling metric & the cost of obliviousness |
+//! | `whp-phase` | Thm 6.2's e^{−Ω(ε²m)} failure probability at finite sizes |
+//! | `preamble` | the τ preamble (Section 6 prerequisite) |
+//! | `qsm-exercise` | the QSM(m) scheduling results ("exercise left to the reader") |
+//! | `collectives` | balanced collectives: the no-imbalance converse |
+//! | `list-ranking-ablation` | conversion vs pointer jumping |
+//! | `sorting-ablation` | sample sort vs block bitonic under both metrics |
+//! | `sensitivity-audit` | Claim 4.2 mechanized against profiled runs |
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

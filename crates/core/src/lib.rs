@@ -1,0 +1,59 @@
+//! # pbw-core
+//!
+//! The primary contribution of the SPAA'97 paper *"Modeling Parallel
+//! Bandwidth: Local vs. Global Restrictions"*: randomized parallel
+//! algorithms that schedule an **unknown, arbitrarily-unbalanced
+//! h-relation** through an aggregate bandwidth limit `m`, within a `(1+ε)`
+//! factor of the optimal offline schedule w.h.p. — even when the penalty for
+//! overloading the network is exponential in the overload.
+//!
+//! ## The problem (Section 6.1)
+//!
+//! Processor `i` holds `x_i` messages for other processors; `n = Σ x_i`,
+//! `x̄ = max x_i`, `ȳ` = max per-destination load, `h = max(x̄, ȳ)`. Each
+//! processor knows only its own `x_i`. On the locally-limited BSP(g) the
+//! best possible is `Θ(g(x̄+ȳ) + L)` (Proposition 6.1); the globally-limited
+//! lower bound is `max(n/m, h)` — better by a factor of `g` whenever the
+//! relation is imbalanced (`h ≥ g·n/p`). To *realize* the global bound the
+//! processors must stagger their injections so that no step carries more
+//! than `m` messages; this crate implements the paper's schedulers:
+//!
+//! * [`UnbalancedSend`] (Theorem 6.2) — each small sender picks a random
+//!   offset in a window of `(1+ε)n/m` steps and sends cyclically;
+//!   completes in `max((1+ε)n/m, x̄, ȳ) + τ` w.h.p.
+//! * [`UnbalancedConsecutiveSend`] (Theorem 6.3) — messages of one sender go
+//!   in consecutive steps (for large message start-up costs); additive `x̄'`.
+//! * [`UnbalancedGranularSend`] (Theorem 6.4) — offsets restricted to a
+//!   `t' = n/p` grid: the failure probability depends on `p`, not `n`.
+//! * [`flits::UnbalancedFlitSend`] — variable-length messages whose flits
+//!   must occupy *consecutive* time steps; additive `ℓ̂` (max length).
+//! * [`flits::OverheadSend`] — per-message start-up cost `o` (LogP's
+//!   overhead), handled by prepending a dummy `o`-flit preamble.
+//! * [`OfflineOptimal`] — the wrap-around-rule offline schedule achieving
+//!   exactly `max(⌈n/m⌉, x̄)`: the comparator in every experiment.
+//! * [`EagerSend`] — the bandwidth-oblivious baseline (everyone pipelines
+//!   from step 0), which the exponential penalty punishes with
+//!   `e^{p/m − 1}`-sized charges.
+//!
+//! [`preamble`] implements the `τ = O(p/m + L + L·lg m / lg L)` prefix-sum +
+//! broadcast that informs every processor of `n`, as a real BSP(m) program;
+//! [`exec`] replays any schedule end-to-end on the `pbw-sim` engine;
+//! [`protocol`] chains preamble + send into the complete measured Theorem
+//! 6.2 pipeline; and [`qsm_sched`] works the paper's "exercise left to the
+//! reader" — the same scheduling results on the shared-memory QSM(m).
+
+pub mod exec;
+pub mod flits;
+pub mod preamble;
+pub mod protocol;
+pub mod qsm_sched;
+pub mod schedule;
+pub mod schedulers;
+pub mod workload;
+
+pub use schedule::{evaluate_schedule, validate_schedule, Schedule, ScheduleCost};
+pub use schedulers::{
+    EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend, UnbalancedGranularSend,
+    UnbalancedSend,
+};
+pub use workload::{Msg, Workload};

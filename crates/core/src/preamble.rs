@@ -1,0 +1,240 @@
+//! The `τ` preamble: computing and broadcasting `n` on the BSP(m).
+//!
+//! All three Section 6.1 algorithms need every processor to know the total
+//! message count `n = Σ x_i`. The paper charges
+//! `τ = O(p/m + L + L·lg m / lg L)` for this; here it is implemented as a
+//! real BSP(m) program on the `pbw-sim` engine so experiments measure it
+//! rather than assume it:
+//!
+//! 1. **Funnel** — the `p` processors are split into `m` groups of `p/m`;
+//!    group member `r` sends its `x_i` to the group leader at injection slot
+//!    `r` (so every slot carries exactly `m` messages machine-wide). One
+//!    superstep of cost `max(p/m, L)`.
+//! 2. **Tree-reduce** — the `m` leaders sum their partials up a tree of
+//!    fan-in `max(2, L)`: `⌈lg m / lg L⌉` supersteps of cost `L` each.
+//! 3. **Tree-broadcast** — `n` comes back down the same tree, then leaders
+//!    fan it out to their groups (slot-staggered like the funnel).
+
+use pbw_models::{BspM, CostModel, MachineParams, PenaltyFn, SuperstepProfile};
+use pbw_sim::BspMachine;
+
+/// Per-processor state of the preamble program.
+#[derive(Debug, Clone, Copy)]
+struct NState {
+    /// This processor's own message count (the input).
+    x: u64,
+    /// Partial sum accumulated at leaders.
+    partial: u64,
+    /// The final total, once known.
+    n: Option<u64>,
+}
+
+/// Outcome of the preamble run.
+#[derive(Debug, Clone)]
+pub struct PreambleOutcome {
+    /// The computed total `n` (every processor ends up knowing it).
+    pub n: u64,
+    /// Profiles of the executed supersteps.
+    pub profiles: Vec<SuperstepProfile>,
+    /// Total BSP(m) cost under the exponential penalty.
+    pub bsp_m_cost: f64,
+    /// The paper's `τ` bound for these parameters.
+    pub tau_bound: f64,
+}
+
+/// Run the prefix-sum + broadcast preamble for per-processor counts
+/// `counts` on a simulated BSP(m) machine.
+///
+/// # Panics
+/// Panics if `counts.len() != params.p` or `m` does not divide `p`.
+pub fn compute_and_broadcast_n(params: MachineParams, counts: &[u64]) -> PreambleOutcome {
+    let p = params.p;
+    let m = params.m;
+    assert_eq!(counts.len(), p, "one count per processor");
+    assert!(p.is_multiple_of(m), "m must divide p");
+    let group = p / m;
+    let fan = (params.l as usize).max(2);
+
+    let mut machine: BspMachine<NState, u64> = BspMachine::new(params, |pid| NState {
+        x: counts[pid],
+        partial: counts[pid],
+        n: None,
+    });
+
+    let leader_of = |pid: usize| (pid / group) * group;
+    let is_leader = |pid: usize| pid.is_multiple_of(group);
+    let leader_rank = |pid: usize| pid / group; // 0..m
+
+    // 1. Funnel: members send x_i to their leader at slot = rank-in-group.
+    machine.superstep(|pid, _s, _in, out| {
+        if !is_leader(pid) {
+            // Member with in-group rank r injects at slot r−1: every slot
+            // carries exactly m messages machine-wide (one per group).
+            let r = (pid % group) as u64;
+            out.send_at(leader_of(pid), counts[pid], r - 1);
+        }
+    });
+    // Leaders fold their inbox.
+    machine.superstep(|pid, s, inbox, _out| {
+        if is_leader(pid) {
+            s.partial = s.x + inbox.iter().sum::<u64>();
+        }
+    });
+
+    // 2. Tree-reduce among the m leaders with fan-in `fan`.
+    // In round r, leader ranks that are multiples of fan^(r+1) receive from
+    // ranks rank + k·fan^r (k = 1..fan-1, only ranks < m).
+    let mut stride = 1usize;
+    while stride < m {
+        let s_ = stride;
+        machine.superstep(move |pid, st, _in, out| {
+            if !is_leader(pid) {
+                return;
+            }
+            let rank = leader_rank(pid);
+            if rank % (s_ * fan) != 0 && rank % s_ == 0 {
+                // This leader sends its partial to the block head.
+                let head_rank = (rank / (s_ * fan)) * (s_ * fan);
+                let k = (rank - head_rank) / s_; // 1..fan-1
+                out.send_at(head_rank * group, st.partial, (k - 1) as u64);
+            }
+        });
+        machine.superstep(move |pid, st, inbox, _out| {
+            if is_leader(pid) && leader_rank(pid) % (s_ * fan) == 0 {
+                st.partial += inbox.iter().sum::<u64>();
+            }
+        });
+        stride *= fan;
+    }
+
+    // Leader 0 now holds n.
+    let n = machine.state(0).partial;
+
+    // 3a. Tree-broadcast n down among leaders (reverse of the reduce).
+    machine.states_mut()[0].n = Some(n);
+    let mut strides = Vec::new();
+    let mut st = 1usize;
+    while st < m {
+        strides.push(st);
+        st *= fan;
+    }
+    for &s_ in strides.iter().rev() {
+        machine.superstep(move |pid, state, _in, out| {
+            if !is_leader(pid) {
+                return;
+            }
+            let rank = leader_rank(pid);
+            if rank % (s_ * fan) == 0 {
+                if let Some(nv) = state.n {
+                    for k in 1..fan {
+                        let target = rank + k * s_;
+                        if target < m {
+                            out.send_at(target * group, nv, (k - 1) as u64);
+                        }
+                    }
+                }
+            }
+        });
+        machine.superstep(|pid, state, inbox, _out| {
+            if is_leader(pid) && state.n.is_none() {
+                if let Some(&v) = inbox.first() {
+                    state.n = Some(v);
+                }
+            }
+        });
+    }
+
+    // 3b. Leaders fan n out to their group members, slot-staggered.
+    machine.superstep(move |pid, state, _in, out| {
+        if is_leader(pid) {
+            if let Some(nv) = state.n {
+                for r in 1..group {
+                    out.send_at(pid + r, nv, (r - 1) as u64);
+                }
+            }
+        }
+    });
+    machine.superstep(|_pid, state, inbox, _out| {
+        if state.n.is_none() {
+            if let Some(&v) = inbox.first() {
+                state.n = Some(v);
+            }
+        }
+    });
+
+    // Every processor must now know n.
+    for (pid, st) in machine.states().iter().enumerate() {
+        assert_eq!(st.n, Some(n), "processor {pid} failed to learn n");
+    }
+
+    let model = BspM { m, l: params.l, penalty: PenaltyFn::Exponential };
+    let bsp_m_cost = model.run_cost(machine.profiles());
+    let tau_bound = pbw_models::bounds::tau_preamble(p, m, params.l);
+    PreambleOutcome { n, profiles: machine.profiles().to_vec(), bsp_m_cost, tau_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_correct_total() {
+        let params = MachineParams::from_bandwidth(64, 8, 4);
+        let counts: Vec<u64> = (0..64).map(|i| i as u64).collect();
+        let out = compute_and_broadcast_n(params, &counts);
+        assert_eq!(out.n, (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn all_zero_counts() {
+        let params = MachineParams::from_bandwidth(32, 4, 4);
+        let out = compute_and_broadcast_n(params, &vec![0; 32]);
+        assert_eq!(out.n, 0);
+    }
+
+    #[test]
+    fn never_exceeds_aggregate_bandwidth() {
+        let params = MachineParams::from_bandwidth(128, 16, 8);
+        let counts: Vec<u64> = (0..128).map(|i| (i * 7 % 13) as u64).collect();
+        let out = compute_and_broadcast_n(params, &counts);
+        for prof in &out.profiles {
+            for (&load, t) in prof.injections.iter().zip(0u64..) {
+                assert!(load <= 16, "slot {t} load {load} > m");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_within_constant_of_tau() {
+        for (p, m, l) in [(256usize, 16usize, 8u64), (512, 64, 4), (1024, 32, 16)] {
+            let params = MachineParams::from_bandwidth(p, m, l);
+            let counts: Vec<u64> = (0..p).map(|i| i as u64 % 5).collect();
+            let out = compute_and_broadcast_n(params, &counts);
+            // The constant is modest: each logical phase costs ≤ 2 supersteps.
+            assert!(
+                out.bsp_m_cost <= 8.0 * out.tau_bound,
+                "p={p} m={m} L={l}: cost {} vs τ {}",
+                out.bsp_m_cost,
+                out.tau_bound
+            );
+        }
+    }
+
+    #[test]
+    fn single_group_machine() {
+        // m = 1: all processors funnel to processor 0 and there is no tree.
+        let params = MachineParams::from_bandwidth(16, 1, 4);
+        let counts = vec![2u64; 16];
+        let out = compute_and_broadcast_n(params, &counts);
+        assert_eq!(out.n, 32);
+    }
+
+    #[test]
+    fn full_bandwidth_machine() {
+        // m = p: every processor is a leader; only the tree phases run.
+        let params = MachineParams::from_bandwidth(16, 16, 4);
+        let counts: Vec<u64> = (1..=16).collect();
+        let out = compute_and_broadcast_n(params, &counts);
+        assert_eq!(out.n, 136);
+    }
+}

@@ -1,0 +1,156 @@
+//! The complete Theorem 6.2 protocol, end to end.
+//!
+//! The schedulers in [`crate::schedulers`] assume every processor already
+//! knows `n`; the theorem's full statement includes the
+//! `τ = O(p/m + L + L·lg m/lg L)` preamble that computes and broadcasts it.
+//! This module chains both on the simulator:
+//!
+//! 1. run the [`crate::preamble`] program (a real BSP(m) execution) so
+//!    every processor learns `n`,
+//! 2. every processor independently draws its random offset and injects
+//!    its messages at the scheduled slots (one communication superstep),
+//! 3. the two executions' profiles are concatenated and priced.
+//!
+//! The outcome reports the measured `τ`, the send cost, and the Theorem 6.2
+//! target `max((1+ε)n/m, x̄, ȳ, L) + τ` for comparison.
+
+use crate::exec::run_schedule_on_bsp;
+use crate::preamble::compute_and_broadcast_n;
+use crate::schedulers::{Scheduler, UnbalancedSend};
+use crate::workload::Workload;
+use pbw_models::{BspM, CostModel, MachineParams, PenaltyFn, SuperstepProfile};
+
+/// Result of the full protocol run.
+#[derive(Debug, Clone)]
+pub struct ProtocolOutcome {
+    /// The broadcast total (must equal the workload's flit count).
+    pub n: u64,
+    /// Measured BSP(m, exp) cost of the preamble alone.
+    pub tau_cost: f64,
+    /// Measured BSP(m, exp) cost of the send superstep alone.
+    pub send_cost: f64,
+    /// Total measured cost (preamble + send).
+    pub total_cost: f64,
+    /// The Theorem 6.2 target for these parameters:
+    /// `max((1+ε)n/m, x̄, ȳ, L)` plus the preamble's τ bound.
+    pub target: f64,
+    /// Profiles of every superstep (preamble then send), for re-pricing
+    /// under other models.
+    pub profiles: Vec<SuperstepProfile>,
+    /// Whether delivery was verified.
+    pub ok: bool,
+}
+
+/// Run preamble + Unbalanced-Send as one measured pipeline.
+///
+/// # Panics
+/// Panics if the workload and machine disagree on `p`, or if `m ∤ p`.
+pub fn unbalanced_send_protocol(
+    wl: &Workload,
+    params: MachineParams,
+    eps: f64,
+    seed: u64,
+) -> ProtocolOutcome {
+    assert_eq!(wl.p(), params.p, "workload and machine disagree on p");
+    assert!(wl.is_unit(), "the Theorem 6.2 protocol handles unit messages");
+
+    // Phase 1: τ preamble — a real BSP(m) program.
+    let counts = wl.send_counts();
+    let pre = compute_and_broadcast_n(params, &counts);
+    assert_eq!(pre.n, wl.n_flits(), "preamble computed a wrong total");
+
+    // Phase 2: every processor schedules its own messages from (n, x_i,
+    // its private randomness) — exactly the information the preamble
+    // established — and the engine executes the send superstep.
+    let schedule = UnbalancedSend::new(eps).schedule(wl, params.m, seed);
+    let exec = run_schedule_on_bsp(wl, &schedule, params);
+
+    let model = BspM { m: params.m, l: params.l, penalty: PenaltyFn::Exponential };
+    let tau_cost = pre.bsp_m_cost;
+    let send_cost = model.superstep_cost(&exec.profile);
+    let mut profiles = pre.profiles.clone();
+    profiles.push(exec.profile.clone());
+
+    let sigma = ((1.0 + eps) * pre.n as f64 / params.m as f64)
+        .max(wl.xbar() as f64)
+        .max(wl.ybar() as f64)
+        .max(params.l as f64);
+    ProtocolOutcome {
+        n: pre.n,
+        tau_cost,
+        send_cost,
+        total_cost: tau_cost + send_cost,
+        target: sigma + pre.tau_bound,
+        profiles,
+        ok: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn protocol_computes_n_and_delivers() {
+        let params = MachineParams::from_bandwidth(128, 16, 4);
+        let wl = workload::uniform_random(128, 16, 1);
+        let out = unbalanced_send_protocol(&wl, params, 0.3, 7);
+        assert!(out.ok);
+        assert_eq!(out.n, 128 * 16);
+        assert!(out.total_cost > out.tau_cost);
+    }
+
+    #[test]
+    fn protocol_within_constant_of_target() {
+        let params = MachineParams::from_bandwidth(512, 64, 8);
+        for wl in [
+            workload::uniform_random(512, 32, 2),
+            workload::single_hot_sender(512, 4096, 4, 3),
+            workload::zipf_senders(512, 256, 1.2, 4),
+        ] {
+            let out = unbalanced_send_protocol(&wl, params, 0.3, 11);
+            assert!(
+                out.total_cost <= 8.0 * out.target,
+                "cost {} vs target {}",
+                out.total_cost,
+                out.target
+            );
+        }
+    }
+
+    #[test]
+    fn tau_negligible_when_n_large() {
+        // The paper: for n ≫ p and max(n/m, h) ≫ L, τ is negligible.
+        let params = MachineParams::from_bandwidth(256, 32, 4);
+        let wl = workload::uniform_random(256, 512, 5); // n = 128k ≫ p
+        let out = unbalanced_send_protocol(&wl, params, 0.2, 13);
+        assert!(
+            out.tau_cost < 0.05 * out.send_cost,
+            "τ {} vs send {}",
+            out.tau_cost,
+            out.send_cost
+        );
+        // Hence total within (1+ε)·(1+small) of the global lower bound.
+        let lower = wl.n_flits() as f64 / params.m as f64;
+        assert!(out.total_cost <= 1.5 * lower, "total {} vs n/m {}", out.total_cost, lower);
+    }
+
+    #[test]
+    fn profiles_reprice_under_other_models() {
+        let params = MachineParams::from_bandwidth(128, 16, 4);
+        let wl = workload::permutation(128, 9);
+        let out = unbalanced_send_protocol(&wl, params, 0.3, 1);
+        let summary = pbw_sim::CostSummary::price(params, &out.profiles);
+        // Same run, locally-limited price: strictly worse than the m-price.
+        assert!(summary.bsp_g >= summary.bsp_m_exp);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on p")]
+    fn rejects_mismatched_machine() {
+        let params = MachineParams::from_bandwidth(64, 8, 4);
+        let wl = workload::permutation(32, 0);
+        let _ = unbalanced_send_protocol(&wl, params, 0.2, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Which term of a cost metric dominates a superstep.
+//!
+//! The paper's bounds are maxima of heterogeneous terms (`w`, `g·h` or `h`,
+//! `c_m`, `κ`, `L`); knowing *which* term binds is how one reads the
+//! experiments ("the hot receiver is the binding constraint", "L dominates
+//! the tree rounds"). [`Breakdown`] computes all terms of a profile for a
+//! given machine configuration, under both model families, and names the
+//! dominant one.
+
+use crate::params::MachineParams;
+use crate::penalty::PenaltyFn;
+use crate::profile::SuperstepProfile;
+
+/// The term of a cost metric that determined a superstep's price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominant {
+    /// Local computation `w`.
+    Work,
+    /// The per-processor traffic term (`g·h` locally, `h` globally).
+    Traffic,
+    /// The aggregate communication charge `c_m`.
+    Bandwidth,
+    /// Location contention `κ` (QSM only).
+    Contention,
+    /// The latency/periodicity floor `L` (BSP only).
+    Latency,
+}
+
+impl std::fmt::Display for Dominant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dominant::Work => "w",
+            Dominant::Traffic => "h",
+            Dominant::Bandwidth => "c_m",
+            Dominant::Contention => "κ",
+            Dominant::Latency => "L",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// All terms of one superstep under one machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Breakdown {
+    /// `w`.
+    pub work: f64,
+    /// `g·h` for the local family (message-passing `h`).
+    pub local_traffic: f64,
+    /// `h` for the global family.
+    pub global_traffic: f64,
+    /// `c_m` under the exponential penalty.
+    pub bandwidth: f64,
+    /// `κ`.
+    pub contention: f64,
+    /// `L`.
+    pub latency: f64,
+}
+
+impl Breakdown {
+    /// Compute all terms for `profile` on machine `params`.
+    pub fn of(params: MachineParams, profile: &SuperstepProfile) -> Self {
+        Breakdown {
+            work: profile.max_work as f64,
+            local_traffic: (params.g * profile.h_bsp()) as f64,
+            global_traffic: profile.h_bsp() as f64,
+            bandwidth: PenaltyFn::Exponential.total_charge(&profile.injections, params.m),
+            contention: profile.max_contention as f64,
+            latency: params.l as f64,
+        }
+    }
+
+    /// The binding term of the BSP(m) metric `max(w, h, c_m, L)`.
+    pub fn dominant_bsp_m(&self) -> Dominant {
+        let pairs = [
+            (self.bandwidth, Dominant::Bandwidth),
+            (self.global_traffic, Dominant::Traffic),
+            (self.work, Dominant::Work),
+            (self.latency, Dominant::Latency),
+        ];
+        pairs
+            .into_iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, d)| d)
+            .unwrap()
+    }
+
+    /// The binding term of the BSP(g) metric `max(w, g·h, L)`.
+    pub fn dominant_bsp_g(&self) -> Dominant {
+        let pairs = [
+            (self.local_traffic, Dominant::Traffic),
+            (self.work, Dominant::Work),
+            (self.latency, Dominant::Latency),
+        ];
+        pairs
+            .into_iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, d)| d)
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileBuilder;
+
+    fn params() -> MachineParams {
+        MachineParams::from_gap(64, 8, 16)
+    }
+
+    #[test]
+    fn bandwidth_dominates_overloaded_step() {
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(2, 2).record_injections(0, 64); // 8× over m = 8
+        let bd = Breakdown::of(params(), &b.build());
+        assert_eq!(bd.dominant_bsp_m(), Dominant::Bandwidth);
+        assert!(bd.bandwidth > 1000.0);
+    }
+
+    #[test]
+    fn traffic_dominates_hot_sender_under_g() {
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(100, 1);
+        for t in 0..100 {
+            b.record_injection(t);
+        }
+        let bd = Breakdown::of(params(), &b.build());
+        assert_eq!(bd.dominant_bsp_g(), Dominant::Traffic);
+        // Same profile globally: h = 100 = c_m — traffic or bandwidth tie,
+        // ordering prefers bandwidth on exact ties; both are 100.
+        assert_eq!(bd.global_traffic, 100.0);
+        assert_eq!(bd.bandwidth, 100.0);
+    }
+
+    #[test]
+    fn latency_dominates_empty_step() {
+        let bd = Breakdown::of(params(), &SuperstepProfile::default());
+        assert_eq!(bd.dominant_bsp_m(), Dominant::Latency);
+        assert_eq!(bd.dominant_bsp_g(), Dominant::Latency);
+    }
+
+    #[test]
+    fn work_dominates_compute_step() {
+        let mut b = ProfileBuilder::new();
+        b.record_work(1_000_000).record_traffic(1, 1).record_injection(0);
+        let bd = Breakdown::of(params(), &b.build());
+        assert_eq!(bd.dominant_bsp_m(), Dominant::Work);
+        assert_eq!(bd.dominant_bsp_g(), Dominant::Work);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dominant::Bandwidth.to_string(), "c_m");
+        assert_eq!(Dominant::Latency.to_string(), "L");
+    }
+}

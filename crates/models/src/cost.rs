@@ -1,0 +1,283 @@
+//! Cost models of Section 2: how a [`SuperstepProfile`] is priced.
+//!
+//! | model | superstep cost |
+//! |---|---|
+//! | BSP(g) | `max(w, g·h, L)` |
+//! | BSP(m) | `max(w, h, c_m, L)` |
+//! | self-scheduling BSP(m) | `max(w, h, n/m, L)` |
+//! | QSM(g) | `max(w, g·h, κ)` |
+//! | QSM(m) | `max(w, h, κ, c_m)` |
+//!
+//! with `h = max_i max(s_i, r_i)` (BSP) or `max(1, max_i{r_i, w_i})` (QSM),
+//! `c_m = Σ_t f_m(m_t)` and `κ` the maximum location contention.
+//!
+//! All models implement [`CostModel`], so one simulated execution can be
+//! priced under every model at once.
+
+use crate::penalty::PenaltyFn;
+use crate::profile::SuperstepProfile;
+
+/// A superstep pricing rule.
+pub trait CostModel: Send + Sync {
+    /// Price one superstep.
+    fn superstep_cost(&self, profile: &SuperstepProfile) -> f64;
+
+    /// Human-readable model name (e.g. `"BSP(m=64)"`), used in experiment
+    /// tables.
+    fn name(&self) -> String;
+
+    /// Price a whole run: the sum of per-superstep costs.
+    fn run_cost(&self, profiles: &[SuperstepProfile]) -> f64 {
+        profiles.iter().map(|p| self.superstep_cost(p)).sum()
+    }
+}
+
+/// The locally-limited, message-passing BSP(g) model (Valiant):
+/// `T = max(w, g·h, L)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BspG {
+    /// Per-processor gap `g`.
+    pub g: u64,
+    /// Latency/periodicity `L`.
+    pub l: u64,
+}
+
+impl CostModel for BspG {
+    fn superstep_cost(&self, p: &SuperstepProfile) -> f64 {
+        let w = p.max_work as f64;
+        let gh = (self.g as f64) * (p.h_bsp() as f64);
+        w.max(gh).max(self.l as f64)
+    }
+
+    fn name(&self) -> String {
+        format!("BSP(g={})", self.g)
+    }
+}
+
+/// The globally-limited, message-passing BSP(m) model (this paper):
+/// `T = max(w, h, c_m, L)` with `c_m = Σ_t f_m(m_t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BspM {
+    /// Aggregate bandwidth `m`.
+    pub m: usize,
+    /// Latency/periodicity `L`.
+    pub l: u64,
+    /// Overload charge `f_m` (linear for lower bounds, exponential for upper
+    /// bounds).
+    pub penalty: PenaltyFn,
+}
+
+impl BspM {
+    /// The communication term `c_m` for a profile.
+    pub fn c_m(&self, p: &SuperstepProfile) -> f64 {
+        self.penalty.total_charge(&p.injections, self.m)
+    }
+}
+
+impl CostModel for BspM {
+    fn superstep_cost(&self, p: &SuperstepProfile) -> f64 {
+        let w = p.max_work as f64;
+        let h = p.h_bsp() as f64;
+        w.max(h).max(self.c_m(p)).max(self.l as f64)
+    }
+
+    fn name(&self) -> String {
+        let tag = match self.penalty {
+            PenaltyFn::Linear => "lin",
+            PenaltyFn::Exponential => "exp",
+        };
+        format!("BSP(m={},{tag})", self.m)
+    }
+}
+
+/// The simplified globally-limited metric of Section 2: ignore exact sending
+/// times and charge `T = max(w, h, n/m, L)` for a superstep transmitting `n`
+/// messages. Theorem 6.2 shows any self-scheduling algorithm runs on the real
+/// BSP(m) within `(1+ε)` of this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfSchedulingBspM {
+    /// Aggregate bandwidth `m`.
+    pub m: usize,
+    /// Latency/periodicity `L`.
+    pub l: u64,
+}
+
+impl CostModel for SelfSchedulingBspM {
+    fn superstep_cost(&self, p: &SuperstepProfile) -> f64 {
+        let w = p.max_work as f64;
+        let h = p.h_bsp() as f64;
+        let nm = p.total_messages as f64 / self.m as f64;
+        w.max(h).max(nm).max(self.l as f64)
+    }
+
+    fn name(&self) -> String {
+        format!("ssBSP(m={})", self.m)
+    }
+}
+
+/// The locally-limited, shared-memory QSM(g) model (Gibbons–Matias–
+/// Ramachandran): `T = max(w, g·h, κ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QsmG {
+    /// Per-processor gap `g`.
+    pub g: u64,
+}
+
+impl CostModel for QsmG {
+    fn superstep_cost(&self, p: &SuperstepProfile) -> f64 {
+        let w = p.max_work as f64;
+        let gh = (self.g as f64) * (p.h_qsm() as f64);
+        w.max(gh).max(p.max_contention as f64)
+    }
+
+    fn name(&self) -> String {
+        format!("QSM(g={})", self.g)
+    }
+}
+
+/// The globally-limited, shared-memory QSM(m) model (this paper):
+/// `T = max(w, h, κ, c_m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QsmM {
+    /// Aggregate bandwidth `m`.
+    pub m: usize,
+    /// Overload charge `f_m`.
+    pub penalty: PenaltyFn,
+}
+
+impl QsmM {
+    /// The communication term `c_m` for a profile.
+    pub fn c_m(&self, p: &SuperstepProfile) -> f64 {
+        self.penalty.total_charge(&p.injections, self.m)
+    }
+}
+
+impl CostModel for QsmM {
+    fn superstep_cost(&self, p: &SuperstepProfile) -> f64 {
+        let w = p.max_work as f64;
+        let h = p.h_qsm() as f64;
+        w.max(h).max(p.max_contention as f64).max(self.c_m(p))
+    }
+
+    fn name(&self) -> String {
+        let tag = match self.penalty {
+            PenaltyFn::Linear => "lin",
+            PenaltyFn::Exponential => "exp",
+        };
+        format!("QSM(m={},{tag})", self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileBuilder;
+
+    fn sample_profile() -> SuperstepProfile {
+        // 3 steps; injections 4, 2, 10; h_bsp = 6; w = 5.
+        let mut b = ProfileBuilder::new();
+        b.record_work(5)
+            .record_traffic(6, 3)
+            .record_injections(0, 4)
+            .record_injections(1, 2)
+            .record_injections(2, 10);
+        b.build()
+    }
+
+    #[test]
+    fn bsp_g_cost() {
+        let p = sample_profile();
+        let model = BspG { g: 4, l: 10 };
+        // max(5, 4*6, 10) = 24
+        assert!((model.superstep_cost(&p) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsp_g_latency_floor() {
+        let p = SuperstepProfile::default();
+        let model = BspG { g: 4, l: 17 };
+        assert!((model.superstep_cost(&p) - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsp_m_linear_cost() {
+        let p = sample_profile();
+        let model = BspM { m: 4, l: 2, penalty: PenaltyFn::Linear };
+        // c_m = 1 + 1 + 10/4 = 4.5; max(5, 6, 4.5, 2) = 6
+        assert!((model.c_m(&p) - 4.5).abs() < 1e-12);
+        assert!((model.superstep_cost(&p) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsp_m_exponential_cost() {
+        let p = sample_profile();
+        let model = BspM { m: 4, l: 2, penalty: PenaltyFn::Exponential };
+        // c_m = 1 + 1 + e^{10/4-1} = 2 + e^1.5
+        let cm = 2.0 + 1.5f64.exp();
+        assert!((model.c_m(&p) - cm).abs() < 1e-9);
+        assert!((model.superstep_cost(&p) - cm.max(6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_scheduling_uses_n_over_m() {
+        let p = sample_profile(); // n = 16
+        let model = SelfSchedulingBspM { m: 2, l: 1 };
+        // max(5, 6, 16/2=8, 1) = 8
+        assert!((model.superstep_cost(&p) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qsm_g_cost_uses_contention() {
+        let mut b = ProfileBuilder::new();
+        b.record_work(3).record_memory_ops(2, 1).record_contention(50);
+        let p = b.build();
+        let model = QsmG { g: 4 };
+        // max(3, 4*2, 50) = 50
+        assert!((model.superstep_cost(&p) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qsm_m_cost() {
+        let mut b = ProfileBuilder::new();
+        b.record_work(1)
+            .record_memory_ops(3, 0)
+            .record_contention(2)
+            .record_injections(0, 6)
+            .record_injections(1, 6);
+        let p = b.build();
+        let model = QsmM { m: 6, penalty: PenaltyFn::Exponential };
+        // c_m = 2, h = 3 → max(1, 3, 2, 2) = 3
+        assert!((model.superstep_cost(&p) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_cost_sums() {
+        let p = sample_profile();
+        let model = BspG { g: 1, l: 1 };
+        let single = model.superstep_cost(&p);
+        assert!((model.run_cost(&[p.clone(), p]) - 2.0 * single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(BspG { g: 7, l: 1 }.name(), "BSP(g=7)");
+        assert_eq!(
+            BspM { m: 9, l: 1, penalty: PenaltyFn::Exponential }.name(),
+            "BSP(m=9,exp)"
+        );
+        assert_eq!(SelfSchedulingBspM { m: 9, l: 1 }.name(), "ssBSP(m=9)");
+        assert_eq!(QsmG { g: 3 }.name(), "QSM(g=3)");
+        assert_eq!(QsmM { m: 5, penalty: PenaltyFn::Linear }.name(), "QSM(m=5,lin)");
+    }
+
+    #[test]
+    fn exponential_bsp_m_upper_bounds_linear() {
+        // Same profile must never be cheaper under the exponential charge.
+        let p = sample_profile();
+        for m in [1usize, 2, 4, 8, 16] {
+            let lin = BspM { m, l: 1, penalty: PenaltyFn::Linear };
+            let exp = BspM { m, l: 1, penalty: PenaltyFn::Exponential };
+            assert!(exp.superstep_cost(&p) >= lin.superstep_cost(&p), "m={m}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The Section 4 naive emulation: any g-model execution runs on the
+//! corresponding m-model within the same time bound.
+//!
+//! > *"This is done by grouping the QSM(g) or the BSP(g) processors
+//! > (arbitrarily) into g groups of p/g processors each, and by subdividing
+//! > each communication step of the QSM(g) or the BSP(g) into g substeps.
+//! > The processors send their messages in the ith substep of each
+//! > communication step."*
+//!
+//! Mechanically, on a recorded [`SuperstepProfile`]: a step in which the
+//! whole machine injected `m_t` messages is re-laid-out as `⌈m_t/m⌉`
+//! substeps of at most `m` injections each. The emulated profile's BSP(m)
+//! cost is then at most the original's BSP(g) cost whenever `g = p/m`
+//! (checked by [`emulation_preserves_cost`] and property tests).
+
+use crate::cost::{BspG, BspM, CostModel};
+use crate::penalty::PenaltyFn;
+use crate::profile::SuperstepProfile;
+
+/// Re-lay-out a profile's injections so no step carries more than `m`:
+/// each original step becomes `⌈m_t/m⌉` substeps.
+///
+/// Work, traffic maxima and contention are unchanged — only injection
+/// timing moves, exactly the freedom the globally-limited models grant.
+pub fn emulate_on_m(profile: &SuperstepProfile, m: usize) -> SuperstepProfile {
+    assert!(m > 0);
+    let mut injections = Vec::with_capacity(profile.injections.len());
+    for &m_t in &profile.injections {
+        if m_t == 0 {
+            injections.push(0);
+            continue;
+        }
+        let mut left = m_t;
+        while left > 0 {
+            let this = left.min(m as u64);
+            injections.push(this);
+            left -= this;
+        }
+    }
+    SuperstepProfile { injections, ..profile.clone() }
+}
+
+/// The emulation guarantee, as an executable check: the emulated profile's
+/// BSP(m, exponential) cost does not exceed the original's BSP(g) cost at
+/// matched aggregate bandwidth (`g = p/m`), up to the stated `+L` floor.
+pub fn emulation_preserves_cost(
+    profile: &SuperstepProfile,
+    g: u64,
+    m: usize,
+    l: u64,
+) -> bool {
+    let original = BspG { g, l }.superstep_cost(profile);
+    let emulated = BspM { m, l, penalty: PenaltyFn::Exponential }
+        .superstep_cost(&emulate_on_m(profile, m));
+    emulated <= original + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileBuilder;
+
+    fn bursty_profile(p: u64, h: u64) -> SuperstepProfile {
+        // Every processor pipelines h messages from slot 0 (a g-model
+        // program's natural shape): slot t carries p messages for t < h.
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(h, h);
+        for t in 0..h {
+            b.record_injections(t, p);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn emulated_slots_never_exceed_m() {
+        let prof = bursty_profile(64, 5);
+        let em = emulate_on_m(&prof, 8);
+        assert!(em.injections.iter().all(|&x| x <= 8));
+        assert_eq!(em.total_messages, prof.total_messages);
+        assert_eq!(em.injections.iter().sum::<u64>(), 64 * 5);
+    }
+
+    #[test]
+    fn substep_count_matches_paper() {
+        // One step of p messages becomes exactly g = p/m substeps.
+        let mut b = ProfileBuilder::new();
+        b.record_injections(0, 64);
+        let em = emulate_on_m(&b.build(), 8);
+        assert_eq!(em.injections.len(), 8);
+    }
+
+    #[test]
+    fn zero_steps_preserved() {
+        let mut b = ProfileBuilder::new();
+        b.record_injections(0, 4).record_injections(2, 4);
+        let em = emulate_on_m(&b.build(), 8);
+        // Slot 1 (empty) survives as an empty slot.
+        assert_eq!(em.injections, vec![4, 0, 4]);
+    }
+
+    #[test]
+    fn cost_preservation_on_bursty_runs() {
+        for (p, h) in [(64u64, 1u64), (64, 8), (256, 3)] {
+            let prof = bursty_profile(p, h);
+            let m = 8usize;
+            let g = p / m as u64;
+            assert!(
+                emulation_preserves_cost(&prof, g, m, 4),
+                "p={p} h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn emulated_cost_equals_g_cost_for_full_steps() {
+        // p messages per step for h steps: BSP(g) = g·h; emulated BSP(m) =
+        // c_m = (p/m)·h = g·h. Exactly equal.
+        let (p, h, m) = (64u64, 4u64, 8usize);
+        let g = p / m as u64;
+        let prof = bursty_profile(p, h);
+        let em = emulate_on_m(&prof, m);
+        let bsp_g = BspG { g, l: 1 }.superstep_cost(&prof);
+        let bsp_m =
+            BspM { m, l: 1, penalty: PenaltyFn::Exponential }.superstep_cost(&em);
+        assert_eq!(bsp_g, bsp_m);
+    }
+}

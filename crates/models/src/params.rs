@@ -1,0 +1,139 @@
+//! Machine parameters shared by all four models.
+//!
+//! The paper compares locally- and globally-limited models at equal aggregate
+//! bandwidth, i.e. `p · (1/g) = m`, or `g = p/m`. [`MachineParams`] stores a
+//! consistent `(p, g, m, L)` quadruple and provides the constructors used
+//! throughout the experiment suite.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a simulated machine: processor count `p`, per-processor gap
+/// `g` (locally-limited models), aggregate bandwidth `m` (globally-limited
+/// models) and latency/periodicity `L`.
+///
+/// The invariant `g = p / m` (aggregate-bandwidth parity, Section 4 of the
+/// paper) is maintained by the constructors; [`MachineParams::new_unchecked`]
+/// is available for deliberately mismatched configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Number of processors `p`.
+    pub p: usize,
+    /// Per-processor bandwidth gap `g ≥ 1` of BSP(g)/QSM(g).
+    pub g: u64,
+    /// Aggregate bandwidth `m ≥ 1` of BSP(m)/QSM(m): at most `m` message
+    /// injections per machine step are free of penalty.
+    pub m: usize,
+    /// Latency / periodicity parameter `L ≥ 1` of the BSP models (message
+    /// latency plus barrier-synchronization overhead).
+    pub l: u64,
+}
+
+impl MachineParams {
+    /// Build parameters from `(p, g, L)`, deriving `m = p / g` so that both
+    /// model families have the same aggregate bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `g` is zero, `g` does not divide `p`, or `p == 0`.
+    pub fn from_gap(p: usize, g: u64, l: u64) -> Self {
+        assert!(p > 0, "p must be positive");
+        assert!(g > 0, "g must be positive");
+        assert!(l > 0, "L must be positive");
+        assert!(
+            (p as u64).is_multiple_of(g),
+            "g must divide p for aggregate-bandwidth parity (p={p}, g={g})"
+        );
+        Self {
+            p,
+            g,
+            m: (p as u64 / g) as usize,
+            l,
+        }
+    }
+
+    /// Build parameters from `(p, m, L)`, deriving `g = p / m`.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero, `m` does not divide `p`, or `p == 0`.
+    pub fn from_bandwidth(p: usize, m: usize, l: u64) -> Self {
+        assert!(p > 0, "p must be positive");
+        assert!(m > 0, "m must be positive");
+        assert!(l > 0, "L must be positive");
+        assert!(
+            p.is_multiple_of(m),
+            "m must divide p for aggregate-bandwidth parity (p={p}, m={m})"
+        );
+        Self {
+            p,
+            g: (p / m) as u64,
+            m,
+            l,
+        }
+    }
+
+    /// Build parameters without enforcing `g = p/m`. Used by ablation
+    /// experiments that deliberately break aggregate-bandwidth parity.
+    pub fn new_unchecked(p: usize, g: u64, m: usize, l: u64) -> Self {
+        assert!(p > 0 && g > 0 && m > 0 && l > 0, "parameters must be positive");
+        Self { p, g, m, l }
+    }
+
+    /// Whether aggregate bandwidth parity `g = p/m` holds.
+    pub fn parity_holds(&self) -> bool {
+        self.p.is_multiple_of(self.m) && (self.p / self.m) as u64 == self.g
+    }
+
+    /// The ratio `L / g` as a float (fan-out of the optimal BSP(g) broadcast
+    /// tree and the knob of Theorem 4.1).
+    pub fn l_over_g(&self) -> f64 {
+        self.l as f64 / self.g as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_gap_derives_m() {
+        let mp = MachineParams::from_gap(1024, 16, 64);
+        assert_eq!(mp.m, 64);
+        assert!(mp.parity_holds());
+    }
+
+    #[test]
+    fn from_bandwidth_derives_g() {
+        let mp = MachineParams::from_bandwidth(1024, 64, 32);
+        assert_eq!(mp.g, 16);
+        assert!(mp.parity_holds());
+    }
+
+    #[test]
+    fn unchecked_allows_mismatch() {
+        let mp = MachineParams::new_unchecked(100, 7, 9, 5);
+        assert!(!mp.parity_holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "g must divide p")]
+    fn from_gap_rejects_nondivisor() {
+        let _ = MachineParams::from_gap(100, 7, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must divide p")]
+    fn from_bandwidth_rejects_nondivisor() {
+        let _ = MachineParams::from_bandwidth(100, 7, 4);
+    }
+
+    #[test]
+    fn l_over_g() {
+        let mp = MachineParams::from_gap(64, 8, 32);
+        assert!((mp.l_over_g() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_equals_one_means_m_equals_p() {
+        let mp = MachineParams::from_gap(256, 1, 4);
+        assert_eq!(mp.m, 256);
+    }
+}

@@ -1,0 +1,217 @@
+//! Exact records of what happened during a superstep.
+//!
+//! A [`SuperstepProfile`] captures every quantity any of the four cost models
+//! needs: the maximum local work `w`, per-processor send/receive maxima
+//! (`h`), the per-step injection histogram (`m_t` for every step `t` of the
+//! superstep, from which `c_m` is computed), the total message count `n`
+//! (for the self-scheduling metric) and, for the QSM models, per-processor
+//! read/write maxima and the maximum location contention `κ`.
+//!
+//! Profiles are produced by the simulator in `pbw-sim` but can also be built
+//! directly (e.g. by the pure schedule evaluators in `pbw-core`) through
+//! [`ProfileBuilder`].
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the cost models of Section 2 need to price one superstep.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuperstepProfile {
+    /// `w = max_i w_i`: maximum local work performed by any processor.
+    pub max_work: u64,
+    /// `max_i s_i`: maximum number of messages sent by any processor.
+    pub max_sent: u64,
+    /// `max_i r_i`: maximum number of messages received by any processor.
+    pub max_received: u64,
+    /// `n`: total number of messages sent during the superstep.
+    pub total_messages: u64,
+    /// Injection histogram: `injections[t] = m_t`, the number of message
+    /// sends initiated in step `t` of the superstep. Its length `τ` is the
+    /// number of (occupied) steps of the superstep.
+    pub injections: Vec<u64>,
+    /// `max_i r_i` over QSM shared-memory reads.
+    pub max_reads: u64,
+    /// `max_i w_i` over QSM shared-memory writes.
+    pub max_writes: u64,
+    /// `κ`: maximum, over all shared locations, of the number of processors
+    /// reading it or the number of processors writing it (QSM only).
+    pub max_contention: u64,
+}
+
+impl SuperstepProfile {
+    /// `h` as defined for the BSP models: `max_i max(s_i, r_i)`.
+    #[inline]
+    pub fn h_bsp(&self) -> u64 {
+        self.max_sent.max(self.max_received)
+    }
+
+    /// `h` as defined for the QSM models: `max(1, max_i {r_i, w_i})`.
+    #[inline]
+    pub fn h_qsm(&self) -> u64 {
+        self.max_reads.max(self.max_writes).max(1)
+    }
+
+    /// Number of steps `τ` spanned by the injection schedule.
+    #[inline]
+    pub fn num_steps(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Merge another profile *sequentially after* this one, as if the two
+    /// supersteps were fused: injection histograms concatenate, maxima
+    /// combine, totals add.
+    ///
+    /// Used when an algorithm's cost is reported superstep-by-superstep but a
+    /// caller wants a single aggregate profile.
+    pub fn concat(&self, later: &SuperstepProfile) -> SuperstepProfile {
+        let mut injections =
+            Vec::with_capacity(self.injections.len() + later.injections.len());
+        injections.extend_from_slice(&self.injections);
+        injections.extend_from_slice(&later.injections);
+        SuperstepProfile {
+            max_work: self.max_work.max(later.max_work),
+            max_sent: self.max_sent.max(later.max_sent),
+            max_received: self.max_received.max(later.max_received),
+            total_messages: self.total_messages + later.total_messages,
+            injections,
+            max_reads: self.max_reads.max(later.max_reads),
+            max_writes: self.max_writes.max(later.max_writes),
+            max_contention: self.max_contention.max(later.max_contention),
+        }
+    }
+}
+
+/// Incremental builder for [`SuperstepProfile`], fed with per-processor
+/// observations by the simulator or a schedule evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileBuilder {
+    profile: SuperstepProfile,
+}
+
+impl ProfileBuilder {
+    /// Start an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record processor-local work of `w` units (taking the max across
+    /// processors).
+    pub fn record_work(&mut self, w: u64) -> &mut Self {
+        self.profile.max_work = self.profile.max_work.max(w);
+        self
+    }
+
+    /// Record that some processor sent `s` messages and received `r`.
+    pub fn record_traffic(&mut self, sent: u64, received: u64) -> &mut Self {
+        self.profile.max_sent = self.profile.max_sent.max(sent);
+        self.profile.max_received = self.profile.max_received.max(received);
+        self
+    }
+
+    /// Record a message injection at step `slot` (0-based within the
+    /// superstep), growing the histogram as needed.
+    pub fn record_injection(&mut self, slot: u64) -> &mut Self {
+        self.record_injections(slot, 1)
+    }
+
+    /// Record `count` message injections at step `slot`.
+    pub fn record_injections(&mut self, slot: u64, count: u64) -> &mut Self {
+        let idx = usize::try_from(slot).expect("slot exceeds addressable range");
+        if self.profile.injections.len() <= idx {
+            self.profile.injections.resize(idx + 1, 0);
+        }
+        self.profile.injections[idx] += count;
+        self.profile.total_messages += count;
+        self
+    }
+
+    /// Record that some processor issued `reads` shared-memory reads and
+    /// `writes` shared-memory writes (QSM).
+    pub fn record_memory_ops(&mut self, reads: u64, writes: u64) -> &mut Self {
+        self.profile.max_reads = self.profile.max_reads.max(reads);
+        self.profile.max_writes = self.profile.max_writes.max(writes);
+        self
+    }
+
+    /// Record location contention `κ_x` for some location (taking the max).
+    pub fn record_contention(&mut self, kappa: u64) -> &mut Self {
+        self.profile.max_contention = self.profile.max_contention.max(kappa);
+        self
+    }
+
+    /// Finish and return the profile.
+    pub fn build(self) -> SuperstepProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_maxima() {
+        let mut b = ProfileBuilder::new();
+        b.record_work(3).record_work(7).record_work(5);
+        b.record_traffic(2, 9).record_traffic(4, 1);
+        let p = b.build();
+        assert_eq!(p.max_work, 7);
+        assert_eq!(p.max_sent, 4);
+        assert_eq!(p.max_received, 9);
+        assert_eq!(p.h_bsp(), 9);
+    }
+
+    #[test]
+    fn injections_build_histogram() {
+        let mut b = ProfileBuilder::new();
+        b.record_injection(0);
+        b.record_injection(2);
+        b.record_injection(2);
+        b.record_injections(5, 4);
+        let p = b.build();
+        assert_eq!(p.injections, vec![1, 0, 2, 0, 0, 4]);
+        assert_eq!(p.total_messages, 7);
+        assert_eq!(p.num_steps(), 6);
+    }
+
+    #[test]
+    fn qsm_h_is_at_least_one() {
+        let p = SuperstepProfile::default();
+        assert_eq!(p.h_qsm(), 1);
+        let mut b = ProfileBuilder::new();
+        b.record_memory_ops(3, 5);
+        assert_eq!(b.build().h_qsm(), 5);
+    }
+
+    #[test]
+    fn contention_maxes() {
+        let mut b = ProfileBuilder::new();
+        b.record_contention(2).record_contention(17).record_contention(4);
+        assert_eq!(b.build().max_contention, 17);
+    }
+
+    #[test]
+    fn concat_fuses_sequentially() {
+        let mut b1 = ProfileBuilder::new();
+        b1.record_work(5).record_injections(0, 3).record_traffic(3, 1);
+        let p1 = b1.build();
+        let mut b2 = ProfileBuilder::new();
+        b2.record_work(2).record_injections(1, 2).record_traffic(1, 4);
+        let p2 = b2.build();
+        let c = p1.concat(&p2);
+        assert_eq!(c.max_work, 5);
+        assert_eq!(c.injections, vec![3, 0, 2]);
+        assert_eq!(c.total_messages, 5);
+        assert_eq!(c.max_sent, 3);
+        assert_eq!(c.max_received, 4);
+    }
+
+    #[test]
+    fn empty_profile_is_neutral_for_concat() {
+        let mut b = ProfileBuilder::new();
+        b.record_work(4).record_injection(1);
+        let p = b.build();
+        let e = SuperstepProfile::default();
+        assert_eq!(e.concat(&p).total_messages, p.total_messages);
+        assert_eq!(p.concat(&e).max_work, 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pbw-pram
+//!
+//! A PRAM-family simulator used as the proof substrate of Sections 4.1 and 5
+//! of the SPAA'97 paper *"Modeling Parallel Bandwidth: Local vs. Global
+//! Restrictions"*.
+//!
+//! * [`machine::Pram`] — a step-synchronous PRAM with selectable access mode
+//!   ([`machine::AccessMode`]: EREW / CREW / QRQW / Arbitrary-CRCW), exact
+//!   enforcement of read/write exclusivity, deterministic Arbitrary write
+//!   resolution, and time/work accounting.
+//! * [`machine::Pram::with_rom`] — the PRAM(m) configuration of Mansour,
+//!   Nisan and Vishkin: `m` read/write shared cells plus a concurrently
+//!   readable Read-Only Memory holding the input (input distribution is free
+//!   of the bandwidth limit; this is exactly the feature Section 5 examines).
+//! * [`primitives`] — the constant-time and near-constant-time CRCW
+//!   primitives the paper leans on: broadcast, O(1) maximum, leftmost-nonzero
+//!   per row, prefix sums.
+//! * [`hrelation`] — the Section 4.1 h-relation realization algorithms on
+//!   the CRCW PRAM (`O(h)` time), which power the paper's conversion of CRCW
+//!   lower bounds into BSP(g)/QSM(g) lower bounds.
+//! * [`hrelation_rand`] — the randomized `O(h + lg* p)` realization used
+//!   for converting randomized lower bounds (approximate sorting and
+//!   nearest-one machinery at charged fidelity, the `O(h)` scan for real).
+
+pub mod hrelation;
+pub mod hrelation_rand;
+pub mod machine;
+pub mod primitives;
+
+pub use machine::{AccessMode, Pram, PramCtx, PramError, StepReport};
+
+/// Shared-memory word (matches `pbw_sim::Word`).
+pub type Word = i64;

@@ -1,0 +1,327 @@
+//! CRCW / EREW building blocks used by the Section 4.1 algorithms.
+//!
+//! Each primitive documents its time/work cost and the access mode it
+//! needs. Two execution fidelities are offered where the faithful
+//! implementation needs polynomially many virtual processors:
+//!
+//! * **Faithful** — every virtual processor of the textbook algorithm is
+//!   actually executed (e.g. the `n²`-processor constant-time maximum), so
+//!   the engine's contention audit and accounting see the real thing.
+//! * **Charged** — the result is computed directly and the textbook cost is
+//!   charged via [`Pram::charge_time`]/[`Pram::charge_work`]. Used for large
+//!   instances where `n²` virtual processors would make simulation itself
+//!   quadratic; the *time shape* (what the paper's bounds are about) is
+//!   identical.
+
+use crate::machine::{AccessMode, Pram};
+use crate::Word;
+
+/// Which implementation strategy a primitive should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Execute every virtual processor of the textbook algorithm.
+    #[default]
+    Faithful,
+    /// Compute directly, charge the textbook cost.
+    Charged,
+}
+
+/// Broadcast `mem[src]` to `mem[dst_base..dst_base+n]`.
+///
+/// On a CRCW (or CREW) PRAM this is one step with `n` processors, all
+/// concurrently reading `src`.
+///
+/// # Panics
+/// Panics under EREW (the whole point of the Section 5 separation).
+pub fn broadcast(pram: &mut Pram, src: usize, dst_base: usize, n: usize) {
+    assert_ne!(
+        pram.mode(),
+        AccessMode::Erew,
+        "broadcast in one step needs concurrent reads"
+    );
+    pram.step(n, |pid, ctx| {
+        let v = ctx.read(src);
+        ctx.write(dst_base + pid, v);
+    });
+}
+
+/// Constant-time maximum of `mem[base..base+n]` on the Arbitrary CRCW PRAM,
+/// written to `mem[out]`. Uses a scratch region `mem[scratch..scratch+n]`.
+///
+/// This is the classic 3-step, `n²`-processor algorithm (referenced in
+/// Section 4.1: "a simple constant time computation with p² processors"):
+/// clear loser flags; every ordered pair marks the smaller element a loser;
+/// the unique non-loser writes the result.
+///
+/// Cost: 3 steps, `O(n²)` work (faithful) — or the same charges with direct
+/// computation (charged).
+pub fn max_o1(pram: &mut Pram, base: usize, n: usize, scratch: usize, out: usize, fid: Fidelity) {
+    assert!(n >= 1);
+    assert_eq!(pram.mode(), AccessMode::CrcwArbitrary, "max_o1 needs Arbitrary CRCW");
+    match fid {
+        Fidelity::Faithful => {
+            pram.step(n, |pid, ctx| ctx.write(scratch + pid, 0));
+            pram.step(n * n, |pid, ctx| {
+                let i = pid / n;
+                let j = pid % n;
+                if i == j {
+                    return;
+                }
+                let vi = ctx.read(base + i);
+                let vj = ctx.read(base + j);
+                // i loses if strictly smaller, or equal with larger index
+                // (ties broken toward the smaller index so exactly one
+                // element survives).
+                if vi < vj || (vi == vj && i > j) {
+                    ctx.write(scratch + i, 1);
+                }
+            });
+            pram.step(n, |pid, ctx| {
+                let loser = ctx.read(scratch + pid);
+                if loser == 0 {
+                    let v = ctx.read(base + pid);
+                    ctx.write(out, v);
+                }
+            });
+        }
+        Fidelity::Charged => {
+            let m = (0..n).map(|i| pram.mem()[base + i]).max().unwrap();
+            pram.mem_mut()[out] = m;
+            pram.charge_time(3);
+            pram.charge_work(2 * n as u64 + (n as u64) * (n as u64));
+        }
+    }
+}
+
+/// For each of `rows` rows of width `cols` starting at `base` (row-major),
+/// write the column index of the leftmost nonzero entry (or `-1`) to
+/// `out_base + row`.
+///
+/// Faithful version: the pairwise-knockout constant-time algorithm with
+/// `cols²` processors per row on the Arbitrary CRCW (3 steps). Scratch:
+/// `rows·cols` cells at `scratch`.
+pub fn leftmost_nonzero_rows(
+    pram: &mut Pram,
+    base: usize,
+    rows: usize,
+    cols: usize,
+    scratch: usize,
+    out_base: usize,
+    fid: Fidelity,
+) {
+    assert_eq!(pram.mode(), AccessMode::CrcwArbitrary);
+    match fid {
+        Fidelity::Faithful => {
+            // Initialize out to -1 and loser flags to 0.
+            pram.step(rows * cols, |pid, ctx| ctx.write(scratch + pid, 0));
+            pram.step(rows, |pid, ctx| ctx.write(out_base + pid, -1));
+            // Knockout: (row, i, j) with i < j; if entry (row, i) nonzero,
+            // (row, j) is not leftmost.
+            pram.step(rows * cols * cols, |pid, ctx| {
+                let row = pid / (cols * cols);
+                let rest = pid % (cols * cols);
+                let i = rest / cols;
+                let j = rest % cols;
+                if i >= j {
+                    return;
+                }
+                let vi = ctx.read(base + row * cols + i);
+                if vi != 0 {
+                    ctx.write(scratch + row * cols + j, 1);
+                }
+            });
+            // Surviving nonzero entries write their index.
+            pram.step(rows * cols, |pid, ctx| {
+                let row = pid / cols;
+                let col = pid % cols;
+                let v = ctx.read(base + row * cols + col);
+                let loser = ctx.read(scratch + row * cols + col);
+                if v != 0 && loser == 0 {
+                    ctx.write(out_base + row, col as Word);
+                }
+            });
+        }
+        Fidelity::Charged => {
+            for row in 0..rows {
+                let mut found: Word = -1;
+                for col in 0..cols {
+                    if pram.mem()[base + row * cols + col] != 0 {
+                        found = col as Word;
+                        break;
+                    }
+                }
+                pram.mem_mut()[out_base + row] = found;
+            }
+            pram.charge_time(4);
+            pram.charge_work(
+                (rows * cols) as u64 + rows as u64 + (rows * cols * cols) as u64,
+            );
+        }
+    }
+}
+
+/// Work-inefficient but EREW-legal exclusive prefix sum (Blelloch scan) over
+/// `mem[base..base+n]`, in place; `n` must be a power of two. Returns the
+/// total. `O(lg n)` steps, `O(n)` work.
+pub fn prefix_sum_exclusive(pram: &mut Pram, base: usize, n: usize) -> Word {
+    assert!(n.is_power_of_two(), "prefix_sum_exclusive needs a power-of-two length");
+    // Up-sweep.
+    let mut d = 1usize;
+    while d < n {
+        let stride = 2 * d;
+        let active = n / stride;
+        pram.step(active, move |pid, ctx| {
+            let left = base + pid * stride + d - 1;
+            let right = base + pid * stride + stride - 1;
+            let a = ctx.read(left);
+            let b = ctx.read(right);
+            ctx.write(right, a + b);
+        });
+        d = stride;
+    }
+    let total = pram.mem()[base + n - 1];
+    // Clear the root, then down-sweep.
+    pram.step(1, move |_pid, ctx| ctx.write(base + n - 1, 0));
+    let mut d = n / 2;
+    while d >= 1 {
+        let stride = 2 * d;
+        let active = n / stride;
+        pram.step(active, move |pid, ctx| {
+            let left = base + pid * stride + d - 1;
+            let right = base + pid * stride + stride - 1;
+            let a = ctx.read(left);
+            let b = ctx.read(right);
+            ctx.write(left, b);
+            ctx.write(right, a + b);
+        });
+        d /= 2;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_copies_value() {
+        let mut pram = Pram::new(AccessMode::CrcwArbitrary, 64);
+        pram.mem_mut()[0] = 99;
+        broadcast(&mut pram, 0, 8, 16);
+        assert!(pram.mem()[8..24].iter().all(|&v| v == 99));
+        assert_eq!(pram.time(), 2); // read + write counted as 2 ops in 1 step
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent reads")]
+    fn broadcast_rejected_on_erew() {
+        let mut pram = Pram::new(AccessMode::Erew, 8);
+        broadcast(&mut pram, 0, 1, 4);
+    }
+
+    #[test]
+    fn max_o1_faithful_finds_max() {
+        let mut pram = Pram::new(AccessMode::CrcwArbitrary, 64);
+        let vals: [Word; 8] = [3, 1, 4, 1, 5, 9, 2, 6];
+        pram.mem_mut()[0..8].copy_from_slice(&vals);
+        max_o1(&mut pram, 0, 8, 16, 32, Fidelity::Faithful);
+        assert_eq!(pram.mem()[32], 9);
+    }
+
+    #[test]
+    fn max_o1_faithful_handles_ties() {
+        let mut pram = Pram::new(AccessMode::CrcwArbitrary, 64);
+        pram.mem_mut()[0..4].copy_from_slice(&[7, 7, 7, 7]);
+        max_o1(&mut pram, 0, 4, 16, 32, Fidelity::Faithful);
+        assert_eq!(pram.mem()[32], 7);
+    }
+
+    #[test]
+    fn max_o1_charged_matches_faithful() {
+        let vals: [Word; 6] = [10, -3, 8, 22, 0, 22];
+        let mut a = Pram::new(AccessMode::CrcwArbitrary, 64);
+        a.mem_mut()[0..6].copy_from_slice(&vals);
+        max_o1(&mut a, 0, 6, 16, 40, Fidelity::Faithful);
+        let mut b = Pram::new(AccessMode::CrcwArbitrary, 64);
+        b.mem_mut()[0..6].copy_from_slice(&vals);
+        max_o1(&mut b, 0, 6, 16, 40, Fidelity::Charged);
+        assert_eq!(a.mem()[40], b.mem()[40]);
+        // Charged fidelity charges the same time shape (constant steps).
+        assert!(b.time() <= a.time() + 3);
+    }
+
+    #[test]
+    fn max_o1_single_element() {
+        let mut pram = Pram::new(AccessMode::CrcwArbitrary, 16);
+        pram.mem_mut()[0] = -5;
+        max_o1(&mut pram, 0, 1, 4, 8, Fidelity::Faithful);
+        assert_eq!(pram.mem()[8], -5);
+    }
+
+    #[test]
+    fn leftmost_nonzero_faithful() {
+        let mut pram = Pram::new(AccessMode::CrcwArbitrary, 256);
+        // 3 rows × 4 cols at base 0.
+        let rows = [
+            [0, 0, 5, 1], // leftmost nonzero at 2
+            [7, 0, 0, 0], // 0
+            [0, 0, 0, 0], // none → -1
+        ];
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                pram.mem_mut()[r * 4 + c] = v;
+            }
+        }
+        leftmost_nonzero_rows(&mut pram, 0, 3, 4, 64, 128, Fidelity::Faithful);
+        assert_eq!(&pram.mem()[128..131], &[2, 0, -1]);
+    }
+
+    #[test]
+    fn leftmost_nonzero_charged_matches_faithful() {
+        let mut rng_vals = vec![0i64; 32];
+        for (i, v) in rng_vals.iter_mut().enumerate() {
+            *v = if i % 3 == 0 { 0 } else { (i % 5) as Word };
+        }
+        let mut a = Pram::new(AccessMode::CrcwArbitrary, 1024);
+        let mut b = Pram::new(AccessMode::CrcwArbitrary, 1024);
+        a.mem_mut()[..32].copy_from_slice(&rng_vals);
+        b.mem_mut()[..32].copy_from_slice(&rng_vals);
+        leftmost_nonzero_rows(&mut a, 0, 4, 8, 256, 512, Fidelity::Faithful);
+        leftmost_nonzero_rows(&mut b, 0, 4, 8, 256, 512, Fidelity::Charged);
+        assert_eq!(&a.mem()[512..516], &b.mem()[512..516]);
+    }
+
+    #[test]
+    fn prefix_sum_exclusive_small() {
+        let mut pram = Pram::new(AccessMode::Erew, 8);
+        pram.mem_mut()[0..8].copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let total = prefix_sum_exclusive(&mut pram, 0, 8);
+        assert_eq!(total, 36);
+        assert_eq!(pram.mem(), &[0, 1, 3, 6, 10, 15, 21, 28]);
+    }
+
+    #[test]
+    fn prefix_sum_is_erew_legal() {
+        // The engine would have errored on any exclusivity violation; run a
+        // larger instance to exercise all sweep levels.
+        let n = 64;
+        let mut pram = Pram::new(AccessMode::Erew, n);
+        for i in 0..n {
+            pram.mem_mut()[i] = (i as Word) + 1;
+        }
+        let total = prefix_sum_exclusive(&mut pram, 0, n);
+        assert_eq!(total, (n * (n + 1) / 2) as Word);
+        for i in 0..n {
+            assert_eq!(pram.mem()[i], (i * (i + 1) / 2) as Word);
+        }
+        // O(lg n) steps: 2·lg n sweeps + 1 clear.
+        assert!(pram.steps() <= 2 * 6 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn prefix_sum_rejects_non_power_of_two() {
+        let mut pram = Pram::new(AccessMode::Erew, 6);
+        let _ = prefix_sum_exclusive(&mut pram, 0, 6);
+    }
+}

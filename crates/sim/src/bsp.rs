@@ -1,0 +1,495 @@
+//! The message-passing bulk-synchronous machine.
+//!
+//! A [`BspMachine`] holds `p` processor states. Each call to
+//! [`BspMachine::superstep`] runs a closure once per processor (in parallel
+//! with rayon), giving it the processor's inbox (messages sent to it in the
+//! previous superstep) and an [`Outbox`] for posting new messages.
+//!
+//! ## Injection slots
+//!
+//! The BSP(m) cost metric prices each *step* of a superstep by the number of
+//! messages injected machine-wide in that step (`m_t`). A processor may
+//! initiate at most one send per step. Programs targeting globally-limited
+//! models therefore control *when* within the superstep each message is
+//! injected, via [`Outbox::send_at`]. Messages posted with plain
+//! [`Outbox::send`] are auto-assigned the earliest free slots of their
+//! processor (the natural pipelined schedule). The engine validates the
+//! one-injection-per-processor-per-step rule and builds the machine-wide
+//! `m_t` histogram for the cost models.
+
+use crate::{Pid, SimError};
+use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
+use rayon::prelude::*;
+
+/// A message posted during a superstep: destination, payload, and the
+/// injection slot it occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Destination processor.
+    pub dest: Pid,
+    /// Payload.
+    pub payload: M,
+    /// Injection step within the superstep (`None` = auto-assign).
+    pub slot: Option<u64>,
+}
+
+/// Per-processor output buffer for one superstep.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    envelopes: Vec<Envelope<M>>,
+    work: u64,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Self { envelopes: Vec::new(), work: 0 }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Post a message with automatic (pipelined) slot assignment: the k-th
+    /// auto message of a processor is injected at the k-th step of the
+    /// superstep not claimed by an explicit send.
+    pub fn send(&mut self, dest: Pid, payload: M) {
+        self.envelopes.push(Envelope { dest, payload, slot: None });
+    }
+
+    /// Post a message pinned to injection step `slot` (0-based within the
+    /// superstep). Two pinned sends from the same processor must use
+    /// distinct slots.
+    pub fn send_at(&mut self, dest: Pid, payload: M, slot: u64) {
+        self.envelopes.push(Envelope { dest, payload, slot: Some(slot) });
+    }
+
+    /// Charge `w` units of local computation to this processor for this
+    /// superstep.
+    pub fn charge_work(&mut self, w: u64) {
+        self.work += w;
+    }
+
+    /// Number of messages posted so far.
+    pub fn len(&self) -> usize {
+        self.envelopes.len()
+    }
+
+    /// Whether any message has been posted.
+    pub fn is_empty(&self) -> bool {
+        self.envelopes.is_empty()
+    }
+}
+
+/// Report for one executed superstep.
+#[derive(Debug, Clone)]
+pub struct SuperstepReport {
+    /// The exact cost profile (price it with any `CostModel`).
+    pub profile: SuperstepProfile,
+    /// Number of messages delivered.
+    pub delivered: u64,
+}
+
+/// A simulated `p`-processor message-passing machine.
+///
+/// Type parameters: `S` is the per-processor local state, `M` the message
+/// payload type.
+///
+/// ```
+/// use pbw_models::{MachineParams, BspM, PenaltyFn, CostModel};
+/// use pbw_sim::BspMachine;
+///
+/// // A 4-processor ring rotation: every processor sends its id rightward.
+/// let mp = MachineParams::from_gap(4, 2, 2);
+/// let mut machine: BspMachine<u64, u64> = BspMachine::new(mp, |_| 0);
+/// machine.superstep(|pid, _state, _inbox, out| {
+///     out.send((pid + 1) % 4, pid as u64);
+/// });
+/// machine.superstep(|_pid, state, inbox, _out| {
+///     *state = inbox[0];
+/// });
+/// assert_eq!(machine.states(), &[3, 0, 1, 2]);
+///
+/// // The same run priced under the globally-limited metric:
+/// let model = BspM { m: mp.m, l: mp.l, penalty: PenaltyFn::Exponential };
+/// assert!(machine.cost(&model) >= 2.0); // two supersteps, cost ≥ L each
+/// ```
+pub struct BspMachine<S, M> {
+    params: MachineParams,
+    states: Vec<S>,
+    inboxes: Vec<Vec<M>>,
+    profiles: Vec<SuperstepProfile>,
+    superstep: usize,
+}
+
+impl<S: Send, M: Send> BspMachine<S, M> {
+    /// Create a machine with `params.p` processors, initializing processor
+    /// `i`'s state to `init(i)`.
+    pub fn new(params: MachineParams, init: impl FnMut(Pid) -> S) -> Self {
+        let states: Vec<S> = (0..params.p).map(init).collect();
+        let inboxes = (0..params.p).map(|_| Vec::new()).collect();
+        Self { params, states, inboxes, profiles: Vec::new(), superstep: 0 }
+    }
+
+    /// Machine parameters.
+    pub fn params(&self) -> MachineParams {
+        self.params
+    }
+
+    /// Index of the next superstep to execute (0-based).
+    pub fn superstep_index(&self) -> usize {
+        self.superstep
+    }
+
+    /// Immutable view of a processor's state.
+    pub fn state(&self, pid: Pid) -> &S {
+        &self.states[pid]
+    }
+
+    /// Immutable view of all processor states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of all processor states (for test setup and workload
+    /// injection between supersteps).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// The inbox a processor would see at the start of the next superstep.
+    pub fn pending_inbox(&self, pid: Pid) -> &[M] {
+        &self.inboxes[pid]
+    }
+
+    /// Profiles of all executed supersteps.
+    pub fn profiles(&self) -> &[SuperstepProfile] {
+        &self.profiles
+    }
+
+    /// Total run cost under any cost model: the sum over supersteps.
+    pub fn cost(&self, model: &dyn pbw_models::CostModel) -> f64 {
+        model.run_cost(&self.profiles)
+    }
+
+    /// Execute one superstep, panicking on model-rule violations.
+    ///
+    /// The closure is called once per processor with
+    /// `(pid, &mut state, inbox, &mut outbox)`; the inbox holds the messages
+    /// sent to `pid` during the previous superstep, in (source pid, send
+    /// order) order.
+    pub fn superstep<F>(&mut self, f: F) -> SuperstepReport
+    where
+        F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
+        M: Sync,
+        S: Sync,
+    {
+        self.try_superstep(f).unwrap_or_else(|e| panic!("superstep failed: {e}"))
+    }
+
+    /// Execute one superstep, returning model-rule violations as errors.
+    pub fn try_superstep<F>(&mut self, f: F) -> Result<SuperstepReport, SimError>
+    where
+        F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
+        M: Sync,
+        S: Sync,
+    {
+        let p = self.params.p;
+        // Replace with p fresh inboxes (not an empty Vec!) so the machine
+        // stays runnable even if this superstep is rejected below — a
+        // failed superstep loses its in-flight messages but nothing else.
+        let inboxes =
+            std::mem::replace(&mut self.inboxes, (0..p).map(|_| Vec::new()).collect());
+
+        // Run all processors in parallel; collect their outboxes.
+        let mut outboxes: Vec<Outbox<M>> = self
+            .states
+            .par_iter_mut()
+            .zip(inboxes.par_iter())
+            .enumerate()
+            .map(|(pid, (state, inbox))| {
+                let mut out = Outbox::default();
+                f(pid, state, inbox, &mut out);
+                out
+            })
+            .collect();
+
+        // Resolve injection slots per processor and validate the
+        // one-injection-per-step rule.
+        let mut builder = ProfileBuilder::new();
+        let mut recv_counts = vec![0u64; p];
+        let mut new_inboxes: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
+        let mut delivered = 0u64;
+
+        // First pass (parallel): per-processor slot resolution + validation.
+        let resolved: Result<Vec<Vec<u64>>, SimError> = outboxes
+            .par_iter()
+            .enumerate()
+            .map(|(pid, out)| resolve_slots(pid, p, &out.envelopes))
+            .collect();
+        let resolved = resolved?;
+
+        // Second pass (sequential, deterministic): accounting + delivery.
+        for (pid, out) in outboxes.iter_mut().enumerate() {
+            let slots = &resolved[pid];
+            builder.record_work(out.work);
+            builder.record_traffic(out.envelopes.len() as u64, 0);
+            for (env, &slot) in out.envelopes.drain(..).zip(slots.iter()) {
+                builder.record_injection(slot);
+                recv_counts[env.dest] += 1;
+                new_inboxes[env.dest].push(env.payload);
+                delivered += 1;
+            }
+        }
+        for &r in &recv_counts {
+            builder.record_traffic(0, r);
+        }
+
+        let profile = builder.build();
+        self.inboxes = new_inboxes;
+        self.profiles.push(profile.clone());
+        self.superstep += 1;
+        Ok(SuperstepReport { profile, delivered })
+    }
+
+    /// Run supersteps until `f` posts no messages anywhere (quiescence) or
+    /// `max_supersteps` is reached; returns the number of supersteps run.
+    pub fn run_to_quiescence<F>(&mut self, f: F, max_supersteps: usize) -> usize
+    where
+        F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
+        M: Sync,
+        S: Sync,
+    {
+        for i in 0..max_supersteps {
+            let report = self.superstep(&f);
+            if report.delivered == 0 {
+                return i + 1;
+            }
+        }
+        max_supersteps
+    }
+}
+
+/// Assign injection slots to a processor's envelopes: explicit slots are
+/// honoured; auto messages fill the earliest slots not explicitly claimed.
+/// Errors if two explicit sends collide or a destination is invalid.
+fn resolve_slots<M>(pid: Pid, p: usize, envelopes: &[Envelope<M>]) -> Result<Vec<u64>, SimError> {
+    use std::collections::BTreeSet;
+    let mut explicit: BTreeSet<u64> = BTreeSet::new();
+    for env in envelopes {
+        if env.dest >= p {
+            return Err(SimError::BadDestination { pid, dest: env.dest });
+        }
+        if let Some(s) = env.slot {
+            if !explicit.insert(s) {
+                return Err(SimError::DuplicateSlot { pid, slot: s });
+            }
+        }
+    }
+    let mut next_auto = 0u64;
+    let mut out = Vec::with_capacity(envelopes.len());
+    for env in envelopes {
+        match env.slot {
+            Some(s) => out.push(s),
+            None => {
+                while explicit.contains(&next_auto) {
+                    next_auto += 1;
+                }
+                out.push(next_auto);
+                next_auto += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbw_models::{BspG, BspM, PenaltyFn};
+
+    fn params(p: usize) -> MachineParams {
+        MachineParams::from_gap(p, 4, 8)
+    }
+
+    #[test]
+    fn messages_arrive_next_superstep() {
+        let mut m: BspMachine<u64, u64> = BspMachine::new(params(4), |_| 0);
+        m.superstep(|pid, _s, inbox, out| {
+            assert!(inbox.is_empty());
+            out.send((pid + 1) % 4, pid as u64 * 10);
+        });
+        m.superstep(|pid, s, inbox, _out| {
+            assert_eq!(inbox.len(), 1);
+            *s = inbox[0];
+            assert_eq!(inbox[0], (((pid + 3) % 4) as u64) * 10);
+        });
+        assert_eq!(m.states(), &[30, 0, 10, 20]);
+    }
+
+    #[test]
+    fn auto_slots_are_pipelined() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                for _ in 0..5 {
+                    out.send(1, 0);
+                }
+            }
+        });
+        // Processor 0 injected 1 message at each of steps 0..5.
+        assert_eq!(m.profiles()[0].injections, vec![1, 1, 1, 1, 1]);
+        assert_eq!(m.profiles()[0].max_sent, 5);
+        assert_eq!(m.profiles()[0].max_received, 5);
+    }
+
+    #[test]
+    fn explicit_slots_build_histogram() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.superstep(|pid, _s, _in, out| {
+            // All four processors inject at slot 7.
+            out.send_at((pid + 1) % 4, 1, 7);
+        });
+        let prof = &m.profiles()[0];
+        assert_eq!(prof.injections.len(), 8);
+        assert_eq!(prof.injections[7], 4);
+        assert_eq!(prof.total_messages, 4);
+    }
+
+    #[test]
+    fn auto_slots_avoid_explicit_ones() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                out.send_at(1, 9, 0); // claims slot 0
+                out.send(1, 9); // must land on slot 1
+                out.send_at(1, 9, 2); // claims slot 2
+                out.send(1, 9); // must land on slot 3
+            }
+        });
+        assert_eq!(m.profiles()[0].injections, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_slot_rejected() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        let err = m
+            .try_superstep(|pid, _s, _in, out| {
+                if pid == 2 {
+                    out.send_at(0, 1, 5);
+                    out.send_at(1, 1, 5);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::DuplicateSlot { pid: 2, slot: 5 });
+    }
+
+    #[test]
+    fn bad_destination_rejected() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        let err = m
+            .try_superstep(|pid, _s, _in, out| {
+                if pid == 0 {
+                    out.send(99, 1);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::BadDestination { pid: 0, dest: 99 });
+    }
+
+    #[test]
+    fn delivery_order_is_source_then_send_order() {
+        let mut m: BspMachine<Vec<u64>, u64> = BspMachine::new(params(4), |_| Vec::new());
+        m.superstep(|pid, _s, _in, out| {
+            // Everyone sends two tagged messages to processor 0.
+            out.send(0, (pid as u64) * 10);
+            out.send(0, (pid as u64) * 10 + 1);
+        });
+        m.superstep(|pid, s, inbox, _out| {
+            if pid == 0 {
+                *s = inbox.to_vec();
+            }
+        });
+        assert_eq!(m.state(0), &vec![0, 1, 10, 11, 20, 21, 30, 31]);
+    }
+
+    #[test]
+    fn work_is_charged() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.superstep(|pid, _s, _in, out| {
+            out.charge_work(pid as u64 * 100);
+        });
+        assert_eq!(m.profiles()[0].max_work, 300);
+    }
+
+    #[test]
+    fn costs_price_the_same_run_differently() {
+        // One hot sender: proc 0 sends 16 messages, spread over 16 slots.
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(16), |_| ());
+        m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                for k in 0..16u64 {
+                    out.send_at(((k % 15) + 1) as usize, 0, k);
+                }
+            }
+        });
+        let bsp_g = BspG { g: 4, l: 8 };
+        let bsp_m = BspM { m: 4, l: 8, penalty: PenaltyFn::Exponential };
+        // BSP(g): h = 16, cost = 4·16 = 64. BSP(m): c_m = 16 (one msg per
+        // slot), h = 16, L = 8 → 16.
+        assert_eq!(m.cost(&bsp_g), 64.0);
+        assert_eq!(m.cost(&bsp_m), 16.0);
+    }
+
+    #[test]
+    fn non_receipt_is_observable() {
+        // Proc 0 sends to 1 iff its "bit" is set; proc 1 branches on empty
+        // inbox — the Section 4.2 primitive.
+        for bit in [false, true] {
+            let mut m: BspMachine<bool, ()> = BspMachine::new(params(4), |_| false);
+            m.superstep(|pid, _s, _in, out| {
+                if pid == 0 && bit {
+                    out.send(1, ());
+                }
+            });
+            m.superstep(|pid, s, inbox, _out| {
+                if pid == 1 {
+                    *s = !inbox.is_empty();
+                }
+            });
+            assert_eq!(*m.state(1), bit);
+        }
+    }
+
+    #[test]
+    fn run_to_quiescence_stops() {
+        // A token passes 0→1→2→3 then stops.
+        let mut m: BspMachine<bool, ()> = BspMachine::new(params(4), |pid| pid == 0);
+        let steps = m.run_to_quiescence(
+            |pid, has, inbox, out| {
+                if !inbox.is_empty() {
+                    *has = true;
+                }
+                if *has && pid < 3 {
+                    out.send(pid + 1, ());
+                    *has = false;
+                }
+            },
+            100,
+        );
+        assert!(steps <= 5, "steps={steps}");
+        assert!(*m.state(3));
+    }
+
+    #[test]
+    fn profiles_accumulate_per_superstep() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        for _ in 0..3 {
+            m.superstep(|pid, _s, _in, out| {
+                out.send((pid + 1) % 4, 0);
+            });
+        }
+        assert_eq!(m.profiles().len(), 3);
+        assert_eq!(m.superstep_index(), 3);
+        for prof in m.profiles() {
+            assert_eq!(prof.total_messages, 4);
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! The shared-memory bulk-synchronous machine (QSM style).
+//!
+//! A [`QsmMachine`] holds `p` processor states plus a shared memory of
+//! [`Word`]s. Each [`QsmMachine::phase`] runs a closure once per processor;
+//! the closure receives the *values returned by the reads it issued in the
+//! previous phase* (QSM semantics: "the value returned by a shared-memory
+//! read can only be used in a subsequent phase") and posts new read/write
+//! requests to a [`QsmCtx`].
+//!
+//! Model rules enforced by the engine:
+//!
+//! * Concurrent reads or concurrent writes to a location within a phase are
+//!   allowed; a mix of both on one location is an error
+//!   ([`SimError::ReadWriteConflict`]).
+//! * Multiple writers to one location are resolved arbitrarily; for
+//!   reproducibility this engine deterministically lets the *lowest
+//!   processor id* win (a valid instance of the Arbitrary rule).
+//! * The maximum location contention `κ` and the per-step request-injection
+//!   histogram `m_t` (for the QSM(m) cost metric) are metered exactly. As in
+//!   the BSP engine, requests may be pinned to explicit injection slots via
+//!   [`QsmCtx::read_at`] / [`QsmCtx::write_at`]; unpinned requests pipeline
+//!   into the earliest free slots.
+
+use crate::{Pid, SimError};
+use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+
+/// A shared-memory word. The paper's Section 5 bounds are sensitive to the
+/// word width `w`; 64-bit words match the `w = Θ(lg p)` regime.
+pub type Word = i64;
+
+/// Shared-memory address.
+pub type Addr = usize;
+
+/// The value delivered to a processor for one read it issued last phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Address that was read.
+    pub addr: Addr,
+    /// Value the location held during the read phase.
+    pub value: Word,
+}
+
+#[derive(Debug, Clone)]
+enum Request {
+    Read { addr: Addr, slot: Option<u64> },
+    Write { addr: Addr, value: Word, slot: Option<u64> },
+}
+
+/// Per-processor request buffer for one QSM phase.
+#[derive(Debug, Default)]
+pub struct QsmCtx {
+    requests: Vec<Request>,
+    work: u64,
+}
+
+impl QsmCtx {
+    /// Issue a shared-memory read; the value arrives next phase, pipelined
+    /// into the earliest free injection slot.
+    pub fn read(&mut self, addr: Addr) {
+        self.requests.push(Request::Read { addr, slot: None });
+    }
+
+    /// Issue a read pinned to injection step `slot`.
+    pub fn read_at(&mut self, addr: Addr, slot: u64) {
+        self.requests.push(Request::Read { addr, slot: Some(slot) });
+    }
+
+    /// Issue a shared-memory write, pipelined.
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        self.requests.push(Request::Write { addr, value, slot: None });
+    }
+
+    /// Issue a write pinned to injection step `slot`.
+    pub fn write_at(&mut self, addr: Addr, value: Word, slot: u64) {
+        self.requests.push(Request::Write { addr, value, slot: Some(slot) });
+    }
+
+    /// Charge `w` units of local computation.
+    pub fn charge_work(&mut self, w: u64) {
+        self.work += w;
+    }
+
+    fn counts(&self) -> (u64, u64) {
+        let mut r = 0;
+        let mut w = 0;
+        for req in &self.requests {
+            match req {
+                Request::Read { .. } => r += 1,
+                Request::Write { .. } => w += 1,
+            }
+        }
+        (r, w)
+    }
+}
+
+/// Report for one executed QSM phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Exact cost profile of the phase.
+    pub profile: SuperstepProfile,
+    /// Number of read requests served.
+    pub reads: u64,
+    /// Number of write requests applied (post-arbitration writes count once
+    /// per request, not per surviving value).
+    pub writes: u64,
+}
+
+/// A simulated `p`-processor QSM machine with `size` shared-memory words.
+///
+/// ```
+/// use pbw_models::MachineParams;
+/// use pbw_sim::QsmMachine;
+///
+/// let mp = MachineParams::from_gap(4, 2, 2);
+/// let mut qsm: QsmMachine<i64> = QsmMachine::new(mp, 8, |_| 0);
+/// // Phase 1: everyone writes its own cell (exclusive, κ = 1)…
+/// qsm.phase(|pid, _s, _res, ctx| ctx.write(pid, 10 * pid as i64));
+/// // Phase 2: …then reads its neighbour's; values arrive next phase.
+/// qsm.phase(|pid, _s, _res, ctx| ctx.read((pid + 1) % 4));
+/// qsm.phase(|_pid, s, res, _ctx| *s = res[0].value);
+/// assert_eq!(qsm.states(), &[10, 20, 30, 0]);
+/// assert_eq!(qsm.profiles()[0].max_contention, 1);
+/// ```
+pub struct QsmMachine<S> {
+    params: MachineParams,
+    shared: Vec<Word>,
+    states: Vec<S>,
+    read_results: Vec<Vec<ReadResult>>,
+    profiles: Vec<SuperstepProfile>,
+    phase: usize,
+}
+
+impl<S: Send + Sync> QsmMachine<S> {
+    /// Create a machine with `params.p` processors and `size` words of
+    /// shared memory (zero-initialized).
+    pub fn new(params: MachineParams, size: usize, init: impl FnMut(Pid) -> S) -> Self {
+        let states: Vec<S> = (0..params.p).map(init).collect();
+        let read_results = (0..params.p).map(|_| Vec::new()).collect();
+        Self {
+            params,
+            shared: vec![0; size],
+            states,
+            read_results,
+            profiles: Vec::new(),
+            phase: 0,
+        }
+    }
+
+    /// Machine parameters.
+    pub fn params(&self) -> MachineParams {
+        self.params
+    }
+
+    /// The shared memory (for test setup and result extraction — reading it
+    /// directly is free and does not perturb cost accounting).
+    pub fn shared(&self) -> &[Word] {
+        &self.shared
+    }
+
+    /// Mutable shared memory (setup only).
+    pub fn shared_mut(&mut self) -> &mut [Word] {
+        &mut self.shared
+    }
+
+    /// Processor states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable processor states (setup only).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// One processor's state.
+    pub fn state(&self, pid: Pid) -> &S {
+        &self.states[pid]
+    }
+
+    /// Profiles of all executed phases.
+    pub fn profiles(&self) -> &[SuperstepProfile] {
+        &self.profiles
+    }
+
+    /// Number of phases executed.
+    pub fn phase_index(&self) -> usize {
+        self.phase
+    }
+
+    /// Total run cost under any cost model.
+    pub fn cost(&self, model: &dyn pbw_models::CostModel) -> f64 {
+        model.run_cost(&self.profiles)
+    }
+
+    /// Execute one phase, panicking on model-rule violations.
+    pub fn phase<F>(&mut self, f: F) -> PhaseReport
+    where
+        F: Fn(Pid, &mut S, &[ReadResult], &mut QsmCtx) + Sync,
+    {
+        self.try_phase(f).unwrap_or_else(|e| panic!("QSM phase failed: {e}"))
+    }
+
+    /// Execute one phase, returning model-rule violations as errors.
+    pub fn try_phase<F>(&mut self, f: F) -> Result<PhaseReport, SimError>
+    where
+        F: Fn(Pid, &mut S, &[ReadResult], &mut QsmCtx) + Sync,
+    {
+        let p = self.params.p;
+        let size = self.shared.len();
+        let prev_results = std::mem::replace(
+            &mut self.read_results,
+            (0..p).map(|_| Vec::new()).collect(),
+        );
+
+        // Run all processors in parallel.
+        let ctxs: Vec<QsmCtx> = self
+            .states
+            .par_iter_mut()
+            .zip(prev_results.par_iter())
+            .enumerate()
+            .map(|(pid, (state, results))| {
+                let mut ctx = QsmCtx::default();
+                f(pid, state, results, &mut ctx);
+                ctx
+            })
+            .collect();
+
+        // Validate addresses and resolve per-processor injection slots.
+        for ctx in &ctxs {
+            for req in &ctx.requests {
+                let addr = match req {
+                    Request::Read { addr, .. } | Request::Write { addr, .. } => *addr,
+                };
+                if addr >= size {
+                    return Err(SimError::BadAddress { addr, size });
+                }
+            }
+        }
+        let resolved: Result<Vec<Vec<u64>>, SimError> = ctxs
+            .par_iter()
+            .enumerate()
+            .map(|(pid, ctx)| {
+                let slots: Vec<Option<u64>> = ctx
+                    .requests
+                    .iter()
+                    .map(|r| match r {
+                        Request::Read { slot, .. } | Request::Write { slot, .. } => *slot,
+                    })
+                    .collect();
+                assign_slots(pid, &slots)
+            })
+            .collect();
+        let resolved = resolved?;
+
+        // Contention audit: readers and writers per location.
+        let mut readers = vec![0u64; size];
+        let mut writers = vec![0u64; size];
+        // Tracks which addresses each processor touched, to count per-proc
+        // distinct access contention correctly: the paper counts processors
+        // per location.
+        for ctx in &ctxs {
+            let mut seen_r: BTreeSet<Addr> = BTreeSet::new();
+            let mut seen_w: BTreeSet<Addr> = BTreeSet::new();
+            for req in &ctx.requests {
+                match req {
+                    Request::Read { addr, .. } => {
+                        if seen_r.insert(*addr) {
+                            readers[*addr] += 1;
+                        }
+                    }
+                    Request::Write { addr, .. } => {
+                        if seen_w.insert(*addr) {
+                            writers[*addr] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut builder = ProfileBuilder::new();
+        for addr in 0..size {
+            if readers[addr] > 0 && writers[addr] > 0 {
+                return Err(SimError::ReadWriteConflict { addr });
+            }
+            let kappa = readers[addr].max(writers[addr]);
+            if kappa > 0 {
+                builder.record_contention(kappa);
+            }
+        }
+
+        // Serve reads against the pre-phase memory; collect writes.
+        let mut total_reads = 0u64;
+        let mut total_writes = 0u64;
+        // (addr, pid, value): min-pid arbitration per address.
+        let mut pending_writes: Vec<(Addr, Pid, Word)> = Vec::new();
+        for (pid, ctx) in ctxs.iter().enumerate() {
+            let (r_i, w_i) = ctx.counts();
+            builder.record_memory_ops(r_i, w_i);
+            builder.record_work(ctx.work);
+            for (req, &slot) in ctx.requests.iter().zip(resolved[pid].iter()) {
+                builder.record_injection(slot);
+                match req {
+                    Request::Read { addr, .. } => {
+                        self.read_results[pid]
+                            .push(ReadResult { addr: *addr, value: self.shared[*addr] });
+                        total_reads += 1;
+                    }
+                    Request::Write { addr, value, .. } => {
+                        pending_writes.push((*addr, pid, *value));
+                        total_writes += 1;
+                    }
+                }
+            }
+        }
+
+        // Arbitrary-rule write resolution: deterministic min-pid winner.
+        // Sort by (addr, pid) and keep the first writer per address.
+        pending_writes.sort_unstable_by_key(|&(addr, pid, _)| (addr, pid));
+        let mut last_addr = usize::MAX;
+        for (addr, _pid, value) in pending_writes {
+            if addr != last_addr {
+                self.shared[addr] = value;
+                last_addr = addr;
+            }
+        }
+
+        let profile = builder.build();
+        self.profiles.push(profile.clone());
+        self.phase += 1;
+        Ok(PhaseReport { profile, reads: total_reads, writes: total_writes })
+    }
+}
+
+/// Assign injection slots: explicit slots honoured, autos fill earliest free.
+fn assign_slots(pid: Pid, slots: &[Option<u64>]) -> Result<Vec<u64>, SimError> {
+    let mut explicit: BTreeSet<u64> = BTreeSet::new();
+    for s in slots.iter().flatten() {
+        if !explicit.insert(*s) {
+            return Err(SimError::DuplicateSlot { pid, slot: *s });
+        }
+    }
+    let mut next_auto = 0u64;
+    let mut out = Vec::with_capacity(slots.len());
+    for s in slots {
+        match s {
+            Some(v) => out.push(*v),
+            None => {
+                while explicit.contains(&next_auto) {
+                    next_auto += 1;
+                }
+                out.push(next_auto);
+                next_auto += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbw_models::{PenaltyFn, QsmG, QsmM};
+
+    fn params(p: usize) -> MachineParams {
+        MachineParams::from_gap(p, 4, 8)
+    }
+
+    #[test]
+    fn read_values_arrive_next_phase() {
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(4), 16, |_| -1);
+        m.shared_mut()[3] = 42;
+        m.phase(|_pid, _s, _res, ctx| ctx.read(3));
+        m.phase(|_pid, s, res, _ctx| {
+            assert_eq!(res.len(), 1);
+            assert_eq!(res[0], ReadResult { addr: 3, value: 42 });
+            *s = res[0].value;
+        });
+        assert_eq!(m.states(), &[42, 42, 42, 42]);
+    }
+
+    #[test]
+    fn concurrent_reads_meter_contention() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        m.phase(|_pid, _s, _res, ctx| ctx.read(0));
+        assert_eq!(m.profiles()[0].max_contention, 4);
+    }
+
+    #[test]
+    fn exclusive_reads_have_unit_contention() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        m.phase(|pid, _s, _res, ctx| ctx.read(pid));
+        assert_eq!(m.profiles()[0].max_contention, 1);
+    }
+
+    #[test]
+    fn min_pid_wins_concurrent_write() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        m.phase(|pid, _s, _res, ctx| ctx.write(5, pid as Word + 100));
+        assert_eq!(m.shared()[5], 100);
+        assert_eq!(m.profiles()[0].max_contention, 4);
+    }
+
+    #[test]
+    fn read_write_conflict_rejected() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        let err = m
+            .try_phase(|pid, _s, _res, ctx| {
+                if pid == 0 {
+                    ctx.read(2);
+                } else {
+                    ctx.write(2, 9);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::ReadWriteConflict { addr: 2 });
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        let err = m.try_phase(|_pid, _s, _res, ctx| ctx.read(8)).unwrap_err();
+        assert_eq!(err, SimError::BadAddress { addr: 8, size: 8 });
+    }
+
+    #[test]
+    fn reads_see_pre_phase_values() {
+        // Reads and writes in the same phase must touch different locations;
+        // a read concurrent with a write to a *different* location sees the
+        // old value of its own location trivially. Check sequencing across
+        // phases instead: a write in phase 1 is visible to a phase-2 read.
+        let mut m: QsmMachine<Word> = QsmMachine::new(MachineParams::from_gap(2, 2, 8), 4, |_| 0);
+        m.phase(|pid, _s, _res, ctx| {
+            if pid == 0 {
+                ctx.write(1, 7);
+            }
+        });
+        m.phase(|pid, _s, _res, ctx| {
+            if pid == 1 {
+                ctx.read(1);
+            }
+        });
+        m.phase(|pid, s, res, _ctx| {
+            if pid == 1 {
+                *s = res[0].value;
+            }
+        });
+        assert_eq!(*m.state(1), 7);
+    }
+
+    #[test]
+    fn qsm_g_prices_pipelined_requests() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 64, |_| ());
+        m.phase(|pid, _s, _res, ctx| {
+            for k in 0..6 {
+                ctx.read(pid * 6 + k);
+            }
+        });
+        // h = 6, g = 4 → phase cost 24 under QSM(g), κ = 1.
+        let qsm_g = QsmG { g: 4 };
+        assert_eq!(m.cost(&qsm_g), 24.0);
+        // QSM(m) with m = 1: injections are 4 per step for 6 steps →
+        // c_m = Σ f(4) with m=1 exp = 6·e^3.
+        let qsm_m = QsmM { m: 1, penalty: PenaltyFn::Exponential };
+        let expect = 6.0 * (3.0f64).exp();
+        assert!((m.cost(&qsm_m) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_slots_stagger_requests() {
+        let p = 8;
+        let mut m: QsmMachine<()> = QsmMachine::new(params(p), 64, |_| ());
+        // Stagger: processor i injects its single read at slot i — never more
+        // than 1 request per machine step.
+        m.phase(|pid, _s, _res, ctx| ctx.read_at(pid, pid as u64));
+        let prof = &m.profiles()[0];
+        assert_eq!(prof.injections, vec![1; p]);
+        let qsm_m = QsmM { m: 1, penalty: PenaltyFn::Exponential };
+        assert_eq!(m.cost(&qsm_m), 8.0); // c_m = 8 slots · charge 1
+    }
+
+    #[test]
+    fn duplicate_slot_rejected() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        let err = m
+            .try_phase(|pid, _s, _res, ctx| {
+                if pid == 1 {
+                    ctx.read_at(0, 3);
+                    ctx.write_at(1, 5, 3);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::DuplicateSlot { pid: 1, slot: 3 });
+    }
+
+    #[test]
+    fn repeat_read_same_location_counts_once_for_contention() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        m.phase(|pid, _s, _res, ctx| {
+            if pid == 0 {
+                ctx.read(0);
+                ctx.read(0);
+            }
+        });
+        // One processor reading a location twice is contention 1 (paper
+        // counts processors), though h = 2.
+        assert_eq!(m.profiles()[0].max_contention, 1);
+        assert_eq!(m.profiles()[0].max_reads, 2);
+    }
+
+    #[test]
+    fn work_charges_take_max() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        m.phase(|pid, _s, _res, ctx| ctx.charge_work(pid as u64));
+        assert_eq!(m.profiles()[0].max_work, 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Reproducible per-processor randomness.
+//!
+//! The paper's algorithms are randomized; reproducing their w.h.p. bounds in
+//! tests requires deterministic replay. Superstep closures execute on rayon
+//! worker threads in nondeterministic order, so a shared RNG would destroy
+//! reproducibility. Instead, every (seed, processor, superstep) triple maps
+//! to an independent ChaCha8 stream.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic RNG for processor `pid`, derived from a global `seed`.
+///
+/// Distinct `pid`s get statistically independent streams; the same
+/// `(seed, pid)` always yields the same stream regardless of thread
+/// scheduling.
+pub fn proc_rng(seed: u64, pid: usize) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_stream(pid as u64);
+    rng
+}
+
+/// A deterministic RNG for processor `pid` *within superstep `step`*: use
+/// when a processor draws fresh randomness each superstep and the closure
+/// cannot carry RNG state across supersteps.
+pub fn proc_step_rng(seed: u64, pid: usize, step: usize) -> ChaCha8Rng {
+    // Mix the superstep into the seed with splitmix64-style finalization so
+    // neighbouring (pid, step) pairs decorrelate.
+    let mut z = seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let mut rng = ChaCha8Rng::seed_from_u64(z);
+    rng.set_stream(pid as u64);
+    rng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_pid_same_stream() {
+        let mut a = proc_rng(7, 3);
+        let mut b = proc_rng(7, 3);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_pids_different_streams() {
+        let mut a = proc_rng(7, 3);
+        let mut b = proc_rng(7, 4);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = proc_rng(1, 0);
+        let mut b = proc_rng(2, 0);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn step_rng_varies_by_step() {
+        let mut a = proc_step_rng(9, 5, 0);
+        let mut b = proc_step_rng(9, 5, 1);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn step_rng_reproducible() {
+        let mut a = proc_step_rng(9, 5, 2);
+        let mut b = proc_step_rng(9, 5, 2);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

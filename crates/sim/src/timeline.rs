@@ -1,0 +1,142 @@
+//! Bandwidth-utilization timelines.
+//!
+//! The globally-limited models are all about *when* messages enter the
+//! network; a profile's injection histogram is therefore the most
+//! informative artifact a run produces. This module renders it:
+//! per-step load as a braille-free ASCII strip with the `m` threshold
+//! marked, plus summary statistics (utilization, overload mass). Used by
+//! the examples and handy when debugging a scheduler whose exponential
+//! penalty fires unexpectedly.
+
+use pbw_models::SuperstepProfile;
+
+/// Utilization statistics of one superstep's injection schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Number of steps spanned.
+    pub steps: usize,
+    /// Mean load per step.
+    pub mean_load: f64,
+    /// Peak load.
+    pub peak_load: u64,
+    /// Fraction of the aggregate capacity `m·steps` actually used.
+    pub utilization: f64,
+    /// Fraction of messages injected in steps whose load exceeded `m`.
+    pub overload_mass: f64,
+}
+
+/// Compute utilization statistics for a profile under bandwidth `m`.
+pub fn utilization(profile: &SuperstepProfile, m: usize) -> Utilization {
+    let steps = profile.injections.len();
+    let total: u64 = profile.injections.iter().sum();
+    let peak = profile.injections.iter().copied().max().unwrap_or(0);
+    let overloaded: u64 = profile
+        .injections
+        .iter()
+        .filter(|&&l| l > m as u64)
+        .sum();
+    Utilization {
+        steps,
+        mean_load: if steps == 0 { 0.0 } else { total as f64 / steps as f64 },
+        peak_load: peak,
+        utilization: if steps == 0 {
+            0.0
+        } else {
+            total as f64 / (m as f64 * steps as f64)
+        },
+        overload_mass: if total == 0 { 0.0 } else { overloaded as f64 / total as f64 },
+    }
+}
+
+/// Render the injection histogram as an ASCII strip of `width` buckets.
+/// Each bucket shows the mean load of its step range, scaled so that the
+/// `m` threshold sits at the marked level: `.` ≤ ¼m, `-` ≤ ½m, `=` ≤ ¾m,
+/// `#` ≤ m, `!` > m (overload).
+pub fn render_strip(profile: &SuperstepProfile, m: usize, width: usize) -> String {
+    assert!(width > 0);
+    let n = profile.injections.len();
+    if n == 0 {
+        return String::new();
+    }
+    let bucket = n.div_ceil(width);
+    let mut out = String::new();
+    for chunk in profile.injections.chunks(bucket) {
+        let mean = chunk.iter().sum::<u64>() as f64 / chunk.len() as f64;
+        let c = if mean > m as f64 {
+            '!'
+        } else if mean > 0.75 * m as f64 {
+            '#'
+        } else if mean > 0.5 * m as f64 {
+            '='
+        } else if mean > 0.25 * m as f64 {
+            '-'
+        } else if mean > 0.0 {
+            '.'
+        } else {
+            ' '
+        };
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbw_models::ProfileBuilder;
+
+    fn profile(loads: &[u64]) -> SuperstepProfile {
+        let mut b = ProfileBuilder::new();
+        for (t, &l) in loads.iter().enumerate() {
+            if l > 0 {
+                b.record_injections(t as u64, l);
+            } else {
+                b.record_injections(t as u64, 0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn utilization_stats() {
+        let p = profile(&[8, 8, 0, 16]);
+        let u = utilization(&p, 8);
+        assert_eq!(u.steps, 4);
+        assert_eq!(u.peak_load, 16);
+        assert!((u.mean_load - 8.0).abs() < 1e-12);
+        assert!((u.utilization - 1.0).abs() < 1e-12);
+        assert!((u.overload_mass - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let u = utilization(&SuperstepProfile::default(), 8);
+        assert_eq!(u.steps, 0);
+        assert_eq!(u.utilization, 0.0);
+    }
+
+    #[test]
+    fn strip_levels() {
+        let p = profile(&[0, 1, 3, 5, 7, 12]);
+        let s = render_strip(&p, 8, 6);
+        assert_eq!(s, " .-=#!");
+    }
+
+    #[test]
+    fn strip_buckets_average() {
+        // 100 steps of load 8 (= m) in 10 buckets: all '#'.
+        let loads = vec![8u64; 100];
+        let p = profile(&loads);
+        let s = render_strip(&p, 8, 10);
+        assert_eq!(s, "##########");
+    }
+
+    #[test]
+    fn strip_marks_overload() {
+        let mut loads = vec![4u64; 50];
+        loads.extend(vec![40u64; 50]);
+        let p = profile(&loads);
+        let s = render_strip(&p, 8, 2);
+        assert_eq!(s, "-!");
+    }
+}

@@ -1,0 +1,70 @@
+//! Broadcast three ways (Section 4.2).
+//!
+//! Broadcasting one bit on a BSP(g) machine looks trivial — until you
+//! notice the model lets a processor learn from a message it *didn't*
+//! receive. This example runs, on the same machine:
+//!
+//! * the fan-out-⌈L/g⌉ tree (the classic optimal receive-only broadcast,
+//!   Θ(L·lg p / lg(L/g))),
+//! * the §4.2 ternary protocol that encodes the bit in *where* a message
+//!   goes, informing three processors per round with one message:
+//!   g·⌈lg₃ p⌉ when L ≤ g,
+//! * and, for contrast, the globally-limited BSP(m) and QSM(m) broadcasts.
+//!
+//! Run with: `cargo run --release --example broadcast_tricks`
+
+use parallel_bandwidth::algos::broadcast;
+use parallel_bandwidth::models::{bounds, MachineParams};
+
+fn main() {
+    let p = 2048;
+    let g = 32u64;
+    let l = 16u64; // L ≤ g: the non-receipt regime
+    let mp = MachineParams::from_gap(p, g, l);
+    println!("machine: p = {p}, g = {g}, m = {}, L = {l}\n", mp.m);
+
+    let tree = broadcast::bsp_g(mp);
+    assert!(tree.ok);
+    println!(
+        "BSP(g) fan-out tree:        time {:>8.0}  ({} rounds; Θ(L·lg p/lg(L/g)) ≈ {:.0})",
+        tree.time,
+        tree.rounds,
+        bounds::broadcast_bsp_g(p, g, l)
+    );
+
+    for bit in [false, true] {
+        let tern = broadcast::ternary_nonreceipt(mp, bit);
+        assert!(tern.ok, "every processor decoded bit={bit}");
+        println!(
+            "BSP(g) ternary, bit={}:  time {:>8.0}  ({} rounds of h = 1: g·⌈lg₃p⌉+L = {:.0})",
+            bit as u8,
+            tern.time,
+            tern.rounds,
+            bounds::broadcast_ternary_bsp_g(p, g) + l as f64,
+        );
+    }
+    println!(
+        "\nThm 4.1 lower bound for ANY deterministic BSP(g) broadcast: {:.0}",
+        bounds::broadcast_bsp_g_lower(p, g, l)
+    );
+
+    let bm = broadcast::bsp_m(mp);
+    let qm = broadcast::qsm_m(mp);
+    assert!(bm.ok && qm.ok);
+    println!("\nwith the same aggregate bandwidth but a *global* limit:");
+    println!(
+        "BSP(m) leader tree + fan-out: time {:>6.0}  (O(L·lg m/lg L + p/m + L) ≈ {:.0})",
+        bm.time,
+        bounds::broadcast_bsp_m(p, mp.m, l)
+    );
+    println!(
+        "QSM(m) doubling + strided:    time {:>6.0}  (Θ(lg m + p/m) ≈ {:.0})",
+        qm.time,
+        bounds::broadcast_qsm_m(p, mp.m)
+    );
+    println!(
+        "\nTable 1's broadcast separation Θ(lg p / lg g) = {:.1} shows up as {:.1}x here.",
+        pbw_models::lg(p as f64) / pbw_models::lg(g as f64),
+        tree.time / bm.time
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: one skewed h-relation, four prices.
+//!
+//! Builds a 512-processor machine with aggregate bandwidth m = 32
+//! (equivalently, per-processor gap g = 16), throws a single-hot-sender
+//! workload at it, and shows the paper's two headline effects:
+//!
+//! 1. the *same* communication costs Θ(g) more under a local bandwidth
+//!    restriction than under a global one, and
+//! 2. under the global restriction with an exponential overload penalty,
+//!    *scheduling matters*: Unbalanced-Send lands within (1+ε) of the
+//!    offline optimum while the oblivious schedule is penalized
+//!    exponentially.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parallel_bandwidth::models::{bounds, MachineParams, PenaltyFn};
+use parallel_bandwidth::sched::exec::run_schedule_on_bsp;
+use parallel_bandwidth::sim::timeline;
+use parallel_bandwidth::sched::schedulers::{
+    EagerSend, OfflineOptimal, Scheduler, UnbalancedSend,
+};
+use parallel_bandwidth::sched::{evaluate_schedule, workload};
+
+fn main() {
+    let mp = MachineParams::from_bandwidth(512, 32, 16);
+    println!("machine: p = {}, m = {}, g = {}, L = {}", mp.p, mp.m, mp.g, mp.l);
+
+    // Processor 0 has 8192 messages to send (e.g. a skewed join output);
+    // everyone else has 8.
+    let wl = workload::single_hot_sender(mp.p, 8192, 8, 0xC0FFEE);
+    println!(
+        "workload: n = {} messages, h = {}, imbalance h/(n/p) = {:.1}",
+        wl.n_flits(),
+        wl.h(),
+        wl.imbalance()
+    );
+    println!(
+        "lower bounds: local g(x̄+ȳ)+L = {:.0}, global max(n/m, h) = {:.0}\n",
+        bounds::routing_bsp_g(wl.xbar(), wl.ybar(), mp.g, mp.l),
+        bounds::routing_global_lower(wl.n_flits(), mp.m, wl.xbar(), wl.ybar()),
+    );
+
+    for (name, schedule) in [
+        ("Unbalanced-Send (Thm 6.2)", UnbalancedSend::new(0.2).schedule(&wl, mp.m, 42)),
+        ("offline optimal", OfflineOptimal.schedule(&wl, mp.m, 0)),
+        ("eager (oblivious)", EagerSend.schedule(&wl, mp.m, 0)),
+    ] {
+        // Analytic pricing...
+        let cost = evaluate_schedule(&schedule, &wl, mp.m, PenaltyFn::Exponential);
+        // ...and a real end-to-end execution on the simulator, priced under
+        // every model at once.
+        let exec = run_schedule_on_bsp(&wl, &schedule, mp);
+        let strip = timeline::render_strip(&exec.profile, mp.m, 60);
+        println!("{name}:");
+        println!("  network load over time ('#' = at capacity, '!' = overloaded):");
+        println!("  [{strip}]");
+        println!(
+            "  makespan {} | max step load {} (m = {}) | c_m {:.0}",
+            cost.makespan, cost.max_slot_load, mp.m, cost.c_m
+        );
+        println!(
+            "  BSP(g) = {:.0} | BSP(m,exp) = {:.0} | BSP(m) / lower = {:.2}",
+            exec.summary.bsp_g, exec.summary.bsp_m_exp, cost.ratio_to_opt
+        );
+        println!(
+            "  local/global separation on this run: {:.1}x (g = {})\n",
+            exec.summary.bsp_separation(),
+            mp.g
+        );
+    }
+    println!("Note how the eager schedule's BSP(m,exp) cost explodes — the network charge");
+    println!("for a step with k·m injections is e^(k-1) — while Unbalanced-Send matches the");
+    println!("offline optimum to within (1+ε) without knowing anything but its own counts.");
+}

@@ -1,0 +1,64 @@
+//! # parallel-bandwidth
+//!
+//! A Rust reproduction of the SPAA'97 paper *"Modeling Parallel Bandwidth:
+//! Local vs. Global Restrictions"* (Adler, Gibbons, Matias, Ramachandran).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`models`] — BSP(g)/BSP(m)/QSM(g)/QSM(m) cost semantics, overload
+//!   penalty functions and every closed-form bound quoted in the paper.
+//! * [`sim`] — an executable bulk-synchronous simulator (rayon-parallel over
+//!   simulated processors) with exact cost accounting under all models.
+//! * [`pram`] — a PRAM-family simulator (EREW/CREW/QRQW/CRCW, PRAM(m)+ROM)
+//!   with access-mode enforcement and the Section 4.1 h-relation realization.
+//! * [`sched`] — the paper's primary contribution: randomized scheduling of
+//!   unknown, arbitrarily-unbalanced h-relations under a global bandwidth
+//!   limit (Unbalanced-Send and its consecutive / granular / flit / overhead
+//!   variants), plus the offline optimal baseline.
+//! * [`algos`] — Section 4/5 problem algorithms: broadcast (including the
+//!   ternary non-receipt trick), one-to-all, parity/summation, prefix sums,
+//!   list ranking, sorting, leader recognition and the concurrent-read
+//!   simulation of Theorem 5.1.
+//! * [`adversary`] — Section 6.2: Adversarial Queuing Theory adversaries,
+//!   the dynamic routing Algorithm B, stability traces and M/G/1 analysis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parallel_bandwidth::models::{MachineParams, PenaltyFn};
+//! use parallel_bandwidth::sched::{workload, UnbalancedSend, Scheduler, evaluate_schedule};
+//!
+//! // A 512-processor machine with aggregate bandwidth m = 32 (so g = 16).
+//! let mp = MachineParams::from_bandwidth(512, 32, 16);
+//!
+//! // A skewed h-relation: processor 0 wants to send 4096 messages,
+//! // everyone else 8.
+//! let wl = workload::single_hot_sender(mp.p, 4096, 8, 0xC0FFEE);
+//!
+//! // Schedule it with Unbalanced-Send (Theorem 6.2) and price the schedule
+//! // under the exponential overload penalty.
+//! let plan = UnbalancedSend::new(0.2).schedule(&wl, mp.m, 42);
+//! let cost = evaluate_schedule(&plan, &wl, mp.m, PenaltyFn::Exponential);
+//! assert!(cost.no_slot_exceeds_m); // w.h.p. the bandwidth limit is respected
+//! ```
+
+/// Frequently used items in one import: `use parallel_bandwidth::prelude::*;`
+pub mod prelude {
+    pub use pbw_adversary::{Adversary, AlgorithmB, AqtParams, SteadyAdversary};
+    pub use pbw_core::schedulers::{
+        EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend,
+        UnbalancedGranularSend, UnbalancedSend,
+    };
+    pub use pbw_core::{evaluate_schedule, validate_schedule, workload, Schedule, Workload};
+    pub use pbw_models::{
+        BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM, SuperstepProfile,
+    };
+    pub use pbw_sim::{BspMachine, CostSummary, QsmMachine};
+}
+
+pub use pbw_adversary as adversary;
+pub use pbw_algos as algos;
+pub use pbw_core as sched;
+pub use pbw_models as models;
+pub use pbw_pram as pram;
+pub use pbw_sim as sim;

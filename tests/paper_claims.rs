@@ -1,0 +1,121 @@
+//! Integration tests asserting the paper's *shape* claims end-to-end,
+//! across crates, at small scale: who wins, by roughly what factor, and
+//! where the crossovers fall.
+
+use parallel_bandwidth::adversary::{
+    AlgorithmB, AqtParams, BspGIntervalRouter, SingleTargetAdversary,
+};
+use parallel_bandwidth::algos::{broadcast, leader, one_to_all};
+use parallel_bandwidth::models::{bounds, MachineParams, PenaltyFn};
+use parallel_bandwidth::sched::schedulers::{EagerSend, Scheduler, UnbalancedSend};
+use parallel_bandwidth::sched::{evaluate_schedule, workload};
+
+/// Section 1: one-to-all personalized communication separates the model
+/// families by exactly Θ(g).
+#[test]
+fn one_to_all_theta_g_separation() {
+    for g in [4u64, 8, 16] {
+        let mp = MachineParams::from_gap(512, g, g);
+        let out = one_to_all::run(mp);
+        assert!(out.ok);
+        let sep = out.bsp.bsp_separation();
+        assert!(
+            sep > g as f64 * 0.5 && sep < g as f64 * 1.5,
+            "g={g}: separation {sep}"
+        );
+    }
+}
+
+/// Theorem 6.2: Unbalanced-Send is within (1+ε) of optimal on every skew
+/// regime while the oblivious baseline pays exponentially.
+#[test]
+fn unbalanced_send_beats_oblivious_by_orders_of_magnitude() {
+    let mp = MachineParams::from_bandwidth(512, 128, 8);
+    for wl in [
+        workload::uniform_random(mp.p, 32, 1),
+        workload::single_hot_sender(mp.p, 4096, 8, 2),
+        workload::zipf_senders(mp.p, 512, 1.3, 3),
+    ] {
+        let us = evaluate_schedule(
+            &UnbalancedSend::new(0.3).schedule(&wl, mp.m, 5),
+            &wl,
+            mp.m,
+            PenaltyFn::Exponential,
+        );
+        let eager = evaluate_schedule(
+            &EagerSend.schedule(&wl, mp.m, 0),
+            &wl,
+            mp.m,
+            PenaltyFn::Exponential,
+        );
+        assert!(us.ratio_to_opt < 1.5, "ratio {}", us.ratio_to_opt);
+        // With p/m = 4 the first eager steps carry ~4m: penalty e^3 each —
+        // strictly worse than the scheduled run.
+        assert!(eager.c_m > us.c_m, "eager {} vs scheduled {}", eager.c_m, us.c_m);
+    }
+}
+
+/// Theorem 4.1: the measured tree broadcast respects the deterministic
+/// lower bound, and non-receipt beats receive-only trees when L ≤ g.
+#[test]
+fn broadcast_bounds_hold() {
+    let mp = MachineParams::from_gap(729, 27, 27);
+    let tree = broadcast::bsp_g(mp);
+    let tern = broadcast::ternary_nonreceipt(mp, true);
+    assert!(tree.ok && tern.ok);
+    let lower = bounds::broadcast_bsp_g_lower(mp.p, mp.g, mp.l);
+    assert!(tree.time >= lower * 0.99);
+    assert!(tern.time < tree.time);
+}
+
+/// Theorem 6.5: at the same aggregate bandwidth, β = 2/g traffic from one
+/// source sinks the BSP(g) router and is absorbed by Algorithm B.
+#[test]
+fn dynamic_stability_crossover() {
+    let (p, g, w) = (64usize, 8u64, 64u64);
+    let m = p / g as usize;
+    let beta = 2.0 / g as f64;
+    let params = AqtParams { w, alpha: beta, beta };
+    let mut a1 = SingleTargetAdversary::new(p, params, 0);
+    let tg = BspGIntervalRouter { p, g, l: 8, w }.run(&mut a1, 300);
+    let mut a2 = SingleTargetAdversary::new(p, params, 0);
+    let tm = AlgorithmB { p, m, w, eps: 0.3, seed: 3 }.run(&mut a2, 300);
+    assert!(!tg.looks_stable(), "BSP(g) should sink at β = 2/g");
+    assert!(tm.looks_stable(), "BSP(m) should absorb β = 2/g");
+}
+
+/// Section 5: the measured leader-recognition separation grows like p/m
+/// and crushes the previous 2^Ω(√lg p) bound when m ≪ p.
+#[test]
+fn leader_separation_beats_previous_bound() {
+    let mp = MachineParams::new_unchecked(4096, 64, 16, 4);
+    let sep = leader::measured_separation(mp, 17);
+    assert!(
+        sep > bounds::previous_er_cr_separation(mp.p),
+        "measured {sep} vs previous {}",
+        bounds::previous_er_cr_separation(mp.p)
+    );
+}
+
+/// Section 4's naive emulation direction: a BSP(g) run never beats its
+/// BSP(m) price at matched aggregate bandwidth (the m-model dominates).
+#[test]
+fn g_model_never_beats_m_model_on_same_run() {
+    let mp = MachineParams::from_gap(256, 8, 8);
+    for wl in [
+        workload::permutation(mp.p, 1),
+        workload::single_hot_sender(mp.p, 1000, 4, 2),
+        workload::total_exchange(mp.p),
+    ] {
+        // Use the offline schedule so BSP(m) is not penalized.
+        let sched =
+            parallel_bandwidth::sched::schedulers::OfflineOptimal.schedule(&wl, mp.m, 0);
+        let exec = parallel_bandwidth::sched::exec::run_schedule_on_bsp(&wl, &sched, mp);
+        assert!(
+            exec.summary.bsp_m_exp <= exec.summary.bsp_g + 1e-9,
+            "BSP(m) {} > BSP(g) {}",
+            exec.summary.bsp_m_exp,
+            exec.summary.bsp_g
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for *arbitrary* workloads and parameters, not just the curated suites.
+
+use parallel_bandwidth::models::{div_ceil, MachineParams, PenaltyFn};
+use parallel_bandwidth::sched::exec::run_schedule_on_bsp;
+use parallel_bandwidth::sched::flits::UnbalancedFlitSend;
+use parallel_bandwidth::sched::schedulers::{
+    EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend, UnbalancedGranularSend,
+    UnbalancedSend,
+};
+use parallel_bandwidth::sched::workload::Msg;
+use parallel_bandwidth::sched::{evaluate_schedule, validate_schedule, Workload};
+use proptest::prelude::*;
+
+/// An arbitrary unit-message workload over `p` processors.
+fn unit_workload(p: usize, max_msgs: usize) -> impl Strategy<Value = Workload> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..p, 0..max_msgs),
+        p..=p,
+    )
+    .prop_map(Workload::from_dests)
+}
+
+/// An arbitrary variable-length workload.
+fn flit_workload(p: usize, max_msgs: usize, max_len: u64) -> impl Strategy<Value = Workload> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..p, 1..=max_len), 0..max_msgs),
+        p..=p,
+    )
+    .prop_map(|sends| {
+        Workload::new(
+            sends
+                .into_iter()
+                .map(|l| l.into_iter().map(|(dest, len)| Msg { dest, len }).collect())
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every scheduler produces a valid schedule (shape + one flit per
+    /// processor per step) on arbitrary unit workloads.
+    #[test]
+    fn all_schedulers_produce_valid_schedules(
+        wl in unit_workload(16, 20),
+        m in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        for sched in [
+            UnbalancedSend::new(0.2).schedule(&wl, m, seed),
+            UnbalancedConsecutiveSend::new(0.2).schedule(&wl, m, seed),
+            UnbalancedGranularSend::default().schedule(&wl, m, seed),
+            OfflineOptimal.schedule(&wl, m, seed),
+            EagerSend.schedule(&wl, m, seed),
+        ] {
+            prop_assert!(validate_schedule(&sched, &wl).is_ok());
+        }
+    }
+
+    /// The offline schedule achieves the global lower bound exactly and
+    /// never overloads a step.
+    #[test]
+    fn offline_is_optimal_and_feasible(
+        wl in unit_workload(16, 20),
+        m in 1usize..16,
+    ) {
+        let sched = OfflineOptimal.schedule(&wl, m, 0);
+        let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+        prop_assert!(cost.no_slot_exceeds_m);
+        let n = wl.n_flits();
+        if n > 0 {
+            let t = div_ceil(n, m as u64).max(wl.xbar());
+            prop_assert_eq!(cost.makespan, t);
+        }
+    }
+
+    /// No schedule can beat the offline optimum in *model time*: a schedule
+    /// may compress its makespan by overloading steps, but the penalty
+    /// charge `c_m ≥ n/m` and `h ≥ x̄` make `max(h, c_m)` a true lower
+    /// bound matched by the offline schedule.
+    #[test]
+    fn no_scheduler_beats_offline(
+        wl in unit_workload(12, 16),
+        m in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        let opt = evaluate_schedule(&OfflineOptimal.schedule(&wl, m, 0), &wl, m, PenaltyFn::Exponential);
+        for sched in [
+            UnbalancedSend::new(0.2).schedule(&wl, m, seed),
+            EagerSend.schedule(&wl, m, seed),
+        ] {
+            let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+            prop_assert!(cost.model_time + 1.0 >= opt.makespan as f64);
+        }
+    }
+
+    /// The exponential charge never undercuts the linear one, on any
+    /// schedule of any workload (the §2 relation f_m^u ≥ f_m^ℓ lifted to
+    /// whole runs).
+    #[test]
+    fn exponential_dominates_linear_on_runs(
+        wl in unit_workload(12, 16),
+        m in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        let sched = EagerSend.schedule(&wl, m, seed);
+        let exp = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+        let lin = evaluate_schedule(&sched, &wl, m, PenaltyFn::Linear);
+        prop_assert!(exp.c_m >= lin.c_m - 1e-9);
+        // And linear c_m ≥ n/m always (it is exactly the work of moving n
+        // messages at m per step, plus idle-slot rounding).
+        prop_assert!(lin.c_m + 1e-9 >= wl.n_flits() as f64 / m as f64);
+    }
+
+    /// Flit schedules are valid and deliver everything when executed on
+    /// the real engine.
+    #[test]
+    fn flit_schedules_execute_end_to_end(
+        wl in flit_workload(8, 6, 5),
+        seed in 0u64..100,
+    ) {
+        let m = 4;
+        let sched = UnbalancedFlitSend::new(0.3).schedule(&wl, m, seed);
+        prop_assert!(validate_schedule(&sched, &wl).is_ok());
+        let params = MachineParams::from_bandwidth(8, m, 2);
+        let exec = run_schedule_on_bsp(&wl, &sched, params);
+        let total: usize = exec.delivered.iter().map(Vec::len).sum();
+        prop_assert_eq!(total as u64, wl.n_flits());
+    }
+
+    /// Analytic schedule pricing agrees with the engine's metering.
+    #[test]
+    fn analytic_and_engine_profiles_agree(
+        wl in unit_workload(8, 10),
+        seed in 0u64..100,
+    ) {
+        let m = 4;
+        let sched = UnbalancedSend::new(0.2).schedule(&wl, m, seed);
+        let params = MachineParams::from_bandwidth(8, m, 2);
+        let exec = run_schedule_on_bsp(&wl, &sched, params);
+        let analytic = parallel_bandwidth::sched::schedule::to_profile(&sched, &wl);
+        prop_assert_eq!(&exec.profile.injections, &analytic.injections);
+        prop_assert_eq!(exec.profile.total_messages, analytic.total_messages);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The machine sorts agree with the std sort on arbitrary inputs.
+    #[test]
+    fn machine_sorts_agree_with_std(
+        keys in proptest::collection::vec(-1000i64..1000, 64..=64),
+    ) {
+        let mp = MachineParams::from_gap(16, 4, 2);
+        let q = parallel_bandwidth::algos::sort::qsm_m(mp, &keys);
+        prop_assert!(q.ok);
+        let b = parallel_bandwidth::algos::sort::bsp_m(mp, &keys);
+        prop_assert!(b.ok);
+    }
+
+    /// Columnsort equals std sort on arbitrary inputs.
+    #[test]
+    fn columnsort_agrees_with_std(
+        keys in proptest::collection::vec(any::<i32>(), 0..200),
+    ) {
+        let keys: Vec<i64> = keys.into_iter().map(i64::from).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(parallel_bandwidth::algos::columnsort::columnsort(&keys), expect);
+    }
+
+    /// The CRCW h-relation realizations deliver exactly the sent multiset.
+    #[test]
+    fn hrelation_realizations_deliver(
+        sends in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, -50i64..50), 0..5),
+            6..=6,
+        ),
+    ) {
+        use parallel_bandwidth::pram::hrelation;
+        let teams = hrelation::realize_teams(&sends);
+        prop_assert!(hrelation::check_delivery(&sends, &teams));
+        let chain = hrelation::realize_chainsort(&sends);
+        prop_assert!(hrelation::check_delivery(&sends, &chain));
+        let dense = hrelation::realize_dense(&sends, parallel_bandwidth::pram::primitives::Fidelity::Charged);
+        prop_assert!(hrelation::check_delivery(&sends, &dense));
+    }
+
+    /// PRAM list ranking matches the sequential reference on random lists.
+    #[test]
+    fn list_ranking_matches_sequential(n in 1usize..80, seed in 0u64..50) {
+        let list = parallel_bandwidth::algos::list_ranking::random_list(n, seed);
+        let run = parallel_bandwidth::algos::list_ranking::pram_list_ranking(&list, seed ^ 7);
+        prop_assert!(run.ok);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The §4 emulation: re-laying-out any profile's injections to ≤ m per
+    /// step never increases the BSP(m) price beyond the BSP(g) price of
+    /// the original, at matched aggregate bandwidth — for *full-rate*
+    /// profiles (every processor sends in every occupied step), which is
+    /// the shape g-model programs produce.
+    #[test]
+    fn emulation_never_costs_more_than_g(
+        h in 1u64..12,
+        m_exp in 1u32..5,
+    ) {
+        use parallel_bandwidth::models::emulation;
+        use parallel_bandwidth::models::ProfileBuilder;
+        let m = 1usize << m_exp; // 2..16
+        let p = (m as u64) * 8; // g = 8
+        let g = 8u64;
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(h, h);
+        for t in 0..h {
+            b.record_injections(t, p);
+        }
+        let prof = b.build();
+        prop_assert!(emulation::emulation_preserves_cost(&prof, g, m, 4));
+    }
+
+    /// Emulated profiles conserve messages and never exceed m per step.
+    #[test]
+    fn emulation_conserves_messages(
+        loads in proptest::collection::vec(0u64..100, 1..30),
+        m in 1usize..16,
+    ) {
+        use parallel_bandwidth::models::emulation::emulate_on_m;
+        use parallel_bandwidth::models::ProfileBuilder;
+        let mut b = ProfileBuilder::new();
+        for (t, &l) in loads.iter().enumerate() {
+            b.record_injections(t as u64, l);
+        }
+        let prof = b.build();
+        let em = emulate_on_m(&prof, m);
+        prop_assert_eq!(em.injections.iter().sum::<u64>(), loads.iter().sum::<u64>());
+        prop_assert!(em.injections.iter().all(|&x| x <= m as u64));
+    }
+
+    /// QSM request schedules are valid and the engine read values check
+    /// out, for arbitrary request batches.
+    #[test]
+    fn qsm_request_batches_execute(
+        reqs in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 0..10),
+            8..=8,
+        ),
+    ) {
+        use parallel_bandwidth::sched::qsm_sched::{run_unbalanced_reads, RequestBatch};
+        let params = MachineParams::from_bandwidth(8, 4, 2);
+        let mem: Vec<i64> = (0..16).map(|i| 100 + i).collect();
+        let batch = RequestBatch::new(reqs, 16);
+        let out = run_unbalanced_reads(params, &mem, &batch, 0.3, 3);
+        prop_assert!(out.ok);
+    }
+
+    /// The breakdown's dominant term really is the max: re-deriving the
+    /// BSP(m) cost from the breakdown terms matches the cost model.
+    #[test]
+    fn breakdown_consistent_with_cost_model(
+        work in 0u64..1000,
+        sent in 0u64..50,
+        load in 0u64..200,
+    ) {
+        use parallel_bandwidth::models::breakdown::Breakdown;
+        use parallel_bandwidth::models::{BspM, CostModel, PenaltyFn, ProfileBuilder};
+        let mp = MachineParams::from_gap(64, 8, 16);
+        let mut b = ProfileBuilder::new();
+        b.record_work(work).record_traffic(sent, sent);
+        if load > 0 {
+            b.record_injections(0, load);
+        }
+        let prof = b.build();
+        let bd = Breakdown::of(mp, &prof);
+        let model = BspM { m: mp.m, l: mp.l, penalty: PenaltyFn::Exponential };
+        let expect = bd.work.max(bd.global_traffic).max(bd.bandwidth).max(bd.latency);
+        prop_assert!((model.superstep_cost(&prof) - expect).abs() < 1e-9);
+    }
+
+    /// Prefix sums on the QSM(m) agree with the sequential scan for
+    /// arbitrary inputs.
+    #[test]
+    fn prefix_agrees_with_sequential(
+        xs in proptest::collection::vec(-100i64..100, 32..=32),
+    ) {
+        let mp = MachineParams::from_gap(16, 4, 2);
+        let r = parallel_bandwidth::algos::prefix::qsm_m(mp, &xs);
+        prop_assert!(r.ok);
+    }
+
+    /// The randomized h-relation realization delivers for arbitrary
+    /// relations and seeds.
+    #[test]
+    fn randomized_hrelation_delivers(
+        sends in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, -20i64..20), 0..4),
+            5..=5,
+        ),
+        seed in 0u64..64,
+    ) {
+        use parallel_bandwidth::pram::{hrelation, hrelation_rand};
+        let out = hrelation_rand::realize_randomized(&sends, seed);
+        prop_assert!(hrelation::check_delivery(&sends, &out));
+    }
+}

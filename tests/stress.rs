@@ -1,0 +1,63 @@
+//! Large-scale stress tests (ignored by default; run with
+//! `cargo test --release -- --ignored`). These push the engines and
+//! schedulers to the sizes the experiment sweeps top out at, checking that
+//! nothing degrades quadratically and every invariant survives scale.
+
+use parallel_bandwidth::models::{MachineParams, PenaltyFn};
+use parallel_bandwidth::prelude::*;
+
+#[test]
+#[ignore = "large-scale stress; run with --ignored"]
+fn schedule_a_million_messages() {
+    let p = 4096usize;
+    let m = 256usize;
+    let wl = workload::uniform_random(p, 256, 1); // ~1M messages
+    assert!(wl.n_flits() >= 1_000_000);
+    let sched = UnbalancedSend::new(0.2).schedule(&wl, m, 7);
+    validate_schedule(&sched, &wl).unwrap();
+    let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
+    assert!(cost.ratio_to_opt < 1.3, "ratio {}", cost.ratio_to_opt);
+}
+
+#[test]
+#[ignore = "large-scale stress; run with --ignored"]
+fn engine_4096_processors_end_to_end() {
+    let mp = MachineParams::from_bandwidth(4096, 256, 8);
+    let wl = workload::single_hot_sender(4096, 100_000, 16, 2);
+    let sched = UnbalancedSend::new(0.2).schedule(&wl, mp.m, 3);
+    let exec = parallel_bandwidth::sched::exec::run_schedule_on_bsp(&wl, &sched, mp);
+    assert!(exec.summary.bsp_separation() > 8.0);
+}
+
+#[test]
+#[ignore = "large-scale stress; run with --ignored"]
+fn sort_128k_keys_on_the_machine() {
+    use rand::{Rng, SeedableRng};
+    let mp = MachineParams::from_gap(512, 8, 4);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    let keys: Vec<i64> = (0..512 * 256).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+    let r = parallel_bandwidth::algos::sort::qsm_m(mp, &keys);
+    assert!(r.ok);
+}
+
+#[test]
+#[ignore = "large-scale stress; run with --ignored"]
+fn dynamic_router_ten_thousand_intervals() {
+    let (p, m, w) = (64usize, 8usize, 64u64);
+    let params = AqtParams { w, alpha: 4.0, beta: 0.25 };
+    let mut adv = SteadyAdversary::new(p, params);
+    let trace = AlgorithmB { p, m, w, eps: 0.3, seed: 5 }.run(&mut adv, 10_000);
+    assert!(trace.looks_stable());
+    // Conservation at scale.
+    let pending = *trace.queue_msgs.last().unwrap();
+    assert_eq!(trace.delivered + pending, trace.injected);
+}
+
+#[test]
+#[ignore = "large-scale stress; run with --ignored"]
+fn list_ranking_65k_nodes() {
+    let list = parallel_bandwidth::algos::list_ranking::random_list(1 << 16, 4);
+    let run = parallel_bandwidth::algos::list_ranking::pram_list_ranking(&list, 5);
+    assert!(run.ok);
+    assert!(run.rounds < 80, "rounds {}", run.rounds);
+}
