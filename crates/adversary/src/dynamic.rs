@@ -19,10 +19,12 @@
 //! trajectories for the stability experiments.
 
 use crate::adversary::Adversary;
-use pbw_core::schedule::slot_loads;
+use pbw_core::schedule::{audit_schedule, slot_loads};
 use pbw_core::schedulers::{Scheduler, UnbalancedSend};
 use pbw_core::workload::Workload;
-use pbw_models::PenaltyFn;
+use pbw_models::{MachineParams, PenaltyFn};
+use pbw_trace::{TraceSink, TraceSource};
+use std::sync::Arc;
 
 /// Time series from a dynamic-routing run.
 #[derive(Debug, Clone)]
@@ -216,12 +218,31 @@ pub struct AlgorithmB {
 
 impl AlgorithmB {
     /// Route `intervals` windows of traffic from `adv`; returns the trace.
+    ///
+    /// Each routed batch additionally emits one [`TraceSource::Router`]
+    /// event into the process-global trace sink (a no-op unless one is
+    /// installed via [`pbw_trace::set_global_sink`]).
     pub fn run(&self, adv: &mut dyn Adversary, intervals: u64) -> StabilityTrace {
+        self.run_with_sink(adv, intervals, pbw_trace::global_sink())
+    }
+
+    /// [`run`](Self::run) with an explicit trace sink: one event per
+    /// non-empty batch, `superstep` = batch index, sequenced in routing
+    /// order. The event's profile is the batch's Unbalanced-Send schedule
+    /// audited against its arrivals.
+    pub fn run_with_sink(
+        &self,
+        adv: &mut dyn Adversary,
+        intervals: u64,
+        sink: Arc<dyn TraceSink>,
+    ) -> StabilityTrace {
         let mut batch_idx = 0u64;
         let p = self.p;
         let m = self.m;
         let eps = self.eps;
         let seed = self.seed;
+        // Machine view for trace pricing: gap g ≈ p/m, unit latency.
+        let params = MachineParams::new_unchecked(p, (p as u64 / m.max(1) as u64).max(1), m, 1);
         run_interval_router(adv, self.w, intervals, move |arrivals| {
             batch_idx += 1;
             let mut sends: Vec<Vec<usize>> = vec![Vec::new(); p];
@@ -231,6 +252,12 @@ impl AlgorithmB {
             let wl = Workload::from_dests(sends);
             let sched =
                 UnbalancedSend::new(eps).schedule(&wl, m, seed ^ batch_idx.wrapping_mul(0x9E37));
+            if sink.enabled() {
+                let mut ev = audit_schedule(&sched, &wl, params, "algorithm-b");
+                ev.source = TraceSource::Router;
+                ev.superstep = batch_idx - 1;
+                sink.record(ev);
+            }
             // Real elapsed time: every step of the span costs
             // max(1, f_m(load)) under the exponential penalty.
             let loads = slot_loads(&sched, &wl);
@@ -392,6 +419,30 @@ mod tests {
         }
         assert!(services[1] > services[0] * 1.5);
         assert!(services[2] > services[1] * 1.5);
+    }
+
+    #[test]
+    fn router_emits_one_trace_event_per_batch() {
+        use pbw_trace::RecordingSink;
+        let (p, m) = (32usize, 4usize);
+        let params = AqtParams { w: 32, alpha: 2.0, beta: 0.25 };
+        let mut adv = RandomAdversary::new(p, params, 11);
+        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 13 };
+        let sink = Arc::new(RecordingSink::new());
+        let trace = algo.run_with_sink(&mut adv, 50, sink.clone());
+        let events = sink.snapshot();
+        // One event per scheduled batch, in routing order.
+        assert_eq!(events.len(), trace.service_times.len());
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.source, TraceSource::Router);
+            assert_eq!(ev.superstep, i as u64);
+            assert_eq!(ev.label, "algorithm-b");
+            assert_eq!(ev.params.p, p);
+            assert_eq!(ev.params.m, m);
+        }
+        // The audited batches account for every injected message.
+        let traced: u64 = events.iter().map(|e| e.profile.total_messages).sum();
+        assert_eq!(traced, trace.injected);
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub fn bsp_block_sort(params: MachineParams, inputs: &[Word]) -> (Measured, Cost
     let m = params.m;
     assert!(p.is_power_of_two(), "block bitonic needs a power-of-two p");
     let n = inputs.len();
-    assert!(n % p == 0);
+    assert!(n.is_multiple_of(p));
     let per = n / p;
 
     #[derive(Clone, Default)]

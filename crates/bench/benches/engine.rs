@@ -1,9 +1,14 @@
 //! Raw simulator throughput: superstep/phase rates of the BSP and QSM
-//! engines under rayon, across processor counts and message volumes.
+//! engines under rayon, across processor counts and message volumes —
+//! plus an A/B check that the trace layer's default `NullSink` adds no
+//! measurable hot-path overhead.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pbw_models::MachineParams;
 use pbw_sim::{BspMachine, QsmMachine};
+use pbw_trace::{NullSink, RecordingSink};
 
 fn bench_bsp_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("bsp_engine");
@@ -38,5 +43,50 @@ fn bench_qsm_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bsp_engine, bench_qsm_engine);
+/// A/B: the same ring superstep with (a) the default sink — `NullSink`
+/// unless a global sink was installed, which this bench never does — and
+/// (b) an explicitly attached `NullSink`, versus (c) a live
+/// `RecordingSink`. (a) and (b) must be statistically indistinguishable
+/// (the zero-cost-when-disabled claim, acceptance ≤ 2%); (c) shows the
+/// price of actually recording.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    let p = 1024usize;
+    let mp = MachineParams::from_gap(p, 16, 8);
+    group.bench_function("ring_superstep/default_sink", |b| {
+        let mut machine: BspMachine<u64, u64> = BspMachine::new(mp, |_| 0);
+        b.iter(|| {
+            machine.superstep(|pid, s, inbox, out| {
+                *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                out.send((pid + 1) % mp.p, pid as u64);
+            })
+        })
+    });
+    group.bench_function("ring_superstep/null_sink", |b| {
+        let mut machine: BspMachine<u64, u64> = BspMachine::new(mp, |_| 0);
+        machine.set_sink(Arc::new(NullSink));
+        b.iter(|| {
+            machine.superstep(|pid, s, inbox, out| {
+                *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                out.send((pid + 1) % mp.p, pid as u64);
+            })
+        })
+    });
+    group.bench_function("ring_superstep/recording_sink", |b| {
+        let mut machine: BspMachine<u64, u64> = BspMachine::new(mp, |_| 0);
+        let sink = Arc::new(RecordingSink::new());
+        machine.set_sink(sink.clone());
+        b.iter(|| {
+            // Drain so the recording buffer doesn't grow without bound.
+            sink.take();
+            machine.superstep(|pid, s, inbox, out| {
+                *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                out.send((pid + 1) % mp.p, pid as u64);
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsp_engine, bench_qsm_engine, bench_trace_overhead);
 criterion_main!(benches);

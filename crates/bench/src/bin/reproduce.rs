@@ -1,13 +1,16 @@
 //! Reproduce the paper's tables and quantitative claims.
 //!
 //! ```text
-//! reproduce [--quick] [EXPERIMENT ...]
+//! reproduce [--quick] [--trace FILE] [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment ids, runs the whole suite (see `reproduce --list`).
 //! `--quick` shrinks machine sizes and sweep grids (used by CI).
+//! `--trace FILE` streams one JSON-lines event per simulated superstep /
+//! routed batch to `FILE` (see `pbw-trace` for the schema).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,15 +22,40 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: reproduce [--quick] [--list] [EXPERIMENT ...]");
+        println!("usage: reproduce [--quick] [--list] [--trace FILE] [EXPERIMENT ...]");
         println!("experiments: {}", pbw_bench::experiments::ALL.join(", "));
         return ExitCode::SUCCESS;
     }
-    let requested: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut trace_path: Option<String> = None;
+    let mut requested: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            match it.next() {
+                Some(path) => trace_path = Some(path.clone()),
+                None => {
+                    eprintln!("--trace requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if !a.starts_with("--") {
+            requested.push(a.as_str());
+        }
+    }
+    let trace_sink = match trace_path.as_deref() {
+        Some(path) => match pbw_trace::JsonlSink::create(path) {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                pbw_trace::set_global_sink(sink.clone());
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("cannot open trace file '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let ids: Vec<&str> = if requested.is_empty() {
         pbw_bench::experiments::ALL.to_vec()
     } else {
@@ -42,6 +70,13 @@ fn main() -> ExitCode {
                 eprintln!("unknown experiment '{id}' (try --list)");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(sink) = trace_sink {
+        pbw_trace::clear_global_sink();
+        if let Err(e) = sink.flush() {
+            eprintln!("error flushing trace file: {e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -41,6 +41,7 @@ pub fn run_schedule_on_bsp(
 ) -> ExecOutcome {
     assert_eq!(wl.p(), params.p, "workload and machine disagree on p");
     let mut machine: BspMachine<(), FlitTag> = BspMachine::new(params, |_| ());
+    machine.set_trace_label("schedule-exec");
     let report = machine.superstep(|pid, _s, _in, out| {
         for (k, (msg, &start)) in wl.msgs(pid).iter().zip(&schedule.starts[pid]).enumerate() {
             for f in 0..msg.len {

@@ -14,7 +14,8 @@
 //! `max(n/m, h)` lower bound).
 
 use crate::workload::Workload;
-use pbw_models::{div_ceil, PenaltyFn, ProfileBuilder, SuperstepProfile};
+use pbw_models::{div_ceil, MachineParams, PenaltyFn, ProfileBuilder, SuperstepProfile};
+use pbw_trace::{TraceEvent, TraceSink, TraceSource};
 
 /// A start slot for every message of a workload (same shape as
 /// `workload.sends()`).
@@ -121,6 +122,73 @@ pub fn to_profile(schedule: &Schedule, wl: &Workload) -> SuperstepProfile {
         }
     }
     b.build()
+}
+
+/// Audit a schedule slot-by-slot as one [`TraceEvent`], without executing it.
+///
+/// The schedule is converted into its exact [`SuperstepProfile`] (same path
+/// as [`to_profile`]) and packaged with the per-model breakdown, per-slot
+/// penalty contributions and per-model costs, exactly as the engines do for
+/// executed supersteps — this is how offline experiments (e.g. the
+/// Proposition 6.1 routing comparison) expose *which term bound* without a
+/// simulator run. `delivered` is the workload's flit total, since a valid
+/// schedule delivers every flit.
+pub fn audit_schedule(
+    schedule: &Schedule,
+    wl: &Workload,
+    params: MachineParams,
+    label: impl Into<String>,
+) -> TraceEvent {
+    TraceEvent::for_superstep(
+        TraceSource::Schedule,
+        label,
+        0,
+        params,
+        to_profile(schedule, wl),
+        wl.send_counts(),
+        wl.recv_counts(),
+        max_per_proc_slot_occupancy(schedule, wl),
+        wl.n_flits(),
+    )
+}
+
+/// Emit a schedule audit into `sink`; skipped entirely when the sink is
+/// disabled (so auditing can be left in experiment hot paths).
+pub fn audit_schedule_to(
+    sink: &dyn TraceSink,
+    schedule: &Schedule,
+    wl: &Workload,
+    params: MachineParams,
+    label: impl Into<String>,
+) {
+    if sink.enabled() {
+        sink.record(audit_schedule(schedule, wl, params, label));
+    }
+}
+
+/// Largest number of flits one processor injects in one slot (1 for any
+/// schedule accepted by [`validate_schedule`]; recomputed here so audits
+/// report what the schedule actually does, not what validation implies).
+fn max_per_proc_slot_occupancy(schedule: &Schedule, wl: &Workload) -> u64 {
+    let mut best = 0i64;
+    for (src, starts) in schedule.starts.iter().enumerate() {
+        // Interval sweep over [start, start+len): ends sort before starts at
+        // equal slots because -1 < +1.
+        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(starts.len() * 2);
+        for (&s, m) in starts.iter().zip(wl.msgs(src)) {
+            if m.len > 0 {
+                deltas.push((s, 1));
+                deltas.push((s + m.len, -1));
+            }
+        }
+        deltas.sort_unstable();
+        let mut cur = 0i64;
+        for (_, d) in deltas {
+            cur += d;
+            best = best.max(cur);
+        }
+    }
+    best as u64
 }
 
 /// Everything the Section 6 experiments report about one schedule.
@@ -293,6 +361,42 @@ mod tests {
         assert_eq!(prof.max_sent, 3);
         assert_eq!(prof.max_received, 3);
         assert_eq!(prof.total_messages, 4);
+    }
+
+    #[test]
+    fn audit_matches_evaluation() {
+        let wl = unit_wl();
+        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let params = MachineParams::new_unchecked(2, 4, 1, 1);
+        let ev = audit_schedule(&s, &wl, params, "unit");
+        assert_eq!(ev.profile, to_profile(&s, &wl));
+        assert_eq!(ev.delivered, wl.n_flits());
+        assert_eq!(ev.max_proc_slot_injections, 1);
+        let cost = evaluate_schedule(&s, &wl, 1, PenaltyFn::Exponential);
+        assert!((ev.breakdown.bandwidth - cost.c_m).abs() < 1e-12);
+        let slot_sum: f64 = ev.slot_penalties.iter().sum();
+        assert!((slot_sum - cost.c_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_reports_real_per_proc_overlap() {
+        // A deliberately invalid schedule: proc 0 injects two flits at slot 0.
+        let wl = unit_wl();
+        let s = Schedule { starts: vec![vec![0, 0, 1], vec![0]] };
+        let ev = audit_schedule(&s, &wl, MachineParams::new_unchecked(2, 1, 2, 1), "bad");
+        assert_eq!(ev.max_proc_slot_injections, 2);
+    }
+
+    #[test]
+    fn audit_to_respects_disabled_sink() {
+        let wl = unit_wl();
+        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let params = MachineParams::new_unchecked(2, 4, 1, 1);
+        let rec = pbw_trace::RecordingSink::new();
+        audit_schedule_to(&pbw_trace::NullSink, &s, &wl, params, "off");
+        audit_schedule_to(&rec, &s, &wl, params, "on");
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.take()[0].label, "on");
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct Breakdown {
     pub global_traffic: f64,
     /// `c_m` under the exponential penalty.
     pub bandwidth: f64,
+    /// `n/m` — the self-scheduling bandwidth term: total messages over
+    /// aggregate capacity, the best possible network time when slot
+    /// assignment is left to the machine (Proposition 6.1's global side).
+    pub ss_bandwidth: f64,
     /// `κ`.
     pub contention: f64,
     /// `L`.
@@ -64,6 +68,7 @@ impl Breakdown {
             local_traffic: (params.g * profile.h_bsp()) as f64,
             global_traffic: profile.h_bsp() as f64,
             bandwidth: PenaltyFn::Exponential.total_charge(&profile.injections, params.m),
+            ss_bandwidth: profile.total_messages as f64 / params.m as f64,
             contention: profile.max_contention as f64,
             latency: params.l as f64,
         }
@@ -88,6 +93,24 @@ impl Breakdown {
     pub fn dominant_bsp_g(&self) -> Dominant {
         let pairs = [
             (self.local_traffic, Dominant::Traffic),
+            (self.work, Dominant::Work),
+            (self.latency, Dominant::Latency),
+        ];
+        pairs
+            .into_iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, d)| d)
+            .unwrap()
+    }
+
+    /// The binding term of the self-scheduling BSP(m) metric
+    /// `max(w, h, n/m, L)`, where [`Dominant::Bandwidth`] names the `n/m`
+    /// term (the machine schedules injections itself, so there is no slot
+    /// histogram to penalize).
+    pub fn dominant_self_scheduling(&self) -> Dominant {
+        let pairs = [
+            (self.ss_bandwidth, Dominant::Bandwidth),
+            (self.global_traffic, Dominant::Traffic),
             (self.work, Dominant::Work),
             (self.latency, Dominant::Latency),
         ];
@@ -146,6 +169,19 @@ mod tests {
         let bd = Breakdown::of(params(), &b.build());
         assert_eq!(bd.dominant_bsp_m(), Dominant::Work);
         assert_eq!(bd.dominant_bsp_g(), Dominant::Work);
+    }
+
+    #[test]
+    fn self_scheduling_term_is_total_over_m() {
+        // 256 messages all in one slot: the exp c_m explodes, but the
+        // self-scheduling term only sees n/m = 256/8 = 32, which binds
+        // (L = 16 and h = 2 are smaller).
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(2, 2).record_injections(0, 256);
+        let bd = Breakdown::of(params(), &b.build());
+        assert_eq!(bd.ss_bandwidth, 32.0);
+        assert_eq!(bd.dominant_self_scheduling(), Dominant::Bandwidth);
+        assert!(bd.bandwidth > bd.ss_bandwidth);
     }
 
     #[test]

@@ -32,11 +32,13 @@ pub mod emulation;
 pub mod params;
 pub mod penalty;
 pub mod profile;
+pub mod summary;
 
 pub use cost::{BspG, BspM, CostModel, QsmG, QsmM, SelfSchedulingBspM};
 pub use params::MachineParams;
 pub use penalty::PenaltyFn;
 pub use profile::{ProfileBuilder, SuperstepProfile};
+pub use summary::CostSummary;
 
 /// Base-2 logarithm clamped below at 1.0, so that `lg` of tiny arguments
 /// never turns a denominator negative or zero.

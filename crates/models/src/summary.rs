@@ -1,0 +1,115 @@
+//! Pricing one execution under every model at once.
+//!
+//! The experiment tables of the paper compare the *same* algorithm (or the
+//! same problem) across BSP(g), BSP(m), QSM(g) and QSM(m). Because the
+//! engines record complete [`SuperstepProfile`]s, a single simulated run can
+//! be priced under all models; [`CostSummary`] packages that.
+
+use crate::cost::{BspG, BspM, CostModel, QsmG, QsmM, SelfSchedulingBspM};
+use crate::params::MachineParams;
+use crate::penalty::PenaltyFn;
+use crate::profile::SuperstepProfile;
+
+/// The cost of one run under every model of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSummary {
+    /// BSP(g) cost: `Σ max(w, g·h, L)`.
+    pub bsp_g: f64,
+    /// BSP(m) cost under the *linear* penalty (lower-bound semantics).
+    pub bsp_m_linear: f64,
+    /// BSP(m) cost under the *exponential* penalty (upper-bound semantics).
+    pub bsp_m_exp: f64,
+    /// Self-scheduling BSP(m) cost: `Σ max(w, h, n/m, L)`.
+    pub bsp_m_self: f64,
+    /// QSM(g) cost: `Σ max(w, g·h, κ)`.
+    pub qsm_g: f64,
+    /// QSM(m) cost under the linear penalty.
+    pub qsm_m_linear: f64,
+    /// QSM(m) cost under the exponential penalty.
+    pub qsm_m_exp: f64,
+}
+
+impl CostSummary {
+    /// Price a sequence of superstep profiles under every model derived from
+    /// `params` (`g`, `m = p/g`, `L`).
+    pub fn price(params: MachineParams, profiles: &[SuperstepProfile]) -> Self {
+        let bsp_g = BspG { g: params.g, l: params.l };
+        let bsp_m_lin = BspM { m: params.m, l: params.l, penalty: PenaltyFn::Linear };
+        let bsp_m_exp = BspM { m: params.m, l: params.l, penalty: PenaltyFn::Exponential };
+        let bsp_m_self = SelfSchedulingBspM { m: params.m, l: params.l };
+        let qsm_g = QsmG { g: params.g };
+        let qsm_m_lin = QsmM { m: params.m, penalty: PenaltyFn::Linear };
+        let qsm_m_exp = QsmM { m: params.m, penalty: PenaltyFn::Exponential };
+        CostSummary {
+            bsp_g: bsp_g.run_cost(profiles),
+            bsp_m_linear: bsp_m_lin.run_cost(profiles),
+            bsp_m_exp: bsp_m_exp.run_cost(profiles),
+            bsp_m_self: bsp_m_self.run_cost(profiles),
+            qsm_g: qsm_g.run_cost(profiles),
+            qsm_m_linear: qsm_m_lin.run_cost(profiles),
+            qsm_m_exp: qsm_m_exp.run_cost(profiles),
+        }
+    }
+
+    /// The local-over-global advantage ratio for message-passing runs:
+    /// `BSP(g) / BSP(m, exp)` — the paper's headline "factor of Θ(g)"
+    /// quantity.
+    pub fn bsp_separation(&self) -> f64 {
+        self.bsp_g / self.bsp_m_exp
+    }
+
+    /// The local-over-global advantage ratio for shared-memory runs.
+    pub fn qsm_separation(&self) -> f64 {
+        self.qsm_g / self.qsm_m_exp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileBuilder;
+
+    fn skewed_profile() -> SuperstepProfile {
+        // Proc 0 sends 64 messages spread one per slot; everyone else idle.
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(64, 1);
+        for t in 0..64 {
+            b.record_injection(t);
+        }
+        b.record_memory_ops(64, 0).record_contention(1);
+        b.build()
+    }
+
+    #[test]
+    fn skew_shows_global_advantage() {
+        let params = MachineParams::from_gap(64, 8, 8);
+        let s = CostSummary::price(params, &[skewed_profile()]);
+        // BSP(g): g·h = 8·64 = 512. BSP(m): c_m = 64 (1 msg/slot ≤ m=8) → 64.
+        assert_eq!(s.bsp_g, 512.0);
+        assert_eq!(s.bsp_m_exp, 64.0);
+        assert!((s.bsp_separation() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_never_exceeds_exponential() {
+        let params = MachineParams::from_gap(64, 8, 8);
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(10, 10).record_injections(0, 64); // heavy overload
+        let p = b.build();
+        let s = CostSummary::price(params, &[p]);
+        assert!(s.bsp_m_linear <= s.bsp_m_exp);
+        assert!(s.qsm_m_linear <= s.qsm_m_exp);
+    }
+
+    #[test]
+    fn self_scheduling_ignores_slots() {
+        let params = MachineParams::from_gap(64, 8, 1);
+        // All 64 messages crammed into slot 0: exp penalty blows up, the
+        // self-scheduling metric charges only n/m = 8.
+        let mut b = ProfileBuilder::new();
+        b.record_traffic(1, 1).record_injections(0, 64);
+        let s = CostSummary::price(params, &[b.build()]);
+        assert_eq!(s.bsp_m_self, 8.0);
+        assert!(s.bsp_m_exp > 100.0);
+    }
+}

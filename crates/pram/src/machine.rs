@@ -29,7 +29,9 @@
 //! constant-time sub-steps, and so do we.
 
 use crate::Word;
+use pbw_trace::{TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Concurrent-access discipline enforced by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,7 +177,7 @@ impl<'a> PramCtx<'a> {
 /// let mut erew = Pram::new(AccessMode::Erew, 4);
 /// assert!(erew.try_step(8, |pid, ctx| ctx.write(0, pid as i64)).is_err());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Pram {
     mem: Vec<Word>,
     rom: Vec<Word>,
@@ -183,19 +185,59 @@ pub struct Pram {
     time: u64,
     work: u64,
     steps: u64,
+    sink: Arc<dyn TraceSink>,
+    trace_label: String,
+}
+
+impl std::fmt::Debug for Pram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pram")
+            .field("mem", &self.mem)
+            .field("rom", &self.rom)
+            .field("mode", &self.mode)
+            .field("time", &self.time)
+            .field("work", &self.work)
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Pram {
     /// A PRAM with `size` shared cells and no ROM.
+    ///
+    /// The machine captures the process-wide trace sink
+    /// ([`pbw_trace::global_sink`]) at construction; use [`Pram::set_sink`]
+    /// to attach a specific sink instead.
     pub fn new(mode: AccessMode, size: usize) -> Self {
-        Self { mem: vec![0; size], rom: Vec::new(), mode, time: 0, work: 0, steps: 0 }
+        Self::with_rom(mode, size, Vec::new())
     }
 
     /// A PRAM(m): `m` shared cells plus a concurrently readable ROM holding
     /// the input (Mansour–Nisan–Vishkin). Reading the ROM never violates an
     /// exclusive mode and never counts toward shared-cell contention.
     pub fn with_rom(mode: AccessMode, m: usize, rom: Vec<Word>) -> Self {
-        Self { mem: vec![0; m], rom, mode, time: 0, work: 0, steps: 0 }
+        Self {
+            mem: vec![0; m],
+            rom,
+            mode,
+            time: 0,
+            work: 0,
+            steps: 0,
+            sink: pbw_trace::global_sink(),
+            trace_label: String::new(),
+        }
+    }
+
+    /// Attach a trace sink, replacing the one captured at construction.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) -> &mut Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Label stamped on every trace event this machine emits.
+    pub fn set_trace_label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.trace_label = label.into();
+        self
     }
 
     /// The access mode.
@@ -376,10 +418,59 @@ impl Pram {
         if self.mode == AccessMode::Qrqw {
             time = time.max(max_r).max(max_w);
         }
+        if self.sink.enabled() {
+            self.emit_trace(&records, max_r.max(max_w));
+        }
         self.time += time;
         self.work += work;
         self.steps += 1;
         Ok(StepReport { time, work, max_read_contention: max_r, max_write_contention: max_w })
+    }
+
+    /// Synthesize a trace event for one executed step.
+    ///
+    /// The PRAM has no explicit machine parameters or injection slots, so the
+    /// event uses the natural mapping: `p` = this step's processor count,
+    /// `m` = the number of shared cells (the PRAM(m) bandwidth), `g = L = 1`,
+    /// and the pipelined injection view in which a processor issues its k-th
+    /// memory operation at step `k` (hence `m_t` = processors with more than
+    /// `t` operations, and at most one injection per processor per slot).
+    fn emit_trace(&self, records: &[(ProcRecord, Option<PramError>)], kappa: u64) {
+        let mut builder = pbw_models::ProfileBuilder::new();
+        let mut per_proc_sent: Vec<u64> = Vec::with_capacity(records.len());
+        let mut per_proc_recv: Vec<u64> = Vec::with_capacity(records.len());
+        let mut total_ops = 0u64;
+        for (rec, _) in records {
+            let reads = rec.reads.len() as u64 + rec.rom_reads;
+            let writes = rec.writes.len() as u64;
+            builder.record_memory_ops(reads, writes);
+            per_proc_sent.push(reads + writes);
+            per_proc_recv.push(reads);
+            total_ops += reads + writes;
+        }
+        builder.record_contention(kappa);
+        let max_ops = per_proc_sent.iter().copied().max().unwrap_or(0);
+        for t in 0..max_ops {
+            let m_t = per_proc_sent.iter().filter(|&&ops| ops > t).count() as u64;
+            builder.record_injections(t, m_t);
+        }
+        let params = pbw_models::MachineParams::new_unchecked(
+            records.len().max(1),
+            1,
+            self.mem.len().max(1),
+            1,
+        );
+        self.sink.record(TraceEvent::for_superstep(
+            TraceSource::Pram,
+            self.trace_label.clone(),
+            self.steps,
+            params,
+            builder.build(),
+            per_proc_sent,
+            per_proc_recv,
+            u64::from(max_ops > 0),
+            total_ops,
+        ));
     }
 }
 
@@ -556,6 +647,32 @@ mod tests {
         pram.charge_work(50);
         assert_eq!(pram.time(), 5);
         assert_eq!(pram.work(), 50);
+    }
+
+    #[test]
+    fn trace_events_synthesize_profile() {
+        use pbw_trace::RecordingSink;
+        let sink = Arc::new(RecordingSink::new());
+        let mut pram = Pram::new(AccessMode::Qrqw, 8);
+        pram.set_sink(sink.clone()).set_trace_label("qrqw");
+        pram.step(4, |pid, ctx| {
+            ctx.read(3);
+            ctx.write(pid + 4, 1);
+        });
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.source, TraceSource::Pram);
+        assert_eq!(ev.label, "qrqw");
+        assert_eq!(ev.superstep, 0);
+        // 4 processors × (1 read + 1 write): pipelined histogram [4, 4].
+        assert_eq!(ev.profile.injections, vec![4, 4]);
+        assert_eq!(ev.profile.total_messages, 8);
+        assert_eq!(ev.delivered, 8);
+        assert_eq!(ev.profile.max_contention, 4);
+        assert_eq!(ev.params.p, 4);
+        assert_eq!(ev.params.m, 8);
+        assert_eq!(ev.max_proc_slot_injections, 1);
     }
 
     #[test]

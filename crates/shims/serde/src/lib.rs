@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derive macros (from the sibling
+//! `serde_derive` shim) and provides same-named marker traits so both
+//! `use serde::{Serialize, Deserialize}` and trait-bound positions resolve.
+//! Nothing in this workspace invokes an actual serializer — the trace
+//! exporter writes its JSON by hand — so markers are the whole contract.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

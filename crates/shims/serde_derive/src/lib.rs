@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The registry is unreachable in this build environment, so the real derive
+//! macros cannot be fetched. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` (it never calls a serializer — the JSONL trace
+//! exporter hand-rolls its JSON), so expanding to nothing keeps every
+//! annotated type compiling with zero behavioural difference.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

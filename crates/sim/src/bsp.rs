@@ -17,8 +17,11 @@
 //! one-injection-per-processor-per-step rule and builds the machine-wide
 //! `m_t` histogram for the cost models.
 
+use std::sync::Arc;
+
 use crate::{Pid, SimError};
 use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
+use pbw_trace::{TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 
 /// A message posted during a superstep: destination, payload, and the
@@ -117,15 +120,41 @@ pub struct BspMachine<S, M> {
     inboxes: Vec<Vec<M>>,
     profiles: Vec<SuperstepProfile>,
     superstep: usize,
+    sink: Arc<dyn TraceSink>,
+    trace_label: String,
 }
 
 impl<S: Send, M: Send> BspMachine<S, M> {
     /// Create a machine with `params.p` processors, initializing processor
     /// `i`'s state to `init(i)`.
+    ///
+    /// The machine captures the process-wide trace sink
+    /// ([`pbw_trace::global_sink`]) at construction; use
+    /// [`BspMachine::set_sink`] to attach a specific sink instead.
     pub fn new(params: MachineParams, init: impl FnMut(Pid) -> S) -> Self {
         let states: Vec<S> = (0..params.p).map(init).collect();
         let inboxes = (0..params.p).map(|_| Vec::new()).collect();
-        Self { params, states, inboxes, profiles: Vec::new(), superstep: 0 }
+        Self {
+            params,
+            states,
+            inboxes,
+            profiles: Vec::new(),
+            superstep: 0,
+            sink: pbw_trace::global_sink(),
+            trace_label: String::new(),
+        }
+    }
+
+    /// Attach a trace sink, replacing the one captured at construction.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) -> &mut Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Label stamped on every trace event this machine emits.
+    pub fn set_trace_label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.trace_label = label.into();
+        self
     }
 
     /// Machine parameters.
@@ -227,10 +256,15 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         let resolved = resolved?;
 
         // Second pass (sequential, deterministic): accounting + delivery.
+        let tracing = self.sink.enabled();
+        let mut per_proc_sent: Vec<u64> = Vec::new();
         for (pid, out) in outboxes.iter_mut().enumerate() {
             let slots = &resolved[pid];
             builder.record_work(out.work);
             builder.record_traffic(out.envelopes.len() as u64, 0);
+            if tracing {
+                per_proc_sent.push(out.envelopes.len() as u64);
+            }
             for (env, &slot) in out.envelopes.drain(..).zip(slots.iter()) {
                 builder.record_injection(slot);
                 recv_counts[env.dest] += 1;
@@ -243,6 +277,19 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         }
 
         let profile = builder.build();
+        if tracing {
+            self.sink.record(TraceEvent::for_superstep(
+                TraceSource::Bsp,
+                self.trace_label.clone(),
+                self.superstep as u64,
+                self.params,
+                profile.clone(),
+                per_proc_sent,
+                recv_counts,
+                crate::max_slot_multiplicity(&resolved),
+                delivered,
+            ));
+        }
         self.inboxes = new_inboxes;
         self.profiles.push(profile.clone());
         self.superstep += 1;
@@ -476,6 +523,26 @@ mod tests {
         );
         assert!(steps <= 5, "steps={steps}");
         assert!(*m.state(3));
+    }
+
+    #[test]
+    fn trace_events_mirror_reports() {
+        use pbw_trace::RecordingSink;
+        let sink = Arc::new(RecordingSink::new());
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.set_sink(sink.clone()).set_trace_label("ring");
+        let report = m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, 0));
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.source, TraceSource::Bsp);
+        assert_eq!(ev.label, "ring");
+        assert_eq!(ev.superstep, 0);
+        assert_eq!(ev.profile, report.profile);
+        assert_eq!(ev.delivered, 4);
+        assert_eq!(ev.per_proc_sent, vec![1, 1, 1, 1]);
+        assert_eq!(ev.per_proc_recv, vec![1, 1, 1, 1]);
+        assert_eq!(ev.max_proc_slot_injections, 1);
     }
 
     #[test]

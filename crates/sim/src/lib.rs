@@ -45,6 +45,30 @@ pub use summary::CostSummary;
 /// Processor identifier.
 pub type Pid = usize;
 
+/// Largest number of injections any single processor charged to one slot of
+/// a superstep. The pipelining rule requires this to be ≤ 1; it is recomputed
+/// from the engines' resolved slot assignments for each trace event — rather
+/// than assumed — so the conformance suite checks the engine, not itself.
+pub(crate) fn max_slot_multiplicity(resolved: &[Vec<u64>]) -> u64 {
+    resolved
+        .iter()
+        .map(|slots| {
+            let mut sorted = slots.clone();
+            sorted.sort_unstable();
+            let mut best = 0u64;
+            let mut run = 0u64;
+            let mut prev = None;
+            for &s in &sorted {
+                run = if prev == Some(s) { run + 1 } else { 1 };
+                best = best.max(run);
+                prev = Some(s);
+            }
+            best
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 /// Errors raised by the simulation engines when a program violates model
 /// rules.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -23,8 +23,10 @@
 
 use crate::{Pid, SimError};
 use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
+use pbw_trace::{TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A shared-memory word. The paper's Section 5 bounds are sensitive to the
 /// word width `w`; 64-bit words match the `w = Θ(lg p)` regime.
@@ -130,11 +132,17 @@ pub struct QsmMachine<S> {
     read_results: Vec<Vec<ReadResult>>,
     profiles: Vec<SuperstepProfile>,
     phase: usize,
+    sink: Arc<dyn TraceSink>,
+    trace_label: String,
 }
 
 impl<S: Send + Sync> QsmMachine<S> {
     /// Create a machine with `params.p` processors and `size` words of
     /// shared memory (zero-initialized).
+    ///
+    /// The machine captures the process-wide trace sink
+    /// ([`pbw_trace::global_sink`]) at construction; use
+    /// [`QsmMachine::set_sink`] to attach a specific sink instead.
     pub fn new(params: MachineParams, size: usize, init: impl FnMut(Pid) -> S) -> Self {
         let states: Vec<S> = (0..params.p).map(init).collect();
         let read_results = (0..params.p).map(|_| Vec::new()).collect();
@@ -145,7 +153,21 @@ impl<S: Send + Sync> QsmMachine<S> {
             read_results,
             profiles: Vec::new(),
             phase: 0,
+            sink: pbw_trace::global_sink(),
+            trace_label: String::new(),
         }
+    }
+
+    /// Attach a trace sink, replacing the one captured at construction.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) -> &mut Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Label stamped on every trace event this machine emits.
+    pub fn set_trace_label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.trace_label = label.into();
+        self
     }
 
     /// Machine parameters.
@@ -326,6 +348,26 @@ impl<S: Send + Sync> QsmMachine<S> {
         }
 
         let profile = builder.build();
+        if self.sink.enabled() {
+            let mut per_proc_sent = Vec::with_capacity(p);
+            let mut per_proc_recv = Vec::with_capacity(p);
+            for (pid, ctx) in ctxs.iter().enumerate() {
+                let (r_i, w_i) = ctx.counts();
+                per_proc_sent.push(r_i + w_i);
+                per_proc_recv.push(self.read_results[pid].len() as u64);
+            }
+            self.sink.record(TraceEvent::for_superstep(
+                TraceSource::Qsm,
+                self.trace_label.clone(),
+                self.phase as u64,
+                self.params,
+                profile.clone(),
+                per_proc_sent,
+                per_proc_recv,
+                crate::max_slot_multiplicity(&resolved),
+                total_reads + total_writes,
+            ));
+        }
         self.profiles.push(profile.clone());
         self.phase += 1;
         Ok(PhaseReport { profile, reads: total_reads, writes: total_writes })
@@ -506,6 +548,27 @@ mod tests {
         // counts processors), though h = 2.
         assert_eq!(m.profiles()[0].max_contention, 1);
         assert_eq!(m.profiles()[0].max_reads, 2);
+    }
+
+    #[test]
+    fn trace_events_cover_phases() {
+        use pbw_trace::RecordingSink;
+        let sink = Arc::new(RecordingSink::new());
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(4), 16, |_| 0);
+        m.set_sink(sink.clone()).set_trace_label("neighbour-read");
+        m.phase(|pid, _s, _res, ctx| ctx.write(pid, pid as Word));
+        m.phase(|pid, _s, _res, ctx| ctx.read((pid + 1) % 4));
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].source, TraceSource::Qsm);
+        assert_eq!(events[0].superstep, 0);
+        assert_eq!(events[0].per_proc_sent, vec![1, 1, 1, 1]);
+        assert_eq!(events[0].delivered, 4);
+        // Reads issued in phase 1 are delivered during that phase's serve
+        // loop, so the phase-1 event sees 4 read results.
+        assert_eq!(events[1].per_proc_recv, vec![1, 1, 1, 1]);
+        assert_eq!(events[1].profile, m.profiles()[1]);
+        assert_eq!(events[1].max_proc_slot_injections, 1);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: everything the workflow runs, runnable offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== trace smoke: reproduce --trace =="
+trace_out="$(mktemp)"
+trap 'rm -f "$trace_out"' EXIT
+cargo run --release -q -p pbw-bench --bin reproduce -- --quick --trace "$trace_out" table1 >/dev/null
+[ -s "$trace_out" ] || { echo "trace file is empty" >&2; exit 1; }
+echo "ok: $(wc -l < "$trace_out") trace events"
+
+echo "CI green"

@@ -21,6 +21,11 @@
 //!   simulation of Theorem 5.1.
 //! * [`adversary`] — Section 6.2: Adversarial Queuing Theory adversaries,
 //!   the dynamic routing Algorithm B, stability traces and M/G/1 analysis.
+//! * [`trace`] — superstep cost-trace observability: every engine emits one
+//!   structured event per superstep (profile, per-model term breakdown,
+//!   per-slot penalties) into a pluggable sink — `NullSink` (default,
+//!   zero-cost), `RecordingSink` (tests), or a JSON-lines exporter
+//!   (`reproduce --trace <path>`).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +59,9 @@ pub mod prelude {
         BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM, SuperstepProfile,
     };
     pub use pbw_sim::{BspMachine, CostSummary, QsmMachine};
+    pub use pbw_trace::{
+        JsonlSink, NullSink, RecordingSink, TraceEvent, TraceSink, TraceSource,
+    };
 }
 
 pub use pbw_adversary as adversary;
@@ -62,3 +70,4 @@ pub use pbw_core as sched;
 pub use pbw_models as models;
 pub use pbw_pram as pram;
 pub use pbw_sim as sim;
+pub use pbw_trace as trace;

@@ -97,6 +97,45 @@ fn leader_separation_beats_previous_bound() {
     );
 }
 
+/// Proposition 6.1 via the trace layer: audit the gvsm-routing workload's
+/// schedule and check *which term binds* under each model family. A single
+/// hot sender (h ≫ n/p, yet h < n/m) pins the local model to its g·h wire
+/// term while the global model is bound by aggregate bandwidth n/m — the
+/// breakdown exhibits the Θ(g·h / (n/m)) routing gap term-by-term.
+#[test]
+fn gvsm_routing_breakdown_shows_binding_terms() {
+    use parallel_bandwidth::models::breakdown::Dominant;
+    use parallel_bandwidth::sched::schedule::audit_schedule;
+
+    // gvsm-routing geometry (quick variant): p = 256, g = 16 → m = 16.
+    let mp = MachineParams::from_gap(256, 16, 8);
+    // hot = 1024, cold = 64: imbalance h/(n/p) ≈ 15, but n/m ≈ 1084 > h,
+    // so the self-scheduling BSP(m) is aggregate-bandwidth bound.
+    let wl = workload::single_hot_sender(mp.p, 1024, 64, 3);
+    let sched = UnbalancedSend::new(0.2).schedule(&wl, mp.m, 9);
+    let audit = audit_schedule(&sched, &wl, mp, "gvsm-routing");
+    let b = &audit.breakdown;
+
+    // Local restriction: the hot sender's h = 1024 makes g·h the binding
+    // term of BSP(g) — pure wire cost, no work or latency involvement.
+    assert_eq!(audit.dominant_bsp_g, Dominant::Traffic);
+    assert_eq!(b.local_traffic, (mp.g * 1024) as f64);
+
+    // Global restriction (self-scheduling BSP(m)): n/m binds — it exceeds
+    // the per-processor h, the work term and the latency.
+    assert_eq!(b.ss_bandwidth, wl.n_flits() as f64 / mp.m as f64);
+    assert!(b.ss_bandwidth > b.global_traffic, "need n/m > h for this regime");
+    assert_eq!(audit.breakdown.dominant_self_scheduling(), Dominant::Bandwidth);
+
+    // The term-level routing gap is the paper's Θ(g) separation.
+    let gap = b.local_traffic / b.ss_bandwidth;
+    assert!(
+        gap > mp.g as f64 / 2.0 && gap < mp.g as f64 * 2.0,
+        "term gap {gap} should be Θ(g = {})",
+        mp.g
+    );
+}
+
 /// Section 4's naive emulation direction: a BSP(g) run never beats its
 /// BSP(m) price at matched aggregate bandwidth (the m-model dominates).
 #[test]

@@ -144,6 +144,76 @@ proptest! {
         prop_assert_eq!(&exec.profile.injections, &analytic.injections);
         prop_assert_eq!(exec.profile.total_messages, analytic.total_messages);
     }
+
+    /// On any recorded trace event, the exponential BSP(m) penalty never
+    /// undercuts the linear one: the event's `breakdown.bandwidth` (the exp
+    /// term) dominates the linear `c_m` recomputed from the same recorded
+    /// injection histogram.
+    #[test]
+    fn traced_exponential_penalty_dominates_linear(
+        wl in unit_workload(8, 10),
+        seed in 0u64..100,
+    ) {
+        use std::sync::Arc;
+        use parallel_bandwidth::trace::{RecordingSink, TraceSink};
+        let m = 4;
+        let params = MachineParams::from_bandwidth(8, m, 2);
+        let sched = UnbalancedSend::new(0.2).schedule(&wl, m, seed);
+        let sink = Arc::new(RecordingSink::new());
+        let audit = parallel_bandwidth::sched::schedule::audit_schedule(
+            &sched, &wl, params, "prop",
+        );
+        sink.record(audit);
+        for ev in sink.take() {
+            let lin = PenaltyFn::Linear.total_charge(&ev.profile.injections, m);
+            let exp = PenaltyFn::Exponential.total_charge(&ev.profile.injections, m);
+            prop_assert!(ev.breakdown.bandwidth >= lin - 1e-9);
+            prop_assert!((ev.breakdown.bandwidth - exp).abs() < 1e-9);
+            // And the per-slot decomposition is consistent with the total.
+            let slot_sum: f64 = ev.slot_penalties.iter().sum();
+            prop_assert!((slot_sum - exp).abs() < 1e-9 * exp.max(1.0));
+        }
+    }
+
+    /// Tracing is observation, not intervention: running the same program
+    /// on a machine with a `NullSink` and one with a `RecordingSink` yields
+    /// bit-identical profiles and costs.
+    #[test]
+    fn null_and_recording_sinks_observe_identical_runs(
+        wl in unit_workload(8, 10),
+        seed in 0u64..100,
+    ) {
+        use std::sync::Arc;
+        use parallel_bandwidth::trace::{NullSink, RecordingSink, TraceSink};
+        let m = 4;
+        let params = MachineParams::from_bandwidth(8, m, 2);
+        let sched = UnbalancedSend::new(0.2).schedule(&wl, m, seed);
+        let sinks: [Arc<dyn TraceSink>; 2] =
+            [Arc::new(NullSink), Arc::new(RecordingSink::new())];
+        let mut outcomes = Vec::new();
+        for sink in sinks {
+            let mut machine: parallel_bandwidth::sim::BspMachine<(), (u32, u32, u32)> =
+                parallel_bandwidth::sim::BspMachine::new(params, |_| ());
+            machine.set_sink(sink);
+            machine.superstep(|pid, _s, _in, out| {
+                for (k, (msg, &start)) in
+                    wl.msgs(pid).iter().zip(&sched.starts[pid]).enumerate()
+                {
+                    for f in 0..msg.len {
+                        out.send_at(msg.dest, (pid as u32, k as u32, f as u32), start + f);
+                    }
+                }
+            });
+            let summary = parallel_bandwidth::sim::CostSummary::price(
+                params, machine.profiles(),
+            );
+            outcomes.push((machine.profiles().to_vec(), summary));
+        }
+        prop_assert_eq!(&outcomes[0].0, &outcomes[1].0);
+        prop_assert_eq!(outcomes[0].1.bsp_m_exp.to_bits(), outcomes[1].1.bsp_m_exp.to_bits());
+        prop_assert_eq!(outcomes[0].1.bsp_g.to_bits(), outcomes[1].1.bsp_g.to_bits());
+        prop_assert_eq!(outcomes[0].1.qsm_m_exp.to_bits(), outcomes[1].1.qsm_m_exp.to_bits());
+    }
 }
 
 proptest! {
