@@ -31,4 +31,4 @@ pub use adversary::{
     Adversary, AqtParams, BurstyAdversary, ComplianceChecker, OnOffAdversary, RandomAdversary,
     RotatingHotSpotAdversary, SingleTargetAdversary, SteadyAdversary,
 };
-pub use dynamic::{AlgorithmB, BspGIntervalRouter, StabilityTrace};
+pub use dynamic::{AlgorithmB, BackpressureConfig, BspGIntervalRouter, ShedPolicy, StabilityTrace};

@@ -1,13 +1,15 @@
 //! Reproduce the paper's tables and quantitative claims.
 //!
 //! ```text
-//! reproduce [--quick] [--trace FILE] [EXPERIMENT ...]
+//! reproduce [--quick] [--trace FILE] [--seed N] [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment ids, runs the whole suite (see `reproduce --list`).
 //! `--quick` shrinks machine sizes and sweep grids (used by CI).
 //! `--trace FILE` streams one JSON-lines event per simulated superstep /
 //! routed batch to `FILE` (see `pbw-trace` for the schema).
+//! `--seed N` sets the fault seed for the seeded experiments (`faults`);
+//! equal seeds replay bit-identically — CI diffs two traced runs.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -22,11 +24,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: reproduce [--quick] [--list] [--trace FILE] [EXPERIMENT ...]");
+        println!("usage: reproduce [--quick] [--list] [--trace FILE] [--seed N] [EXPERIMENT ...]");
         println!("experiments: {}", pbw_bench::experiments::ALL.join(", "));
         return ExitCode::SUCCESS;
     }
     let mut trace_path: Option<String> = None;
+    let mut seed = 7u64;
     let mut requested: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -35,6 +38,14 @@ fn main() -> ExitCode {
                 Some(path) => trace_path = Some(path.clone()),
                 None => {
                     eprintln!("--trace requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--seed" {
+            match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an unsigned integer argument");
                     return ExitCode::FAILURE;
                 }
             }
@@ -62,7 +73,7 @@ fn main() -> ExitCode {
         requested
     };
     for id in ids {
-        match pbw_bench::experiments::run(id, quick) {
+        match pbw_bench::experiments::run_seeded(id, quick, seed) {
             Some(report) => {
                 println!("{report}");
             }

@@ -3,6 +3,7 @@
 
 pub mod dynamics;
 pub mod extensions;
+pub mod faults;
 pub mod scheduling;
 pub mod separations;
 
@@ -21,6 +22,7 @@ pub const ALL: &[&str] = &[
     "preamble",
     "dynamic",
     "mg1",
+    "faults",
     "cr-sim",
     "leader",
     "hrel-crcw",
@@ -32,9 +34,17 @@ pub const ALL: &[&str] = &[
     "sensitivity-audit",
 ];
 
-/// Dispatch one experiment by id.
+/// Dispatch one experiment by id (default fault seed).
 pub fn run(id: &str, quick: bool) -> Option<String> {
+    run_seeded(id, quick, 7)
+}
+
+/// Dispatch one experiment by id with an explicit seed. Only the seeded
+/// experiments (currently `faults`) consume it; the rest have their seeds
+/// pinned in-line so every report is reproducible regardless.
+pub fn run_seeded(id: &str, quick: bool, seed: u64) -> Option<String> {
     Some(match id {
+        "faults" => faults::faults_seeded(quick, seed),
         "table1" => separations::table1(quick),
         "broadcast-lb" => separations::broadcast_lb(quick),
         "gvsm-routing" => separations::gvsm_routing(quick),

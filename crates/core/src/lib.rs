@@ -47,10 +47,12 @@ pub mod flits;
 pub mod preamble;
 pub mod protocol;
 pub mod qsm_sched;
+pub mod recovery;
 pub mod schedule;
 pub mod schedulers;
 pub mod workload;
 
+pub use recovery::{run_with_recovery, RecoveryConfig, RecoveryOutcome};
 pub use schedule::{evaluate_schedule, validate_schedule, Schedule, ScheduleCost};
 pub use schedulers::{
     EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend, UnbalancedGranularSend,

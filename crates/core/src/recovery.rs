@@ -1,0 +1,483 @@
+//! Ack/retransmit recovery over a faulty network.
+//!
+//! [`run_schedule_on_bsp`](crate::exec::run_schedule_on_bsp) assumes the
+//! network delivers everything; this module executes a workload on a
+//! machine with a fault hook attached ([`pbw_sim::DeliveryHook`]) and keeps
+//! resending until every flit lands:
+//!
+//! 1. **Send.** The full workload is scheduled by any [`Scheduler`] and
+//!    executed as one communication superstep (flits pinned to their
+//!    injection slots, exactly as the fault-free path does).
+//! 2. **Ack.** If anything is missing, destinations send one ack per
+//!    source they heard from — a real superstep, itself subject to faults,
+//!    priced like any other traffic. (Which flits are missing is decided
+//!    from harness ground truth, not from the ack payloads: the protocol
+//!    *charges* for the control traffic without simulating timeout logic,
+//!    so the measured quantity stays "what does recovery cost under each
+//!    model", not "how clever is our timeout heuristic".)
+//! 3. **Backoff.** Before retransmission round `r` the machine sits idle
+//!    for `min(base · 2^{r−1}, cap)` supersteps — bounded exponential
+//!    backoff. Each idle superstep costs `L` under the BSP models and
+//!    doubles as drain time for delayed payloads still inside the network.
+//! 4. **Retransmit.** Undelivered flits fold back into a residual
+//!    [`Workload`] (per `(src, dest)` message, one flit per missing flit),
+//!    which is rescheduled through the *same* scheduler with a
+//!    round-perturbed seed and sent again. Resent flits carry their
+//!    original tags, so duplicates from earlier rounds are recognized and
+//!    ignored.
+//!
+//! The point of the construction: recovery is priced **by the cost
+//! models**. A drop under BSP(g) costs `g` per resent flit plus `L` per
+//! extra superstep; under BSP(m) the retransmission rounds are small
+//! residual relations that schedule into cheap, nearly-empty slot
+//! histograms — the φ-sweep experiment (`reproduce faults`) measures
+//! exactly this gap. With a fault-free network (no hook, or an all-zero
+//! plan) the run is a single superstep whose [`CostSummary`] is bit-exact
+//! to the fault-free path — the recovery machinery prices to zero when
+//! there is nothing to recover.
+
+use std::sync::Arc;
+
+use crate::exec::FlitTag;
+use crate::schedule::Schedule;
+use crate::schedulers::Scheduler;
+use crate::workload::{Msg, Workload};
+use pbw_models::{MachineParams, SuperstepProfile};
+use pbw_sim::{BspMachine, CostSummary, DeliveryHook, FaultStats, Outbox, Pid};
+
+/// Ack payloads share the flit-tag type; this sentinel source id marks them
+/// so the delivery scan never mistakes an ack for a data flit.
+const ACK_SRC: u32 = u32::MAX;
+
+/// Knobs of the recovery protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Give up after this many retransmission rounds (the outcome then
+    /// reports `delivered_all == false` rather than looping forever on a
+    /// pathological plan).
+    pub max_rounds: u32,
+    /// Idle supersteps before retransmission round 1.
+    pub backoff_base: u32,
+    /// Ceiling on the per-round backoff (bounded exponential backoff).
+    pub backoff_cap: u32,
+    /// Whether rounds are preceded by an ack superstep (cost realism knob;
+    /// switching it off isolates pure retransmission cost).
+    pub charge_acks: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { max_rounds: 16, backoff_base: 1, backoff_cap: 8, charge_acks: true }
+    }
+}
+
+impl RecoveryConfig {
+    fn backoff(&self, round: u32) -> u32 {
+        debug_assert!(round >= 1);
+        let shifted = self.backoff_base.saturating_shl(round - 1);
+        shifted.min(self.backoff_cap)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u32 {
+    fn saturating_shl(self, n: u32) -> u32 {
+        if n >= 32 {
+            return u32::MAX;
+        }
+        self.checked_shl(n).unwrap_or(u32::MAX)
+    }
+}
+
+/// What a recovery run did and what it cost.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// The whole run — send, acks, backoff, retransmissions, drain — priced
+    /// under every model.
+    pub summary: CostSummary,
+    /// Per-superstep profiles (sum to `summary` under any model).
+    pub profiles: Vec<SuperstepProfile>,
+    /// Retransmission rounds used (0 = everything arrived first try).
+    pub rounds: u32,
+    /// Whether every flit eventually arrived.
+    pub delivered_all: bool,
+    /// Flits retransmitted, totalled over all rounds.
+    pub resent_flits: u64,
+    /// Ack supersteps charged.
+    pub ack_supersteps: u64,
+    /// Idle backoff/drain supersteps charged.
+    pub backoff_supersteps: u64,
+    /// Arrival superstep of each delivered flit (first copy only), in
+    /// arrival order — the delivery-time distribution whose tail the
+    /// φ-sweep reports.
+    pub arrival_steps: Vec<u64>,
+    /// The engine's fault ledger for the run.
+    pub fault_stats: FaultStats,
+}
+
+impl RecoveryOutcome {
+    /// `q`-th percentile of the flit arrival-superstep distribution, or
+    /// `None` for an empty run or out-of-range `q`.
+    pub fn arrival_percentile(&self, q: f64) -> Option<u64> {
+        if self.arrival_steps.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = self.arrival_steps.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+/// Tracks which flits of the original workload are still undelivered.
+struct DeliveryLedger {
+    /// `missing[src][msg_idx][flit]`.
+    missing: Vec<Vec<Vec<bool>>>,
+    outstanding: u64,
+    arrival_steps: Vec<u64>,
+}
+
+impl DeliveryLedger {
+    fn new(wl: &Workload) -> Self {
+        let missing: Vec<Vec<Vec<bool>>> = (0..wl.p())
+            .map(|src| wl.msgs(src).iter().map(|m| vec![true; m.len as usize]).collect())
+            .collect();
+        DeliveryLedger { missing, outstanding: wl.n_flits(), arrival_steps: Vec::new() }
+    }
+
+    /// Mark everything visible in the machine's inboxes as delivered
+    /// (duplicates and acks are ignored). `now` is the number of supersteps
+    /// executed so far.
+    fn scan(&mut self, machine: &BspMachine<(), FlitTag>, now: u64) {
+        for pid in 0..machine.params().p {
+            for &(src, msg_idx, flit) in machine.pending_inbox(pid) {
+                if src == ACK_SRC {
+                    continue;
+                }
+                let slot = &mut self.missing[src as usize][msg_idx as usize][flit as usize];
+                if *slot {
+                    *slot = false;
+                    self.outstanding -= 1;
+                    self.arrival_steps.push(now);
+                }
+            }
+        }
+    }
+
+    /// Sources each processor has received at least one data flit from so
+    /// far (the ack relation).
+    fn ack_targets(&self, wl: &Workload) -> Vec<Vec<Pid>> {
+        let p = wl.p();
+        let mut heard: Vec<Vec<bool>> = vec![vec![false; p]; p];
+        for (src, msgs) in self.missing.iter().enumerate() {
+            for (msg_idx, flits) in msgs.iter().enumerate() {
+                if flits.iter().any(|&m| !m) {
+                    let dest = wl.msgs(src)[msg_idx].dest;
+                    heard[dest][src] = true;
+                }
+            }
+        }
+        heard
+            .into_iter()
+            .map(|row| row.iter().enumerate().filter(|(_, &h)| h).map(|(s, _)| s).collect())
+            .collect()
+    }
+
+    /// The residual workload (one message per original message with missing
+    /// flits) plus, per residual message, the original tags its flits must
+    /// carry when resent.
+    fn residual(&self, wl: &Workload) -> (Workload, Vec<Vec<Vec<FlitTag>>>) {
+        let p = wl.p();
+        let mut sends: Vec<Vec<Msg>> = vec![Vec::new(); p];
+        let mut tags: Vec<Vec<Vec<FlitTag>>> = vec![Vec::new(); p];
+        for (src, msgs) in self.missing.iter().enumerate() {
+            for (msg_idx, flits) in msgs.iter().enumerate() {
+                let lost: Vec<FlitTag> = flits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m)
+                    .map(|(f, _)| (src as u32, msg_idx as u32, f as u32))
+                    .collect();
+                if !lost.is_empty() {
+                    sends[src]
+                        .push(Msg { dest: wl.msgs(src)[msg_idx].dest, len: lost.len() as u64 });
+                    tags[src].push(lost);
+                }
+            }
+        }
+        (Workload::new(sends), tags)
+    }
+}
+
+/// Execute one scheduled send superstep: flit `f` of message `k` of `pid`
+/// goes out at `starts[pid][k] + f`, carrying `tags[pid][k][f]`.
+fn send_round(
+    machine: &mut BspMachine<(), FlitTag>,
+    wl: &Workload,
+    schedule: &Schedule,
+    tags: &[Vec<Vec<FlitTag>>],
+) {
+    machine.superstep(|pid, _s, _in, out: &mut Outbox<FlitTag>| {
+        for (k, (msg, &start)) in wl.msgs(pid).iter().zip(&schedule.starts[pid]).enumerate() {
+            for (f, &tag) in tags[pid][k].iter().enumerate() {
+                out.send_at(msg.dest, tag, start + f as u64);
+            }
+        }
+    });
+}
+
+/// Run `wl` to completion over a (possibly faulty) network, retransmitting
+/// lost flits until everything arrives or `cfg.max_rounds` is exhausted.
+///
+/// `seed` seeds the scheduler; retransmission round `r` reschedules the
+/// residual with `seed ^ r·0x9E37` (the workspace's batch-perturbation
+/// idiom) so rounds draw fresh offsets. `hook` is the fault model; `None`
+/// is a reliable network, for which the result is bit-exact to
+/// [`run_schedule_on_bsp`](crate::exec::run_schedule_on_bsp).
+pub fn run_with_recovery(
+    wl: &Workload,
+    scheduler: &dyn Scheduler,
+    params: MachineParams,
+    seed: u64,
+    hook: Option<Arc<dyn DeliveryHook>>,
+    cfg: &RecoveryConfig,
+) -> RecoveryOutcome {
+    assert_eq!(wl.p(), params.p, "workload and machine disagree on p");
+    let mut machine: BspMachine<(), FlitTag> = BspMachine::new(params, |_| ());
+    machine.set_trace_label("recovery/send");
+    if let Some(h) = hook {
+        machine.set_delivery_hook(h);
+    }
+
+    let mut ledger = DeliveryLedger::new(wl);
+    let mut resent_flits = 0u64;
+    let mut ack_supersteps = 0u64;
+    let mut backoff_supersteps = 0u64;
+
+    // Round 0: the full workload, original tags.
+    let full_tags: Vec<Vec<Vec<FlitTag>>> = (0..wl.p())
+        .map(|src| {
+            wl.msgs(src)
+                .iter()
+                .enumerate()
+                .map(|(k, m)| {
+                    (0..m.len as u32).map(|f| (src as u32, k as u32, f)).collect()
+                })
+                .collect()
+        })
+        .collect();
+    let schedule = scheduler.schedule(wl, params.m, seed);
+    send_round(&mut machine, wl, &schedule, &full_tags);
+    ledger.scan(&machine, machine.superstep_index() as u64);
+
+    let idle = |_: Pid, _: &mut (), _: &[FlitTag], _: &mut Outbox<FlitTag>| {};
+    let mut round = 0u32;
+    while ledger.outstanding > 0 && round < cfg.max_rounds {
+        round += 1;
+        // Ack superstep: every destination acks the sources it heard from.
+        if cfg.charge_acks {
+            let acks = ledger.ack_targets(wl);
+            machine.set_trace_label(format!("recovery/ack{round}"));
+            machine.superstep(|pid, _s, _in, out: &mut Outbox<FlitTag>| {
+                for &src in &acks[pid] {
+                    out.send(src, (ACK_SRC, pid as u32, 0));
+                }
+            });
+            ack_supersteps += 1;
+            ledger.scan(&machine, machine.superstep_index() as u64);
+        }
+        // Bounded exponential backoff (also drains delayed payloads).
+        machine.set_trace_label(format!("recovery/backoff{round}"));
+        for _ in 0..cfg.backoff(round) {
+            machine.superstep(idle);
+            backoff_supersteps += 1;
+            ledger.scan(&machine, machine.superstep_index() as u64);
+        }
+        if ledger.outstanding == 0 {
+            break; // late arrivals cleared the residual during backoff
+        }
+        // Retransmit the residual through the same scheduler, fresh seed.
+        let (residual, tags) = ledger.residual(wl);
+        resent_flits += residual.n_flits();
+        let round_seed = seed ^ (round as u64).wrapping_mul(0x9E37);
+        let schedule = scheduler.schedule(&residual, params.m, round_seed);
+        machine.set_trace_label(format!("recovery/retransmit{round}"));
+        machine.set_fault_round(round);
+        send_round(&mut machine, &residual, &schedule, &tags);
+        ledger.scan(&machine, machine.superstep_index() as u64);
+    }
+
+    // Drain: payloads still inside the network (delays, duplicate copies)
+    // arrive within bounded time; idle until the network is empty.
+    machine.set_trace_label("recovery/drain");
+    while machine.faults_in_flight() > 0 {
+        machine.superstep(idle);
+        backoff_supersteps += 1;
+        ledger.scan(&machine, machine.superstep_index() as u64);
+    }
+
+    let profiles = machine.profiles().to_vec();
+    RecoveryOutcome {
+        summary: CostSummary::price(params, &profiles),
+        profiles,
+        rounds: round,
+        delivered_all: ledger.outstanding == 0,
+        resent_flits,
+        ack_supersteps,
+        backoff_supersteps,
+        arrival_steps: ledger.arrival_steps,
+        fault_stats: machine.fault_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_schedule_on_bsp;
+    use crate::schedulers::{OfflineOptimal, UnbalancedSend};
+    use crate::workload;
+    use pbw_sim::{DeliveryCtx, Fate};
+
+    fn params(p: usize, m: usize) -> MachineParams {
+        MachineParams::from_bandwidth(p, m, 4)
+    }
+
+    #[test]
+    fn reliable_network_is_bit_exact_with_the_fault_free_path() {
+        let wl = workload::uniform_random(32, 4, 5);
+        let mp = params(32, 8);
+        let sched = UnbalancedSend::new(0.2);
+        let direct = run_schedule_on_bsp(&wl, &sched.schedule(&wl, mp.m, 9), mp);
+        let recovered =
+            run_with_recovery(&wl, &sched, mp, 9, None, &RecoveryConfig::default());
+        assert_eq!(recovered.summary, direct.summary);
+        assert_eq!(recovered.profiles.len(), 1);
+        assert_eq!(recovered.rounds, 0);
+        assert!(recovered.delivered_all);
+        assert_eq!(recovered.resent_flits, 0);
+        assert_eq!(recovered.ack_supersteps + recovered.backoff_supersteps, 0);
+    }
+
+    /// Drops every copy of one (src → dest) edge in superstep 0 only.
+    struct DropFirstAttempt;
+    impl DeliveryHook for DropFirstAttempt {
+        fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+            if ctx.superstep == 0 && ctx.src == 0 {
+                Fate::Drop
+            } else {
+                Fate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_flits_are_retransmitted_and_arrive() {
+        let wl = workload::uniform_random(16, 4, 2);
+        let mp = params(16, 4);
+        let out = run_with_recovery(
+            &wl,
+            &OfflineOptimal,
+            mp,
+            1,
+            Some(Arc::new(DropFirstAttempt)),
+            &RecoveryConfig::default(),
+        );
+        assert!(out.delivered_all);
+        assert_eq!(out.rounds, 1);
+        let lost: u64 = wl.msgs(0).iter().map(|m| m.len).sum();
+        assert_eq!(out.resent_flits, lost);
+        assert_eq!(out.ack_supersteps, 1);
+        // Every flit accounted for exactly once.
+        assert_eq!(out.arrival_steps.len() as u64, wl.n_flits());
+        assert!(out.fault_stats.conserved());
+        // Recovery costs strictly more than it would have fault-free.
+        let direct = run_schedule_on_bsp(&wl, &OfflineOptimal.schedule(&wl, mp.m, 1), mp);
+        assert!(out.summary.bsp_m_exp > direct.summary.bsp_m_exp);
+    }
+
+    /// Drops an edge forever — recovery must give up at max_rounds.
+    struct BlackHole;
+    impl DeliveryHook for BlackHole {
+        fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+            if ctx.src == 0 {
+                Fate::Drop
+            } else {
+                Fate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_loss_gives_up_after_max_rounds() {
+        let wl = workload::uniform_random(8, 2, 3);
+        let cfg = RecoveryConfig { max_rounds: 3, ..RecoveryConfig::default() };
+        let out = run_with_recovery(
+            &wl,
+            &OfflineOptimal,
+            params(8, 2),
+            5,
+            Some(Arc::new(BlackHole)),
+            &cfg,
+        );
+        assert!(!out.delivered_all);
+        assert_eq!(out.rounds, 3);
+        assert!(out.fault_stats.dropped > 0);
+        assert!(out.fault_stats.conserved());
+    }
+
+    /// Delays everything sent in superstep 0 by two supersteps.
+    struct SlowStart;
+    impl DeliveryHook for SlowStart {
+        fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+            if ctx.superstep == 0 {
+                Fate::Delay(2)
+            } else {
+                Fate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_flits_arrive_during_backoff_without_retransmission() {
+        let wl = workload::uniform_random(8, 2, 7);
+        let out = run_with_recovery(
+            &wl,
+            &OfflineOptimal,
+            params(8, 2),
+            2,
+            Some(Arc::new(SlowStart)),
+            &RecoveryConfig::default(),
+        );
+        assert!(out.delivered_all);
+        // The backoff window outlasted the delay: nothing was resent.
+        assert_eq!(out.resent_flits, 0);
+        assert_eq!(out.rounds, 1);
+        assert!(out.fault_stats.conserved());
+        assert_eq!(out.fault_stats.in_flight, 0);
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let cfg = RecoveryConfig { backoff_base: 2, backoff_cap: 12, ..Default::default() };
+        assert_eq!(cfg.backoff(1), 2);
+        assert_eq!(cfg.backoff(2), 4);
+        assert_eq!(cfg.backoff(3), 8);
+        assert_eq!(cfg.backoff(4), 12); // capped
+        assert_eq!(cfg.backoff(30), 12);
+    }
+
+    #[test]
+    fn arrival_percentile_bounds_checks() {
+        let wl = workload::uniform_random(8, 2, 7);
+        let out =
+            run_with_recovery(&wl, &OfflineOptimal, params(8, 2), 2, None, &Default::default());
+        assert!(out.arrival_percentile(0.5).is_some());
+        assert_eq!(out.arrival_percentile(1.5), None);
+        assert_eq!(out.arrival_percentile(-0.1), None);
+        // Fault-free: everything arrives at the first boundary.
+        assert_eq!(out.arrival_percentile(1.0), Some(1));
+    }
+}

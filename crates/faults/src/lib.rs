@@ -1,0 +1,351 @@
+//! # pbw-faults
+//!
+//! Seeded, deterministic fault plans for the `pbw-sim` engines.
+//!
+//! A [`FaultPlan`] implements [`pbw_sim::DeliveryHook`]: attached to a
+//! [`pbw_sim::BspMachine`] or [`pbw_sim::QsmMachine`] it decides, message by
+//! message, whether the network delivers, drops, duplicates, delays, or
+//! displaces each in-flight payload, and whether whole processors stall for
+//! a superstep. Rates are configured by a [`FaultSpec`]; everything else is
+//! derived from a single `u64` seed.
+//!
+//! ## Determinism / seeding contract
+//!
+//! Like the schedulers in `pbw-core`, plans are keyed by the workspace's
+//! deterministic ChaCha shim (`ChaCha8Rng::seed_from_u64` + `set_stream`;
+//! see `crates/shims/README.md`):
+//!
+//! * A message's [`Fate`] is a **pure function** of
+//!   `(seed, superstep, src, msg_idx)` — independent of thread scheduling,
+//!   of other messages, and of how many times the hook is consulted. Two
+//!   runs with equal seeds and equal programs are bit-identical, including
+//!   their trace streams (certified by CI, which diffs two `reproduce
+//!   faults --seed 7` traces).
+//! * A stall is a pure function of `(seed, superstep, pid)`.
+//! * Because the superstep index is part of the key, a *retransmitted* copy
+//!   of a lost message re-rolls its fate in the superstep it is resent —
+//!   recovery protocols terminate with probability 1 for any drop rate
+//!   `φ < 1`.
+//! * Distinct seeds give statistically independent fault sequences; the
+//!   same spec under a different seed is a fresh sample of the same fault
+//!   process.
+
+use pbw_sim::{DeliveryCtx, DeliveryHook, Fate, Pid};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Domain-separation tags so the per-message and per-processor keys of one
+/// seed never collide.
+const FATE_TAG: u64 = 0xFA7E_0001;
+const STALL_TAG: u64 = 0x57A1_1002;
+
+/// Fault rates and magnitudes. All rates are per-message (or per
+/// processor-superstep for `stall_rate`) Bernoulli probabilities; the four
+/// message-fate rates must sum to at most 1 (the remainder is the
+/// probability of clean delivery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability φ that a message is lost.
+    pub drop_rate: f64,
+    /// Probability that a message is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability that a message is delivered late.
+    pub delay_rate: f64,
+    /// Largest delay, in supersteps; a delayed message waits
+    /// `uniform{1..=max_delay}` extra supersteps.
+    pub max_delay: u32,
+    /// Probability that a message's injection slot is displaced.
+    pub displace_rate: f64,
+    /// Largest displacement, in slots; a displaced injection lands
+    /// `uniform{1..=max_displacement}` slots late.
+    pub max_displacement: u64,
+    /// Probability that a processor stalls for a whole superstep.
+    pub stall_rate: f64,
+}
+
+impl FaultSpec {
+    /// A reliable network: every rate zero.
+    pub fn none() -> Self {
+        FaultSpec {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 1,
+            displace_rate: 0.0,
+            max_displacement: 1,
+            stall_rate: 0.0,
+        }
+    }
+
+    /// Pure message loss at rate `phi` — the spec the φ-sweep experiment
+    /// uses.
+    pub fn drop_only(phi: f64) -> Self {
+        FaultSpec { drop_rate: phi, ..FaultSpec::none() }
+    }
+
+    /// Whether every rate is a probability and the message-fate rates leave
+    /// room for delivery (`Σ rates ≤ 1`).
+    pub fn is_valid(&self) -> bool {
+        let rates =
+            [self.drop_rate, self.duplicate_rate, self.delay_rate, self.displace_rate];
+        rates.iter().all(|r| (0.0..=1.0).contains(r))
+            && rates.iter().sum::<f64>() <= 1.0
+            && (0.0..=1.0).contains(&self.stall_rate)
+            && self.max_delay >= 1
+            && self.max_displacement >= 1
+    }
+
+    /// Whether this spec can never perturb a run.
+    pub fn is_none(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.displace_rate == 0.0
+            && self.stall_rate == 0.0
+    }
+}
+
+/// A deterministic window during which one processor is stalled,
+/// independent of `stall_rate` (used to script bursts and targeted
+/// outages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// The stalled processor.
+    pub pid: Pid,
+    /// First stalled superstep.
+    pub start: u64,
+    /// Number of consecutive stalled supersteps.
+    pub len: u64,
+}
+
+impl StallWindow {
+    fn covers(&self, superstep: u64, pid: Pid) -> bool {
+        pid == self.pid && superstep >= self.start && superstep < self.start + self.len
+    }
+}
+
+/// A seeded fault plan: a [`FaultSpec`] plus the `u64` key that makes it a
+/// concrete, replayable fault sequence.
+///
+/// ```
+/// use pbw_faults::{FaultPlan, FaultSpec};
+/// use pbw_sim::{BspMachine, DeliveryHook};
+/// use pbw_models::MachineParams;
+/// use std::sync::Arc;
+///
+/// let plan = FaultPlan::new(FaultSpec::drop_only(0.5), 7);
+/// let mp = MachineParams::from_gap(8, 2, 4);
+/// let mut m: BspMachine<(), u32> = BspMachine::new(mp, |_| ());
+/// m.set_delivery_hook(Arc::new(plan));
+/// m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 8, 0));
+/// let stats = m.fault_stats();
+/// assert_eq!(stats.injected, 8);
+/// assert!(stats.conserved());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    seed: u64,
+    stall_windows: Vec<StallWindow>,
+}
+
+impl FaultPlan {
+    /// Build a plan from a spec and seed.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid (rates outside `[0, 1]` or message-fate
+    /// rates summing past 1).
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        assert!(spec.is_valid(), "invalid fault spec: {spec:?}");
+        FaultPlan { spec, seed, stall_windows: Vec::new() }
+    }
+
+    /// Add a scripted stall window (builder-style).
+    pub fn with_stall_window(mut self, window: StallWindow) -> Self {
+        self.stall_windows.push(window);
+        self
+    }
+
+    /// The plan's spec.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fate this plan assigns to the message identified by
+    /// `(superstep, src, msg_idx)` — exposed so tests and analysis can
+    /// interrogate a plan without running an engine. `fate` (the hook
+    /// method) delegates here.
+    pub fn fate_of(&self, superstep: u64, src: Pid, msg_idx: usize) -> Fate {
+        if self.spec.is_none() {
+            return Fate::Deliver;
+        }
+        let mut rng = self.message_rng(superstep, src, msg_idx);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut edge = self.spec.drop_rate;
+        if u < edge {
+            return Fate::Drop;
+        }
+        edge += self.spec.duplicate_rate;
+        if u < edge {
+            return Fate::Duplicate;
+        }
+        edge += self.spec.delay_rate;
+        if u < edge {
+            return Fate::Delay(rng.gen_range(1..=self.spec.max_delay));
+        }
+        edge += self.spec.displace_rate;
+        if u < edge {
+            return Fate::Displace(rng.gen_range(1..=self.spec.max_displacement));
+        }
+        Fate::Deliver
+    }
+
+    fn message_rng(&self, superstep: u64, src: Pid, msg_idx: usize) -> ChaCha8Rng {
+        // Same keying idiom as the pbw-core schedulers: seed xor a
+        // golden-ratio multiple of the step index, one stream per message.
+        let key = self
+            .seed
+            .wrapping_add(FATE_TAG)
+            .wrapping_add(superstep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        rng.set_stream(((src as u64) << 24) ^ msg_idx as u64);
+        rng
+    }
+}
+
+impl DeliveryHook for FaultPlan {
+    fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+        self.fate_of(ctx.superstep, ctx.src, ctx.msg_idx)
+    }
+
+    fn stalled(&self, superstep: u64, pid: Pid) -> bool {
+        if self.stall_windows.iter().any(|w| w.covers(superstep, pid)) {
+            return true;
+        }
+        if self.spec.stall_rate == 0.0 {
+            return false;
+        }
+        let key = self
+            .seed
+            .wrapping_add(STALL_TAG)
+            .wrapping_add(superstep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        rng.set_stream(pid as u64);
+        rng.gen_bool(self.spec.stall_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_spec_delivers_everything() {
+        let plan = FaultPlan::new(FaultSpec::none(), 42);
+        for step in 0..50 {
+            for src in 0..8 {
+                assert_eq!(plan.fate_of(step, src, 0), Fate::Deliver);
+                assert!(!plan.stalled(step, src));
+            }
+        }
+    }
+
+    #[test]
+    fn fates_are_replayable() {
+        let spec = FaultSpec {
+            drop_rate: 0.2,
+            duplicate_rate: 0.1,
+            delay_rate: 0.1,
+            max_delay: 3,
+            displace_rate: 0.1,
+            max_displacement: 4,
+            stall_rate: 0.05,
+        };
+        let a = FaultPlan::new(spec, 7);
+        let b = FaultPlan::new(spec, 7);
+        for step in 0..20 {
+            for src in 0..16 {
+                for idx in 0..4 {
+                    assert_eq!(a.fate_of(step, src, idx), b.fate_of(step, src, idx));
+                }
+                assert_eq!(a.stalled(step, src), b.stalled(step, src));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = FaultPlan::new(FaultSpec::drop_only(0.5), 1);
+        let b = FaultPlan::new(FaultSpec::drop_only(0.5), 2);
+        let differs = (0..64).any(|i| a.fate_of(0, 0, i) != b.fate_of(0, 0, i));
+        assert!(differs, "seeds 1 and 2 produced identical fate sequences");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let plan = FaultPlan::new(FaultSpec::drop_only(0.25), 11);
+        let n = 4000;
+        let dropped = (0..n)
+            .filter(|&i| plan.fate_of(i as u64 / 64, (i % 64) as Pid, i / 64) == Fate::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn retransmissions_reroll_their_fate() {
+        // A message dropped in superstep s must not be doomed forever: the
+        // same (src, msg_idx) in a later superstep draws a fresh fate.
+        let plan = FaultPlan::new(FaultSpec::drop_only(0.5), 3);
+        let mut escaped = false;
+        for step in 0..64 {
+            if plan.fate_of(step, 0, 0) == Fate::Deliver {
+                escaped = true;
+                break;
+            }
+        }
+        assert!(escaped, "message never re-rolled out of the drop fate");
+    }
+
+    #[test]
+    fn delay_and_displacement_magnitudes_stay_in_range() {
+        let spec = FaultSpec {
+            delay_rate: 0.5,
+            max_delay: 3,
+            displace_rate: 0.5,
+            max_displacement: 5,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 9);
+        for step in 0..100 {
+            match plan.fate_of(step, 1, 2) {
+                Fate::Delay(k) => assert!((1..=3).contains(&k)),
+                Fate::Displace(d) => assert!((1..=5).contains(&d)),
+                Fate::Deliver => {}
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stall_windows_are_deterministic_and_bounded() {
+        let plan = FaultPlan::new(FaultSpec::none(), 0)
+            .with_stall_window(StallWindow { pid: 2, start: 5, len: 3 });
+        for step in 0..12 {
+            assert_eq!(plan.stalled(step, 2), (5..8).contains(&step), "step {step}");
+            assert!(!plan.stalled(step, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault spec")]
+    fn overfull_rates_are_rejected() {
+        let spec = FaultSpec { drop_rate: 0.7, duplicate_rate: 0.5, ..FaultSpec::none() };
+        let _ = FaultPlan::new(spec, 0);
+    }
+}

@@ -17,11 +17,13 @@
 //! one-injection-per-processor-per-step rule and builds the machine-wide
 //! `m_t` histogram for the cost models.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
+use crate::hook::{DeliveryCtx, DeliveryHook, FaultStats, Fate};
 use crate::{Pid, SimError};
 use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
-use pbw_trace::{TraceEvent, TraceSink, TraceSource};
+use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 
 /// A message posted during a superstep: destination, payload, and the
@@ -122,6 +124,12 @@ pub struct BspMachine<S, M> {
     superstep: usize,
     sink: Arc<dyn TraceSink>,
     trace_label: String,
+    hook: Option<Arc<dyn DeliveryHook>>,
+    /// `pending[k]` holds payloads the network will deliver at the boundary
+    /// `k + 1` supersteps from now: delayed messages and duplicate copies.
+    pending: VecDeque<Vec<(Pid, M)>>,
+    fault_stats: FaultStats,
+    fault_round: u32,
 }
 
 impl<S: Send, M: Send> BspMachine<S, M> {
@@ -142,12 +150,49 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             superstep: 0,
             sink: pbw_trace::global_sink(),
             trace_label: String::new(),
+            hook: None,
+            pending: VecDeque::new(),
+            fault_stats: FaultStats::default(),
+            fault_round: 0,
         }
     }
 
     /// Attach a trace sink, replacing the one captured at construction.
     pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) -> &mut Self {
         self.sink = sink;
+        self
+    }
+
+    /// Attach a fault-injection hook consulted at every delivery boundary
+    /// (see [`crate::hook`]). Without one the machine is a reliable network.
+    pub fn set_delivery_hook(&mut self, hook: Arc<dyn DeliveryHook>) -> &mut Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Remove any fault-injection hook (in-flight delayed payloads still
+    /// arrive on schedule).
+    pub fn clear_delivery_hook(&mut self) -> &mut Self {
+        self.hook = None;
+        self
+    }
+
+    /// The running fault ledger (all-zero counters besides
+    /// `injected`/`delivered` when no hook is attached).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Payloads currently held inside the network: delayed messages and
+    /// duplicate copies that have not yet reached an inbox.
+    pub fn faults_in_flight(&self) -> u64 {
+        self.fault_stats.in_flight
+    }
+
+    /// Retransmission round stamped on subsequent trace events' fault
+    /// counters (0 = original transmission; set by recovery protocols).
+    pub fn set_fault_round(&mut self, round: u32) -> &mut Self {
+        self.fault_round = round;
         self
     }
 
@@ -207,7 +252,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     pub fn superstep<F>(&mut self, f: F) -> SuperstepReport
     where
         F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
-        M: Sync,
+        M: Sync + Clone,
         S: Sync,
     {
         self.try_superstep(f).unwrap_or_else(|e| panic!("superstep failed: {e}"))
@@ -217,15 +262,25 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     pub fn try_superstep<F>(&mut self, f: F) -> Result<SuperstepReport, SimError>
     where
         F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
-        M: Sync,
+        M: Sync + Clone,
         S: Sync,
     {
         let p = self.params.p;
+        let step = self.superstep as u64;
         // Replace with p fresh inboxes (not an empty Vec!) so the machine
         // stays runnable even if this superstep is rejected below — a
         // failed superstep loses its in-flight messages but nothing else.
-        let inboxes =
+        let mut inboxes =
             std::mem::replace(&mut self.inboxes, (0..p).map(|_| Vec::new()).collect());
+
+        // A stalled processor skips its closure this superstep and sees its
+        // inbox again next superstep; the hook is consulted once per
+        // processor, before the parallel pass, to keep the run order-free.
+        let hook = self.hook.clone();
+        let stalled: Vec<bool> = match &hook {
+            Some(h) => (0..p).map(|pid| h.stalled(step, pid)).collect(),
+            None => vec![false; p],
+        };
 
         // Run all processors in parallel; collect their outboxes.
         let mut outboxes: Vec<Outbox<M>> = self
@@ -235,7 +290,9 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             .enumerate()
             .map(|(pid, (state, inbox))| {
                 let mut out = Outbox::default();
-                f(pid, state, inbox, &mut out);
+                if !stalled[pid] {
+                    f(pid, state, inbox, &mut out);
+                }
                 out
             })
             .collect();
@@ -255,6 +312,23 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             .collect();
         let resolved = resolved?;
 
+        // Stalled processors keep their undrained inbox (already counted as
+        // delivered at the previous boundary — not recounted).
+        let mut counters =
+            FaultCounters { retransmit_round: self.fault_round, ..Default::default() };
+        for (pid, &is_stalled) in stalled.iter().enumerate() {
+            if is_stalled {
+                new_inboxes[pid].append(&mut inboxes[pid]);
+                self.fault_stats.stalled_steps += 1;
+                counters.stalled_procs += 1;
+            }
+        }
+
+        // Payloads the network is due to release at this boundary (queued by
+        // earlier Delay/Duplicate fates). Popped before this superstep's
+        // sends are queued, so a `Delay(k)` waits exactly `k` extra steps.
+        let due: Vec<(Pid, M)> = self.pending.pop_front().unwrap_or_default();
+
         // Second pass (sequential, deterministic): accounting + delivery.
         let tracing = self.sink.enabled();
         let mut per_proc_sent: Vec<u64> = Vec::new();
@@ -265,12 +339,72 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             if tracing {
                 per_proc_sent.push(out.envelopes.len() as u64);
             }
-            for (env, &slot) in out.envelopes.drain(..).zip(slots.iter()) {
-                builder.record_injection(slot);
-                recv_counts[env.dest] += 1;
-                new_inboxes[env.dest].push(env.payload);
-                delivered += 1;
+            for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate()
+            {
+                let fate = match &hook {
+                    Some(h) => h.fate(&DeliveryCtx {
+                        superstep: step,
+                        src: pid,
+                        dest: env.dest,
+                        msg_idx,
+                        slot,
+                    }),
+                    None => Fate::Deliver,
+                };
+                self.fault_stats.injected += 1;
+                match fate {
+                    Fate::Deliver => {
+                        builder.record_injection(slot);
+                        recv_counts[env.dest] += 1;
+                        new_inboxes[env.dest].push(env.payload);
+                        delivered += 1;
+                        self.fault_stats.delivered += 1;
+                    }
+                    Fate::Drop => {
+                        // The send consumed bandwidth and a slot; nothing
+                        // arrives.
+                        builder.record_injection(slot);
+                        self.fault_stats.dropped += 1;
+                        counters.dropped += 1;
+                    }
+                    Fate::Duplicate => {
+                        builder.record_injection(slot);
+                        let copy = env.payload.clone();
+                        recv_counts[env.dest] += 1;
+                        new_inboxes[env.dest].push(env.payload);
+                        delivered += 1;
+                        self.fault_stats.delivered += 1;
+                        self.queue_pending(1, env.dest, copy);
+                        self.fault_stats.duplicated += 1;
+                        counters.duplicated += 1;
+                    }
+                    Fate::Delay(k) => {
+                        builder.record_injection(slot);
+                        self.queue_pending(k.max(1), env.dest, env.payload);
+                        self.fault_stats.delayed += 1;
+                        counters.delayed += 1;
+                    }
+                    Fate::Displace(d) => {
+                        builder.record_injection(slot + d);
+                        recv_counts[env.dest] += 1;
+                        new_inboxes[env.dest].push(env.payload);
+                        delivered += 1;
+                        self.fault_stats.delivered += 1;
+                        self.fault_stats.displaced += 1;
+                        counters.displaced += 1;
+                    }
+                }
             }
+        }
+        // Late arrivals land at the same boundary as this superstep's sends,
+        // after them, and are charged receive bandwidth here.
+        for (dest, payload) in due {
+            recv_counts[dest] += 1;
+            new_inboxes[dest].push(payload);
+            delivered += 1;
+            self.fault_stats.delivered += 1;
+            self.fault_stats.in_flight -= 1;
+            counters.late_arrivals += 1;
         }
         for &r in &recv_counts {
             builder.record_traffic(0, r);
@@ -278,17 +412,21 @@ impl<S: Send, M: Send> BspMachine<S, M> {
 
         let profile = builder.build();
         if tracing {
-            self.sink.record(TraceEvent::for_superstep(
+            let mut ev = TraceEvent::for_superstep(
                 TraceSource::Bsp,
                 self.trace_label.clone(),
-                self.superstep as u64,
+                step,
                 self.params,
                 profile.clone(),
                 per_proc_sent,
                 recv_counts,
                 crate::max_slot_multiplicity(&resolved),
                 delivered,
-            ));
+            );
+            if hook.is_some() {
+                ev = ev.with_faults(counters);
+            }
+            self.sink.record(ev);
         }
         self.inboxes = new_inboxes;
         self.profiles.push(profile.clone());
@@ -296,12 +434,23 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         Ok(SuperstepReport { profile, delivered })
     }
 
+    /// Queue `payload` for delivery at the boundary `k ≥ 1` supersteps from
+    /// now.
+    fn queue_pending(&mut self, k: u32, dest: Pid, payload: M) {
+        let idx = (k.max(1) - 1) as usize;
+        while self.pending.len() <= idx {
+            self.pending.push_back(Vec::new());
+        }
+        self.pending[idx].push((dest, payload));
+        self.fault_stats.in_flight += 1;
+    }
+
     /// Run supersteps until `f` posts no messages anywhere (quiescence) or
     /// `max_supersteps` is reached; returns the number of supersteps run.
     pub fn run_to_quiescence<F>(&mut self, f: F, max_supersteps: usize) -> usize
     where
         F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
-        M: Sync,
+        M: Sync + Clone,
         S: Sync,
     {
         for i in 0..max_supersteps {
@@ -543,6 +692,156 @@ mod tests {
         assert_eq!(ev.per_proc_sent, vec![1, 1, 1, 1]);
         assert_eq!(ev.per_proc_recv, vec![1, 1, 1, 1]);
         assert_eq!(ev.max_proc_slot_injections, 1);
+    }
+
+    struct DropFrom(Pid);
+    impl crate::hook::DeliveryHook for DropFrom {
+        fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+            if ctx.src == self.0 {
+                Fate::Drop
+            } else {
+                Fate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive_but_are_priced() {
+        let mut m: BspMachine<u64, u64> = BspMachine::new(params(4), |_| 0);
+        m.set_delivery_hook(Arc::new(DropFrom(0)));
+        let report = m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, 1));
+        // Three of four arrive; all four consumed injection slots.
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.profile.total_messages, 4);
+        assert_eq!(report.profile.max_sent, 1);
+        assert!(m.pending_inbox(1).is_empty()); // 0→1 was the dropped edge
+        let stats = m.fault_stats();
+        assert_eq!(stats.dropped, 1);
+        assert!(stats.conserved());
+    }
+
+    struct DelayAll(u32);
+    impl crate::hook::DeliveryHook for DelayAll {
+        fn fate(&self, _ctx: &DeliveryCtx) -> Fate {
+            Fate::Delay(self.0)
+        }
+    }
+
+    #[test]
+    fn delayed_messages_arrive_k_supersteps_late() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.set_delivery_hook(Arc::new(DelayAll(2)));
+        let r0 = m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                out.send(1, 7);
+            }
+        });
+        assert_eq!(r0.delivered, 0);
+        assert_eq!(m.faults_in_flight(), 1);
+        let idle = |_: Pid, _: &mut (), _: &[u8], _: &mut Outbox<u8>| {};
+        let r1 = m.superstep(idle);
+        assert_eq!(r1.delivered, 0);
+        let r2 = m.superstep(idle);
+        // Normal delivery would be visible in superstep 1; Delay(2) means
+        // the payload lands at the boundary two supersteps later.
+        assert_eq!(r2.delivered, 1);
+        assert_eq!(r2.profile.max_received, 1);
+        assert_eq!(m.pending_inbox(1), &[7]);
+        assert_eq!(m.faults_in_flight(), 0);
+        assert!(m.fault_stats().conserved());
+    }
+
+    struct DupAll;
+    impl crate::hook::DeliveryHook for DupAll {
+        fn fate(&self, _ctx: &DeliveryCtx) -> Fate {
+            Fate::Duplicate
+        }
+    }
+
+    #[test]
+    fn duplicates_deliver_a_spurious_copy_one_superstep_later() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.set_delivery_hook(Arc::new(DupAll));
+        let r0 = m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                out.send(1, 9);
+            }
+        });
+        assert_eq!(r0.delivered, 1);
+        let r1 = m.superstep(|_, _, _, _| {});
+        assert_eq!(r1.delivered, 1); // the copy
+        assert_eq!(m.pending_inbox(1), &[9]);
+        let stats = m.fault_stats();
+        assert_eq!((stats.injected, stats.duplicated, stats.delivered), (1, 1, 2));
+        assert!(stats.conserved());
+    }
+
+    struct DisplaceAll(u64);
+    impl crate::hook::DeliveryHook for DisplaceAll {
+        fn fate(&self, _ctx: &DeliveryCtx) -> Fate {
+            Fate::Displace(self.0)
+        }
+    }
+
+    #[test]
+    fn displacement_reshapes_the_injection_histogram() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.set_delivery_hook(Arc::new(DisplaceAll(3)));
+        let report = m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, 0));
+        // Every processor asked for slot 0; the router pushed all four
+        // injections to slot 3. Payloads still arrive on time.
+        assert_eq!(report.delivered, 4);
+        assert_eq!(report.profile.injections, vec![0, 0, 0, 4]);
+        assert!(m.fault_stats().conserved());
+    }
+
+    struct StallPid(Pid, u64);
+    impl crate::hook::DeliveryHook for StallPid {
+        fn stalled(&self, superstep: u64, pid: Pid) -> bool {
+            pid == self.0 && superstep == self.1
+        }
+    }
+
+    #[test]
+    fn stalled_processor_skips_a_superstep_and_keeps_its_inbox() {
+        let mut m: BspMachine<Vec<u8>, u8> = BspMachine::new(params(4), |_| Vec::new());
+        m.set_delivery_hook(Arc::new(StallPid(1, 1)));
+        m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                out.send(1, 5);
+            }
+        });
+        // Superstep 1: pid 1 is stalled — it neither drains its inbox nor
+        // runs its closure.
+        m.superstep(|_pid, s, inbox, _out| s.extend_from_slice(inbox));
+        assert!(m.state(1).is_empty());
+        // Superstep 2: the retained message is finally observed.
+        m.superstep(|_pid, s, inbox, _out| s.extend_from_slice(inbox));
+        assert_eq!(m.state(1), &vec![5]);
+        assert_eq!(m.fault_stats().stalled_steps, 1);
+    }
+
+    #[test]
+    fn fault_counters_flow_into_trace_events() {
+        use pbw_trace::RecordingSink;
+        let sink = Arc::new(RecordingSink::new());
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.set_sink(sink.clone()).set_delivery_hook(Arc::new(DropFrom(0)));
+        m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, 0));
+        let events = sink.take();
+        let faults = events[0].faults.expect("hooked machine must stamp fault counters");
+        assert_eq!(faults.dropped, 1);
+        assert_eq!(faults.duplicated, 0);
+    }
+
+    #[test]
+    fn unhooked_machine_emits_no_fault_counters() {
+        use pbw_trace::RecordingSink;
+        let sink = Arc::new(RecordingSink::new());
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.set_sink(sink.clone());
+        m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, 0));
+        assert_eq!(sink.take()[0].faults, None);
     }
 
     #[test]

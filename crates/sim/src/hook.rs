@@ -1,0 +1,138 @@
+//! Pre-delivery fault hooks.
+//!
+//! The engines consult an optional [`DeliveryHook`] at the communication
+//! boundary of every superstep (BSP) or phase (QSM): once per in-flight
+//! message, *after* slot resolution and model-rule validation but *before*
+//! the payload lands in a destination inbox. The hook decides each message's
+//! [`Fate`] and can stall whole processors for a step. Implementations live
+//! outside this crate (see `pbw-faults` for the seeded plan used by the
+//! experiments); the engines only define the contract:
+//!
+//! * **Cost accounting.** Every injected message consumes send bandwidth and
+//!   an injection slot in the superstep it was posted, whatever its fate —
+//!   the network accepted it; the models price the attempt. Receive
+//!   bandwidth is charged in the superstep a payload actually arrives, so a
+//!   delayed message shifts `max_received` (and any resulting overload
+//!   penalty) to the arrival superstep.
+//! * **Determinism.** The hook is consulted in the engine's fixed delivery
+//!   order (source pid, then send order), never from the parallel closure
+//!   pass, so a deterministic hook yields a bit-identical run.
+//! * **Conservation.** The engine tracks [`FaultStats`] such that
+//!   `injected + duplicated == delivered + dropped + in_flight` at every
+//!   superstep boundary (checked by the property suite).
+
+use crate::Pid;
+
+/// What happens to one in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver normally at the end of this superstep.
+    Deliver,
+    /// The network loses the message: bandwidth is consumed, nothing
+    /// arrives. Recovery (if any) is a protocol concern, not the engine's.
+    Drop,
+    /// Deliver now *and* deliver a spurious copy one superstep later.
+    Duplicate,
+    /// Deliver `k ≥ 1` supersteps late (a `Delay(0)` is treated as
+    /// `Delay(1)`). The payload stays in flight until it arrives.
+    Delay(u32),
+    /// Deliver now, but the injection lands `d` slots later than the
+    /// program asked — the router displaced it within the superstep,
+    /// reshaping the machine-wide `m_t` histogram the penalty prices.
+    Displace(u64),
+}
+
+/// Identifies one message presented to a [`DeliveryHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryCtx {
+    /// Superstep (BSP) or phase (QSM) index the message was posted in.
+    pub superstep: u64,
+    /// Sending processor.
+    pub src: Pid,
+    /// Destination processor (for QSM: the requesting processor).
+    pub dest: Pid,
+    /// Send order within `src`'s outbox this superstep.
+    pub msg_idx: usize,
+    /// Resolved injection slot.
+    pub slot: u64,
+}
+
+/// A fault model consulted at every delivery boundary.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the presented context — the engines guarantee a fixed consultation order
+/// so that equal hooks produce bit-identical runs.
+pub trait DeliveryHook: Send + Sync {
+    /// Decide the fate of one message. The default delivers everything.
+    fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+        let _ = ctx;
+        Fate::Deliver
+    }
+
+    /// Whether `pid` is stalled for the whole of `superstep`: its closure
+    /// does not run and its inbox is re-presented next superstep. Messages
+    /// addressed *to* a stalled processor still arrive.
+    fn stalled(&self, superstep: u64, pid: Pid) -> bool {
+        let _ = (superstep, pid);
+        false
+    }
+}
+
+/// Running fault ledger kept by an engine (all zeros when no hook is set,
+/// except `injected`/`delivered`, which count every message).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages posted by programs (originals only, not duplicates).
+    pub injected: u64,
+    /// Payloads that landed in an inbox (originals, duplicates, and late
+    /// arrivals alike).
+    pub delivered: u64,
+    /// Messages lost to [`Fate::Drop`].
+    pub dropped: u64,
+    /// Spurious copies created by [`Fate::Duplicate`].
+    pub duplicated: u64,
+    /// Messages that took a [`Fate::Delay`] detour (they still count in
+    /// `delivered` once they arrive).
+    pub delayed: u64,
+    /// Messages displaced to a later injection slot.
+    pub displaced: u64,
+    /// Processor-supersteps lost to stalls.
+    pub stalled_steps: u64,
+    /// Payloads currently queued inside the network (delays + pending
+    /// duplicate copies).
+    pub in_flight: u64,
+}
+
+impl FaultStats {
+    /// The conservation invariant every engine maintains at superstep
+    /// boundaries: `injected + duplicated == delivered + dropped +
+    /// in_flight`.
+    pub fn conserved(&self) -> bool {
+        self.injected + self.duplicated == self.delivered + self.dropped + self.in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Everything;
+    impl DeliveryHook for Everything {}
+
+    #[test]
+    fn default_hook_delivers_and_never_stalls() {
+        let h = Everything;
+        let ctx = DeliveryCtx { superstep: 3, src: 0, dest: 1, msg_idx: 0, slot: 2 };
+        assert_eq!(h.fate(&ctx), Fate::Deliver);
+        assert!(!h.stalled(0, 0));
+    }
+
+    #[test]
+    fn zero_stats_are_conserved() {
+        assert!(FaultStats::default().conserved());
+        let s = FaultStats { injected: 5, delivered: 3, dropped: 1, in_flight: 1, ..Default::default() };
+        assert!(s.conserved());
+        let bad = FaultStats { injected: 5, delivered: 3, ..Default::default() };
+        assert!(!bad.conserved());
+    }
+}

@@ -33,12 +33,14 @@
 //!   as required by the Section 4.2 ternary broadcast.
 
 pub mod bsp;
+pub mod hook;
 pub mod qsm;
 pub mod rng;
 pub mod summary;
 pub mod timeline;
 
 pub use bsp::{BspMachine, Envelope, Outbox};
+pub use hook::{DeliveryCtx, DeliveryHook, FaultStats, Fate};
 pub use qsm::{QsmCtx, QsmMachine, Word};
 pub use summary::CostSummary;
 

@@ -21,11 +21,12 @@
 //!   [`QsmCtx::read_at`] / [`QsmCtx::write_at`]; unpinned requests pipeline
 //!   into the earliest free slots.
 
+use crate::hook::{DeliveryCtx, DeliveryHook, FaultStats, Fate};
 use crate::{Pid, SimError};
 use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
-use pbw_trace::{TraceEvent, TraceSink, TraceSource};
+use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// A shared-memory word. The paper's Section 5 bounds are sensitive to the
@@ -134,6 +135,11 @@ pub struct QsmMachine<S> {
     phase: usize,
     sink: Arc<dyn TraceSink>,
     trace_label: String,
+    hook: Option<Arc<dyn DeliveryHook>>,
+    /// `pending_results[k]` holds read results the memory system will hand
+    /// back `k + 1` phases from now (delayed responses, duplicate copies).
+    pending_results: VecDeque<Vec<(Pid, ReadResult)>>,
+    fault_stats: FaultStats,
 }
 
 impl<S: Send + Sync> QsmMachine<S> {
@@ -155,6 +161,9 @@ impl<S: Send + Sync> QsmMachine<S> {
             phase: 0,
             sink: pbw_trace::global_sink(),
             trace_label: String::new(),
+            hook: None,
+            pending_results: VecDeque::new(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -162,6 +171,40 @@ impl<S: Send + Sync> QsmMachine<S> {
     pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) -> &mut Self {
         self.sink = sink;
         self
+    }
+
+    /// Attach a fault-injection hook (see [`crate::hook`]).
+    ///
+    /// QSM fault semantics: a [`Fate::Drop`] discards the request (a read
+    /// returns no result — non-receipt is observable — and a write is never
+    /// applied); [`Fate::Delay`] holds a read's *response* for `k` extra
+    /// phases (the value is still the one read in the request phase — the
+    /// memory served the read, the network delayed the reply); a delayed
+    /// write is applied on time (the memory system absorbs it in order);
+    /// [`Fate::Duplicate`] hands a read result back twice (a duplicated
+    /// write is idempotent and treated as normal); [`Fate::Displace`]
+    /// shifts the request's injection slot. All fates consume the request's
+    /// injection slot and bandwidth.
+    pub fn set_delivery_hook(&mut self, hook: Arc<dyn DeliveryHook>) -> &mut Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Remove any fault-injection hook (in-flight delayed responses still
+    /// arrive on schedule).
+    pub fn clear_delivery_hook(&mut self) -> &mut Self {
+        self.hook = None;
+        self
+    }
+
+    /// The running fault ledger (see [`FaultStats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Read responses currently held inside the memory system.
+    pub fn faults_in_flight(&self) -> u64 {
+        self.fault_stats.in_flight
     }
 
     /// Label stamped on every trace event this machine emits.
@@ -231,10 +274,19 @@ impl<S: Send + Sync> QsmMachine<S> {
     {
         let p = self.params.p;
         let size = self.shared.len();
-        let prev_results = std::mem::replace(
+        let step = self.phase as u64;
+        let mut prev_results = std::mem::replace(
             &mut self.read_results,
             (0..p).map(|_| Vec::new()).collect(),
         );
+
+        // A stalled processor skips its closure this phase; its undelivered
+        // read results are re-presented next phase.
+        let hook = self.hook.clone();
+        let stalled: Vec<bool> = match &hook {
+            Some(h) => (0..p).map(|pid| h.stalled(step, pid)).collect(),
+            None => vec![false; p],
+        };
 
         // Run all processors in parallel.
         let ctxs: Vec<QsmCtx> = self
@@ -244,7 +296,9 @@ impl<S: Send + Sync> QsmMachine<S> {
             .enumerate()
             .map(|(pid, (state, results))| {
                 let mut ctx = QsmCtx::default();
-                f(pid, state, results, &mut ctx);
+                if !stalled[pid] {
+                    f(pid, state, results, &mut ctx);
+                }
                 ctx
             })
             .collect();
@@ -311,6 +365,21 @@ impl<S: Send + Sync> QsmMachine<S> {
             }
         }
 
+        // Stalled processors keep their unseen read results (consumed next
+        // phase instead).
+        let mut counters = FaultCounters::default();
+        for (pid, &is_stalled) in stalled.iter().enumerate() {
+            if is_stalled {
+                self.read_results[pid].append(&mut prev_results[pid]);
+                self.fault_stats.stalled_steps += 1;
+                counters.stalled_procs += 1;
+            }
+        }
+
+        // Responses the memory system is due to release this phase (queued
+        // by earlier Delay/Duplicate fates).
+        let due: Vec<(Pid, ReadResult)> = self.pending_results.pop_front().unwrap_or_default();
+
         // Serve reads against the pre-phase memory; collect writes.
         let mut total_reads = 0u64;
         let mut total_writes = 0u64;
@@ -320,20 +389,75 @@ impl<S: Send + Sync> QsmMachine<S> {
             let (r_i, w_i) = ctx.counts();
             builder.record_memory_ops(r_i, w_i);
             builder.record_work(ctx.work);
-            for (req, &slot) in ctx.requests.iter().zip(resolved[pid].iter()) {
-                builder.record_injection(slot);
+            for (msg_idx, (req, &slot)) in
+                ctx.requests.iter().zip(resolved[pid].iter()).enumerate()
+            {
+                let fate = match &hook {
+                    Some(h) => h.fate(&DeliveryCtx {
+                        superstep: step,
+                        src: pid,
+                        dest: pid,
+                        msg_idx,
+                        slot,
+                    }),
+                    None => Fate::Deliver,
+                };
+                self.fault_stats.injected += 1;
+                let charged_slot = match fate {
+                    Fate::Displace(d) => {
+                        self.fault_stats.displaced += 1;
+                        counters.displaced += 1;
+                        slot + d
+                    }
+                    _ => slot,
+                };
+                builder.record_injection(charged_slot);
+                if fate == Fate::Drop {
+                    self.fault_stats.dropped += 1;
+                    counters.dropped += 1;
+                    continue;
+                }
                 match req {
                     Request::Read { addr, .. } => {
-                        self.read_results[pid]
-                            .push(ReadResult { addr: *addr, value: self.shared[*addr] });
-                        total_reads += 1;
+                        let result = ReadResult { addr: *addr, value: self.shared[*addr] };
+                        match fate {
+                            Fate::Delay(k) => {
+                                self.queue_result(k.max(1), pid, result);
+                                self.fault_stats.delayed += 1;
+                                counters.delayed += 1;
+                            }
+                            Fate::Duplicate => {
+                                self.read_results[pid].push(result);
+                                self.fault_stats.delivered += 1;
+                                self.queue_result(1, pid, result);
+                                self.fault_stats.duplicated += 1;
+                                counters.duplicated += 1;
+                                total_reads += 1;
+                            }
+                            _ => {
+                                self.read_results[pid].push(result);
+                                self.fault_stats.delivered += 1;
+                                total_reads += 1;
+                            }
+                        }
                     }
                     Request::Write { addr, value, .. } => {
+                        // Delayed/duplicated writes are absorbed in order by
+                        // the memory system (see `set_delivery_hook`).
                         pending_writes.push((*addr, pid, *value));
+                        self.fault_stats.delivered += 1;
                         total_writes += 1;
                     }
                 }
             }
+        }
+        // Late responses land after this phase's on-time serves.
+        for (pid, result) in due {
+            self.read_results[pid].push(result);
+            self.fault_stats.delivered += 1;
+            self.fault_stats.in_flight -= 1;
+            counters.late_arrivals += 1;
+            total_reads += 1;
         }
 
         // Arbitrary-rule write resolution: deterministic min-pid winner.
@@ -356,21 +480,35 @@ impl<S: Send + Sync> QsmMachine<S> {
                 per_proc_sent.push(r_i + w_i);
                 per_proc_recv.push(self.read_results[pid].len() as u64);
             }
-            self.sink.record(TraceEvent::for_superstep(
+            let mut ev = TraceEvent::for_superstep(
                 TraceSource::Qsm,
                 self.trace_label.clone(),
-                self.phase as u64,
+                step,
                 self.params,
                 profile.clone(),
                 per_proc_sent,
                 per_proc_recv,
                 crate::max_slot_multiplicity(&resolved),
                 total_reads + total_writes,
-            ));
+            );
+            if hook.is_some() {
+                ev = ev.with_faults(counters);
+            }
+            self.sink.record(ev);
         }
         self.profiles.push(profile.clone());
         self.phase += 1;
         Ok(PhaseReport { profile, reads: total_reads, writes: total_writes })
+    }
+
+    /// Queue a read response for release `k ≥ 1` phases from now.
+    fn queue_result(&mut self, k: u32, pid: Pid, result: ReadResult) {
+        let idx = (k.max(1) - 1) as usize;
+        while self.pending_results.len() <= idx {
+            self.pending_results.push_back(Vec::new());
+        }
+        self.pending_results[idx].push((pid, result));
+        self.fault_stats.in_flight += 1;
     }
 }
 
@@ -569,6 +707,111 @@ mod tests {
         assert_eq!(events[1].per_proc_recv, vec![1, 1, 1, 1]);
         assert_eq!(events[1].profile, m.profiles()[1]);
         assert_eq!(events[1].max_proc_slot_injections, 1);
+    }
+
+    struct DropReads;
+    impl crate::hook::DeliveryHook for DropReads {
+        fn fate(&self, _ctx: &DeliveryCtx) -> Fate {
+            Fate::Drop
+        }
+    }
+
+    #[test]
+    fn dropped_request_returns_no_result_and_writes_nothing() {
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(4), 8, |_| -1);
+        m.shared_mut()[0] = 42;
+        m.set_delivery_hook(Arc::new(DropReads));
+        let r = m.phase(|pid, _s, _res, ctx| {
+            if pid == 0 {
+                ctx.read(0);
+            } else {
+                ctx.write(pid, 7);
+            }
+        });
+        assert_eq!((r.reads, r.writes), (0, 0));
+        // All four requests still consumed injection slots.
+        assert_eq!(m.profiles()[0].injections.iter().sum::<u64>(), 4);
+        m.phase(|pid, _s, res, _ctx| {
+            if pid == 0 {
+                assert!(res.is_empty(), "dropped read must be observable as non-receipt");
+            }
+        });
+        assert_eq!(&m.shared()[1..4], &[0, 0, 0]);
+        let stats = m.fault_stats();
+        assert_eq!(stats.dropped, 4);
+        assert!(stats.conserved());
+    }
+
+    struct DelayReads(u32);
+    impl crate::hook::DeliveryHook for DelayReads {
+        fn fate(&self, _ctx: &DeliveryCtx) -> Fate {
+            Fate::Delay(self.0)
+        }
+    }
+
+    #[test]
+    fn delayed_read_response_carries_the_request_phase_value() {
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(4), 8, |_| 0);
+        m.shared_mut()[3] = 10;
+        m.set_delivery_hook(Arc::new(DelayReads(1)));
+        m.phase(|pid, _s, _res, ctx| {
+            if pid == 0 {
+                ctx.read(3);
+            }
+        });
+        assert_eq!(m.faults_in_flight(), 1);
+        // Overwrite the location while the response is in flight: the reply
+        // must still carry the value served at request time.
+        m.phase(|pid, _s, res, ctx| {
+            assert!(res.is_empty());
+            if pid == 1 {
+                ctx.write(3, 99);
+            }
+        });
+        // Delay(1) = one extra phase: requested in phase 0, normally seen in
+        // phase 1, actually seen in phase 2.
+        m.phase(|pid, s, res, _ctx| {
+            if pid == 0 {
+                assert_eq!(res, &[ReadResult { addr: 3, value: 10 }]);
+                *s = res[0].value;
+            }
+        });
+        assert_eq!(*m.state(0), 10);
+        assert_eq!(m.faults_in_flight(), 0);
+        assert!(m.fault_stats().conserved());
+    }
+
+    #[test]
+    fn stalled_qsm_processor_keeps_its_read_results() {
+        struct StallP0Phase1;
+        impl crate::hook::DeliveryHook for StallP0Phase1 {
+            fn stalled(&self, phase: u64, pid: Pid) -> bool {
+                pid == 0 && phase == 1
+            }
+        }
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(4), 8, |_| 0);
+        m.shared_mut()[5] = 77;
+        m.set_delivery_hook(Arc::new(StallP0Phase1));
+        m.phase(|pid, _s, _res, ctx| {
+            if pid == 0 {
+                ctx.read(5);
+            }
+        });
+        // Phase 1: pid 0 is stalled and never sees the result…
+        m.phase(|pid, s, res, _ctx| {
+            if pid == 0 {
+                *s = res.first().map_or(-1, |r| r.value);
+            }
+        });
+        assert_eq!(*m.state(0), 0, "stalled closure must not run");
+        // …phase 2: the retained result is finally consumed.
+        m.phase(|pid, s, res, _ctx| {
+            if pid == 0 {
+                *s = res[0].value;
+            }
+        });
+        assert_eq!(*m.state(0), 77);
+        assert_eq!(m.fault_stats().stalled_steps, 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use pbw_models::breakdown::{Breakdown, Dominant};
 use pbw_models::{CostSummary, MachineParams, PenaltyFn, SuperstepProfile};
@@ -66,6 +66,37 @@ impl std::fmt::Display for TraceSource {
     }
 }
 
+/// Per-superstep fault-injection counters, stamped on events emitted by an
+/// engine with a delivery hook attached (see `pbw-sim::hook`). `None` on the
+/// event means the run was a reliable network — the schema distinguishes "no
+/// faults occurred" (all-zero counters) from "faults were impossible".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct FaultCounters {
+    /// Messages the network lost this superstep.
+    pub dropped: u64,
+    /// Spurious copies created this superstep (they arrive next superstep).
+    pub duplicated: u64,
+    /// Messages diverted into the delay queue this superstep.
+    pub delayed: u64,
+    /// Messages whose injection slot the router displaced.
+    pub displaced: u64,
+    /// Processors stalled for the whole superstep.
+    pub stalled_procs: u64,
+    /// Previously delayed/duplicated payloads that arrived at this boundary.
+    pub late_arrivals: u64,
+    /// Retransmission round this superstep belongs to (0 = original send;
+    /// stamped by the recovery protocol in `pbw-core`, not the engines).
+    pub retransmit_round: u32,
+}
+
+impl FaultCounters {
+    /// Whether every counter is zero (the event would be indistinguishable
+    /// from a fault-free superstep apart from the hook being attached).
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+}
+
 /// One structured record per superstep (or QSM phase, PRAM step, router
 /// batch): everything needed to re-derive the step's price under every model.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -101,6 +132,9 @@ pub struct TraceEvent {
     /// Per-slot exponential penalty charges `f_m(m_t)`, one per step `t` of
     /// the superstep (so `Σ slot_penalties = c_m`).
     pub slot_penalties: Vec<f64>,
+    /// Fault-injection counters; `None` when the emitting engine ran without
+    /// a delivery hook (reliable network).
+    pub faults: Option<FaultCounters>,
 }
 
 impl TraceEvent {
@@ -141,7 +175,15 @@ impl TraceEvent {
             breakdown,
             costs,
             slot_penalties,
+            faults: None,
         }
+    }
+
+    /// Stamp fault counters on the event (builder-style, used by engines
+    /// running with a delivery hook).
+    pub fn with_faults(mut self, faults: FaultCounters) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Render the event as one line of JSON (no trailing newline).
@@ -218,7 +260,22 @@ impl TraceEvent {
             }
             s.push_str(&json_f64(*v));
         }
-        s.push_str("]}");
+        s.push(']');
+        if let Some(fc) = &self.faults {
+            s.push_str(&format!(
+                ",\"faults\":{{\"dropped\":{},\"duplicated\":{},\"delayed\":{},\
+                 \"displaced\":{},\"stalled_procs\":{},\"late_arrivals\":{},\
+                 \"retransmit_round\":{}}}",
+                fc.dropped,
+                fc.duplicated,
+                fc.delayed,
+                fc.displaced,
+                fc.stalled_procs,
+                fc.late_arrivals,
+                fc.retransmit_round
+            ));
+        }
+        s.push('}');
         s
     }
 }
@@ -262,6 +319,14 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Lock a sink mutex, recovering from poisoning. Trace data is append-only
+/// metadata: a thread that panicked mid-`record` left at worst one garbled
+/// event, which must not cascade assertion failures into unrelated traced
+/// tests sharing the process-wide sink.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Where trace events go. Implementations must be shareable across the
 /// engines' rayon workers, hence `Send + Sync`; `record` takes `&self` so a
 /// sink behind an `Arc` needs interior mutability.
@@ -303,17 +368,17 @@ impl RecordingSink {
 
     /// Clone of everything recorded so far, in emission order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().clone()
+        lock_unpoisoned(&self.events).clone()
     }
 
     /// Drain everything recorded so far.
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut *self.events.lock().unwrap())
+        std::mem::take(&mut *lock_unpoisoned(&self.events))
     }
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        lock_unpoisoned(&self.events).len()
     }
 
     /// Whether nothing has been recorded.
@@ -324,7 +389,7 @@ impl RecordingSink {
 
 impl TraceSink for RecordingSink {
     fn record(&self, event: TraceEvent) {
-        self.events.lock().unwrap().push(event);
+        lock_unpoisoned(&self.events).push(event);
     }
 }
 
@@ -347,13 +412,13 @@ impl JsonlSink {
 
     /// Flush buffered lines to the underlying writer.
     pub fn flush(&self) -> io::Result<()> {
-        self.writer.lock().unwrap().flush()
+        lock_unpoisoned(&self.writer).flush()
     }
 }
 
 impl TraceSink for JsonlSink {
     fn record(&self, event: TraceEvent) {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = lock_unpoisoned(&self.writer);
         // Trace output is best-effort: a full disk should not abort the
         // experiment being traced.
         let _ = writeln!(w, "{}", event.to_json());
@@ -362,9 +427,7 @@ impl TraceSink for JsonlSink {
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        if let Ok(mut w) = self.writer.lock() {
-            let _ = w.flush();
-        }
+        let _ = lock_unpoisoned(&self.writer).flush();
     }
 }
 
@@ -379,19 +442,19 @@ fn null_sink() -> Arc<dyn TraceSink> {
 /// Install `sink` as the process-wide default that engines capture at
 /// construction time. Returns the previously installed sink, if any.
 pub fn set_global_sink(sink: Arc<dyn TraceSink>) -> Option<Arc<dyn TraceSink>> {
-    GLOBAL_SINK.lock().unwrap().replace(sink)
+    lock_unpoisoned(&GLOBAL_SINK).replace(sink)
 }
 
 /// Reset the process-wide default back to [`NullSink`].
 pub fn clear_global_sink() -> Option<Arc<dyn TraceSink>> {
-    GLOBAL_SINK.lock().unwrap().take()
+    lock_unpoisoned(&GLOBAL_SINK).take()
 }
 
 /// The current process-wide default sink ([`NullSink`] unless
 /// [`set_global_sink`] was called). Engines call this once in their
 /// constructors; per-superstep paths only touch the captured `Arc`.
 pub fn global_sink() -> Arc<dyn TraceSink> {
-    GLOBAL_SINK.lock().unwrap().clone().unwrap_or_else(null_sink)
+    lock_unpoisoned(&GLOBAL_SINK).clone().unwrap_or_else(null_sink)
 }
 
 #[cfg(test)]
@@ -501,6 +564,52 @@ mod tests {
         sink.record(sample_event("y"));
         sink.flush().unwrap();
         assert_eq!(lines.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn fault_counters_render_only_when_present() {
+        let plain = sample_event("plain");
+        assert!(!plain.to_json().contains("\"faults\""));
+        let faulty = sample_event("faulty").with_faults(FaultCounters {
+            dropped: 2,
+            late_arrivals: 1,
+            retransmit_round: 3,
+            ..Default::default()
+        });
+        let line = faulty.to_json();
+        assert!(line.contains(
+            "\"faults\":{\"dropped\":2,\"duplicated\":0,\"delayed\":0,\"displaced\":0,\
+             \"stalled_procs\":0,\"late_arrivals\":1,\"retransmit_round\":3}"
+        ));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn zero_counters_are_distinguishable_from_no_hook() {
+        assert!(FaultCounters::default().is_zero());
+        let ev = sample_event("hooked").with_faults(FaultCounters::default());
+        assert_eq!(ev.faults, Some(FaultCounters::default()));
+        assert!(ev.to_json().contains("\"faults\":{\"dropped\":0"));
+    }
+
+    #[test]
+    fn recording_sink_survives_a_poisoning_panic() {
+        let sink = Arc::new(RecordingSink::new());
+        sink.record(sample_event("before"));
+        // Poison the mutex: panic while holding the lock on another thread.
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.events.lock().unwrap();
+            panic!("poison the recording sink");
+        })
+        .join();
+        // Every accessor must keep working on the poisoned lock.
+        sink.record(sample_event("after"));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.snapshot().len(), 2);
+        let events = sink.take();
+        assert_eq!(events[0].label, "before");
+        assert_eq!(events[1].label, "after");
     }
 
     #[test]

@@ -14,9 +14,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== trace smoke: reproduce --trace =="
 trace_out="$(mktemp)"
-trap 'rm -f "$trace_out"' EXIT
+fault_a="$(mktemp)"
+fault_b="$(mktemp)"
+trap 'rm -f "$trace_out" "$fault_a" "$fault_b"' EXIT
 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --trace "$trace_out" table1 >/dev/null
 [ -s "$trace_out" ] || { echo "trace file is empty" >&2; exit 1; }
 echo "ok: $(wc -l < "$trace_out") trace events"
+
+echo "== fault determinism: same seed, bit-identical traces =="
+cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_a" faults >/dev/null
+cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_b" faults >/dev/null
+[ -s "$fault_a" ] || { echo "fault trace is empty" >&2; exit 1; }
+diff -q "$fault_a" "$fault_b" || { echo "same-seed fault traces differ" >&2; exit 1; }
+echo "ok: $(wc -l < "$fault_a") fault-run trace events, replayed bit-identically"
 
 echo "CI green"

@@ -23,9 +23,14 @@
 //!   the dynamic routing Algorithm B, stability traces and M/G/1 analysis.
 //! * [`trace`] — superstep cost-trace observability: every engine emits one
 //!   structured event per superstep (profile, per-model term breakdown,
-//!   per-slot penalties) into a pluggable sink — `NullSink` (default,
-//!   zero-cost), `RecordingSink` (tests), or a JSON-lines exporter
+//!   per-slot penalties, fault counters) into a pluggable sink — `NullSink`
+//!   (default, zero-cost), `RecordingSink` (tests), or a JSON-lines exporter
 //!   (`reproduce --trace <path>`).
+//! * [`faults`] — seeded, deterministic fault injection (drops,
+//!   duplications, delays, slot displacement, processor stalls) for the
+//!   [`sim`] engines, paired with the ack/retransmit recovery protocol in
+//!   [`sched`]'s `recovery` module and router backpressure in
+//!   [`adversary`].
 //!
 //! ## Quickstart
 //!
@@ -49,22 +54,29 @@
 
 /// Frequently used items in one import: `use parallel_bandwidth::prelude::*;`
 pub mod prelude {
-    pub use pbw_adversary::{Adversary, AlgorithmB, AqtParams, SteadyAdversary};
+    pub use pbw_adversary::{
+        Adversary, AlgorithmB, AqtParams, BackpressureConfig, ShedPolicy, SteadyAdversary,
+    };
     pub use pbw_core::schedulers::{
         EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend,
         UnbalancedGranularSend, UnbalancedSend,
     };
-    pub use pbw_core::{evaluate_schedule, validate_schedule, workload, Schedule, Workload};
+    pub use pbw_core::{
+        evaluate_schedule, run_with_recovery, validate_schedule, workload, RecoveryConfig,
+        RecoveryOutcome, Schedule, Workload,
+    };
+    pub use pbw_faults::{FaultPlan, FaultSpec, StallWindow};
     pub use pbw_models::{
         BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM, SuperstepProfile,
     };
-    pub use pbw_sim::{BspMachine, CostSummary, QsmMachine};
+    pub use pbw_sim::{BspMachine, CostSummary, DeliveryHook, FaultStats, Fate, QsmMachine};
     pub use pbw_trace::{
-        JsonlSink, NullSink, RecordingSink, TraceEvent, TraceSink, TraceSource,
+        FaultCounters, JsonlSink, NullSink, RecordingSink, TraceEvent, TraceSink, TraceSource,
     };
 }
 
 pub use pbw_adversary as adversary;
+pub use pbw_faults as faults;
 pub use pbw_algos as algos;
 pub use pbw_core as sched;
 pub use pbw_models as models;
