@@ -409,9 +409,24 @@ impl AlgorithmB {
         phi: f64,
         fault_seed: u64,
     ) -> StabilityTrace {
+        self.run_with_faults_to(adv, intervals, phi, fault_seed, pbw_trace::global_sink())
+    }
+
+    /// [`run_with_faults`](Self::run_with_faults) with an explicit trace
+    /// sink. Parallel φ-sweeps route each loss rate into a private
+    /// recording sink and replay events in sweep order, keeping the global
+    /// trace byte-identical at every thread count.
+    pub fn run_with_faults_to(
+        &self,
+        adv: &mut dyn Adversary,
+        intervals: u64,
+        phi: f64,
+        fault_seed: u64,
+        sink: Arc<dyn TraceSink>,
+    ) -> StabilityTrace {
         assert!((0.0..1.0).contains(&phi), "drop rate must be in [0, 1)");
         let cfg = RouterCfg { bp: None, loss: Some((phi, fault_seed)) };
-        self.route(adv, intervals, cfg, pbw_trace::global_sink())
+        self.route(adv, intervals, cfg, sink)
     }
 
     fn route(

@@ -5,12 +5,32 @@
 
 use crate::table::{fmt, Table};
 use pbw_adversary::{AlgorithmB, AqtParams, BackpressureConfig, SteadyAdversary};
-use pbw_core::recovery::{run_with_recovery, RecoveryConfig};
+use pbw_core::recovery::{run_with_recovery_to, RecoveryConfig};
 use pbw_core::schedulers::UnbalancedSend;
 use pbw_core::workload;
 use pbw_faults::{FaultPlan, FaultSpec};
 use pbw_models::MachineParams;
+use pbw_trace::{NullSink, RecordingSink, TraceEvent, TraceSink};
+use rayon::prelude::*;
 use std::sync::Arc;
+
+/// Run one sweep point against a private sink so points can execute in
+/// parallel: the recorded events are replayed into the global sink in sweep
+/// order afterwards, keeping trace output byte-identical at every thread
+/// count. When the global sink is disabled nothing is recorded at all,
+/// matching the sequential path's cost.
+fn with_point_sink<R>(
+    tracing: bool,
+    run: impl FnOnce(Arc<dyn TraceSink>) -> R,
+) -> (R, Vec<TraceEvent>) {
+    if tracing {
+        let rec = Arc::new(RecordingSink::new());
+        let result = run(rec.clone());
+        (result, rec.take())
+    } else {
+        (run(Arc::new(NullSink)), Vec::new())
+    }
+}
 
 /// The drop rates the sweep visits.
 const PHIS: [f64; 4] = [0.0, 0.01, 0.05, 0.1];
@@ -52,15 +72,31 @@ pub fn faults_seeded(quick: bool, seed: u64) -> String {
         "arrival p99",
         "all delivered?",
     ]);
+    // Sweep points are independent (each recovery owns its machine and
+    // hook), so they run in parallel; replay + table rows stay sequential
+    // in φ order.
+    let global = pbw_trace::global_sink();
+    let tracing = global.enabled();
+    let outcomes: Vec<_> = PHIS
+        .to_vec()
+        .into_par_iter()
+        .map(|phi| {
+            let hook = if phi > 0.0 {
+                Some(Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed))
+                    as Arc<dyn pbw_sim::DeliveryHook>)
+            } else {
+                None
+            };
+            with_point_sink(tracing, |sink| {
+                run_with_recovery_to(sink, &wl, &scheduler, params, 11, hook, &cfg)
+            })
+        })
+        .collect();
     let mut base: Option<(f64, f64)> = None;
-    for phi in PHIS {
-        let hook = if phi > 0.0 {
-            Some(Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed))
-                as Arc<dyn pbw_sim::DeliveryHook>)
-        } else {
-            None
-        };
-        let outcome = run_with_recovery(&wl, &scheduler, params, 11, hook, &cfg);
+    for (phi, (outcome, events)) in PHIS.into_iter().zip(outcomes) {
+        for ev in events {
+            global.record(ev);
+        }
         let (g0, m0) = *base.get_or_insert((outcome.summary.bsp_g, outcome.summary.bsp_m_exp));
         t.row(vec![
             fmt(phi),
@@ -99,10 +135,22 @@ pub fn faults_seeded(quick: bool, seed: u64) -> String {
         "verdict",
         "p99 delay",
     ]);
-    for phi in [PHIS[0], PHIS[1], PHIS[2], PHIS[3], 0.4] {
-        let aqt = AqtParams { w: rw, alpha: 5.0, beta: 0.5 };
-        let mut adv = SteadyAdversary::new(rp, aqt);
-        let tr = algo.run_with_faults(&mut adv, intervals, phi, seed);
+    let erosion_phis = [PHIS[0], PHIS[1], PHIS[2], PHIS[3], 0.4];
+    let traces: Vec<_> = erosion_phis
+        .to_vec()
+        .into_par_iter()
+        .map(|phi| {
+            let aqt = AqtParams { w: rw, alpha: 5.0, beta: 0.5 };
+            let mut adv = SteadyAdversary::new(rp, aqt);
+            with_point_sink(tracing, |sink| {
+                algo.run_with_faults_to(&mut adv, intervals, phi, seed, sink)
+            })
+        })
+        .collect();
+    for (phi, (tr, events)) in erosion_phis.into_iter().zip(traces) {
+        for ev in events {
+            global.record(ev);
+        }
         t2.row(vec![
             fmt(phi),
             fmt(5.0 / (1.0 - phi)),

@@ -245,8 +245,26 @@ pub fn run_with_recovery(
     hook: Option<Arc<dyn DeliveryHook>>,
     cfg: &RecoveryConfig,
 ) -> RecoveryOutcome {
+    run_with_recovery_to(pbw_trace::global_sink(), wl, scheduler, params, seed, hook, cfg)
+}
+
+/// [`run_with_recovery`] with an explicit trace sink instead of the
+/// process-global one. Parallel sweeps (e.g. the φ-sweep in `reproduce
+/// faults`) run each recovery against a private recording sink and replay
+/// the events into the global sink in sweep order, keeping trace output
+/// byte-identical at every thread count.
+pub fn run_with_recovery_to(
+    sink: Arc<dyn pbw_trace::TraceSink>,
+    wl: &Workload,
+    scheduler: &dyn Scheduler,
+    params: MachineParams,
+    seed: u64,
+    hook: Option<Arc<dyn DeliveryHook>>,
+    cfg: &RecoveryConfig,
+) -> RecoveryOutcome {
     assert_eq!(wl.p(), params.p, "workload and machine disagree on p");
     let mut machine: BspMachine<(), FlitTag> = BspMachine::new(params, |_| ());
+    machine.set_sink(sink);
     machine.set_trace_label("recovery/send");
     if let Some(h) = hook {
         machine.set_delivery_hook(h);

@@ -16,6 +16,7 @@
 use crate::workload::Workload;
 use pbw_models::{div_ceil, MachineParams, PenaltyFn, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{TraceEvent, TraceSink, TraceSource};
+use rayon::prelude::*;
 
 /// A start slot for every message of a workload (same shape as
 /// `workload.sends()`).
@@ -60,48 +61,77 @@ pub fn validate_schedule(schedule: &Schedule, wl: &Workload) -> Result<(), Sched
             got: schedule.starts.len(),
         });
     }
-    for (src, starts) in schedule.starts.iter().enumerate() {
-        let msgs = wl.msgs(src);
-        if starts.len() != msgs.len() {
-            return Err(ScheduleError::ShapeMismatch {
-                src,
-                expected: msgs.len(),
-                got: starts.len(),
-            });
-        }
-        // Occupied intervals must be pairwise disjoint.
-        let mut intervals: Vec<(u64, u64)> = starts
-            .iter()
-            .zip(msgs.iter())
-            .map(|(&s, m)| (s, s + m.len))
-            .collect();
-        intervals.sort_unstable();
-        for w in intervals.windows(2) {
-            if w[1].0 < w[0].1 {
-                return Err(ScheduleError::Overlap { src, slot: w[1].0 });
+    // Per-source checks are independent; the fallible parallel collect
+    // surfaces the lowest-`src` error, matching the sequential scan.
+    let checks: Result<Vec<()>, ScheduleError> = schedule
+        .starts
+        .par_iter()
+        .enumerate()
+        .map(|(src, starts)| {
+            let msgs = wl.msgs(src);
+            if starts.len() != msgs.len() {
+                return Err(ScheduleError::ShapeMismatch {
+                    src,
+                    expected: msgs.len(),
+                    got: starts.len(),
+                });
             }
-        }
-    }
-    Ok(())
+            // Occupied intervals must be pairwise disjoint.
+            let mut intervals: Vec<(u64, u64)> = starts
+                .iter()
+                .zip(msgs.iter())
+                .map(|(&s, m)| (s, s + m.len))
+                .collect();
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return Err(ScheduleError::Overlap { src, slot: w[1].0 });
+                }
+            }
+            Ok(())
+        })
+        .collect();
+    checks.map(|_| ())
 }
 
 /// The machine-wide per-step flit load of a schedule.
 pub fn slot_loads(schedule: &Schedule, wl: &Workload) -> Vec<u64> {
-    let mut makespan = 0u64;
-    for (src, starts) in schedule.starts.iter().enumerate() {
-        for (&s, m) in starts.iter().zip(wl.msgs(src)) {
-            makespan = makespan.max(s + m.len);
-        }
-    }
-    let mut loads = vec![0u64; makespan as usize];
-    for (src, starts) in schedule.starts.iter().enumerate() {
-        for (&s, m) in starts.iter().zip(wl.msgs(src)) {
-            for t in s..s + m.len {
-                loads[t as usize] += 1;
+    // Per-source makespan maxima, then per-chunk histograms summed slot-wise
+    // — both u64 merges are exact under any chunking, so the result is
+    // identical at every thread count.
+    let makespan = schedule
+        .starts
+        .par_iter()
+        .enumerate()
+        .map(|(src, starts)| {
+            starts
+                .iter()
+                .zip(wl.msgs(src))
+                .map(|(&s, m)| s + m.len)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect::<Vec<u64>>()
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    schedule.starts.par_iter().enumerate().fold_chunks(
+        || vec![0u64; makespan as usize],
+        |mut loads, (src, starts)| {
+            for (&s, m) in starts.iter().zip(wl.msgs(src)) {
+                for t in s..s + m.len {
+                    loads[t as usize] += 1;
+                }
             }
-        }
-    }
-    loads
+            loads
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    )
 }
 
 /// Convert a schedule into a [`SuperstepProfile`], so it can be priced under
@@ -114,11 +144,10 @@ pub fn to_profile(schedule: &Schedule, wl: &Workload) -> SuperstepProfile {
     for i in 0..wl.p() {
         b.record_traffic(sent[i], recv[i]);
     }
-    for (src, starts) in schedule.starts.iter().enumerate() {
-        for (&s, m) in starts.iter().zip(wl.msgs(src)) {
-            for t in s..s + m.len {
-                b.record_injection(t);
-            }
+    // The injection histogram is exactly the parallel slot-load pass.
+    for (t, &count) in slot_loads(schedule, wl).iter().enumerate() {
+        if count > 0 {
+            b.record_injections(t as u64, count);
         }
     }
     b.build()
@@ -170,25 +199,35 @@ pub fn audit_schedule_to(
 /// schedule accepted by [`validate_schedule`]; recomputed here so audits
 /// report what the schedule actually does, not what validation implies).
 fn max_per_proc_slot_occupancy(schedule: &Schedule, wl: &Workload) -> u64 {
-    let mut best = 0i64;
-    for (src, starts) in schedule.starts.iter().enumerate() {
-        // Interval sweep over [start, start+len): ends sort before starts at
-        // equal slots because -1 < +1.
-        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(starts.len() * 2);
-        for (&s, m) in starts.iter().zip(wl.msgs(src)) {
-            if m.len > 0 {
-                deltas.push((s, 1));
-                deltas.push((s + m.len, -1));
+    // Per-source sweeps are independent; `max` over the per-source results
+    // is exact under any chunking.
+    schedule
+        .starts
+        .par_iter()
+        .enumerate()
+        .map(|(src, starts)| {
+            // Interval sweep over [start, start+len): ends sort before
+            // starts at equal slots because -1 < +1.
+            let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(starts.len() * 2);
+            for (&s, m) in starts.iter().zip(wl.msgs(src)) {
+                if m.len > 0 {
+                    deltas.push((s, 1));
+                    deltas.push((s + m.len, -1));
+                }
             }
-        }
-        deltas.sort_unstable();
-        let mut cur = 0i64;
-        for (_, d) in deltas {
-            cur += d;
-            best = best.max(cur);
-        }
-    }
-    best as u64
+            deltas.sort_unstable();
+            let mut cur = 0i64;
+            let mut best = 0i64;
+            for (_, d) in deltas {
+                cur += d;
+                best = best.max(cur);
+            }
+            best
+        })
+        .collect::<Vec<i64>>()
+        .into_iter()
+        .max()
+        .unwrap_or(0) as u64
 }
 
 /// Everything the Section 6 experiments report about one schedule.

@@ -7,14 +7,26 @@
 //! [`prelude::Strategy`] with `prop_map`, range / tuple / `any` /
 //! `collection::vec` strategies, and `prop_assert!` / `prop_assert_eq!`.
 //!
-//! Differences from upstream, deliberately accepted:
-//! * no shrinking — a failing case panics with the `prop_assert!` message
-//!   and the case inputs are reproducible because the RNG is seeded from
-//!   the test's own name;
-//! * no persistence files or fork handling;
-//! * `cases` is the sole knob on [`prelude::ProptestConfig`].
+//! Failure handling mirrors upstream's shape:
+//! * **Minimal shrinking.** Integer and float ranges shrink toward their
+//!   lower bound, tuples shrink component-wise, `collection::vec` shrinks
+//!   by truncation (never below the size range's minimum), and `any` shrinks
+//!   toward zero. `prop_map` does not shrink (the mapping is not
+//!   invertible).
+//! * **Failure persistence.** Each case draws from its own seed
+//!   (derived from the test name and case index). A failing case is
+//!   shrunk, appended to the sibling `*.proptest-regressions` file as a
+//!   `cc <seed-hex> # shrinks to <value>` line, and those lines are
+//!   replayed *before* fresh cases on every later run. Upstream's 256-bit
+//!   seeds in checked-in files are folded to this shim's 64-bit seeds, so
+//!   old files are read (as extra replayed cases), not rejected.
+//!
+//! Differences from upstream, deliberately accepted: no fork handling, and
+//! `cases` is the sole knob on [`prelude::ProptestConfig`].
 
 use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 use rand::{Rng, SeedableRng};
 
@@ -25,12 +37,29 @@ pub type TestRng = rand_chacha::ChaCha8Rng;
 /// Deterministic per-test RNG: seeded from an FNV-1a hash of the test
 /// name, so each test gets an independent, stable stream.
 pub fn test_rng(test_name: &str) -> TestRng {
+    TestRng::seed_from_u64(fnv1a(test_name))
+}
+
+fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in test_name.bytes() {
+    for b in s.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    TestRng::seed_from_u64(h)
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The seed for case `case` of test `name` — each case gets an independent
+/// RNG so one `cc` line replays exactly one case.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    splitmix64(fnv1a(name) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Everything a `use proptest::prelude::*;` site expects.
@@ -67,6 +96,16 @@ pub trait Strategy {
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simpler values to try when `value` made the test fail,
+    /// most aggressive first. Every candidate must itself be a value this
+    /// strategy could produce and strictly simpler than `value`, so the
+    /// shrink loop terminates. The default (no candidates) disables
+    /// shrinking for the strategy.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transform every generated value with `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -77,7 +116,9 @@ pub trait Strategy {
     }
 }
 
-/// Strategy adaptor produced by [`Strategy::prop_map`].
+/// Strategy adaptor produced by [`Strategy::prop_map`]. Does not shrink:
+/// the mapping is not invertible, so simpler pre-images cannot be derived
+/// from a failing output.
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -94,38 +135,120 @@ where
     }
 }
 
+/// Values that know how to move toward a lower bound in big strides —
+/// the primitive behind range shrinking.
+pub trait ShrinkTowards: Copy + PartialOrd {
+    /// Candidates strictly between `low` (inclusive) and `v` (exclusive),
+    /// most aggressive first; empty when `v <= low`.
+    fn shrink_towards(low: Self, v: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_towards_int {
+    ($($t:ty),*) => {$(
+        impl ShrinkTowards for $t {
+            fn shrink_towards(low: Self, v: Self) -> Vec<Self> {
+                if v <= low {
+                    return Vec::new();
+                }
+                let mut c = vec![low, low + (v - low) / 2, v - 1];
+                c.dedup();
+                c.retain(|&x| x < v);
+                c
+            }
+        }
+    )*};
+}
+
+impl_shrink_towards_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_towards_float {
+    ($($t:ty),*) => {$(
+        impl ShrinkTowards for $t {
+            fn shrink_towards(low: Self, v: Self) -> Vec<Self> {
+                if !(v > low) {
+                    return Vec::new();
+                }
+                // A bisection ladder `low, low + d/2, low + 3d/4, ...`
+                // approaching `v` from below: whichever rung is the first
+                // to still fail becomes the next value, so the distance to
+                // a pass/fail boundary roughly halves per accepted shrink.
+                let d = v - low;
+                let mut c = Vec::with_capacity(53);
+                c.push(low);
+                let mut frac: $t = 0.5;
+                for _ in 0..52 {
+                    let x = low + d * frac;
+                    if x > low && x < v && c.last().copied() != Some(x) {
+                        c.push(x);
+                    }
+                    frac += (1.0 - frac) / 2.0;
+                }
+                c
+            }
+        }
+    )*};
+}
+
+impl_shrink_towards_float!(f32, f64);
+
 impl<T> Strategy for Range<T>
 where
     Range<T>: rand::SampleRange<T> + Clone,
+    T: ShrinkTowards,
 {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         rng.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_towards(self.start, *value)
     }
 }
 
 impl<T> Strategy for RangeInclusive<T>
 where
     RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    T: ShrinkTowards,
 {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         rng.gen_range(self.clone())
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_towards(*self.start(), *value)
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: each candidate shrinks exactly one
+                // component and keeps the rest, so progress is strictly
+                // decreasing in the sum of component measures.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
+    (A.0)
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
@@ -150,23 +273,60 @@ impl<T: Clone> Strategy for Just<T> {
 pub trait Arbitrary {
     /// Draw a value from the type's full range.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simpler candidates for a failing value (see [`Strategy::shrink`]).
+    fn arbitrary_shrink(&self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
 }
 
-macro_rules! impl_arbitrary_int {
+macro_rules! impl_arbitrary_uint {
     ($($t:ty),*) => {$(
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.gen_range(<$t>::MIN..=<$t>::MAX)
             }
+            fn arbitrary_shrink(&self) -> Vec<Self> {
+                ShrinkTowards::shrink_towards(0, *self)
+            }
         }
     )*};
 }
 
-impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+macro_rules! impl_arbitrary_sint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+            fn arbitrary_shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                // Toward zero from either side; integer halving moves
+                // toward zero for both signs.
+                let mut c = vec![0, v / 2, if v > 0 { v - 1 } else { v + 1 }];
+                c.dedup();
+                c.retain(|&x| x != v);
+                c
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+impl_arbitrary_sint!(i8, i16, i32, i64, isize);
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.gen_range(0u32..2) == 1
+    }
+    fn arbitrary_shrink(&self) -> Vec<Self> {
+        if *self { vec![false] } else { Vec::new() }
     }
 }
 
@@ -183,12 +343,35 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.arbitrary_shrink()
+    }
 }
 
 /// Collection strategies: the `vec(element, size)` constructor.
 pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size ranges that expose their minimum, so vector shrinking never
+    /// truncates below a length the strategy could produce.
+    pub trait SizeRange: rand::SampleRange<usize> + Clone {
+        /// Smallest length the range can draw.
+        fn min_len(&self) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn min_len(&self) -> usize {
+            self.start
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn min_len(&self) -> usize {
+            *self.start()
+        }
+    }
 
     /// Strategy for `Vec<S::Value>` with a random length drawn from a
     /// size range.
@@ -202,7 +385,7 @@ pub mod collection {
     pub fn vec<S, R>(element: S, size: R) -> VecStrategy<S, R>
     where
         S: Strategy,
-        R: rand::SampleRange<usize> + Clone,
+        R: SizeRange,
     {
         VecStrategy { element, size }
     }
@@ -210,18 +393,40 @@ pub mod collection {
     impl<S, R> Strategy for VecStrategy<S, R>
     where
         S: Strategy,
-        R: rand::SampleRange<usize> + Clone,
+        S::Value: Clone,
+        R: SizeRange,
     {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.clone());
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Truncation first (aggressively, then by one), then shrink the
+            // first shrinkable element in place.
+            let min = self.size.min_len();
+            let len = value.len();
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            for cand_len in [min, min + (len - min.min(len)) / 2, len.saturating_sub(1)] {
+                if cand_len < len && cand_len >= min && !out.iter().any(|v| v.len() == cand_len)
+                {
+                    out.push(value[..cand_len].to_vec());
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for simpler in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = simpler;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
-/// `prop_assert!`: plain `assert!` — a failure panics the whole test
-/// rather than triggering shrinking, which this shim does not do.
+/// `prop_assert!`: plain `assert!` — the runner catches the panic, shrinks
+/// the failing input, and persists a `cc` seed line.
 #[macro_export]
 macro_rules! prop_assert {
     ($($t:tt)*) => { assert!($($t)*) };
@@ -233,10 +438,197 @@ macro_rules! prop_assert_eq {
     ($($t:tt)*) => { assert_eq!($($t)*) };
 }
 
+/// Resolve the sibling `*.proptest-regressions` file for a test source
+/// file. `file` is the macro caller's `file!()`, which may be relative to
+/// either the crate manifest dir or the workspace root depending on how
+/// cargo was invoked — whichever join exists on disk wins.
+pub fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let rel = Path::new(file).with_extension("proptest-regressions");
+    let joined = Path::new(manifest_dir).join(&rel);
+    if joined.exists() {
+        return joined;
+    }
+    if rel.exists() {
+        return rel;
+    }
+    if joined.parent().is_some_and(|p| p.is_dir()) {
+        joined
+    } else {
+        rel
+    }
+}
+
+/// Parse the seeds out of a `*.proptest-regressions` file. Upstream's
+/// 256-bit `cc` hashes are folded (XOR over 64-bit words) into this shim's
+/// 64-bit seed space, so checked-in upstream files replay as ordinary
+/// extra cases.
+pub fn read_regressions(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String =
+                rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.is_empty() {
+                return None;
+            }
+            let mut folded = 0u64;
+            let bytes = hex.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                let end = (i + 16).min(bytes.len());
+                let chunk = std::str::from_utf8(&bytes[i..end]).ok()?;
+                folded ^= u64::from_str_radix(chunk, 16).ok()?;
+                i = end;
+            }
+            Some(folded)
+        })
+        .collect()
+}
+
+fn persist_failure(path: &Path, seed: u64, minimal: &str) {
+    use std::io::Write;
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        eprintln!("proptest shim: could not persist failure to {}", path.display());
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases."
+        );
+    }
+    let _ = writeln!(f, "cc {seed:016x} # shrinks to {minimal}");
+}
+
+/// Serializes panic-hook swaps across concurrently failing proptests.
+static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Silences the default panic printer while shrink candidates are probed
+/// (each probe that still fails would otherwise print a full backtrace).
+struct QuietPanics<'a> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+    prev: Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>>,
+}
+
+impl QuietPanics<'_> {
+    fn new() -> Self {
+        let guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { _guard: guard, prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics<'_> {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+fn fails<S: Strategy>(body: &impl Fn(S::Value), value: S::Value) -> bool
+where
+    S::Value: Clone,
+{
+    catch_unwind(AssertUnwindSafe(|| body(value))).is_err()
+}
+
+fn shrink_to_minimal<S: Strategy>(strat: &S, body: &impl Fn(S::Value), mut value: S::Value) -> S::Value
+where
+    S::Value: Clone,
+{
+    let _quiet = QuietPanics::new();
+    // Candidates are strictly simpler than their source, so this terminates;
+    // the cap is a belt against a misbehaving user strategy.
+    for _ in 0..10_000 {
+        let Some(next) = strat
+            .shrink(&value)
+            .into_iter()
+            .find(|cand| fails::<S>(body, cand.clone()))
+        else {
+            return value;
+        };
+        value = next;
+    }
+    value
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The engine behind [`proptest!`]: replays persisted regression seeds,
+/// then runs `config.cases` fresh cases; a failing case is shrunk to a
+/// minimal failing input, persisted (fresh failures only), and re-raised
+/// with the seed and minimal input in the message.
+pub fn run_property<S>(
+    config: ProptestConfig,
+    path: &Path,
+    name: &str,
+    strat: &S,
+    body: impl Fn(S::Value),
+) where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+{
+    let replayed = read_regressions(path);
+    for &seed in &replayed {
+        run_one(strat, &body, path, name, seed, true);
+    }
+    for case in 0..config.cases {
+        run_one(strat, &body, path, name, case_seed(name, case), false);
+    }
+}
+
+fn run_one<S>(
+    strat: &S,
+    body: &impl Fn(S::Value),
+    path: &Path,
+    name: &str,
+    seed: u64,
+    replay: bool,
+) where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+{
+    let mut rng = TestRng::seed_from_u64(seed);
+    let value = strat.generate(&mut rng);
+    let outcome = catch_unwind(AssertUnwindSafe(|| body(value.clone())));
+    let Err(payload) = outcome else { return };
+    let minimal = shrink_to_minimal(strat, body, value);
+    let minimal_text = format!("{minimal:?}");
+    if !replay {
+        persist_failure(path, seed, &minimal_text);
+    }
+    let origin = if replay { " (replayed from the regressions file)" } else { "" };
+    panic!(
+        "proptest case for `{name}` failed{origin}: {}\n\
+         seed: cc {seed:016x}\n\
+         minimal failing input: {minimal_text}",
+        panic_text(payload.as_ref()),
+    );
+}
+
 /// The test-block macro. Each contained `fn name(arg in strategy, ..)`
 /// becomes a `#[test]` (the attribute is written at the call site and
-/// re-emitted here) that draws `config.cases` random cases and runs the
-/// body on each.
+/// re-emitted here) that replays persisted regression seeds, then draws
+/// `config.cases` random cases, shrinking and persisting any failure.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -257,14 +649,14 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__config.cases {
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                // Case index in the panic payload stands in for shrinking:
-                // rerunning the test reproduces the same case sequence.
-                let _ = __case;
-                $body
-            }
+            let __path = $crate::regression_path(env!("CARGO_MANIFEST_DIR"), file!());
+            $crate::run_property(
+                __config,
+                &__path,
+                concat!(module_path!(), "::", stringify!($name)),
+                &($($strat,)+),
+                |($($arg,)+)| $body,
+            );
         }
     )*};
 }
@@ -272,6 +664,13 @@ macro_rules! __proptest_tests {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("pbw-proptest-{name}-{}.regressions", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
 
     #[test]
     fn strategies_are_deterministic_per_name() {
@@ -289,6 +688,117 @@ mod tests {
             let v = s.generate(&mut rng);
             assert!(v >= 10 && v <= 40 && v % 10 == 0);
         }
+    }
+
+    #[test]
+    fn integer_ranges_shrink_to_the_smallest_failure() {
+        // Fails for x >= 50: the minimal counterexample is exactly 50.
+        let strat = (0u64..100,);
+        let minimal =
+            crate::shrink_to_minimal(&strat, &|(x,): (u64,)| assert!(x < 50), (99,));
+        assert_eq!(minimal, (50,));
+    }
+
+    #[test]
+    fn tuples_shrink_component_wise() {
+        let strat = (0u32..100, 0u32..100);
+        let minimal = crate::shrink_to_minimal(
+            &strat,
+            &|(a, _b): (u32, u32)| assert!(a < 60),
+            (90, 77),
+        );
+        assert_eq!(minimal, (60, 0));
+    }
+
+    #[test]
+    fn floats_shrink_toward_the_low_bound() {
+        let strat = (0.0f64..1.0,);
+        let (x,) = crate::shrink_to_minimal(
+            &strat,
+            &|(x,): (f64,)| assert!(x < 0.5),
+            (0.93,),
+        );
+        assert!((0.5..0.5 + 1e-6).contains(&x), "got {x}");
+    }
+
+    #[test]
+    fn vec_shrinking_respects_fixed_size() {
+        let strat = (crate::collection::vec(0i64..10, 4..=4),);
+        let (v,) = crate::shrink_to_minimal(
+            &strat,
+            &|(v,): (Vec<i64>,)| assert!(v.iter().sum::<i64>() < 5),
+            (vec![3, 3, 3, 3],),
+        );
+        assert_eq!(v.len(), 4, "fixed-size vec must not be truncated");
+        assert_eq!(v.iter().sum::<i64>(), 5);
+    }
+
+    #[test]
+    fn failures_persist_and_replay() {
+        let path = scratch("persist");
+        let strat = (10u64..100,);
+        let failing = std::panic::catch_unwind(|| {
+            crate::run_property(
+                ProptestConfig::with_cases(16),
+                &path,
+                "persist_demo",
+                &strat,
+                |(x,)| assert!(x < 10), // every case fails; minimal is 10
+            );
+        });
+        assert!(failing.is_err());
+        let msg = crate::panic_text(failing.unwrap_err().as_ref());
+        assert!(msg.contains("minimal failing input: (10,)"), "{msg}");
+        // The file now has a cc line that replays.
+        let seeds = crate::read_regressions(&path);
+        assert_eq!(seeds.len(), 1);
+        let replayed = std::panic::catch_unwind(|| {
+            crate::run_property(
+                ProptestConfig::with_cases(0), // regressions only
+                &path,
+                "persist_demo",
+                &strat,
+                |(x,)| assert!(x < 10),
+            );
+        });
+        assert!(replayed.is_err());
+        let msg = crate::panic_text(replayed.unwrap_err().as_ref());
+        assert!(msg.contains("replayed from the regressions file"), "{msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn upstream_256bit_seeds_fold_to_u64() {
+        let path = scratch("fold");
+        std::fs::write(
+            &path,
+            "# header\ncc 6566b51a09493003fdd6a510bcf24c87ca1111e0fc90fa23dafd5d24f7be2f3c # shrinks to x = 1\n",
+        )
+        .unwrap();
+        let seeds = crate::read_regressions(&path);
+        assert_eq!(
+            seeds,
+            vec![
+                0x6566_b51a_0949_3003u64
+                    ^ 0xfdd6_a510_bcf2_4c87
+                    ^ 0xca11_11e0_fc90_fa23
+                    ^ 0xdafd_5d24_f7be_2f3c
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn passing_property_writes_no_file() {
+        let path = scratch("clean");
+        crate::run_property(
+            ProptestConfig::with_cases(32),
+            &path,
+            "clean_demo",
+            &(0u64..100, 0u64..100),
+            |(a, b)| assert!(a < 100 && b < 100),
+        );
+        assert!(!path.exists());
     }
 
     proptest! {

@@ -1,64 +1,69 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — with a real thread pool.
 //!
-//! The build environment has no registry access, so the real rayon cannot be
-//! fetched. This shim maps the `par_iter` entry points the workspace uses
-//! onto **sequential** `std` iterators: every adaptor the call sites chain
-//! afterwards (`zip`, `enumerate`, `map`, `collect`, including
-//! `collect::<Result<_, _>>()`) is the plain `Iterator` machinery.
+//! The build environment has no registry access, so upstream rayon cannot be
+//! fetched. Unlike the earlier sequential stand-in, this shim actually runs
+//! parallel chains on a pool of `std::thread` workers ([`mod@pool`]): work is
+//! split into contiguous index chunks, chunks are claimed dynamically off an
+//! atomic counter (chunk-level work stealing), and chunk results are merged
+//! back **in index order** ([`mod@iter`]).
 //!
-//! Sequential execution changes wall-clock behaviour, not results: the
-//! engines in `pbw-sim`/`pbw-pram` were already written to be deterministic
-//! regardless of rayon's scheduling (per-processor RNG streams, sequential
-//! accounting passes), so swapping the executor is observationally identical
-//! — and the superstep semantics of the simulated machines never depended on
-//! host parallelism.
+//! Contract kept from upstream: `par_iter` / `par_iter_mut` /
+//! `into_par_iter` with `map` / `zip` / `enumerate` / `collect`
+//! (including `collect::<Result<_, _>>()`), `join`, `current_num_threads`,
+//! and `ThreadPoolBuilder` → [`ThreadPool::install`]. Results are
+//! element-for-element identical to sequential execution at every thread
+//! count — the deterministic ordered merge is the load-bearing guarantee
+//! the workspace's cross-thread-count conformance suite checks.
+//!
+//! Contract NOT kept: upstream's work-stealing deque scheduler, scoped
+//! pools that own their workers (here `install` only pins the parallel
+//! *width* for the calling thread; workers come from one global pool), and
+//! parallel `sum`/`reduce` (deliberately omitted — floating-point tree
+//! reductions would re-associate with the chunk count and break
+//! cross-thread-count bit-equality; collect in order, reduce sequentially).
+//!
+//! Sizing: `PBW_THREADS` overrides `RAYON_NUM_THREADS` overrides
+//! `std::thread::available_parallelism()`; a width of 1 short-circuits to
+//! sequential execution on the caller.
 
-/// Parallel-iterator entry points, sequentially implemented.
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuilder};
+
+use std::sync::Mutex;
+
+/// Everything a `use rayon::prelude::*;` site expects.
 pub mod prelude {
-    /// `.par_iter()` / `.par_iter_mut()` on slices and `Vec`s.
-    pub trait ParallelSliceExt<T> {
-        /// Sequential stand-in for `rayon`'s borrowing parallel iterator.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for the mutably borrowing parallel iterator.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceExt<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    impl<T> ParallelSliceExt<T> for Vec<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.as_slice().iter()
-        }
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.as_mut_slice().iter_mut()
-        }
-    }
-
-    /// `.into_par_iter()` on anything iterable (ranges, `Vec`s).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for the consuming parallel iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {}
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelSliceExt,
+    };
 }
 
-/// Sequential stand-in for `rayon::join`: runs both closures in order.
+/// Run `a` and `b` potentially in parallel, returning both results. The
+/// caller always executes at least one closure itself, so `join` never
+/// deadlocks under nesting; panics propagate to the caller.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let funcs = (Mutex::new(Some(a)), Mutex::new(Some(b)));
+    let out = (Mutex::new(None), Mutex::new(None));
+    pool::run_tasks(2, &|i| {
+        if i == 0 {
+            let f = pool::lock(&funcs.0).take().expect("join task 0 ran twice");
+            *pool::lock(&out.0) = Some(f());
+        } else {
+            let f = pool::lock(&funcs.1).take().expect("join task 1 ran twice");
+            *pool::lock(&out.1) = Some(f());
+        }
+    });
+    let ra = out.0.into_inner().unwrap_or_else(|e| e.into_inner());
+    let rb = out.1.into_inner().unwrap_or_else(|e| e.into_inner());
+    (ra.expect("join task 0 did not finish"), rb.expect("join task 1 did not finish"))
 }
 
 #[cfg(test)]
@@ -94,7 +99,7 @@ mod tests {
 
     #[test]
     fn range_into_par_iter() {
-        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(v, vec![0, 1, 4, 9, 16]);
     }
 
@@ -102,5 +107,13 @@ mod tests {
     fn join_runs_both() {
         let (a, b) = super::join(|| 1 + 1, || "x");
         assert_eq!((a, b), (2, "x"));
+    }
+
+    #[test]
+    fn join_runs_both_at_width_8() {
+        super::ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(|| {
+            let (a, b) = super::join(|| (0..100u64).sum::<u64>(), || (0..10u64).product::<u64>());
+            assert_eq!((a, b), (4950, 0));
+        });
     }
 }

@@ -274,11 +274,11 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             std::mem::replace(&mut self.inboxes, (0..p).map(|_| Vec::new()).collect());
 
         // A stalled processor skips its closure this superstep and sees its
-        // inbox again next superstep; the hook is consulted once per
-        // processor, before the parallel pass, to keep the run order-free.
+        // inbox again next superstep; `stalled` is pure in `(superstep,
+        // pid)`, so the per-processor queries run in parallel.
         let hook = self.hook.clone();
         let stalled: Vec<bool> = match &hook {
-            Some(h) => (0..p).map(|pid| h.stalled(step, pid)).collect(),
+            Some(h) => (0..p).into_par_iter().map(|pid| h.stalled(step, pid)).collect(),
             None => vec![false; p],
         };
 
@@ -312,6 +312,34 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             .collect();
         let resolved = resolved?;
 
+        // Fates are pure in `(superstep, src, dest, msg_idx, slot)`, so they
+        // are *computed* here in a parallel pass; the sequential loop below
+        // only *applies* them, preserving the fixed delivery order the
+        // ledger, pending queue, and traces are defined by.
+        let fates: Option<Vec<Vec<Fate>>> = hook.as_ref().map(|h| {
+            outboxes
+                .par_iter()
+                .zip(resolved.par_iter())
+                .enumerate()
+                .map(|(pid, (out, slots))| {
+                    out.envelopes
+                        .iter()
+                        .zip(slots.iter())
+                        .enumerate()
+                        .map(|(msg_idx, (env, &slot))| {
+                            h.fate(&DeliveryCtx {
+                                superstep: step,
+                                src: pid,
+                                dest: env.dest,
+                                msg_idx,
+                                slot,
+                            })
+                        })
+                        .collect::<Vec<Fate>>()
+                })
+                .collect()
+        });
+
         // Stalled processors keep their undrained inbox (already counted as
         // delivered at the previous boundary — not recounted).
         let mut counters =
@@ -341,14 +369,8 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             }
             for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate()
             {
-                let fate = match &hook {
-                    Some(h) => h.fate(&DeliveryCtx {
-                        superstep: step,
-                        src: pid,
-                        dest: env.dest,
-                        msg_idx,
-                        slot,
-                    }),
+                let fate = match &fates {
+                    Some(f) => f[pid][msg_idx],
                     None => Fate::Deliver,
                 };
                 self.fault_stats.injected += 1;

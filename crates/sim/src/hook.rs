@@ -14,9 +14,14 @@
 //!   bandwidth is charged in the superstep a payload actually arrives, so a
 //!   delayed message shifts `max_received` (and any resulting overload
 //!   penalty) to the arrival superstep.
-//! * **Determinism.** The hook is consulted in the engine's fixed delivery
-//!   order (source pid, then send order), never from the parallel closure
-//!   pass, so a deterministic hook yields a bit-identical run.
+//! * **Determinism.** `fate` must be a pure function of the hook's
+//!   pre-superstep state and the presented [`DeliveryCtx`] (and `stalled`
+//!   pure in `(superstep, pid)`): the engines *compute* all fates for a
+//!   boundary in a parallel pass, in unspecified thread order, then *apply*
+//!   them in the fixed delivery order (source pid, then send order). A pure
+//!   hook therefore yields a bit-identical run at every thread count —
+//!   which the cross-thread-count conformance suite checks by comparing
+//!   traces byte-for-byte.
 //! * **Conservation.** The engine tracks [`FaultStats`] such that
 //!   `injected + duplicated == delivered + dropped + in_flight` at every
 //!   superstep boundary (checked by the property suite).

@@ -28,7 +28,10 @@
 //! * Determinism: superstep closures receive a processor id and may use
 //!   [`rng::proc_rng`] for per-processor reproducible randomness; message
 //!   delivery order is fixed (by source pid, then send order), independent of
-//!   rayon's scheduling.
+//!   rayon's scheduling. Fault fates ([`hook::DeliveryHook`]) are likewise
+//!   *computed* in a parallel pass (they are pure in the delivery context)
+//!   and *applied* in the fixed delivery order, so runs — including their
+//!   trace streams — are byte-identical at every `PBW_THREADS` setting.
 //! * Non-receipt is observable: a processor can branch on an *empty* inbox,
 //!   as required by the Section 4.2 ternary broadcast.
 

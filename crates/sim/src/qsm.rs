@@ -281,10 +281,11 @@ impl<S: Send + Sync> QsmMachine<S> {
         );
 
         // A stalled processor skips its closure this phase; its undelivered
-        // read results are re-presented next phase.
+        // read results are re-presented next phase. `stalled` is pure in
+        // `(phase, pid)`, so the per-processor queries run in parallel.
         let hook = self.hook.clone();
         let stalled: Vec<bool> = match &hook {
-            Some(h) => (0..p).map(|pid| h.stalled(step, pid)).collect(),
+            Some(h) => (0..p).into_par_iter().map(|pid| h.stalled(step, pid)).collect(),
             None => vec![false; p],
         };
 
@@ -329,6 +330,32 @@ impl<S: Send + Sync> QsmMachine<S> {
             })
             .collect();
         let resolved = resolved?;
+
+        // Fates are pure in `(phase, pid, msg_idx, slot)`, so they are
+        // *computed* here in a parallel pass; the sequential serve loop
+        // below only *applies* them, preserving the fixed order the ledger,
+        // pending-result queue, and traces are defined by.
+        let fates: Option<Vec<Vec<Fate>>> = hook.as_ref().map(|h| {
+            resolved
+                .par_iter()
+                .enumerate()
+                .map(|(pid, slots)| {
+                    slots
+                        .iter()
+                        .enumerate()
+                        .map(|(msg_idx, &slot)| {
+                            h.fate(&DeliveryCtx {
+                                superstep: step,
+                                src: pid,
+                                dest: pid,
+                                msg_idx,
+                                slot,
+                            })
+                        })
+                        .collect::<Vec<Fate>>()
+                })
+                .collect()
+        });
 
         // Contention audit: readers and writers per location.
         let mut readers = vec![0u64; size];
@@ -392,14 +419,8 @@ impl<S: Send + Sync> QsmMachine<S> {
             for (msg_idx, (req, &slot)) in
                 ctx.requests.iter().zip(resolved[pid].iter()).enumerate()
             {
-                let fate = match &hook {
-                    Some(h) => h.fate(&DeliveryCtx {
-                        superstep: step,
-                        src: pid,
-                        dest: pid,
-                        msg_idx,
-                        slot,
-                    }),
+                let fate = match &fates {
+                    Some(f) => f[pid][msg_idx],
                     None => Fate::Deliver,
                 };
                 self.fault_stats.injected += 1;

@@ -6,8 +6,15 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --workspace --release
 
-echo "== tests =="
-cargo test --workspace -q
+# The tier-1 suite runs twice: once with the thread pool forced sequential
+# and once forced to 8 workers. Both must pass — the engines' contract is
+# that results (traces included) are byte-identical at every width, and
+# tests/parallel_conformance.rs asserts exactly that from inside one run.
+echo "== tests (PBW_THREADS=1) =="
+PBW_THREADS=1 cargo test --workspace -q
+
+echo "== tests (PBW_THREADS=8) =="
+PBW_THREADS=8 cargo test --workspace -q
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -16,7 +23,9 @@ echo "== trace smoke: reproduce --trace =="
 trace_out="$(mktemp)"
 fault_a="$(mktemp)"
 fault_b="$(mktemp)"
-trap 'rm -f "$trace_out" "$fault_a" "$fault_b"' EXIT
+fault_w1="$(mktemp)"
+fault_w8="$(mktemp)"
+trap 'rm -f "$trace_out" "$fault_a" "$fault_b" "$fault_w1" "$fault_w8"' EXIT
 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --trace "$trace_out" table1 >/dev/null
 [ -s "$trace_out" ] || { echo "trace file is empty" >&2; exit 1; }
 echo "ok: $(wc -l < "$trace_out") trace events"
@@ -27,5 +36,24 @@ cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace 
 [ -s "$fault_a" ] || { echo "fault trace is empty" >&2; exit 1; }
 diff -q "$fault_a" "$fault_b" || { echo "same-seed fault traces differ" >&2; exit 1; }
 echo "ok: $(wc -l < "$fault_a") fault-run trace events, replayed bit-identically"
+
+echo "== cross-thread-count determinism: same seed, widths 1 vs 8 =="
+PBW_THREADS=1 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w1" faults >/dev/null
+PBW_THREADS=8 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w8" faults >/dev/null
+diff -q "$fault_w1" "$fault_w8" || { echo "fault traces differ between 1 and 8 threads" >&2; exit 1; }
+echo "ok: fault-run trace is byte-identical at PBW_THREADS=1 and PBW_THREADS=8"
+
+# ThreadSanitizer needs -Zbuild-std (so std itself is instrumented), which
+# needs the rust-src component — unavailable offline. Run the race check
+# when the toolchain allows; the workflow's tsan job always runs it.
+echo "== thread sanitizer (optional) =="
+if rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
+  RUSTFLAGS="-Zsanitizer=thread" TSAN_OPTIONS="suppressions=/dev/null" \
+    cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+    -p rayon -q
+  echo "ok: rayon shim pool is race-free under TSan"
+else
+  echo "skipped: nightly rust-src not installed (offline); the ci.yml tsan job covers this"
+fi
 
 echo "CI green"

@@ -1,0 +1,284 @@
+//! Cross-thread-count determinism conformance: the headline proof that the
+//! real thread pool behind the `rayon` shim is safe to use in the engines.
+//!
+//! Every scenario below renders one run — its full trace stream (JSONL,
+//! byte-exact), its fault ledger, its final processor states, its costs —
+//! to a single string, then executes that run under thread-pool widths
+//! 1, 2 and 8 via [`rayon::ThreadPool::install`]. The three strings must
+//! be **byte-identical**: width 1 is the sequential oracle, so any
+//! scheduling-order leak (a fate drawn in pool order, a reduction merged
+//! in completion order, a trace event recorded from a worker) shows up as
+//! a diff, not as a flaky test.
+//!
+//! Covered surfaces: both simulator engines (BSP with a fault hook, QSM
+//! with a fault hook), the PRAM engine, the offline schedule audit path,
+//! the ack/retransmit recovery protocol (residual schedules under loss),
+//! and the full `faults` experiment sweep (which parallelizes over sweep
+//! points internally). Property tests then quantify over seeds, machine
+//! shapes and drop rates.
+
+use std::sync::Arc;
+
+use parallel_bandwidth::models::MachineParams;
+use parallel_bandwidth::pram::{AccessMode, Pram};
+use parallel_bandwidth::sched::schedule::audit_schedule;
+use parallel_bandwidth::sched::schedulers::{Scheduler, UnbalancedSend};
+use parallel_bandwidth::sched::{
+    evaluate_schedule, recovery::run_with_recovery_to, validate_schedule, workload,
+    RecoveryConfig,
+};
+use parallel_bandwidth::models::PenaltyFn;
+use parallel_bandwidth::prelude::{FaultPlan, FaultSpec};
+use parallel_bandwidth::sim::{BspMachine, DeliveryHook, QsmMachine};
+use parallel_bandwidth::trace::{RecordingSink, TraceEvent, TraceSink};
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Run `f` inside a pool of exactly `width` threads.
+fn at_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("pool construction is infallible in the shim")
+        .install(f)
+}
+
+/// The conformance oracle: `render` must produce byte-identical output at
+/// widths 1 (the sequential baseline), 2 and 8.
+fn assert_width_independent(label: &str, render: impl Fn() -> String) {
+    let baseline = at_width(1, &render);
+    for width in [2usize, 8] {
+        let wide = at_width(width, &render);
+        assert_eq!(
+            baseline, wide,
+            "{label}: output at {width} threads differs from the 1-thread baseline"
+        );
+    }
+}
+
+fn jsonl(events: &[TraceEvent]) -> String {
+    let mut s = String::new();
+    for ev in events {
+        s.push_str(&ev.to_json());
+        s.push('\n');
+    }
+    s
+}
+
+/// A faulty BSP run rendered to bytes: trace JSONL, fault ledger, final
+/// per-processor states.
+fn render_bsp(p: usize, supersteps: usize, phi: f64, seed: u64) -> String {
+    let params = MachineParams::from_gap(p, 4, 8);
+    let sink = Arc::new(RecordingSink::new());
+    let mut machine: BspMachine<u64, u64> = BspMachine::new(params, |pid| pid as u64);
+    machine.set_sink(sink.clone()).set_trace_label("par-conf-bsp");
+    if phi > 0.0 {
+        machine.set_delivery_hook(Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed))
+            as Arc<dyn DeliveryHook>);
+    }
+    for s in 0..supersteps {
+        machine.superstep(|pid, state, inbox, out| {
+            *state = state.wrapping_add(inbox.iter().sum::<u64>());
+            let n = (pid * 7 + s * 13) % 5;
+            for k in 0..n {
+                out.send((pid + k + 1) % p, (*state).wrapping_mul(k as u64 + 1));
+            }
+            out.charge_work(1 + (pid as u64 % 3));
+        });
+    }
+    format!(
+        "{}ledger: {:?}\nstates: {:?}\n",
+        jsonl(&sink.take()),
+        machine.fault_stats(),
+        machine.states()
+    )
+}
+
+/// A faulty QSM run rendered to bytes: trace JSONL, fault ledger, final
+/// states.
+fn render_qsm(p: usize, phases: usize, phi: f64, seed: u64) -> String {
+    let params = MachineParams::from_gap(p, 4, 8);
+    let sink = Arc::new(RecordingSink::new());
+    let mut qsm: QsmMachine<i64> = QsmMachine::new(params, 2 * p, |pid| pid as i64);
+    qsm.set_sink(sink.clone()).set_trace_label("par-conf-qsm");
+    if phi > 0.0 {
+        qsm.set_delivery_hook(Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed))
+            as Arc<dyn DeliveryHook>);
+    }
+    for ph in 0..phases {
+        if ph % 2 == 0 {
+            qsm.phase(|pid, state, _res, ctx| {
+                ctx.write((pid + ph) % (2 * p), *state + ph as i64);
+            });
+        } else {
+            qsm.phase(|pid, state, res, ctx| {
+                *state += res.iter().map(|r| r.value).sum::<i64>();
+                ctx.read(pid / 2);
+                ctx.read((pid + ph) % (2 * p));
+            });
+        }
+    }
+    format!(
+        "{}ledger: {:?}\nstates: {:?}\n",
+        jsonl(&sink.take()),
+        qsm.fault_stats(),
+        qsm.states()
+    )
+}
+
+/// A PRAM run rendered to bytes: trace JSONL, final memory, time/work.
+fn render_pram(n: usize) -> String {
+    let sink = Arc::new(RecordingSink::new());
+    let mut pram = Pram::new(AccessMode::CrcwArbitrary, n);
+    pram.set_sink(sink.clone()).set_trace_label("par-conf-pram");
+    pram.step(n, |pid, ctx| ctx.write(pid, pid as i64 * 3));
+    pram.step(n, |pid, ctx| {
+        let v = ctx.read((pid + 1) % n);
+        ctx.write(pid, v + 1);
+    });
+    pram.step(n / 2, |pid, ctx| {
+        let a = ctx.read(2 * pid);
+        let b = ctx.read(2 * pid + 1);
+        ctx.write(pid, a + b);
+    });
+    format!(
+        "{}mem: {:?}\ntime: {} work: {}\n",
+        jsonl(&sink.take()),
+        pram.mem(),
+        pram.time(),
+        pram.work()
+    )
+}
+
+/// An offline schedule audit rendered to bytes: validation verdict, audit
+/// trace event, evaluated cost.
+fn render_audit(p: usize, hot: u64, seed: u64) -> String {
+    let params = MachineParams::from_gap(p, 4, 8);
+    let wl = workload::single_hot_sender(p, hot, 4, seed);
+    let plan = UnbalancedSend::new(0.3).schedule(&wl, params.m, seed);
+    let valid = validate_schedule(&plan, &wl);
+    let ev = audit_schedule(&plan, &wl, params, "par-conf-audit");
+    let cost = evaluate_schedule(&plan, &wl, params.m, PenaltyFn::Exponential);
+    format!("valid: {valid:?}\n{}\ncost: {cost:?}\n", ev.to_json())
+}
+
+/// A recovery run under loss rendered to bytes: the full outcome (rounds,
+/// residual retransmission schedule sizes, arrival distribution, ledger)
+/// plus its trace stream.
+fn render_recovery(p: usize, phi: f64, seed: u64, run_seed: u64) -> String {
+    let params = MachineParams::from_gap(p, 8, 16);
+    let wl = workload::single_hot_sender(p, (p as u64) * 4, 4, 2);
+    let scheduler = UnbalancedSend::new(0.3);
+    let cfg = RecoveryConfig::default();
+    let hook = (phi > 0.0).then(|| {
+        Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed)) as Arc<dyn DeliveryHook>
+    });
+    let sink = Arc::new(RecordingSink::new());
+    let outcome = run_with_recovery_to(
+        sink.clone() as Arc<dyn TraceSink>,
+        &wl,
+        &scheduler,
+        params,
+        run_seed,
+        hook,
+        &cfg,
+    );
+    format!("{}outcome: {outcome:?}\n", jsonl(&sink.take()))
+}
+
+#[test]
+fn bsp_trace_ledger_and_states_are_width_independent() {
+    assert_width_independent("bsp φ=0.15", || render_bsp(64, 5, 0.15, 42));
+    assert_width_independent("bsp φ=0", || render_bsp(64, 5, 0.0, 42));
+}
+
+#[test]
+fn qsm_trace_ledger_and_states_are_width_independent() {
+    assert_width_independent("qsm φ=0.15", || render_qsm(48, 6, 0.15, 9));
+    assert_width_independent("qsm φ=0", || render_qsm(48, 6, 0.0, 9));
+}
+
+#[test]
+fn pram_trace_and_memory_are_width_independent() {
+    assert_width_independent("pram", || render_pram(64));
+}
+
+#[test]
+fn schedule_audit_is_width_independent() {
+    assert_width_independent("audit", || render_audit(64, 512, 5));
+}
+
+#[test]
+fn recovery_under_loss_is_width_independent() {
+    assert_width_independent("recovery φ=0.1", || render_recovery(32, 0.1, 7, 11));
+}
+
+/// The whole `faults` experiment — whose φ-sweep and erosion sweep run
+/// their points through `par_iter` internally — must render the same
+/// report (tables *and* replayed trace order) at every width.
+#[test]
+fn faults_experiment_report_is_width_independent() {
+    assert_width_independent("faults experiment", || {
+        pbw_bench::experiments::faults::faults_seeded(true, 7)
+    });
+}
+
+// The fixed tests above pin known-interesting points; the property tests
+// below quantify over seeds, machine shapes and drop rates at the same
+// widths.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Faulty BSP runs: any (shape, drop rate, seed) triple traces
+    /// identically at 1, 2 and 8 threads. `p` must be a multiple of the
+    /// gap g = 4 (a `MachineParams` invariant), so the strategy draws p/g.
+    #[test]
+    fn prop_bsp_runs_are_width_independent(
+        p_over_g in 1usize..12,
+        supersteps in 1usize..5,
+        phi in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        assert_width_independent(
+            "prop-bsp",
+            || render_bsp(4 * p_over_g, supersteps, phi, seed),
+        );
+    }
+
+    /// Faulty QSM runs likewise.
+    #[test]
+    fn prop_qsm_runs_are_width_independent(
+        p_over_g in 1usize..10,
+        phases in 1usize..6,
+        phi in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        assert_width_independent("prop-qsm", || render_qsm(4 * p_over_g, phases, phi, seed));
+    }
+
+    /// Satellite guarantee for the recovery protocol: with φ > 0 the
+    /// residual retransmission schedule (rounds, resent flits, arrival
+    /// distribution — the whole outcome) is identical at any thread count.
+    #[test]
+    fn prop_recovery_residuals_are_width_independent(
+        p_over_g in 1usize..5,
+        phi in 0.02f64..0.25,
+        fault_seed in any::<u64>(),
+        run_seed in 0u64..1000,
+    ) {
+        assert_width_independent(
+            "prop-recovery",
+            || render_recovery(8 * p_over_g, phi, fault_seed, run_seed),
+        );
+    }
+
+    /// Schedule audits over random hot-sender workloads.
+    #[test]
+    fn prop_schedule_audit_is_width_independent(
+        p_over_g in 1usize..16,
+        hot in 16u64..1024,
+        seed in any::<u64>(),
+    ) {
+        assert_width_independent("prop-audit", || render_audit(4 * p_over_g, hot, seed));
+    }
+}
