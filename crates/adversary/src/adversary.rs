@@ -65,7 +65,12 @@ pub struct ComplianceChecker {
 impl ComplianceChecker {
     /// Create a checker for `p` processors under `params`.
     pub fn new(p: usize, params: AqtParams) -> Self {
-        Self { params, p, history: VecDeque::new(), violations: Vec::new() }
+        Self {
+            params,
+            p,
+            history: VecDeque::new(),
+            violations: Vec::new(),
+        }
     }
 
     /// Record one step's injections.
@@ -80,8 +85,7 @@ impl ComplianceChecker {
             if self.history.len() < win {
                 continue;
             }
-            let slice: Vec<&Vec<(usize, usize)>> =
-                self.history.iter().rev().take(win).collect();
+            let slice: Vec<&Vec<(usize, usize)>> = self.history.iter().rev().take(win).collect();
             let total: usize = slice.iter().map(|v| v.len()).sum();
             let cap = (self.params.alpha * win as f64).ceil() as usize;
             if total > cap {
@@ -99,12 +103,16 @@ impl ComplianceChecker {
             let ecap = (self.params.beta * win as f64).ceil() as usize;
             for i in 0..self.p {
                 if per_src[i] > ecap {
-                    self.violations
-                        .push(format!("window {win}: source {i} sent {} > ⌈βW⌉ = {ecap}", per_src[i]));
+                    self.violations.push(format!(
+                        "window {win}: source {i} sent {} > ⌈βW⌉ = {ecap}",
+                        per_src[i]
+                    ));
                 }
                 if per_dst[i] > ecap {
-                    self.violations
-                        .push(format!("window {win}: dest {i} got {} > ⌈βW⌉ = {ecap}", per_dst[i]));
+                    self.violations.push(format!(
+                        "window {win}: dest {i} got {} > ⌈βW⌉ = {ecap}",
+                        per_dst[i]
+                    ));
                 }
             }
         }
@@ -139,7 +147,13 @@ pub struct SteadyAdversary {
 impl SteadyAdversary {
     /// Create for `p` processors.
     pub fn new(p: usize, params: AqtParams) -> Self {
-        Self { p, params, carry: 0.0, next_src: 0, next_dst: 1 % p.max(1) }
+        Self {
+            p,
+            params,
+            carry: 0.0,
+            next_src: 0,
+            next_dst: 1 % p.max(1),
+        }
     }
 }
 
@@ -190,7 +204,13 @@ impl SingleTargetAdversary {
     pub fn new(p: usize, params: AqtParams, src: usize) -> Self {
         assert!(src < p);
         let period = (1.0 / params.beta).ceil().max(1.0) as u64;
-        Self { p, params, src, period, next_dst: (src + 1) % p }
+        Self {
+            p,
+            params,
+            src,
+            period,
+            next_dst: (src + 1) % p,
+        }
     }
 }
 
@@ -233,7 +253,11 @@ pub struct BurstyAdversary {
 impl BurstyAdversary {
     /// Create for `p` processors.
     pub fn new(p: usize, params: AqtParams) -> Self {
-        Self { p, params, next_src: 0 }
+        Self {
+            p,
+            params,
+            next_src: 0,
+        }
     }
 }
 
@@ -336,7 +360,11 @@ impl Adversary for RandomAdversary {
         // Expected α messages per step, bounded by remaining budgets.
         let mut expect = self.params.alpha;
         while expect > 0.0 && self.window_left > 0 {
-            let fire = if expect >= 1.0 { true } else { self.rng.gen_bool(expect) };
+            let fire = if expect >= 1.0 {
+                true
+            } else {
+                self.rng.gen_bool(expect)
+            };
             expect -= 1.0;
             if !fire {
                 continue;
@@ -358,7 +386,6 @@ impl Adversary for RandomAdversary {
     }
 }
 
-
 /// On/off traffic: full-rate steady injection during "on" windows, silence
 /// during "off" windows. Compliant by construction (silence only helps);
 /// stresses routers with duty-cycle transients.
@@ -375,7 +402,12 @@ impl OnOffAdversary {
     /// silence, repeating.
     pub fn new(p: usize, params: AqtParams, on_windows: u64, off_windows: u64) -> Self {
         assert!(on_windows > 0);
-        Self { inner: SteadyAdversary::new(p, params), params, on_windows, off_windows }
+        Self {
+            inner: SteadyAdversary::new(p, params),
+            params,
+            on_windows,
+            off_windows,
+        }
     }
 }
 
@@ -415,7 +447,11 @@ impl RotatingHotSpotAdversary {
     /// Create for `p` processors.
     pub fn new(p: usize, params: AqtParams) -> Self {
         assert!(p >= 2);
-        Self { p, params, next_dst: 0 }
+        Self {
+            p,
+            params,
+            next_dst: 0,
+        }
     }
 }
 
@@ -434,7 +470,10 @@ impl Adversary for RotatingHotSpotAdversary {
         let src = (window as usize) % self.p;
         // Spread the per-window endpoint budget evenly over the window's
         // steps so sub-window spans stay compliant.
-        let budget = self.params.endpoint_budget().min(self.params.window_budget());
+        let budget = self
+            .params
+            .endpoint_budget()
+            .min(self.params.window_budget());
         let step_in_window = t % w;
         // Fire on the first `budget` steps of the window, one message each.
         if step_in_window < budget {
@@ -467,7 +506,11 @@ mod tests {
 
     #[test]
     fn steady_is_compliant_and_hits_rate() {
-        let params = AqtParams { w: 32, alpha: 4.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 32,
+            alpha: 4.0,
+            beta: 0.25,
+        };
         let mut adv = SteadyAdversary::new(64, params);
         let (total, checker) = run_checked(&mut adv, 64, 2048);
         assert!(checker.is_compliant(), "{:?}", checker.violations());
@@ -477,7 +520,11 @@ mod tests {
 
     #[test]
     fn single_target_is_compliant() {
-        let params = AqtParams { w: 16, alpha: 0.5, beta: 0.5 };
+        let params = AqtParams {
+            w: 16,
+            alpha: 0.5,
+            beta: 0.5,
+        };
         let mut adv = SingleTargetAdversary::new(16, params, 3);
         let (total, checker) = run_checked(&mut adv, 16, 1024);
         assert!(checker.is_compliant(), "{:?}", checker.violations());
@@ -487,7 +534,11 @@ mod tests {
 
     #[test]
     fn single_target_always_same_source() {
-        let params = AqtParams { w: 16, alpha: 1.0, beta: 1.0 };
+        let params = AqtParams {
+            w: 16,
+            alpha: 1.0,
+            beta: 1.0,
+        };
         let mut adv = SingleTargetAdversary::new(8, params, 5);
         for t in 0..100 {
             for (s, d) in adv.inject(t) {
@@ -499,7 +550,11 @@ mod tests {
 
     #[test]
     fn bursty_is_compliant() {
-        let params = AqtParams { w: 64, alpha: 2.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 64,
+            alpha: 2.0,
+            beta: 0.25,
+        };
         let mut adv = BurstyAdversary::new(32, params);
         let (total, checker) = run_checked(&mut adv, 32, 1024);
         assert!(checker.is_compliant(), "{:?}", checker.violations());
@@ -516,7 +571,11 @@ mod tests {
 
     #[test]
     fn random_is_compliant() {
-        let params = AqtParams { w: 32, alpha: 3.0, beta: 0.5 };
+        let params = AqtParams {
+            w: 32,
+            alpha: 3.0,
+            beta: 0.5,
+        };
         let mut adv = RandomAdversary::new(32, params, 7);
         let (total, checker) = run_checked(&mut adv, 32, 2048);
         assert!(checker.is_compliant(), "{:?}", checker.violations());
@@ -525,7 +584,11 @@ mod tests {
 
     #[test]
     fn checker_catches_global_violation() {
-        let params = AqtParams { w: 4, alpha: 1.0, beta: 1.0 };
+        let params = AqtParams {
+            w: 4,
+            alpha: 1.0,
+            beta: 1.0,
+        };
         let mut checker = ComplianceChecker::new(4, params);
         // 3 messages per step for 4 steps = 12 > ⌈1·4⌉ = 4.
         for _ in 0..4 {
@@ -536,7 +599,11 @@ mod tests {
 
     #[test]
     fn checker_catches_endpoint_violation() {
-        let params = AqtParams { w: 4, alpha: 10.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 4,
+            alpha: 10.0,
+            beta: 0.25,
+        };
         let mut checker = ComplianceChecker::new(4, params);
         // Source 0 sends every step: 4 > ⌈0.25·4⌉ = 1 per window.
         for _ in 0..4 {
@@ -548,7 +615,11 @@ mod tests {
 
     #[test]
     fn on_off_is_compliant_and_silent_when_off() {
-        let params = AqtParams { w: 32, alpha: 2.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 32,
+            alpha: 2.0,
+            beta: 0.25,
+        };
         let mut adv = OnOffAdversary::new(32, params, 2, 2);
         let (total, checker) = run_checked(&mut adv, 32, 2048);
         assert!(checker.is_compliant(), "{:?}", checker.violations());
@@ -562,7 +633,11 @@ mod tests {
 
     #[test]
     fn rotating_hotspot_is_compliant_and_rotates() {
-        let params = AqtParams { w: 32, alpha: 1.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 32,
+            alpha: 1.0,
+            beta: 0.25,
+        };
         let mut adv = RotatingHotSpotAdversary::new(16, params);
         let mut checker = ComplianceChecker::new(16, params);
         let mut sources = std::collections::BTreeSet::new();
@@ -574,12 +649,19 @@ mod tests {
             checker.record(&msgs);
         }
         assert!(checker.is_compliant(), "{:?}", checker.violations());
-        assert!(sources.len() >= 10, "hot spot failed to rotate: {sources:?}");
+        assert!(
+            sources.len() >= 10,
+            "hot spot failed to rotate: {sources:?}"
+        );
     }
 
     #[test]
     fn window_budgets() {
-        let params = AqtParams { w: 100, alpha: 2.5, beta: 0.1 };
+        let params = AqtParams {
+            w: 100,
+            alpha: 2.5,
+            beta: 0.1,
+        };
         assert_eq!(params.window_budget(), 250);
         assert_eq!(params.endpoint_budget(), 10);
     }

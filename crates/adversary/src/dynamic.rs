@@ -310,16 +310,22 @@ where
             if b.service_left <= 1e-9 {
                 done += 1;
                 trace.delivered += b.msgs;
-                trace.batch_delays.push(interval_idx.saturating_sub(b.arrived));
+                trace
+                    .batch_delays
+                    .push(interval_idx.saturating_sub(b.arrived));
             }
         }
         let _ = done;
         queue.retain(|b| b.service_left > 1e-9);
         // Sanity: a batch's service never exceeds its total.
-        debug_assert!(queue.iter().all(|b| b.service_left <= b.service_total + 1e-9));
+        debug_assert!(queue
+            .iter()
+            .all(|b| b.service_left <= b.service_total + 1e-9));
         let boundary_q: u64 = queue.iter().map(|b| b.msgs).sum::<u64>() + carry.len() as u64;
         trace.queue_msgs.push(boundary_q);
-        trace.backlog_time.push(queue.iter().map(|b| b.service_left).sum());
+        trace
+            .backlog_time
+            .push(queue.iter().map(|b| b.service_left).sum());
         if let Some(bp) = cfg.bp {
             if boundary_q >= bp.high_watermark {
                 trace.overload_intervals += 1;
@@ -392,7 +398,10 @@ impl AlgorithmB {
         intervals: u64,
         bp: BackpressureConfig,
     ) -> StabilityTrace {
-        let cfg = RouterCfg { bp: Some(bp), ..RouterCfg::default() };
+        let cfg = RouterCfg {
+            bp: Some(bp),
+            ..RouterCfg::default()
+        };
         self.route(adv, intervals, cfg, pbw_trace::global_sink())
     }
 
@@ -425,7 +434,10 @@ impl AlgorithmB {
         sink: Arc<dyn TraceSink>,
     ) -> StabilityTrace {
         assert!((0.0..1.0).contains(&phi), "drop rate must be in [0, 1)");
-        let cfg = RouterCfg { bp: None, loss: Some((phi, fault_seed)) };
+        let cfg = RouterCfg {
+            bp: None,
+            loss: Some((phi, fault_seed)),
+        };
         self.route(adv, intervals, cfg, sink)
     }
 
@@ -461,10 +473,8 @@ impl AlgorithmB {
             // Real elapsed time: every step of the span costs
             // max(1, f_m(load)) under the exponential penalty.
             let loads = slot_loads(&sched, &wl);
-            loads
-                .iter()
-                .map(|&l| PenaltyFn::Exponential.charge(l, m).max(1.0))
-                .sum()
+            let table = PenaltyFn::Exponential.table(m);
+            loads.iter().map(|&l| table.charge(l).max(1.0)).sum()
         })
     }
 }
@@ -502,7 +512,14 @@ impl BspGIntervalRouter {
         intervals: u64,
         bp: BackpressureConfig,
     ) -> StabilityTrace {
-        self.route(adv, intervals, RouterCfg { bp: Some(bp), ..RouterCfg::default() })
+        self.route(
+            adv,
+            intervals,
+            RouterCfg {
+                bp: Some(bp),
+                ..RouterCfg::default()
+            },
+        )
     }
 
     fn route(&self, adv: &mut dyn Adversary, intervals: u64, cfg: RouterCfg) -> StabilityTrace {
@@ -516,12 +533,7 @@ impl BspGIntervalRouter {
                 sent[s] += 1;
                 recv[d] += 1;
             }
-            let h = sent
-                .iter()
-                .chain(recv.iter())
-                .copied()
-                .max()
-                .unwrap_or(0);
+            let h = sent.iter().chain(recv.iter()).copied().max().unwrap_or(0);
             ((g * h) as f64).max(l as f64)
         })
     }
@@ -538,9 +550,18 @@ mod tests {
     fn bsp_g_stable_below_beta_threshold() {
         // β = 1/(2g) < 1/g: stable (Theorem 6.5, second part).
         let (p, g) = (64usize, 8u64);
-        let params = AqtParams { w: 64, alpha: 0.0625, beta: 0.0625 }; // 1/(2g)
+        let params = AqtParams {
+            w: 64,
+            alpha: 0.0625,
+            beta: 0.0625,
+        }; // 1/(2g)
         let mut adv = SingleTargetAdversary::new(p, params, 0);
-        let router = BspGIntervalRouter { p, g, l: 8, w: params.w };
+        let router = BspGIntervalRouter {
+            p,
+            g,
+            l: 8,
+            w: params.w,
+        };
         let trace = router.run(&mut adv, 400);
         assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
         assert!(trace.max_late_queue() < 32);
@@ -551,9 +572,18 @@ mod tests {
         // β = 2/g > 1/g: the single-target adversary defeats BSP(g)
         // (Theorem 6.5, first part).
         let (p, g) = (64usize, 8u64);
-        let params = AqtParams { w: 64, alpha: 0.25, beta: 0.25 }; // 2/g
+        let params = AqtParams {
+            w: 64,
+            alpha: 0.25,
+            beta: 0.25,
+        }; // 2/g
         let mut adv = SingleTargetAdversary::new(p, params, 0);
-        let router = BspGIntervalRouter { p, g, l: 8, w: params.w };
+        let router = BspGIntervalRouter {
+            p,
+            g,
+            l: 8,
+            w: params.w,
+        };
         let trace = router.run(&mut adv, 400);
         assert!(!trace.looks_stable(), "growth={}", trace.backlog_growth());
         // Queue grows roughly linearly: late queue much larger than early.
@@ -565,9 +595,19 @@ mod tests {
         // The headline of Section 6.2: a local rate β ≫ 1/g that makes
         // BSP(g) unstable is comfortably routed on the BSP(m).
         let (p, m) = (64usize, 8usize); // g = 8
-        let params = AqtParams { w: 64, alpha: 2.0, beta: 0.25 }; // β = 2/g
+        let params = AqtParams {
+            w: 64,
+            alpha: 2.0,
+            beta: 0.25,
+        }; // β = 2/g
         let mut adv = SingleTargetAdversary::new(p, params, 0);
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 5 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 5,
+        };
         let trace = algo.run(&mut adv, 400);
         assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
     }
@@ -576,9 +616,19 @@ mod tests {
     fn algorithm_b_stable_near_global_capacity() {
         // α close to (but below) m/(1+ε): stable.
         let (p, m) = (64usize, 8usize);
-        let params = AqtParams { w: 128, alpha: 5.0, beta: 0.5 };
+        let params = AqtParams {
+            w: 128,
+            alpha: 5.0,
+            beta: 0.5,
+        };
         let mut adv = SteadyAdversary::new(p, params);
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 9 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 9,
+        };
         let trace = algo.run(&mut adv, 300);
         assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
         assert!(trace.delivered > 0);
@@ -588,9 +638,19 @@ mod tests {
     fn algorithm_b_unstable_above_global_capacity() {
         // α > m: no schedule can keep up (Corollary 6.6 analogue for m).
         let (p, m) = (64usize, 8usize);
-        let params = AqtParams { w: 64, alpha: 12.0, beta: 0.5 };
+        let params = AqtParams {
+            w: 64,
+            alpha: 12.0,
+            beta: 0.5,
+        };
         let mut adv = SteadyAdversary::new(p, params);
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 2 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 2,
+        };
         let trace = algo.run(&mut adv, 300);
         assert!(!trace.looks_stable(), "growth={}", trace.backlog_growth());
     }
@@ -598,9 +658,19 @@ mod tests {
     #[test]
     fn bursty_traffic_handled_when_stable() {
         let (p, m) = (32usize, 8usize);
-        let params = AqtParams { w: 64, alpha: 3.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 64,
+            alpha: 3.0,
+            beta: 0.25,
+        };
         let mut adv = BurstyAdversary::new(p, params);
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 3 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 3,
+        };
         let trace = algo.run(&mut adv, 200);
         assert!(trace.looks_stable(), "growth={}", trace.backlog_growth());
         // Most of what was injected got delivered.
@@ -610,9 +680,19 @@ mod tests {
     #[test]
     fn random_traffic_delivery_accounting() {
         let (p, m) = (32usize, 4usize);
-        let params = AqtParams { w: 32, alpha: 2.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 32,
+            alpha: 2.0,
+            beta: 0.25,
+        };
         let mut adv = RandomAdversary::new(p, params, 11);
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 13 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 13,
+        };
         let trace = algo.run(&mut adv, 200);
         let pending: u64 = *trace.queue_msgs.last().unwrap();
         assert_eq!(trace.delivered + pending, trace.injected);
@@ -626,9 +706,19 @@ mod tests {
         let (p, m) = (64usize, 8usize);
         let mut services = Vec::new();
         for w in [32u64, 64, 128] {
-            let params = AqtParams { w, alpha: 4.0, beta: 0.25 };
+            let params = AqtParams {
+                w,
+                alpha: 4.0,
+                beta: 0.25,
+            };
             let mut adv = SteadyAdversary::new(p, params);
-            let algo = AlgorithmB { p, m, w, eps: 0.3, seed: 1 };
+            let algo = AlgorithmB {
+                p,
+                m,
+                w,
+                eps: 0.3,
+                seed: 1,
+            };
             let trace = algo.run(&mut adv, 100);
             services.push(trace.mean_service());
         }
@@ -640,9 +730,19 @@ mod tests {
     fn router_emits_one_trace_event_per_batch() {
         use pbw_trace::RecordingSink;
         let (p, m) = (32usize, 4usize);
-        let params = AqtParams { w: 32, alpha: 2.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 32,
+            alpha: 2.0,
+            beta: 0.25,
+        };
         let mut adv = RandomAdversary::new(p, params, 11);
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 13 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 13,
+        };
         let sink = Arc::new(RecordingSink::new());
         let trace = algo.run_with_sink(&mut adv, 50, sink.clone());
         let events = sink.snapshot();
@@ -703,14 +803,31 @@ mod tests {
         // α > m: unbounded, the queue grows without bound; bounded, it
         // saturates at the cap and the excess is shed.
         let (p, m) = (64usize, 8usize);
-        let params = AqtParams { w: 64, alpha: 12.0, beta: 0.5 };
+        let params = AqtParams {
+            w: 64,
+            alpha: 12.0,
+            beta: 0.5,
+        };
         let bp = BackpressureConfig::bounded(512);
 
         let mut adv = SteadyAdversary::new(p, params);
-        let unbounded = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 2 }.run(&mut adv, 150);
+        let unbounded = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 2,
+        }
+        .run(&mut adv, 150);
         let mut adv = SteadyAdversary::new(p, params);
-        let bounded = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 2 }
-            .run_with_backpressure(&mut adv, 150, bp);
+        let bounded = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 2,
+        }
+        .run_with_backpressure(&mut adv, 150, bp);
 
         assert!(unbounded.max_late_queue() > bp.max_queue_msgs);
         assert!(bounded.queue_msgs.iter().all(|&q| q <= bp.max_queue_msgs));
@@ -718,15 +835,27 @@ mod tests {
         assert!(bounded.overload_intervals > 0);
         // Conservation with shedding.
         let pending = *bounded.queue_msgs.last().unwrap();
-        assert_eq!(bounded.delivered + pending + bounded.shed_msgs, bounded.injected);
+        assert_eq!(
+            bounded.delivered + pending + bounded.shed_msgs,
+            bounded.injected
+        );
     }
 
     #[test]
     fn drop_oldest_policy_keeps_the_queue_bounded_too() {
         let (p, g) = (64usize, 8u64);
-        let params = AqtParams { w: 64, alpha: 0.25, beta: 0.25 }; // unstable for BSP(g)
+        let params = AqtParams {
+            w: 64,
+            alpha: 0.25,
+            beta: 0.25,
+        }; // unstable for BSP(g)
         let mut adv = SingleTargetAdversary::new(p, params, 0);
-        let router = BspGIntervalRouter { p, g, l: 8, w: params.w };
+        let router = BspGIntervalRouter {
+            p,
+            g,
+            l: 8,
+            w: params.w,
+        };
         let bp = BackpressureConfig {
             max_queue_msgs: 256,
             high_watermark: 128,
@@ -742,9 +871,19 @@ mod tests {
     #[test]
     fn zero_drop_rate_routes_identically_to_the_reliable_path() {
         let (p, m) = (32usize, 4usize);
-        let params = AqtParams { w: 32, alpha: 2.0, beta: 0.25 };
+        let params = AqtParams {
+            w: 32,
+            alpha: 2.0,
+            beta: 0.25,
+        };
         let mut adv = RandomAdversary::new(p, params, 11);
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 13 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 13,
+        };
         let reliable = algo.run(&mut adv, 100);
         let mut adv = RandomAdversary::new(p, params, 11);
         let faultless = algo.run_with_faults(&mut adv, 100, 0.0, 7);
@@ -759,12 +898,26 @@ mod tests {
         // φ = 0.4 inflates the effective rate to α/(1−φ) ≈ 8.3 > m and the
         // backlog diverges. Retransmissions are seeded and replayable.
         let (p, m) = (64usize, 8usize);
-        let params = AqtParams { w: 128, alpha: 5.0, beta: 0.5 };
-        let algo = AlgorithmB { p, m, w: params.w, eps: 0.3, seed: 9 };
+        let params = AqtParams {
+            w: 128,
+            alpha: 5.0,
+            beta: 0.5,
+        };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w: params.w,
+            eps: 0.3,
+            seed: 9,
+        };
 
         let mut adv = SteadyAdversary::new(p, params);
         let reliable = algo.run(&mut adv, 300);
-        assert!(reliable.looks_stable(), "growth={}", reliable.backlog_growth());
+        assert!(
+            reliable.looks_stable(),
+            "growth={}",
+            reliable.backlog_growth()
+        );
 
         let mut adv = SteadyAdversary::new(p, params);
         let lossy = algo.run_with_faults(&mut adv, 300, 0.4, 7);

@@ -106,7 +106,11 @@ pub fn simulate_mg1(r: f64, law: ServiceLaw, steps: u64, seed: u64) -> Mg1Outcom
         mean_queue_at_departures: mean_q,
         mean_sojourn,
         max_backlog,
-        utilization: if steps == 0 { 0.0 } else { total_service / steps as f64 },
+        utilization: if steps == 0 {
+            0.0
+        } else {
+            total_service / steps as f64
+        },
     }
 }
 
@@ -121,7 +125,10 @@ mod tests {
         for _ in 0..1000 {
             let s = law.sample(&mut rng);
             assert!(s >= 5.0 - 1e-12);
-            assert!((s / 5.0).fract().abs() < 1e-9, "quantized to multiples of w/u");
+            assert!(
+                (s / 5.0).fract().abs() < 1e-9,
+                "quantized to multiples of w/u"
+            );
         }
     }
 
@@ -131,9 +138,11 @@ mod tests {
         let (m1, _) = law.moments(100_000);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let samples = 200_000;
-        let mean: f64 =
-            (0..samples).map(|_| law.sample(&mut rng)).sum::<f64>() / samples as f64;
-        assert!((mean - m1).abs() / m1 < 0.02, "sampled {mean} vs series {m1}");
+        let mean: f64 = (0..samples).map(|_| law.sample(&mut rng)).sum::<f64>() / samples as f64;
+        assert!(
+            (mean - m1).abs() / m1 < 0.02,
+            "sampled {mean} vs series {m1}"
+        );
         // Claim 6.8: E[S] < 1.21·w/u.
         assert!(m1 < 1.21 * 8.0 / 4.0);
     }

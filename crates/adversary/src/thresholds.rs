@@ -40,7 +40,8 @@ pub struct Calibration {
 pub fn batch_service(wl: &Workload, m: usize, eps: f64, seed: u64) -> f64 {
     let sched = UnbalancedSend::new(eps).schedule(wl, m, seed);
     let loads = slot_loads(&sched, wl);
-    loads.iter().map(|&l| PenaltyFn::Exponential.charge(l, m).max(1.0)).sum()
+    let table = PenaltyFn::Exponential.table(m);
+    loads.iter().map(|&l| table.charge(l).max(1.0)).sum()
 }
 
 /// Calibrate `(a, b, r)` over `batches` random workloads of roughly
@@ -111,9 +112,20 @@ mod tests {
         let cal = calibrate(p, m, 0.3, w as f64, 50, 256, 2);
         // Drive at 80% of the derived α*.
         let alpha = 0.8 * cal.alpha_star;
-        let params = AqtParams { w, alpha, beta: cal.beta_star.min(0.5) };
+        let params = AqtParams {
+            w,
+            alpha,
+            beta: cal.beta_star.min(0.5),
+        };
         let mut adv = SteadyAdversary::new(p, params);
-        let trace = AlgorithmB { p, m, w, eps: 0.3, seed: 3 }.run(&mut adv, 300);
+        let trace = AlgorithmB {
+            p,
+            m,
+            w,
+            eps: 0.3,
+            seed: 3,
+        }
+        .run(&mut adv, 300);
         assert!(trace.looks_stable(), "growth {}", trace.backlog_growth());
     }
 

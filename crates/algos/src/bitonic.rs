@@ -28,7 +28,10 @@ use pbw_sim::{BspMachine, CostSummary, Word};
 /// two.
 pub fn bitonic_network(xs: &mut [Word]) {
     let n = xs.len();
-    assert!(n.is_power_of_two() || n <= 1, "bitonic network needs a power-of-two length");
+    assert!(
+        n.is_power_of_two() || n <= 1,
+        "bitonic network needs a power-of-two length"
+    );
     let mut k = 2;
     while k <= n {
         let mut j = k / 2;
@@ -138,8 +141,18 @@ pub fn bsp_block_sort(params: MachineParams, inputs: &[Word]) -> (Measured, Cost
     let ok = got == expect;
 
     let summary = CostSummary::price(params, bsp.profiles());
-    let model = BspG { g: params.g, l: params.l };
-    (Measured { time: model.run_cost(bsp.profiles()), rounds, ok }, summary)
+    let model = BspG {
+        g: params.g,
+        l: params.l,
+    };
+    (
+        Measured {
+            time: model.run_cost(bsp.profiles()),
+            rounds,
+            ok,
+        },
+        summary,
+    )
 }
 
 #[cfg(test)]
@@ -172,8 +185,9 @@ mod tests {
             let mut xs: Vec<Word> = (0..8).map(|i| ((bits >> i) & 1) as Word).collect();
             let ones: Word = xs.iter().sum();
             bitonic_network(&mut xs);
-            let expect: Vec<Word> =
-                (0..8).map(|i| if (i as Word) < 8 - ones { 0 } else { 1 }).collect();
+            let expect: Vec<Word> = (0..8)
+                .map(|i| if (i as Word) < 8 - ones { 0 } else { 1 })
+                .collect();
             assert_eq!(xs, expect, "bits={bits:#b}");
         }
     }
@@ -218,7 +232,10 @@ mod tests {
         let (r, summary) = bsp_block_sort(mp, &keys(64 * 16, 3));
         assert!(r.ok);
         let sep = summary.bsp_separation();
-        assert!(sep < 2.5, "balanced bitonic separation {sep} should be small");
+        assert!(
+            sep < 2.5,
+            "balanced bitonic separation {sep} should be small"
+        );
     }
 
     #[test]
@@ -234,6 +251,11 @@ mod tests {
         assert!(bit.ok && smp.ok);
         // And under BSP(m), sample sort is far cheaper (it was designed
         // for the global budget).
-        assert!(ssum.bsp_m_exp < bsum.bsp_m_exp, "{} vs {}", ssum.bsp_m_exp, bsum.bsp_m_exp);
+        assert!(
+            ssum.bsp_m_exp < bsum.bsp_m_exp,
+            "{} vs {}",
+            ssum.bsp_m_exp,
+            bsum.bsp_m_exp
+        );
     }
 }

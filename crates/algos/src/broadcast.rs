@@ -89,8 +89,15 @@ pub fn qsm_m(params: MachineParams) -> Measured {
     });
 
     let ok = qsm.states().iter().all(|s| *s == Some(MAGIC));
-    let model = QsmM { m, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(qsm.profiles()), rounds: rounds + 2, ok }
+    let model = QsmM {
+        m,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(qsm.profiles()),
+        rounds: rounds + 2,
+        ok,
+    }
 }
 
 /// Broadcast on the QSM(g): read-side fan-out-`g` tree,
@@ -113,7 +120,7 @@ pub fn qsm_g(params: MachineParams) -> Measured {
     while known < p {
         let k = known;
         let upper = (k * (f + 1)).min(p); // this round informs [k, k(f+1))
-        // Newcomers read a parent's cell: κ ≤ f readers per parent cell.
+                                          // Newcomers read a parent's cell: κ ≤ f readers per parent cell.
         qsm.phase(move |pid, _s, _res, ctx| {
             if pid >= k && pid < upper {
                 ctx.read((pid - k) % k);
@@ -133,7 +140,11 @@ pub fn qsm_g(params: MachineParams) -> Measured {
     }
     let ok = qsm.states().iter().all(|s| *s == Some(MAGIC));
     let model = QsmG { g: params.g };
-    Measured { time: model.run_cost(qsm.profiles()), rounds, ok }
+    Measured {
+        time: model.run_cost(qsm.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 /// Broadcast on the BSP(m): leader tree (fan-out `L`) + staggered group
@@ -203,8 +214,16 @@ pub fn bsp_m(params: MachineParams) -> Measured {
     });
 
     let ok = bsp.states().iter().all(|s| *s == Some(MAGIC));
-    let model = BspM { m, l: params.l, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(bsp.profiles()), rounds: rounds + 1, ok }
+    let model = BspM {
+        m,
+        l: params.l,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(bsp.profiles()),
+        rounds: rounds + 1,
+        ok,
+    }
 }
 
 /// Broadcast on the BSP(g): fan-out-`max(2, ⌈L/g⌉)` message tree,
@@ -241,8 +260,15 @@ pub fn bsp_g(params: MachineParams) -> Measured {
         rounds += 1;
     }
     let ok = bsp.states().iter().all(|s| *s == Some(MAGIC));
-    let model = BspG { g: params.g, l: params.l };
-    Measured { time: model.run_cost(bsp.profiles()), rounds, ok }
+    let model = BspG {
+        g: params.g,
+        l: params.l,
+    };
+    Measured {
+        time: model.run_cost(bsp.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 /// The Section 4.2 single-bit broadcast on the BSP(g), exploiting
@@ -258,8 +284,10 @@ pub fn ternary_nonreceipt(params: MachineParams, bit: bool) -> Measured {
         knows: bool,
         bit: bool,
     }
-    let mut bsp: BspMachine<St, ()> =
-        BspMachine::new(params, |pid| St { knows: pid == 0, bit: pid == 0 && bit });
+    let mut bsp: BspMachine<St, ()> = BspMachine::new(params, |pid| St {
+        knows: pid == 0,
+        bit: pid == 0 && bit,
+    });
 
     // One superstep per round: processors first decode the previous
     // round's (non-)receipt, then the knowers send this round's signal —
@@ -305,8 +333,15 @@ pub fn ternary_nonreceipt(params: MachineParams, bit: bool) -> Measured {
         bsp.superstep(move |pid, s, inbox, _out| decode(pk, pid, s, inbox.len()));
     }
     let ok = bsp.states().iter().all(|s| s.knows && s.bit == bit);
-    let model = BspG { g: params.g, l: params.l };
-    Measured { time: model.run_cost(bsp.profiles()), rounds, ok }
+    let model = BspG {
+        g: params.g,
+        l: params.l,
+    };
+    Measured {
+        time: model.run_cost(bsp.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 #[cfg(test)]
@@ -407,7 +442,12 @@ mod tests {
         let gm = qsm_m(mp);
         let gg = qsm_g(mp);
         assert!(gm.ok && gg.ok);
-        assert!(gg.time > gm.time, "QSM(g) {} !> QSM(m) {}", gg.time, gm.time);
+        assert!(
+            gg.time > gm.time,
+            "QSM(g) {} !> QSM(m) {}",
+            gg.time,
+            gm.time
+        );
     }
 
     #[test]

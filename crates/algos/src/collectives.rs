@@ -42,7 +42,11 @@ pub fn total_exchange(params: MachineParams) -> (Measured, CostSummary) {
     });
     let n = wl.n_flits();
     let opt = div_ceil(n, params.m as u64).max(wl.xbar());
-    let measured = Measured { time: exec.summary.bsp_m_exp, rounds: 1, ok };
+    let measured = Measured {
+        time: exec.summary.bsp_m_exp,
+        rounds: 1,
+        ok,
+    };
     debug_assert!(measured.time >= opt as f64);
     (measured, exec.summary)
 }
@@ -74,7 +78,10 @@ pub fn matrix_transpose(params: MachineParams, b: u64, seed: u64) -> TransposeOu
             .map(|i| {
                 (0..p)
                     .filter(|&j| j != i)
-                    .map(|j| Msg { dest: j, len: b * b })
+                    .map(|j| Msg {
+                        dest: j,
+                        len: b * b,
+                    })
                     .collect()
             })
             .collect(),
@@ -92,7 +99,11 @@ pub fn matrix_transpose(params: MachineParams, b: u64, seed: u64) -> TransposeOu
         per_src.len() == p - 1 && per_src.values().all(|&c| c == b * b)
     });
     TransposeOutcome {
-        measured: Measured { time: exec.summary.bsp_m_exp, rounds: 1, ok },
+        measured: Measured {
+            time: exec.summary.bsp_m_exp,
+            rounds: 1,
+            ok,
+        },
         summary: exec.summary,
         flits: wl.n_flits(),
     }
@@ -118,7 +129,14 @@ pub fn gather(params: MachineParams) -> (Measured, CostSummary) {
     let expect: u64 = (1..p as u64).map(|i| 1000 + i).sum();
     let ok = *machine.state(0) == expect;
     let summary = CostSummary::price(params, machine.profiles());
-    (Measured { time: summary.bsp_m_exp, rounds: 2, ok }, summary)
+    (
+        Measured {
+            time: summary.bsp_m_exp,
+            rounds: 2,
+            ok,
+        },
+        summary,
+    )
 }
 
 #[cfg(test)]
@@ -132,7 +150,11 @@ mod tests {
         assert!(meas.ok);
         // n = 64·63, m = 8 → n/m = 504; cost should be within rounding.
         let nm = (64.0 * 63.0) / 8.0;
-        assert!(meas.time >= nm && meas.time <= nm + mp.l as f64 + 2.0, "{}", meas.time);
+        assert!(
+            meas.time >= nm && meas.time <= nm + mp.l as f64 + 2.0,
+            "{}",
+            meas.time
+        );
         // Locally limited: g·h = 8·63.
         assert!((summary.bsp_g - 8.0 * 63.0).abs() < 1e-9);
     }
@@ -145,7 +167,10 @@ mod tests {
         let mp = MachineParams::from_gap(64, 8, 4);
         let (_, summary) = total_exchange(mp);
         let sep = summary.bsp_separation();
-        assert!(sep <= 1.05, "balanced exchange should show no separation, got {sep}");
+        assert!(
+            sep <= 1.05,
+            "balanced exchange should show no separation, got {sep}"
+        );
     }
 
     #[test]
@@ -162,7 +187,12 @@ mod tests {
         let out = matrix_transpose(mp, 4, 2);
         assert!(out.measured.ok);
         let nm = out.flits as f64 / mp.m as f64;
-        assert!(out.measured.time <= 1.6 * nm, "{} vs n/m {}", out.measured.time, nm);
+        assert!(
+            out.measured.time <= 1.6 * nm,
+            "{} vs n/m {}",
+            out.measured.time,
+            nm
+        );
     }
 
     #[test]

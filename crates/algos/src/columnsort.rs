@@ -93,7 +93,12 @@ impl Matrix {
 
     /// Run all eight steps.
     pub fn columnsort_in_place(&mut self) {
-        assert!(self.dims_valid(), "columnsort needs s | r and r ≥ 2(s−1)² (r={}, s={})", self.r, self.s);
+        assert!(
+            self.dims_valid(),
+            "columnsort needs s | r and r ≥ 2(s−1)² (r={}, s={})",
+            self.r,
+            self.s
+        );
         self.sort_columns(); // 1
         self.transpose(); // 2
         self.sort_columns(); // 3
@@ -115,7 +120,9 @@ pub fn plan_dims(n: usize) -> (usize, usize) {
     assert!(n > 0);
     let mut s = ((n as f64 / 2.0).powf(1.0 / 3.0).floor() as usize).max(1);
     loop {
-        let need_rows = n.div_ceil(s).max(if s > 1 { 2 * (s - 1) * (s - 1) } else { 1 });
+        let need_rows = n
+            .div_ceil(s)
+            .max(if s > 1 { 2 * (s - 1) * (s - 1) } else { 1 });
         // Round up to a multiple of s.
         let r = need_rows.div_ceil(s) * s;
         // Keep padding within a constant factor of n; shrink s otherwise.

@@ -48,11 +48,7 @@ struct St {
 /// `memory[addrs[i]]`. `memory` is the PRAM(m)'s addressable state (any
 /// size). Returns the measured QSM(m) run; `ok` verifies every processor
 /// obtained the correct value.
-pub fn simulate_read_step(
-    params: MachineParams,
-    memory: &[Word],
-    addrs: &[usize],
-) -> Measured {
+pub fn simulate_read_step(params: MachineParams, memory: &[Word], addrs: &[usize]) -> Measured {
     let p = params.p;
     let m = params.m;
     assert_eq!(addrs.len(), p);
@@ -225,8 +221,15 @@ pub fn simulate_read_step(
         .states()
         .iter()
         .all(|s| s.answer == Some(memory[s.want]));
-    let model = QsmM { m, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(qsm.profiles()), rounds: qsm.phase_index(), ok }
+    let model = QsmM {
+        m,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(qsm.profiles()),
+        rounds: qsm.phase_index(),
+        ok,
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +278,13 @@ mod tests {
         let mem = memory(64);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let addrs: Vec<usize> = (0..256)
-            .map(|_| if rng.gen_bool(0.7) { rng.gen_range(0..3) } else { rng.gen_range(0..64) })
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    rng.gen_range(0..3)
+                } else {
+                    rng.gen_range(0..64)
+                }
+            })
             .collect();
         let r = simulate_read_step(params, &mem, &addrs);
         assert!(r.ok);
@@ -290,7 +299,11 @@ mod tests {
         assert!(r.ok);
         let bound = pbw_models::bounds::cr_sim_slowdown(params.p, params.m);
         let lgm = pbw_models::lg(params.m as f64);
-        assert!(r.time <= 10.0 * (bound + lgm), "time {} vs O({bound} + lg m)", r.time);
+        assert!(
+            r.time <= 10.0 * (bound + lgm),
+            "time {} vs O({bound} + lg m)",
+            r.time
+        );
         // And ≥ the trivial p/m lower bound for routing back p answers.
         assert!(r.time >= bound);
     }

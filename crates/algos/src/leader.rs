@@ -48,7 +48,6 @@ pub fn crcw_pram_m(p: usize, m: usize, leader: usize) -> Measured {
     }
 }
 
-
 /// Leader Recognition on the CRCW PRAM(m) with `word_bits`-bit cells:
 /// publishing the winner's index takes `⌈lg p / w⌉` chunked writes, giving
 /// the theorem's full `O(max(lg p / w, 1))` shape.
@@ -146,8 +145,15 @@ pub fn qsm_m(params: MachineParams, leader: usize) -> Measured {
         }
     });
     let ok = qsm.states().iter().all(|s| *s == Some(tag));
-    let model = QsmM { m, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(qsm.profiles()), rounds: rounds + 2, ok }
+    let model = QsmM {
+        m,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(qsm.profiles()),
+        rounds: rounds + 2,
+        ok,
+    }
 }
 
 /// The measured CR-vs-ER separation for one parameter point: QSM(m) time
@@ -197,7 +203,10 @@ mod tests {
         let s2 = measured_separation(MachineParams::from_gap(1024, 64, 4), 3);
         // Same m/p ratio → similar separation; now grow p at fixed m:
         let s3 = measured_separation(MachineParams::new_unchecked(1024, 64, 16, 4), 3);
-        assert!(s3 > s1, "separation must grow as p/m grows (s1={s1}, s3={s3})");
+        assert!(
+            s3 > s1,
+            "separation must grow as p/m grows (s1={s1}, s3={s3})"
+        );
         assert!((s1 / s2 - 1.0).abs() < 0.8, "s1={s1} s2={s2}");
     }
 

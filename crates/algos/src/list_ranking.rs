@@ -48,7 +48,10 @@ pub fn random_list(n: usize, seed: u64) -> LinkedList {
     for w in order.windows(2) {
         next[w[0]] = w[1];
     }
-    LinkedList { next, head: order[0] }
+    LinkedList {
+        next,
+        head: order[0],
+    }
 }
 
 /// Sequential reference: rank = distance to the tail (tail has rank 0).
@@ -96,8 +99,11 @@ pub fn pram_list_ranking(list: &LinkedList, seed: u64) -> PramRanking {
         (0, n, 2 * n, 3 * n, 4 * n, 5 * n, 6 * n);
     let mut pram = Pram::new(AccessMode::Erew, 7 * n);
     for i in 0..n {
-        pram.mem_mut()[c_next + i] =
-            if list.next[i] == usize::MAX { NIL } else { list.next[i] as Word };
+        pram.mem_mut()[c_next + i] = if list.next[i] == usize::MAX {
+            NIL
+        } else {
+            list.next[i] as Word
+        };
         pram.mem_mut()[c_w + i] = 1; // distance to successor
         pram.mem_mut()[c_round + i] = NIL;
     }
@@ -111,7 +117,10 @@ pub fn pram_list_ranking(list: &LinkedList, seed: u64) -> PramRanking {
 
     // Contract until every live node points directly at the tail.
     while live.iter().any(|&i| pram.mem()[c_next + i] != tail as Word) {
-        assert!((round as usize) < max_rounds, "contraction failed to converge");
+        assert!(
+            (round as usize) < max_rounds,
+            "contraction failed to converge"
+        );
         // Coins for this round (local randomness; written to memory so a
         // node's unique predecessor can read them — the only cross-node
         // access, which is why the EREW audit passes).
@@ -162,8 +171,9 @@ pub fn pram_list_ranking(list: &LinkedList, seed: u64) -> PramRanking {
 
     // Base ranks: survivors point directly at the tail, so rank = w; the
     // tail itself gets 0.
-    let survivors: Vec<usize> =
-        (0..n).filter(|&i| i != tail && pram.mem()[c_round + i] == NIL).collect();
+    let survivors: Vec<usize> = (0..n)
+        .filter(|&i| i != tail && pram.mem()[c_round + i] == NIL)
+        .collect();
     {
         let sv = survivors.clone();
         pram.step(sv.len(), move |idx, ctx| {
@@ -176,15 +186,18 @@ pub fn pram_list_ranking(list: &LinkedList, seed: u64) -> PramRanking {
 
     // Reinsert in reverse round order: rank[j] = splice_w[j] + rank[succ].
     for r in (0..round).rev() {
-        let batch: Vec<usize> =
-            (0..n).filter(|&j| pram.mem()[c_round + j] == r).collect();
+        let batch: Vec<usize> = (0..n).filter(|&j| pram.mem()[c_round + j] == r).collect();
         let lg = (64 - (batch.len().max(2) as u64).leading_zeros()) as u64;
         pram.charge_time(lg);
         pram.charge_work(batch.len() as u64);
         pram.step(batch.len(), move |idx, ctx| {
             let j = batch[idx];
             let succ = ctx.read(c_succ + j);
-            let base = if succ == NIL { 0 } else { ctx.read(c_rank + succ as usize) };
+            let base = if succ == NIL {
+                0
+            } else {
+                ctx.read(c_rank + succ as usize)
+            };
             let wj = ctx.read(c_sw + j);
             ctx.write(c_rank + j, base + wj);
         });
@@ -192,7 +205,13 @@ pub fn pram_list_ranking(list: &LinkedList, seed: u64) -> PramRanking {
 
     let ranks: Vec<u64> = (0..n).map(|i| pram.mem()[c_rank + i] as u64).collect();
     let ok = ranks == sequential_ranks(list);
-    PramRanking { ranks, t: pram.time(), w: pram.work(), rounds: round as usize, ok }
+    PramRanking {
+        ranks,
+        t: pram.time(),
+        w: pram.work(),
+        rounds: round as usize,
+        ok,
+    }
 }
 
 /// List ranking converted to the globally-limited models (Table 1 row 4):
@@ -213,7 +232,6 @@ pub fn converted(params: MachineParams, n: usize, seed: u64) -> (Measured, Measu
     (qsm, bsp)
 }
 
-
 // ---------------------------------------------------------------------------
 // Ablation: direct pointer jumping on the BSP(m)
 // ---------------------------------------------------------------------------
@@ -225,7 +243,11 @@ enum PjMsg {
     /// (next, w).
     Ask { node: usize, requester: usize },
     /// `(requester_node, next_of_node, w_of_node)`.
-    Reply { requester: usize, next: Word, w: Word },
+    Reply {
+        requester: usize,
+        next: Word,
+        w: Word,
+    },
 }
 
 /// Per-processor state: the nodes it owns.
@@ -255,7 +277,10 @@ pub fn bsp_m_pointer_jumping(params: MachineParams, list: &LinkedList) -> Measur
     let p = params.p;
     let m = params.m;
     let n = list.next.len();
-    assert!(n.is_multiple_of(p), "nodes must divide evenly over processors");
+    assert!(
+        n.is_multiple_of(p),
+        "nodes must divide evenly over processors"
+    );
     let per = n / p;
     let owner = |node: usize| node / per;
     let t_wrap = pbw_models::div_ceil(n as u64, m as u64).max(per as u64);
@@ -288,7 +313,10 @@ pub fn bsp_m_pointer_jumping(params: MachineParams, list: &LinkedList) -> Measur
                     let node = pid * per + k;
                     out.send_at(
                         owner(nx as usize),
-                        PjMsg::Ask { node: nx as usize, requester: node },
+                        PjMsg::Ask {
+                            node: nx as usize,
+                            requester: node,
+                        },
                         (node as u64) % t_wrap,
                     );
                 }
@@ -301,8 +329,13 @@ pub fn bsp_m_pointer_jumping(params: MachineParams, list: &LinkedList) -> Measur
                     let k = node % per;
                     out.send_at(
                         owner(*requester),
-                        PjMsg::Reply { requester: *requester, next: s.next[k], w: s.w[k] },
-                        (i as u64) * ((p as u64).div_ceil(m as u64)) + (pid as u64 % (p as u64).div_ceil(m as u64).max(1)),
+                        PjMsg::Reply {
+                            requester: *requester,
+                            next: s.next[k],
+                            w: s.w[k],
+                        },
+                        (i as u64) * ((p as u64).div_ceil(m as u64))
+                            + (pid as u64 % (p as u64).div_ceil(m as u64).max(1)),
                     );
                 }
             }
@@ -320,7 +353,10 @@ pub fn bsp_m_pointer_jumping(params: MachineParams, list: &LinkedList) -> Measur
         });
         rounds += 1;
         // Done when every node has reached the tail (next = NIL).
-        let all_done = bsp.states().iter().all(|st| st.next.iter().all(|&nx| nx == NIL));
+        let all_done = bsp
+            .states()
+            .iter()
+            .all(|st| st.next.iter().all(|&nx| nx == NIL));
         if all_done {
             break;
         }
@@ -333,8 +369,16 @@ pub fn bsp_m_pointer_jumping(params: MachineParams, list: &LinkedList) -> Measur
         let st = &bsp.states()[owner(i)];
         st.next[i % per] == NIL && st.w[i % per] as u64 == expect[i]
     });
-    let model = BspM { m, l: params.l, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(bsp.profiles()), rounds, ok }
+    let model = BspM {
+        m,
+        l: params.l,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(bsp.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 #[cfg(test)]
@@ -344,7 +388,10 @@ mod tests {
     #[test]
     fn sequential_ranks_simple_chain() {
         // 0 → 1 → 2 → 3.
-        let list = LinkedList { next: vec![1, 2, 3, usize::MAX], head: 0 };
+        let list = LinkedList {
+            next: vec![1, 2, 3, usize::MAX],
+            head: 0,
+        };
         assert_eq!(sequential_ranks(&list), vec![3, 2, 1, 0]);
     }
 
@@ -403,7 +450,12 @@ mod tests {
         let n_over_m = n as f64 / 64.0;
         // Work is O(n) with a constant around 25–30 engine-ops per node
         // (coins + splice reads/writes summed over contraction rounds).
-        assert!(qsm.time < 60.0 * n_over_m, "qsm {} vs n/m {}", qsm.time, n_over_m);
+        assert!(
+            qsm.time < 60.0 * n_over_m,
+            "qsm {} vs n/m {}",
+            qsm.time,
+            n_over_m
+        );
         assert!(bsp.time >= qsm.time, "BSP(m) pays L per PRAM step");
         // And the shape is linear in n: doubling n roughly doubles time.
         let (qsm2, _) = converted(params, 2 * n, 1);
@@ -446,7 +498,10 @@ mod tests {
         let (q2, _) = converted(params, 4096, 3);
         assert!(q1.ok && q2.ok);
         let conv_ratio = q2.time / q1.time;
-        assert!(conv_ratio < 2.4, "conversion ratio {conv_ratio} not ~2 (linear)");
+        assert!(
+            conv_ratio < 2.4,
+            "conversion ratio {conv_ratio} not ~2 (linear)"
+        );
 
         let pj1 = bsp_m_pointer_jumping(params, &random_list(2048, 3));
         let pj2 = bsp_m_pointer_jumping(params, &random_list(4096, 3));
@@ -460,7 +515,10 @@ mod tests {
 
     #[test]
     fn single_node_list() {
-        let list = LinkedList { next: vec![usize::MAX], head: 0 };
+        let list = LinkedList {
+            next: vec![usize::MAX],
+            head: 0,
+        };
         let run = pram_list_ranking(&list, 0);
         assert!(run.ok);
         assert_eq!(run.ranks, vec![0]);
@@ -468,7 +526,10 @@ mod tests {
 
     #[test]
     fn two_node_list() {
-        let list = LinkedList { next: vec![usize::MAX, 0], head: 1 };
+        let list = LinkedList {
+            next: vec![usize::MAX, 0],
+            head: 1,
+        };
         let run = pram_list_ranking(&list, 0);
         assert!(run.ok);
         assert_eq!(run.ranks, vec![0, 1]);

@@ -86,15 +86,27 @@ pub fn run(params: MachineParams) -> OneToAllOutcome {
         .all(|(pid, &s)| s == 100 + if pid == 0 { 0 } else { pid as Word });
     let qsm_summary = CostSummary::price(params, qsm.profiles());
 
-    OneToAllOutcome { bsp: bsp_summary, qsm: qsm_summary, ok: bsp_ok && qsm_ok }
+    OneToAllOutcome {
+        bsp: bsp_summary,
+        qsm: qsm_summary,
+        ok: bsp_ok && qsm_ok,
+    }
 }
 
 /// Convenience: the measured BSP(m)-vs-BSP(g) pair as `Measured` records.
 pub fn measured_pair(params: MachineParams) -> (Measured, Measured) {
     let out = run(params);
     (
-        Measured { time: out.bsp.bsp_m_exp, rounds: 2, ok: out.ok },
-        Measured { time: out.bsp.bsp_g, rounds: 2, ok: out.ok },
+        Measured {
+            time: out.bsp.bsp_m_exp,
+            rounds: 2,
+            ok: out.ok,
+        },
+        Measured {
+            time: out.bsp.bsp_g,
+            rounds: 2,
+            ok: out.ok,
+        },
     )
 }
 

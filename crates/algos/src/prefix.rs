@@ -165,8 +165,15 @@ pub fn qsm_m(params: MachineParams, inputs: &[Word]) -> Measured {
         got.extend_from_slice(&st.result);
     }
     let ok = got == expect;
-    let model = QsmM { m, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(qsm.profiles()), rounds, ok }
+    let model = QsmM {
+        m,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(qsm.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 #[cfg(test)]

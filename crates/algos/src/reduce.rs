@@ -63,7 +63,10 @@ fn local_fold(op: Op, inputs: &[Word], pid: usize, per: usize) -> Word {
 pub fn qsm_m(params: MachineParams, inputs: &[Word], op: Op) -> Measured {
     let p = params.p;
     let m = params.m;
-    assert!(inputs.len().is_multiple_of(p), "input must divide evenly (pad if needed)");
+    assert!(
+        inputs.len().is_multiple_of(p),
+        "input must divide evenly (pad if needed)"
+    );
     let per = inputs.len() / p;
     let expect = op.fold(inputs);
 
@@ -124,8 +127,15 @@ pub fn qsm_m(params: MachineParams, inputs: &[Word], op: Op) -> Measured {
     }
 
     let ok = *qsm.state(0) == expect;
-    let model = QsmM { m, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(qsm.profiles()), rounds, ok }
+    let model = QsmM {
+        m,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(qsm.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 /// Summation/parity on the QSM(g): binary tree over all processors,
@@ -164,7 +174,11 @@ pub fn qsm_g(params: MachineParams, inputs: &[Word], op: Op) -> Measured {
     }
     let ok = *qsm.state(0) == expect;
     let model = QsmG { g: params.g };
-    Measured { time: model.run_cost(qsm.profiles()), rounds, ok }
+    Measured {
+        time: model.run_cost(qsm.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 /// Summation/parity on the BSP(m): staggered funnel + fan-in-`L` leader
@@ -225,8 +239,16 @@ pub fn bsp_m(params: MachineParams, inputs: &[Word], op: Op) -> Measured {
         rounds += 2;
     }
     let ok = *bsp.state(0) == expect;
-    let model = BspM { m, l: params.l, penalty: PenaltyFn::Exponential };
-    Measured { time: model.run_cost(bsp.profiles()), rounds, ok }
+    let model = BspM {
+        m,
+        l: params.l,
+        penalty: PenaltyFn::Exponential,
+    };
+    Measured {
+        time: model.run_cost(bsp.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 /// Summation/parity on the BSP(g): fan-in-`max(2, ⌈L/g⌉)` tree;
@@ -261,8 +283,15 @@ pub fn bsp_g(params: MachineParams, inputs: &[Word], op: Op) -> Measured {
         rounds += 2;
     }
     let ok = *bsp.state(0) == expect;
-    let model = BspG { g: params.g, l: params.l };
-    Measured { time: model.run_cost(bsp.profiles()), rounds, ok }
+    let model = BspG {
+        g: params.g,
+        l: params.l,
+    };
+    Measured {
+        time: model.run_cost(bsp.profiles()),
+        rounds,
+        ok,
+    }
 }
 
 #[cfg(test)]

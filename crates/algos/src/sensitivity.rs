@@ -89,41 +89,43 @@ use pbw_sim::{BspMachine, Word};
 /// Run the §4.2 ternary non-receipt broadcast and return its per-superstep
 /// profiles (the audit's input). Panics if any processor fails to decode.
 pub fn profiled_ternary(params: MachineParams, bit: bool) -> Vec<SuperstepProfile> {
-        // Mirror broadcast::ternary_nonreceipt but keep the machine.
-        #[derive(Clone, Copy)]
-        struct St {
-            knows: bool,
-            bit: bool,
+    // Mirror broadcast::ternary_nonreceipt but keep the machine.
+    #[derive(Clone, Copy)]
+    struct St {
+        knows: bool,
+        bit: bool,
+    }
+    let p = params.p;
+    let mut bsp: BspMachine<St, ()> = BspMachine::new(params, |pid| St {
+        knows: pid == 0,
+        bit: pid == 0 && bit,
+    });
+    let decode = move |k_prev: usize, pid: usize, s: &mut St, got: bool| {
+        if k_prev > 0 && pid >= k_prev && pid < 3 * k_prev && !s.knows {
+            s.bit = if pid < 2 * k_prev { !got } else { got };
+            s.knows = true;
         }
-        let p = params.p;
-        let mut bsp: BspMachine<St, ()> =
-            BspMachine::new(params, |pid| St { knows: pid == 0, bit: pid == 0 && bit });
-        let decode = move |k_prev: usize, pid: usize, s: &mut St, got: bool| {
-            if k_prev > 0 && pid >= k_prev && pid < 3 * k_prev && !s.knows {
-                s.bit = if pid < 2 * k_prev { !got } else { got };
-                s.knows = true;
-            }
-        };
-        let mut frontier = 1usize;
-        let mut prev = 0usize;
-        while frontier < p {
-            let (k, pk) = (frontier, prev);
-            bsp.superstep(move |pid, s, inbox, out| {
-                decode(pk, pid, s, !inbox.is_empty());
-                if pid < k && s.knows {
-                    let target = if s.bit { pid + 2 * k } else { pid + k };
-                    if target < p {
-                        out.send(target, ());
-                    }
+    };
+    let mut frontier = 1usize;
+    let mut prev = 0usize;
+    while frontier < p {
+        let (k, pk) = (frontier, prev);
+        bsp.superstep(move |pid, s, inbox, out| {
+            decode(pk, pid, s, !inbox.is_empty());
+            if pid < k && s.knows {
+                let target = if s.bit { pid + 2 * k } else { pid + k };
+                if target < p {
+                    out.send(target, ());
                 }
-            });
-            prev = k;
-            frontier *= 3;
-        }
-        if prev > 0 && prev < p {
-            let pk = prev;
-            bsp.superstep(move |pid, s, inbox, _out| decode(pk, pid, s, !inbox.is_empty()));
-        }
+            }
+        });
+        prev = k;
+        frontier *= 3;
+    }
+    if prev > 0 && prev < p {
+        let pk = prev;
+        bsp.superstep(move |pid, s, inbox, _out| decode(pk, pid, s, !inbox.is_empty()));
+    }
     assert!(bsp.states().iter().all(|s| s.knows && s.bit == bit));
     bsp.profiles().to_vec()
 }
@@ -132,40 +134,40 @@ pub fn profiled_ternary(params: MachineParams, bit: bool) -> Vec<SuperstepProfil
 /// return its per-superstep profiles (communication pattern is
 /// input-independent, as the audit will show: `x_t = x̄_t`).
 pub fn profiled_tree(params: MachineParams, bit: bool) -> Vec<SuperstepProfile> {
-        let p = params.p;
-        let f = ((params.l as f64 / params.g as f64).ceil() as usize).max(2);
-        let payload: Word = bit as Word;
-        let mut bsp: BspMachine<Option<Word>, Word> =
-            BspMachine::new(params, |pid| if pid == 0 { Some(payload) } else { None });
-        let mut known = 1usize;
-        while known < p {
-            let k = known;
-            let upper = (k * (f + 1)).min(p);
-            bsp.superstep(move |pid, s, inbox, out| {
-                if s.is_none() {
-                    if let Some(&v) = inbox.first() {
-                        *s = Some(v);
-                    }
-                }
-                if pid < k {
-                    if let Some(v) = *s {
-                        let mut child = pid + k;
-                        while child < upper {
-                            out.send(child, v);
-                            child += k;
-                        }
-                    }
-                }
-            });
-            known = upper;
-        }
-        bsp.superstep(|_pid, s, inbox, _out| {
+    let p = params.p;
+    let f = ((params.l as f64 / params.g as f64).ceil() as usize).max(2);
+    let payload: Word = bit as Word;
+    let mut bsp: BspMachine<Option<Word>, Word> =
+        BspMachine::new(params, |pid| if pid == 0 { Some(payload) } else { None });
+    let mut known = 1usize;
+    while known < p {
+        let k = known;
+        let upper = (k * (f + 1)).min(p);
+        bsp.superstep(move |pid, s, inbox, out| {
             if s.is_none() {
                 if let Some(&v) = inbox.first() {
                     *s = Some(v);
                 }
             }
+            if pid < k {
+                if let Some(v) = *s {
+                    let mut child = pid + k;
+                    while child < upper {
+                        out.send(child, v);
+                        child += k;
+                    }
+                }
+            }
         });
+        known = upper;
+    }
+    bsp.superstep(|_pid, s, inbox, _out| {
+        if s.is_none() {
+            if let Some(&v) = inbox.first() {
+                *s = Some(v);
+            }
+        }
+    });
     assert!(bsp.states().iter().all(|s| *s == Some(payload)));
     bsp.profiles().to_vec()
 }
@@ -207,9 +209,7 @@ mod tests {
             let p0 = profiled_ternary(mp, false);
             let p1 = profiled_ternary(mp, true);
             let audit = audit_broadcast(mp, &p0, &p1);
-            let measured = BspG { g, l }
-                .run_cost(&p1)
-                .max(BspG { g, l }.run_cost(&p0));
+            let measured = BspG { g, l }.run_cost(&p1).max(BspG { g, l }.run_cost(&p0));
             assert!(
                 audit.instance_lower <= measured + 1e-9,
                 "p={p}: instance bound {} > measured {measured}",

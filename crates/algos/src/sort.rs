@@ -79,7 +79,9 @@ fn partition_counts(sorted: &[Word], splitters: &[Word]) -> Vec<usize> {
 fn select_splitters(mut samples: Vec<Word>, q: usize) -> Vec<Word> {
     samples.sort_unstable();
     let ov = samples.len() / q.max(1);
-    (1..q).map(|i| samples[(i * ov).min(samples.len().saturating_sub(1))]).collect()
+    (1..q)
+        .map(|i| samples[(i * ov).min(samples.len().saturating_sub(1))])
+        .collect()
 }
 
 #[derive(Debug, Clone, Default)]
@@ -103,7 +105,10 @@ pub fn qsm_m_detailed(params: MachineParams, inputs: &[Word]) -> (Measured, pbw_
     let p = params.p;
     let m = params.m;
     let n = inputs.len();
-    assert!(n.is_multiple_of(p), "input must divide evenly over processors");
+    assert!(
+        n.is_multiple_of(p),
+        "input must divide evenly over processors"
+    );
     let per = n / p;
     let q = bucket_count(p, m, n);
     let ov = oversample(n, m, q);
@@ -213,11 +218,18 @@ pub fn qsm_m_detailed(params: MachineParams, inputs: &[Word]) -> (Measured, pbw_
         if pid < q {
             let mut off = 0usize;
             for (src, r) in res.iter().enumerate() {
-                ctx.write_at(off20 + src * q + pid, off as Word, stagger(src as u64, pid, q, m));
+                ctx.write_at(
+                    off20 + src * q + pid,
+                    off as Word,
+                    stagger(src as u64, pid, q, m),
+                );
                 off += r.value as usize;
             }
             s.in_count = off;
-            assert!(off <= cap, "bucket {pid} overflow: {off} > cap {cap} (raise oversampling)");
+            assert!(
+                off <= cap,
+                "bucket {pid} overflow: {off} > cap {cap} (raise oversampling)"
+            );
             ctx.write_at(bcnt0 + pid, off as Word, stagger(q as u64, pid, q, m));
         }
     });
@@ -313,18 +325,32 @@ pub fn qsm_m_detailed(params: MachineParams, inputs: &[Word]) -> (Measured, pbw_
     }
     let ok = got == expect;
 
-    let model = QsmM { m, penalty: PenaltyFn::Exponential };
+    let model = QsmM {
+        m,
+        penalty: PenaltyFn::Exponential,
+    };
     if std::env::var("PBW_SORT_DEBUG").is_ok() {
         for (i, prof) in qsm.profiles().iter().enumerate() {
             eprintln!(
                 "qsm phase {i}: cost {:.1} w={} h={} kappa={} cm_len={} maxinj={}",
-                model.superstep_cost(prof), prof.max_work, prof.h_qsm(), prof.max_contention,
-                prof.injections.len(), prof.injections.iter().max().unwrap_or(&0)
+                model.superstep_cost(prof),
+                prof.max_work,
+                prof.h_qsm(),
+                prof.max_contention,
+                prof.injections.len(),
+                prof.injections.iter().max().unwrap_or(&0)
             );
         }
     }
     let summary = pbw_sim::CostSummary::price(params, qsm.profiles());
-    (Measured { time: model.run_cost(qsm.profiles()), rounds: qsm.phase_index(), ok }, summary)
+    (
+        Measured {
+            time: model.run_cost(qsm.profiles()),
+            rounds: qsm.phase_index(),
+            ok,
+        },
+        summary,
+    )
 }
 
 /// Message payload of the BSP sort: tagged words.
@@ -459,7 +485,11 @@ pub fn bsp_m_detailed(params: MachineParams, inputs: &[Word]) -> (Measured, pbw_
             s.result.sort_unstable();
             let len = s.result.len().max(1) as u64;
             out.charge_work(len * (64 - len.leading_zeros()) as u64);
-            out.send_at(0, SortMsg::Count(s.result.len() as Word), stagger(0, pid, q, m));
+            out.send_at(
+                0,
+                SortMsg::Count(s.result.len() as Word),
+                stagger(0, pid, q, m),
+            );
         }
     });
     // 6. Processor 0 prefixes counts, sends each bucket its global offset.
@@ -488,7 +518,11 @@ pub fn bsp_m_detailed(params: MachineParams, inputs: &[Word]) -> (Measured, pbw_
             s.out_offset = off;
             for (i, &key) in s.result.iter().enumerate() {
                 let rank = off + i;
-                out.send_at(rank / per, SortMsg::Ranked(key), stagger(i as u64, pid, q, m));
+                out.send_at(
+                    rank / per,
+                    SortMsg::Ranked(key),
+                    stagger(i as u64, pid, q, m),
+                );
             }
         }
     });
@@ -512,18 +546,32 @@ pub fn bsp_m_detailed(params: MachineParams, inputs: &[Word]) -> (Measured, pbw_
         got.extend_from_slice(&st.result);
     }
     let ok = got == expect;
-    let model = BspM { m, l: params.l, penalty: PenaltyFn::Exponential };
+    let model = BspM {
+        m,
+        l: params.l,
+        penalty: PenaltyFn::Exponential,
+    };
     if std::env::var("PBW_SORT_DEBUG").is_ok() {
         for (i, prof) in bsp.profiles().iter().enumerate() {
             eprintln!(
                 "bsp step {i}: cost {:.1} w={} h={} cm_len={} maxinj={}",
-                model.superstep_cost(prof), prof.max_work, prof.h_bsp(),
-                prof.injections.len(), prof.injections.iter().max().unwrap_or(&0)
+                model.superstep_cost(prof),
+                prof.max_work,
+                prof.h_bsp(),
+                prof.injections.len(),
+                prof.injections.iter().max().unwrap_or(&0)
             );
         }
     }
     let summary = pbw_sim::CostSummary::price(params, bsp.profiles());
-    (Measured { time: model.run_cost(bsp.profiles()), rounds: bsp.superstep_index(), ok }, summary)
+    (
+        Measured {
+            time: model.run_cost(bsp.profiles()),
+            rounds: bsp.superstep_index(),
+            ok,
+        },
+        summary,
+    )
 }
 
 #[cfg(test)]
@@ -587,7 +635,11 @@ mod tests {
         // A gross overload would add e^{k} spikes; n/m here is 128, so any
         // time beyond ~60·n/m would be suspicious (the constant covers the
         // splitter-selection term at this small n).
-        assert!(exp.time < 60.0 * (n as f64 / mp.m as f64), "time {}", exp.time);
+        assert!(
+            exp.time < 60.0 * (n as f64 / mp.m as f64),
+            "time {}",
+            exp.time
+        );
     }
 
     #[test]
@@ -644,7 +696,10 @@ mod tests {
                 *per_slot.entry(s).or_default() += 1;
             }
         }
-        assert!(per_proc.values().all(|&c| c == 1), "per-processor slot reuse");
+        assert!(
+            per_proc.values().all(|&c| c == 1),
+            "per-processor slot reuse"
+        );
         assert!(per_slot.values().all(|&c| c as usize <= m), "slot overload");
     }
 }

@@ -40,7 +40,9 @@ fn bench_protocol(c: &mut Criterion) {
     });
     let mem: Vec<i64> = (0..128).collect();
     let batch = RequestBatch::new(
-        (0..256).map(|pid| (0..8).map(|k| (pid * 7 + k * 13) % 128).collect()).collect(),
+        (0..256)
+            .map(|pid| (0..8).map(|k| (pid * 7 + k * 13) % 128).collect())
+            .collect(),
         128,
     );
     group.bench_function("qsm_unbalanced_reads", |b| {

@@ -8,17 +8,34 @@ fn bench_dynamic(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynamic");
     group.sample_size(10);
     let p = 64;
-    let params = AqtParams { w: 64, alpha: 4.0, beta: 0.25 };
+    let params = AqtParams {
+        w: 64,
+        alpha: 4.0,
+        beta: 0.25,
+    };
     group.bench_function("algorithm_b_100_intervals", |b| {
         b.iter(|| {
             let mut adv = SteadyAdversary::new(p, params);
-            AlgorithmB { p, m: 8, w: 64, eps: 0.3, seed: 1 }.run(&mut adv, 100)
+            AlgorithmB {
+                p,
+                m: 8,
+                w: 64,
+                eps: 0.3,
+                seed: 1,
+            }
+            .run(&mut adv, 100)
         })
     });
     group.bench_function("bsp_g_router_100_intervals", |b| {
         b.iter(|| {
             let mut adv = SteadyAdversary::new(p, params);
-            BspGIntervalRouter { p, g: 8, l: 8, w: 64 }.run(&mut adv, 100)
+            BspGIntervalRouter {
+                p,
+                g: 8,
+                l: 8,
+                w: 64,
+            }
+            .run(&mut adv, 100)
         })
     });
     group.bench_function("mg1_100k_steps", |b| {

@@ -88,5 +88,10 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bsp_engine, bench_qsm_engine, bench_trace_overhead);
+criterion_group!(
+    benches,
+    bench_bsp_engine,
+    bench_qsm_engine,
+    bench_trace_overhead
+);
 criterion_main!(benches);

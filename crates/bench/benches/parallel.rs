@@ -17,7 +17,10 @@ use pbw_sim::BspMachine;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
 fn pool(width: usize) -> ThreadPool {
-    ThreadPoolBuilder::new().num_threads(width).build().expect("shim pool is infallible")
+    ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("shim pool is infallible")
 }
 
 fn bench_ring_superstep(c: &mut Criterion) {

@@ -6,7 +6,9 @@ use pbw_pram::hrelation;
 use pbw_pram::primitives::Fidelity;
 
 fn relation(p: usize, h: usize) -> Vec<Vec<(usize, i64)>> {
-    (0..p).map(|src| (0..h).map(|k| (((src + k + 1) % p), k as i64)).collect()).collect()
+    (0..p)
+        .map(|src| (0..h).map(|k| (((src + k + 1) % p), k as i64)).collect())
+        .collect()
 }
 
 fn bench_hrelation(c: &mut Criterion) {

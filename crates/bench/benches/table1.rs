@@ -16,7 +16,9 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| broadcast::ternary_nonreceipt(mp, true))
     });
     let bits: Vec<i64> = (0..512).map(|i| (i % 2) as i64).collect();
-    group.bench_function("parity_qsm_m", |b| b.iter(|| reduce::qsm_m(mp, &bits, reduce::Op::Xor)));
+    group.bench_function("parity_qsm_m", |b| {
+        b.iter(|| reduce::qsm_m(mp, &bits, reduce::Op::Xor))
+    });
     let keys: Vec<i64> = (0..512).map(|i| ((i * 7919) % 512) as i64).collect();
     group.bench_function("sort_qsm_m", |b| b.iter(|| sort::qsm_m(mp, &keys)));
     group.bench_function("sort_bsp_m", |b| b.iter(|| sort::bsp_m(mp, &keys)));

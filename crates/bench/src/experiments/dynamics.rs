@@ -37,20 +37,38 @@ pub fn dynamic(quick: bool) -> String {
     ]);
     for beta_mult in [0.5, 0.9, 1.5, 3.0] {
         let beta = beta_mult / g as f64;
-        let params = AqtParams { w, alpha: beta, beta };
+        let params = AqtParams {
+            w,
+            alpha: beta,
+            beta,
+        };
         let mut adv_g = SingleTargetAdversary::new(p, params, 0);
         let router_g = BspGIntervalRouter { p, g, l: 8, w };
         let tg = router_g.run(&mut adv_g, intervals);
         let mut adv_m = SingleTargetAdversary::new(p, params, 0);
-        let algo_m = AlgorithmB { p, m, w, eps: 0.3, seed: 5 };
+        let algo_m = AlgorithmB {
+            p,
+            m,
+            w,
+            eps: 0.3,
+            seed: 5,
+        };
         let tm = algo_m.run(&mut adv_m, intervals);
         t.row(vec![
             fmt(beta_mult),
             "single-target".to_string(),
             fmt(tg.backlog_growth()),
-            if tg.looks_stable() { "stable".into() } else { "UNSTABLE".to_string() },
+            if tg.looks_stable() {
+                "stable".into()
+            } else {
+                "UNSTABLE".to_string()
+            },
             fmt(tm.backlog_growth()),
-            if tm.looks_stable() { "stable".into() } else { "UNSTABLE".to_string() },
+            if tm.looks_stable() {
+                "stable".into()
+            } else {
+                "UNSTABLE".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -67,17 +85,33 @@ pub fn dynamic(quick: bool) -> String {
     ]);
     for alpha_mult in [0.25, 0.6, 0.75, 1.5] {
         let alpha = alpha_mult * m as f64;
-        let params = AqtParams { w, alpha, beta: 0.5 };
+        let params = AqtParams {
+            w,
+            alpha,
+            beta: 0.5,
+        };
         let mut adv = SteadyAdversary::new(p, params);
-        let algo = AlgorithmB { p, m, w, eps: 0.3, seed: 9 };
+        let algo = AlgorithmB {
+            p,
+            m,
+            w,
+            eps: 0.3,
+            seed: 9,
+        };
         let tr = algo.run(&mut adv, intervals);
         t2.row(vec![
             fmt(alpha_mult),
             "steady".to_string(),
             fmt(tr.backlog_growth()),
-            if tr.looks_stable() { "stable".into() } else { "UNSTABLE".to_string() },
+            if tr.looks_stable() {
+                "stable".into()
+            } else {
+                "UNSTABLE".to_string()
+            },
             fmt(tr.mean_service()),
-            tr.delay_percentile(0.99).map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            tr.delay_percentile(0.99)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     out.push_str(&t2.render());
@@ -107,7 +141,12 @@ pub fn mg1(quick: bool) -> String {
         "P-K formula",
         "verdict",
     ]);
-    for (r, w, u) in [(0.05, 10.0, 4.0), (0.15, 10.0, 4.0), (0.25, 6.0, 3.0), (0.35, 8.0, 2.0)] {
+    for (r, w, u) in [
+        (0.05, 10.0, 4.0),
+        (0.15, 10.0, 4.0),
+        (0.25, 6.0, 3.0),
+        (0.35, 8.0, 2.0),
+    ] {
         let law = ServiceLaw { w, u };
         let util = bounds::mg1_utilization(r, w, u);
         let sim = simulate_mg1(r, law, steps, 17);
@@ -124,7 +163,11 @@ pub fn mg1(quick: bool) -> String {
             fmt(util),
             fmt(sim.mean_queue_at_departures),
             pk,
-            if util < 1.0 { "stable".into() } else { "UNSTABLE".to_string() },
+            if util < 1.0 {
+                "stable".into()
+            } else {
+                "UNSTABLE".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());

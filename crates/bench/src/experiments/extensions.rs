@@ -30,13 +30,16 @@ pub fn qsm_exercise(quick: bool) -> String {
         (
             "uniform",
             RequestBatch::new(
-                (0..p).map(|_| (0..16).map(|_| rng.gen_range(0..msize)).collect()).collect(),
+                (0..p)
+                    .map(|_| (0..16).map(|_| rng.gen_range(0..msize)).collect())
+                    .collect(),
                 msize,
             ),
         ),
         ("hot-requester", {
-            let mut reqs: Vec<Vec<usize>> =
-                (0..p).map(|_| (0..4).map(|_| rng.gen_range(0..msize)).collect()).collect();
+            let mut reqs: Vec<Vec<usize>> = (0..p)
+                .map(|_| (0..4).map(|_| rng.gen_range(0..msize)).collect())
+                .collect();
             reqs[0] = (0..(8 * p)).map(|_| rng.gen_range(0..msize)).collect();
             RequestBatch::new(reqs, msize)
         }),
@@ -45,7 +48,13 @@ pub fn qsm_exercise(quick: bool) -> String {
                 (0..p)
                     .map(|_| {
                         (0..8)
-                            .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..msize) })
+                            .map(|_| {
+                                if rng.gen_bool(0.5) {
+                                    0
+                                } else {
+                                    rng.gen_range(0..msize)
+                                }
+                            })
                             .collect()
                     })
                     .collect(),
@@ -119,7 +128,11 @@ pub fn hrel_randomized(quick: bool) -> String {
     let mut out = String::new();
     out.push_str("== Randomized h-relation realization on CRCW: O(h + lg* p) (§4.1) ==\n");
     let mut t = Table::new(vec!["h", "time", "time/h", "deterministic teams time/h"]);
-    let hs: Vec<usize> = if quick { vec![2, 8, 32] } else { vec![1, 2, 4, 8, 16, 32, 64] };
+    let hs: Vec<usize> = if quick {
+        vec![2, 8, 32]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
     for h in hs {
         let sends: Vec<Vec<(usize, Word)>> = (0..p)
             .map(|src| (0..h).map(|k| (((src + k + 1) % p), k as Word)).collect())
@@ -139,14 +152,15 @@ pub fn hrel_randomized(quick: bool) -> String {
     out
 }
 
-
 /// Ablation: list ranking via the work-optimal PRAM conversion vs. direct
 /// pointer jumping on the BSP(m) — linear vs. superlinear growth in `n`.
 pub fn list_ranking_ablation(quick: bool) -> String {
     use pbw_algos::list_ranking::{bsp_m_pointer_jumping, converted, random_list};
     let params = MachineParams::from_bandwidth(64, 16, 4);
     let mut out = String::new();
-    out.push_str("== Ablation: list ranking — PRAM conversion vs direct pointer jumping (BSP(m)) ==\n");
+    out.push_str(
+        "== Ablation: list ranking — PRAM conversion vs direct pointer jumping (BSP(m)) ==\n",
+    );
     let mut t = Table::new(vec![
         "n",
         "conversion (QSM(m))",
@@ -154,7 +168,11 @@ pub fn list_ranking_ablation(quick: bool) -> String {
         "pointer jumping (BSP(m))",
         "pj rounds",
     ]);
-    let sizes: &[usize] = if quick { &[1024, 4096] } else { &[1024, 2048, 4096, 8192, 16384] };
+    let sizes: &[usize] = if quick {
+        &[1024, 4096]
+    } else {
+        &[1024, 2048, 4096, 8192, 16384]
+    };
     for &n in sizes {
         let (q, b) = converted(params, n, 3);
         assert!(q.ok && b.ok);
@@ -173,7 +191,6 @@ pub fn list_ranking_ablation(quick: bool) -> String {
     out
 }
 
-
 /// The Claim 4.2 sensitivity audit applied to profiled broadcast runs.
 pub fn sensitivity_audit(quick: bool) -> String {
     use pbw_algos::sensitivity::{audit_broadcast, profiled_ternary, profiled_tree};
@@ -187,11 +204,18 @@ pub fn sensitivity_audit(quick: bool) -> String {
         "instance lower",
         "Thm 4.1 lower",
     ]);
-    let configs: &[(usize, u64, u64)] =
-        if quick { &[(243, 27, 8)] } else { &[(243, 27, 8), (729, 27, 27), (2048, 8, 32)] };
+    let configs: &[(usize, u64, u64)] = if quick {
+        &[(243, 27, 8)]
+    } else {
+        &[(243, 27, 8), (729, 27, 27), (2048, 8, 32)]
+    };
     for &(p, g, l) in configs {
         let mp = MachineParams::from_gap(p, g, l);
-        let tern = audit_broadcast(mp, &profiled_ternary(mp, false), &profiled_ternary(mp, true));
+        let tern = audit_broadcast(
+            mp,
+            &profiled_ternary(mp, false),
+            &profiled_ternary(mp, true),
+        );
         assert!(tern.reaches_p);
         t.row(vec![
             "ternary non-receipt".to_string(),
@@ -216,7 +240,6 @@ pub fn sensitivity_audit(quick: bool) -> String {
     out.push_str("\n(Every terminating broadcast's sensitivity product covers p — the mechanized\n necessary condition behind Theorem 4.1; the ternary protocol meets it with the\n minimum possible per-round factor 3, one message per processor.)\n");
     out
 }
-
 
 /// Ablation: native algorithms per model — block bitonic (the g-model's
 /// natural sorter, perfectly balanced) vs sample sort (designed for the

@@ -112,7 +112,11 @@ pub fn faults_seeded(quick: bool, seed: u64) -> String {
                 .arrival_percentile(0.99)
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| "-".into()),
-            if outcome.delivered_all { "yes".to_string() } else { "NO".to_string() },
+            if outcome.delivered_all {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -123,7 +127,13 @@ pub fn faults_seeded(quick: bool, seed: u64) -> String {
     // router provisioned near capacity destabilizes at φ* ≈ 1 − α(1+ε)/m.
     let (rp, rm, rw) = (64usize, 8usize, 128u64);
     let intervals = if quick { 150 } else { 500 };
-    let algo = AlgorithmB { p: rp, m: rm, w: rw, eps: 0.3, seed: 9 };
+    let algo = AlgorithmB {
+        p: rp,
+        m: rm,
+        w: rw,
+        eps: 0.3,
+        seed: 9,
+    };
     out.push_str(&format!(
         "\n== Algorithm B stability-margin erosion: p = {rp}, m = {rm}, w = {rw}, α = 5 ==\n"
     ));
@@ -140,7 +150,11 @@ pub fn faults_seeded(quick: bool, seed: u64) -> String {
         .to_vec()
         .into_par_iter()
         .map(|phi| {
-            let aqt = AqtParams { w: rw, alpha: 5.0, beta: 0.5 };
+            let aqt = AqtParams {
+                w: rw,
+                alpha: 5.0,
+                beta: 0.5,
+            };
             let mut adv = SteadyAdversary::new(rp, aqt);
             with_point_sink(tracing, |sink| {
                 algo.run_with_faults_to(&mut adv, intervals, phi, seed, sink)
@@ -156,8 +170,14 @@ pub fn faults_seeded(quick: bool, seed: u64) -> String {
             fmt(5.0 / (1.0 - phi)),
             tr.retransmitted.to_string(),
             fmt(tr.backlog_growth()),
-            if tr.looks_stable() { "stable".to_string() } else { "UNSTABLE".to_string() },
-            tr.delay_percentile(0.99).map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            if tr.looks_stable() {
+                "stable".to_string()
+            } else {
+                "UNSTABLE".to_string()
+            },
+            tr.delay_percentile(0.99)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     out.push_str(&t2.render());
@@ -165,7 +185,11 @@ pub fn faults_seeded(quick: bool, seed: u64) -> String {
     // Backpressure: the overloaded router behind a bounded queue sheds load
     // instead of diverging, and the trace reports post-burst recovery.
     let bp = BackpressureConfig::bounded(512);
-    let aqt = AqtParams { w: rw, alpha: 12.0, beta: 0.5 };
+    let aqt = AqtParams {
+        w: rw,
+        alpha: 12.0,
+        beta: 0.5,
+    };
     let mut adv = SteadyAdversary::new(rp, aqt);
     let tr = algo.run_with_backpressure(&mut adv, intervals, bp);
     let pending = tr.queue_msgs.last().copied().unwrap_or(0);

@@ -2,22 +2,23 @@
 //! 6.2–6.4, the flit and overhead variants, and the §2 penalty ablation).
 
 use crate::table::{fmt, Table};
-use pbw_core::flits::{
-    evaluate_overhead_schedule, OverheadSend, UnbalancedFlitSend,
-};
+use pbw_core::flits::{evaluate_overhead_schedule, OverheadSend, UnbalancedFlitSend};
 use pbw_core::schedule::to_profile;
 use pbw_core::schedulers::{
     xbar_small, EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend,
     UnbalancedGranularSend, UnbalancedSend,
 };
 use pbw_core::{evaluate_schedule, workload, Workload};
-use pbw_models::{bounds, PenaltyFn, SelfSchedulingBspM, SuperstepProfile};
 use pbw_models::CostModel;
+use pbw_models::{bounds, PenaltyFn, SelfSchedulingBspM, SuperstepProfile};
 
 fn skew_suite(p: usize, quick: bool) -> Vec<(&'static str, Workload)> {
     let mut v = vec![
         ("uniform", workload::uniform_random(p, 64, 1)),
-        ("hot-sender", workload::single_hot_sender(p, (p as u64) * 16, 8, 2)),
+        (
+            "hot-sender",
+            workload::single_hot_sender(p, (p as u64) * 16, 8, 2),
+        ),
         ("zipf-1.2", workload::zipf_senders(p, 512, 1.2, 3)),
     ];
     if !quick {
@@ -51,9 +52,24 @@ pub fn unbalanced_send(quick: bool) -> String {
         "≤m?",
     ]);
     for (name, wl) in skew_suite(p, quick) {
-        let opt = evaluate_schedule(&OfflineOptimal.schedule(&wl, m, 0), &wl, m, PenaltyFn::Exponential);
-        let us = evaluate_schedule(&UnbalancedSend::new(eps).schedule(&wl, m, 7), &wl, m, PenaltyFn::Exponential);
-        let eager = evaluate_schedule(&EagerSend.schedule(&wl, m, 0), &wl, m, PenaltyFn::Exponential);
+        let opt = evaluate_schedule(
+            &OfflineOptimal.schedule(&wl, m, 0),
+            &wl,
+            m,
+            PenaltyFn::Exponential,
+        );
+        let us = evaluate_schedule(
+            &UnbalancedSend::new(eps).schedule(&wl, m, 7),
+            &wl,
+            m,
+            PenaltyFn::Exponential,
+        );
+        let eager = evaluate_schedule(
+            &EagerSend.schedule(&wl, m, 0),
+            &wl,
+            m,
+            PenaltyFn::Exponential,
+        );
         t.row(vec![
             name.to_string(),
             us.n.to_string(),
@@ -64,7 +80,11 @@ pub fn unbalanced_send(quick: bool) -> String {
             fmt(eager.model_time),
             fmt(us.ratio_to_opt),
             us.max_slot_load.to_string(),
-            if us.no_slot_exceeds_m { "yes".into() } else { "NO".to_string() },
+            if us.no_slot_exceeds_m {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -92,16 +112,23 @@ pub fn consecutive_send(quick: bool) -> String {
     for (name, wl) in skew_suite(p, quick) {
         let sched = UnbalancedConsecutiveSend::new(eps).schedule(&wl, m, 11);
         let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
-        let target = (1.0 + eps) * wl.n_flits() as f64 / m as f64
-            + xbar_small(&wl, m, eps) as f64;
+        let target = (1.0 + eps) * wl.n_flits() as f64 / m as f64 + xbar_small(&wl, m, eps) as f64;
         let target = target.max(wl.xbar() as f64);
         t.row(vec![
             name.to_string(),
             fmt(cost.makespan as f64),
             fmt(target),
-            if (cost.makespan as f64) <= target + 2.0 { "yes".into() } else { "NO".to_string() },
+            if (cost.makespan as f64) <= target + 2.0 {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             cost.max_slot_load.to_string(),
-            if cost.no_slot_exceeds_m { "yes".into() } else { "NO".to_string() },
+            if cost.no_slot_exceeds_m {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -114,9 +141,17 @@ pub fn granular_send(quick: bool) -> String {
     let m = p / 4;
     let c = 3.0;
     let mut out = String::new();
-    out.push_str(&format!("== Unbalanced-Granular-Send (Thm 6.4): p = {p}, m = {m}, c = {c} ==\n"));
-    let mut t =
-        Table::new(vec!["workload", "makespan", "c·n/m + x̄", "within?", "max slot load", "≤m?"]);
+    out.push_str(&format!(
+        "== Unbalanced-Granular-Send (Thm 6.4): p = {p}, m = {m}, c = {c} ==\n"
+    ));
+    let mut t = Table::new(vec![
+        "workload",
+        "makespan",
+        "c·n/m + x̄",
+        "within?",
+        "max slot load",
+        "≤m?",
+    ]);
     for (name, wl) in skew_suite(p, quick) {
         let sched = UnbalancedGranularSend::new(c).schedule(&wl, m, 13);
         let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
@@ -125,9 +160,17 @@ pub fn granular_send(quick: bool) -> String {
             name.to_string(),
             fmt(cost.makespan as f64),
             fmt(target),
-            if (cost.makespan as f64) <= target { "yes".into() } else { "NO".to_string() },
+            if (cost.makespan as f64) <= target {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             cost.max_slot_load.to_string(),
-            if cost.no_slot_exceeds_m { "yes".into() } else { "NO".to_string() },
+            if cost.no_slot_exceeds_m {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -140,7 +183,9 @@ pub fn flits(quick: bool) -> String {
     let m = p / 16;
     let eps = 0.25;
     let mut out = String::new();
-    out.push_str(&format!("== Long messages (flit-contiguous): p = {p}, m = {m}, ε = {eps} ==\n"));
+    out.push_str(&format!(
+        "== Long messages (flit-contiguous): p = {p}, m = {m}, ε = {eps} ==\n"
+    ));
     let mut t = Table::new(vec![
         "length law",
         "n flits",
@@ -155,7 +200,14 @@ pub fn flits(quick: bool) -> String {
             Workload::new(
                 base.sends()
                     .iter()
-                    .map(|l| l.iter().map(|msg| workload::Msg { dest: msg.dest, len: 4 }).collect())
+                    .map(|l| {
+                        l.iter()
+                            .map(|msg| workload::Msg {
+                                dest: msg.dest,
+                                len: 4,
+                            })
+                            .collect()
+                    })
                     .collect(),
             )
         }),
@@ -195,23 +247,27 @@ pub fn overhead(quick: bool) -> String {
     let m = p / 16;
     let eps = 0.25;
     let mut out = String::new();
-    out.push_str(&format!("== Start-up overhead o (LogP-style): p = {p}, m = {m}, ε = {eps} ==\n"));
-    let mut t = Table::new(vec!["o", "makespan", "target (1+ε)(1+o/ℓ̄)n/m + ℓ̂ + o", "ratio", "exp slowdown"]);
-    let os: Vec<u64> = if quick { vec![0, 4, 16] } else { vec![0, 1, 4, 16, 64] };
+    out.push_str(&format!(
+        "== Start-up overhead o (LogP-style): p = {p}, m = {m}, ε = {eps} ==\n"
+    ));
+    let mut t = Table::new(vec![
+        "o",
+        "makespan",
+        "target (1+ε)(1+o/ℓ̄)n/m + ℓ̂ + o",
+        "ratio",
+        "exp slowdown",
+    ]);
+    let os: Vec<u64> = if quick {
+        vec![0, 4, 16]
+    } else {
+        vec![0, 1, 4, 16, 64]
+    };
     let wl = workload::variable_length(p, 16, 6.0, 33);
     for o in os {
         let sched = OverheadSend::new(eps, o).schedule(&wl, m, 17);
         let cost = evaluate_overhead_schedule(&sched, &wl, m, PenaltyFn::Exponential);
-        let target = bounds::overhead_send_target(
-            wl.n_flits(),
-            m,
-            wl.lbar(),
-            wl.lhat(),
-            o,
-            eps,
-            p,
-            1,
-        );
+        let target =
+            bounds::overhead_send_target(wl.n_flits(), m, wl.lbar(), wl.lhat(), o, eps, p, 1);
         let slowdown = cost.c_m / cost.makespan.max(1) as f64;
         t.row(vec![
             o.to_string(),
@@ -247,12 +303,25 @@ pub fn penalty_ablation(quick: bool) -> String {
     let ss = SelfSchedulingBspM { m, l };
     for (name, wl) in skew_suite(p, quick) {
         for (sname, profile) in [
-            ("U-Send", to_profile(&UnbalancedSend::new(eps).schedule(&wl, m, 3), &wl)),
+            (
+                "U-Send",
+                to_profile(&UnbalancedSend::new(eps).schedule(&wl, m, 3), &wl),
+            ),
             ("eager", to_profile(&EagerSend.schedule(&wl, m, 0), &wl)),
         ] {
             let profs: [SuperstepProfile; 1] = [profile];
-            let exp = pbw_models::BspM { m, l, penalty: PenaltyFn::Exponential }.run_cost(&profs);
-            let lin = pbw_models::BspM { m, l, penalty: PenaltyFn::Linear }.run_cost(&profs);
+            let exp = pbw_models::BspM {
+                m,
+                l,
+                penalty: PenaltyFn::Exponential,
+            }
+            .run_cost(&profs);
+            let lin = pbw_models::BspM {
+                m,
+                l,
+                penalty: PenaltyFn::Linear,
+            }
+            .run_cost(&profs);
             let self_s = ss.run_cost(&profs);
             t.row(vec![
                 name.to_string(),
@@ -268,7 +337,6 @@ pub fn penalty_ablation(quick: bool) -> String {
     out.push_str("\n(Scheduled sends price within (1+ε) of the self-scheduling metric under the\n exponential penalty — the §2 claim that the simplified metric suffices; the\n oblivious schedule's exp/ss ratio explodes.)\n");
     out
 }
-
 
 /// How the w.h.p. guarantee behaves at finite parameters: sweep ε and m,
 /// report the fraction of overloaded steps and the optimality ratio. The
@@ -327,7 +395,11 @@ mod tests {
                 m,
                 PenaltyFn::Exponential,
             );
-            assert!(us.ratio_to_opt <= 1.0 + eps + 0.15, "{name}: {}", us.ratio_to_opt);
+            assert!(
+                us.ratio_to_opt <= 1.0 + eps + 0.15,
+                "{name}: {}",
+                us.ratio_to_opt
+            );
         }
         assert!(unbalanced_send(true).contains("U-Send"));
     }
@@ -369,7 +441,12 @@ mod tests {
             m,
             PenaltyFn::Exponential,
         );
-        assert!(cost.c_m <= 1.3 * cost.makespan as f64, "{} vs {}", cost.c_m, cost.makespan);
+        assert!(
+            cost.c_m <= 1.3 * cost.makespan as f64,
+            "{} vs {}",
+            cost.c_m,
+            cost.makespan
+        );
         assert!(r.contains("exp slowdown"));
     }
 
@@ -381,9 +458,8 @@ mod tests {
         let m = 64;
         let sched = OverheadSend::new(0.25, 8).schedule(&wl, m, 17);
         let cost = evaluate_overhead_schedule(&sched, &wl, m, PenaltyFn::Exponential);
-        let target = bounds::overhead_send_target(
-            wl.n_flits(), m, wl.lbar(), wl.lhat(), 8, 0.25, 256, 1,
-        );
+        let target =
+            bounds::overhead_send_target(wl.n_flits(), m, wl.lbar(), wl.lhat(), 8, 0.25, 256, 1);
         assert!((cost.makespan as f64) <= 1.2 * target + wl.xbar() as f64);
     }
 

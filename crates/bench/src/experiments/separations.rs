@@ -20,7 +20,9 @@ fn random_bits(n: usize, seed: u64) -> Vec<Word> {
 
 fn random_keys(n: usize, seed: u64) -> Vec<Word> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+    (0..n)
+        .map(|_| rng.gen_range(-1_000_000..1_000_000))
+        .collect()
 }
 
 /// Table 1: measured model costs for the five problems at `n = p`,
@@ -30,14 +32,22 @@ pub fn table1(quick: bool) -> String {
     let configs: &[(usize, u64, u64)] = if quick {
         &[(256, 16, 16)]
     } else {
-        &[(256, 16, 16), (1024, 16, 16), (1024, 32, 32), (4096, 16, 16)]
+        &[
+            (256, 16, 16),
+            (1024, 16, 16),
+            (1024, 32, 32),
+            (4096, 16, 16),
+        ]
     };
     let mut out = String::new();
     out.push_str("== Table 1: locally- vs globally-limited models (n = p, m = p/g) ==\n");
     for &(p, g, l) in configs {
         let mp = MachineParams::from_gap(p, g, l);
         let n = p;
-        out.push_str(&format!("\n-- p = {p}, g = {g}, m = {}, L = {l} --\n", mp.m));
+        out.push_str(&format!(
+            "\n-- p = {p}, g = {g}, m = {}, L = {l} --\n",
+            mp.m
+        ));
         let mut t = Table::new(vec![
             "problem",
             "QSM(m)",
@@ -149,9 +159,22 @@ pub fn broadcast_lb(quick: bool) -> String {
     let p = if quick { 729 } else { 6561 };
     let g = 27u64;
     let mut out = String::new();
-    out.push_str(&format!("== Broadcast on BSP(g): Thm 4.1 lower bound vs algorithms (p = {p}, g = {g}) ==\n"));
-    let mut t = Table::new(vec!["L", "L/g", "Thm4.1 lower", "tree (measured)", "ternary (measured)", "tree/lower"]);
-    let ls: Vec<u64> = if quick { vec![27, 108, 432] } else { vec![27, 54, 108, 216, 432, 1728] };
+    out.push_str(&format!(
+        "== Broadcast on BSP(g): Thm 4.1 lower bound vs algorithms (p = {p}, g = {g}) ==\n"
+    ));
+    let mut t = Table::new(vec![
+        "L",
+        "L/g",
+        "Thm4.1 lower",
+        "tree (measured)",
+        "ternary (measured)",
+        "tree/lower",
+    ]);
+    let ls: Vec<u64> = if quick {
+        vec![27, 108, 432]
+    } else {
+        vec![27, 54, 108, 216, 432, 1728]
+    };
     for l in ls {
         let mp = MachineParams::from_gap(p, g, l);
         let lower = bounds::broadcast_bsp_g_lower(p, g, l);
@@ -199,8 +222,11 @@ pub fn gvsm_routing(quick: bool) -> String {
         "gap meas",
         "gap pred",
     ]);
-    let hots: Vec<u64> =
-        if quick { vec![16, 256, 4096] } else { vec![16, 64, 256, 1024, 4096, 16384] };
+    let hots: Vec<u64> = if quick {
+        vec![16, 256, 4096]
+    } else {
+        vec![16, 64, 256, 1024, 4096, 16384]
+    };
     for hot in hots {
         let wl = workload::single_hot_sender(p, hot, 16, 3);
         let sched = UnbalancedSend::new(0.2).schedule(&wl, mp.m, 9);
@@ -219,7 +245,9 @@ pub fn gvsm_routing(quick: bool) -> String {
         ]);
     }
     out.push_str(&t.render());
-    out.push_str("\n(The measured gap approaches Θ(g) once the hot sender dominates: h ≥ g·n/p.)\n");
+    out.push_str(
+        "\n(The measured gap approaches Θ(g) once the hot sender dominates: h ≥ g·n/p.)\n",
+    );
     out
 }
 
@@ -228,8 +256,11 @@ pub fn cr_sim(quick: bool) -> String {
     let mut out = String::new();
     out.push_str("== Simulating a CRCW PRAM(m) read step on QSM(m) (Thm 5.1) ==\n");
     let mut t = Table::new(vec!["p", "m", "pattern", "measured", "p/m", "ratio"]);
-    let configs: &[(usize, usize)] =
-        if quick { &[(256, 16)] } else { &[(256, 16), (1024, 32), (2048, 32), (4096, 64)] };
+    let configs: &[(usize, usize)] = if quick {
+        &[(256, 16)]
+    } else {
+        &[(256, 16), (1024, 32), (2048, 32), (4096, 64)]
+    };
     for &(p, m) in configs {
         let mp = MachineParams::from_bandwidth(p, m, 4);
         let mem: Vec<Word> = (0..64).map(|i| 500 + i as Word).collect();
@@ -240,7 +271,13 @@ pub fn cr_sim(quick: bool) -> String {
             (
                 "power-law",
                 (0..p)
-                    .map(|_| if rng.gen_bool(0.75) { rng.gen_range(0..2) } else { rng.gen_range(0..64) })
+                    .map(|_| {
+                        if rng.gen_bool(0.75) {
+                            rng.gen_range(0..2)
+                        } else {
+                            rng.gen_range(0..64)
+                        }
+                    })
                     .collect::<Vec<_>>(),
             ),
         ] {
@@ -300,7 +337,12 @@ pub fn leader(quick: bool) -> String {
     // The word-size dimension of Thm 5.2: CRCW PRAM(m) leader recognition
     // takes ⌈lg p / w⌉ + ⌈lg p / w⌉ steps when cells hold w bits.
     out.push('\n');
-    let mut t2 = Table::new(vec!["p", "w (bits)", "CRCW PRAM(m) measured", "paper max(lg p/w, 1)"]);
+    let mut t2 = Table::new(vec![
+        "p",
+        "w (bits)",
+        "CRCW PRAM(m) measured",
+        "paper max(lg p/w, 1)",
+    ]);
     let p_fix = 1 << 12;
     for w in [1u32, 2, 4, 12, 64] {
         let r = leader_algo::crcw_pram_m_wordsize(p_fix, 4, 99, w);
@@ -321,9 +363,20 @@ pub fn leader(quick: bool) -> String {
 pub fn hrel_crcw(quick: bool) -> String {
     let mut out = String::new();
     out.push_str("== Realizing h-relations on the CRCW PRAM in O(h) (§4.1) ==\n");
-    let mut t = Table::new(vec!["p", "h", "dense (t)", "teams (t)", "chainsort (t)", "t/h (teams)"]);
+    let mut t = Table::new(vec![
+        "p",
+        "h",
+        "dense (t)",
+        "teams (t)",
+        "chainsort (t)",
+        "t/h (teams)",
+    ]);
     let p = if quick { 8 } else { 16 };
-    let hs: Vec<usize> = if quick { vec![2, 8] } else { vec![1, 2, 4, 8, 16, 32] };
+    let hs: Vec<usize> = if quick {
+        vec![2, 8]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
     for h in hs {
         let sends: Vec<Vec<(usize, Word)>> = (0..p)
             .map(|src| (0..h).map(|k| (((src + k + 1) % p), k as Word)).collect())
@@ -356,7 +409,13 @@ pub fn preamble(quick: bool) -> String {
     let configs: &[(usize, usize, u64)] = if quick {
         &[(256, 16, 8)]
     } else {
-        &[(256, 16, 8), (1024, 32, 8), (1024, 64, 16), (4096, 64, 8), (4096, 256, 32)]
+        &[
+            (256, 16, 8),
+            (1024, 32, 8),
+            (1024, 64, 16),
+            (4096, 64, 8),
+            (4096, 256, 32),
+        ]
     };
     for &(p, m, l) in configs {
         let mp = MachineParams::from_bandwidth(p, m, l);

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header width).

@@ -52,8 +52,9 @@ pub fn run_schedule_on_bsp(
     // Collect deliveries in a drain superstep (no sends).
     let mut delivered: Vec<Vec<FlitTag>> = vec![Vec::new(); wl.p()];
     {
-        let collected: Vec<Vec<FlitTag>> =
-            (0..wl.p()).map(|pid| machine.pending_inbox(pid).to_vec()).collect();
+        let collected: Vec<Vec<FlitTag>> = (0..wl.p())
+            .map(|pid| machine.pending_inbox(pid).to_vec())
+            .collect();
         for (pid, msgs) in collected.into_iter().enumerate() {
             delivered[pid] = msgs;
         }
@@ -73,7 +74,11 @@ pub fn run_schedule_on_bsp(
 
     let profile = report.profile;
     let summary = CostSummary::price(params, std::slice::from_ref(&profile));
-    ExecOutcome { summary, profile, delivered }
+    ExecOutcome {
+        summary,
+        profile,
+        delivered,
+    }
 }
 
 #[cfg(test)]
@@ -127,11 +132,8 @@ mod tests {
         let wl = workload::permutation(128, 5);
         let params = MachineParams::from_bandwidth(128, 16, 2);
         let eager = run_schedule_on_bsp(&wl, &EagerSend.schedule(&wl, 16, 0), params);
-        let sched = run_schedule_on_bsp(
-            &wl,
-            &UnbalancedSend::new(0.2).schedule(&wl, 16, 0),
-            params,
-        );
+        let sched =
+            run_schedule_on_bsp(&wl, &UnbalancedSend::new(0.2).schedule(&wl, 16, 0), params);
         assert!(eager.summary.bsp_m_exp > 100.0 * sched.summary.bsp_m_exp);
         // But under BSP(g) both cost the same (g·h = g·1... plus receive side).
         assert!((eager.summary.bsp_g - sched.summary.bsp_g).abs() < 1e-9);

@@ -133,13 +133,19 @@ impl OverheadSend {
                 .iter()
                 .map(|list| {
                     list.iter()
-                        .map(|msg| Msg { dest: msg.dest, len: msg.len + self.o })
+                        .map(|msg| Msg {
+                            dest: msg.dest,
+                            len: msg.len + self.o,
+                        })
                         .collect()
                 })
                 .collect(),
         );
         let inner = UnbalancedFlitSend::new(self.eps).schedule(&padded, m, seed);
-        OverheadSchedule { window_starts: inner.starts, o: self.o }
+        OverheadSchedule {
+            window_starts: inner.starts,
+            o: self.o,
+        }
     }
 }
 
@@ -155,13 +161,18 @@ pub fn validate_overhead_schedule(
             .iter()
             .map(|list| {
                 list.iter()
-                    .map(|msg| Msg { dest: msg.dest, len: msg.len + sched.o })
+                    .map(|msg| Msg {
+                        dest: msg.dest,
+                        len: msg.len + sched.o,
+                    })
                     .collect()
             })
             .collect(),
     );
     crate::schedule::validate_schedule(
-        &Schedule { starts: sched.window_starts.clone() },
+        &Schedule {
+            starts: sched.window_starts.clone(),
+        },
         &padded,
     )
 }
@@ -197,7 +208,11 @@ pub fn evaluate_overhead_schedule(
     let max_slot_load = loads.iter().copied().max().unwrap_or(0);
     let overloaded_slots = loads.iter().filter(|&&l| l > m as u64).count() as u64;
     let c_m = penalty.total_charge(&loads, m);
-    let opt_lower = if n == 0 { 0.0 } else { (div_ceil(n, m as u64).max(h)) as f64 };
+    let opt_lower = if n == 0 {
+        0.0
+    } else {
+        (div_ceil(n, m as u64).max(h)) as f64
+    };
     let model_time = (h as f64).max(c_m);
     ScheduleCost {
         makespan,
@@ -209,7 +224,11 @@ pub fn evaluate_overhead_schedule(
         n,
         opt_lower,
         model_time,
-        ratio_to_opt: if opt_lower > 0.0 { model_time / opt_lower } else { 1.0 },
+        ratio_to_opt: if opt_lower > 0.0 {
+            model_time / opt_lower
+        } else {
+            1.0
+        },
     }
 }
 
@@ -246,7 +265,12 @@ mod tests {
         let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
         let w = ((1.0 + eps) * wl.n_flits() as f64 / m as f64).ceil();
         let bound = w + wl.lhat() as f64 + wl.xbar() as f64;
-        assert!((cost.makespan as f64) <= bound, "makespan {} > {}", cost.makespan, bound);
+        assert!(
+            (cost.makespan as f64) <= bound,
+            "makespan {} > {}",
+            cost.makespan,
+            bound
+        );
         // Small senders: also check the tight w + ℓ̂ bound directly when no
         // sender exceeds the window.
         if wl.xbar() as f64 <= w {

@@ -167,10 +167,19 @@ pub fn compute_and_broadcast_n(params: MachineParams, counts: &[u64]) -> Preambl
         assert_eq!(st.n, Some(n), "processor {pid} failed to learn n");
     }
 
-    let model = BspM { m, l: params.l, penalty: PenaltyFn::Exponential };
+    let model = BspM {
+        m,
+        l: params.l,
+        penalty: PenaltyFn::Exponential,
+    };
     let bsp_m_cost = model.run_cost(machine.profiles());
     let tau_bound = pbw_models::bounds::tau_preamble(p, m, params.l);
-    PreambleOutcome { n, profiles: machine.profiles().to_vec(), bsp_m_cost, tau_bound }
+    PreambleOutcome {
+        n,
+        profiles: machine.profiles().to_vec(),
+        bsp_m_cost,
+        tau_bound,
+    }
 }
 
 #[cfg(test)]

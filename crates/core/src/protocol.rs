@@ -52,7 +52,10 @@ pub fn unbalanced_send_protocol(
     seed: u64,
 ) -> ProtocolOutcome {
     assert_eq!(wl.p(), params.p, "workload and machine disagree on p");
-    assert!(wl.is_unit(), "the Theorem 6.2 protocol handles unit messages");
+    assert!(
+        wl.is_unit(),
+        "the Theorem 6.2 protocol handles unit messages"
+    );
 
     // Phase 1: τ preamble — a real BSP(m) program.
     let counts = wl.send_counts();
@@ -65,7 +68,11 @@ pub fn unbalanced_send_protocol(
     let schedule = UnbalancedSend::new(eps).schedule(wl, params.m, seed);
     let exec = run_schedule_on_bsp(wl, &schedule, params);
 
-    let model = BspM { m: params.m, l: params.l, penalty: PenaltyFn::Exponential };
+    let model = BspM {
+        m: params.m,
+        l: params.l,
+        penalty: PenaltyFn::Exponential,
+    };
     let tau_cost = pre.bsp_m_cost;
     let send_cost = model.superstep_cost(&exec.profile);
     let mut profiles = pre.profiles.clone();
@@ -133,7 +140,12 @@ mod tests {
         );
         // Hence total within (1+ε)·(1+small) of the global lower bound.
         let lower = wl.n_flits() as f64 / params.m as f64;
-        assert!(out.total_cost <= 1.5 * lower, "total {} vs n/m {}", out.total_cost, lower);
+        assert!(
+            out.total_cost <= 1.5 * lower,
+            "total {} vs n/m {}",
+            out.total_cost,
+            lower
+        );
     }
 
     #[test]

@@ -107,7 +107,6 @@ pub fn schedule_requests(batch: &RequestBatch, m: usize, eps: f64, seed: u64) ->
     Schedule { starts }
 }
 
-
 /// The consecutive variant of the request schedule (the QSM(m) mirror of
 /// Theorem 6.3): each in-window processor issues its requests in
 /// *consecutive* steps from its random offset (no wrap) — the shape needed
@@ -166,7 +165,10 @@ pub fn validate_request_schedule(
         s.sort_unstable();
         for w in s.windows(2) {
             if w[0] == w[1] {
-                return Err(ScheduleError::Overlap { src: pid, slot: w[0] });
+                return Err(ScheduleError::Overlap {
+                    src: pid,
+                    slot: w[0],
+                });
             }
         }
     }
@@ -202,8 +204,7 @@ pub fn run_unbalanced_reads(
     validate_request_schedule(&schedule, batch)
         .unwrap_or_else(|e| panic!("invalid request schedule: {e}"));
 
-    let mut qsm: QsmMachine<Vec<Word>> =
-        QsmMachine::new(params, memory.len(), |_| Vec::new());
+    let mut qsm: QsmMachine<Vec<Word>> = QsmMachine::new(params, memory.len(), |_| Vec::new());
     qsm.shared_mut().copy_from_slice(memory);
 
     let reqs = &batch.reqs;
@@ -218,16 +219,14 @@ pub fn run_unbalanced_reads(
         *s = res.iter().map(|r| r.value).collect();
     });
 
-    let ok = qsm
-        .states()
-        .iter()
-        .zip(&batch.reqs)
-        .all(|(vals, addrs)| {
-            vals.len() == addrs.len()
-                && vals.iter().zip(addrs).all(|(&v, &a)| v == memory[a])
-        });
+    let ok = qsm.states().iter().zip(&batch.reqs).all(|(vals, addrs)| {
+        vals.len() == addrs.len() && vals.iter().zip(addrs).all(|(&v, &a)| v == memory[a])
+    });
 
-    let model = QsmM { m: params.m, penalty: PenaltyFn::Exponential };
+    let model = QsmM {
+        m: params.m,
+        penalty: PenaltyFn::Exponential,
+    };
     let cost = model.superstep_cost(&read_profile);
     let lower = (batch.n() as f64 / params.m as f64)
         .max(batch.xbar() as f64)
@@ -303,8 +302,9 @@ mod tests {
         let params = MachineParams::from_bandwidth(128, 32, 4);
         let mem = memory(64);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut reqs: Vec<Vec<usize>> =
-            (0..128).map(|_| (0..4).map(|_| rng.gen_range(0..64)).collect()).collect();
+        let mut reqs: Vec<Vec<usize>> = (0..128)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..64)).collect())
+            .collect();
         reqs[0] = (0..2048).map(|_| rng.gen_range(0..64)).collect();
         let b = RequestBatch::new(reqs, 64);
         let out = run_unbalanced_reads(params, &mem, &b, 0.3, 5);
@@ -353,9 +353,11 @@ mod tests {
             .max()
             .map(|t| t + 1)
             .unwrap_or(0);
-        let target =
-            (1.0 + eps) * b.n() as f64 / m as f64 + b.xbar() as f64;
-        assert!((makespan as f64) <= target + 2.0, "makespan {makespan} > {target}");
+        let target = (1.0 + eps) * b.n() as f64 / m as f64 + b.xbar() as f64;
+        assert!(
+            (makespan as f64) <= target + 2.0,
+            "makespan {makespan} > {target}"
+        );
     }
 
     #[test]

@@ -67,7 +67,12 @@ pub struct RecoveryConfig {
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        RecoveryConfig { max_rounds: 16, backoff_base: 1, backoff_cap: 8, charge_acks: true }
+        RecoveryConfig {
+            max_rounds: 16,
+            backoff_base: 1,
+            backoff_cap: 8,
+            charge_acks: true,
+        }
     }
 }
 
@@ -143,9 +148,18 @@ struct DeliveryLedger {
 impl DeliveryLedger {
     fn new(wl: &Workload) -> Self {
         let missing: Vec<Vec<Vec<bool>>> = (0..wl.p())
-            .map(|src| wl.msgs(src).iter().map(|m| vec![true; m.len as usize]).collect())
+            .map(|src| {
+                wl.msgs(src)
+                    .iter()
+                    .map(|m| vec![true; m.len as usize])
+                    .collect()
+            })
             .collect();
-        DeliveryLedger { missing, outstanding: wl.n_flits(), arrival_steps: Vec::new() }
+        DeliveryLedger {
+            missing,
+            outstanding: wl.n_flits(),
+            arrival_steps: Vec::new(),
+        }
     }
 
     /// Mark everything visible in the machine's inboxes as delivered
@@ -182,7 +196,13 @@ impl DeliveryLedger {
         }
         heard
             .into_iter()
-            .map(|row| row.iter().enumerate().filter(|(_, &h)| h).map(|(s, _)| s).collect())
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &h)| h)
+                    .map(|(s, _)| s)
+                    .collect()
+            })
             .collect()
     }
 
@@ -202,8 +222,10 @@ impl DeliveryLedger {
                     .map(|(f, _)| (src as u32, msg_idx as u32, f as u32))
                     .collect();
                 if !lost.is_empty() {
-                    sends[src]
-                        .push(Msg { dest: wl.msgs(src)[msg_idx].dest, len: lost.len() as u64 });
+                    sends[src].push(Msg {
+                        dest: wl.msgs(src)[msg_idx].dest,
+                        len: lost.len() as u64,
+                    });
                     tags[src].push(lost);
                 }
             }
@@ -245,7 +267,15 @@ pub fn run_with_recovery(
     hook: Option<Arc<dyn DeliveryHook>>,
     cfg: &RecoveryConfig,
 ) -> RecoveryOutcome {
-    run_with_recovery_to(pbw_trace::global_sink(), wl, scheduler, params, seed, hook, cfg)
+    run_with_recovery_to(
+        pbw_trace::global_sink(),
+        wl,
+        scheduler,
+        params,
+        seed,
+        hook,
+        cfg,
+    )
 }
 
 /// [`run_with_recovery`] with an explicit trace sink instead of the
@@ -282,7 +312,9 @@ pub fn run_with_recovery_to(
                 .iter()
                 .enumerate()
                 .map(|(k, m)| {
-                    (0..m.len as u32).map(|f| (src as u32, k as u32, f)).collect()
+                    (0..m.len as u32)
+                        .map(|f| (src as u32, k as u32, f))
+                        .collect()
                 })
                 .collect()
         })
@@ -369,8 +401,7 @@ mod tests {
         let mp = params(32, 8);
         let sched = UnbalancedSend::new(0.2);
         let direct = run_schedule_on_bsp(&wl, &sched.schedule(&wl, mp.m, 9), mp);
-        let recovered =
-            run_with_recovery(&wl, &sched, mp, 9, None, &RecoveryConfig::default());
+        let recovered = run_with_recovery(&wl, &sched, mp, 9, None, &RecoveryConfig::default());
         assert_eq!(recovered.summary, direct.summary);
         assert_eq!(recovered.profiles.len(), 1);
         assert_eq!(recovered.rounds, 0);
@@ -431,7 +462,10 @@ mod tests {
     #[test]
     fn permanent_loss_gives_up_after_max_rounds() {
         let wl = workload::uniform_random(8, 2, 3);
-        let cfg = RecoveryConfig { max_rounds: 3, ..RecoveryConfig::default() };
+        let cfg = RecoveryConfig {
+            max_rounds: 3,
+            ..RecoveryConfig::default()
+        };
         let out = run_with_recovery(
             &wl,
             &OfflineOptimal,
@@ -479,7 +513,11 @@ mod tests {
 
     #[test]
     fn backoff_is_bounded_exponential() {
-        let cfg = RecoveryConfig { backoff_base: 2, backoff_cap: 12, ..Default::default() };
+        let cfg = RecoveryConfig {
+            backoff_base: 2,
+            backoff_cap: 12,
+            ..Default::default()
+        };
         assert_eq!(cfg.backoff(1), 2);
         assert_eq!(cfg.backoff(2), 4);
         assert_eq!(cfg.backoff(3), 8);
@@ -490,8 +528,14 @@ mod tests {
     #[test]
     fn arrival_percentile_bounds_checks() {
         let wl = workload::uniform_random(8, 2, 7);
-        let out =
-            run_with_recovery(&wl, &OfflineOptimal, params(8, 2), 2, None, &Default::default());
+        let out = run_with_recovery(
+            &wl,
+            &OfflineOptimal,
+            params(8, 2),
+            2,
+            None,
+            &Default::default(),
+        );
         assert!(out.arrival_percentile(0.5).is_some());
         assert_eq!(out.arrival_percentile(1.5), None);
         assert_eq!(out.arrival_percentile(-0.1), None);

@@ -31,7 +31,11 @@ pub struct Schedule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
     /// The schedule's shape does not match the workload's.
-    ShapeMismatch { src: usize, expected: usize, got: usize },
+    ShapeMismatch {
+        src: usize,
+        expected: usize,
+        got: usize,
+    },
     /// A processor injects two flits in one step.
     Overlap { src: usize, slot: u64 },
 }
@@ -277,9 +281,17 @@ pub fn evaluate_schedule(
     let max_slot_load = loads.iter().copied().max().unwrap_or(0);
     let overloaded_slots = loads.iter().filter(|&&l| l > m as u64).count() as u64;
     let c_m = penalty.total_charge(&loads, m);
-    let opt_lower = if n == 0 { 0.0 } else { (div_ceil(n, m as u64).max(h)) as f64 };
+    let opt_lower = if n == 0 {
+        0.0
+    } else {
+        (div_ceil(n, m as u64).max(h)) as f64
+    };
     let model_time = (h as f64).max(c_m);
-    let ratio_to_opt = if opt_lower > 0.0 { model_time / opt_lower } else { 1.0 };
+    let ratio_to_opt = if opt_lower > 0.0 {
+        model_time / opt_lower
+    } else {
+        1.0
+    };
     ScheduleCost {
         makespan,
         max_slot_load,
@@ -307,14 +319,18 @@ mod tests {
     #[test]
     fn validate_accepts_disjoint_slots() {
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 2], vec![0]],
+        };
         assert!(validate_schedule(&s, &wl).is_ok());
     }
 
     #[test]
     fn validate_rejects_overlap() {
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 1, 1], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 1], vec![0]],
+        };
         assert_eq!(
             validate_schedule(&s, &wl).unwrap_err(),
             ScheduleError::Overlap { src: 0, slot: 1 }
@@ -324,23 +340,36 @@ mod tests {
     #[test]
     fn validate_rejects_shape_mismatch() {
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 1], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1], vec![0]],
+        };
         assert!(matches!(
             validate_schedule(&s, &wl).unwrap_err(),
-            ScheduleError::ShapeMismatch { src: 0, expected: 3, got: 2 }
+            ScheduleError::ShapeMismatch {
+                src: 0,
+                expected: 3,
+                got: 2
+            }
         ));
     }
 
     #[test]
     fn flit_intervals_overlap_detected() {
         // One message of length 3 at slot 0 and one of length 1 at slot 2.
-        let wl = Workload::new(vec![vec![Msg { dest: 1, len: 3 }, Msg { dest: 1, len: 1 }], vec![]]);
-        let bad = Schedule { starts: vec![vec![0, 2], vec![]] };
+        let wl = Workload::new(vec![
+            vec![Msg { dest: 1, len: 3 }, Msg { dest: 1, len: 1 }],
+            vec![],
+        ]);
+        let bad = Schedule {
+            starts: vec![vec![0, 2], vec![]],
+        };
         assert_eq!(
             validate_schedule(&bad, &wl).unwrap_err(),
             ScheduleError::Overlap { src: 0, slot: 2 }
         );
-        let good = Schedule { starts: vec![vec![0, 3], vec![]] };
+        let good = Schedule {
+            starts: vec![vec![0, 3], vec![]],
+        };
         assert!(validate_schedule(&good, &wl).is_ok());
     }
 
@@ -350,7 +379,9 @@ mod tests {
             vec![Msg { dest: 1, len: 2 }],
             vec![Msg { dest: 0, len: 1 }],
         ]);
-        let s = Schedule { starts: vec![vec![1], vec![2]] };
+        let s = Schedule {
+            starts: vec![vec![1], vec![2]],
+        };
         assert_eq!(slot_loads(&s, &wl), vec![0, 1, 2]);
     }
 
@@ -358,7 +389,9 @@ mod tests {
     fn evaluate_balanced_schedule() {
         let wl = unit_wl();
         // m = 1: stagger so that each slot carries one flit.
-        let s = Schedule { starts: vec![vec![0, 1, 2], vec![3]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 2], vec![3]],
+        };
         let cost = evaluate_schedule(&s, &wl, 1, PenaltyFn::Exponential);
         assert_eq!(cost.makespan, 4);
         assert_eq!(cost.max_slot_load, 1);
@@ -375,7 +408,9 @@ mod tests {
         let wl = unit_wl();
         // Both processors inject at slot 0 (and proc 0 continues): load
         // [2,1,1] with m = 1.
-        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 2], vec![0]],
+        };
         let cost = evaluate_schedule(&s, &wl, 1, PenaltyFn::Exponential);
         assert_eq!(cost.max_slot_load, 2);
         assert_eq!(cost.overloaded_slots, 1);
@@ -386,7 +421,9 @@ mod tests {
     #[test]
     fn linear_penalty_charges_ratio() {
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 2], vec![0]],
+        };
         let cost = evaluate_schedule(&s, &wl, 1, PenaltyFn::Linear);
         assert!((cost.c_m - (2.0 + 1.0 + 1.0)).abs() < 1e-12);
     }
@@ -394,7 +431,9 @@ mod tests {
     #[test]
     fn to_profile_matches_slot_loads() {
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 2], vec![0]],
+        };
         let prof = to_profile(&s, &wl);
         assert_eq!(prof.injections, slot_loads(&s, &wl));
         assert_eq!(prof.max_sent, 3);
@@ -405,7 +444,9 @@ mod tests {
     #[test]
     fn audit_matches_evaluation() {
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 2], vec![0]],
+        };
         let params = MachineParams::new_unchecked(2, 4, 1, 1);
         let ev = audit_schedule(&s, &wl, params, "unit");
         assert_eq!(ev.profile, to_profile(&s, &wl));
@@ -421,7 +462,9 @@ mod tests {
     fn audit_reports_real_per_proc_overlap() {
         // A deliberately invalid schedule: proc 0 injects two flits at slot 0.
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 0, 1], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 0, 1], vec![0]],
+        };
         let ev = audit_schedule(&s, &wl, MachineParams::new_unchecked(2, 1, 2, 1), "bad");
         assert_eq!(ev.max_proc_slot_injections, 2);
     }
@@ -429,7 +472,9 @@ mod tests {
     #[test]
     fn audit_to_respects_disabled_sink() {
         let wl = unit_wl();
-        let s = Schedule { starts: vec![vec![0, 1, 2], vec![0]] };
+        let s = Schedule {
+            starts: vec![vec![0, 1, 2], vec![0]],
+        };
         let params = MachineParams::new_unchecked(2, 4, 1, 1);
         let rec = pbw_trace::RecordingSink::new();
         audit_schedule_to(&pbw_trace::NullSink, &s, &wl, params, "off");
@@ -441,7 +486,9 @@ mod tests {
     #[test]
     fn empty_workload_evaluates_cleanly() {
         let wl = Workload::new(vec![vec![], vec![]]);
-        let s = Schedule { starts: vec![vec![], vec![]] };
+        let s = Schedule {
+            starts: vec![vec![], vec![]],
+        };
         let cost = evaluate_schedule(&s, &wl, 4, PenaltyFn::Exponential);
         assert_eq!(cost.makespan, 0);
         assert_eq!(cost.opt_lower, 0.0);

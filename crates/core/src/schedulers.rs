@@ -78,7 +78,10 @@ impl Scheduler for UnbalancedSend {
     }
 
     fn schedule(&self, wl: &Workload, m: usize, seed: u64) -> Schedule {
-        assert!(wl.is_unit(), "Unbalanced-Send handles unit messages; use flits::UnbalancedFlitSend");
+        assert!(
+            wl.is_unit(),
+            "Unbalanced-Send handles unit messages; use flits::UnbalancedFlitSend"
+        );
         let n = wl.n_flits();
         let w = window(n, m, self.eps);
         let starts = (0..wl.p())
@@ -130,7 +133,10 @@ impl Scheduler for UnbalancedConsecutiveSend {
     }
 
     fn schedule(&self, wl: &Workload, m: usize, seed: u64) -> Schedule {
-        assert!(wl.is_unit(), "use flits::UnbalancedFlitSend for variable lengths");
+        assert!(
+            wl.is_unit(),
+            "use flits::UnbalancedFlitSend for variable lengths"
+        );
         let n = wl.n_flits();
         let w = window(n, m, self.eps);
         let starts = (0..wl.p())
@@ -139,7 +145,11 @@ impl Scheduler for UnbalancedConsecutiveSend {
                 if x_i == 0 {
                     return Vec::new();
                 }
-                let j = if x_i <= w { proc_rng(seed, pid).gen_range(0..w) } else { 0 };
+                let j = if x_i <= w {
+                    proc_rng(seed, pid).gen_range(0..w)
+                } else {
+                    0
+                };
                 (0..x_i).map(|k| j + k).collect()
             })
             .collect();
@@ -151,7 +161,11 @@ impl Scheduler for UnbalancedConsecutiveSend {
 /// most `(1+ε)n/m` messages.
 pub fn xbar_small(wl: &Workload, m: usize, eps: f64) -> u64 {
     let w = window(wl.n_flits(), m, eps);
-    wl.send_counts().into_iter().filter(|&x| x <= w).max().unwrap_or(0)
+    wl.send_counts()
+        .into_iter()
+        .filter(|&x| x <= w)
+        .max()
+        .unwrap_or(0)
 }
 
 // ---------------------------------------------------------------------------
@@ -240,7 +254,9 @@ impl Scheduler for OfflineOptimal {
         assert!(wl.is_unit(), "offline optimal packs unit messages");
         let n = wl.n_flits();
         if n == 0 {
-            return Schedule { starts: vec![Vec::new(); wl.p()] };
+            return Schedule {
+                starts: vec![Vec::new(); wl.p()],
+            };
         }
         let t = pbw_models::div_ceil(n, m as u64).max(wl.xbar());
         // Wrap-around rule: processors in descending x_i, consecutive slots
@@ -290,7 +306,6 @@ impl Scheduler for EagerSend {
         Schedule { starts }
     }
 }
-
 
 // ---------------------------------------------------------------------------
 // The template generalization (Section 6.1, closing remark)
@@ -387,7 +402,11 @@ mod tests {
         let m = 128;
         let sched = UnbalancedSend::new(0.3).schedule(&wl, m, 1);
         let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
-        assert!(cost.no_slot_exceeds_m, "max load {} > m {}", cost.max_slot_load, m);
+        assert!(
+            cost.no_slot_exceeds_m,
+            "max load {} > m {}",
+            cost.max_slot_load, m
+        );
         // Within (1+ε) of the lower bound, up to rounding.
         assert!(cost.ratio_to_opt <= 1.35, "ratio {}", cost.ratio_to_opt);
     }
@@ -442,9 +461,13 @@ mod tests {
         let sched = UnbalancedConsecutiveSend::new(eps).schedule(&wl, m, 17);
         let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
         // Theorem 6.3 target: (1+ε)n/m + x̄' (here all processors are small).
-        let target = (1.0 + eps) * wl.n_flits() as f64 / m as f64
-            + xbar_small(&wl, m, eps) as f64;
-        assert!(cost.makespan as f64 <= target + 2.0, "makespan {} > {}", cost.makespan, target);
+        let target = (1.0 + eps) * wl.n_flits() as f64 / m as f64 + xbar_small(&wl, m, eps) as f64;
+        assert!(
+            cost.makespan as f64 <= target + 2.0,
+            "makespan {} > {}",
+            cost.makespan,
+            target
+        );
         assert!(cost.no_slot_exceeds_m);
     }
 
@@ -472,7 +495,12 @@ mod tests {
         let sched = UnbalancedGranularSend::new(c).schedule(&wl, m, 2);
         let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
         let bound = c * wl.n_flits() as f64 / m as f64 + wl.xbar() as f64;
-        assert!((cost.makespan as f64) <= bound, "makespan {} > {}", cost.makespan, bound);
+        assert!(
+            (cost.makespan as f64) <= bound,
+            "makespan {} > {}",
+            cost.makespan,
+            bound
+        );
         assert!(cost.no_slot_exceeds_m);
     }
 
@@ -484,8 +512,16 @@ mod tests {
             validate_schedule(&sched, &wl).unwrap();
             let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
             assert!(cost.no_slot_exceeds_m, "p={p}");
-            assert_eq!(cost.makespan as f64, cost.opt_lower.max(wl.xbar() as f64), "p={p}");
-            assert!((cost.ratio_to_opt - 1.0).abs() < 1e-9, "p={p} ratio={}", cost.ratio_to_opt);
+            assert_eq!(
+                cost.makespan as f64,
+                cost.opt_lower.max(wl.xbar() as f64),
+                "p={p}"
+            );
+            assert!(
+                (cost.ratio_to_opt - 1.0).abs() < 1e-9,
+                "p={p} ratio={}",
+                cost.ratio_to_opt
+            );
         }
     }
 
@@ -597,7 +633,12 @@ mod tests {
         let sched = TemplateSend::new(0.3, sep).schedule(&wl, m, 2);
         let cost = evaluate_schedule(&sched, &wl, m, PenaltyFn::Exponential);
         let target = 1.3 * (wl.n_flits() * sep) as f64 / m as f64 + 2.0;
-        assert!((cost.makespan as f64) <= target, "makespan {} > {}", cost.makespan, target);
+        assert!(
+            (cost.makespan as f64) <= target,
+            "makespan {} > {}",
+            cost.makespan,
+            target
+        );
         // Load still never explodes: expected per-slot load is m/(1+ε)·(1/sep)·sep.
         assert!(cost.c_m < 2.0 * cost.makespan as f64);
     }

@@ -88,7 +88,10 @@ impl Workload {
 
     /// Per-source flit totals `x_i`.
     pub fn send_counts(&self) -> Vec<u64> {
-        self.sends.iter().map(|l| l.iter().map(|m| m.len).sum()).collect()
+        self.sends
+            .iter()
+            .map(|l| l.iter().map(|m| m.len).sum())
+            .collect()
     }
 
     /// Per-destination flit totals `y_i`.
@@ -119,7 +122,12 @@ impl Workload {
 
     /// `ℓ̂`: maximum message length.
     pub fn lhat(&self) -> u64 {
-        self.sends.iter().flatten().map(|m| m.len).max().unwrap_or(0)
+        self.sends
+            .iter()
+            .flatten()
+            .map(|m| m.len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `ℓ̄`: mean message length (0 when empty).
@@ -245,9 +253,7 @@ pub fn zipf_senders(p: usize, scale: u64, theta: f64, seed: u64) -> Workload {
             .map(|src| {
                 let r = ranks[src] as f64;
                 let count = (scale as f64 / (r + 1.0).powf(theta)).ceil() as u64;
-                (0..count)
-                    .map(|_| Msg::unit(rng.gen_range(0..p)))
-                    .collect()
+                (0..count).map(|_| Msg::unit(rng.gen_range(0..p))).collect()
             })
             .collect(),
     )
@@ -263,9 +269,7 @@ pub fn bimodal(p: usize, hot_frac: f64, hot: u64, cold: u64, seed: u64) -> Workl
         (0..p)
             .map(|src| {
                 let count = if src < hot_count { hot } else { cold };
-                (0..count)
-                    .map(|_| Msg::unit(rng.gen_range(0..p)))
-                    .collect()
+                (0..count).map(|_| Msg::unit(rng.gen_range(0..p))).collect()
             })
             .collect(),
     )
@@ -310,13 +314,15 @@ pub fn variable_length(p: usize, per_proc: u64, mean_len: f64, seed: u64) -> Wor
         (0..p)
             .map(|_| {
                 (0..per_proc)
-                    .map(|_| Msg { dest: rng.gen_range(0..p), len: geometric_len(&mut rng, mean_len) })
+                    .map(|_| Msg {
+                        dest: rng.gen_range(0..p),
+                        len: geometric_len(&mut rng, mean_len),
+                    })
                     .collect()
             })
             .collect(),
     )
 }
-
 
 // ---------------------------------------------------------------------------
 // Imbalance statistics
@@ -345,7 +351,12 @@ impl Workload {
         let p = loads.len().max(1);
         let n: u64 = loads.iter().sum();
         if n == 0 {
-            return ImbalanceStats { mean: 0.0, peak_ratio: 0.0, gini: 0.0, hot_set_fraction: 0.0 };
+            return ImbalanceStats {
+                mean: 0.0,
+                peak_ratio: 0.0,
+                gini: 0.0,
+                hot_set_fraction: 0.0,
+            };
         }
         let mean = n as f64 / p as f64;
         loads.sort_unstable();

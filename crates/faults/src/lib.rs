@@ -80,14 +80,21 @@ impl FaultSpec {
     /// Pure message loss at rate `phi` — the spec the φ-sweep experiment
     /// uses.
     pub fn drop_only(phi: f64) -> Self {
-        FaultSpec { drop_rate: phi, ..FaultSpec::none() }
+        FaultSpec {
+            drop_rate: phi,
+            ..FaultSpec::none()
+        }
     }
 
     /// Whether every rate is a probability and the message-fate rates leave
     /// room for delivery (`Σ rates ≤ 1`).
     pub fn is_valid(&self) -> bool {
-        let rates =
-            [self.drop_rate, self.duplicate_rate, self.delay_rate, self.displace_rate];
+        let rates = [
+            self.drop_rate,
+            self.duplicate_rate,
+            self.delay_rate,
+            self.displace_rate,
+        ];
         rates.iter().all(|r| (0.0..=1.0).contains(r))
             && rates.iter().sum::<f64>() <= 1.0
             && (0.0..=1.0).contains(&self.stall_rate)
@@ -157,7 +164,11 @@ impl FaultPlan {
     /// rates summing past 1).
     pub fn new(spec: FaultSpec, seed: u64) -> Self {
         assert!(spec.is_valid(), "invalid fault spec: {spec:?}");
-        FaultPlan { spec, seed, stall_windows: Vec::new() }
+        FaultPlan {
+            spec,
+            seed,
+            stall_windows: Vec::new(),
+        }
     }
 
     /// Add a scripted stall window (builder-style).
@@ -334,8 +345,11 @@ mod tests {
 
     #[test]
     fn stall_windows_are_deterministic_and_bounded() {
-        let plan = FaultPlan::new(FaultSpec::none(), 0)
-            .with_stall_window(StallWindow { pid: 2, start: 5, len: 3 });
+        let plan = FaultPlan::new(FaultSpec::none(), 0).with_stall_window(StallWindow {
+            pid: 2,
+            start: 5,
+            len: 3,
+        });
         for step in 0..12 {
             assert_eq!(plan.stalled(step, 2), (5..8).contains(&step), "step {step}");
             assert!(!plan.stalled(step, 1));
@@ -345,7 +359,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid fault spec")]
     fn overfull_rates_are_rejected() {
-        let spec = FaultSpec { drop_rate: 0.7, duplicate_rate: 0.5, ..FaultSpec::none() };
+        let spec = FaultSpec {
+            drop_rate: 0.7,
+            duplicate_rate: 0.5,
+            ..FaultSpec::none()
+        };
         let _ = FaultPlan::new(spec, 0);
     }
 }

@@ -165,7 +165,9 @@ mod tests {
     #[test]
     fn work_dominates_compute_step() {
         let mut b = ProfileBuilder::new();
-        b.record_work(1_000_000).record_traffic(1, 1).record_injection(0);
+        b.record_work(1_000_000)
+            .record_traffic(1, 1)
+            .record_injection(0);
         let bd = Breakdown::of(params(), &b.build());
         assert_eq!(bd.dominant_bsp_m(), Dominant::Work);
         assert_eq!(bd.dominant_bsp_g(), Dominant::Work);

@@ -202,7 +202,11 @@ mod tests {
     #[test]
     fn bsp_m_linear_cost() {
         let p = sample_profile();
-        let model = BspM { m: 4, l: 2, penalty: PenaltyFn::Linear };
+        let model = BspM {
+            m: 4,
+            l: 2,
+            penalty: PenaltyFn::Linear,
+        };
         // c_m = 1 + 1 + 10/4 = 4.5; max(5, 6, 4.5, 2) = 6
         assert!((model.c_m(&p) - 4.5).abs() < 1e-12);
         assert!((model.superstep_cost(&p) - 6.0).abs() < 1e-12);
@@ -211,7 +215,11 @@ mod tests {
     #[test]
     fn bsp_m_exponential_cost() {
         let p = sample_profile();
-        let model = BspM { m: 4, l: 2, penalty: PenaltyFn::Exponential };
+        let model = BspM {
+            m: 4,
+            l: 2,
+            penalty: PenaltyFn::Exponential,
+        };
         // c_m = 1 + 1 + e^{10/4-1} = 2 + e^1.5
         let cm = 2.0 + 1.5f64.exp();
         assert!((model.c_m(&p) - cm).abs() < 1e-9);
@@ -229,7 +237,9 @@ mod tests {
     #[test]
     fn qsm_g_cost_uses_contention() {
         let mut b = ProfileBuilder::new();
-        b.record_work(3).record_memory_ops(2, 1).record_contention(50);
+        b.record_work(3)
+            .record_memory_ops(2, 1)
+            .record_contention(50);
         let p = b.build();
         let model = QsmG { g: 4 };
         // max(3, 4*2, 50) = 50
@@ -245,7 +255,10 @@ mod tests {
             .record_injections(0, 6)
             .record_injections(1, 6);
         let p = b.build();
-        let model = QsmM { m: 6, penalty: PenaltyFn::Exponential };
+        let model = QsmM {
+            m: 6,
+            penalty: PenaltyFn::Exponential,
+        };
         // c_m = 2, h = 3 → max(1, 3, 2, 2) = 3
         assert!((model.superstep_cost(&p) - 3.0).abs() < 1e-12);
     }
@@ -262,12 +275,24 @@ mod tests {
     fn names_are_descriptive() {
         assert_eq!(BspG { g: 7, l: 1 }.name(), "BSP(g=7)");
         assert_eq!(
-            BspM { m: 9, l: 1, penalty: PenaltyFn::Exponential }.name(),
+            BspM {
+                m: 9,
+                l: 1,
+                penalty: PenaltyFn::Exponential
+            }
+            .name(),
             "BSP(m=9,exp)"
         );
         assert_eq!(SelfSchedulingBspM { m: 9, l: 1 }.name(), "ssBSP(m=9)");
         assert_eq!(QsmG { g: 3 }.name(), "QSM(g=3)");
-        assert_eq!(QsmM { m: 5, penalty: PenaltyFn::Linear }.name(), "QSM(m=5,lin)");
+        assert_eq!(
+            QsmM {
+                m: 5,
+                penalty: PenaltyFn::Linear
+            }
+            .name(),
+            "QSM(m=5,lin)"
+        );
     }
 
     #[test]
@@ -275,8 +300,16 @@ mod tests {
         // Same profile must never be cheaper under the exponential charge.
         let p = sample_profile();
         for m in [1usize, 2, 4, 8, 16] {
-            let lin = BspM { m, l: 1, penalty: PenaltyFn::Linear };
-            let exp = BspM { m, l: 1, penalty: PenaltyFn::Exponential };
+            let lin = BspM {
+                m,
+                l: 1,
+                penalty: PenaltyFn::Linear,
+            };
+            let exp = BspM {
+                m,
+                l: 1,
+                penalty: PenaltyFn::Exponential,
+            };
             assert!(exp.superstep_cost(&p) >= lin.superstep_cost(&p), "m={m}");
         }
     }

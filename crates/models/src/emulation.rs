@@ -37,21 +37,23 @@ pub fn emulate_on_m(profile: &SuperstepProfile, m: usize) -> SuperstepProfile {
             left -= this;
         }
     }
-    SuperstepProfile { injections, ..profile.clone() }
+    SuperstepProfile {
+        injections,
+        ..profile.clone()
+    }
 }
 
 /// The emulation guarantee, as an executable check: the emulated profile's
 /// BSP(m, exponential) cost does not exceed the original's BSP(g) cost at
 /// matched aggregate bandwidth (`g = p/m`), up to the stated `+L` floor.
-pub fn emulation_preserves_cost(
-    profile: &SuperstepProfile,
-    g: u64,
-    m: usize,
-    l: u64,
-) -> bool {
+pub fn emulation_preserves_cost(profile: &SuperstepProfile, g: u64, m: usize, l: u64) -> bool {
     let original = BspG { g, l }.superstep_cost(profile);
-    let emulated = BspM { m, l, penalty: PenaltyFn::Exponential }
-        .superstep_cost(&emulate_on_m(profile, m));
+    let emulated = BspM {
+        m,
+        l,
+        penalty: PenaltyFn::Exponential,
+    }
+    .superstep_cost(&emulate_on_m(profile, m));
     emulated <= original + 1e-9
 }
 
@@ -104,10 +106,7 @@ mod tests {
             let prof = bursty_profile(p, h);
             let m = 8usize;
             let g = p / m as u64;
-            assert!(
-                emulation_preserves_cost(&prof, g, m, 4),
-                "p={p} h={h}"
-            );
+            assert!(emulation_preserves_cost(&prof, g, m, 4), "p={p} h={h}");
         }
     }
 
@@ -120,8 +119,12 @@ mod tests {
         let prof = bursty_profile(p, h);
         let em = emulate_on_m(&prof, m);
         let bsp_g = BspG { g, l: 1 }.superstep_cost(&prof);
-        let bsp_m =
-            BspM { m, l: 1, penalty: PenaltyFn::Exponential }.superstep_cost(&em);
+        let bsp_m = BspM {
+            m,
+            l: 1,
+            penalty: PenaltyFn::Exponential,
+        }
+        .superstep_cost(&em);
         assert_eq!(bsp_g, bsp_m);
     }
 }

@@ -36,7 +36,7 @@ pub mod summary;
 
 pub use cost::{BspG, BspM, CostModel, QsmG, QsmM, SelfSchedulingBspM};
 pub use params::MachineParams;
-pub use penalty::PenaltyFn;
+pub use penalty::{PenaltyFn, PenaltyTable};
 pub use profile::{ProfileBuilder, SuperstepProfile};
 pub use summary::CostSummary;
 

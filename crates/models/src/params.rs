@@ -73,7 +73,10 @@ impl MachineParams {
     /// Build parameters without enforcing `g = p/m`. Used by ablation
     /// experiments that deliberately break aggregate-bandwidth parity.
     pub fn new_unchecked(p: usize, g: u64, m: usize, l: u64) -> Self {
-        assert!(p > 0 && g > 0 && m > 0 && l > 0, "parameters must be positive");
+        assert!(
+            p > 0 && g > 0 && m > 0 && l > 0,
+            "parameters must be positive"
+        );
         Self { p, g, m, l }
     }
 

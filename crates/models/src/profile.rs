@@ -63,8 +63,7 @@ impl SuperstepProfile {
     /// Used when an algorithm's cost is reported superstep-by-superstep but a
     /// caller wants a single aggregate profile.
     pub fn concat(&self, later: &SuperstepProfile) -> SuperstepProfile {
-        let mut injections =
-            Vec::with_capacity(self.injections.len() + later.injections.len());
+        let mut injections = Vec::with_capacity(self.injections.len() + later.injections.len());
         injections.extend_from_slice(&self.injections);
         injections.extend_from_slice(&later.injections);
         SuperstepProfile {
@@ -142,6 +141,26 @@ impl ProfileBuilder {
     pub fn build(self) -> SuperstepProfile {
         self.profile
     }
+
+    /// Snapshot the profile built so far and reset the builder for the next
+    /// superstep.
+    ///
+    /// The builder's injection histogram keeps its capacity across the
+    /// reset, so an engine that holds one `ProfileBuilder` for the lifetime
+    /// of a machine performs a constant number of allocations per superstep
+    /// (the snapshot's own histogram) regardless of message volume.
+    pub fn snapshot_reset(&mut self) -> SuperstepProfile {
+        let snapshot = self.profile.clone();
+        self.profile.max_work = 0;
+        self.profile.max_sent = 0;
+        self.profile.max_received = 0;
+        self.profile.total_messages = 0;
+        self.profile.injections.clear();
+        self.profile.max_reads = 0;
+        self.profile.max_writes = 0;
+        self.profile.max_contention = 0;
+        snapshot
+    }
 }
 
 #[cfg(test)]
@@ -185,17 +204,23 @@ mod tests {
     #[test]
     fn contention_maxes() {
         let mut b = ProfileBuilder::new();
-        b.record_contention(2).record_contention(17).record_contention(4);
+        b.record_contention(2)
+            .record_contention(17)
+            .record_contention(4);
         assert_eq!(b.build().max_contention, 17);
     }
 
     #[test]
     fn concat_fuses_sequentially() {
         let mut b1 = ProfileBuilder::new();
-        b1.record_work(5).record_injections(0, 3).record_traffic(3, 1);
+        b1.record_work(5)
+            .record_injections(0, 3)
+            .record_traffic(3, 1);
         let p1 = b1.build();
         let mut b2 = ProfileBuilder::new();
-        b2.record_work(2).record_injections(1, 2).record_traffic(1, 4);
+        b2.record_work(2)
+            .record_injections(1, 2)
+            .record_traffic(1, 4);
         let p2 = b2.build();
         let c = p1.concat(&p2);
         assert_eq!(c.max_work, 5);
@@ -203,6 +228,30 @@ mod tests {
         assert_eq!(c.total_messages, 5);
         assert_eq!(c.max_sent, 3);
         assert_eq!(c.max_received, 4);
+    }
+
+    #[test]
+    fn snapshot_reset_round_trips_and_keeps_capacity() {
+        let mut b = ProfileBuilder::new();
+        b.record_work(5)
+            .record_traffic(3, 2)
+            .record_injections(4, 7);
+        b.record_memory_ops(1, 2).record_contention(9);
+        let first = b.snapshot_reset();
+        assert_eq!(first.max_work, 5);
+        assert_eq!(first.injections, vec![0, 0, 0, 0, 7]);
+        assert_eq!(first.max_contention, 9);
+        let cap = b.profile.injections.capacity();
+        assert!(cap >= 5);
+        // After the reset the builder prices a fresh superstep.
+        b.record_work(1).record_injection(0);
+        let second = b.snapshot_reset();
+        assert_eq!(second, {
+            let mut fresh = ProfileBuilder::new();
+            fresh.record_work(1).record_injection(0);
+            fresh.build()
+        });
+        assert_eq!(b.profile.injections.capacity(), cap);
     }
 
     #[test]

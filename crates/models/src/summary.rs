@@ -33,13 +33,33 @@ impl CostSummary {
     /// Price a sequence of superstep profiles under every model derived from
     /// `params` (`g`, `m = p/g`, `L`).
     pub fn price(params: MachineParams, profiles: &[SuperstepProfile]) -> Self {
-        let bsp_g = BspG { g: params.g, l: params.l };
-        let bsp_m_lin = BspM { m: params.m, l: params.l, penalty: PenaltyFn::Linear };
-        let bsp_m_exp = BspM { m: params.m, l: params.l, penalty: PenaltyFn::Exponential };
-        let bsp_m_self = SelfSchedulingBspM { m: params.m, l: params.l };
+        let bsp_g = BspG {
+            g: params.g,
+            l: params.l,
+        };
+        let bsp_m_lin = BspM {
+            m: params.m,
+            l: params.l,
+            penalty: PenaltyFn::Linear,
+        };
+        let bsp_m_exp = BspM {
+            m: params.m,
+            l: params.l,
+            penalty: PenaltyFn::Exponential,
+        };
+        let bsp_m_self = SelfSchedulingBspM {
+            m: params.m,
+            l: params.l,
+        };
         let qsm_g = QsmG { g: params.g };
-        let qsm_m_lin = QsmM { m: params.m, penalty: PenaltyFn::Linear };
-        let qsm_m_exp = QsmM { m: params.m, penalty: PenaltyFn::Exponential };
+        let qsm_m_lin = QsmM {
+            m: params.m,
+            penalty: PenaltyFn::Linear,
+        };
+        let qsm_m_exp = QsmM {
+            m: params.m,
+            penalty: PenaltyFn::Exponential,
+        };
         CostSummary {
             bsp_g: bsp_g.run_cost(profiles),
             bsp_m_linear: bsp_m_lin.run_cost(profiles),

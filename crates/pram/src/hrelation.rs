@@ -104,7 +104,12 @@ pub fn realize_dense(sends: &[Vec<(usize, Word)>], fid: Fidelity) -> HrelationOu
     let n = msgs.len();
     let h = xbar.max(ybar);
     if n == 0 {
-        return HrelationOutcome { received: vec![Vec::new(); p], time: 0, work: 0, h };
+        return HrelationOutcome {
+            received: vec![Vec::new(); p],
+            time: 0,
+            work: 0,
+            h,
+        };
     }
 
     let cols = (xbar as usize) * p;
@@ -138,7 +143,10 @@ pub fn realize_dense(sends: &[Vec<(usize, Word)>], fid: Fidelity) -> HrelationOu
         for (id, m) in msgs.iter().enumerate() {
             let k = per_pair.entry((m.src, m.dest)).or_insert(0);
             let col = m.src * xbar as usize + *k;
-            assert!(*k < xbar as usize, "block overflow: >x̄ messages on one (src,dest) pair");
+            assert!(
+                *k < xbar as usize,
+                "block overflow: >x̄ messages on one (src,dest) pair"
+            );
             *k += 1;
             placements[m.src].push((base_arr + m.dest * cols + col, (id + 1) as Word));
         }
@@ -178,7 +186,12 @@ pub fn realize_dense(sends: &[Vec<(usize, Word)>], fid: Fidelity) -> HrelationOu
     debug_assert_eq!(rounds, ybar);
 
     let received = collect_received(&pram, base_recv, base_cursor, p, n, &msgs);
-    HrelationOutcome { received, time: pram.time(), work: pram.work(), h }
+    HrelationOutcome {
+        received,
+        time: pram.time(),
+        work: pram.work(),
+        h,
+    }
 }
 
 /// The concurrent-write "teams" realization (paper branch for
@@ -193,7 +206,12 @@ pub fn realize_teams(sends: &[Vec<(usize, Word)>]) -> HrelationOutcome {
     let n = msgs.len();
     let h = xbar.max(ybar);
     if n == 0 {
-        return HrelationOutcome { received: vec![Vec::new(); p], time: 0, work: 0, h };
+        return HrelationOutcome {
+            received: vec![Vec::new(); p],
+            time: 0,
+            work: 0,
+            h,
+        };
     }
 
     let base_claim = 0; // p cells
@@ -236,7 +254,12 @@ pub fn realize_teams(sends: &[Vec<(usize, Word)>]) -> HrelationOutcome {
     debug_assert_eq!(rounds, ybar);
 
     let received = collect_received(&pram, base_recv, base_cursor, p, n, &msgs);
-    HrelationOutcome { received, time: pram.time(), work: pram.work(), h }
+    HrelationOutcome {
+        received,
+        time: pram.time(),
+        work: pram.work(),
+        h,
+    }
 }
 
 /// The chain-sort realization (paper branch for `x̄ ≥ lg lg p`): messages are
@@ -250,7 +273,12 @@ pub fn realize_chainsort(sends: &[Vec<(usize, Word)>]) -> HrelationOutcome {
     let n = msgs.len();
     let h = xbar.max(ybar);
     if n == 0 {
-        return HrelationOutcome { received: vec![Vec::new(); p], time: 0, work: 0, h };
+        return HrelationOutcome {
+            received: vec![Vec::new(); p],
+            time: 0,
+            work: 0,
+            h,
+        };
     }
 
     let base_sorted = 0; // n cells: msgid+1, sorted by destination
@@ -314,7 +342,12 @@ pub fn realize_chainsort(sends: &[Vec<(usize, Word)>]) -> HrelationOutcome {
     }
 
     let received = collect_received(&pram, base_recv, base_cursor, p, n, &msgs);
-    HrelationOutcome { received, time: pram.time(), work: pram.work(), h }
+    HrelationOutcome {
+        received,
+        time: pram.time(),
+        work: pram.work(),
+        h,
+    }
 }
 
 fn collect_received(
@@ -398,8 +431,15 @@ mod tests {
     fn all_to_one_hotspot() {
         // ȳ = p - 1: everyone sends to processor 0.
         let p = 8;
-        let sends: Vec<Vec<(usize, Word)>> =
-            (0..p).map(|src| if src == 0 { vec![] } else { vec![(0, src as Word)] }).collect();
+        let sends: Vec<Vec<(usize, Word)>> = (0..p)
+            .map(|src| {
+                if src == 0 {
+                    vec![]
+                } else {
+                    vec![(0, src as Word)]
+                }
+            })
+            .collect();
         for out in [
             realize_dense(&sends, Fidelity::Charged),
             realize_teams(&sends),

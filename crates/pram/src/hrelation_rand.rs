@@ -61,7 +61,12 @@ pub fn realize_randomized(sends: &[Vec<(usize, Word)>], seed: u64) -> HrelationO
     let h = xbar.max(ybar);
     let n = msgs.len();
     if n == 0 {
-        return HrelationOutcome { received: vec![Vec::new(); p], time: 0, work: 0, h };
+        return HrelationOutcome {
+            received: vec![Vec::new(); p],
+            time: 0,
+            work: 0,
+            h,
+        };
     }
 
     // Padded array of size O(h·n): elements land at random positions that
@@ -124,8 +129,7 @@ pub fn realize_randomized(sends: &[Vec<(usize, Word)>], seed: u64) -> HrelationO
         // Real step: each head element writes its position to its
         // destination's head cell (one CRCW step over n virtual procs).
         let msgs_ref = &msgs;
-        let mem_snapshot: Vec<Word> =
-            (0..padded).map(|i| pram.mem()[base_arr + i]).collect();
+        let mem_snapshot: Vec<Word> = (0..padded).map(|i| pram.mem()[base_arr + i]).collect();
         // Positions of elements, for the closure to find "previous element".
         let mut positions: Vec<usize> = Vec::with_capacity(n);
         for (i, &v) in mem_snapshot.iter().enumerate() {
@@ -172,7 +176,10 @@ pub fn realize_randomized(sends: &[Vec<(usize, Word)>], seed: u64) -> HrelationO
                 return;
             }
             let cursor = ctx.read(base_cursor + pid);
-            ctx.write(base_recv + pid * (msgs_ref.len()) + cursor as usize, id_plus);
+            ctx.write(
+                base_recv + pid * (msgs_ref.len()) + cursor as usize,
+                id_plus,
+            );
             ctx.write(base_cursor + pid, cursor + 1);
             // Advance to the nearest right element (or stop).
             let nxt = ctx.read(base_next + pos);
@@ -198,7 +205,12 @@ pub fn realize_randomized(sends: &[Vec<(usize, Word)>], seed: u64) -> HrelationO
                 .collect()
         })
         .collect();
-    HrelationOutcome { received, time: pram.time(), work: pram.work(), h }
+    HrelationOutcome {
+        received,
+        time: pram.time(),
+        work: pram.work(),
+        h,
+    }
 }
 
 #[cfg(test)]
@@ -231,8 +243,9 @@ mod tests {
     #[test]
     fn randomized_delivers_hotspot() {
         let p = 8;
-        let sends: Vec<Vec<(usize, Word)>> =
-            (0..p).map(|s| if s == 0 { vec![] } else { vec![(0, s as Word)] }).collect();
+        let sends: Vec<Vec<(usize, Word)>> = (0..p)
+            .map(|s| if s == 0 { vec![] } else { vec![(0, s as Word)] })
+            .collect();
         let out = realize_randomized(&sends, 2);
         assert!(check_delivery(&sends, &out));
         assert_eq!(out.received[0].len(), p - 1);
@@ -240,11 +253,7 @@ mod tests {
 
     #[test]
     fn randomized_delivers_across_seeds() {
-        let sends = vec![
-            vec![(2, 1), (2, 2)],
-            vec![(2, 3), (0, 4)],
-            vec![(1, 5)],
-        ];
+        let sends = vec![vec![(2, 1), (2, 2)], vec![(2, 3), (0, 4)], vec![(1, 5)]];
         for seed in 0..16 {
             let out = realize_randomized(&sends, seed);
             assert!(check_delivery(&sends, &out), "seed={seed}");

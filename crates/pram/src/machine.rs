@@ -67,13 +67,22 @@ impl std::fmt::Display for PramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PramError::ReadConflict { addr, contention } => {
-                write!(f, "{contention} concurrent reads of cell {addr} under exclusive-read mode")
+                write!(
+                    f,
+                    "{contention} concurrent reads of cell {addr} under exclusive-read mode"
+                )
             }
             PramError::WriteConflict { addr, contention } => {
-                write!(f, "{contention} concurrent writes of cell {addr} under exclusive-write mode")
+                write!(
+                    f,
+                    "{contention} concurrent writes of cell {addr} under exclusive-write mode"
+                )
             }
             PramError::ReadWriteHazard { addr } => {
-                write!(f, "cell {addr} both read and written in one exclusive-mode step")
+                write!(
+                    f,
+                    "cell {addr} both read and written in one exclusive-mode step"
+                )
             }
             PramError::BadAddress { addr, size } => {
                 write!(f, "shared address {addr} out of bounds (size {size})")
@@ -101,18 +110,27 @@ pub struct StepReport {
     pub max_write_contention: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ProcRecord {
     reads: Vec<usize>,
     rom_reads: u64,
     writes: Vec<(usize, Word)>,
 }
 
+impl ProcRecord {
+    /// Empty the record for the next step, keeping its capacity.
+    fn clear(&mut self) {
+        self.reads.clear();
+        self.rom_reads = 0;
+        self.writes.clear();
+    }
+}
+
 /// Per-processor handle passed to step closures.
 pub struct PramCtx<'a> {
     mem: &'a [Word],
     rom: &'a [Word],
-    rec: ProcRecord,
+    rec: &'a mut ProcRecord,
     fault: Option<PramError>,
 }
 
@@ -120,8 +138,10 @@ impl<'a> PramCtx<'a> {
     /// Read a shared cell (value as of the start of the step).
     pub fn read(&mut self, addr: usize) -> Word {
         if addr >= self.mem.len() {
-            self.fault
-                .get_or_insert(PramError::BadAddress { addr, size: self.mem.len() });
+            self.fault.get_or_insert(PramError::BadAddress {
+                addr,
+                size: self.mem.len(),
+            });
             return 0;
         }
         self.rec.reads.push(addr);
@@ -132,8 +152,10 @@ impl<'a> PramCtx<'a> {
     /// input lives here).
     pub fn read_rom(&mut self, addr: usize) -> Word {
         if addr >= self.rom.len() {
-            self.fault
-                .get_or_insert(PramError::BadRomAddress { addr, size: self.rom.len() });
+            self.fault.get_or_insert(PramError::BadRomAddress {
+                addr,
+                size: self.rom.len(),
+            });
             return 0;
         }
         self.rec.rom_reads += 1;
@@ -143,8 +165,10 @@ impl<'a> PramCtx<'a> {
     /// Write a shared cell (applied at the end of the step).
     pub fn write(&mut self, addr: usize, value: Word) {
         if addr >= self.mem.len() {
-            self.fault
-                .get_or_insert(PramError::BadAddress { addr, size: self.mem.len() });
+            self.fault.get_or_insert(PramError::BadAddress {
+                addr,
+                size: self.mem.len(),
+            });
             return;
         }
         self.rec.writes.push((addr, value));
@@ -187,6 +211,20 @@ pub struct Pram {
     steps: u64,
     sink: Arc<dyn TraceSink>,
     trace_label: String,
+    /// Recycled per-processor access records; grown to the largest `nprocs`
+    /// seen, cleared (capacity kept) at the start of every step.
+    records: Vec<ProcRecord>,
+    /// Contention-audit scratch, one slot per shared cell.
+    readers: Vec<u64>,
+    writers: Vec<u64>,
+    reader_pid: Vec<usize>,
+    writer_pid: Vec<usize>,
+    /// Distinct-cell scratch for the per-processor audit.
+    audit_cells: Vec<usize>,
+    /// Write-apply scratch: per-cell first-writer flags and one processor's
+    /// last-write-per-cell list.
+    written: Vec<bool>,
+    per_proc_writes: Vec<(usize, Word)>,
 }
 
 impl std::fmt::Debug for Pram {
@@ -225,6 +263,14 @@ impl Pram {
             steps: 0,
             sink: pbw_trace::global_sink(),
             trace_label: String::new(),
+            records: Vec::new(),
+            readers: vec![0; m],
+            writers: vec![0; m],
+            reader_pid: vec![usize::MAX; m],
+            writer_pid: vec![usize::MAX; m],
+            audit_cells: Vec::new(),
+            written: vec![false; m],
+            per_proc_writes: Vec::new(),
         }
     }
 
@@ -294,7 +340,8 @@ impl Pram {
     where
         F: Fn(usize, &mut PramCtx<'_>) + Sync,
     {
-        self.try_step(nprocs, f).unwrap_or_else(|e| panic!("PRAM step failed: {e}"))
+        self.try_step(nprocs, f)
+            .unwrap_or_else(|e| panic!("PRAM step failed: {e}"))
     }
 
     /// Execute one step, returning access-mode violations as errors.
@@ -302,47 +349,80 @@ impl Pram {
     where
         F: Fn(usize, &mut PramCtx<'_>) + Sync,
     {
-        let mem = &self.mem;
-        let rom = &self.rom;
-        let records: Vec<(ProcRecord, Option<PramError>)> = (0..nprocs)
-            .into_par_iter()
-            .map(|pid| {
-                let mut ctx =
-                    PramCtx { mem, rom, rec: ProcRecord::default(), fault: None };
-                f(pid, &mut ctx);
-                (ctx.rec, ctx.fault)
-            })
-            .collect();
-
-        for (_, fault) in &records {
-            if let Some(e) = fault {
-                return Err(e.clone());
-            }
+        // Run the processors in parallel over the recycled records. The
+        // fallible collect reports the lowest-pid fault, matching the old
+        // sequential first-fault scan.
+        if self.records.len() < nprocs {
+            self.records.resize_with(nprocs, ProcRecord::default);
         }
+        {
+            let Self {
+                ref mem,
+                ref rom,
+                ref mut records,
+                ..
+            } = *self;
+            let run: Result<Vec<()>, PramError> = records[..nprocs]
+                .par_iter_mut()
+                .enumerate()
+                .map(|(pid, rec)| {
+                    rec.clear();
+                    let mut ctx = PramCtx {
+                        mem,
+                        rom,
+                        rec,
+                        fault: None,
+                    };
+                    f(pid, &mut ctx);
+                    match ctx.fault.take() {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                })
+                .collect();
+            run?;
+        }
+
+        let Self {
+            ref mut mem,
+            ref records,
+            ref mut readers,
+            ref mut writers,
+            ref mut reader_pid,
+            ref mut writer_pid,
+            ref mut audit_cells,
+            ref mut written,
+            ref mut per_proc_writes,
+            mode,
+            ..
+        } = *self;
+        let records = &records[..nprocs];
 
         // Contention audit. Tracks, per cell, how many *distinct processors*
         // read/wrote it and a representative pid, so that a processor
         // reading and writing its own cell in one step is not flagged.
         const NONE: usize = usize::MAX;
-        let size = self.mem.len();
-        let mut readers = vec![0u64; size];
-        let mut writers = vec![0u64; size];
-        let mut reader_pid = vec![NONE; size];
-        let mut writer_pid = vec![NONE; size];
-        for (pid, (rec, _)) in records.iter().enumerate() {
+        let size = mem.len();
+        readers.fill(0);
+        writers.fill(0);
+        reader_pid.fill(NONE);
+        writer_pid.fill(NONE);
+        for (pid, rec) in records.iter().enumerate() {
             // Count distinct cells per processor so a double-read by one
             // processor is not an EREW violation.
-            let mut rs: Vec<usize> = rec.reads.clone();
-            rs.sort_unstable();
-            rs.dedup();
-            for a in rs {
+            audit_cells.clear();
+            audit_cells.extend_from_slice(&rec.reads);
+            audit_cells.sort_unstable();
+            audit_cells.dedup();
+            for &a in audit_cells.iter() {
                 readers[a] += 1;
                 reader_pid[a] = pid;
             }
-            let mut ws: Vec<usize> = rec.writes.iter().map(|&(a, _)| a).collect();
-            ws.sort_unstable();
-            ws.dedup();
-            for a in ws {
+            audit_cells.clear();
+            audit_cells.extend(rec.writes.iter().map(|&(a, _)| a));
+            audit_cells.sort_unstable();
+            audit_cells.dedup();
+            for &a in audit_cells.iter() {
                 writers[a] += 1;
                 writer_pid[a] = pid;
             }
@@ -359,13 +439,19 @@ impl Pram {
                 && !(readers[addr] == 1
                     && writers[addr] == 1
                     && reader_pid[addr] == writer_pid[addr]);
-            match self.mode {
+            match mode {
                 AccessMode::Erew => {
                     if readers[addr] > 1 {
-                        return Err(PramError::ReadConflict { addr, contention: readers[addr] });
+                        return Err(PramError::ReadConflict {
+                            addr,
+                            contention: readers[addr],
+                        });
                     }
                     if writers[addr] > 1 {
-                        return Err(PramError::WriteConflict { addr, contention: writers[addr] });
+                        return Err(PramError::WriteConflict {
+                            addr,
+                            contention: writers[addr],
+                        });
                     }
                     if cross_rw {
                         return Err(PramError::ReadWriteHazard { addr });
@@ -373,7 +459,10 @@ impl Pram {
                 }
                 AccessMode::Crew => {
                     if writers[addr] > 1 {
-                        return Err(PramError::WriteConflict { addr, contention: writers[addr] });
+                        return Err(PramError::WriteConflict {
+                            addr,
+                            contention: writers[addr],
+                        });
                     }
                     if cross_rw {
                         return Err(PramError::ReadWriteHazard { addr });
@@ -387,21 +476,21 @@ impl Pram {
         // Records are indexed by pid, so a forward scan keeping the first
         // write per cell implements it; within one processor the *last* write
         // to a cell is its final value.
-        let mut written: Vec<bool> = vec![false; size];
-        for (rec, _) in &records {
+        written.fill(false);
+        for rec in records {
             // Last write per cell from this processor:
-            let mut per_proc: Vec<(usize, Word)> = Vec::with_capacity(rec.writes.len());
+            per_proc_writes.clear();
             for &(a, v) in &rec.writes {
-                if let Some(slot) = per_proc.iter_mut().find(|(pa, _)| *pa == a) {
+                if let Some(slot) = per_proc_writes.iter_mut().find(|(pa, _)| *pa == a) {
                     slot.1 = v;
                 } else {
-                    per_proc.push((a, v));
+                    per_proc_writes.push((a, v));
                 }
             }
-            for (a, v) in per_proc {
+            for &(a, v) in per_proc_writes.iter() {
                 if !written[a] {
                     written[a] = true;
-                    self.mem[a] = v;
+                    mem[a] = v;
                 }
             }
         }
@@ -409,22 +498,27 @@ impl Pram {
         // Accounting.
         let mut max_ops = 0u64;
         let mut work = 0u64;
-        for (rec, _) in &records {
+        for rec in records {
             let ops = rec.reads.len() as u64 + rec.writes.len() as u64 + rec.rom_reads;
             max_ops = max_ops.max(ops);
             work += ops.max(1);
         }
         let mut time = max_ops.max(1);
-        if self.mode == AccessMode::Qrqw {
+        if mode == AccessMode::Qrqw {
             time = time.max(max_r).max(max_w);
         }
         if self.sink.enabled() {
-            self.emit_trace(&records, max_r.max(max_w));
+            self.emit_trace(nprocs, max_r.max(max_w));
         }
         self.time += time;
         self.work += work;
         self.steps += 1;
-        Ok(StepReport { time, work, max_read_contention: max_r, max_write_contention: max_w })
+        Ok(StepReport {
+            time,
+            work,
+            max_read_contention: max_r,
+            max_write_contention: max_w,
+        })
     }
 
     /// Synthesize a trace event for one executed step.
@@ -435,12 +529,13 @@ impl Pram {
     /// and the pipelined injection view in which a processor issues its k-th
     /// memory operation at step `k` (hence `m_t` = processors with more than
     /// `t` operations, and at most one injection per processor per slot).
-    fn emit_trace(&self, records: &[(ProcRecord, Option<PramError>)], kappa: u64) {
+    fn emit_trace(&self, nprocs: usize, kappa: u64) {
+        let records = &self.records[..nprocs];
         let mut builder = pbw_models::ProfileBuilder::new();
         let mut per_proc_sent: Vec<u64> = Vec::with_capacity(records.len());
         let mut per_proc_recv: Vec<u64> = Vec::with_capacity(records.len());
         let mut total_ops = 0u64;
-        for (rec, _) in records {
+        for rec in records {
             let reads = rec.reads.len() as u64 + rec.rom_reads;
             let writes = rec.writes.len() as u64;
             builder.record_memory_ops(reads, writes);
@@ -513,14 +608,26 @@ mod tests {
         let err = pram.try_step(4, |_pid, ctx| {
             ctx.read(0);
         });
-        assert_eq!(err.unwrap_err(), PramError::ReadConflict { addr: 0, contention: 4 });
+        assert_eq!(
+            err.unwrap_err(),
+            PramError::ReadConflict {
+                addr: 0,
+                contention: 4
+            }
+        );
     }
 
     #[test]
     fn erew_rejects_concurrent_write() {
         let mut pram = Pram::new(AccessMode::Erew, 4);
         let err = pram.try_step(3, |_pid, ctx| ctx.write(2, 1));
-        assert_eq!(err.unwrap_err(), PramError::WriteConflict { addr: 2, contention: 3 });
+        assert_eq!(
+            err.unwrap_err(),
+            PramError::WriteConflict {
+                addr: 2,
+                contention: 3
+            }
+        );
     }
 
     #[test]
@@ -539,9 +646,16 @@ mod tests {
     #[test]
     fn crew_allows_concurrent_read_rejects_concurrent_write() {
         let mut pram = Pram::new(AccessMode::Crew, 4);
-        assert!(pram.try_step(4, |_pid, ctx| { ctx.read(0); }).is_ok());
+        assert!(pram
+            .try_step(4, |_pid, ctx| {
+                ctx.read(0);
+            })
+            .is_ok());
         let err = pram.try_step(2, |_pid, ctx| ctx.write(0, 1));
-        assert!(matches!(err.unwrap_err(), PramError::WriteConflict { addr: 0, .. }));
+        assert!(matches!(
+            err.unwrap_err(),
+            PramError::WriteConflict { addr: 0, .. }
+        ));
     }
 
     #[test]
@@ -617,7 +731,10 @@ mod tests {
         let err = pram.try_step(1, |_pid, ctx| {
             ctx.read(10);
         });
-        assert_eq!(err.unwrap_err(), PramError::BadAddress { addr: 10, size: 4 });
+        assert_eq!(
+            err.unwrap_err(),
+            PramError::BadAddress { addr: 10, size: 4 }
+        );
     }
 
     #[test]
@@ -626,7 +743,10 @@ mod tests {
         let err = pram.try_step(1, |_pid, ctx| {
             ctx.read_rom(3);
         });
-        assert_eq!(err.unwrap_err(), PramError::BadRomAddress { addr: 3, size: 1 });
+        assert_eq!(
+            err.unwrap_err(),
+            PramError::BadRomAddress { addr: 3, size: 1 }
+        );
     }
 
     #[test]

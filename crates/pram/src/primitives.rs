@@ -57,7 +57,11 @@ pub fn broadcast(pram: &mut Pram, src: usize, dst_base: usize, n: usize) {
 /// computation (charged).
 pub fn max_o1(pram: &mut Pram, base: usize, n: usize, scratch: usize, out: usize, fid: Fidelity) {
     assert!(n >= 1);
-    assert_eq!(pram.mode(), AccessMode::CrcwArbitrary, "max_o1 needs Arbitrary CRCW");
+    assert_eq!(
+        pram.mode(),
+        AccessMode::CrcwArbitrary,
+        "max_o1 needs Arbitrary CRCW"
+    );
     match fid {
         Fidelity::Faithful => {
             pram.step(n, |pid, ctx| ctx.write(scratch + pid, 0));
@@ -153,9 +157,7 @@ pub fn leftmost_nonzero_rows(
                 pram.mem_mut()[out_base + row] = found;
             }
             pram.charge_time(4);
-            pram.charge_work(
-                (rows * cols) as u64 + rows as u64 + (rows * cols * cols) as u64,
-            );
+            pram.charge_work((rows * cols) as u64 + rows as u64 + (rows * cols * cols) as u64);
         }
     }
 }
@@ -164,7 +166,10 @@ pub fn leftmost_nonzero_rows(
 /// `mem[base..base+n]`, in place; `n` must be a power of two. Returns the
 /// total. `O(lg n)` steps, `O(n)` work.
 pub fn prefix_sum_exclusive(pram: &mut Pram, base: usize, n: usize) -> Word {
-    assert!(n.is_power_of_two(), "prefix_sum_exclusive needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "prefix_sum_exclusive needs a power-of-two length"
+    );
     // Up-sweep.
     let mut d = 1usize;
     while d < n {

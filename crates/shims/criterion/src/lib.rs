@@ -25,7 +25,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A benchmark id rendered as `name/parameter`.
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 }
 
@@ -65,7 +67,8 @@ impl Bencher<'_> {
             for _ in 0..iters {
                 black_box(routine());
             }
-            self.samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
     }
 }
@@ -86,7 +89,10 @@ impl BenchmarkGroup<'_> {
 
     fn run_one(&mut self, label: &str, f: impl FnOnce(&mut Bencher<'_>)) {
         let mut samples = Vec::new();
-        let mut b = Bencher { samples: &mut samples, sample_size: self.sample_size };
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+        };
         f(&mut b);
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         if samples.is_empty() {
@@ -132,7 +138,11 @@ pub struct Criterion {}
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 20, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
     }
 
     /// Benchmark a closure outside any group.

@@ -326,7 +326,11 @@ impl Arbitrary for bool {
         rng.gen_range(0u32..2) == 1
     }
     fn arbitrary_shrink(&self) -> Vec<Self> {
-        if *self { vec![false] } else { Vec::new() }
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -408,8 +412,7 @@ pub mod collection {
             let len = value.len();
             let mut out: Vec<Vec<S::Value>> = Vec::new();
             for cand_len in [min, min + (len - min.min(len)) / 2, len.saturating_sub(1)] {
-                if cand_len < len && cand_len >= min && !out.iter().any(|v| v.len() == cand_len)
-                {
+                if cand_len < len && cand_len >= min && !out.iter().any(|v| v.len() == cand_len) {
                     out.push(value[..cand_len].to_vec());
                 }
             }
@@ -469,8 +472,7 @@ pub fn read_regressions(path: &Path) -> Vec<u64> {
     text.lines()
         .filter_map(|line| {
             let rest = line.trim().strip_prefix("cc ")?;
-            let hex: String =
-                rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
             if hex.is_empty() {
                 return None;
             }
@@ -491,8 +493,15 @@ pub fn read_regressions(path: &Path) -> Vec<u64> {
 fn persist_failure(path: &Path, seed: u64, minimal: &str) {
     use std::io::Write;
     let fresh = !path.exists();
-    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
-        eprintln!("proptest shim: could not persist failure to {}", path.display());
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        eprintln!(
+            "proptest shim: could not persist failure to {}",
+            path.display()
+        );
         return;
     };
     if fresh {
@@ -524,7 +533,10 @@ impl QuietPanics<'_> {
         let guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        QuietPanics { _guard: guard, prev: Some(prev) }
+        QuietPanics {
+            _guard: guard,
+            prev: Some(prev),
+        }
     }
 }
 
@@ -543,7 +555,11 @@ where
     catch_unwind(AssertUnwindSafe(|| body(value))).is_err()
 }
 
-fn shrink_to_minimal<S: Strategy>(strat: &S, body: &impl Fn(S::Value), mut value: S::Value) -> S::Value
+fn shrink_to_minimal<S: Strategy>(
+    strat: &S,
+    body: &impl Fn(S::Value),
+    mut value: S::Value,
+) -> S::Value
 where
     S::Value: Clone,
 {
@@ -596,14 +612,8 @@ pub fn run_property<S>(
     }
 }
 
-fn run_one<S>(
-    strat: &S,
-    body: &impl Fn(S::Value),
-    path: &Path,
-    name: &str,
-    seed: u64,
-    replay: bool,
-) where
+fn run_one<S>(strat: &S, body: &impl Fn(S::Value), path: &Path, name: &str, seed: u64, replay: bool)
+where
     S: Strategy,
     S::Value: Clone + std::fmt::Debug,
 {
@@ -616,7 +626,11 @@ fn run_one<S>(
     if !replay {
         persist_failure(path, seed, &minimal_text);
     }
-    let origin = if replay { " (replayed from the regressions file)" } else { "" };
+    let origin = if replay {
+        " (replayed from the regressions file)"
+    } else {
+        ""
+    };
     panic!(
         "proptest case for `{name}` failed{origin}: {}\n\
          seed: cc {seed:016x}\n\
@@ -667,7 +681,10 @@ mod tests {
     use std::path::PathBuf;
 
     fn scratch(name: &str) -> PathBuf {
-        let path = std::env::temp_dir().join(format!("pbw-proptest-{name}-{}.regressions", std::process::id()));
+        let path = std::env::temp_dir().join(format!(
+            "pbw-proptest-{name}-{}.regressions",
+            std::process::id()
+        ));
         let _ = std::fs::remove_file(&path);
         path
     }
@@ -694,30 +711,22 @@ mod tests {
     fn integer_ranges_shrink_to_the_smallest_failure() {
         // Fails for x >= 50: the minimal counterexample is exactly 50.
         let strat = (0u64..100,);
-        let minimal =
-            crate::shrink_to_minimal(&strat, &|(x,): (u64,)| assert!(x < 50), (99,));
+        let minimal = crate::shrink_to_minimal(&strat, &|(x,): (u64,)| assert!(x < 50), (99,));
         assert_eq!(minimal, (50,));
     }
 
     #[test]
     fn tuples_shrink_component_wise() {
         let strat = (0u32..100, 0u32..100);
-        let minimal = crate::shrink_to_minimal(
-            &strat,
-            &|(a, _b): (u32, u32)| assert!(a < 60),
-            (90, 77),
-        );
+        let minimal =
+            crate::shrink_to_minimal(&strat, &|(a, _b): (u32, u32)| assert!(a < 60), (90, 77));
         assert_eq!(minimal, (60, 0));
     }
 
     #[test]
     fn floats_shrink_toward_the_low_bound() {
         let strat = (0.0f64..1.0,);
-        let (x,) = crate::shrink_to_minimal(
-            &strat,
-            &|(x,): (f64,)| assert!(x < 0.5),
-            (0.93,),
-        );
+        let (x,) = crate::shrink_to_minimal(&strat, &|(x,): (f64,)| assert!(x < 0.5), (0.93,));
         assert!((0.5..0.5 + 1e-6).contains(&x), "got {x}");
     }
 

@@ -238,8 +238,7 @@ mod tests {
     fn uniform_distribution_samples_range() {
         let mut rng = Counter(5);
         let u = distributions::Uniform::new(0.0f64, 1.0);
-        let mean =
-            (0..10_000).map(|_| u.sample(&mut rng)).sum::<f64>() / 10_000.0;
+        let mean = (0..10_000).map(|_| u.sample(&mut rng)).sum::<f64>() / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
     }
 

@@ -64,7 +64,11 @@ impl ChaCha8Rng {
 
 impl SeedableRng for ChaCha8Rng {
     fn seed_from_u64(state: u64) -> Self {
-        let mut rng = ChaCha8Rng { seed: state, stream: 0, s: [0; 4] };
+        let mut rng = ChaCha8Rng {
+            seed: state,
+            stream: 0,
+            s: [0; 4],
+        };
         rng.reset_state();
         rng
     }

@@ -71,7 +71,10 @@ pub trait IndexedParallelIterator: Sized + Send {
 
     /// Attach the global element index (stable across splits).
     fn enumerate(self) -> Enumerate<Self> {
-        Enumerate { base: self, offset: 0 }
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
     }
 
     /// Execute the chain in parallel and collect into `C` with the
@@ -369,10 +372,19 @@ where
     }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (l, r) = self.base.split_at(mid);
-        (Map { base: l, f: self.f.clone() }, Map { base: r, f: self.f })
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
     }
     fn seq_iter(self) -> Self::SeqIter {
-        MapSeq { inner: self.base.seq_iter(), f: self.f }
+        MapSeq {
+            inner: self.base.seq_iter(),
+            f: self.f,
+        }
     }
 }
 
@@ -440,12 +452,21 @@ where
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (l, r) = self.base.split_at(mid);
         (
-            Enumerate { base: l, offset: self.offset },
-            Enumerate { base: r, offset: self.offset + mid },
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + mid,
+            },
         )
     }
     fn seq_iter(self) -> Self::SeqIter {
-        EnumerateSeq { inner: self.base.seq_iter(), next: self.offset }
+        EnumerateSeq {
+            inner: self.base.seq_iter(),
+            next: self.offset,
+        }
     }
 }
 
@@ -471,7 +492,11 @@ mod tests {
     use crate::ThreadPoolBuilder;
 
     fn at_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
-        ThreadPoolBuilder::new().num_threads(width).build().unwrap().install(f)
+        ThreadPoolBuilder::new()
+            .num_threads(width)
+            .build()
+            .unwrap()
+            .install(f)
     }
 
     #[test]
@@ -479,8 +504,7 @@ mod tests {
         let input: Vec<u64> = (0..997).collect();
         let expect: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
         for width in [1, 2, 3, 8, 64] {
-            let got: Vec<u64> =
-                at_width(width, || input.par_iter().map(|&x| x * 3 + 1).collect());
+            let got: Vec<u64> = at_width(width, || input.par_iter().map(|&x| x * 3 + 1).collect());
             assert_eq!(got, expect, "width {width}");
         }
     }
@@ -496,7 +520,10 @@ mod tests {
                     .map(|(i, x)| *x += i as u32 + 1)
                     .collect();
             });
-            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1), "width {width}");
+            assert!(
+                v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1),
+                "width {width}"
+            );
         }
     }
 
@@ -520,9 +547,8 @@ mod tests {
                     .collect()
             });
             assert_eq!(got, Err(36), "width {width}");
-            let ok: Result<Vec<usize>, usize> = at_width(width, || {
-                (0..100usize).into_par_iter().map(Ok).collect()
-            });
+            let ok: Result<Vec<usize>, usize> =
+                at_width(width, || (0..100usize).into_par_iter().map(Ok).collect());
             assert_eq!(ok.unwrap(), (0..100).collect::<Vec<_>>(), "width {width}");
         }
     }
@@ -546,8 +572,9 @@ mod tests {
                 Vec::<u8>::new().into_par_iter().map(|x| x).collect()
             });
             assert!(empty.is_empty());
-            let one: Vec<u8> =
-                at_width(width, || vec![42u8].into_par_iter().map(|x| x + 1).collect());
+            let one: Vec<u8> = at_width(width, || {
+                vec![42u8].into_par_iter().map(|x| x + 1).collect()
+            });
             assert_eq!(one, vec![43]);
         }
     }

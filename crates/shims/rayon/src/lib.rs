@@ -63,7 +63,10 @@ where
     });
     let ra = out.0.into_inner().unwrap_or_else(|e| e.into_inner());
     let rb = out.1.into_inner().unwrap_or_else(|e| e.into_inner());
-    (ra.expect("join task 0 did not finish"), rb.expect("join task 1 did not finish"))
+    (
+        ra.expect("join task 0 did not finish"),
+        rb.expect("join task 1 did not finish"),
+    )
 }
 
 #[cfg(test)]
@@ -92,8 +95,10 @@ mod tests {
         let xs = vec![1i32, 2, 3];
         let ok: Result<Vec<i32>, ()> = xs.par_iter().map(|&x| Ok(x * 2)).collect();
         assert_eq!(ok.unwrap(), vec![2, 4, 6]);
-        let err: Result<Vec<i32>, i32> =
-            xs.par_iter().map(|&x| if x == 2 { Err(x) } else { Ok(x) }).collect();
+        let err: Result<Vec<i32>, i32> = xs
+            .par_iter()
+            .map(|&x| if x == 2 { Err(x) } else { Ok(x) })
+            .collect();
         assert_eq!(err.unwrap_err(), 2);
     }
 
@@ -111,9 +116,14 @@ mod tests {
 
     #[test]
     fn join_runs_both_at_width_8() {
-        super::ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(|| {
-            let (a, b) = super::join(|| (0..100u64).sum::<u64>(), || (0..10u64).product::<u64>());
-            assert_eq!((a, b), (4950, 0));
-        });
+        super::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| {
+                let (a, b) =
+                    super::join(|| (0..100u64).sum::<u64>(), || (0..10u64).product::<u64>());
+                assert_eq!((a, b), (4950, 0));
+            });
     }
 }

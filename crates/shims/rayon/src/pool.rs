@@ -203,7 +203,9 @@ fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The effective parallel width for the calling thread: a
@@ -253,7 +255,9 @@ impl ThreadPoolBuilder {
 
     /// Build a pool handle.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { width: self.num_threads })
+        Ok(ThreadPool {
+            width: self.num_threads,
+        })
     }
 }
 
@@ -318,7 +322,10 @@ mod tests {
                 run_tasks(100, &|i| {
                     hits[i].fetch_add(1, Ordering::SeqCst);
                 });
-                assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1), "width {width}");
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                    "width {width}"
+                );
             });
         }
     }

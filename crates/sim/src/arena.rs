@@ -1,0 +1,278 @@
+//! Flat per-destination message arena for the superstep delivery path.
+//!
+//! A [`MsgArena`] replaces the `Vec<Vec<M>>` inbox-of-inboxes: one backing
+//! `Vec<M>` holds every message delivered at a superstep boundary, and a
+//! `p + 1` offset table marks each destination's contiguous segment. The
+//! engines keep two arenas and *swap* them every superstep (read last
+//! boundary's deliveries from one, fill the other), so at steady state the
+//! backing storage is reused and a superstep performs no inbox allocations
+//! at all, however many messages it moves.
+//!
+//! Filling is a two-pass protocol:
+//!
+//! 1. **Counting pass** — the engine walks its outboxes (and fault fates,
+//!    retained inboxes and due late arrivals) once, accumulating the exact
+//!    number of payloads each destination will receive, then calls
+//!    [`MsgArena::begin`] with the per-destination counts. `begin` lays the
+//!    segments out by prefix sum and arms one write cursor per destination.
+//! 2. **Placement pass** — the engine replays its *sequential delivery
+//!    order* (source pid, then send order, then due arrivals), calling
+//!    [`MsgArena::place`] for each payload. Because segment `d` is written
+//!    only by deliveries to `d`, and those deliveries occur in the same
+//!    relative order as the replay, each destination's slice ends up in
+//!    exactly the order the old per-destination `Vec::push` produced — the
+//!    order the fault ledger, pending queue, and byte-identical trace
+//!    contract are defined by. [`MsgArena::finish`] then asserts every
+//!    reserved slot was filled and publishes the segments.
+//!
+//! ## Safety
+//!
+//! During a fill the backing vector's length stays 0 while `place` writes
+//! initialized payloads into reserved capacity through raw pointers; the
+//! cursor bound check (a hard assert, not a debug assert) keeps every write
+//! inside its destination's segment and therefore inside the reservation.
+//! If the engine panics mid-fill, already-placed payloads are leaked — never
+//! double-dropped — because the vector still reports length 0. `finish`
+//! publishes the length only after checking that the number of placements
+//! equals the reserved total, so no uninitialized slot is ever readable.
+
+/// A reusable flat message store with one contiguous segment per
+/// destination.
+#[derive(Debug)]
+pub(crate) struct MsgArena<M> {
+    /// Backing storage; `len()` is 0 while a fill is open, the segment total
+    /// once published.
+    data: Vec<M>,
+    /// `offsets[d]..offsets[d + 1]` is destination `d`'s segment
+    /// (`dests() + 1` entries).
+    offsets: Vec<usize>,
+    /// Next write index per destination during a fill.
+    cursors: Vec<usize>,
+    /// Payloads placed since `begin`.
+    placed: usize,
+    /// Whether a fill is open (`begin` called, `finish` not yet).
+    filling: bool,
+}
+
+impl<M> MsgArena<M> {
+    /// An empty arena with `p` destinations: every segment is empty.
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            offsets: vec![0; p + 1],
+            cursors: vec![0; p],
+            placed: 0,
+            filling: false,
+        }
+    }
+
+    /// Number of destinations.
+    pub(crate) fn dests(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Drop all stored payloads and reset every segment to empty. Keeps the
+    /// backing capacity.
+    pub(crate) fn clear(&mut self) {
+        debug_assert!(!self.filling, "clear during an open fill");
+        self.data.clear();
+        self.offsets.fill(0);
+        self.cursors.fill(0);
+        self.placed = 0;
+        self.filling = false;
+    }
+
+    /// Open a fill: lay out one segment per destination sized by `counts`
+    /// and arm the write cursors. Any previous contents are dropped.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != dests()` or a fill is already open.
+    pub(crate) fn begin(&mut self, counts: &[usize]) {
+        assert_eq!(
+            counts.len(),
+            self.dests(),
+            "count table must cover every destination"
+        );
+        assert!(!self.filling, "begin while a fill is already open");
+        self.data.clear();
+        let mut total = 0usize;
+        for (d, &c) in counts.iter().enumerate() {
+            self.offsets[d] = total;
+            self.cursors[d] = total;
+            total += c;
+        }
+        self.offsets[counts.len()] = total;
+        self.data.reserve(total);
+        self.placed = 0;
+        self.filling = true;
+    }
+
+    /// Place the next payload for `dest`, in delivery order.
+    ///
+    /// # Panics
+    /// Panics if no fill is open or `dest`'s segment is already full (which
+    /// would mean the counting pass and the delivery replay disagree).
+    #[inline]
+    pub(crate) fn place(&mut self, dest: usize, payload: M) {
+        assert!(self.filling, "place outside an open fill");
+        let cursor = self.cursors[dest];
+        assert!(
+            cursor < self.offsets[dest + 1],
+            "delivery overflows destination {dest}'s counted segment"
+        );
+        // SAFETY: `begin` reserved capacity for the segment total and the
+        // assert above keeps `cursor` strictly inside it; the length is
+        // still 0, so this writes an initialized value into reserved,
+        // unobservable capacity (leaked, not double-dropped, on panic).
+        unsafe { self.data.as_mut_ptr().add(cursor).write(payload) };
+        self.cursors[dest] = cursor + 1;
+        self.placed += 1;
+    }
+
+    /// Close the fill and publish the segments.
+    ///
+    /// # Panics
+    /// Panics if the number of placements differs from the reserved total —
+    /// every counted slot must have been filled.
+    pub(crate) fn finish(&mut self) {
+        assert!(self.filling, "finish without an open fill");
+        let total = self.offsets[self.dests()];
+        assert_eq!(
+            self.placed, total,
+            "counting pass and delivery replay disagree"
+        );
+        // SAFETY: exactly `total` slots were initialized by `place` (one per
+        // placement, each at a distinct index by the per-destination cursor
+        // discipline) into capacity reserved by `begin`.
+        unsafe { self.data.set_len(total) };
+        self.filling = false;
+    }
+
+    /// Destination `d`'s messages, in delivery order.
+    ///
+    /// # Panics
+    /// Panics if a fill is open.
+    #[inline]
+    pub(crate) fn inbox(&self, d: usize) -> &[M] {
+        assert!(!self.filling, "inbox read during an open fill");
+        &self.data[self.offsets[d]..self.offsets[d + 1]]
+    }
+
+    /// Number of messages stored for destination `d`.
+    #[inline]
+    pub(crate) fn len(&self, d: usize) -> usize {
+        self.offsets[d + 1] - self.offsets[d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_arena_has_empty_inboxes() {
+        let a: MsgArena<u32> = MsgArena::new(4);
+        assert_eq!(a.dests(), 4);
+        for d in 0..4 {
+            assert!(a.inbox(d).is_empty());
+            assert_eq!(a.len(d), 0);
+        }
+    }
+
+    #[test]
+    fn fill_preserves_interleaved_delivery_order() {
+        let mut a: MsgArena<u32> = MsgArena::new(3);
+        a.begin(&[2, 0, 3]);
+        // Delivery order interleaves destinations, as the engines' replay
+        // does.
+        a.place(2, 20);
+        a.place(0, 1);
+        a.place(2, 21);
+        a.place(0, 2);
+        a.place(2, 22);
+        a.finish();
+        assert_eq!(a.inbox(0), &[1, 2]);
+        assert_eq!(a.inbox(1), &[] as &[u32]);
+        assert_eq!(a.inbox(2), &[20, 21, 22]);
+    }
+
+    #[test]
+    fn refill_reuses_without_stale_contents() {
+        let mut a: MsgArena<String> = MsgArena::new(2);
+        a.begin(&[1, 1]);
+        a.place(0, "a".into());
+        a.place(1, "b".into());
+        a.finish();
+        a.begin(&[0, 2]);
+        a.place(1, "c".into());
+        a.place(1, "d".into());
+        a.finish();
+        assert!(a.inbox(0).is_empty());
+        assert_eq!(a.inbox(1), &["c".to_string(), "d".to_string()]);
+    }
+
+    #[test]
+    fn clear_empties_every_segment() {
+        let mut a: MsgArena<u8> = MsgArena::new(2);
+        a.begin(&[1, 1]);
+        a.place(0, 1);
+        a.place(1, 2);
+        a.finish();
+        a.clear();
+        assert!(a.inbox(0).is_empty());
+        assert!(a.inbox(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "counted segment")]
+    fn overflowing_a_segment_panics() {
+        let mut a: MsgArena<u8> = MsgArena::new(2);
+        a.begin(&[1, 0]);
+        a.place(0, 1);
+        a.place(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn underfilling_panics_at_finish() {
+        let mut a: MsgArena<u8> = MsgArena::new(1);
+        a.begin(&[2]);
+        a.place(0, 1);
+        a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "open fill")]
+    fn inbox_read_during_fill_panics() {
+        let mut a: MsgArena<u8> = MsgArena::new(1);
+        a.begin(&[1]);
+        let _ = a.inbox(0);
+    }
+
+    #[test]
+    fn steady_state_refill_does_not_grow() {
+        let mut a: MsgArena<u64> = MsgArena::new(8);
+        let counts = [4usize; 8];
+        for round in 0..3 {
+            a.begin(&counts);
+            for d in 0..8 {
+                for k in 0..4 {
+                    a.place(d, (round * 100 + d * 10 + k) as u64);
+                }
+            }
+            a.finish();
+        }
+        let cap_after_warmup = a.data.capacity();
+        for round in 3..10 {
+            a.begin(&counts);
+            for d in 0..8 {
+                for k in 0..4 {
+                    a.place(d, (round * 100 + d * 10 + k) as u64);
+                }
+            }
+            a.finish();
+        }
+        assert_eq!(a.data.capacity(), cap_after_warmup);
+        assert_eq!(a.inbox(7)[3], 973);
+    }
+}

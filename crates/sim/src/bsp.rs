@@ -20,7 +20,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crate::hook::{DeliveryCtx, DeliveryHook, FaultStats, Fate};
+use crate::arena::MsgArena;
+use crate::hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
 use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
@@ -47,7 +48,10 @@ pub struct Outbox<M> {
 
 impl<M> Default for Outbox<M> {
     fn default() -> Self {
-        Self { envelopes: Vec::new(), work: 0 }
+        Self {
+            envelopes: Vec::new(),
+            work: 0,
+        }
     }
 }
 
@@ -56,14 +60,22 @@ impl<M> Outbox<M> {
     /// auto message of a processor is injected at the k-th step of the
     /// superstep not claimed by an explicit send.
     pub fn send(&mut self, dest: Pid, payload: M) {
-        self.envelopes.push(Envelope { dest, payload, slot: None });
+        self.envelopes.push(Envelope {
+            dest,
+            payload,
+            slot: None,
+        });
     }
 
     /// Post a message pinned to injection step `slot` (0-based within the
     /// superstep). Two pinned sends from the same processor must use
     /// distinct slots.
     pub fn send_at(&mut self, dest: Pid, payload: M, slot: u64) {
-        self.envelopes.push(Envelope { dest, payload, slot: Some(slot) });
+        self.envelopes.push(Envelope {
+            dest,
+            payload,
+            slot: Some(slot),
+        });
     }
 
     /// Charge `w` units of local computation to this processor for this
@@ -75,6 +87,12 @@ impl<M> Outbox<M> {
     /// Number of messages posted so far.
     pub fn len(&self) -> usize {
         self.envelopes.len()
+    }
+
+    /// Empty the outbox for the next superstep, keeping its capacity.
+    fn reset(&mut self) {
+        self.envelopes.clear();
+        self.work = 0;
     }
 
     /// Whether any message has been posted.
@@ -119,7 +137,30 @@ pub struct SuperstepReport {
 pub struct BspMachine<S, M> {
     params: MachineParams,
     states: Vec<S>,
-    inboxes: Vec<Vec<M>>,
+    /// Messages awaiting the next superstep, segmented per destination.
+    inboxes: MsgArena<M>,
+    /// The previous boundary's arena, recycled: each superstep swaps it with
+    /// `inboxes`, reads last boundary's deliveries from it, and refills the
+    /// other — so at steady state delivery reuses the same two backing
+    /// buffers forever.
+    spare: MsgArena<M>,
+    /// Per-processor outboxes, reset (capacity kept) every superstep.
+    outboxes: Vec<Outbox<M>>,
+    /// Per-processor resolved injection slots, refilled every superstep.
+    resolved: Vec<Vec<u64>>,
+    /// Per-processor precomputed fates (hooked machines only).
+    fates: Vec<Vec<Fate>>,
+    /// Per-processor stall flags for the current superstep.
+    stalled: Vec<bool>,
+    /// Per-processor receive counts (deliveries only; retained inboxes are
+    /// not recounted).
+    recv_counts: Vec<u64>,
+    /// Counting-pass scratch: exact per-destination arena segment sizes.
+    arena_counts: Vec<usize>,
+    /// Tracing scratch for per-processor send counts.
+    per_proc_sent: Vec<u64>,
+    /// Profile accumulator, snapshot-and-reset every superstep.
+    builder: ProfileBuilder,
     profiles: Vec<SuperstepProfile>,
     superstep: usize,
     sink: Arc<dyn TraceSink>,
@@ -128,6 +169,8 @@ pub struct BspMachine<S, M> {
     /// `pending[k]` holds payloads the network will deliver at the boundary
     /// `k + 1` supersteps from now: delayed messages and duplicate copies.
     pending: VecDeque<Vec<(Pid, M)>>,
+    /// Drained pending-level buffers kept for reuse by `queue_pending`.
+    pending_pool: Vec<Vec<(Pid, M)>>,
     fault_stats: FaultStats,
     fault_round: u32,
 }
@@ -140,18 +183,28 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     /// ([`pbw_trace::global_sink`]) at construction; use
     /// [`BspMachine::set_sink`] to attach a specific sink instead.
     pub fn new(params: MachineParams, init: impl FnMut(Pid) -> S) -> Self {
-        let states: Vec<S> = (0..params.p).map(init).collect();
-        let inboxes = (0..params.p).map(|_| Vec::new()).collect();
+        let p = params.p;
+        let states: Vec<S> = (0..p).map(init).collect();
         Self {
             params,
             states,
-            inboxes,
+            inboxes: MsgArena::new(p),
+            spare: MsgArena::new(p),
+            outboxes: std::iter::repeat_with(Outbox::default).take(p).collect(),
+            resolved: vec![Vec::new(); p],
+            fates: Vec::new(),
+            stalled: vec![false; p],
+            recv_counts: vec![0; p],
+            arena_counts: vec![0; p],
+            per_proc_sent: Vec::new(),
+            builder: ProfileBuilder::new(),
             profiles: Vec::new(),
             superstep: 0,
             sink: pbw_trace::global_sink(),
             trace_label: String::new(),
             hook: None,
             pending: VecDeque::new(),
+            pending_pool: Vec::new(),
             fault_stats: FaultStats::default(),
             fault_round: 0,
         }
@@ -230,7 +283,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
 
     /// The inbox a processor would see at the start of the next superstep.
     pub fn pending_inbox(&self, pid: Pid) -> &[M] {
-        &self.inboxes[pid]
+        self.inboxes.inbox(pid)
     }
 
     /// Profiles of all executed supersteps.
@@ -255,7 +308,8 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         M: Sync + Clone,
         S: Sync,
     {
-        self.try_superstep(f).unwrap_or_else(|e| panic!("superstep failed: {e}"))
+        self.try_superstep(f)
+            .unwrap_or_else(|e| panic!("superstep failed: {e}"))
     }
 
     /// Execute one superstep, returning model-rule violations as errors.
@@ -267,66 +321,81 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     {
         let p = self.params.p;
         let step = self.superstep as u64;
-        // Replace with p fresh inboxes (not an empty Vec!) so the machine
-        // stays runnable even if this superstep is rejected below — a
-        // failed superstep loses its in-flight messages but nothing else.
-        let mut inboxes =
-            std::mem::replace(&mut self.inboxes, (0..p).map(|_| Vec::new()).collect());
+        // Rotate the arenas: `spare` becomes the read side (last boundary's
+        // deliveries), and the arena the previous superstep read from is
+        // cleared for refill. If this superstep is rejected below, `inboxes`
+        // stays cleared — a failed superstep loses its in-flight messages
+        // but nothing else, and the machine stays runnable.
+        std::mem::swap(&mut self.inboxes, &mut self.spare);
+        self.inboxes.clear();
 
         // A stalled processor skips its closure this superstep and sees its
         // inbox again next superstep; `stalled` is pure in `(superstep,
         // pid)`, so the per-processor queries run in parallel.
         let hook = self.hook.clone();
-        let stalled: Vec<bool> = match &hook {
-            Some(h) => (0..p).into_par_iter().map(|pid| h.stalled(step, pid)).collect(),
-            None => vec![false; p],
-        };
+        match &hook {
+            Some(h) => {
+                let _: Vec<()> = self
+                    .stalled
+                    .par_iter_mut()
+                    .enumerate()
+                    .map(|(pid, s)| *s = h.stalled(step, pid))
+                    .collect();
+            }
+            None => self.stalled.fill(false),
+        }
 
-        // Run all processors in parallel; collect their outboxes.
-        let mut outboxes: Vec<Outbox<M>> = self
-            .states
-            .par_iter_mut()
-            .zip(inboxes.par_iter())
-            .enumerate()
-            .map(|(pid, (state, inbox))| {
-                let mut out = Outbox::default();
-                if !stalled[pid] {
-                    f(pid, state, inbox, &mut out);
-                }
-                out
-            })
-            .collect();
+        // Run all processors in parallel, each filling its recycled outbox.
+        {
+            let f = &f;
+            let stalled = &self.stalled;
+            let spare = &self.spare;
+            let _: Vec<()> = self
+                .states
+                .par_iter_mut()
+                .zip(self.outboxes.par_iter_mut())
+                .enumerate()
+                .map(|(pid, (state, out))| {
+                    out.reset();
+                    if !stalled[pid] {
+                        f(pid, state, spare.inbox(pid), out);
+                    }
+                })
+                .collect();
+        }
 
-        // Resolve injection slots per processor and validate the
-        // one-injection-per-step rule.
-        let mut builder = ProfileBuilder::new();
-        let mut recv_counts = vec![0u64; p];
-        let mut new_inboxes: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
-        let mut delivered = 0u64;
-
-        // First pass (parallel): per-processor slot resolution + validation.
-        let resolved: Result<Vec<Vec<u64>>, SimError> = outboxes
+        // First pass (parallel): per-processor slot resolution + validation
+        // of the one-injection-per-step rule, into the recycled slot
+        // buffers. The fallible collect surfaces the lowest-pid error, as
+        // the sequential pass did.
+        let validated: Result<Vec<()>, SimError> = self
+            .outboxes
             .par_iter()
+            .zip(self.resolved.par_iter_mut())
             .enumerate()
-            .map(|(pid, out)| resolve_slots(pid, p, &out.envelopes))
+            .map(|(pid, (out, slots))| resolve_slots_into(pid, p, &out.envelopes, slots))
             .collect();
-        let resolved = resolved?;
+        validated?;
 
         // Fates are pure in `(superstep, src, dest, msg_idx, slot)`, so they
         // are *computed* here in a parallel pass; the sequential loop below
         // only *applies* them, preserving the fixed delivery order the
         // ledger, pending queue, and traces are defined by.
-        let fates: Option<Vec<Vec<Fate>>> = hook.as_ref().map(|h| {
-            outboxes
+        let hooked = hook.is_some();
+        if let Some(h) = &hook {
+            if self.fates.len() != p {
+                self.fates.resize_with(p, Vec::new);
+            }
+            let _: Vec<()> = self
+                .outboxes
                 .par_iter()
-                .zip(resolved.par_iter())
+                .zip(self.resolved.par_iter())
+                .zip(self.fates.par_iter_mut())
                 .enumerate()
-                .map(|(pid, (out, slots))| {
-                    out.envelopes
-                        .iter()
-                        .zip(slots.iter())
-                        .enumerate()
-                        .map(|(msg_idx, (env, &slot))| {
+                .map(|(pid, ((out, slots), fates))| {
+                    fates.clear();
+                    fates.extend(out.envelopes.iter().zip(slots.iter()).enumerate().map(
+                        |(msg_idx, (env, &slot))| {
                             h.fate(&DeliveryCtx {
                                 superstep: step,
                                 src: pid,
@@ -334,20 +403,52 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                                 msg_idx,
                                 slot,
                             })
-                        })
-                        .collect::<Vec<Fate>>()
+                        },
+                    ));
                 })
-                .collect()
-        });
+                .collect();
+        }
+
+        // From here on everything is sequential and deterministic. Borrow
+        // the machine's parts individually so the delivery loop can fill the
+        // arena while queueing pending payloads.
+        let Self {
+            ref params,
+            ref mut inboxes,
+            ref spare,
+            ref mut outboxes,
+            ref resolved,
+            ref fates,
+            ref stalled,
+            ref mut recv_counts,
+            ref mut arena_counts,
+            ref mut per_proc_sent,
+            ref mut builder,
+            ref mut profiles,
+            superstep: ref mut superstep_idx,
+            ref sink,
+            ref trace_label,
+            ref mut pending,
+            ref mut pending_pool,
+            ref mut fault_stats,
+            ref fault_round,
+            ..
+        } = *self;
+
+        let mut counters = FaultCounters {
+            retransmit_round: *fault_round,
+            ..Default::default()
+        };
 
         // Stalled processors keep their undrained inbox (already counted as
-        // delivered at the previous boundary — not recounted).
-        let mut counters =
-            FaultCounters { retransmit_round: self.fault_round, ..Default::default() };
-        for (pid, &is_stalled) in stalled.iter().enumerate() {
-            if is_stalled {
-                new_inboxes[pid].append(&mut inboxes[pid]);
-                self.fault_stats.stalled_steps += 1;
+        // delivered at the previous boundary — not recounted in
+        // `recv_counts`); it is retained ahead of this superstep's
+        // deliveries, exactly where the per-destination push used to put it.
+        arena_counts.fill(0);
+        for pid in 0..p {
+            if stalled[pid] {
+                arena_counts[pid] += spare.len(pid);
+                fault_stats.stalled_steps += 1;
                 counters.stalled_procs += 1;
             }
         }
@@ -355,11 +456,43 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         // Payloads the network is due to release at this boundary (queued by
         // earlier Delay/Duplicate fates). Popped before this superstep's
         // sends are queued, so a `Delay(k)` waits exactly `k` extra steps.
-        let due: Vec<(Pid, M)> = self.pending.pop_front().unwrap_or_default();
+        let mut due: Vec<(Pid, M)> = pending.pop_front().unwrap_or_default();
+
+        // Counting pass: exact per-destination delivery counts (sends that
+        // will land now, by fate, plus due late arrivals) lay out the arena
+        // segments before any payload moves.
+        for (pid, out) in outboxes.iter().enumerate() {
+            for (msg_idx, env) in out.envelopes.iter().enumerate() {
+                let fate = if hooked {
+                    fates[pid][msg_idx]
+                } else {
+                    Fate::Deliver
+                };
+                match fate {
+                    Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
+                        arena_counts[env.dest] += 1
+                    }
+                    Fate::Drop | Fate::Delay(_) => {}
+                }
+            }
+        }
+        for &(dest, _) in due.iter() {
+            arena_counts[dest] += 1;
+        }
+        inboxes.begin(arena_counts);
+        for pid in 0..p {
+            if stalled[pid] {
+                for msg in spare.inbox(pid) {
+                    inboxes.place(pid, msg.clone());
+                }
+            }
+        }
 
         // Second pass (sequential, deterministic): accounting + delivery.
-        let tracing = self.sink.enabled();
-        let mut per_proc_sent: Vec<u64> = Vec::new();
+        let tracing = sink.enabled();
+        recv_counts.fill(0);
+        per_proc_sent.clear();
+        let mut delivered = 0u64;
         for (pid, out) in outboxes.iter_mut().enumerate() {
             let slots = &resolved[pid];
             builder.record_work(out.work);
@@ -367,52 +500,59 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             if tracing {
                 per_proc_sent.push(out.envelopes.len() as u64);
             }
-            for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate()
-            {
-                let fate = match &fates {
-                    Some(f) => f[pid][msg_idx],
-                    None => Fate::Deliver,
+            for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate() {
+                let fate = if hooked {
+                    fates[pid][msg_idx]
+                } else {
+                    Fate::Deliver
                 };
-                self.fault_stats.injected += 1;
+                fault_stats.injected += 1;
                 match fate {
                     Fate::Deliver => {
                         builder.record_injection(slot);
                         recv_counts[env.dest] += 1;
-                        new_inboxes[env.dest].push(env.payload);
+                        inboxes.place(env.dest, env.payload);
                         delivered += 1;
-                        self.fault_stats.delivered += 1;
+                        fault_stats.delivered += 1;
                     }
                     Fate::Drop => {
                         // The send consumed bandwidth and a slot; nothing
                         // arrives.
                         builder.record_injection(slot);
-                        self.fault_stats.dropped += 1;
+                        fault_stats.dropped += 1;
                         counters.dropped += 1;
                     }
                     Fate::Duplicate => {
                         builder.record_injection(slot);
                         let copy = env.payload.clone();
                         recv_counts[env.dest] += 1;
-                        new_inboxes[env.dest].push(env.payload);
+                        inboxes.place(env.dest, env.payload);
                         delivered += 1;
-                        self.fault_stats.delivered += 1;
-                        self.queue_pending(1, env.dest, copy);
-                        self.fault_stats.duplicated += 1;
+                        fault_stats.delivered += 1;
+                        queue_pending(pending, pending_pool, fault_stats, 1, env.dest, copy);
+                        fault_stats.duplicated += 1;
                         counters.duplicated += 1;
                     }
                     Fate::Delay(k) => {
                         builder.record_injection(slot);
-                        self.queue_pending(k.max(1), env.dest, env.payload);
-                        self.fault_stats.delayed += 1;
+                        queue_pending(
+                            pending,
+                            pending_pool,
+                            fault_stats,
+                            k.max(1),
+                            env.dest,
+                            env.payload,
+                        );
+                        fault_stats.delayed += 1;
                         counters.delayed += 1;
                     }
                     Fate::Displace(d) => {
                         builder.record_injection(slot + d);
                         recv_counts[env.dest] += 1;
-                        new_inboxes[env.dest].push(env.payload);
+                        inboxes.place(env.dest, env.payload);
                         delivered += 1;
-                        self.fault_stats.delivered += 1;
-                        self.fault_stats.displaced += 1;
+                        fault_stats.delivered += 1;
+                        fault_stats.displaced += 1;
                         counters.displaced += 1;
                     }
                 }
@@ -420,51 +560,43 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         }
         // Late arrivals land at the same boundary as this superstep's sends,
         // after them, and are charged receive bandwidth here.
-        for (dest, payload) in due {
+        for (dest, payload) in due.drain(..) {
             recv_counts[dest] += 1;
-            new_inboxes[dest].push(payload);
+            inboxes.place(dest, payload);
             delivered += 1;
-            self.fault_stats.delivered += 1;
-            self.fault_stats.in_flight -= 1;
+            fault_stats.delivered += 1;
+            fault_stats.in_flight -= 1;
             counters.late_arrivals += 1;
         }
-        for &r in &recv_counts {
+        if due.capacity() > 0 && pending_pool.len() < PENDING_POOL_CAP {
+            pending_pool.push(due);
+        }
+        inboxes.finish();
+        for &r in recv_counts.iter() {
             builder.record_traffic(0, r);
         }
 
-        let profile = builder.build();
+        let profile = builder.snapshot_reset();
         if tracing {
             let mut ev = TraceEvent::for_superstep(
                 TraceSource::Bsp,
-                self.trace_label.clone(),
+                trace_label.clone(),
                 step,
-                self.params,
+                *params,
                 profile.clone(),
-                per_proc_sent,
-                recv_counts,
-                crate::max_slot_multiplicity(&resolved),
+                std::mem::take(per_proc_sent),
+                recv_counts.clone(),
+                crate::max_slot_multiplicity(resolved),
                 delivered,
             );
-            if hook.is_some() {
+            if hooked {
                 ev = ev.with_faults(counters);
             }
-            self.sink.record(ev);
+            sink.record(ev);
         }
-        self.inboxes = new_inboxes;
-        self.profiles.push(profile.clone());
-        self.superstep += 1;
+        profiles.push(profile.clone());
+        *superstep_idx += 1;
         Ok(SuperstepReport { profile, delivered })
-    }
-
-    /// Queue `payload` for delivery at the boundary `k ≥ 1` supersteps from
-    /// now.
-    fn queue_pending(&mut self, k: u32, dest: Pid, payload: M) {
-        let idx = (k.max(1) - 1) as usize;
-        while self.pending.len() <= idx {
-            self.pending.push_back(Vec::new());
-        }
-        self.pending[idx].push((dest, payload));
-        self.fault_stats.in_flight += 1;
     }
 
     /// Run supersteps until `f` posts no messages anywhere (quiescence) or
@@ -485,15 +617,50 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     }
 }
 
-/// Assign injection slots to a processor's envelopes: explicit slots are
-/// honoured; auto messages fill the earliest slots not explicitly claimed.
-/// Errors if two explicit sends collide or a destination is invalid.
-fn resolve_slots<M>(pid: Pid, p: usize, envelopes: &[Envelope<M>]) -> Result<Vec<u64>, SimError> {
+/// How many drained pending-delivery buffers a machine keeps for reuse.
+const PENDING_POOL_CAP: usize = 16;
+
+/// Queue `payload` for delivery at the boundary `k ≥ 1` supersteps from now,
+/// reusing drained level buffers from `pool`.
+fn queue_pending<M>(
+    pending: &mut VecDeque<Vec<(Pid, M)>>,
+    pool: &mut Vec<Vec<(Pid, M)>>,
+    fault_stats: &mut FaultStats,
+    k: u32,
+    dest: Pid,
+    payload: M,
+) {
+    let idx = (k.max(1) - 1) as usize;
+    while pending.len() <= idx {
+        pending.push_back(pool.pop().unwrap_or_default());
+    }
+    pending[idx].push((dest, payload));
+    fault_stats.in_flight += 1;
+}
+
+/// Assign injection slots to a processor's envelopes, refilling the recycled
+/// `out` buffer: explicit slots are honoured; auto messages fill the
+/// earliest slots not explicitly claimed. Errors if two explicit sends
+/// collide or a destination is invalid.
+///
+/// The all-auto common case is allocation-free once `out` has warmed up;
+/// explicit slots build a transient claim set.
+fn resolve_slots_into<M>(
+    pid: Pid,
+    p: usize,
+    envelopes: &[Envelope<M>],
+    out: &mut Vec<u64>,
+) -> Result<(), SimError> {
     use std::collections::BTreeSet;
+    // `BTreeSet::new` does not allocate; nodes appear only when a program
+    // actually pins slots with `send_at`.
     let mut explicit: BTreeSet<u64> = BTreeSet::new();
     for env in envelopes {
         if env.dest >= p {
-            return Err(SimError::BadDestination { pid, dest: env.dest });
+            return Err(SimError::BadDestination {
+                pid,
+                dest: env.dest,
+            });
         }
         if let Some(s) = env.slot {
             if !explicit.insert(s) {
@@ -502,7 +669,8 @@ fn resolve_slots<M>(pid: Pid, p: usize, envelopes: &[Envelope<M>]) -> Result<Vec
         }
     }
     let mut next_auto = 0u64;
-    let mut out = Vec::with_capacity(envelopes.len());
+    out.clear();
+    out.reserve(envelopes.len());
     for env in envelopes {
         match env.slot {
             Some(s) => out.push(s),
@@ -515,7 +683,7 @@ fn resolve_slots<M>(pid: Pid, p: usize, envelopes: &[Envelope<M>]) -> Result<Vec
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -649,7 +817,11 @@ mod tests {
             }
         });
         let bsp_g = BspG { g: 4, l: 8 };
-        let bsp_m = BspM { m: 4, l: 8, penalty: PenaltyFn::Exponential };
+        let bsp_m = BspM {
+            m: 4,
+            l: 8,
+            penalty: PenaltyFn::Exponential,
+        };
         // BSP(g): h = 16, cost = 4·16 = 64. BSP(m): c_m = 16 (one msg per
         // slot), h = 16, L = 8 → 16.
         assert_eq!(m.cost(&bsp_g), 64.0);
@@ -794,7 +966,10 @@ mod tests {
         assert_eq!(r1.delivered, 1); // the copy
         assert_eq!(m.pending_inbox(1), &[9]);
         let stats = m.fault_stats();
-        assert_eq!((stats.injected, stats.duplicated, stats.delivered), (1, 1, 2));
+        assert_eq!(
+            (stats.injected, stats.duplicated, stats.delivered),
+            (1, 1, 2)
+        );
         assert!(stats.conserved());
     }
 
@@ -848,10 +1023,13 @@ mod tests {
         use pbw_trace::RecordingSink;
         let sink = Arc::new(RecordingSink::new());
         let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
-        m.set_sink(sink.clone()).set_delivery_hook(Arc::new(DropFrom(0)));
+        m.set_sink(sink.clone())
+            .set_delivery_hook(Arc::new(DropFrom(0)));
         m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, 0));
         let events = sink.take();
-        let faults = events[0].faults.expect("hooked machine must stamp fault counters");
+        let faults = events[0]
+            .faults
+            .expect("hooked machine must stamp fault counters");
         assert_eq!(faults.dropped, 1);
         assert_eq!(faults.duplicated, 0);
     }

@@ -127,7 +127,13 @@ mod tests {
     #[test]
     fn default_hook_delivers_and_never_stalls() {
         let h = Everything;
-        let ctx = DeliveryCtx { superstep: 3, src: 0, dest: 1, msg_idx: 0, slot: 2 };
+        let ctx = DeliveryCtx {
+            superstep: 3,
+            src: 0,
+            dest: 1,
+            msg_idx: 0,
+            slot: 2,
+        };
         assert_eq!(h.fate(&ctx), Fate::Deliver);
         assert!(!h.stalled(0, 0));
     }
@@ -135,9 +141,19 @@ mod tests {
     #[test]
     fn zero_stats_are_conserved() {
         assert!(FaultStats::default().conserved());
-        let s = FaultStats { injected: 5, delivered: 3, dropped: 1, in_flight: 1, ..Default::default() };
+        let s = FaultStats {
+            injected: 5,
+            delivered: 3,
+            dropped: 1,
+            in_flight: 1,
+            ..Default::default()
+        };
         assert!(s.conserved());
-        let bad = FaultStats { injected: 5, delivered: 3, ..Default::default() };
+        let bad = FaultStats {
+            injected: 5,
+            delivered: 3,
+            ..Default::default()
+        };
         assert!(!bad.conserved());
     }
 }

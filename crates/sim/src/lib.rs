@@ -35,6 +35,7 @@
 //! * Non-receipt is observable: a processor can branch on an *empty* inbox,
 //!   as required by the Section 4.2 ternary broadcast.
 
+pub(crate) mod arena;
 pub mod bsp;
 pub mod hook;
 pub mod qsm;
@@ -43,7 +44,7 @@ pub mod summary;
 pub mod timeline;
 
 pub use bsp::{BspMachine, Envelope, Outbox};
-pub use hook::{DeliveryCtx, DeliveryHook, FaultStats, Fate};
+pub use hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
 pub use qsm::{QsmCtx, QsmMachine, Word};
 pub use summary::CostSummary;
 
@@ -100,7 +101,10 @@ impl std::fmt::Display for SimError {
                 "processor {pid} injected two messages at step {slot} of one superstep"
             ),
             SimError::BadDestination { pid, dest } => {
-                write!(f, "processor {pid} sent a message to nonexistent processor {dest}")
+                write!(
+                    f,
+                    "processor {pid} sent a message to nonexistent processor {dest}"
+                )
             }
             SimError::ReadWriteConflict { addr } => write!(
                 f,

@@ -21,7 +21,8 @@
 //!   [`QsmCtx::read_at`] / [`QsmCtx::write_at`]; unpinned requests pipeline
 //!   into the earliest free slots.
 
-use crate::hook::{DeliveryCtx, DeliveryHook, FaultStats, Fate};
+use crate::arena::MsgArena;
+use crate::hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
 use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
@@ -47,8 +48,15 @@ pub struct ReadResult {
 
 #[derive(Debug, Clone)]
 enum Request {
-    Read { addr: Addr, slot: Option<u64> },
-    Write { addr: Addr, value: Word, slot: Option<u64> },
+    Read {
+        addr: Addr,
+        slot: Option<u64>,
+    },
+    Write {
+        addr: Addr,
+        value: Word,
+        slot: Option<u64>,
+    },
 }
 
 /// Per-processor request buffer for one QSM phase.
@@ -67,22 +75,39 @@ impl QsmCtx {
 
     /// Issue a read pinned to injection step `slot`.
     pub fn read_at(&mut self, addr: Addr, slot: u64) {
-        self.requests.push(Request::Read { addr, slot: Some(slot) });
+        self.requests.push(Request::Read {
+            addr,
+            slot: Some(slot),
+        });
     }
 
     /// Issue a shared-memory write, pipelined.
     pub fn write(&mut self, addr: Addr, value: Word) {
-        self.requests.push(Request::Write { addr, value, slot: None });
+        self.requests.push(Request::Write {
+            addr,
+            value,
+            slot: None,
+        });
     }
 
     /// Issue a write pinned to injection step `slot`.
     pub fn write_at(&mut self, addr: Addr, value: Word, slot: u64) {
-        self.requests.push(Request::Write { addr, value, slot: Some(slot) });
+        self.requests.push(Request::Write {
+            addr,
+            value,
+            slot: Some(slot),
+        });
     }
 
     /// Charge `w` units of local computation.
     pub fn charge_work(&mut self, w: u64) {
         self.work += w;
+    }
+
+    /// Empty the context for the next phase, keeping its capacity.
+    fn reset(&mut self) {
+        self.requests.clear();
+        self.work = 0;
     }
 
     fn counts(&self) -> (u64, u64) {
@@ -130,7 +155,31 @@ pub struct QsmMachine<S> {
     params: MachineParams,
     shared: Vec<Word>,
     states: Vec<S>,
-    read_results: Vec<Vec<ReadResult>>,
+    /// Read results awaiting the next phase, segmented per processor.
+    read_results: MsgArena<ReadResult>,
+    /// The previous phase's arena, recycled by swapping (see
+    /// [`crate::bsp::BspMachine`]'s double-buffered inboxes).
+    spare: MsgArena<ReadResult>,
+    /// Per-processor request contexts, reset (capacity kept) every phase.
+    ctxs: Vec<QsmCtx>,
+    /// Per-processor resolved injection slots, refilled every phase.
+    resolved: Vec<Vec<u64>>,
+    /// Per-processor precomputed fates (hooked machines only).
+    fates: Vec<Vec<Fate>>,
+    /// Per-processor stall flags for the current phase.
+    stalled: Vec<bool>,
+    /// Counting-pass scratch: per-processor result segment sizes.
+    arena_counts: Vec<usize>,
+    /// Contention audit scratch: readers/writers per location.
+    readers: Vec<u64>,
+    writers: Vec<u64>,
+    /// Distinct-address scratch for the per-processor contention audit.
+    audit_reads: Vec<Addr>,
+    audit_writes: Vec<Addr>,
+    /// Write-arbitration scratch: `(addr, pid, value)`.
+    pending_writes: Vec<(Addr, Pid, Word)>,
+    /// Profile accumulator, snapshot-and-reset every phase.
+    builder: ProfileBuilder,
     profiles: Vec<SuperstepProfile>,
     phase: usize,
     sink: Arc<dyn TraceSink>,
@@ -139,6 +188,8 @@ pub struct QsmMachine<S> {
     /// `pending_results[k]` holds read results the memory system will hand
     /// back `k + 1` phases from now (delayed responses, duplicate copies).
     pending_results: VecDeque<Vec<(Pid, ReadResult)>>,
+    /// Drained pending-level buffers kept for reuse by `queue_result`.
+    pending_pool: Vec<Vec<(Pid, ReadResult)>>,
     fault_stats: FaultStats,
 }
 
@@ -150,19 +201,32 @@ impl<S: Send + Sync> QsmMachine<S> {
     /// ([`pbw_trace::global_sink`]) at construction; use
     /// [`QsmMachine::set_sink`] to attach a specific sink instead.
     pub fn new(params: MachineParams, size: usize, init: impl FnMut(Pid) -> S) -> Self {
-        let states: Vec<S> = (0..params.p).map(init).collect();
-        let read_results = (0..params.p).map(|_| Vec::new()).collect();
+        let p = params.p;
+        let states: Vec<S> = (0..p).map(init).collect();
         Self {
             params,
             shared: vec![0; size],
             states,
-            read_results,
+            read_results: MsgArena::new(p),
+            spare: MsgArena::new(p),
+            ctxs: std::iter::repeat_with(QsmCtx::default).take(p).collect(),
+            resolved: vec![Vec::new(); p],
+            fates: Vec::new(),
+            stalled: vec![false; p],
+            arena_counts: vec![0; p],
+            readers: vec![0; size],
+            writers: vec![0; size],
+            audit_reads: Vec::new(),
+            audit_writes: Vec::new(),
+            pending_writes: Vec::new(),
+            builder: ProfileBuilder::new(),
             profiles: Vec::new(),
             phase: 0,
             sink: pbw_trace::global_sink(),
             trace_label: String::new(),
             hook: None,
             pending_results: VecDeque::new(),
+            pending_pool: Vec::new(),
             fault_stats: FaultStats::default(),
         }
     }
@@ -264,7 +328,8 @@ impl<S: Send + Sync> QsmMachine<S> {
     where
         F: Fn(Pid, &mut S, &[ReadResult], &mut QsmCtx) + Sync,
     {
-        self.try_phase(f).unwrap_or_else(|e| panic!("QSM phase failed: {e}"))
+        self.try_phase(f)
+            .unwrap_or_else(|e| panic!("QSM phase failed: {e}"))
     }
 
     /// Execute one phase, returning model-rule violations as errors.
@@ -275,37 +340,51 @@ impl<S: Send + Sync> QsmMachine<S> {
         let p = self.params.p;
         let size = self.shared.len();
         let step = self.phase as u64;
-        let mut prev_results = std::mem::replace(
-            &mut self.read_results,
-            (0..p).map(|_| Vec::new()).collect(),
-        );
+        // Rotate the arenas: `spare` becomes the read side (last phase's
+        // responses), and the arena the previous phase read from is cleared
+        // for refill. A rejected phase leaves `read_results` cleared — its
+        // in-flight responses are lost but the machine stays runnable.
+        std::mem::swap(&mut self.read_results, &mut self.spare);
+        self.read_results.clear();
 
         // A stalled processor skips its closure this phase; its undelivered
         // read results are re-presented next phase. `stalled` is pure in
         // `(phase, pid)`, so the per-processor queries run in parallel.
         let hook = self.hook.clone();
-        let stalled: Vec<bool> = match &hook {
-            Some(h) => (0..p).into_par_iter().map(|pid| h.stalled(step, pid)).collect(),
-            None => vec![false; p],
-        };
+        match &hook {
+            Some(h) => {
+                let _: Vec<()> = self
+                    .stalled
+                    .par_iter_mut()
+                    .enumerate()
+                    .map(|(pid, s)| *s = h.stalled(step, pid))
+                    .collect();
+            }
+            None => self.stalled.fill(false),
+        }
 
-        // Run all processors in parallel.
-        let ctxs: Vec<QsmCtx> = self
-            .states
-            .par_iter_mut()
-            .zip(prev_results.par_iter())
-            .enumerate()
-            .map(|(pid, (state, results))| {
-                let mut ctx = QsmCtx::default();
-                if !stalled[pid] {
-                    f(pid, state, results, &mut ctx);
-                }
-                ctx
-            })
-            .collect();
+        // Run all processors in parallel, each filling its recycled context.
+        {
+            let f = &f;
+            let stalled = &self.stalled;
+            let spare = &self.spare;
+            let _: Vec<()> = self
+                .states
+                .par_iter_mut()
+                .zip(self.ctxs.par_iter_mut())
+                .enumerate()
+                .map(|(pid, (state, ctx))| {
+                    ctx.reset();
+                    if !stalled[pid] {
+                        f(pid, state, spare.inbox(pid), ctx);
+                    }
+                })
+                .collect();
+        }
 
-        // Validate addresses and resolve per-processor injection slots.
-        for ctx in &ctxs {
+        // Validate addresses and resolve per-processor injection slots into
+        // the recycled slot buffers.
+        for ctx in &self.ctxs {
             for req in &ctx.requests {
                 let addr = match req {
                     Request::Read { addr, .. } | Request::Write { addr, .. } => *addr,
@@ -315,77 +394,107 @@ impl<S: Send + Sync> QsmMachine<S> {
                 }
             }
         }
-        let resolved: Result<Vec<Vec<u64>>, SimError> = ctxs
+        let validated: Result<Vec<()>, SimError> = self
+            .ctxs
             .par_iter()
+            .zip(self.resolved.par_iter_mut())
             .enumerate()
-            .map(|(pid, ctx)| {
-                let slots: Vec<Option<u64>> = ctx
-                    .requests
-                    .iter()
-                    .map(|r| match r {
-                        Request::Read { slot, .. } | Request::Write { slot, .. } => *slot,
-                    })
-                    .collect();
-                assign_slots(pid, &slots)
-            })
+            .map(|(pid, (ctx, slots))| assign_slots_into(pid, &ctx.requests, slots))
             .collect();
-        let resolved = resolved?;
+        validated?;
 
         // Fates are pure in `(phase, pid, msg_idx, slot)`, so they are
         // *computed* here in a parallel pass; the sequential serve loop
         // below only *applies* them, preserving the fixed order the ledger,
         // pending-result queue, and traces are defined by.
-        let fates: Option<Vec<Vec<Fate>>> = hook.as_ref().map(|h| {
-            resolved
+        let hooked = hook.is_some();
+        if let Some(h) = &hook {
+            if self.fates.len() != p {
+                self.fates.resize_with(p, Vec::new);
+            }
+            let _: Vec<()> = self
+                .resolved
                 .par_iter()
+                .zip(self.fates.par_iter_mut())
                 .enumerate()
-                .map(|(pid, slots)| {
-                    slots
-                        .iter()
-                        .enumerate()
-                        .map(|(msg_idx, &slot)| {
-                            h.fate(&DeliveryCtx {
-                                superstep: step,
-                                src: pid,
-                                dest: pid,
-                                msg_idx,
-                                slot,
-                            })
+                .map(|(pid, (slots, fates))| {
+                    fates.clear();
+                    fates.extend(slots.iter().enumerate().map(|(msg_idx, &slot)| {
+                        h.fate(&DeliveryCtx {
+                            superstep: step,
+                            src: pid,
+                            dest: pid,
+                            msg_idx,
+                            slot,
                         })
-                        .collect::<Vec<Fate>>()
+                    }));
                 })
-                .collect()
-        });
+                .collect();
+        }
 
-        // Contention audit: readers and writers per location.
-        let mut readers = vec![0u64; size];
-        let mut writers = vec![0u64; size];
-        // Tracks which addresses each processor touched, to count per-proc
-        // distinct access contention correctly: the paper counts processors
-        // per location.
-        for ctx in &ctxs {
-            let mut seen_r: BTreeSet<Addr> = BTreeSet::new();
-            let mut seen_w: BTreeSet<Addr> = BTreeSet::new();
+        // Contention audit: readers and writers per location, counting each
+        // processor once per distinct address (the paper counts processors
+        // per location). The distinct-address scratch replaces a per-
+        // processor `BTreeSet`, so the audit is allocation-free at steady
+        // state.
+        self.readers.fill(0);
+        self.writers.fill(0);
+        for ctx in &self.ctxs {
+            self.audit_reads.clear();
+            self.audit_writes.clear();
             for req in &ctx.requests {
                 match req {
-                    Request::Read { addr, .. } => {
-                        if seen_r.insert(*addr) {
-                            readers[*addr] += 1;
-                        }
-                    }
-                    Request::Write { addr, .. } => {
-                        if seen_w.insert(*addr) {
-                            writers[*addr] += 1;
-                        }
-                    }
+                    Request::Read { addr, .. } => self.audit_reads.push(*addr),
+                    Request::Write { addr, .. } => self.audit_writes.push(*addr),
                 }
             }
+            self.audit_reads.sort_unstable();
+            self.audit_reads.dedup();
+            self.audit_writes.sort_unstable();
+            self.audit_writes.dedup();
+            for &addr in &self.audit_reads {
+                self.readers[addr] += 1;
+            }
+            for &addr in &self.audit_writes {
+                self.writers[addr] += 1;
+            }
         }
-        let mut builder = ProfileBuilder::new();
+        // Check every location before recording anything into the persistent
+        // profile builder, so a rejected phase leaves it untouched.
         for addr in 0..size {
-            if readers[addr] > 0 && writers[addr] > 0 {
+            if self.readers[addr] > 0 && self.writers[addr] > 0 {
                 return Err(SimError::ReadWriteConflict { addr });
             }
+        }
+
+        // From here on everything is sequential and deterministic. Borrow
+        // the machine's parts individually so the serve loop can fill the
+        // arena while queueing pending responses.
+        let Self {
+            ref params,
+            ref mut shared,
+            ref mut read_results,
+            ref spare,
+            ref ctxs,
+            ref resolved,
+            ref fates,
+            ref stalled,
+            ref mut arena_counts,
+            ref readers,
+            ref writers,
+            ref mut pending_writes,
+            ref mut builder,
+            ref mut profiles,
+            phase: ref mut phase_idx,
+            ref sink,
+            ref trace_label,
+            ref mut pending_results,
+            ref mut pending_pool,
+            ref mut fault_stats,
+            ..
+        } = *self;
+
+        for addr in 0..size {
             let kappa = readers[addr].max(writers[addr]);
             if kappa > 0 {
                 builder.record_contention(kappa);
@@ -393,40 +502,73 @@ impl<S: Send + Sync> QsmMachine<S> {
         }
 
         // Stalled processors keep their unseen read results (consumed next
-        // phase instead).
+        // phase instead); they are retained ahead of this phase's serves.
         let mut counters = FaultCounters::default();
-        for (pid, &is_stalled) in stalled.iter().enumerate() {
-            if is_stalled {
-                self.read_results[pid].append(&mut prev_results[pid]);
-                self.fault_stats.stalled_steps += 1;
+        arena_counts.fill(0);
+        for pid in 0..p {
+            if stalled[pid] {
+                arena_counts[pid] += spare.len(pid);
+                fault_stats.stalled_steps += 1;
                 counters.stalled_procs += 1;
             }
         }
 
         // Responses the memory system is due to release this phase (queued
         // by earlier Delay/Duplicate fates).
-        let due: Vec<(Pid, ReadResult)> = self.pending_results.pop_front().unwrap_or_default();
+        let mut due: Vec<(Pid, ReadResult)> = pending_results.pop_front().unwrap_or_default();
+
+        // Counting pass: exact per-processor response counts (reads served
+        // now, by fate, plus due late responses) lay out the arena segments
+        // before any result moves.
+        for (pid, ctx) in ctxs.iter().enumerate() {
+            for (msg_idx, req) in ctx.requests.iter().enumerate() {
+                if let Request::Read { .. } = req {
+                    let fate = if hooked {
+                        fates[pid][msg_idx]
+                    } else {
+                        Fate::Deliver
+                    };
+                    match fate {
+                        Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
+                            arena_counts[pid] += 1
+                        }
+                        Fate::Drop | Fate::Delay(_) => {}
+                    }
+                }
+            }
+        }
+        for &(pid, _) in due.iter() {
+            arena_counts[pid] += 1;
+        }
+        read_results.begin(arena_counts);
+        for pid in 0..p {
+            if stalled[pid] {
+                for result in spare.inbox(pid) {
+                    read_results.place(pid, *result);
+                }
+            }
+        }
 
         // Serve reads against the pre-phase memory; collect writes.
         let mut total_reads = 0u64;
         let mut total_writes = 0u64;
         // (addr, pid, value): min-pid arbitration per address.
-        let mut pending_writes: Vec<(Addr, Pid, Word)> = Vec::new();
+        pending_writes.clear();
         for (pid, ctx) in ctxs.iter().enumerate() {
             let (r_i, w_i) = ctx.counts();
             builder.record_memory_ops(r_i, w_i);
             builder.record_work(ctx.work);
-            for (msg_idx, (req, &slot)) in
-                ctx.requests.iter().zip(resolved[pid].iter()).enumerate()
+            for (msg_idx, (req, &slot)) in ctx.requests.iter().zip(resolved[pid].iter()).enumerate()
             {
-                let fate = match &fates {
-                    Some(f) => f[pid][msg_idx],
-                    None => Fate::Deliver,
+                let fate = if hooked {
+                    fates[pid][msg_idx]
+                } else {
+                    Fate::Deliver
                 };
-                self.fault_stats.injected += 1;
+                fault_stats.injected += 1;
                 let charged_slot = match fate {
                     Fate::Displace(d) => {
-                        self.fault_stats.displaced += 1;
+                        fault_stats.displaced += 1;
                         counters.displaced += 1;
                         slot + d
                     }
@@ -434,30 +576,47 @@ impl<S: Send + Sync> QsmMachine<S> {
                 };
                 builder.record_injection(charged_slot);
                 if fate == Fate::Drop {
-                    self.fault_stats.dropped += 1;
+                    fault_stats.dropped += 1;
                     counters.dropped += 1;
                     continue;
                 }
                 match req {
                     Request::Read { addr, .. } => {
-                        let result = ReadResult { addr: *addr, value: self.shared[*addr] };
+                        let result = ReadResult {
+                            addr: *addr,
+                            value: shared[*addr],
+                        };
                         match fate {
                             Fate::Delay(k) => {
-                                self.queue_result(k.max(1), pid, result);
-                                self.fault_stats.delayed += 1;
+                                queue_result(
+                                    pending_results,
+                                    pending_pool,
+                                    fault_stats,
+                                    k.max(1),
+                                    pid,
+                                    result,
+                                );
+                                fault_stats.delayed += 1;
                                 counters.delayed += 1;
                             }
                             Fate::Duplicate => {
-                                self.read_results[pid].push(result);
-                                self.fault_stats.delivered += 1;
-                                self.queue_result(1, pid, result);
-                                self.fault_stats.duplicated += 1;
+                                read_results.place(pid, result);
+                                fault_stats.delivered += 1;
+                                queue_result(
+                                    pending_results,
+                                    pending_pool,
+                                    fault_stats,
+                                    1,
+                                    pid,
+                                    result,
+                                );
+                                fault_stats.duplicated += 1;
                                 counters.duplicated += 1;
                                 total_reads += 1;
                             }
                             _ => {
-                                self.read_results[pid].push(result);
-                                self.fault_stats.delivered += 1;
+                                read_results.place(pid, result);
+                                fault_stats.delivered += 1;
                                 total_reads += 1;
                             }
                         }
@@ -466,86 +625,114 @@ impl<S: Send + Sync> QsmMachine<S> {
                         // Delayed/duplicated writes are absorbed in order by
                         // the memory system (see `set_delivery_hook`).
                         pending_writes.push((*addr, pid, *value));
-                        self.fault_stats.delivered += 1;
+                        fault_stats.delivered += 1;
                         total_writes += 1;
                     }
                 }
             }
         }
         // Late responses land after this phase's on-time serves.
-        for (pid, result) in due {
-            self.read_results[pid].push(result);
-            self.fault_stats.delivered += 1;
-            self.fault_stats.in_flight -= 1;
+        for (pid, result) in due.drain(..) {
+            read_results.place(pid, result);
+            fault_stats.delivered += 1;
+            fault_stats.in_flight -= 1;
             counters.late_arrivals += 1;
             total_reads += 1;
         }
+        if due.capacity() > 0 && pending_pool.len() < RESULT_POOL_CAP {
+            pending_pool.push(due);
+        }
+        read_results.finish();
 
         // Arbitrary-rule write resolution: deterministic min-pid winner.
         // Sort by (addr, pid) and keep the first writer per address.
         pending_writes.sort_unstable_by_key(|&(addr, pid, _)| (addr, pid));
         let mut last_addr = usize::MAX;
-        for (addr, _pid, value) in pending_writes {
+        for &(addr, _pid, value) in pending_writes.iter() {
             if addr != last_addr {
-                self.shared[addr] = value;
+                shared[addr] = value;
                 last_addr = addr;
             }
         }
 
-        let profile = builder.build();
-        if self.sink.enabled() {
+        let profile = builder.snapshot_reset();
+        if sink.enabled() {
             let mut per_proc_sent = Vec::with_capacity(p);
             let mut per_proc_recv = Vec::with_capacity(p);
             for (pid, ctx) in ctxs.iter().enumerate() {
                 let (r_i, w_i) = ctx.counts();
                 per_proc_sent.push(r_i + w_i);
-                per_proc_recv.push(self.read_results[pid].len() as u64);
+                per_proc_recv.push(read_results.len(pid) as u64);
             }
             let mut ev = TraceEvent::for_superstep(
                 TraceSource::Qsm,
-                self.trace_label.clone(),
+                trace_label.clone(),
                 step,
-                self.params,
+                *params,
                 profile.clone(),
                 per_proc_sent,
                 per_proc_recv,
-                crate::max_slot_multiplicity(&resolved),
+                crate::max_slot_multiplicity(resolved),
                 total_reads + total_writes,
             );
-            if hook.is_some() {
+            if hooked {
                 ev = ev.with_faults(counters);
             }
-            self.sink.record(ev);
+            sink.record(ev);
         }
-        self.profiles.push(profile.clone());
-        self.phase += 1;
-        Ok(PhaseReport { profile, reads: total_reads, writes: total_writes })
-    }
-
-    /// Queue a read response for release `k ≥ 1` phases from now.
-    fn queue_result(&mut self, k: u32, pid: Pid, result: ReadResult) {
-        let idx = (k.max(1) - 1) as usize;
-        while self.pending_results.len() <= idx {
-            self.pending_results.push_back(Vec::new());
-        }
-        self.pending_results[idx].push((pid, result));
-        self.fault_stats.in_flight += 1;
+        profiles.push(profile.clone());
+        *phase_idx += 1;
+        Ok(PhaseReport {
+            profile,
+            reads: total_reads,
+            writes: total_writes,
+        })
     }
 }
 
-/// Assign injection slots: explicit slots honoured, autos fill earliest free.
-fn assign_slots(pid: Pid, slots: &[Option<u64>]) -> Result<Vec<u64>, SimError> {
+/// How many drained pending-response buffers a machine keeps for reuse.
+const RESULT_POOL_CAP: usize = 16;
+
+/// Queue a read response for release `k ≥ 1` phases from now, reusing
+/// drained level buffers from `pool`.
+fn queue_result(
+    pending_results: &mut VecDeque<Vec<(Pid, ReadResult)>>,
+    pool: &mut Vec<Vec<(Pid, ReadResult)>>,
+    fault_stats: &mut FaultStats,
+    k: u32,
+    pid: Pid,
+    result: ReadResult,
+) {
+    let idx = (k.max(1) - 1) as usize;
+    while pending_results.len() <= idx {
+        pending_results.push_back(pool.pop().unwrap_or_default());
+    }
+    pending_results[idx].push((pid, result));
+    fault_stats.in_flight += 1;
+}
+
+/// Assign injection slots into the recycled buffer `out`: explicit slots
+/// honoured, autos fill earliest free. All-auto phases (the common case) are
+/// allocation-free — an empty `BTreeSet` never allocates.
+fn assign_slots_into(pid: Pid, requests: &[Request], out: &mut Vec<u64>) -> Result<(), SimError> {
+    let slot_of = |req: &Request| match req {
+        Request::Read { slot, .. } | Request::Write { slot, .. } => *slot,
+    };
     let mut explicit: BTreeSet<u64> = BTreeSet::new();
-    for s in slots.iter().flatten() {
-        if !explicit.insert(*s) {
-            return Err(SimError::DuplicateSlot { pid, slot: *s });
+    for req in requests {
+        if let Some(s) = slot_of(req) {
+            if !explicit.insert(s) {
+                out.clear();
+                return Err(SimError::DuplicateSlot { pid, slot: s });
+            }
         }
     }
     let mut next_auto = 0u64;
-    let mut out = Vec::with_capacity(slots.len());
-    for s in slots {
-        match s {
-            Some(v) => out.push(*v),
+    out.clear();
+    out.reserve(requests.len());
+    for req in requests {
+        match slot_of(req) {
+            Some(v) => out.push(v),
             None => {
                 while explicit.contains(&next_auto) {
                     next_auto += 1;
@@ -555,7 +742,7 @@ fn assign_slots(pid: Pid, slots: &[Option<u64>]) -> Result<Vec<u64>, SimError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -662,7 +849,10 @@ mod tests {
         assert_eq!(m.cost(&qsm_g), 24.0);
         // QSM(m) with m = 1: injections are 4 per step for 6 steps →
         // c_m = Σ f(4) with m=1 exp = 6·e^3.
-        let qsm_m = QsmM { m: 1, penalty: PenaltyFn::Exponential };
+        let qsm_m = QsmM {
+            m: 1,
+            penalty: PenaltyFn::Exponential,
+        };
         let expect = 6.0 * (3.0f64).exp();
         assert!((m.cost(&qsm_m) - expect).abs() < 1e-9);
     }
@@ -676,7 +866,10 @@ mod tests {
         m.phase(|pid, _s, _res, ctx| ctx.read_at(pid, pid as u64));
         let prof = &m.profiles()[0];
         assert_eq!(prof.injections, vec![1; p]);
-        let qsm_m = QsmM { m: 1, penalty: PenaltyFn::Exponential };
+        let qsm_m = QsmM {
+            m: 1,
+            penalty: PenaltyFn::Exponential,
+        };
         assert_eq!(m.cost(&qsm_m), 8.0); // c_m = 8 slots · charge 1
     }
 
@@ -754,7 +947,10 @@ mod tests {
         assert_eq!(m.profiles()[0].injections.iter().sum::<u64>(), 4);
         m.phase(|pid, _s, res, _ctx| {
             if pid == 0 {
-                assert!(res.is_empty(), "dropped read must be observable as non-receipt");
+                assert!(
+                    res.is_empty(),
+                    "dropped read must be observable as non-receipt"
+                );
             }
         });
         assert_eq!(&m.shared()[1..4], &[0, 0, 0]);

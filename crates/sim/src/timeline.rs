@@ -30,21 +30,25 @@ pub fn utilization(profile: &SuperstepProfile, m: usize) -> Utilization {
     let steps = profile.injections.len();
     let total: u64 = profile.injections.iter().sum();
     let peak = profile.injections.iter().copied().max().unwrap_or(0);
-    let overloaded: u64 = profile
-        .injections
-        .iter()
-        .filter(|&&l| l > m as u64)
-        .sum();
+    let overloaded: u64 = profile.injections.iter().filter(|&&l| l > m as u64).sum();
     Utilization {
         steps,
-        mean_load: if steps == 0 { 0.0 } else { total as f64 / steps as f64 },
+        mean_load: if steps == 0 {
+            0.0
+        } else {
+            total as f64 / steps as f64
+        },
         peak_load: peak,
         utilization: if steps == 0 {
             0.0
         } else {
             total as f64 / (m as f64 * steps as f64)
         },
-        overload_mass: if total == 0 { 0.0 } else { overloaded as f64 / total as f64 },
+        overload_mass: if total == 0 {
+            0.0
+        } else {
+            overloaded as f64 / total as f64
+        },
     }
 }
 

@@ -155,10 +155,11 @@ impl TraceEvent {
     ) -> Self {
         let breakdown = Breakdown::of(params, &profile);
         let costs = CostSummary::price(params, std::slice::from_ref(&profile));
+        let penalty_table = PenaltyFn::Exponential.table(params.m);
         let slot_penalties = profile
             .injections
             .iter()
-            .map(|&m_t| PenaltyFn::Exponential.charge(m_t, params.m))
+            .map(|&m_t| penalty_table.charge(m_t))
             .collect();
         TraceEvent {
             source,
@@ -407,7 +408,9 @@ impl JsonlSink {
 
     /// Stream events into an arbitrary writer.
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
-        JsonlSink { writer: Mutex::new(BufWriter::new(writer)) }
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
     }
 
     /// Flush buffered lines to the underlying writer.
@@ -454,7 +457,9 @@ pub fn clear_global_sink() -> Option<Arc<dyn TraceSink>> {
 /// [`set_global_sink`] was called). Engines call this once in their
 /// constructors; per-superstep paths only touch the captured `Arc`.
 pub fn global_sink() -> Arc<dyn TraceSink> {
-    lock_unpoisoned(&GLOBAL_SINK).clone().unwrap_or_else(null_sink)
+    lock_unpoisoned(&GLOBAL_SINK)
+        .clone()
+        .unwrap_or_else(null_sink)
 }
 
 #[cfg(test)]
@@ -466,7 +471,9 @@ mod tests {
         let params = MachineParams::from_gap(64, 8, 16);
         let mut b = ProfileBuilder::new();
         b.record_work(5).record_traffic(3, 2);
-        b.record_injection(0).record_injection(0).record_injection(2);
+        b.record_injection(0)
+            .record_injection(0)
+            .record_injection(2);
         TraceEvent::for_superstep(
             TraceSource::Bsp,
             label,

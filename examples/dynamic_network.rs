@@ -9,8 +9,7 @@
 //! Run with: `cargo run --release --example dynamic_network`
 
 use parallel_bandwidth::adversary::{
-    Adversary, AlgorithmB, AqtParams, BspGIntervalRouter, ComplianceChecker,
-    SingleTargetAdversary,
+    Adversary, AlgorithmB, AqtParams, BspGIntervalRouter, ComplianceChecker, SingleTargetAdversary,
 };
 
 fn sparkline(values: &[f64], max: f64) -> String {
@@ -31,7 +30,11 @@ fn main() {
     // Local rate β = 2/g: double what BSP(g) can serve from one processor,
     // a quarter of what the aggregate bandwidth allows.
     let beta = 2.0 / g as f64;
-    let params = AqtParams { w, alpha: beta, beta };
+    let params = AqtParams {
+        w,
+        alpha: beta,
+        beta,
+    };
     println!("p = {p}, g = {g}, m = {m}; adversary: one source, rate β = {beta} = 2/g");
 
     // Verify the adversary actually honours its (w, α, β) restrictions.
@@ -48,10 +51,19 @@ fn main() {
     let mut adv = SingleTargetAdversary::new(p, params, 0);
     let trace_g = BspGIntervalRouter { p, g, l: 8, w }.run(&mut adv, intervals);
     let mut adv = SingleTargetAdversary::new(p, params, 0);
-    let trace_m = AlgorithmB { p, m, w, eps: 0.3, seed: 11 }.run(&mut adv, intervals);
+    let trace_m = AlgorithmB {
+        p,
+        m,
+        w,
+        eps: 0.3,
+        seed: 11,
+    }
+    .run(&mut adv, intervals);
 
     let downsample = |xs: &[f64]| -> Vec<f64> {
-        xs.chunks(xs.len() / 60).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+        xs.chunks(xs.len() / 60)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
     };
     let dg = downsample(&trace_g.backlog_time);
     let dm = downsample(&trace_m.backlog_time);
@@ -62,12 +74,20 @@ fn main() {
     println!(
         "\nBSP(g): growth {:+.2} time-units/interval → {}",
         trace_g.backlog_growth(),
-        if trace_g.looks_stable() { "stable" } else { "UNSTABLE (queue grows forever)" }
+        if trace_g.looks_stable() {
+            "stable"
+        } else {
+            "UNSTABLE (queue grows forever)"
+        }
     );
     println!(
         "BSP(m): growth {:+.2} time-units/interval → {} (mean batch service {:.1} of {} available)",
         trace_m.backlog_growth(),
-        if trace_m.looks_stable() { "stable" } else { "UNSTABLE" },
+        if trace_m.looks_stable() {
+            "stable"
+        } else {
+            "UNSTABLE"
+        },
         trace_m.mean_service(),
         w,
     );
@@ -75,7 +95,10 @@ fn main() {
         "\ndelivered: BSP(g) {}/{} vs BSP(m) {}/{}",
         trace_g.delivered, trace_g.injected, trace_m.delivered, trace_m.injected
     );
-    println!("\nThe locally-limited router drowns at β > 1/g = {:.3} even though the network", 1.0 / g as f64);
+    println!(
+        "\nThe locally-limited router drowns at β > 1/g = {:.3} even though the network",
+        1.0 / g as f64
+    );
     println!("as a whole is barely loaded; the globally-limited router is bounded only by the");
     println!("aggregate rate m/(1+ε) (Theorems 6.5 and 6.7).");
 }

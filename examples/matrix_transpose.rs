@@ -31,8 +31,17 @@ fn main() {
     assert!(out.measured.ok, "every block arrived intact");
     let nm = out.flits as f64 / mp.m as f64;
     println!("\nflits moved: {} (diagonal blocks stay local)", out.flits);
-    println!("BSP(m) cost: {:.0}  (n/m = {:.0} — within {:.2}x)", out.summary.bsp_m_exp, nm, out.summary.bsp_m_exp / nm);
-    println!("BSP(g) cost: {:.0}  (g·h = {:.0})", out.summary.bsp_g, (mp.g * (mp.p as u64 - 1) * b * b) as f64);
+    println!(
+        "BSP(m) cost: {:.0}  (n/m = {:.0} — within {:.2}x)",
+        out.summary.bsp_m_exp,
+        nm,
+        out.summary.bsp_m_exp / nm
+    );
+    println!(
+        "BSP(g) cost: {:.0}  (g·h = {:.0})",
+        out.summary.bsp_g,
+        (mp.g * (mp.p as u64 - 1) * b * b) as f64
+    );
     println!(
         "separation:  {:.2}x — ≈1: balanced traffic shows NO local-vs-global gap",
         out.summary.bsp_separation()
@@ -47,6 +56,9 @@ fn main() {
         te_summary.bsp_separation()
     );
     println!("\nContrast with `cargo run --example quickstart`, where a skewed relation");
-    println!("opens a full Θ(g) = {}x gap: the paper's thesis is exactly that the models", mp.g);
+    println!(
+        "opens a full Θ(g) = {}x gap: the paper's thesis is exactly that the models",
+        mp.g
+    );
     println!("diverge *only* under imbalance.");
 }

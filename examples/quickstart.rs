@@ -16,15 +16,16 @@
 use parallel_bandwidth::models::{bounds, MachineParams, PenaltyFn};
 use parallel_bandwidth::sched::exec::run_schedule_on_bsp;
 use parallel_bandwidth::sched::schedule::audit_schedule;
-use parallel_bandwidth::sim::timeline;
-use parallel_bandwidth::sched::schedulers::{
-    EagerSend, OfflineOptimal, Scheduler, UnbalancedSend,
-};
+use parallel_bandwidth::sched::schedulers::{EagerSend, OfflineOptimal, Scheduler, UnbalancedSend};
 use parallel_bandwidth::sched::{evaluate_schedule, workload};
+use parallel_bandwidth::sim::timeline;
 
 fn main() {
     let mp = MachineParams::from_bandwidth(512, 32, 16);
-    println!("machine: p = {}, m = {}, g = {}, L = {}", mp.p, mp.m, mp.g, mp.l);
+    println!(
+        "machine: p = {}, m = {}, g = {}, L = {}",
+        mp.p, mp.m, mp.g, mp.l
+    );
 
     // Processor 0 has 8192 messages to send (e.g. a skewed join output);
     // everyone else has 8.
@@ -43,14 +44,22 @@ fn main() {
 
     let mut breakdown_rows = Vec::new();
     for (name, schedule) in [
-        ("Unbalanced-Send (Thm 6.2)", UnbalancedSend::new(0.2).schedule(&wl, mp.m, 42)),
+        (
+            "Unbalanced-Send (Thm 6.2)",
+            UnbalancedSend::new(0.2).schedule(&wl, mp.m, 42),
+        ),
         ("offline optimal", OfflineOptimal.schedule(&wl, mp.m, 0)),
         ("eager (oblivious)", EagerSend.schedule(&wl, mp.m, 0)),
     ] {
         // Trace-audit the schedule: per-term cost decomposition plus which
         // term binds under each model.
         let audit = audit_schedule(&schedule, &wl, mp, name);
-        breakdown_rows.push((name, audit.breakdown, audit.dominant_bsp_g, audit.dominant_bsp_m));
+        breakdown_rows.push((
+            name,
+            audit.breakdown,
+            audit.dominant_bsp_g,
+            audit.dominant_bsp_m,
+        ));
         // Analytic pricing...
         let cost = evaluate_schedule(&schedule, &wl, mp.m, PenaltyFn::Exponential);
         // ...and a real end-to-end execution on the simulator, priced under
@@ -83,8 +92,15 @@ fn main() {
     for (name, b, dg, dm) in &breakdown_rows {
         println!(
             "  {:<26} {:>6.0} {:>8.0} {:>6.0} {:>10.3e} {:>6.0} {:>4.0}  {:>6} {:>6}",
-            name, b.work, b.local_traffic, b.global_traffic, b.bandwidth,
-            b.ss_bandwidth, b.latency, dg.to_string(), dm.to_string()
+            name,
+            b.work,
+            b.local_traffic,
+            b.global_traffic,
+            b.bandwidth,
+            b.ss_bandwidth,
+            b.latency,
+            dg.to_string(),
+            dm.to_string()
         );
     }
     println!();

@@ -73,7 +73,11 @@ fn main() {
         wl.xbar(),
         wl.ybar()
     );
-    println!("imbalance h/(n/p) = {:.2} — Θ(g) regime starts at {}\n", wl.imbalance(), mp.g);
+    println!(
+        "imbalance h/(n/p) = {:.2} — Θ(g) regime starts at {}\n",
+        wl.imbalance(),
+        mp.g
+    );
 
     let flit = UnbalancedFlitSend::new(0.25).schedule(&wl, mp.m, 7);
     let eager = EagerSend.schedule(&wl, mp.m, 0);

@@ -1,0 +1,206 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate for the superstep hot path.
+#
+# Runs the `engine_hotpath` Criterion bench (quick: 30 samples per
+# scenario), extracts each scenario's [min median max] timing triple, and
+# fails if any scenario's MINIMUM is more than THRESHOLD_PCT slower than
+# the checked-in baseline in BENCH_engine.json.
+#
+# Why gate on the minimum, not the median: on the shared 1-core CI
+# container, scheduler preemption inflates individual timed batches so
+# often that the median of 30 batches swings 30-100% run-to-run (measured
+# empirically — see DESIGN.md). The *minimum* batch time is the one
+# statistic preemption cannot inflate: it tracks how fast the code can go,
+# and it jitters only ~5-10% between runs. A real regression (e.g.
+# reintroducing a per-message allocation on the delivery path) slows every
+# batch, minimum included — so gating on the minimum loses no sensitivity,
+# only noise. Medians are still recorded in the baseline (median_ns /
+# seed_median_ns) as the before/after improvement history.
+#
+# Residual noise margin: even minimums occasionally catch a busy run
+# (observed up to ~+50% on one scenario in one run out of six). The 25%
+# threshold sits above the quiet-run jitter, and the gate additionally
+# retries the whole bench up to BENCH_GATE_RUNS times (default 3), passing
+# if any run is clean: a real regression fails every attempt, transient
+# load does not.
+#
+# Usage:
+#   scripts/bench_gate.sh                    # gate against BENCH_engine.json
+#   scripts/bench_gate.sh --refresh-baseline # rewrite median_ns from this run
+#                                            # (keeps seed_median_ns history)
+#   scripts/bench_gate.sh --self-test        # prove the gate trips on a
+#                                            # synthetic +50% slowdown
+#   BENCH_GATE_RUNS=1 scripts/bench_gate.sh  # disable the retry loop
+#
+# Baselines are recorded on the 1-core CI container with PBW_THREADS=1;
+# refresh the baseline from the same environment the gate runs in, never
+# from a fast developer machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_engine.json"
+THRESHOLD_PCT=25
+RUNS="${BENCH_GATE_RUNS:-3}"
+
+refresh=0
+selftest=0
+for arg in "$@"; do
+  case "$arg" in
+    --refresh-baseline) refresh=1 ;;
+    --self-test) selftest=1 ;;
+    *)
+      echo "usage: $0 [--refresh-baseline] [--self-test]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+command -v jq >/dev/null || {
+  echo "bench_gate: jq is required" >&2
+  exit 1
+}
+
+# Runs the bench once and fills $measured with "<name> <min_ns> <median_ns>"
+# triples. The Criterion shim prints one line per scenario:
+#   engine_hotpath/bsp_ring/p1024  time: [27.9 µs 28.9 µs 32.7 µs]
+measured=""
+run_bench() {
+  echo "== bench_gate: running engine_hotpath (PBW_THREADS=${PBW_THREADS:-1}) =="
+  local out
+  out="$(PBW_THREADS="${PBW_THREADS:-1}" cargo bench -q -p pbw-bench --bench engine_hotpath 2>&1)" || {
+    printf '%s\n' "$out" >&2
+    exit 1
+  }
+  printf '%s\n' "$out"
+  measured="$(printf '%s\n' "$out" | awk '
+    function factor(unit) {
+      if (unit == "ns") return 1
+      if (unit == "µs") return 1000
+      if (unit == "ms") return 1000000
+      if (unit == "s") return 1000000000
+      return 0
+    }
+    / time: \[/ {
+      name = $1
+      min = substr($3, 2)
+      fmin = factor($4)
+      med = $5
+      fmed = factor($6)
+      if (fmin == 0 || fmed == 0) next
+      printf "%s %.1f %.1f\n", name, min * fmin, med * fmed
+    }
+  ')"
+  [ -n "$measured" ] || {
+    echo "bench_gate: no 'time: [..]' lines in bench output" >&2
+    exit 1
+  }
+}
+
+if [ "$refresh" -eq 1 ]; then
+  run_bench
+  tmp="$(mktemp)"
+  if [ -s "$BASELINE" ]; then
+    cp "$BASELINE" "$tmp"
+  else
+    cat > "$tmp" << 'EOF'
+{
+  "benchmark": "engine_hotpath (crates/bench/benches/engine_hotpath.rs)",
+  "hardware_note": "Recorded on the 1-core CI container (nproc = 1) with PBW_THREADS=1. Refresh only from the environment the gate runs in.",
+  "host": { "nproc": 1, "os": "linux" },
+  "units": "nanoseconds per iteration; min_ns/median_ns are the first/middle values of the shim's [min median max] triple",
+  "gate": "scripts/bench_gate.sh fails if any scenario's minimum regresses by more than 25% vs min_ns (the median is too preemption-noisy on the shared 1-core container); median_ns and seed_median_ns keep the before/after improvement history",
+  "results": {}
+}
+EOF
+  fi
+  while read -r name min med; do
+    jq --arg k "$name" --argjson mn "$min" --argjson md "$med" \
+      '.results[$k] = { min_ns: $mn, median_ns: $md, seed_median_ns: (.results[$k].seed_median_ns // $md) }' \
+      "$tmp" > "$tmp.2" && mv "$tmp.2" "$tmp"
+  done <<< "$measured"
+  jq --argjson n "$(nproc)" '.host.nproc = $n' "$tmp" > "$tmp.2" && mv "$tmp.2" "$tmp"
+  mv "$tmp" "$BASELINE"
+  echo "bench_gate: baseline refreshed into $BASELINE"
+  exit 0
+fi
+
+[ -s "$BASELINE" ] || {
+  echo "bench_gate: $BASELINE missing or empty; run $0 --refresh-baseline" >&2
+  exit 1
+}
+baseline_pairs="$(jq -r '.results | to_entries[] | "\(.key) \(.value.min_ns)"' "$BASELINE")"
+[ -n "$baseline_pairs" ] || {
+  echo "bench_gate: no baselines in $BASELINE; run $0 --refresh-baseline" >&2
+  exit 1
+}
+
+# check <scale>: compare measured minimums (scaled, for the self-test)
+# against the baseline min_ns. Exits nonzero on any regression or
+# coverage gap.
+check() {
+  awk -v scale="$1" -v thr="$THRESHOLD_PCT" '
+    NR == FNR { base[$1] = $2; next }
+    { meas[$1] = $2 * scale }
+    END {
+      bad = 0
+      for (name in base) {
+        if (!(name in meas)) {
+          printf "bench_gate: FAIL %s: in baseline but not in bench output\n", name
+          bad = 1
+          continue
+        }
+        allowed = base[name] * (1 + thr / 100)
+        if (meas[name] > allowed) {
+          printf "bench_gate: FAIL %s: %.1f ns vs baseline %.1f ns (+%.1f%% > +%d%%)\n",
+            name, meas[name], base[name], (meas[name] / base[name] - 1) * 100, thr
+          bad = 1
+        } else {
+          printf "bench_gate: ok   %s: %.1f ns vs baseline %.1f ns (%+.1f%%)\n",
+            name, meas[name], base[name], (meas[name] / base[name] - 1) * 100
+        }
+      }
+      for (name in meas) {
+        if (!(name in base)) {
+          printf "bench_gate: FAIL %s: no baseline (run --refresh-baseline)\n", name
+          bad = 1
+        }
+      }
+      exit bad
+    }
+  ' <(printf '%s\n' "$baseline_pairs") <(printf '%s\n' "$measured")
+}
+
+# Run the bench up to $RUNS times; pass as soon as one run is clean.
+# Transient container load inflates whole runs, so a retry outlives it;
+# a genuine regression fails every attempt.
+gate_with_retries() {
+  local attempt
+  for attempt in $(seq 1 "$RUNS"); do
+    run_bench
+    if check 1.0; then
+      return 0
+    fi
+    if [ "$attempt" -lt "$RUNS" ]; then
+      echo "bench_gate: attempt $attempt/$RUNS regressed; retrying (transient load?)"
+    fi
+  done
+  return 1
+}
+
+if [ "$selftest" -eq 1 ]; then
+  echo "== bench_gate --self-test: shipped code must pass =="
+  gate_with_retries || {
+    echo "bench_gate self-test: shipped code failed the gate" >&2
+    exit 1
+  }
+  echo "== bench_gate --self-test: a synthetic +50% slowdown must fail =="
+  if check 1.5; then
+    echo "bench_gate self-test: synthetic slowdown was NOT caught" >&2
+    exit 1
+  fi
+  echo "bench_gate self-test: gate passes shipped code and catches a synthetic +50% slowdown"
+  exit 0
+fi
+
+gate_with_retries || exit 1
+echo "bench_gate: all scenario minimums within +${THRESHOLD_PCT}% of $BASELINE"

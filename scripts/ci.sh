@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
 echo "== build (release) =="
 cargo build --workspace --release
 
@@ -15,6 +18,13 @@ PBW_THREADS=1 cargo test --workspace -q
 
 echo "== tests (PBW_THREADS=8) =="
 PBW_THREADS=8 cargo test --workspace -q
+
+# Dedicated rerun of the stress smoke tier (release, extra-downscaled to
+# stay fast) so a scaling regression in the arena/delivery path fails a
+# step attributed to the stress tier rather than drowning in the workspace
+# suites. The #[ignore]d heavy tier stays opt-in.
+echo "== stress smoke (PBW_STRESS_SCALE=32) =="
+PBW_STRESS_SCALE=32 cargo test --release -q --test stress
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -40,8 +50,14 @@ echo "ok: $(wc -l < "$fault_a") fault-run trace events, replayed bit-identically
 echo "== cross-thread-count determinism: same seed, widths 1 vs 8 =="
 PBW_THREADS=1 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w1" faults >/dev/null
 PBW_THREADS=8 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w8" faults >/dev/null
+# Guard against the vacuous pass: if tracing silently broke and both files
+# are empty, diff would succeed while proving nothing.
+[ -s "$fault_w1" ] || { echo "width-1 fault trace is empty" >&2; exit 1; }
 diff -q "$fault_w1" "$fault_w8" || { echo "fault traces differ between 1 and 8 threads" >&2; exit 1; }
 echo "ok: fault-run trace is byte-identical at PBW_THREADS=1 and PBW_THREADS=8"
+
+echo "== benchmark regression gate =="
+scripts/bench_gate.sh
 
 # ThreadSanitizer needs -Zbuild-std (so std itself is instrumented), which
 # needs the rust-src component — unavailable offline. Run the race check

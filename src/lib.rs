@@ -58,8 +58,8 @@ pub mod prelude {
         Adversary, AlgorithmB, AqtParams, BackpressureConfig, ShedPolicy, SteadyAdversary,
     };
     pub use pbw_core::schedulers::{
-        EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend,
-        UnbalancedGranularSend, UnbalancedSend,
+        EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend, UnbalancedGranularSend,
+        UnbalancedSend,
     };
     pub use pbw_core::{
         evaluate_schedule, run_with_recovery, validate_schedule, workload, RecoveryConfig,
@@ -69,16 +69,16 @@ pub mod prelude {
     pub use pbw_models::{
         BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM, SuperstepProfile,
     };
-    pub use pbw_sim::{BspMachine, CostSummary, DeliveryHook, FaultStats, Fate, QsmMachine};
+    pub use pbw_sim::{BspMachine, CostSummary, DeliveryHook, Fate, FaultStats, QsmMachine};
     pub use pbw_trace::{
         FaultCounters, JsonlSink, NullSink, RecordingSink, TraceEvent, TraceSink, TraceSource,
     };
 }
 
 pub use pbw_adversary as adversary;
-pub use pbw_faults as faults;
 pub use pbw_algos as algos;
 pub use pbw_core as sched;
+pub use pbw_faults as faults;
 pub use pbw_models as models;
 pub use pbw_pram as pram;
 pub use pbw_sim as sim;

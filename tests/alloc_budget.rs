@@ -1,0 +1,211 @@
+//! Allocation budget for the superstep hot path.
+//!
+//! The delivery paths of [`pbw_sim::BspMachine`], [`pbw_sim::QsmMachine`]
+//! and [`pbw_pram::Pram`] are designed to be allocation-free at steady
+//! state: message arenas, outboxes, contexts, slot tables and audit scratch
+//! are all recycled, so once every recycled buffer has grown to its working
+//! size, a superstep performs a *constant* number of heap allocations no
+//! matter how many messages it moves.
+//!
+//! This suite proves that contract with a counting [`GlobalAlloc`] wrapper:
+//! for each engine it measures allocations per superstep at a small and at a
+//! 16× larger message volume (after a warmup that lets the recycled buffers
+//! reach their high-water marks) and asserts the two counts are *equal* —
+//! O(1) in volume — and under a small absolute budget. The remaining
+//! constant is the per-superstep profile snapshot (one `SuperstepProfile`
+//! clone) plus the thread-pool dispatch (O(threads), volume-independent),
+//! which the second test bounds at a parallel pool width too.
+//!
+//! The whole suite lives in one `#[test]` per pool width: the counter is
+//! process-global, so measured sections must not run concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use parallel_bandwidth::models::MachineParams;
+use parallel_bandwidth::pram::{AccessMode, Pram};
+use parallel_bandwidth::sim::{BspMachine, QsmMachine};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator (deallocations are free and irrelevant to the budget).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const P: usize = 64;
+const WARMUP: u64 = 8;
+const MEASURED: u64 = 16;
+
+/// Allocations per steady-state BSP superstep at the given per-processor
+/// fanout (messages per processor per superstep).
+fn bsp_allocs_per_superstep(fanout: usize) -> u64 {
+    let mp = MachineParams::from_gap(P, 2, 4);
+    let mut bsp: BspMachine<u64, u64> = BspMachine::new(mp, |pid| pid as u64);
+    let round = |bsp: &mut BspMachine<u64, u64>| {
+        bsp.superstep(|pid, state, inbox, out| {
+            *state = state.wrapping_add(inbox.iter().sum::<u64>());
+            for k in 0..fanout {
+                out.send((pid + k + 1) % P, (pid * fanout + k) as u64);
+            }
+        });
+    };
+    for _ in 0..WARMUP {
+        round(&mut bsp);
+    }
+    let before = allocs();
+    for _ in 0..MEASURED {
+        round(&mut bsp);
+    }
+    (allocs() - before) / MEASURED
+}
+
+/// Allocations per steady-state QSM phase at the given per-processor
+/// read+write request count.
+fn qsm_allocs_per_phase(reqs: usize) -> u64 {
+    let mp = MachineParams::from_gap(P, 2, 4);
+    // Reads target the upper half of shared memory, writes the lower half,
+    // so no location is ever both read and written in one phase.
+    let mut qsm: QsmMachine<u64> = QsmMachine::new(mp, 2 * P, |pid| pid as u64);
+    let round = |qsm: &mut QsmMachine<u64>| {
+        qsm.phase(|pid, state, results, ctx| {
+            *state = state.wrapping_add(results.len() as u64);
+            for k in 0..reqs {
+                ctx.read(P + (pid + k) % P);
+                ctx.write(pid, k as i64);
+            }
+        });
+    };
+    for _ in 0..WARMUP {
+        round(&mut qsm);
+    }
+    let before = allocs();
+    for _ in 0..MEASURED {
+        round(&mut qsm);
+    }
+    (allocs() - before) / MEASURED
+}
+
+/// Allocations per steady-state PRAM step at the given per-processor
+/// operation count.
+fn pram_allocs_per_step(ops: usize) -> u64 {
+    let mut pram = Pram::new(AccessMode::Erew, P);
+    let round = |pram: &mut Pram| {
+        pram.step(P, |pid, ctx| {
+            // Re-reading one's own cell is legal under EREW and scales the
+            // access volume without changing the access pattern.
+            let mut v = 0;
+            for _ in 0..ops {
+                v = ctx.read(pid);
+            }
+            ctx.write(pid, v + 1);
+        });
+    };
+    for _ in 0..WARMUP {
+        round(&mut pram);
+    }
+    let before = allocs();
+    for _ in 0..MEASURED {
+        round(&mut pram);
+    }
+    (allocs() - before) / MEASURED
+}
+
+/// Per-superstep allocation count must not grow with message volume, and
+/// must stay under a small absolute budget. `budget` covers the profile
+/// snapshot, the amortized `profiles` push and the pool dispatch; it is
+/// deliberately generous so the test fails on O(volume) regressions, not on
+/// constant-factor drift.
+fn assert_o1(engine: &str, low: u64, high: u64, budget: u64) {
+    assert_eq!(
+        low, high,
+        "{engine}: allocations per superstep grew with message volume \
+         ({low} at 1x vs {high} at 16x)"
+    );
+    assert!(
+        high <= budget,
+        "{engine}: {high} allocations per superstep exceeds the budget of {budget}"
+    );
+}
+
+/// Serializes the two pool-width tests: the allocation counter is
+/// process-global, so concurrent measurements would pollute each other.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn steady_state_supersteps_allocate_o1_sequential() {
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| {
+            assert_o1(
+                "bsp",
+                bsp_allocs_per_superstep(1),
+                bsp_allocs_per_superstep(16),
+                16,
+            );
+            assert_o1("qsm", qsm_allocs_per_phase(1), qsm_allocs_per_phase(16), 16);
+            assert_o1(
+                "pram",
+                pram_allocs_per_step(1),
+                pram_allocs_per_step(16),
+                16,
+            );
+        });
+}
+
+#[test]
+fn steady_state_supersteps_allocate_o1_parallel() {
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap()
+        .install(|| {
+            // The pool dispatch allocates O(threads) per parallel pass — still
+            // independent of message volume.
+            assert_o1(
+                "bsp",
+                bsp_allocs_per_superstep(1),
+                bsp_allocs_per_superstep(16),
+                256,
+            );
+            assert_o1(
+                "qsm",
+                qsm_allocs_per_phase(1),
+                qsm_allocs_per_phase(16),
+                256,
+            );
+            assert_o1(
+                "pram",
+                pram_allocs_per_step(1),
+                pram_allocs_per_step(16),
+                256,
+            );
+        });
+}

@@ -5,7 +5,7 @@
 use parallel_bandwidth::models::{MachineParams, PenaltyFn};
 use parallel_bandwidth::pram::{AccessMode, Pram, PramError};
 use parallel_bandwidth::sched::schedulers::{Scheduler, UnbalancedSend};
-use parallel_bandwidth::sched::{evaluate_schedule, validate_schedule, Schedule, workload};
+use parallel_bandwidth::sched::{evaluate_schedule, validate_schedule, workload, Schedule};
 use parallel_bandwidth::sim::{BspMachine, QsmMachine, SimError};
 
 #[test]
@@ -48,7 +48,13 @@ fn pram_erew_violations_are_precise() {
     let err = pram.try_step(5, |_pid, ctx| {
         ctx.read(2);
     });
-    assert_eq!(err.unwrap_err(), PramError::ReadConflict { addr: 2, contention: 5 });
+    assert_eq!(
+        err.unwrap_err(),
+        PramError::ReadConflict {
+            addr: 2,
+            contention: 5
+        }
+    );
     // Same program is legal under CRCW and QRQW.
     let mut crcw = Pram::new(AccessMode::CrcwArbitrary, 8);
     assert!(crcw
@@ -84,7 +90,9 @@ fn extreme_overload_saturates_instead_of_panicking() {
     // astronomically large but finite (saturating), and ordering survives.
     let p = 64usize;
     let wl = workload::permutation(p, 2);
-    let sched = Schedule { starts: vec![vec![0]; p] };
+    let sched = Schedule {
+        starts: vec![vec![0]; p],
+    };
     let cost = evaluate_schedule(&sched, &wl, 1, PenaltyFn::Exponential);
     assert!(cost.c_m.is_finite());
     assert!(cost.c_m > 1e20);
@@ -96,7 +104,11 @@ fn extreme_overload_saturates_instead_of_panicking() {
 #[test]
 fn adversary_noncompliance_is_detected() {
     use parallel_bandwidth::adversary::{AqtParams, ComplianceChecker};
-    let params = AqtParams { w: 8, alpha: 1.0, beta: 0.25 };
+    let params = AqtParams {
+        w: 8,
+        alpha: 1.0,
+        beta: 0.25,
+    };
     let mut checker = ComplianceChecker::new(8, params);
     // A rogue stream: source 0 floods.
     for _ in 0..8 {
@@ -136,17 +148,17 @@ fn timeline_flags_overloads_that_penalties_price() {
     let p = 64usize;
     let m = 8usize;
     let wl = workload::uniform_random(p, 16, 2);
-    let eager = parallel_bandwidth::sched::schedule::to_profile(
-        &EagerSend.schedule(&wl, m, 0),
-        &wl,
-    );
-    let good = parallel_bandwidth::sched::schedule::to_profile(
-        &OfflineOptimal.schedule(&wl, m, 1),
-        &wl,
-    );
+    let eager =
+        parallel_bandwidth::sched::schedule::to_profile(&EagerSend.schedule(&wl, m, 0), &wl);
+    let good =
+        parallel_bandwidth::sched::schedule::to_profile(&OfflineOptimal.schedule(&wl, m, 1), &wl);
     let u_eager = timeline::utilization(&eager, m);
     let u_good = timeline::utilization(&good, m);
-    assert!(u_eager.overload_mass > 0.9, "eager mass {}", u_eager.overload_mass);
+    assert!(
+        u_eager.overload_mass > 0.9,
+        "eager mass {}",
+        u_eager.overload_mass
+    );
     assert_eq!(u_good.overload_mass, 0.0);
     assert!(timeline::render_strip(&eager, m, 40).contains('!'));
     assert!(!timeline::render_strip(&good, m, 40).contains('!'));

@@ -51,7 +51,12 @@ fn unbalanced_send_beats_oblivious_by_orders_of_magnitude() {
         assert!(us.ratio_to_opt < 1.5, "ratio {}", us.ratio_to_opt);
         // With p/m = 4 the first eager steps carry ~4m: penalty e^3 each —
         // strictly worse than the scheduled run.
-        assert!(eager.c_m > us.c_m, "eager {} vs scheduled {}", eager.c_m, us.c_m);
+        assert!(
+            eager.c_m > us.c_m,
+            "eager {} vs scheduled {}",
+            eager.c_m,
+            us.c_m
+        );
     }
 }
 
@@ -75,11 +80,22 @@ fn dynamic_stability_crossover() {
     let (p, g, w) = (64usize, 8u64, 64u64);
     let m = p / g as usize;
     let beta = 2.0 / g as f64;
-    let params = AqtParams { w, alpha: beta, beta };
+    let params = AqtParams {
+        w,
+        alpha: beta,
+        beta,
+    };
     let mut a1 = SingleTargetAdversary::new(p, params, 0);
     let tg = BspGIntervalRouter { p, g, l: 8, w }.run(&mut a1, 300);
     let mut a2 = SingleTargetAdversary::new(p, params, 0);
-    let tm = AlgorithmB { p, m, w, eps: 0.3, seed: 3 }.run(&mut a2, 300);
+    let tm = AlgorithmB {
+        p,
+        m,
+        w,
+        eps: 0.3,
+        seed: 3,
+    }
+    .run(&mut a2, 300);
     assert!(!tg.looks_stable(), "BSP(g) should sink at β = 2/g");
     assert!(tm.looks_stable(), "BSP(m) should absorb β = 2/g");
 }
@@ -124,8 +140,14 @@ fn gvsm_routing_breakdown_shows_binding_terms() {
     // Global restriction (self-scheduling BSP(m)): n/m binds — it exceeds
     // the per-processor h, the work term and the latency.
     assert_eq!(b.ss_bandwidth, wl.n_flits() as f64 / mp.m as f64);
-    assert!(b.ss_bandwidth > b.global_traffic, "need n/m > h for this regime");
-    assert_eq!(audit.breakdown.dominant_self_scheduling(), Dominant::Bandwidth);
+    assert!(
+        b.ss_bandwidth > b.global_traffic,
+        "need n/m > h for this regime"
+    );
+    assert_eq!(
+        audit.breakdown.dominant_self_scheduling(),
+        Dominant::Bandwidth
+    );
 
     // The term-level routing gap is the paper's Θ(g) separation.
     let gap = b.local_traffic / b.ss_bandwidth;
@@ -147,8 +169,7 @@ fn g_model_never_beats_m_model_on_same_run() {
         workload::total_exchange(mp.p),
     ] {
         // Use the offline schedule so BSP(m) is not penalized.
-        let sched =
-            parallel_bandwidth::sched::schedulers::OfflineOptimal.schedule(&wl, mp.m, 0);
+        let sched = parallel_bandwidth::sched::schedulers::OfflineOptimal.schedule(&wl, mp.m, 0);
         let exec = parallel_bandwidth::sched::exec::run_schedule_on_bsp(&wl, &sched, mp);
         assert!(
             exec.summary.bsp_m_exp <= exec.summary.bsp_g + 1e-9,

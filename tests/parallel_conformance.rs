@@ -20,15 +20,14 @@
 use std::sync::Arc;
 
 use parallel_bandwidth::models::MachineParams;
+use parallel_bandwidth::models::PenaltyFn;
 use parallel_bandwidth::pram::{AccessMode, Pram};
+use parallel_bandwidth::prelude::{FaultPlan, FaultSpec};
 use parallel_bandwidth::sched::schedule::audit_schedule;
 use parallel_bandwidth::sched::schedulers::{Scheduler, UnbalancedSend};
 use parallel_bandwidth::sched::{
-    evaluate_schedule, recovery::run_with_recovery_to, validate_schedule, workload,
-    RecoveryConfig,
+    evaluate_schedule, recovery::run_with_recovery_to, validate_schedule, workload, RecoveryConfig,
 };
-use parallel_bandwidth::models::PenaltyFn;
-use parallel_bandwidth::prelude::{FaultPlan, FaultSpec};
 use parallel_bandwidth::sim::{BspMachine, DeliveryHook, QsmMachine};
 use parallel_bandwidth::trace::{RecordingSink, TraceEvent, TraceSink};
 use proptest::prelude::*;
@@ -71,10 +70,13 @@ fn render_bsp(p: usize, supersteps: usize, phi: f64, seed: u64) -> String {
     let params = MachineParams::from_gap(p, 4, 8);
     let sink = Arc::new(RecordingSink::new());
     let mut machine: BspMachine<u64, u64> = BspMachine::new(params, |pid| pid as u64);
-    machine.set_sink(sink.clone()).set_trace_label("par-conf-bsp");
+    machine
+        .set_sink(sink.clone())
+        .set_trace_label("par-conf-bsp");
     if phi > 0.0 {
-        machine.set_delivery_hook(Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed))
-            as Arc<dyn DeliveryHook>);
+        machine.set_delivery_hook(
+            Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed)) as Arc<dyn DeliveryHook>
+        );
     }
     for s in 0..supersteps {
         machine.superstep(|pid, state, inbox, out| {
@@ -102,8 +104,9 @@ fn render_qsm(p: usize, phases: usize, phi: f64, seed: u64) -> String {
     let mut qsm: QsmMachine<i64> = QsmMachine::new(params, 2 * p, |pid| pid as i64);
     qsm.set_sink(sink.clone()).set_trace_label("par-conf-qsm");
     if phi > 0.0 {
-        qsm.set_delivery_hook(Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed))
-            as Arc<dyn DeliveryHook>);
+        qsm.set_delivery_hook(
+            Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), seed)) as Arc<dyn DeliveryHook>
+        );
     }
     for ph in 0..phases {
         if ph % 2 == 0 {

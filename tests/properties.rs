@@ -14,11 +14,8 @@ use proptest::prelude::*;
 
 /// An arbitrary unit-message workload over `p` processors.
 fn unit_workload(p: usize, max_msgs: usize) -> impl Strategy<Value = Workload> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..p, 0..max_msgs),
-        p..=p,
-    )
-    .prop_map(Workload::from_dests)
+    proptest::collection::vec(proptest::collection::vec(0..p, 0..max_msgs), p..=p)
+        .prop_map(Workload::from_dests)
 }
 
 /// An arbitrary variable-length workload.
@@ -377,5 +374,46 @@ proptest! {
         use parallel_bandwidth::pram::{hrelation, hrelation_rand};
         let out = hrelation_rand::realize_randomized(&sends, seed);
         prop_assert!(hrelation::check_delivery(&sends, &out));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The memoized penalty table ([`PenaltyFn::table`]) is bit-exact
+    /// against direct computation for every load in and beyond its span —
+    /// the table is built by calling `charge` itself, so any divergence
+    /// (recomputation, rounding, wrong span handling) is a bug in the
+    /// memoization layer, not floating-point noise. Covers both penalty
+    /// variants and the out-of-span fallback path.
+    #[test]
+    fn penalty_table_bit_exact_vs_direct(
+        m in 1usize..128,
+        linear in any::<bool>(),
+        probe in 0u64..32,
+    ) {
+        let penalty = if linear { PenaltyFn::Linear } else { PenaltyFn::Exponential };
+        let table = penalty.table(m);
+        // Every load inside the memoized span 0..=8·m…
+        for m_t in 0..=(8 * m as u64) {
+            prop_assert_eq!(
+                table.charge(m_t).to_bits(),
+                penalty.charge(m_t, m).to_bits(),
+                "span load {} at m={}", m_t, m
+            );
+        }
+        // …and a probe beyond it (the direct-compute fallback).
+        let beyond = 8 * m as u64 + 1 + probe;
+        prop_assert_eq!(
+            table.charge(beyond).to_bits(),
+            penalty.charge(beyond, m).to_bits(),
+            "fallback load {} at m={}", beyond, m
+        );
+        // The histogram-summing entry point agrees too.
+        let loads: Vec<u64> = (0..=(4 * m as u64)).chain([beyond]).collect();
+        prop_assert_eq!(
+            table.total_charge(&loads).to_bits(),
+            loads.iter().map(|&l| penalty.charge(l, m)).sum::<f64>().to_bits()
+        );
     }
 }

@@ -44,7 +44,11 @@ fn engine_end_to_end(scale: u64) {
     let sched = UnbalancedSend::new(0.2).schedule(&wl, mp.m, 3);
     let exec = parallel_bandwidth::sched::exec::run_schedule_on_bsp(&wl, &sched, mp);
     let floor = if scale == 1 { 8.0 } else { 2.0 };
-    assert!(exec.summary.bsp_separation() > floor, "sep {}", exec.summary.bsp_separation());
+    assert!(
+        exec.summary.bsp_separation() > floor,
+        "sep {}",
+        exec.summary.bsp_separation()
+    );
 }
 
 fn sort_many_keys(scale: u64) {
@@ -53,18 +57,30 @@ fn sort_many_keys(scale: u64) {
     let per_proc = (256 / scale).max(16) as usize;
     let mp = MachineParams::from_gap(p, 8, 4);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
-    let keys: Vec<i64> =
-        (0..p * per_proc).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+    let keys: Vec<i64> = (0..p * per_proc)
+        .map(|_| rng.gen_range(-1_000_000..1_000_000))
+        .collect();
     let r = parallel_bandwidth::algos::sort::qsm_m(mp, &keys);
     assert!(r.ok);
 }
 
 fn dynamic_router_long_run(scale: u64) {
     let (p, m, w) = (64usize, 8usize, 64u64);
-    let params = AqtParams { w, alpha: 4.0, beta: 0.25 };
+    let params = AqtParams {
+        w,
+        alpha: 4.0,
+        beta: 0.25,
+    };
     let mut adv = SteadyAdversary::new(p, params);
     let intervals = (10_000 / scale).max(200);
-    let trace = AlgorithmB { p, m, w, eps: 0.3, seed: 5 }.run(&mut adv, intervals);
+    let trace = AlgorithmB {
+        p,
+        m,
+        w,
+        eps: 0.3,
+        seed: 5,
+    }
+    .run(&mut adv, intervals);
     assert!(trace.looks_stable());
     // Conservation at scale.
     let pending = *trace.queue_msgs.last().unwrap();

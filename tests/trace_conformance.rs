@@ -34,8 +34,14 @@ fn assert_conserves_messages(ev: &TraceEvent) {
     );
     let sent: u64 = ev.per_proc_sent.iter().sum();
     let recv: u64 = ev.per_proc_recv.iter().sum();
-    assert_eq!(sent, ev.delivered, "per-proc sends disagree with deliveries");
-    assert_eq!(recv, ev.delivered, "per-proc receives disagree with deliveries");
+    assert_eq!(
+        sent, ev.delivered,
+        "per-proc sends disagree with deliveries"
+    );
+    assert_eq!(
+        recv, ev.delivered,
+        "per-proc receives disagree with deliveries"
+    );
 }
 
 /// Skewed BSP run: a hot sender spraying `hot` messages (pipelined slots)
@@ -98,10 +104,24 @@ fn bsp_costs_recomputed_from_trace_match_engine_totals() {
     // engine for its own totals — they must agree exactly (same floats, same
     // summation order).
     let models: Vec<Box<dyn CostModel>> = vec![
-        Box::new(BspG { g: params.g, l: params.l }),
-        Box::new(BspM { m: params.m, l: params.l, penalty: PenaltyFn::Linear }),
-        Box::new(BspM { m: params.m, l: params.l, penalty: PenaltyFn::Exponential }),
-        Box::new(SelfSchedulingBspM { m: params.m, l: params.l }),
+        Box::new(BspG {
+            g: params.g,
+            l: params.l,
+        }),
+        Box::new(BspM {
+            m: params.m,
+            l: params.l,
+            penalty: PenaltyFn::Linear,
+        }),
+        Box::new(BspM {
+            m: params.m,
+            l: params.l,
+            penalty: PenaltyFn::Exponential,
+        }),
+        Box::new(SelfSchedulingBspM {
+            m: params.m,
+            l: params.l,
+        }),
     ];
     for model in &models {
         let from_trace = model.run_cost(&profiles);
@@ -129,7 +149,8 @@ fn qsm_trace_conserves_requests_and_reprices_exactly() {
     let p = params.p;
     let sink = Arc::new(RecordingSink::new());
     let mut qsm: QsmMachine<i64> = QsmMachine::new(params, 2 * p, |_| 0);
-    qsm.set_sink(sink.clone()).set_trace_label("conformance-qsm");
+    qsm.set_sink(sink.clone())
+        .set_trace_label("conformance-qsm");
     qsm.phase(|pid, _s, _res, ctx| ctx.write(pid, pid as i64));
     qsm.phase(|pid, _s, _res, ctx| ctx.read(pid / 8));
     qsm.phase(|pid, _s, _res, ctx| {
@@ -157,8 +178,14 @@ fn qsm_trace_conserves_requests_and_reprices_exactly() {
     let profiles: Vec<_> = events.iter().map(|ev| ev.profile.clone()).collect();
     let models: Vec<Box<dyn CostModel>> = vec![
         Box::new(QsmG { g: params.g }),
-        Box::new(QsmM { m: params.m, penalty: PenaltyFn::Linear }),
-        Box::new(QsmM { m: params.m, penalty: PenaltyFn::Exponential }),
+        Box::new(QsmM {
+            m: params.m,
+            penalty: PenaltyFn::Linear,
+        }),
+        Box::new(QsmM {
+            m: params.m,
+            penalty: PenaltyFn::Exponential,
+        }),
     ];
     for model in &models {
         assert_eq!(
@@ -178,8 +205,7 @@ fn trace_breakdown_slot_penalties_sum_to_bandwidth_term() {
     for ev in sink.take() {
         assert_eq!(ev.slot_penalties.len(), ev.profile.injections.len());
         let total: f64 = ev.slot_penalties.iter().sum();
-        let expect =
-            PenaltyFn::Exponential.total_charge(&ev.profile.injections, params.m);
+        let expect = PenaltyFn::Exponential.total_charge(&ev.profile.injections, params.m);
         assert!(
             (total - expect).abs() <= 1e-9 * expect.max(1.0),
             "slot penalties sum {total} != c_m {expect}"
