@@ -19,7 +19,7 @@
 
 use crate::Measured;
 use pbw_models::{BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM};
-use pbw_sim::{BspMachine, QsmMachine, Word};
+use pbw_sim::{BspMachine, Outbox, QsmMachine, Word};
 
 const MAGIC: Word = 4242;
 
@@ -238,7 +238,7 @@ pub fn bsp_g(params: MachineParams) -> Measured {
     while known < p {
         let k = known;
         let upper = (k * (f + 1)).min(p);
-        bsp.superstep(move |pid, s, _in, out| {
+        let send = move |pid: usize, s: &mut Option<Word>, _in: &[Word], out: &mut Outbox<Word>| {
             if pid < k {
                 if let Some(v) = *s {
                     let mut child = pid + k;
@@ -248,14 +248,29 @@ pub fn bsp_g(params: MachineParams) -> Measured {
                     }
                 }
             }
-        });
-        bsp.superstep(move |pid, s, inbox, _out| {
-            if pid >= k && s.is_none() {
-                if let Some(&v) = inbox.first() {
-                    *s = Some(v);
+        };
+        let absorb =
+            move |pid: usize, s: &mut Option<Word>, inbox: &[Word], _out: &mut Outbox<Word>| {
+                if pid >= k && s.is_none() {
+                    if let Some(&v) = inbox.first() {
+                        *s = Some(v);
+                    }
                 }
-            }
-        });
+            };
+        // Early rounds are the sparse regime the active-set path exists
+        // for: only `k` senders out of `p`, and the absorb superstep's
+        // frontier is discovered from the retained inboxes alone.
+        if k * 4 <= p {
+            let active: Vec<usize> = (0..k).collect();
+            bsp.superstep_active(&active, send);
+        } else {
+            bsp.superstep(send);
+        }
+        if (upper - k) * 4 <= p {
+            bsp.superstep_active(&[], absorb);
+        } else {
+            bsp.superstep(absorb);
+        }
         known = upper;
         rounds += 1;
     }

@@ -242,13 +242,22 @@ fn send_round(
     schedule: &Schedule,
     tags: &[Vec<Vec<FlitTag>>],
 ) {
-    machine.superstep(|pid, _s, _in, out: &mut Outbox<FlitTag>| {
+    let body = |pid: Pid, _s: &mut (), _in: &[FlitTag], out: &mut Outbox<FlitTag>| {
         for (k, (msg, &start)) in wl.msgs(pid).iter().zip(&schedule.starts[pid]).enumerate() {
             for (f, &tag) in tags[pid][k].iter().enumerate() {
                 out.send_at(msg.dest, tag, start + f as u64);
             }
         }
-    });
+    };
+    // Retransmission residuals are sparse by construction (a handful of
+    // lossy edges out of p processors); route them through the active-set
+    // path so recovery rounds cost O(senders + flits), not O(p).
+    let active = wl.active_senders();
+    if active.len() * 4 <= wl.p() {
+        machine.superstep_active(&active, body);
+    } else {
+        machine.superstep(body);
+    }
 }
 
 /// Run `wl` to completion over a (possibly faulty) network, retransmitting
@@ -331,18 +340,26 @@ pub fn run_with_recovery_to(
         if cfg.charge_acks {
             let acks = ledger.ack_targets(wl);
             machine.set_trace_label(format!("recovery/ack{round}"));
-            machine.superstep(|pid, _s, _in, out: &mut Outbox<FlitTag>| {
+            let ack_body = |pid: Pid, _s: &mut (), _in: &[FlitTag], out: &mut Outbox<FlitTag>| {
                 for &src in &acks[pid] {
                     out.send(src, (ACK_SRC, pid as u32, 0));
                 }
-            });
+            };
+            let ackers: Vec<Pid> = (0..wl.p()).filter(|&d| !acks[d].is_empty()).collect();
+            if ackers.len() * 4 <= wl.p() {
+                machine.superstep_active(&ackers, ack_body);
+            } else {
+                machine.superstep(ack_body);
+            }
             ack_supersteps += 1;
             ledger.scan(&machine, machine.superstep_index() as u64);
         }
         // Bounded exponential backoff (also drains delayed payloads).
         machine.set_trace_label(format!("recovery/backoff{round}"));
         for _ in 0..cfg.backoff(round) {
-            machine.superstep(idle);
+            // No declared senders: only processors with due deliveries or a
+            // retained inbox wake, so drain steps cost O(arrivals), not O(p).
+            machine.superstep_active(&[], idle);
             backoff_supersteps += 1;
             ledger.scan(&machine, machine.superstep_index() as u64);
         }
@@ -364,7 +381,7 @@ pub fn run_with_recovery_to(
     // arrive within bounded time; idle until the network is empty.
     machine.set_trace_label("recovery/drain");
     while machine.faults_in_flight() > 0 {
-        machine.superstep(idle);
+        machine.superstep_active(&[], idle);
         backoff_supersteps += 1;
         ledger.scan(&machine, machine.superstep_index() as u64);
     }

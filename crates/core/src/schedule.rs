@@ -27,6 +27,19 @@ pub struct Schedule {
     pub starts: Vec<Vec<u64>>,
 }
 
+impl Schedule {
+    /// Sources assigned at least one start slot, in ascending pid order.
+    /// For a schedule matching its workload's shape this is exactly the
+    /// workload's [`Workload::active_senders`] set; executors hand it to
+    /// the engines' sparse path so replaying a sparse schedule costs
+    /// O(senders + flits) per superstep instead of O(p).
+    pub fn active_senders(&self) -> Vec<usize> {
+        (0..self.starts.len())
+            .filter(|&src| !self.starts[src].is_empty())
+            .collect()
+    }
+}
+
 /// Schedule validity errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {

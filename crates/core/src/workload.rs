@@ -145,6 +145,16 @@ impl Workload {
         self.sends.iter().flatten().all(|m| m.len == 1)
     }
 
+    /// Sources with at least one message, in ascending pid order — the
+    /// active-sender set callers hand to the engines' sparse execution path
+    /// (`BspMachine::superstep_active`) so an unbalanced workload costs
+    /// O(senders + messages) per superstep instead of O(p).
+    pub fn active_senders(&self) -> Vec<usize> {
+        (0..self.p())
+            .filter(|&i| !self.sends[i].is_empty())
+            .collect()
+    }
+
     /// The imbalance measure the paper's separation hinges on:
     /// `h / (n/p)` — the global bound beats the local one by `Θ(g)` exactly
     /// when this is `≥ g` (Section 1). Returns `0` for empty workloads.

@@ -32,12 +32,14 @@ pub mod emulation;
 pub mod params;
 pub mod penalty;
 pub mod profile;
+pub mod sparse;
 pub mod summary;
 
 pub use cost::{BspG, BspM, CostModel, QsmG, QsmM, SelfSchedulingBspM};
 pub use params::MachineParams;
 pub use penalty::{PenaltyFn, PenaltyTable};
 pub use profile::{ProfileBuilder, SuperstepProfile};
+pub use sparse::EpochCounts;
 pub use summary::CostSummary;
 
 /// Base-2 logarithm clamped below at 1.0, so that `lg` of tiny arguments

@@ -1,0 +1,153 @@
+//! Epoch-stamped sparse counters for the engines' per-superstep tallies.
+//!
+//! The BSP/QSM/PRAM engines keep several dense per-index tally vectors
+//! (per-destination arena counts, per-processor receive counts, per-address
+//! reader/writer counts). Clearing those with `fill(0)` costs Θ(table size)
+//! every superstep even when only a handful of indices are touched — the
+//! dense floor the active-set execution path removes.
+//!
+//! An [`EpochCounts`] replaces `fill(0)` with an epoch stamp: every slot
+//! carries the epoch at which it was last written, and a slot's count is
+//! *valid only if its stamp equals the current epoch*. Resetting the table
+//! is then one epoch bump plus clearing the dirty list — O(1) — and a full
+//! pass over the table never happens. The `touched` list records every index
+//! written this epoch, in first-touch order (deterministic: it mirrors the
+//! engine's sequential counting order), so consumers can iterate exactly the
+//! dirty set instead of all slots.
+//!
+//! The epoch counter is a `u64` that only increments; at one reset per
+//! superstep it cannot wrap within any realistic run, so a stale stamp can
+//! never alias the current epoch.
+
+/// A `u64` tally table with O(1) reset and dirty-list iteration.
+#[derive(Debug, Clone, Default)]
+pub struct EpochCounts {
+    counts: Vec<u64>,
+    stamps: Vec<u64>,
+    epoch: u64,
+    touched: Vec<usize>,
+}
+
+impl EpochCounts {
+    /// A table of `n` slots, all reading 0.
+    pub fn new(n: usize) -> Self {
+        Self {
+            counts: vec![0; n],
+            // Stamps start below the first epoch, so every slot is stale
+            // (i.e. reads 0) until first touched.
+            stamps: vec![0; n],
+            epoch: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table has zero slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Reset every slot to 0 by bumping the epoch. O(1) — no slot is
+    /// actually written.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Add `n` to slot `idx`, marking it touched for this epoch. `n` may be
+    /// 0: the slot still joins the dirty list (the arena layout pass relies
+    /// on counted-but-empty destinations being enumerable).
+    #[inline]
+    pub fn add(&mut self, idx: usize, n: u64) {
+        if self.stamps[idx] != self.epoch {
+            self.stamps[idx] = self.epoch;
+            self.counts[idx] = 0;
+            self.touched.push(idx);
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Slot `idx`'s count this epoch (0 if untouched since the last reset).
+    #[inline]
+    pub fn get(&self, idx: usize) -> u64 {
+        if self.stamps[idx] == self.epoch {
+            self.counts[idx]
+        } else {
+            0
+        }
+    }
+
+    /// The indices touched since the last reset, in first-touch order.
+    #[inline]
+    pub fn touched(&self) -> &[usize] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_reads_zero() {
+        let c = EpochCounts::new(4);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        for i in 0..4 {
+            assert_eq!(c.get(i), 0);
+        }
+        assert!(c.touched().is_empty());
+    }
+
+    #[test]
+    fn add_accumulates_and_tracks_first_touch_order() {
+        let mut c = EpochCounts::new(8);
+        c.add(5, 2);
+        c.add(1, 1);
+        c.add(5, 3);
+        assert_eq!(c.get(5), 5);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.touched(), &[5, 1]);
+    }
+
+    #[test]
+    fn reset_clears_without_touching_slots() {
+        let mut c = EpochCounts::new(4);
+        c.add(2, 7);
+        c.reset();
+        assert_eq!(c.get(2), 0);
+        assert!(c.touched().is_empty());
+        // A stale count is overwritten, not accumulated into, on re-touch.
+        c.add(2, 1);
+        assert_eq!(c.get(2), 1);
+        assert_eq!(c.touched(), &[2]);
+    }
+
+    #[test]
+    fn zero_add_still_marks_touched() {
+        let mut c = EpochCounts::new(3);
+        c.add(1, 0);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.touched(), &[1]);
+    }
+
+    #[test]
+    fn many_resets_stay_consistent() {
+        let mut c = EpochCounts::new(2);
+        for round in 0..100u64 {
+            c.add(round as usize % 2, round);
+            assert_eq!(c.get(round as usize % 2), round);
+            c.reset();
+        }
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(1), 0);
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! A [`MsgArena`] replaces the `Vec<Vec<M>>` inbox-of-inboxes: one backing
 //! `Vec<M>` holds every message delivered at a superstep boundary, and a
-//! `p + 1` offset table marks each destination's contiguous segment. The
-//! engines keep two arenas and *swap* them every superstep (read last
+//! per-destination segment table marks each destination's contiguous slice.
+//! The engines keep two arenas and *swap* them every superstep (read last
 //! boundary's deliveries from one, fill the other), so at steady state the
 //! backing storage is reused and a superstep performs no inbox allocations
 //! at all, however many messages it moves.
@@ -12,9 +12,11 @@
 //!
 //! 1. **Counting pass** — the engine walks its outboxes (and fault fates,
 //!    retained inboxes and due late arrivals) once, accumulating the exact
-//!    number of payloads each destination will receive, then calls
-//!    [`MsgArena::begin`] with the per-destination counts. `begin` lays the
-//!    segments out by prefix sum and arms one write cursor per destination.
+//!    number of payloads each destination will receive, then opens a fill
+//!    with [`MsgArena::begin`] (dense count table) or
+//!    [`MsgArena::begin_sparse`] (epoch-stamped dirty counts from the
+//!    active-set path). Both lay the segments out by prefix sum and arm one
+//!    write cursor per counted destination.
 //! 2. **Placement pass** — the engine replays its *sequential delivery
 //!    order* (source pid, then send order, then due arrivals), calling
 //!    [`MsgArena::place`] for each payload. Because segment `d` is written
@@ -24,6 +26,23 @@
 //!    order the fault ledger, pending queue, and byte-identical trace
 //!    contract are defined by. [`MsgArena::finish`] then asserts every
 //!    reserved slot was filled and publishes the segments.
+//!
+//! ## Epoch-stamped segments
+//!
+//! Segment validity is tracked by an epoch stamp per destination instead of
+//! a dense offset table zeroed every superstep: a destination's segment is
+//! meaningful only if its stamp equals the arena's current epoch, and both
+//! [`MsgArena::clear`] and the `begin` variants reset the arena by bumping
+//! the epoch — O(1), never an O(p) `fill(0)`. [`MsgArena::begin_sparse`]
+//! additionally lays out segments for *only the counted destinations*, so a
+//! whole fill costs O(touched + messages) regardless of `p`. Unstamped
+//! destinations read as empty. The arena also publishes the list of
+//! destinations that received at least one message ([`MsgArena::touched`]),
+//! which is how the sparse engines seed the next superstep's frontier
+//! without scanning all `p` inboxes. Segments are laid out in first-touch
+//! (counting) order, which is deterministic because the counting pass is
+//! sequential; the layout order is unobservable anyway — `inbox(d)` content
+//! and order depend only on the placement replay.
 //!
 //! ## Safety
 //!
@@ -36,18 +55,32 @@
 //! publishes the length only after checking that the number of placements
 //! equals the reserved total, so no uninitialized slot is ever readable.
 
+use pbw_models::EpochCounts;
+
 /// A reusable flat message store with one contiguous segment per
-/// destination.
+/// destination and O(1) reset.
 #[derive(Debug)]
 pub(crate) struct MsgArena<M> {
     /// Backing storage; `len()` is 0 while a fill is open, the segment total
     /// once published.
     data: Vec<M>,
-    /// `offsets[d]..offsets[d + 1]` is destination `d`'s segment
-    /// (`dests() + 1` entries).
-    offsets: Vec<usize>,
+    /// Start of destination `d`'s segment (valid iff `stamps[d] == epoch`).
+    seg_start: Vec<usize>,
+    /// One-past-the-end of destination `d`'s segment (same validity rule).
+    seg_end: Vec<usize>,
     /// Next write index per destination during a fill.
     cursors: Vec<usize>,
+    /// Epoch at which destination `d`'s segment was last laid out.
+    stamps: Vec<u64>,
+    /// Current epoch; bumped by `clear` and both `begin` variants. A `u64`
+    /// bumped a few times per superstep never wraps, so stale stamps can't
+    /// alias.
+    epoch: u64,
+    /// Destinations holding at least one message this fill, first-touch
+    /// order.
+    touched: Vec<usize>,
+    /// Total payloads reserved by the open (or last published) fill.
+    total: usize,
     /// Payloads placed since `begin`.
     placed: usize,
     /// Whether a fill is open (`begin` called, `finish` not yet).
@@ -59,8 +92,15 @@ impl<M> MsgArena<M> {
     pub(crate) fn new(p: usize) -> Self {
         Self {
             data: Vec::new(),
-            offsets: vec![0; p + 1],
+            seg_start: vec![0; p],
+            seg_end: vec![0; p],
             cursors: vec![0; p],
+            // Stamps start below the first epoch, so every destination is
+            // unstamped (empty) until a fill lays it out.
+            stamps: vec![0; p],
+            epoch: 1,
+            touched: Vec::new(),
+            total: 0,
             placed: 0,
             filling: false,
         }
@@ -68,22 +108,25 @@ impl<M> MsgArena<M> {
 
     /// Number of destinations.
     pub(crate) fn dests(&self) -> usize {
-        self.offsets.len() - 1
+        self.stamps.len()
     }
 
-    /// Drop all stored payloads and reset every segment to empty. Keeps the
-    /// backing capacity.
+    /// Drop all stored payloads and reset every segment to empty, in O(1):
+    /// the epoch bump invalidates every stamp at once. Keeps the backing
+    /// capacity.
     pub(crate) fn clear(&mut self) {
         debug_assert!(!self.filling, "clear during an open fill");
         self.data.clear();
-        self.offsets.fill(0);
-        self.cursors.fill(0);
+        self.epoch += 1;
+        self.touched.clear();
+        self.total = 0;
         self.placed = 0;
         self.filling = false;
     }
 
-    /// Open a fill: lay out one segment per destination sized by `counts`
-    /// and arm the write cursors. Any previous contents are dropped.
+    /// Open a fill from a dense count table: lay out one segment per
+    /// destination sized by `counts` and arm the write cursors. Any
+    /// previous contents are dropped. O(p) — the dense engines' entry point.
     ///
     /// # Panics
     /// Panics if `counts.len() != dests()` or a fill is already open.
@@ -95,14 +138,57 @@ impl<M> MsgArena<M> {
         );
         assert!(!self.filling, "begin while a fill is already open");
         self.data.clear();
+        self.epoch += 1;
+        self.touched.clear();
         let mut total = 0usize;
         for (d, &c) in counts.iter().enumerate() {
-            self.offsets[d] = total;
+            self.stamps[d] = self.epoch;
+            self.seg_start[d] = total;
             self.cursors[d] = total;
             total += c;
+            self.seg_end[d] = total;
+            if c > 0 {
+                self.touched.push(d);
+            }
         }
-        self.offsets[counts.len()] = total;
         self.data.reserve(total);
+        self.total = total;
+        self.placed = 0;
+        self.filling = true;
+    }
+
+    /// Open a fill from an epoch-stamped count table, laying out segments
+    /// for *only the counted destinations* — O(touched), not O(p). Every
+    /// other destination reads as empty (its stamp stays stale). Segments
+    /// are laid out in the counts' first-touch order, which is deterministic
+    /// because the engines' counting pass is sequential.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != dests()` or a fill is already open.
+    pub(crate) fn begin_sparse(&mut self, counts: &EpochCounts) {
+        assert_eq!(
+            counts.len(),
+            self.dests(),
+            "count table must cover every destination"
+        );
+        assert!(!self.filling, "begin while a fill is already open");
+        self.data.clear();
+        self.epoch += 1;
+        self.touched.clear();
+        let mut total = 0usize;
+        for &d in counts.touched() {
+            let c = counts.get(d) as usize;
+            self.stamps[d] = self.epoch;
+            self.seg_start[d] = total;
+            self.cursors[d] = total;
+            total += c;
+            self.seg_end[d] = total;
+            if c > 0 {
+                self.touched.push(d);
+            }
+        }
+        self.data.reserve(total);
+        self.total = total;
         self.placed = 0;
         self.filling = true;
     }
@@ -110,20 +196,27 @@ impl<M> MsgArena<M> {
     /// Place the next payload for `dest`, in delivery order.
     ///
     /// # Panics
-    /// Panics if no fill is open or `dest`'s segment is already full (which
-    /// would mean the counting pass and the delivery replay disagree).
+    /// Panics if no fill is open, `dest` was never counted by this fill, or
+    /// `dest`'s segment is already full (either of which would mean the
+    /// counting pass and the delivery replay disagree).
     #[inline]
     pub(crate) fn place(&mut self, dest: usize, payload: M) {
         assert!(self.filling, "place outside an open fill");
+        assert!(
+            self.stamps[dest] == self.epoch,
+            "delivery to destination {dest}, which the counting pass never counted"
+        );
         let cursor = self.cursors[dest];
         assert!(
-            cursor < self.offsets[dest + 1],
+            cursor < self.seg_end[dest],
             "delivery overflows destination {dest}'s counted segment"
         );
-        // SAFETY: `begin` reserved capacity for the segment total and the
-        // assert above keeps `cursor` strictly inside it; the length is
-        // still 0, so this writes an initialized value into reserved,
-        // unobservable capacity (leaked, not double-dropped, on panic).
+        // SAFETY: `begin`/`begin_sparse` reserved capacity for the segment
+        // total; the stamp assert proves `seg_end[dest]` belongs to this
+        // fill's layout, and the cursor assert keeps the write strictly
+        // inside it (hence inside the reservation). The length is still 0,
+        // so this writes an initialized value into reserved, unobservable
+        // capacity (leaked, not double-dropped, on panic).
         unsafe { self.data.as_mut_ptr().add(cursor).write(payload) };
         self.cursors[dest] = cursor + 1;
         self.placed += 1;
@@ -136,32 +229,48 @@ impl<M> MsgArena<M> {
     /// every counted slot must have been filled.
     pub(crate) fn finish(&mut self) {
         assert!(self.filling, "finish without an open fill");
-        let total = self.offsets[self.dests()];
         assert_eq!(
-            self.placed, total,
+            self.placed, self.total,
             "counting pass and delivery replay disagree"
         );
         // SAFETY: exactly `total` slots were initialized by `place` (one per
         // placement, each at a distinct index by the per-destination cursor
         // discipline) into capacity reserved by `begin`.
-        unsafe { self.data.set_len(total) };
+        unsafe { self.data.set_len(self.total) };
         self.filling = false;
     }
 
-    /// Destination `d`'s messages, in delivery order.
+    /// Destination `d`'s messages, in delivery order. Unstamped
+    /// destinations (never counted by the last fill, or cleared) are empty.
     ///
     /// # Panics
     /// Panics if a fill is open.
     #[inline]
     pub(crate) fn inbox(&self, d: usize) -> &[M] {
         assert!(!self.filling, "inbox read during an open fill");
-        &self.data[self.offsets[d]..self.offsets[d + 1]]
+        if self.stamps[d] == self.epoch {
+            &self.data[self.seg_start[d]..self.seg_end[d]]
+        } else {
+            &[]
+        }
     }
 
     /// Number of messages stored for destination `d`.
     #[inline]
     pub(crate) fn len(&self, d: usize) -> usize {
-        self.offsets[d + 1] - self.offsets[d]
+        if self.stamps[d] == self.epoch {
+            self.seg_end[d] - self.seg_start[d]
+        } else {
+            0
+        }
+    }
+
+    /// Destinations holding at least one message in the current fill, in
+    /// first-touch (counting) order. The sparse engines use this to seed
+    /// the next superstep's frontier without scanning all `p` inboxes.
+    #[inline]
+    pub(crate) fn touched(&self) -> &[usize] {
+        &self.touched
     }
 }
 
@@ -177,6 +286,7 @@ mod tests {
             assert!(a.inbox(d).is_empty());
             assert_eq!(a.len(d), 0);
         }
+        assert!(a.touched().is_empty());
     }
 
     #[test]
@@ -194,6 +304,7 @@ mod tests {
         assert_eq!(a.inbox(0), &[1, 2]);
         assert_eq!(a.inbox(1), &[] as &[u32]);
         assert_eq!(a.inbox(2), &[20, 21, 22]);
+        assert_eq!(a.touched(), &[0, 2]);
     }
 
     #[test]
@@ -221,6 +332,58 @@ mod tests {
         a.clear();
         assert!(a.inbox(0).is_empty());
         assert!(a.inbox(1).is_empty());
+        assert!(a.touched().is_empty());
+    }
+
+    #[test]
+    fn sparse_fill_lays_out_only_counted_destinations() {
+        let mut counts = EpochCounts::new(8);
+        counts.add(6, 2);
+        counts.add(1, 1);
+        counts.add(4, 0); // counted but empty: enumerable, holds nothing
+        let mut a: MsgArena<u32> = MsgArena::new(8);
+        a.begin_sparse(&counts);
+        a.place(6, 60);
+        a.place(1, 10);
+        a.place(6, 61);
+        a.finish();
+        assert_eq!(a.inbox(6), &[60, 61]);
+        assert_eq!(a.inbox(1), &[10]);
+        assert!(a.inbox(4).is_empty());
+        // Never-counted destinations read as empty through the stale stamp.
+        assert!(a.inbox(0).is_empty());
+        assert_eq!(a.len(0), 0);
+        // Only message-holding destinations are published as touched.
+        assert_eq!(a.touched(), &[6, 1]);
+    }
+
+    #[test]
+    fn sparse_refill_invalidates_previous_segments() {
+        let mut counts = EpochCounts::new(4);
+        counts.add(2, 1);
+        let mut a: MsgArena<u8> = MsgArena::new(4);
+        a.begin_sparse(&counts);
+        a.place(2, 9);
+        a.finish();
+        assert_eq!(a.inbox(2), &[9]);
+        counts.reset();
+        counts.add(0, 1);
+        a.begin_sparse(&counts);
+        a.place(0, 7);
+        a.finish();
+        // Destination 2's old segment is stale, not re-served.
+        assert!(a.inbox(2).is_empty());
+        assert_eq!(a.inbox(0), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never counted")]
+    fn placing_to_an_uncounted_destination_panics() {
+        let mut counts = EpochCounts::new(4);
+        counts.add(1, 1);
+        let mut a: MsgArena<u8> = MsgArena::new(4);
+        a.begin_sparse(&counts);
+        a.place(3, 1);
     }
 
     #[test]
@@ -274,5 +437,28 @@ mod tests {
         }
         assert_eq!(a.data.capacity(), cap_after_warmup);
         assert_eq!(a.inbox(7)[3], 973);
+    }
+
+    #[test]
+    fn dense_and_sparse_fills_serve_identical_inboxes() {
+        let mut dense: MsgArena<u32> = MsgArena::new(6);
+        dense.begin(&[0, 2, 0, 0, 1, 0]);
+        dense.place(4, 40);
+        dense.place(1, 11);
+        dense.place(1, 12);
+        dense.finish();
+        let mut counts = EpochCounts::new(6);
+        counts.add(4, 1);
+        counts.add(1, 2);
+        let mut sparse: MsgArena<u32> = MsgArena::new(6);
+        sparse.begin_sparse(&counts);
+        sparse.place(4, 40);
+        sparse.place(1, 11);
+        sparse.place(1, 12);
+        sparse.finish();
+        for d in 0..6 {
+            assert_eq!(dense.inbox(d), sparse.inbox(d), "dest {d}");
+            assert_eq!(dense.len(d), sparse.len(d), "dest {d}");
+        }
     }
 }

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use crate::arena::MsgArena;
 use crate::hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
-use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
+use pbw_models::{EpochCounts, MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 
@@ -153,10 +153,19 @@ pub struct BspMachine<S, M> {
     /// Per-processor stall flags for the current superstep.
     stalled: Vec<bool>,
     /// Per-processor receive counts (deliveries only; retained inboxes are
-    /// not recounted).
+    /// not recounted) — dense path.
     recv_counts: Vec<u64>,
-    /// Counting-pass scratch: exact per-destination arena segment sizes.
+    /// Counting-pass scratch: exact per-destination arena segment sizes —
+    /// dense path.
     arena_counts: Vec<usize>,
+    /// Sparse-path counting scratch: epoch-stamped per-destination segment
+    /// sizes, reset in O(1) by an epoch bump instead of an O(p) `fill(0)`.
+    sparse_arena_counts: EpochCounts,
+    /// Sparse-path receive counts, epoch-stamped like `sparse_arena_counts`.
+    sparse_recv_counts: EpochCounts,
+    /// Sparse-path frontier scratch: the sorted, deduplicated set of pids
+    /// whose closures run this superstep.
+    frontier: Vec<Pid>,
     /// Tracing scratch for per-processor send counts.
     per_proc_sent: Vec<u64>,
     /// Profile accumulator, snapshot-and-reset every superstep.
@@ -196,6 +205,9 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             stalled: vec![false; p],
             recv_counts: vec![0; p],
             arena_counts: vec![0; p],
+            sparse_arena_counts: EpochCounts::new(p),
+            sparse_recv_counts: EpochCounts::new(p),
+            frontier: Vec::new(),
             per_proc_sent: Vec::new(),
             builder: ProfileBuilder::new(),
             profiles: Vec::new(),
@@ -319,6 +331,77 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         M: Sync + Clone,
         S: Sync,
     {
+        self.superstep_core(None, f)
+    }
+
+    /// Execute one superstep over a declared active set, panicking on
+    /// model-rule violations. See [`BspMachine::try_superstep_active`].
+    pub fn superstep_active<F>(&mut self, active: &[Pid], f: F) -> SuperstepReport
+    where
+        F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
+        M: Sync + Clone,
+        S: Sync,
+    {
+        self.try_superstep_active(active, f)
+            .unwrap_or_else(|e| panic!("superstep failed: {e}"))
+    }
+
+    /// Execute one superstep on the **sparse path**: the closure runs only
+    /// for the *frontier* — the union of `active` (the caller's declared
+    /// senders) and every processor holding a non-empty inbox from the last
+    /// boundary (which covers ordinary deliveries, retained stalled inboxes,
+    /// and delayed payloads that have landed). Per-superstep cost is
+    /// O(frontier + messages), not O(p): counting and delivery walk only
+    /// frontier outboxes, and the per-destination tallies are epoch-stamped
+    /// ([`EpochCounts`]) so resetting them is an epoch bump, never an O(p)
+    /// `fill(0)`. Exceptions, documented: a machine with a delivery hook
+    /// pays one O(p) stall scan per superstep (stalls are per-pid, not
+    /// per-message), and a superstep observed by an enabled trace sink
+    /// materializes the dense per-processor traffic vectors its events
+    /// carry.
+    ///
+    /// The result is **byte-identical** to [`BspMachine::try_superstep`] —
+    /// same states, profiles, trace events and fault ledger — provided the
+    /// closure is a no-op for every skipped processor: for any pid outside
+    /// `active` that holds an empty inbox, `f(pid, ..)` must not mutate
+    /// state, post messages, or charge work. The frontier is iterated in
+    /// sorted pid order, so the canonical sequential delivery order (source
+    /// pid ascending, then send order, then due late arrivals) is replayed
+    /// exactly; skipped processors only ever contribute
+    /// `record_work(0)`/`record_traffic(0, 0)` no-ops to the profile.
+    ///
+    /// # Panics
+    /// Panics if `active` names a pid `>= p`.
+    pub fn try_superstep_active<F>(
+        &mut self,
+        active: &[Pid],
+        f: F,
+    ) -> Result<SuperstepReport, SimError>
+    where
+        F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
+        M: Sync + Clone,
+        S: Sync,
+    {
+        self.superstep_core(Some(active), f)
+    }
+
+    /// The one superstep implementation behind both paths. `active: None`
+    /// is the dense path (closure runs for all `p` processors, in
+    /// parallel); `active: Some(set)` is the sparse path (closure runs
+    /// sequentially over the sorted frontier). Everything downstream of the
+    /// closure pass — counting, arena fill, fate application, profile and
+    /// trace construction — is shared or shape-identical, which is what
+    /// makes the two paths byte-identical by construction.
+    fn superstep_core<F>(
+        &mut self,
+        active: Option<&[Pid]>,
+        f: F,
+    ) -> Result<SuperstepReport, SimError>
+    where
+        F: Fn(Pid, &mut S, &[M], &mut Outbox<M>) + Sync,
+        M: Sync + Clone,
+        S: Sync,
+    {
         let p = self.params.p;
         let step = self.superstep as u64;
         // Rotate the arenas: `spare` becomes the read side (last boundary's
@@ -331,82 +414,161 @@ impl<S: Send, M: Send> BspMachine<S, M> {
 
         // A stalled processor skips its closure this superstep and sees its
         // inbox again next superstep; `stalled` is pure in `(superstep,
-        // pid)`, so the per-processor queries run in parallel.
+        // pid)`, so the per-processor queries run in parallel. Stall flags
+        // are only ever read behind `hooked`, so the unhooked paths (dense
+        // and sparse alike) skip the per-superstep O(p) clear the old
+        // `stalled.fill(false)` paid: stale flags are simply never observed.
         let hook = self.hook.clone();
-        match &hook {
-            Some(h) => {
-                let _: Vec<()> = self
-                    .stalled
-                    .par_iter_mut()
-                    .enumerate()
-                    .map(|(pid, s)| *s = h.stalled(step, pid))
-                    .collect();
-            }
-            None => self.stalled.fill(false),
-        }
-
-        // Run all processors in parallel, each filling its recycled outbox.
-        {
-            let f = &f;
-            let stalled = &self.stalled;
-            let spare = &self.spare;
+        let hooked = hook.is_some();
+        if let Some(h) = &hook {
             let _: Vec<()> = self
-                .states
+                .stalled
                 .par_iter_mut()
-                .zip(self.outboxes.par_iter_mut())
                 .enumerate()
-                .map(|(pid, (state, out))| {
-                    out.reset();
-                    if !stalled[pid] {
-                        f(pid, state, spare.inbox(pid), out);
-                    }
-                })
+                .map(|(pid, s)| *s = h.stalled(step, pid))
                 .collect();
         }
 
-        // First pass (parallel): per-processor slot resolution + validation
-        // of the one-injection-per-step rule, into the recycled slot
-        // buffers. The fallible collect surfaces the lowest-pid error, as
-        // the sequential pass did.
-        let validated: Result<Vec<()>, SimError> = self
-            .outboxes
-            .par_iter()
-            .zip(self.resolved.par_iter_mut())
-            .enumerate()
-            .map(|(pid, (out, slots))| resolve_slots_into(pid, p, &out.envelopes, slots))
-            .collect();
-        validated?;
+        // Sparse path: build the frontier — the caller's declared active set
+        // plus every processor whose inbox from the last boundary is
+        // non-empty (ordinary deliveries, retained stalled inboxes, and
+        // landed delayed payloads all live there, so `spare.touched()`
+        // covers them without scanning p inboxes). Sorted pid order is what
+        // replays the dense path's canonical delivery order exactly.
+        if let Some(declared) = active {
+            self.frontier.clear();
+            self.frontier.extend_from_slice(declared);
+            self.frontier.extend_from_slice(self.spare.touched());
+            self.frontier.sort_unstable();
+            self.frontier.dedup();
+            if let Some(&max_pid) = self.frontier.last() {
+                assert!(
+                    max_pid < p,
+                    "active set names processor {max_pid}, but the machine has {p} processors"
+                );
+            }
+        }
 
-        // Fates are pure in `(superstep, src, dest, msg_idx, slot)`, so they
-        // are *computed* here in a parallel pass; the sequential loop below
-        // only *applies* them, preserving the fixed delivery order the
-        // ledger, pending queue, and traces are defined by.
-        let hooked = hook.is_some();
+        // Closure pass. Dense: all p processors in parallel, each filling
+        // its recycled outbox. Sparse: sequentially over the sorted
+        // frontier — the frontier is small by contract, and a sequential
+        // pass is trivially deterministic at every PBW_THREADS width.
+        match active {
+            None => {
+                let f = &f;
+                let stalled = &self.stalled;
+                let spare = &self.spare;
+                let _: Vec<()> = self
+                    .states
+                    .par_iter_mut()
+                    .zip(self.outboxes.par_iter_mut())
+                    .enumerate()
+                    .map(|(pid, (state, out))| {
+                        out.reset();
+                        if !(hooked && stalled[pid]) {
+                            f(pid, state, spare.inbox(pid), out);
+                        }
+                    })
+                    .collect();
+            }
+            Some(_) => {
+                for i in 0..self.frontier.len() {
+                    let pid = self.frontier[i];
+                    self.outboxes[pid].reset();
+                    if !(hooked && self.stalled[pid]) {
+                        f(
+                            pid,
+                            &mut self.states[pid],
+                            self.spare.inbox(pid),
+                            &mut self.outboxes[pid],
+                        );
+                    }
+                }
+            }
+        }
+
+        // Slot resolution + validation of the one-injection-per-step rule,
+        // into the recycled slot buffers. Dense: a parallel fallible collect
+        // that surfaces the lowest-pid error. Sparse: sequential over the
+        // frontier — non-frontier outboxes are stale from an earlier
+        // superstep and are neither resolved nor read anywhere below.
+        match active {
+            None => {
+                let validated: Result<Vec<()>, SimError> = self
+                    .outboxes
+                    .par_iter()
+                    .zip(self.resolved.par_iter_mut())
+                    .enumerate()
+                    .map(|(pid, (out, slots))| resolve_slots_into(pid, p, &out.envelopes, slots))
+                    .collect();
+                validated?;
+            }
+            Some(_) => {
+                for &pid in &self.frontier {
+                    resolve_slots_into(
+                        pid,
+                        p,
+                        &self.outboxes[pid].envelopes,
+                        &mut self.resolved[pid],
+                    )?;
+                }
+            }
+        }
+
+        // Fates are pure in `(superstep, src, dest, msg_idx, slot)`, so on
+        // the dense path they are *computed* in a parallel pass; the
+        // sequential loop below only *applies* them, preserving the fixed
+        // delivery order the ledger, pending queue, and traces are defined
+        // by. The sparse path computes them sequentially over the frontier
+        // (purity makes the two orders indistinguishable).
         if let Some(h) = &hook {
             if self.fates.len() != p {
                 self.fates.resize_with(p, Vec::new);
             }
-            let _: Vec<()> = self
-                .outboxes
-                .par_iter()
-                .zip(self.resolved.par_iter())
-                .zip(self.fates.par_iter_mut())
-                .enumerate()
-                .map(|(pid, ((out, slots), fates))| {
-                    fates.clear();
-                    fates.extend(out.envelopes.iter().zip(slots.iter()).enumerate().map(
-                        |(msg_idx, (env, &slot))| {
-                            h.fate(&DeliveryCtx {
-                                superstep: step,
-                                src: pid,
-                                dest: env.dest,
-                                msg_idx,
-                                slot,
-                            })
-                        },
-                    ));
-                })
-                .collect();
+            match active {
+                None => {
+                    let _: Vec<()> = self
+                        .outboxes
+                        .par_iter()
+                        .zip(self.resolved.par_iter())
+                        .zip(self.fates.par_iter_mut())
+                        .enumerate()
+                        .map(|(pid, ((out, slots), fates))| {
+                            fates.clear();
+                            fates.extend(out.envelopes.iter().zip(slots.iter()).enumerate().map(
+                                |(msg_idx, (env, &slot))| {
+                                    h.fate(&DeliveryCtx {
+                                        superstep: step,
+                                        src: pid,
+                                        dest: env.dest,
+                                        msg_idx,
+                                        slot,
+                                    })
+                                },
+                            ));
+                        })
+                        .collect();
+                }
+                Some(_) => {
+                    for &pid in &self.frontier {
+                        let out = &self.outboxes[pid];
+                        let slots = &self.resolved[pid];
+                        let fates = &mut self.fates[pid];
+                        fates.clear();
+                        fates.extend(out.envelopes.iter().zip(slots.iter()).enumerate().map(
+                            |(msg_idx, (env, &slot))| {
+                                h.fate(&DeliveryCtx {
+                                    superstep: step,
+                                    src: pid,
+                                    dest: env.dest,
+                                    msg_idx,
+                                    slot,
+                                })
+                            },
+                        ));
+                    }
+                }
+            }
         }
 
         // From here on everything is sequential and deterministic. Borrow
@@ -422,6 +584,9 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             ref stalled,
             ref mut recv_counts,
             ref mut arena_counts,
+            ref mut sparse_arena_counts,
+            ref mut sparse_recv_counts,
+            ref frontier,
             ref mut per_proc_sent,
             ref mut builder,
             ref mut profiles,
@@ -440,144 +605,174 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             ..Default::default()
         };
 
-        // Stalled processors keep their undrained inbox (already counted as
-        // delivered at the previous boundary — not recounted in
-        // `recv_counts`); it is retained ahead of this superstep's
-        // deliveries, exactly where the per-destination push used to put it.
-        arena_counts.fill(0);
-        for pid in 0..p {
-            if stalled[pid] {
-                arena_counts[pid] += spare.len(pid);
-                fault_stats.stalled_steps += 1;
-                counters.stalled_procs += 1;
-            }
-        }
-
         // Payloads the network is due to release at this boundary (queued by
         // earlier Delay/Duplicate fates). Popped before this superstep's
         // sends are queued, so a `Delay(k)` waits exactly `k` extra steps.
-        let mut due: Vec<(Pid, M)> = pending.pop_front().unwrap_or_default();
+        let due: Vec<(Pid, M)> = pending.pop_front().unwrap_or_default();
 
-        // Counting pass: exact per-destination delivery counts (sends that
-        // will land now, by fate, plus due late arrivals) lay out the arena
-        // segments before any payload moves.
-        for (pid, out) in outboxes.iter().enumerate() {
-            for (msg_idx, env) in out.envelopes.iter().enumerate() {
-                let fate = if hooked {
-                    fates[pid][msg_idx]
-                } else {
-                    Fate::Deliver
-                };
-                match fate {
-                    Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
-                        arena_counts[env.dest] += 1
-                    }
-                    Fate::Drop | Fate::Delay(_) => {}
-                }
-            }
-        }
-        for &(dest, _) in due.iter() {
-            arena_counts[dest] += 1;
-        }
-        inboxes.begin(arena_counts);
-        for pid in 0..p {
-            if stalled[pid] {
-                for msg in spare.inbox(pid) {
-                    inboxes.place(pid, msg.clone());
-                }
-            }
-        }
-
-        // Second pass (sequential, deterministic): accounting + delivery.
         let tracing = sink.enabled();
-        recv_counts.fill(0);
-        per_proc_sent.clear();
-        let mut delivered = 0u64;
-        for (pid, out) in outboxes.iter_mut().enumerate() {
-            let slots = &resolved[pid];
-            builder.record_work(out.work);
-            builder.record_traffic(out.envelopes.len() as u64, 0);
-            if tracing {
-                per_proc_sent.push(out.envelopes.len() as u64);
-            }
-            for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate() {
-                let fate = if hooked {
-                    fates[pid][msg_idx]
-                } else {
-                    Fate::Deliver
-                };
-                fault_stats.injected += 1;
-                match fate {
-                    Fate::Deliver => {
-                        builder.record_injection(slot);
-                        recv_counts[env.dest] += 1;
-                        inboxes.place(env.dest, env.payload);
-                        delivered += 1;
-                        fault_stats.delivered += 1;
-                    }
-                    Fate::Drop => {
-                        // The send consumed bandwidth and a slot; nothing
-                        // arrives.
-                        builder.record_injection(slot);
-                        fault_stats.dropped += 1;
-                        counters.dropped += 1;
-                    }
-                    Fate::Duplicate => {
-                        builder.record_injection(slot);
-                        let copy = env.payload.clone();
-                        recv_counts[env.dest] += 1;
-                        inboxes.place(env.dest, env.payload);
-                        delivered += 1;
-                        fault_stats.delivered += 1;
-                        queue_pending(pending, pending_pool, fault_stats, 1, env.dest, copy);
-                        fault_stats.duplicated += 1;
-                        counters.duplicated += 1;
-                    }
-                    Fate::Delay(k) => {
-                        builder.record_injection(slot);
-                        queue_pending(
-                            pending,
-                            pending_pool,
-                            fault_stats,
-                            k.max(1),
-                            env.dest,
-                            env.payload,
-                        );
-                        fault_stats.delayed += 1;
-                        counters.delayed += 1;
-                    }
-                    Fate::Displace(d) => {
-                        builder.record_injection(slot + d);
-                        recv_counts[env.dest] += 1;
-                        inboxes.place(env.dest, env.payload);
-                        delivered += 1;
-                        fault_stats.delivered += 1;
-                        fault_stats.displaced += 1;
-                        counters.displaced += 1;
+        if tracing {
+            // Trace events carry dense per-processor traffic vectors; the
+            // sparse path materializes them too (O(p), tracing only).
+            per_proc_sent.clear();
+            per_proc_sent.resize(p, 0);
+        }
+
+        // Counting pass + delivery. Both branches run the identical
+        // sequence — stall accounting, per-destination counting, arena
+        // layout, retained-inbox re-placement, then `delivery_pass` — over
+        // the same pids in the same order (every non-frontier pid the dense
+        // branch additionally visits holds no messages, by the
+        // `try_superstep_active` contract, so it contributes nothing). Only
+        // the tally representation differs: dense `fill(0)` vectors vs
+        // O(1)-reset epoch-stamped counts.
+        let delivered = match active {
+            None => {
+                // Stalled processors keep their undrained inbox (already
+                // counted as delivered at the previous boundary — not
+                // recounted in `recv_counts`); it is retained ahead of this
+                // superstep's deliveries, exactly where the per-destination
+                // push used to put it.
+                arena_counts.fill(0);
+                if hooked {
+                    for pid in 0..p {
+                        if stalled[pid] {
+                            arena_counts[pid] += spare.len(pid);
+                            fault_stats.stalled_steps += 1;
+                            counters.stalled_procs += 1;
+                        }
                     }
                 }
+                for (pid, out) in outboxes.iter().enumerate() {
+                    for (msg_idx, env) in out.envelopes.iter().enumerate() {
+                        let fate = if hooked {
+                            fates[pid][msg_idx]
+                        } else {
+                            Fate::Deliver
+                        };
+                        match fate {
+                            Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
+                                arena_counts[env.dest] += 1
+                            }
+                            Fate::Drop | Fate::Delay(_) => {}
+                        }
+                    }
+                }
+                for &(dest, _) in due.iter() {
+                    arena_counts[dest] += 1;
+                }
+                inboxes.begin(arena_counts);
+                if hooked {
+                    for (pid, &is_stalled) in stalled.iter().enumerate() {
+                        if is_stalled {
+                            for msg in spare.inbox(pid) {
+                                inboxes.place(pid, msg.clone());
+                            }
+                        }
+                    }
+                }
+                recv_counts.fill(0);
+                let delivered = delivery_pass(
+                    0..p,
+                    outboxes,
+                    resolved,
+                    fates,
+                    hooked,
+                    tracing,
+                    per_proc_sent,
+                    inboxes,
+                    builder,
+                    pending,
+                    pending_pool,
+                    fault_stats,
+                    &mut counters,
+                    due,
+                    |dest| recv_counts[dest] += 1,
+                );
+                inboxes.finish();
+                for &r in recv_counts.iter() {
+                    builder.record_traffic(0, r);
+                }
+                delivered
             }
-        }
-        // Late arrivals land at the same boundary as this superstep's sends,
-        // after them, and are charged receive bandwidth here.
-        for (dest, payload) in due.drain(..) {
-            recv_counts[dest] += 1;
-            inboxes.place(dest, payload);
-            delivered += 1;
-            fault_stats.delivered += 1;
-            fault_stats.in_flight -= 1;
-            counters.late_arrivals += 1;
-        }
-        if due.capacity() > 0 && pending_pool.len() < PENDING_POOL_CAP {
-            pending_pool.push(due);
-        }
-        inboxes.finish();
-        for &r in recv_counts.iter() {
-            builder.record_traffic(0, r);
-        }
+            Some(_) => {
+                // Same sequence, epoch-stamped tallies. The hooked stall
+                // scans stay O(p) — stalls are per-pid, independent of the
+                // message flow, so no dirty list can cover them; an
+                // unhooked sparse superstep touches nothing p-sized.
+                sparse_arena_counts.reset();
+                if hooked {
+                    for (pid, &is_stalled) in stalled.iter().enumerate() {
+                        if is_stalled {
+                            sparse_arena_counts.add(pid, spare.len(pid) as u64);
+                            fault_stats.stalled_steps += 1;
+                            counters.stalled_procs += 1;
+                        }
+                    }
+                }
+                for &pid in frontier.iter() {
+                    let out = &outboxes[pid];
+                    for (msg_idx, env) in out.envelopes.iter().enumerate() {
+                        let fate = if hooked {
+                            fates[pid][msg_idx]
+                        } else {
+                            Fate::Deliver
+                        };
+                        match fate {
+                            Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
+                                sparse_arena_counts.add(env.dest, 1)
+                            }
+                            Fate::Drop | Fate::Delay(_) => {}
+                        }
+                    }
+                }
+                for &(dest, _) in due.iter() {
+                    sparse_arena_counts.add(dest, 1);
+                }
+                inboxes.begin_sparse(sparse_arena_counts);
+                if hooked {
+                    for (pid, &is_stalled) in stalled.iter().enumerate() {
+                        if is_stalled {
+                            for msg in spare.inbox(pid) {
+                                inboxes.place(pid, msg.clone());
+                            }
+                        }
+                    }
+                }
+                sparse_recv_counts.reset();
+                let delivered = delivery_pass(
+                    frontier.iter().copied(),
+                    outboxes,
+                    resolved,
+                    fates,
+                    hooked,
+                    tracing,
+                    per_proc_sent,
+                    inboxes,
+                    builder,
+                    pending,
+                    pending_pool,
+                    fault_stats,
+                    &mut counters,
+                    due,
+                    |dest| sparse_recv_counts.add(dest, 1),
+                );
+                inboxes.finish();
+                builder.record_recv_sparse(sparse_recv_counts);
+                delivered
+            }
+        };
 
         let profile = builder.snapshot_reset();
         if tracing {
+            let per_proc_recv: Vec<u64> = match active {
+                None => recv_counts.clone(),
+                Some(_) => (0..p).map(|d| sparse_recv_counts.get(d)).collect(),
+            };
+            let max_mult = match active {
+                None => crate::max_slot_multiplicity(resolved, 0..p),
+                Some(_) => crate::max_slot_multiplicity(resolved, frontier.iter().copied()),
+            };
             let mut ev = TraceEvent::for_superstep(
                 TraceSource::Bsp,
                 trace_label.clone(),
@@ -585,8 +780,8 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                 *params,
                 profile.clone(),
                 std::mem::take(per_proc_sent),
-                recv_counts.clone(),
-                crate::max_slot_multiplicity(resolved),
+                per_proc_recv,
+                max_mult,
                 delivered,
             );
             if hooked {
@@ -636,6 +831,123 @@ fn queue_pending<M>(
     }
     pending[idx].push((dest, payload));
     fault_stats.in_flight += 1;
+}
+
+/// The sequential, deterministic heart of a superstep: walk `pids`'
+/// outboxes in order, record their work/send traffic, apply each envelope's
+/// fate in the canonical delivery order (source pid ascending, then send
+/// order), place surviving payloads into the arena, then land the due late
+/// arrivals after them. Returns the number of payloads delivered.
+///
+/// Shared verbatim between the dense path (`pids` = `0..p`) and the sparse
+/// path (`pids` = the sorted frontier): every pid the dense iteration
+/// additionally visits holds an empty outbox, whose only effect is
+/// `record_work(0)`/`record_traffic(0, 0)` — no-ops on the profile's maxima
+/// — so the two instantiations are byte-identical by construction.
+///
+/// `bump_recv` abstracts the receive-count tally (dense `Vec` vs
+/// epoch-stamped [`EpochCounts`]); it is a generic parameter, not a dyn
+/// call, so the dense instantiation compiles to exactly the old inline
+/// increment.
+#[allow(clippy::too_many_arguments)]
+fn delivery_pass<M: Clone>(
+    pids: impl Iterator<Item = Pid>,
+    outboxes: &mut [Outbox<M>],
+    resolved: &[Vec<u64>],
+    fates: &[Vec<Fate>],
+    hooked: bool,
+    tracing: bool,
+    per_proc_sent: &mut [u64],
+    inboxes: &mut MsgArena<M>,
+    builder: &mut ProfileBuilder,
+    pending: &mut VecDeque<Vec<(Pid, M)>>,
+    pending_pool: &mut Vec<Vec<(Pid, M)>>,
+    fault_stats: &mut FaultStats,
+    counters: &mut FaultCounters,
+    mut due: Vec<(Pid, M)>,
+    mut bump_recv: impl FnMut(Pid),
+) -> u64 {
+    let mut delivered = 0u64;
+    for pid in pids {
+        let out = &mut outboxes[pid];
+        let slots = &resolved[pid];
+        builder.record_work(out.work);
+        builder.record_traffic(out.envelopes.len() as u64, 0);
+        if tracing {
+            per_proc_sent[pid] = out.envelopes.len() as u64;
+        }
+        for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate() {
+            let fate = if hooked {
+                fates[pid][msg_idx]
+            } else {
+                Fate::Deliver
+            };
+            fault_stats.injected += 1;
+            match fate {
+                Fate::Deliver => {
+                    builder.record_injection(slot);
+                    bump_recv(env.dest);
+                    inboxes.place(env.dest, env.payload);
+                    delivered += 1;
+                    fault_stats.delivered += 1;
+                }
+                Fate::Drop => {
+                    // The send consumed bandwidth and a slot; nothing
+                    // arrives.
+                    builder.record_injection(slot);
+                    fault_stats.dropped += 1;
+                    counters.dropped += 1;
+                }
+                Fate::Duplicate => {
+                    builder.record_injection(slot);
+                    let copy = env.payload.clone();
+                    bump_recv(env.dest);
+                    inboxes.place(env.dest, env.payload);
+                    delivered += 1;
+                    fault_stats.delivered += 1;
+                    queue_pending(pending, pending_pool, fault_stats, 1, env.dest, copy);
+                    fault_stats.duplicated += 1;
+                    counters.duplicated += 1;
+                }
+                Fate::Delay(k) => {
+                    builder.record_injection(slot);
+                    queue_pending(
+                        pending,
+                        pending_pool,
+                        fault_stats,
+                        k.max(1),
+                        env.dest,
+                        env.payload,
+                    );
+                    fault_stats.delayed += 1;
+                    counters.delayed += 1;
+                }
+                Fate::Displace(d) => {
+                    builder.record_injection(slot + d);
+                    bump_recv(env.dest);
+                    inboxes.place(env.dest, env.payload);
+                    delivered += 1;
+                    fault_stats.delivered += 1;
+                    fault_stats.displaced += 1;
+                    counters.displaced += 1;
+                }
+            }
+        }
+    }
+    // Late arrivals land at the same boundary as this superstep's sends,
+    // after them, and are charged receive bandwidth here.
+    for (dest, payload) in due.drain(..) {
+        bump_recv(dest);
+        inboxes.place(dest, payload);
+        delivered += 1;
+        fault_stats.delivered += 1;
+        fault_stats.in_flight -= 1;
+        counters.late_arrivals += 1;
+    }
+    if due.capacity() > 0 && pending_pool.len() < PENDING_POOL_CAP {
+        pending_pool.push(due);
+    }
+    delivered
 }
 
 /// Assign injection slots to a processor's envelopes, refilling the recycled
@@ -1057,5 +1369,62 @@ mod tests {
         for prof in m.profiles() {
             assert_eq!(prof.total_messages, 4);
         }
+    }
+
+    #[test]
+    fn active_superstep_matches_dense_superstep() {
+        use pbw_trace::RecordingSink;
+        // Two senders fan a value out, receivers echo it back, then idle.
+        // The sparse run must match the dense run on every observable.
+        let senders = [2usize, 6];
+        let program = |pid: Pid, s: &mut Vec<u8>, inbox: &[u8], out: &mut Outbox<u8>| {
+            if senders.contains(&pid) {
+                out.send(pid + 1, pid as u8);
+            }
+            for &v in inbox {
+                s.push(v);
+                if !senders.contains(&pid) {
+                    out.send(pid - 1, v + 1);
+                }
+            }
+        };
+        let dense_sink = Arc::new(RecordingSink::new());
+        let mut dense: BspMachine<Vec<u8>, u8> = BspMachine::new(params(8), |_| Vec::new());
+        dense.set_sink(dense_sink.clone());
+        let sparse_sink = Arc::new(RecordingSink::new());
+        let mut sparse: BspMachine<Vec<u8>, u8> = BspMachine::new(params(8), |_| Vec::new());
+        sparse.set_sink(sparse_sink.clone());
+        for _ in 0..4 {
+            dense.superstep(program);
+            // After the first superstep all activity is inbox-driven, so
+            // declaring only the original senders stays correct.
+            sparse.superstep_active(&senders, program);
+        }
+        assert_eq!(dense.states(), sparse.states());
+        assert_eq!(dense.profiles(), sparse.profiles());
+        assert_eq!(dense_sink.take(), sparse_sink.take());
+    }
+
+    #[test]
+    fn active_superstep_keeps_receivers_in_the_frontier() {
+        // pid 0 sends to pid 5; the next superstep declares nobody active,
+        // yet pid 5 must still run to drain its inbox.
+        let mut m: BspMachine<Vec<u8>, u8> = BspMachine::new(params(8), |_| Vec::new());
+        m.superstep_active(&[0], |pid, _s, _in, out| {
+            if pid == 0 {
+                out.send(5, 9);
+            }
+        });
+        m.superstep_active(&[], |_pid, s, inbox, _out| {
+            s.extend_from_slice(inbox);
+        });
+        assert_eq!(m.state(5), &vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "active set names processor")]
+    fn active_superstep_rejects_out_of_range_pid() {
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.superstep_active(&[4], |_pid, _s, _in, _out| {});
     }
 }

@@ -55,10 +55,16 @@ pub type Pid = usize;
 /// a superstep. The pipelining rule requires this to be ≤ 1; it is recomputed
 /// from the engines' resolved slot assignments for each trace event — rather
 /// than assumed — so the conformance suite checks the engine, not itself.
-pub(crate) fn max_slot_multiplicity(resolved: &[Vec<u64>]) -> u64 {
-    resolved
-        .iter()
-        .map(|slots| {
+///
+/// `pids` restricts the scan to the processors whose slot buffers are live
+/// this superstep: `0..p` on the dense path, the frontier on the sparse path
+/// (non-frontier buffers hold stale assignments from an earlier superstep
+/// and must not be read). A pid outside the frontier has no resolved slots
+/// this superstep, so restricting the scan cannot change the maximum.
+pub(crate) fn max_slot_multiplicity(resolved: &[Vec<u64>], pids: impl Iterator<Item = Pid>) -> u64 {
+    pids.map(|pid| {
+        let slots = &resolved[pid];
+        {
             let mut sorted = slots.clone();
             sorted.sort_unstable();
             let mut best = 0u64;
@@ -70,9 +76,10 @@ pub(crate) fn max_slot_multiplicity(resolved: &[Vec<u64>]) -> u64 {
                 prev = Some(s);
             }
             best
-        })
-        .max()
-        .unwrap_or(0)
+        }
+    })
+    .max()
+    .unwrap_or(0)
 }
 
 /// Errors raised by the simulation engines when a program violates model

@@ -24,7 +24,7 @@
 use crate::arena::MsgArena;
 use crate::hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
-use pbw_models::{MachineParams, ProfileBuilder, SuperstepProfile};
+use pbw_models::{EpochCounts, MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, VecDeque};
@@ -170,9 +170,18 @@ pub struct QsmMachine<S> {
     stalled: Vec<bool>,
     /// Counting-pass scratch: per-processor result segment sizes.
     arena_counts: Vec<usize>,
+    /// Counting-pass scratch for the active-set path: epoch-stamped, so the
+    /// reset is O(1) instead of an O(p) `fill(0)`.
+    sparse_arena_counts: EpochCounts,
     /// Contention audit scratch: readers/writers per location.
     readers: Vec<u64>,
     writers: Vec<u64>,
+    /// Contention audit scratch for the active-set path: epoch-stamped
+    /// per-location tallies, reset in O(1) and walked via their dirty lists.
+    sparse_readers: EpochCounts,
+    sparse_writers: EpochCounts,
+    /// Active-set scratch: the sorted frontier of pids visited this phase.
+    frontier: Vec<Pid>,
     /// Distinct-address scratch for the per-processor contention audit.
     audit_reads: Vec<Addr>,
     audit_writes: Vec<Addr>,
@@ -214,8 +223,12 @@ impl<S: Send + Sync> QsmMachine<S> {
             fates: Vec::new(),
             stalled: vec![false; p],
             arena_counts: vec![0; p],
+            sparse_arena_counts: EpochCounts::new(p),
             readers: vec![0; size],
             writers: vec![0; size],
+            sparse_readers: EpochCounts::new(size),
+            sparse_writers: EpochCounts::new(size),
+            frontier: Vec::new(),
             audit_reads: Vec::new(),
             audit_writes: Vec::new(),
             pending_writes: Vec::new(),
@@ -337,6 +350,54 @@ impl<S: Send + Sync> QsmMachine<S> {
     where
         F: Fn(Pid, &mut S, &[ReadResult], &mut QsmCtx) + Sync,
     {
+        self.phase_core(None, f)
+    }
+
+    /// Execute one phase over an explicit active set, panicking on
+    /// model-rule violations. See [`QsmMachine::try_phase_active`].
+    pub fn phase_active<F>(&mut self, active: &[Pid], f: F) -> PhaseReport
+    where
+        F: Fn(Pid, &mut S, &[ReadResult], &mut QsmCtx) + Sync,
+    {
+        self.try_phase_active(active, f)
+            .unwrap_or_else(|e| panic!("QSM phase failed: {e}"))
+    }
+
+    /// Execute one phase visiting only the *frontier*: the declared
+    /// `active` pids plus every pid still holding undelivered read results
+    /// (retained after a stall, or released late by a `Delay`/`Duplicate`
+    /// fate). Phase cost is O(frontier + requests) instead of O(p).
+    ///
+    /// The run is byte-identical to [`QsmMachine::try_phase`] — same
+    /// states, shared memory, profiles, fault ledger, and trace events —
+    /// provided `f` is a *no-op* for every pid outside `active` whose
+    /// result inbox is empty: it must not mutate that pid's state, post
+    /// requests, or charge work. The frontier is visited in ascending pid
+    /// order, which replays the dense path's canonical serve order, and a
+    /// skipped pid contributes only zero-valued observations that cannot
+    /// move any profile maximum.
+    ///
+    /// Two caveats: a machine with a delivery hook still pays one O(p)
+    /// stall scan per phase (stalls are per-pid facts the hook may invent
+    /// for any pid), and an enabled trace sink materializes dense
+    /// per-processor vectors (tracing is the observability path).
+    ///
+    /// # Panics
+    /// Panics if `active` names a pid `>= p`.
+    pub fn try_phase_active<F>(&mut self, active: &[Pid], f: F) -> Result<PhaseReport, SimError>
+    where
+        F: Fn(Pid, &mut S, &[ReadResult], &mut QsmCtx) + Sync,
+    {
+        self.phase_core(Some(active), f)
+    }
+
+    /// Shared phase body: `active = None` is the dense path (all `p`
+    /// processors, parallel passes), `Some(pids)` the sparse path
+    /// (sequential passes over the sorted frontier).
+    fn phase_core<F>(&mut self, active: Option<&[Pid]>, f: F) -> Result<PhaseReport, SimError>
+    where
+        F: Fn(Pid, &mut S, &[ReadResult], &mut QsmCtx) + Sync,
+    {
         let p = self.params.p;
         let size = self.shared.len();
         let step = self.phase as u64;
@@ -350,120 +411,241 @@ impl<S: Send + Sync> QsmMachine<S> {
         // A stalled processor skips its closure this phase; its undelivered
         // read results are re-presented next phase. `stalled` is pure in
         // `(phase, pid)`, so the per-processor queries run in parallel.
+        // Unhooked machines never read the buffer (every use below is
+        // guarded by `hooked`), so its stale contents need no O(p) clear.
         let hook = self.hook.clone();
-        match &hook {
-            Some(h) => {
-                let _: Vec<()> = self
-                    .stalled
-                    .par_iter_mut()
-                    .enumerate()
-                    .map(|(pid, s)| *s = h.stalled(step, pid))
-                    .collect();
-            }
-            None => self.stalled.fill(false),
+        let hooked = hook.is_some();
+        if let Some(h) = &hook {
+            let _: Vec<()> = self
+                .stalled
+                .par_iter_mut()
+                .enumerate()
+                .map(|(pid, s)| *s = h.stalled(step, pid))
+                .collect();
         }
 
-        // Run all processors in parallel, each filling its recycled context.
-        {
-            let f = &f;
-            let stalled = &self.stalled;
-            let spare = &self.spare;
-            let _: Vec<()> = self
-                .states
-                .par_iter_mut()
-                .zip(self.ctxs.par_iter_mut())
-                .enumerate()
-                .map(|(pid, (state, ctx))| {
-                    ctx.reset();
-                    if !stalled[pid] {
-                        f(pid, state, spare.inbox(pid), ctx);
+        // The frontier: declared-active pids plus every pid with read
+        // results to consume (`spare.touched()` — retained or late
+        // responses landed there last phase). Sorted ascending so every
+        // sparse pass replays the dense path's canonical pid order.
+        if let Some(declared) = active {
+            self.frontier.clear();
+            self.frontier.extend_from_slice(declared);
+            self.frontier.extend_from_slice(self.spare.touched());
+            self.frontier.sort_unstable();
+            self.frontier.dedup();
+            if let Some(&last) = self.frontier.last() {
+                assert!(
+                    last < p,
+                    "active set names processor {last}, but the machine has {p} processors"
+                );
+            }
+        }
+
+        // Run the frontier's processors, each filling its recycled context.
+        match active {
+            None => {
+                let f = &f;
+                let stalled = &self.stalled;
+                let spare = &self.spare;
+                let _: Vec<()> = self
+                    .states
+                    .par_iter_mut()
+                    .zip(self.ctxs.par_iter_mut())
+                    .enumerate()
+                    .map(|(pid, (state, ctx))| {
+                        ctx.reset();
+                        if !(hooked && stalled[pid]) {
+                            f(pid, state, spare.inbox(pid), ctx);
+                        }
+                    })
+                    .collect();
+            }
+            Some(_) => {
+                // Sequential: the frontier is expected to be far smaller
+                // than `p`, and the passes below need its sorted order
+                // anyway. Contexts outside the frontier keep stale requests
+                // from an earlier phase; no later pass reads them.
+                for i in 0..self.frontier.len() {
+                    let pid = self.frontier[i];
+                    self.ctxs[pid].reset();
+                    if !(hooked && self.stalled[pid]) {
+                        f(
+                            pid,
+                            &mut self.states[pid],
+                            self.spare.inbox(pid),
+                            &mut self.ctxs[pid],
+                        );
                     }
-                })
-                .collect();
+                }
+            }
         }
 
         // Validate addresses and resolve per-processor injection slots into
         // the recycled slot buffers.
-        for ctx in &self.ctxs {
-            for req in &ctx.requests {
-                let addr = match req {
-                    Request::Read { addr, .. } | Request::Write { addr, .. } => *addr,
-                };
-                if addr >= size {
-                    return Err(SimError::BadAddress { addr, size });
+        match active {
+            None => {
+                for ctx in &self.ctxs {
+                    for req in &ctx.requests {
+                        let addr = match req {
+                            Request::Read { addr, .. } | Request::Write { addr, .. } => *addr,
+                        };
+                        if addr >= size {
+                            return Err(SimError::BadAddress { addr, size });
+                        }
+                    }
+                }
+                let validated: Result<Vec<()>, SimError> = self
+                    .ctxs
+                    .par_iter()
+                    .zip(self.resolved.par_iter_mut())
+                    .enumerate()
+                    .map(|(pid, (ctx, slots))| assign_slots_into(pid, &ctx.requests, slots))
+                    .collect();
+                validated?;
+            }
+            Some(_) => {
+                for &pid in &self.frontier {
+                    for req in &self.ctxs[pid].requests {
+                        let addr = match req {
+                            Request::Read { addr, .. } | Request::Write { addr, .. } => *addr,
+                        };
+                        if addr >= size {
+                            return Err(SimError::BadAddress { addr, size });
+                        }
+                    }
+                }
+                for &pid in &self.frontier {
+                    assign_slots_into(pid, &self.ctxs[pid].requests, &mut self.resolved[pid])?;
                 }
             }
         }
-        let validated: Result<Vec<()>, SimError> = self
-            .ctxs
-            .par_iter()
-            .zip(self.resolved.par_iter_mut())
-            .enumerate()
-            .map(|(pid, (ctx, slots))| assign_slots_into(pid, &ctx.requests, slots))
-            .collect();
-        validated?;
 
         // Fates are pure in `(phase, pid, msg_idx, slot)`, so they are
-        // *computed* here in a parallel pass; the sequential serve loop
-        // below only *applies* them, preserving the fixed order the ledger,
-        // pending-result queue, and traces are defined by.
-        let hooked = hook.is_some();
+        // *computed* here in a parallel (dense) or frontier-only (sparse)
+        // pass; the sequential serve loop below only *applies* them,
+        // preserving the fixed order the ledger, pending-result queue, and
+        // traces are defined by. Fate buffers outside the frontier go
+        // stale; no later pass reads them.
         if let Some(h) = &hook {
             if self.fates.len() != p {
                 self.fates.resize_with(p, Vec::new);
             }
-            let _: Vec<()> = self
-                .resolved
-                .par_iter()
-                .zip(self.fates.par_iter_mut())
-                .enumerate()
-                .map(|(pid, (slots, fates))| {
-                    fates.clear();
-                    fates.extend(slots.iter().enumerate().map(|(msg_idx, &slot)| {
-                        h.fate(&DeliveryCtx {
-                            superstep: step,
-                            src: pid,
-                            dest: pid,
-                            msg_idx,
-                            slot,
+            match active {
+                None => {
+                    let _: Vec<()> = self
+                        .resolved
+                        .par_iter()
+                        .zip(self.fates.par_iter_mut())
+                        .enumerate()
+                        .map(|(pid, (slots, fates))| {
+                            fates.clear();
+                            fates.extend(slots.iter().enumerate().map(|(msg_idx, &slot)| {
+                                h.fate(&DeliveryCtx {
+                                    superstep: step,
+                                    src: pid,
+                                    dest: pid,
+                                    msg_idx,
+                                    slot,
+                                })
+                            }));
                         })
-                    }));
-                })
-                .collect();
+                        .collect();
+                }
+                Some(_) => {
+                    for &pid in &self.frontier {
+                        let slots = &self.resolved[pid];
+                        let fates = &mut self.fates[pid];
+                        fates.clear();
+                        fates.extend(slots.iter().enumerate().map(|(msg_idx, &slot)| {
+                            h.fate(&DeliveryCtx {
+                                superstep: step,
+                                src: pid,
+                                dest: pid,
+                                msg_idx,
+                                slot,
+                            })
+                        }));
+                    }
+                }
+            }
         }
 
         // Contention audit: readers and writers per location, counting each
         // processor once per distinct address (the paper counts processors
         // per location). The distinct-address scratch replaces a per-
         // processor `BTreeSet`, so the audit is allocation-free at steady
-        // state.
-        self.readers.fill(0);
-        self.writers.fill(0);
-        for ctx in &self.ctxs {
-            self.audit_reads.clear();
-            self.audit_writes.clear();
-            for req in &ctx.requests {
-                match req {
-                    Request::Read { addr, .. } => self.audit_reads.push(*addr),
-                    Request::Write { addr, .. } => self.audit_writes.push(*addr),
+        // state. The sparse path tallies into epoch-stamped tables, so the
+        // audit costs O(frontier requests) rather than O(memory size).
+        // Either way every conflict check happens before anything is
+        // recorded into the persistent profile builder, so a rejected phase
+        // leaves it untouched.
+        match active {
+            None => {
+                self.readers.fill(0);
+                self.writers.fill(0);
+                for ctx in &self.ctxs {
+                    self.audit_reads.clear();
+                    self.audit_writes.clear();
+                    for req in &ctx.requests {
+                        match req {
+                            Request::Read { addr, .. } => self.audit_reads.push(*addr),
+                            Request::Write { addr, .. } => self.audit_writes.push(*addr),
+                        }
+                    }
+                    self.audit_reads.sort_unstable();
+                    self.audit_reads.dedup();
+                    self.audit_writes.sort_unstable();
+                    self.audit_writes.dedup();
+                    for &addr in &self.audit_reads {
+                        self.readers[addr] += 1;
+                    }
+                    for &addr in &self.audit_writes {
+                        self.writers[addr] += 1;
+                    }
+                }
+                for addr in 0..size {
+                    if self.readers[addr] > 0 && self.writers[addr] > 0 {
+                        return Err(SimError::ReadWriteConflict { addr });
+                    }
                 }
             }
-            self.audit_reads.sort_unstable();
-            self.audit_reads.dedup();
-            self.audit_writes.sort_unstable();
-            self.audit_writes.dedup();
-            for &addr in &self.audit_reads {
-                self.readers[addr] += 1;
-            }
-            for &addr in &self.audit_writes {
-                self.writers[addr] += 1;
-            }
-        }
-        // Check every location before recording anything into the persistent
-        // profile builder, so a rejected phase leaves it untouched.
-        for addr in 0..size {
-            if self.readers[addr] > 0 && self.writers[addr] > 0 {
-                return Err(SimError::ReadWriteConflict { addr });
+            Some(_) => {
+                self.sparse_readers.reset();
+                self.sparse_writers.reset();
+                for i in 0..self.frontier.len() {
+                    let pid = self.frontier[i];
+                    self.audit_reads.clear();
+                    self.audit_writes.clear();
+                    for req in &self.ctxs[pid].requests {
+                        match req {
+                            Request::Read { addr, .. } => self.audit_reads.push(*addr),
+                            Request::Write { addr, .. } => self.audit_writes.push(*addr),
+                        }
+                    }
+                    self.audit_reads.sort_unstable();
+                    self.audit_reads.dedup();
+                    self.audit_writes.sort_unstable();
+                    self.audit_writes.dedup();
+                    for &addr in &self.audit_reads {
+                        self.sparse_readers.add(addr, 1);
+                    }
+                    for &addr in &self.audit_writes {
+                        self.sparse_writers.add(addr, 1);
+                    }
+                }
+                // The dense scan reports the *lowest* conflicting address;
+                // the dirty lists are in first-touch order, so recompute
+                // that minimum on the (cold) conflict path.
+                let mut conflict: Option<Addr> = None;
+                for &addr in self.sparse_readers.touched() {
+                    if self.sparse_writers.get(addr) > 0 {
+                        conflict = Some(conflict.map_or(addr, |c| c.min(addr)));
+                    }
+                }
+                if let Some(addr) = conflict {
+                    return Err(SimError::ReadWriteConflict { addr });
+                }
             }
         }
 
@@ -480,8 +662,12 @@ impl<S: Send + Sync> QsmMachine<S> {
             ref fates,
             ref stalled,
             ref mut arena_counts,
+            ref mut sparse_arena_counts,
             ref readers,
             ref writers,
+            ref sparse_readers,
+            ref sparse_writers,
+            ref frontier,
             ref mut pending_writes,
             ref mut builder,
             ref mut profiles,
@@ -494,143 +680,156 @@ impl<S: Send + Sync> QsmMachine<S> {
             ..
         } = *self;
 
-        for addr in 0..size {
-            let kappa = readers[addr].max(writers[addr]);
-            if kappa > 0 {
-                builder.record_contention(kappa);
+        // κ only feeds a maximum, so walking the dirty lists in first-touch
+        // order is equivalent to the dense ascending address scan.
+        match active {
+            None => {
+                for addr in 0..size {
+                    let kappa = readers[addr].max(writers[addr]);
+                    if kappa > 0 {
+                        builder.record_contention(kappa);
+                    }
+                }
+            }
+            Some(_) => {
+                for &addr in sparse_readers.touched() {
+                    builder
+                        .record_contention(sparse_readers.get(addr).max(sparse_writers.get(addr)));
+                }
+                for &addr in sparse_writers.touched() {
+                    if sparse_readers.get(addr) == 0 {
+                        builder.record_contention(sparse_writers.get(addr));
+                    }
+                }
             }
         }
 
-        // Stalled processors keep their unseen read results (consumed next
-        // phase instead); they are retained ahead of this phase's serves.
         let mut counters = FaultCounters::default();
-        arena_counts.fill(0);
-        for pid in 0..p {
-            if stalled[pid] {
-                arena_counts[pid] += spare.len(pid);
-                fault_stats.stalled_steps += 1;
-                counters.stalled_procs += 1;
-            }
-        }
-
         // Responses the memory system is due to release this phase (queued
         // by earlier Delay/Duplicate fates).
         let mut due: Vec<(Pid, ReadResult)> = pending_results.pop_front().unwrap_or_default();
 
-        // Counting pass: exact per-processor response counts (reads served
-        // now, by fate, plus due late responses) lay out the arena segments
-        // before any result moves.
-        for (pid, ctx) in ctxs.iter().enumerate() {
-            for (msg_idx, req) in ctx.requests.iter().enumerate() {
-                if let Request::Read { .. } = req {
-                    let fate = if hooked {
-                        fates[pid][msg_idx]
-                    } else {
-                        Fate::Deliver
-                    };
-                    match fate {
-                        Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
-                            arena_counts[pid] += 1
+        // Counting pass: exact per-processor response counts (results a
+        // stalled processor retains, reads served now by fate, plus due
+        // late responses) lay out the arena segments before any result
+        // moves. Stalls are per-pid facts the hook may invent for any pid,
+        // so hooked machines keep the O(p) retention scans on the sparse
+        // path too (see `try_phase_active`).
+        match active {
+            None => {
+                arena_counts.fill(0);
+                if hooked {
+                    for pid in 0..p {
+                        if stalled[pid] {
+                            arena_counts[pid] += spare.len(pid);
+                            fault_stats.stalled_steps += 1;
+                            counters.stalled_procs += 1;
                         }
-                        Fate::Drop | Fate::Delay(_) => {}
                     }
                 }
+                for (pid, ctx) in ctxs.iter().enumerate() {
+                    for (msg_idx, req) in ctx.requests.iter().enumerate() {
+                        if let Request::Read { .. } = req {
+                            let fate = if hooked {
+                                fates[pid][msg_idx]
+                            } else {
+                                Fate::Deliver
+                            };
+                            match fate {
+                                Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
+                                    arena_counts[pid] += 1
+                                }
+                                Fate::Drop | Fate::Delay(_) => {}
+                            }
+                        }
+                    }
+                }
+                for &(pid, _) in due.iter() {
+                    arena_counts[pid] += 1;
+                }
+                read_results.begin(arena_counts);
+            }
+            Some(_) => {
+                sparse_arena_counts.reset();
+                if hooked {
+                    for (pid, &is_stalled) in stalled.iter().enumerate() {
+                        if is_stalled {
+                            sparse_arena_counts.add(pid, spare.len(pid) as u64);
+                            fault_stats.stalled_steps += 1;
+                            counters.stalled_procs += 1;
+                        }
+                    }
+                }
+                for &pid in frontier.iter() {
+                    for (msg_idx, req) in ctxs[pid].requests.iter().enumerate() {
+                        if let Request::Read { .. } = req {
+                            let fate = if hooked {
+                                fates[pid][msg_idx]
+                            } else {
+                                Fate::Deliver
+                            };
+                            match fate {
+                                Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
+                                    sparse_arena_counts.add(pid, 1)
+                                }
+                                Fate::Drop | Fate::Delay(_) => {}
+                            }
+                        }
+                    }
+                }
+                for &(pid, _) in due.iter() {
+                    sparse_arena_counts.add(pid, 1);
+                }
+                read_results.begin_sparse(sparse_arena_counts);
             }
         }
-        for &(pid, _) in due.iter() {
-            arena_counts[pid] += 1;
-        }
-        read_results.begin(arena_counts);
-        for pid in 0..p {
-            if stalled[pid] {
-                for result in spare.inbox(pid) {
-                    read_results.place(pid, *result);
+        // Stalled processors keep their unseen read results (consumed next
+        // phase instead); they are retained ahead of this phase's serves.
+        if hooked {
+            for (pid, &is_stalled) in stalled.iter().enumerate() {
+                if is_stalled {
+                    for result in spare.inbox(pid) {
+                        read_results.place(pid, *result);
+                    }
                 }
             }
         }
 
-        // Serve reads against the pre-phase memory; collect writes.
-        let mut total_reads = 0u64;
-        let mut total_writes = 0u64;
-        // (addr, pid, value): min-pid arbitration per address.
+        // Serve reads against the pre-phase memory; collect writes into
+        // (addr, pid, value) for min-pid arbitration per address.
         pending_writes.clear();
-        for (pid, ctx) in ctxs.iter().enumerate() {
-            let (r_i, w_i) = ctx.counts();
-            builder.record_memory_ops(r_i, w_i);
-            builder.record_work(ctx.work);
-            for (msg_idx, (req, &slot)) in ctx.requests.iter().zip(resolved[pid].iter()).enumerate()
-            {
-                let fate = if hooked {
-                    fates[pid][msg_idx]
-                } else {
-                    Fate::Deliver
-                };
-                fault_stats.injected += 1;
-                let charged_slot = match fate {
-                    Fate::Displace(d) => {
-                        fault_stats.displaced += 1;
-                        counters.displaced += 1;
-                        slot + d
-                    }
-                    _ => slot,
-                };
-                builder.record_injection(charged_slot);
-                if fate == Fate::Drop {
-                    fault_stats.dropped += 1;
-                    counters.dropped += 1;
-                    continue;
-                }
-                match req {
-                    Request::Read { addr, .. } => {
-                        let result = ReadResult {
-                            addr: *addr,
-                            value: shared[*addr],
-                        };
-                        match fate {
-                            Fate::Delay(k) => {
-                                queue_result(
-                                    pending_results,
-                                    pending_pool,
-                                    fault_stats,
-                                    k.max(1),
-                                    pid,
-                                    result,
-                                );
-                                fault_stats.delayed += 1;
-                                counters.delayed += 1;
-                            }
-                            Fate::Duplicate => {
-                                read_results.place(pid, result);
-                                fault_stats.delivered += 1;
-                                queue_result(
-                                    pending_results,
-                                    pending_pool,
-                                    fault_stats,
-                                    1,
-                                    pid,
-                                    result,
-                                );
-                                fault_stats.duplicated += 1;
-                                counters.duplicated += 1;
-                                total_reads += 1;
-                            }
-                            _ => {
-                                read_results.place(pid, result);
-                                fault_stats.delivered += 1;
-                                total_reads += 1;
-                            }
-                        }
-                    }
-                    Request::Write { addr, value, .. } => {
-                        // Delayed/duplicated writes are absorbed in order by
-                        // the memory system (see `set_delivery_hook`).
-                        pending_writes.push((*addr, pid, *value));
-                        fault_stats.delivered += 1;
-                        total_writes += 1;
-                    }
-                }
-            }
-        }
+        let (mut total_reads, total_writes) = match active {
+            None => serve_pass(
+                0..p,
+                ctxs,
+                resolved,
+                fates,
+                hooked,
+                shared,
+                read_results,
+                pending_writes,
+                builder,
+                pending_results,
+                pending_pool,
+                fault_stats,
+                &mut counters,
+            ),
+            Some(_) => serve_pass(
+                frontier.iter().copied(),
+                ctxs,
+                resolved,
+                fates,
+                hooked,
+                shared,
+                read_results,
+                pending_writes,
+                builder,
+                pending_results,
+                pending_pool,
+                fault_stats,
+                &mut counters,
+            ),
+        };
         // Late responses land after this phase's on-time serves.
         for (pid, result) in due.drain(..) {
             read_results.place(pid, result);
@@ -657,13 +856,31 @@ impl<S: Send + Sync> QsmMachine<S> {
 
         let profile = builder.snapshot_reset();
         if sink.enabled() {
-            let mut per_proc_sent = Vec::with_capacity(p);
-            let mut per_proc_recv = Vec::with_capacity(p);
-            for (pid, ctx) in ctxs.iter().enumerate() {
-                let (r_i, w_i) = ctx.counts();
-                per_proc_sent.push(r_i + w_i);
-                per_proc_recv.push(read_results.len(pid) as u64);
-            }
+            // The trace contract is dense per-processor vectors; the sparse
+            // path materializes them from zeros plus the frontier (tracing
+            // is the observability path and pays O(p) by design).
+            let per_proc_sent: Vec<u64> = match active {
+                None => ctxs
+                    .iter()
+                    .map(|ctx| {
+                        let (r_i, w_i) = ctx.counts();
+                        r_i + w_i
+                    })
+                    .collect(),
+                Some(_) => {
+                    let mut sent = vec![0u64; p];
+                    for &pid in frontier.iter() {
+                        let (r_i, w_i) = ctxs[pid].counts();
+                        sent[pid] = r_i + w_i;
+                    }
+                    sent
+                }
+            };
+            let per_proc_recv: Vec<u64> = (0..p).map(|d| read_results.len(d) as u64).collect();
+            let max_mult = match active {
+                None => crate::max_slot_multiplicity(resolved, 0..p),
+                Some(_) => crate::max_slot_multiplicity(resolved, frontier.iter().copied()),
+            };
             let mut ev = TraceEvent::for_superstep(
                 TraceSource::Qsm,
                 trace_label.clone(),
@@ -672,7 +889,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                 profile.clone(),
                 per_proc_sent,
                 per_proc_recv,
-                crate::max_slot_multiplicity(resolved),
+                max_mult,
                 total_reads + total_writes,
             );
             if hooked {
@@ -688,6 +905,116 @@ impl<S: Send + Sync> QsmMachine<S> {
             writes: total_writes,
         })
     }
+}
+
+/// The sequential serve loop, shared by both execution paths: visit `pids`
+/// in order, record each context's memory-op and work observations, then
+/// apply each request's (precomputed) fate — serving reads against the
+/// pre-phase memory and collecting writes for arbitration. Returns
+/// `(reads_served_on_time, writes_collected)`.
+///
+/// Monomorphized per iterator type: the dense instantiation (`0..p`)
+/// compiles to the loop the dense engine always ran, the sparse one walks
+/// only the frontier. A pid outside the frontier issued no requests, so
+/// skipping it drops only `record_memory_ops(0, 0)` / `record_work(0)`
+/// observations, which cannot move any profile maximum.
+#[allow(clippy::too_many_arguments)]
+fn serve_pass(
+    pids: impl Iterator<Item = Pid>,
+    ctxs: &[QsmCtx],
+    resolved: &[Vec<u64>],
+    fates: &[Vec<Fate>],
+    hooked: bool,
+    shared: &[Word],
+    read_results: &mut MsgArena<ReadResult>,
+    pending_writes: &mut Vec<(Addr, Pid, Word)>,
+    builder: &mut ProfileBuilder,
+    pending_results: &mut VecDeque<Vec<(Pid, ReadResult)>>,
+    pending_pool: &mut Vec<Vec<(Pid, ReadResult)>>,
+    fault_stats: &mut FaultStats,
+    counters: &mut FaultCounters,
+) -> (u64, u64) {
+    let mut total_reads = 0u64;
+    let mut total_writes = 0u64;
+    for pid in pids {
+        let ctx = &ctxs[pid];
+        let (r_i, w_i) = ctx.counts();
+        builder.record_memory_ops(r_i, w_i);
+        builder.record_work(ctx.work);
+        for (msg_idx, (req, &slot)) in ctx.requests.iter().zip(resolved[pid].iter()).enumerate() {
+            let fate = if hooked {
+                fates[pid][msg_idx]
+            } else {
+                Fate::Deliver
+            };
+            fault_stats.injected += 1;
+            let charged_slot = match fate {
+                Fate::Displace(d) => {
+                    fault_stats.displaced += 1;
+                    counters.displaced += 1;
+                    slot + d
+                }
+                _ => slot,
+            };
+            builder.record_injection(charged_slot);
+            if fate == Fate::Drop {
+                fault_stats.dropped += 1;
+                counters.dropped += 1;
+                continue;
+            }
+            match req {
+                Request::Read { addr, .. } => {
+                    let result = ReadResult {
+                        addr: *addr,
+                        value: shared[*addr],
+                    };
+                    match fate {
+                        Fate::Delay(k) => {
+                            queue_result(
+                                pending_results,
+                                pending_pool,
+                                fault_stats,
+                                k.max(1),
+                                pid,
+                                result,
+                            );
+                            fault_stats.delayed += 1;
+                            counters.delayed += 1;
+                        }
+                        Fate::Duplicate => {
+                            read_results.place(pid, result);
+                            fault_stats.delivered += 1;
+                            queue_result(
+                                pending_results,
+                                pending_pool,
+                                fault_stats,
+                                1,
+                                pid,
+                                result,
+                            );
+                            fault_stats.duplicated += 1;
+                            counters.duplicated += 1;
+                            total_reads += 1;
+                        }
+                        _ => {
+                            read_results.place(pid, result);
+                            fault_stats.delivered += 1;
+                            total_reads += 1;
+                        }
+                    }
+                }
+                Request::Write { addr, value, .. } => {
+                    // Delayed/duplicated writes are absorbed in order by
+                    // the memory system (see
+                    // [`QsmMachine::set_delivery_hook`]).
+                    pending_writes.push((*addr, pid, *value));
+                    fault_stats.delivered += 1;
+                    total_writes += 1;
+                }
+            }
+        }
+    }
+    (total_reads, total_writes)
 }
 
 /// How many drained pending-response buffers a machine keeps for reuse.
@@ -1036,5 +1363,87 @@ mod tests {
         let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
         m.phase(|pid, _s, _res, ctx| ctx.charge_work(pid as u64));
         assert_eq!(m.profiles()[0].max_work, 3);
+    }
+
+    #[test]
+    fn active_phase_matches_dense_phase() {
+        use pbw_trace::RecordingSink;
+        // The same 3-phase program (two writers, then a cross-read, then a
+        // consume) run dense and sparse must agree on everything observable.
+        let writers = [1usize, 5];
+        let program = |pid: Pid, s: &mut Word, res: &[ReadResult], ctx: &mut QsmCtx, ph: usize| {
+            if !writers.contains(&pid) {
+                return;
+            }
+            match ph {
+                0 => ctx.write(pid, 10 * pid as Word),
+                1 => ctx.read(writers[usize::from(pid == writers[0])]),
+                _ => *s = res[0].value,
+            }
+        };
+        let dense_sink = Arc::new(RecordingSink::new());
+        let mut dense: QsmMachine<Word> = QsmMachine::new(params(8), 16, |_| 0);
+        dense.set_sink(dense_sink.clone());
+        let sparse_sink = Arc::new(RecordingSink::new());
+        let mut sparse: QsmMachine<Word> = QsmMachine::new(params(8), 16, |_| 0);
+        sparse.set_sink(sparse_sink.clone());
+        for ph in 0..3 {
+            dense.phase(|pid, s, res, ctx| program(pid, s, res, ctx, ph));
+            sparse.phase_active(&writers, |pid, s, res, ctx| program(pid, s, res, ctx, ph));
+        }
+        assert_eq!(dense.states(), sparse.states());
+        assert_eq!(dense.shared(), sparse.shared());
+        assert_eq!(dense.profiles(), sparse.profiles());
+        assert_eq!(dense_sink.take(), sparse_sink.take());
+    }
+
+    #[test]
+    fn active_phase_keeps_result_holders_in_the_frontier() {
+        // pid 2 reads in phase 0; the next phase declares *nobody* active,
+        // yet pid 2 must still run (it holds an undelivered result).
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(8), 8, |_| -1);
+        m.shared_mut()[4] = 33;
+        m.phase_active(&[2], |pid, _s, _res, ctx| {
+            if pid == 2 {
+                ctx.read(4);
+            }
+        });
+        m.phase_active(&[], |_pid, s, res, _ctx| {
+            if let Some(r) = res.first() {
+                *s = r.value;
+            }
+        });
+        let mut want = vec![-1; 8];
+        want[2] = 33;
+        assert_eq!(m.states(), want.as_slice());
+    }
+
+    #[test]
+    fn active_phase_reports_sparse_conflicts_like_dense() {
+        let body = |pid: Pid, _s: &mut (), _res: &[ReadResult], ctx: &mut QsmCtx| match pid {
+            1 => {
+                ctx.read(6);
+                ctx.write(3, 1);
+            }
+            5 => {
+                ctx.write(6, 9);
+                ctx.read(3);
+            }
+            _ => {}
+        };
+        let mut dense: QsmMachine<()> = QsmMachine::new(params(8), 8, |_| ());
+        let mut sparse: QsmMachine<()> = QsmMachine::new(params(8), 8, |_| ());
+        let want = dense.try_phase(body).unwrap_err();
+        let got = sparse.try_phase_active(&[1, 5], body).unwrap_err();
+        // Both paths must report the lowest conflicting address.
+        assert_eq!(want, SimError::ReadWriteConflict { addr: 3 });
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "active set names processor")]
+    fn active_phase_rejects_out_of_range_pid() {
+        let mut m: QsmMachine<()> = QsmMachine::new(params(4), 8, |_| ());
+        m.phase_active(&[4], |_pid, _s, _res, _ctx| {});
     }
 }

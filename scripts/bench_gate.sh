@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate for the superstep hot path.
 #
-# Runs the `engine_hotpath` Criterion bench (quick: 30 samples per
-# scenario), extracts each scenario's [min median max] timing triple, and
-# fails if any scenario's MINIMUM is more than THRESHOLD_PCT slower than
-# the checked-in baseline in BENCH_engine.json.
+# Runs the `engine_hotpath` and `engine_scaling` Criterion benches (quick:
+# 15-30 samples per scenario), extracts each scenario's [min median max]
+# timing triple, and fails if any scenario's MINIMUM is more than
+# THRESHOLD_PCT slower than the checked-in baseline in BENCH_engine.json.
 #
 # Why gate on the minimum, not the median: on the shared 1-core CI
 # container, scheduler preemption inflates individual timed batches so
@@ -60,17 +60,25 @@ command -v jq >/dev/null || {
   exit 1
 }
 
-# Runs the bench once and fills $measured with "<name> <min_ns> <median_ns>"
-# triples. The Criterion shim prints one line per scenario:
+# The benches the gate pins: the dense superstep hot path and the
+# active-set scaling sweep (PR 5).
+BENCHES=(engine_hotpath engine_scaling)
+
+# Runs the gated benches once and fills $measured with
+# "<name> <min_ns> <median_ns>" triples. The Criterion shim prints one
+# line per scenario:
 #   engine_hotpath/bsp_ring/p1024  time: [27.9 µs 28.9 µs 32.7 µs]
 measured=""
 run_bench() {
-  echo "== bench_gate: running engine_hotpath (PBW_THREADS=${PBW_THREADS:-1}) =="
-  local out
-  out="$(PBW_THREADS="${PBW_THREADS:-1}" cargo bench -q -p pbw-bench --bench engine_hotpath 2>&1)" || {
-    printf '%s\n' "$out" >&2
-    exit 1
-  }
+  echo "== bench_gate: running ${BENCHES[*]} (PBW_THREADS=${PBW_THREADS:-1}) =="
+  local out="" bench one
+  for bench in "${BENCHES[@]}"; do
+    one="$(PBW_THREADS="${PBW_THREADS:-1}" cargo bench -q -p pbw-bench --bench "$bench" 2>&1)" || {
+      printf '%s\n' "$one" >&2
+      exit 1
+    }
+    out+="$one"$'\n'
+  done
   printf '%s\n' "$out"
   measured="$(printf '%s\n' "$out" | awk '
     function factor(unit) {
@@ -104,7 +112,7 @@ if [ "$refresh" -eq 1 ]; then
   else
     cat > "$tmp" << 'EOF'
 {
-  "benchmark": "engine_hotpath (crates/bench/benches/engine_hotpath.rs)",
+  "benchmark": "engine_hotpath + engine_scaling (crates/bench/benches/)",
   "hardware_note": "Recorded on the 1-core CI container (nproc = 1) with PBW_THREADS=1. Refresh only from the environment the gate runs in.",
   "host": { "nproc": 1, "os": "linux" },
   "units": "nanoseconds per iteration; min_ns/median_ns are the first/middle values of the shim's [min median max] triple",

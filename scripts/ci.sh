@@ -26,6 +26,12 @@ PBW_THREADS=8 cargo test --workspace -q
 echo "== stress smoke (PBW_STRESS_SCALE=32) =="
 PBW_STRESS_SCALE=32 cargo test --release -q --test stress
 
+# The large-p paper-claims tier: broadcast and the gvsm-routing breakdown
+# at p = 2^18, feasible in CI only because the active-set engine path
+# makes nearly-idle machines cost O(active + messages) per superstep.
+echo "== paper claims at p = 2^18 =="
+cargo test --release -q --test paper_claims large_p -- --ignored
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

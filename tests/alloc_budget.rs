@@ -134,6 +134,38 @@ fn pram_allocs_per_step(ops: usize) -> u64 {
     (allocs() - before) / MEASURED
 }
 
+/// Allocations per steady-state *active-set* superstep with a fixed
+/// 64-sender workload on a `p`-processor machine: the sparse path's
+/// per-superstep cost must not depend on `p` at all, so the count at
+/// p = 1k and p = 64k must come out equal.
+fn sparse_bsp_allocs_per_superstep(p: usize) -> u64 {
+    let mp = MachineParams::from_gap(p, 2, 4);
+    let mut bsp: BspMachine<u64, u64> = BspMachine::new(mp, |pid| pid as u64);
+    let active: Vec<usize> = (0..64).map(|i| i * (p / 64)).collect();
+    let stride = p / 64;
+    let round = |bsp: &mut BspMachine<u64, u64>| {
+        bsp.superstep_active(&active, |pid, state, inbox, out| {
+            *state = state.wrapping_add(inbox.iter().sum::<u64>());
+            // Only the declared senders forward; their receivers (woken
+            // automatically next superstep to consume their inboxes) stay
+            // silent, keeping the frontier at a fixed 64 + 256 processors.
+            if pid % stride == 0 {
+                for k in 0..4usize {
+                    out.send((pid + k + 1) % p, (pid + k) as u64);
+                }
+            }
+        });
+    };
+    for _ in 0..WARMUP {
+        round(&mut bsp);
+    }
+    let before = allocs();
+    for _ in 0..MEASURED {
+        round(&mut bsp);
+    }
+    (allocs() - before) / MEASURED
+}
+
 /// Per-superstep allocation count must not grow with message volume, and
 /// must stay under a small absolute budget. `budget` covers the profile
 /// snapshot, the amortized `profiles` push and the pool dispatch; it is
@@ -175,6 +207,31 @@ fn steady_state_supersteps_allocate_o1_sequential() {
                 pram_allocs_per_step(1),
                 pram_allocs_per_step(16),
                 16,
+            );
+        });
+}
+
+/// The active-set path (PR 5): with the sender set held fixed at 64
+/// processors, allocations per superstep must be identical on a 1k- and a
+/// 64k-processor machine — any O(p) clear or per-processor buffer sneaking
+/// back into the sparse path shows up here as a count difference.
+#[test]
+fn sparse_superstep_allocations_do_not_scale_with_p() {
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| {
+            let small = sparse_bsp_allocs_per_superstep(1 << 10);
+            let large = sparse_bsp_allocs_per_superstep(1 << 16);
+            assert_eq!(
+                small, large,
+                "sparse path allocations scale with p ({small} at p=1k vs {large} at p=64k)"
+            );
+            assert!(
+                small <= 16,
+                "{small} allocations per sparse superstep exceeds the budget of 16"
             );
         });
 }

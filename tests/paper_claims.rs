@@ -179,3 +179,47 @@ fn g_model_never_beats_m_model_on_same_run() {
         );
     }
 }
+
+/// Large-p tier (PR 5; run explicitly — `scripts/ci.sh` invokes it with
+/// `--ignored` in release mode): Theorem 4.1's broadcast bound must keep
+/// holding at p = 2^18, where the tree's early rounds run through the
+/// active-set engine path (a handful of senders on a quarter-million-
+/// processor machine).
+#[test]
+#[ignore = "large-p smoke; scripts/ci.sh runs it in release"]
+fn large_p_broadcast_smoke() {
+    let mp = MachineParams::from_gap(1 << 18, 16, 8);
+    let tree = broadcast::bsp_g(mp);
+    assert!(tree.ok, "broadcast failed to reach every processor");
+    let lower = bounds::broadcast_bsp_g_lower(mp.p, mp.g, mp.l);
+    assert!(
+        tree.time >= lower * 0.99,
+        "measured {} undercuts the Theorem 4.1 lower bound {lower}",
+        tree.time
+    );
+}
+
+/// Large-p tier (PR 5): the Proposition 6.1 gvsm-routing term breakdown at
+/// p = 2^18 — the single hot sender makes the workload ~0.0004% active, so
+/// the whole audit-and-execute pipeline exercises the sparse engine path,
+/// and the Θ(g) term-level routing gap must be unchanged by it.
+#[test]
+#[ignore = "large-p smoke; scripts/ci.sh runs it in release"]
+fn large_p_gvsm_breakdown() {
+    use parallel_bandwidth::models::breakdown::Dominant;
+    use parallel_bandwidth::sched::schedule::audit_schedule;
+
+    let mp = MachineParams::from_gap(1 << 18, 16, 8);
+    // One hot sender, everyone else silent: the extreme unbalanced regime,
+    // where the hot h = 4096 pins BSP(g) to its g·h wire term.
+    let wl = workload::single_hot_sender(mp.p, 4096, 0, 3);
+    let sched = UnbalancedSend::new(0.2).schedule(&wl, mp.m, 9);
+    let audit = audit_schedule(&sched, &wl, mp, "gvsm-routing-large");
+    let b = &audit.breakdown;
+    assert_eq!(audit.dominant_bsp_g, Dominant::Traffic);
+    assert_eq!(b.local_traffic, (mp.g * 4096) as f64);
+    // And the engine agrees with the analytic audit on the sparse path.
+    let exec = parallel_bandwidth::sched::exec::run_schedule_on_bsp(&wl, &sched, mp);
+    assert_eq!(exec.profile.max_sent, 4096);
+    assert_eq!(exec.profile.total_messages, wl.n_flits());
+}

@@ -378,6 +378,106 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Dense vs. active-set execution equivalence (PR 5): on random
+    /// unbalanced workloads (1–5% of processors send, random fan-out,
+    /// faults injected), the dense all-processor superstep and the
+    /// active-set superstep must produce byte-identical recorded traces,
+    /// fault ledgers and final states — at pool widths 1 and 8 alike.
+    #[test]
+    fn sparse_and_dense_superstep_paths_are_byte_identical(
+        big_p in any::<bool>(),
+        sender_pct in 1usize..=5,
+        max_fanout in 1usize..6,
+        seed in 0u64..1000,
+        drop_rate in 0.0..0.2f64,
+        delay_rate in 0.0..0.2f64,
+    ) {
+        use parallel_bandwidth::prelude::{FaultPlan, FaultSpec, FaultStats};
+        use parallel_bandwidth::sim::{BspMachine, Outbox};
+        use parallel_bandwidth::trace::RecordingSink;
+        use rayon::ThreadPoolBuilder;
+        use std::sync::Arc;
+
+        let p = if big_p { 1024 } else { 64 };
+        let n_senders = ((p * sender_pct) / 100).max(1);
+        // A seed-scrambled sender set (the stride is odd, p a power of two,
+        // so the map is a bijection) with per-sender random fan-out.
+        let senders: Vec<usize> = (0..n_senders)
+            .map(|i| (i * 131 + seed as usize) % p)
+            .collect();
+        let sends: Vec<(usize, Vec<usize>)> = senders
+            .iter()
+            .enumerate()
+            .map(|(i, &src)| {
+                let fanout = 1 + (i + seed as usize) % max_fanout;
+                let dests = (0..fanout).map(|j| (src * 7 + j * 13 + 1) % p).collect();
+                (src, dests)
+            })
+            .collect();
+        let spec = FaultSpec {
+            drop_rate,
+            delay_rate,
+            max_delay: 3,
+            ..FaultSpec::none()
+        };
+
+        let run = |sparse: bool, width: usize| -> (Vec<String>, FaultStats, Vec<u64>) {
+            ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool construction is infallible in the shim")
+                .install(|| {
+                    let params = MachineParams::from_gap(p, 8, 4);
+                    let sink = Arc::new(RecordingSink::new());
+                    let mut machine: BspMachine<u64, u64> = BspMachine::new(params, |_| 0);
+                    machine.set_sink(sink.clone()).set_trace_label("dense-vs-sparse");
+                    machine.set_delivery_hook(Arc::new(FaultPlan::new(spec, seed ^ 0xA5)));
+                    let send = |pid: usize, s: &mut u64, inbox: &[u64], out: &mut Outbox<u64>| {
+                        *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                        if let Some((_, dests)) = sends.iter().find(|(src, _)| *src == pid) {
+                            for &d in dests {
+                                out.send(d, (pid + d) as u64);
+                            }
+                        }
+                    };
+                    let drain = |_pid: usize, s: &mut u64, inbox: &[u64], _out: &mut Outbox<u64>| {
+                        *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                    };
+                    // Same superstep count on both paths: one send step,
+                    // then enough idle steps to cover max_delay plus the
+                    // final retained-inbox consumption.
+                    if sparse {
+                        machine.superstep_active(&senders, send);
+                        for _ in 0..5 {
+                            machine.superstep_active(&[], drain);
+                        }
+                    } else {
+                        machine.superstep(send);
+                        for _ in 0..5 {
+                            machine.superstep(drain);
+                        }
+                    }
+                    let events: Vec<String> =
+                        sink.take().iter().map(|e| e.to_json()).collect();
+                    (events, machine.fault_stats(), machine.states().to_vec())
+                })
+        };
+
+        let baseline = run(false, 1);
+        for (sparse, width) in [(true, 1), (false, 8), (true, 8)] {
+            let other = run(sparse, width);
+            prop_assert_eq!(
+                &baseline, &other,
+                "sparse={} width={} diverged from the dense 1-thread run",
+                sparse, width
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// The memoized penalty table ([`PenaltyFn::table`]) is bit-exact

@@ -1,12 +1,15 @@
 //! Large-scale stress tests, with a size-scaled smoke tier.
 //!
-//! Each scenario is parameterized by a size divisor. The full-size variants
-//! are `#[ignore]`d (run with `cargo test --release -- --ignored`); each
-//! also has an always-on `_smoke` variant shrunk by `PBW_STRESS_SCALE` (a
-//! divisor, default 16 — set it to 1 to run the smoke tier at full size,
-//! or higher to shrink further on slow machines). The invariants checked
-//! are scale-agnostic; only the absolute-size assertions (message counts,
-//! tight ratio bounds) are gated on full size.
+//! Each scenario is parameterized by a size divisor and runs always-on in
+//! two tiers, both driven by `PBW_STRESS_SCALE` (a divisor, default 16 —
+//! set it to 1 to run everything at full size, or higher to shrink further
+//! on slow machines): a `_smoke` variant shrunk by the full divisor, and a
+//! large variant at one-eighth of it (so the default runs it at half
+//! size). The invariants checked are scale-agnostic; only the
+//! absolute-size assertions (message counts, tight ratio bounds) are gated
+//! on full size. The broadcast-tree scenario smokes at a milder divisor
+//! than the rest: its per-superstep cost is O(frontier + messages) on the
+//! active-set engine, so big machines are cheap.
 
 use parallel_bandwidth::models::{MachineParams, PenaltyFn};
 use parallel_bandwidth::prelude::*;
@@ -18,6 +21,13 @@ fn stress_scale() -> u64 {
         .and_then(|s| s.parse().ok())
         .filter(|&s| s >= 1)
         .unwrap_or(16)
+}
+
+/// The large-tier divisor: an eighth of the smoke divisor, floored at
+/// full size. These were `#[ignore]`d full-size-only runs before PR 5;
+/// running them scaled keeps the big configurations continuously covered.
+fn full_scale() -> u64 {
+    (stress_scale() / 8).max(1)
 }
 
 fn schedule_many_messages(scale: u64) {
@@ -95,10 +105,58 @@ fn list_ranking_many_nodes(scale: u64) {
     assert!(run.rounds < 80, "rounds {}", run.rounds);
 }
 
+/// Fan-out-4 broadcast tree on the active-set engine: only the frontier
+/// (the level being relayed plus the processors whose inboxes just landed)
+/// is ever iterated, so a quarter-million-processor broadcast is smoke-tier
+/// cheap. Checks exact single delivery to every processor.
+fn broadcast_tree_sparse(scale: u64) {
+    let p = ((1usize << 18) / scale as usize).max(1024);
+    let mp = MachineParams::from_gap(p, 16, 8);
+    let mut machine: BspMachine<u64, u32> = BspMachine::new(mp, |_| 0);
+    machine.superstep_active(&[0], |pid, _s, _in, out| {
+        if pid == 0 {
+            for c in 1..=4usize {
+                if c < p {
+                    out.send(c, 1);
+                }
+            }
+        }
+    });
+    // Relay rounds: a processor that just received the token forwards it
+    // to its four children. Nobody is declared active — the frontier is
+    // exactly the processors with retained inboxes, discovered by the
+    // engine. Extra rounds past the deepest level are empty-frontier
+    // no-ops, so over-running is harmless.
+    let relay =
+        |pid: usize, s: &mut u64, inbox: &[u32], out: &mut parallel_bandwidth::sim::Outbox<u32>| {
+            if pid != 0 && !inbox.is_empty() {
+                *s += inbox.len() as u64;
+                for c in 1..=4usize {
+                    let child = 4 * pid + c;
+                    if child < p {
+                        out.send(child, 1);
+                    }
+                }
+            }
+        };
+    for _ in 0..12 {
+        machine.superstep_active(&[], relay);
+    }
+    let states = machine.states();
+    assert_eq!(
+        states.iter().sum::<u64>(),
+        (p - 1) as u64,
+        "broadcast did not reach every processor exactly once"
+    );
+    assert!(states.iter().all(|&s| s <= 1), "duplicate deliveries");
+    if scale == 1 {
+        assert_eq!(p, 1 << 18);
+    }
+}
+
 #[test]
-#[ignore = "large-scale stress; run with --ignored"]
 fn schedule_a_million_messages() {
-    schedule_many_messages(1);
+    schedule_many_messages(full_scale());
 }
 
 #[test]
@@ -107,9 +165,8 @@ fn schedule_many_messages_smoke() {
 }
 
 #[test]
-#[ignore = "large-scale stress; run with --ignored"]
 fn engine_4096_processors_end_to_end() {
-    engine_end_to_end(1);
+    engine_end_to_end(full_scale());
 }
 
 #[test]
@@ -118,9 +175,8 @@ fn engine_end_to_end_smoke() {
 }
 
 #[test]
-#[ignore = "large-scale stress; run with --ignored"]
 fn sort_128k_keys_on_the_machine() {
-    sort_many_keys(1);
+    sort_many_keys(full_scale());
 }
 
 #[test]
@@ -129,9 +185,8 @@ fn sort_keys_smoke() {
 }
 
 #[test]
-#[ignore = "large-scale stress; run with --ignored"]
 fn dynamic_router_ten_thousand_intervals() {
-    dynamic_router_long_run(1);
+    dynamic_router_long_run(full_scale());
 }
 
 #[test]
@@ -140,12 +195,23 @@ fn dynamic_router_smoke() {
 }
 
 #[test]
-#[ignore = "large-scale stress; run with --ignored"]
 fn list_ranking_65k_nodes() {
-    list_ranking_many_nodes(1);
+    list_ranking_many_nodes(full_scale());
 }
 
 #[test]
 fn list_ranking_smoke() {
     list_ranking_many_nodes(stress_scale());
+}
+
+#[test]
+fn broadcast_tree_full() {
+    broadcast_tree_sparse(full_scale());
+}
+
+#[test]
+fn broadcast_tree_smoke() {
+    // The active-set engine makes large broadcasts cheap, so this smoke
+    // runs at a quarter of the usual divisor (p = 65536 by default).
+    broadcast_tree_sparse((stress_scale() / 4).max(1));
 }
