@@ -1,0 +1,490 @@
+//! Invariant families 1 and 3: exhaustive fate/interleaving exploration of
+//! [`BspMachine`] over the program catalog.
+//!
+//! ## Search structure
+//!
+//! The space is walked breadth-first by superstep depth. A node is a
+//! [`FaultScript`] whose entries all lie at supersteps `< depth`. Expanding
+//! a node at `depth`:
+//!
+//! 1. **Probe** — re-execute the script prefix for `depth + 1` supersteps
+//!    with a [`RecordingHook`], learning exactly which `(superstep, src,
+//!    msg_idx)` keys the engine consulted at `depth` and which processors
+//!    received traffic. The engine is deterministic, so the probe *is* the
+//!    "all-deliver" child.
+//! 2. **Branch** — enumerate every assignment of the domain's fate
+//!    alphabet over those keys, and every single-processor stall among the
+//!    processors that send at `depth` or received at `depth − 1` (stalling
+//!    anyone else is behaviourally inert for the catalog programs: they
+//!    hold no inbox and post no messages). Stalls change which keys exist,
+//!    so each stalled variant is re-probed before its fates are
+//!    enumerated.
+//! 3. **Check + dedup** — every child is executed on both the dense and
+//!    the sparse path; the ledger must conserve at every boundary and the
+//!    two paths' [`BspMachine::canonical_hash`] must agree *at the node
+//!    itself* (so a divergence is caught at the first superstep it
+//!    appears, even if the node is then pruned). Children whose canonical
+//!    hash was already seen at this depth are pruned: the hash covers the
+//!    full behavioural state (superstep index, states, inboxes, pending
+//!    network, fault ledger), so equal hashes have identical futures under
+//!    identical script suffixes.
+//!
+//! At the final depth every surviving script is run to quiescence (the
+//! scripted horizon plus a bounded drain for delayed traffic) on **both**
+//! paths with full trace rendering; the renders must be byte-identical and
+//! the terminal ledger must be reconstructible from the script alone.
+//!
+//! Machines are re-executed from scratch rather than snapshotted —
+//! [`BspMachine`] is deliberately not `Clone` (its network queue is
+//! private state), and at checker scale a replay costs microseconds.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use pbw_faults::{FaultScript, ScriptKey};
+use pbw_models::MachineParams;
+use pbw_sim::{BspMachine, Fate, FaultStats, Pid};
+use pbw_trace::RecordingSink;
+
+use crate::program::Program;
+use crate::record::RecordingHook;
+use crate::{Budget, Domain, FamilyReport, Violation};
+
+/// The two reports the shared walk produces.
+pub struct MachineFamilies {
+    /// Family 1: ledger conservation + reconstruction.
+    pub conservation: FamilyReport,
+    /// Family 3: sparse path ≡ dense path.
+    pub sparse_dense: FamilyReport,
+}
+
+/// Extra supersteps allowed past the scripted horizon for delayed traffic
+/// to land (the domain's largest delay is 2; 16 is a hard failure).
+const DRAIN_GUARD: u64 = 16;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Dense,
+    Sparse,
+}
+
+struct RunOutcome {
+    hash: u64,
+    stats: FaultStats,
+    hook: Arc<RecordingHook>,
+    render: Option<String>,
+    /// First conservation/drain failure observed, if any.
+    violation: Option<String>,
+}
+
+/// Execute `script` on `prog` for `supersteps` supersteps (plus a drain
+/// phase if `drain`), on the chosen path.
+fn run_program(
+    prog: &Program,
+    script: &FaultScript,
+    supersteps: u64,
+    drain: bool,
+    mode: Mode,
+    with_render: bool,
+) -> RunOutcome {
+    let params = MachineParams::from_bandwidth(prog.p, 1, 2);
+    let hook = Arc::new(RecordingHook::new(script.clone()));
+    let sink = Arc::new(RecordingSink::new());
+    let mut machine: BspMachine<u64, u64> = BspMachine::new(params, |pid| pid as u64 + 1);
+    machine.set_delivery_hook(hook.clone());
+    machine.set_trace_label("check");
+    if with_render {
+        machine.set_sink(sink.clone());
+    }
+    let mut violation: Option<String> = None;
+    let step = |machine: &mut BspMachine<u64, u64>, ss: u64| {
+        let body = prog.body.clone();
+        let f = move |pid: Pid, s: &mut u64, inbox: &[u64], out: &mut pbw_sim::Outbox<u64>| {
+            body(pid, ss, s, inbox, out)
+        };
+        match mode {
+            Mode::Dense => {
+                machine.superstep(f);
+            }
+            Mode::Sparse => {
+                let active = (prog.active)(ss);
+                machine.superstep_active(&active, f);
+            }
+        }
+    };
+    let mut ss = 0;
+    while ss < supersteps {
+        step(&mut machine, ss);
+        if violation.is_none() && !machine.fault_stats().conserved() {
+            violation = Some(format!(
+                "ledger not conserved after superstep {ss}: {:?}",
+                machine.fault_stats()
+            ));
+        }
+        ss += 1;
+    }
+    if drain {
+        // Keep running the *program body* (not an idle step) so arrivals
+        // delayed past the horizon still trigger their reactions (echo).
+        while machine.faults_in_flight() > 0 && ss < supersteps + DRAIN_GUARD {
+            step(&mut machine, ss);
+            if violation.is_none() && !machine.fault_stats().conserved() {
+                violation = Some(format!(
+                    "ledger not conserved after drain superstep {ss}: {:?}",
+                    machine.fault_stats()
+                ));
+            }
+            ss += 1;
+        }
+        if violation.is_none() && machine.faults_in_flight() > 0 {
+            violation = Some(format!(
+                "{} message(s) still in flight after {DRAIN_GUARD} drain supersteps",
+                machine.faults_in_flight()
+            ));
+        }
+    }
+    let render = with_render.then(|| {
+        let mut out = String::new();
+        for e in sink.take() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "ledger: {:?}\nstates: {:?}\nprofiles: {:?}\n",
+            machine.fault_stats(),
+            machine.states(),
+            machine.profiles()
+        ));
+        out
+    });
+    RunOutcome {
+        hash: machine.canonical_hash(),
+        stats: machine.fault_stats(),
+        hook,
+        render,
+        violation,
+    }
+}
+
+/// Defects found at one terminal script, split by family.
+pub struct LeafDefects {
+    pub conservation: Vec<String>,
+    pub sparse_dense: Vec<String>,
+}
+
+impl LeafDefects {
+    pub fn is_empty(&self) -> bool {
+        self.conservation.is_empty() && self.sparse_dense.is_empty()
+    }
+}
+
+/// Run `script` to quiescence on both paths and audit every terminal
+/// invariant. Public so [`crate::replay::machine`] reproduces exactly what
+/// the explorer checked.
+pub fn check_leaf(prog: &Program, script: &FaultScript, supersteps: u64) -> LeafDefects {
+    let dense = run_program(prog, script, supersteps, true, Mode::Dense, true);
+    let sparse = run_program(prog, script, supersteps, true, Mode::Sparse, true);
+    let mut defects = LeafDefects {
+        conservation: Vec::new(),
+        sparse_dense: Vec::new(),
+    };
+    if let Some(v) = &dense.violation {
+        defects.conservation.push(v.clone());
+    }
+    if let Some(v) = &sparse.violation {
+        defects.conservation.push(format!("(sparse path) {v}"));
+    }
+
+    // Reconstruct the expected terminal ledger from the script + the set
+    // of messages the engine actually consulted — an *independent* route
+    // to the same numbers the engine's own counters took.
+    let stats = dense.stats;
+    let consulted = dense.hook.consulted();
+    let expect = |pred: fn(Fate) -> bool| script.count_matching(consulted.iter().copied(), pred);
+    let checks: [(&str, u64, u64); 7] = [
+        ("injected", stats.injected, consulted.len() as u64),
+        ("dropped", stats.dropped, expect(|f| f == Fate::Drop)),
+        (
+            "duplicated",
+            stats.duplicated,
+            expect(|f| f == Fate::Duplicate),
+        ),
+        (
+            "delayed",
+            stats.delayed,
+            expect(|f| matches!(f, Fate::Delay(_))),
+        ),
+        (
+            "displaced",
+            stats.displaced,
+            expect(|f| matches!(f, Fate::Displace(_))),
+        ),
+        ("in_flight", stats.in_flight, 0),
+        (
+            "delivered",
+            stats.delivered,
+            (consulted.len() as u64 + stats.duplicated).saturating_sub(stats.dropped),
+        ),
+    ];
+    for (what, got, want) in checks {
+        if got != want {
+            defects.conservation.push(format!(
+                "terminal ledger disagrees with the script: {what} = {got}, expected {want} ({:?})",
+                stats
+            ));
+        }
+    }
+
+    match (&dense.render, &sparse.render) {
+        (Some(d), Some(s)) if d != s => {
+            defects.sparse_dense.push(format!(
+                "dense and sparse runs diverge: {}",
+                first_diff(d, s)
+            ));
+        }
+        _ => {}
+    }
+    defects
+}
+
+fn first_diff(dense: &str, sparse: &str) -> String {
+    for (i, (ld, ls)) in dense.lines().zip(sparse.lines()).enumerate() {
+        if ld != ls {
+            return format!("line {}: dense `{ld}` vs sparse `{ls}`", i + 1);
+        }
+    }
+    format!(
+        "renders have different lengths: dense {} line(s), sparse {}",
+        dense.lines().count(),
+        sparse.lines().count()
+    )
+}
+
+/// Walk the whole machine space for `domain`.
+pub fn explore(domain: &Domain, budget: &mut Budget) -> MachineFamilies {
+    let mut fam = MachineFamilies {
+        conservation: FamilyReport::new("conservation"),
+        sparse_dense: FamilyReport::new("sparse-dense"),
+    };
+    for prog in Program::catalog(domain.p) {
+        explore_program(&prog, domain, budget, &mut fam);
+        if fam.conservation.truncated {
+            break;
+        }
+    }
+    fam
+}
+
+struct NodeCtx<'a> {
+    prog: &'a Program,
+    subject: String,
+    horizon: u64,
+}
+
+/// Run one node on both paths, check node-level invariants, and dedup.
+/// Returns the dense outcome, or `None` when the budget ran dry.
+#[allow(clippy::too_many_arguments)]
+fn run_node(
+    ctx: &NodeCtx,
+    script: &FaultScript,
+    depth: u64,
+    budget: &mut Budget,
+    seen: &mut HashSet<u64>,
+    next: &mut Vec<FaultScript>,
+    fam: &mut MachineFamilies,
+) -> Option<RunOutcome> {
+    if !budget.try_charge(2) {
+        fam.conservation.truncated = true;
+        fam.sparse_dense.truncated = true;
+        return None;
+    }
+    fam.conservation.runs += 1;
+    fam.sparse_dense.runs += 1;
+    let dense = run_program(ctx.prog, script, depth + 1, false, Mode::Dense, false);
+    let sparse = run_program(ctx.prog, script, depth + 1, false, Mode::Sparse, false);
+    if let Some(v) = &dense.violation {
+        fam.conservation.record(Violation {
+            family: "conservation",
+            subject: ctx.subject.clone(),
+            script: script.to_string(),
+            detail: v.clone(),
+        });
+    }
+    if dense.hash != sparse.hash {
+        fam.sparse_dense.record(Violation {
+            family: "sparse-dense",
+            subject: ctx.subject.clone(),
+            script: script.to_string(),
+            detail: format!(
+                "canonical state hashes diverge after superstep {depth} (dense {:#x}, sparse {:#x}); dense ledger {:?}, sparse ledger {:?}",
+                dense.hash, sparse.hash, dense.stats, sparse.stats
+            ),
+        });
+    }
+    if seen.insert(dense.hash) {
+        next.push(script.clone());
+    } else {
+        fam.conservation.dedup_hits += 1;
+    }
+    Some(dense)
+}
+
+fn explore_program(
+    prog: &Program,
+    domain: &Domain,
+    budget: &mut Budget,
+    fam: &mut MachineFamilies,
+) {
+    let ctx = NodeCtx {
+        prog,
+        subject: format!(
+            "program={} p={} supersteps={}",
+            prog.name, prog.p, domain.supersteps
+        ),
+        horizon: domain.supersteps,
+    };
+    let mut frontier: Vec<FaultScript> = vec![FaultScript::new()];
+    for depth in 0..ctx.horizon {
+        let mut next: Vec<FaultScript> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for script in &frontier {
+            // Probe without a stall: learns this node's keys and the
+            // processors worth stalling.
+            let Some(probe) = run_node(&ctx, script, depth, budget, &mut seen, &mut next, fam)
+            else {
+                return;
+            };
+            let mut stall_candidates: Vec<Option<Pid>> = vec![None];
+            if domain.stalls {
+                let mut pids: Vec<Pid> = probe
+                    .hook
+                    .keys_at(depth)
+                    .iter()
+                    .map(|&(_, src, _)| src)
+                    .collect();
+                if depth > 0 {
+                    pids.extend(probe.hook.dests_at(depth - 1));
+                }
+                pids.sort_unstable();
+                pids.dedup();
+                stall_candidates.extend(pids.into_iter().map(Some));
+            }
+            for stall in stall_candidates {
+                let (base, base_probe) = match stall {
+                    None => (script.clone(), None),
+                    Some(pid) => {
+                        // A stall suppresses the stalled processor's sends,
+                        // so the stalled variant has its own key set:
+                        // re-probe before enumerating fates.
+                        let stalled = script.clone().with_stall(depth, pid);
+                        let Some(p2) =
+                            run_node(&ctx, &stalled, depth, budget, &mut seen, &mut next, fam)
+                        else {
+                            return;
+                        };
+                        (stalled, Some(p2))
+                    }
+                };
+                let probe_ref = base_probe.as_ref().unwrap_or(&probe);
+                let mut keys: Vec<ScriptKey> = probe_ref.hook.keys_at(depth);
+                if keys.len() > domain.max_messages {
+                    // The catalog never exceeds the domain cap; if a future
+                    // program does, say so rather than silently skipping.
+                    keys.truncate(domain.max_messages);
+                    fam.conservation.truncated = true;
+                    fam.sparse_dense.truncated = true;
+                }
+                let radix = domain.fates.len() + 1;
+                let combos = radix.checked_pow(keys.len() as u32).unwrap_or(usize::MAX);
+                // code 0 = all-deliver, already covered by the probe run.
+                for code in 1..combos {
+                    let mut child = base.clone();
+                    let mut c = code;
+                    for &(s, src, idx) in &keys {
+                        let digit = c % radix;
+                        c /= radix;
+                        if digit > 0 {
+                            child = child.with_fate(s, src, idx, domain.fates[digit - 1]);
+                        }
+                    }
+                    if run_node(&ctx, &child, depth, budget, &mut seen, &mut next, fam).is_none() {
+                        return;
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    for script in &frontier {
+        if !budget.try_charge(2) {
+            fam.conservation.truncated = true;
+            fam.sparse_dense.truncated = true;
+            return;
+        }
+        fam.conservation.runs += 1;
+        fam.sparse_dense.runs += 1;
+        fam.conservation.leaves += 1;
+        fam.sparse_dense.leaves += 1;
+        let defects = check_leaf(prog, script, ctx.horizon);
+        for d in defects.conservation {
+            fam.conservation.record(Violation {
+                family: "conservation",
+                subject: ctx.subject.clone(),
+                script: script.to_string(),
+                detail: d,
+            });
+        }
+        for d in defects.sparse_dense {
+            fam.sparse_dense.record(Violation {
+                family: "sparse-dense",
+                subject: ctx.subject.clone(),
+                script: script.to_string(),
+                detail: d,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_leaf_passes_every_program() {
+        for prog in Program::catalog(3) {
+            let defects = check_leaf(&prog, &FaultScript::new(), 3);
+            assert!(
+                defects.is_empty(),
+                "{}: {:?}",
+                prog.name,
+                defects.conservation
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_leaves_pass_on_the_real_engine() {
+        let script: FaultScript = "drop@0/0.0 delay1@0/1.0 stall@1/p1".parse().unwrap();
+        for prog in Program::catalog(3) {
+            let defects = check_leaf(&prog, &script, 3);
+            assert!(
+                defects.is_empty(),
+                "{}: {:?}",
+                prog.name,
+                defects.conservation
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_walk_is_exhaustive_and_clean() {
+        let domain = crate::Domain::tiny();
+        let mut budget = Budget::new(50_000);
+        let fam = explore(&domain, &mut budget);
+        assert!(fam.conservation.violations.is_empty());
+        assert!(fam.sparse_dense.violations.is_empty());
+        assert!(!fam.conservation.truncated);
+        assert!(fam.conservation.leaves > 0);
+        assert!(fam.conservation.runs > fam.conservation.leaves);
+    }
+}

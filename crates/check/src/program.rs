@@ -1,0 +1,168 @@
+//! The catalog of tiny BSP programs the machine explorer drives.
+//!
+//! Each program is a deterministic superstep body over `u64` state and
+//! `u64` payloads, plus an *active-set declaration* for the sparse
+//! execution path. The catalog is chosen to exercise the communication
+//! shapes the engine distinguishes: a cycle where everyone sends and
+//! receives (`ring`), a one-to-all burst (`fanout`), a request/response
+//! exchange whose second wave is *triggered by arrival* — including late,
+//! delayed arrival (`echo`) — and an all-to-one hotspot (`crossfire`).
+//! Message totals stay within the checker domains (≤ p per superstep).
+//!
+//! Programs are looked up by name ([`Program::by_name`]) so a serialized
+//! counterexample (`program`, `p`, `supersteps`, script) replays verbatim.
+
+use std::sync::Arc;
+
+use pbw_sim::{Outbox, Pid};
+
+/// A superstep body: `(pid, superstep, state, inbox, outbox)`.
+pub type Body = Arc<dyn Fn(Pid, u64, &mut u64, &[u64], &mut Outbox<u64>) + Send + Sync>;
+
+/// Declared active set per superstep (the sparse path's frontier seed;
+/// processors with retained inboxes or due deliveries wake on their own).
+pub type ActiveFn = Arc<dyn Fn(u64) -> Vec<Pid> + Send + Sync>;
+
+/// One catalog entry.
+pub struct Program {
+    /// Catalog name (stable — serialized into counterexamples).
+    pub name: &'static str,
+    /// Processor count it was instantiated for.
+    pub p: usize,
+    /// The superstep body.
+    pub body: Body,
+    /// The sparse-path active-set declaration.
+    pub active: ActiveFn,
+}
+
+impl Program {
+    /// Every catalog program at processor count `p` (`p ≥ 2`).
+    pub fn catalog(p: usize) -> Vec<Program> {
+        assert!(p >= 2, "checker programs need at least two processors");
+        vec![ring(p), fanout(p), echo(p), crossfire(p)]
+    }
+
+    /// Look a program up by catalog name (for counterexample replay).
+    pub fn by_name(name: &str, p: usize) -> Option<Program> {
+        Self::catalog(p).into_iter().find(|pr| pr.name == name)
+    }
+}
+
+/// Every processor sends one message around the cycle at superstep 0 and
+/// accumulates whatever arrives forever after.
+fn ring(p: usize) -> Program {
+    Program {
+        name: "ring",
+        p,
+        body: Arc::new(move |pid, ss, state, inbox, out| {
+            *state = state.wrapping_add(inbox.iter().sum::<u64>());
+            if ss == 0 {
+                out.send((pid + 1) % p, 100 + pid as u64);
+            }
+        }),
+        active: Arc::new(move |ss| {
+            if ss == 0 {
+                (0..p).collect()
+            } else {
+                Vec::new()
+            }
+        }),
+    }
+}
+
+/// Processor 0 sends one message to everyone else at superstep 0.
+fn fanout(p: usize) -> Program {
+    Program {
+        name: "fanout",
+        p,
+        body: Arc::new(move |pid, ss, state, inbox, out| {
+            *state = state.wrapping_add(inbox.iter().sum::<u64>());
+            if ss == 0 && pid == 0 {
+                for dest in 1..p {
+                    out.send(dest, 200 + dest as u64);
+                }
+            }
+        }),
+        active: Arc::new(|ss| if ss == 0 { vec![0] } else { Vec::new() }),
+    }
+}
+
+/// Processor 0 fans out at superstep 0; each receiver echoes back to 0 the
+/// first time anything arrives — *whenever* that is, so a delayed or
+/// duplicated request changes which superstep carries the reply.
+fn echo(p: usize) -> Program {
+    Program {
+        name: "echo",
+        p,
+        body: Arc::new(move |pid, ss, state, inbox, out| {
+            if pid == 0 {
+                *state = state.wrapping_add(inbox.iter().sum::<u64>());
+                if ss == 0 {
+                    for dest in 1..p {
+                        out.send(dest, 300 + dest as u64);
+                    }
+                }
+            } else if *state == 0 && !inbox.is_empty() {
+                out.send(0, inbox.iter().sum::<u64>() + 1);
+                *state = 1;
+            }
+        }),
+        active: Arc::new(|ss| if ss == 0 { vec![0] } else { Vec::new() }),
+    }
+}
+
+/// Everyone except processor 0 fires one message at it in superstep 0.
+fn crossfire(p: usize) -> Program {
+    Program {
+        name: "crossfire",
+        p,
+        body: Arc::new(move |pid, ss, state, inbox, out| {
+            *state = state.wrapping_add(inbox.iter().sum::<u64>());
+            if ss == 0 && pid != 0 {
+                out.send(0, 400 + pid as u64);
+            }
+        }),
+        active: Arc::new(move |ss| {
+            if ss == 0 {
+                (1..p).collect()
+            } else {
+                Vec::new()
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_stable_and_addressable() {
+        let names: Vec<&str> = Program::catalog(3).iter().map(|p| p.name).collect();
+        assert_eq!(names, ["ring", "fanout", "echo", "crossfire"]);
+        for name in names {
+            assert!(Program::by_name(name, 3).is_some());
+        }
+        assert!(Program::by_name("nope", 3).is_none());
+    }
+
+    #[test]
+    fn message_totals_fit_the_domains() {
+        // Each program injects at most p messages in any superstep — the
+        // widest domain allows 6 at p = 4.
+        for p in 2..=4 {
+            for prog in Program::catalog(p) {
+                let mut out = Outbox::default();
+                for pid in 0..p {
+                    (prog.body)(pid, 0, &mut 0, &[], &mut out);
+                }
+                assert!(
+                    out.len() <= p,
+                    "{} sends {} > p = {p}",
+                    prog.name,
+                    out.len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! A delivery hook that records which messages the engine consulted.
+//!
+//! The explorer does not know a priori which `(superstep, src, msg_idx)`
+//! coordinates exist — that depends on the program, earlier fates and
+//! stalls. So every node is first *probed*: run with the candidate script,
+//! record the keys the engine actually consulted, and branch over fate
+//! assignments to exactly those keys. Recording lives behind a `Mutex`
+//! because engines consult fates from worker threads; the fate returned is
+//! still a pure function of the presented context (the engine contract),
+//! only the observation is accumulated.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use pbw_faults::{FaultScript, ScriptKey};
+use pbw_sim::{DeliveryCtx, DeliveryHook, Fate, Pid};
+
+/// Wraps a [`FaultScript`] and remembers every consulted key plus every
+/// `(superstep, dest)` a consulted message was addressed to.
+#[derive(Debug)]
+pub struct RecordingHook {
+    script: FaultScript,
+    seen: Mutex<BTreeSet<ScriptKey>>,
+    dests: Mutex<BTreeSet<(u64, Pid)>>,
+}
+
+impl RecordingHook {
+    /// Record around `script`.
+    pub fn new(script: FaultScript) -> Self {
+        RecordingHook {
+            script,
+            seen: Mutex::new(BTreeSet::new()),
+            dests: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// All keys consulted so far, in canonical order.
+    pub fn consulted(&self) -> BTreeSet<ScriptKey> {
+        self.seen.lock().unwrap().clone()
+    }
+
+    /// Keys consulted at one superstep, in canonical order.
+    pub fn keys_at(&self, superstep: u64) -> Vec<ScriptKey> {
+        self.seen
+            .lock()
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(|k| k.0 == superstep)
+            .collect()
+    }
+
+    /// Destinations of messages consulted at one superstep (sorted,
+    /// deduplicated) — the processors that will be busy *receiving* next
+    /// superstep, i.e. the interesting stall candidates.
+    pub fn dests_at(&self, superstep: u64) -> Vec<Pid> {
+        self.dests
+            .lock()
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(|&(s, _)| s == superstep)
+            .map(|(_, d)| d)
+            .collect()
+    }
+}
+
+impl DeliveryHook for RecordingHook {
+    fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+        self.seen
+            .lock()
+            .unwrap()
+            .insert((ctx.superstep, ctx.src, ctx.msg_idx));
+        self.dests.lock().unwrap().insert((ctx.superstep, ctx.dest));
+        self.script.fate(ctx)
+    }
+
+    fn stalled(&self, superstep: u64, pid: Pid) -> bool {
+        self.script.stalled(superstep, pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_delegates_and_observes() {
+        let script = FaultScript::new()
+            .with_fate(1, 0, 0, Fate::Drop)
+            .with_stall(0, 1);
+        let hook = RecordingHook::new(script);
+        let ctx = DeliveryCtx {
+            superstep: 1,
+            src: 0,
+            dest: 2,
+            msg_idx: 0,
+            slot: 0,
+        };
+        assert_eq!(hook.fate(&ctx), Fate::Drop);
+        assert_eq!(hook.fate(&DeliveryCtx { src: 1, ..ctx }), Fate::Deliver);
+        assert!(hook.stalled(0, 1));
+        assert_eq!(hook.keys_at(1), vec![(1, 0, 0), (1, 1, 0)]);
+        assert!(hook.keys_at(0).is_empty());
+        assert_eq!(hook.dests_at(1), vec![2]);
+        assert_eq!(hook.consulted().len(), 2);
+    }
+}

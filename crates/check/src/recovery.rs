@@ -1,0 +1,352 @@
+//! Invariant family 2: recovery termination under every drop pattern.
+//!
+//! The explorer drives [`RecoverySession`] — the real ack/retransmit
+//! protocol, one superstep at a time — under *exhaustively enumerated*
+//! drop scripts. A node is a drop-only [`FaultScript`]; executing it
+//! replays the session from scratch (sessions, like machines, are not
+//! snapshottable — determinism makes replay equivalent and cheap). At each
+//! executed superstep beyond the script's last scripted superstep, the
+//! recording hook reveals which messages the protocol put on the wire
+//! there (data flits *and* acks); every non-empty subset of them becomes a
+//! child script with those messages dropped, while the current run
+//! continues as the drop-nothing choice. Each branch decision scripts one
+//! superstep, so with decisions capped at `domain.supersteps` the walk
+//! covers every drop pattern touching up to that many supersteps — and
+//! every run reaches a leaf, where the termination contract is audited:
+//!
+//! * `delivered_all`: the protocol drained (φ < 1 analogue — every script
+//!   here is finite, so retransmission must eventually win);
+//! * the ledger conserves after **every** superstep and ends empty;
+//! * `rounds ≤ scripted supersteps` (each retransmission round is caused
+//!   by at least one faulted superstep, and a superstep's faults are one
+//!   decision);
+//! * `backoff_supersteps == Σ_{r=1..rounds} min(base·2^{r−1}, cap)` —
+//!   drop-only runs leave nothing in flight to drain, so idle time is
+//!   *exactly* the bounded-exponential-backoff schedule, not merely at
+//!   most it;
+//! * every flit has an arrival step on record.
+
+use std::sync::Arc;
+
+use pbw_core::schedulers::{OfflineOptimal, Scheduler};
+use pbw_core::{
+    workload, RecoveryConfig, RecoveryOutcome, RecoveryPhase, RecoverySession, Workload,
+};
+use pbw_faults::{FaultScript, ScriptKey};
+use pbw_models::MachineParams;
+use pbw_sim::{DeliveryHook, Fate};
+use pbw_trace::NullSink;
+
+use crate::record::RecordingHook;
+use crate::{Budget, Domain, FamilyReport, Violation};
+
+/// Workload seed for the scheduler (the offline optimal ignores it, but it
+/// is part of the replay coordinates).
+const SEED: u64 = 11;
+
+/// Hard ceiling on supersteps per session — a session that runs this long
+/// has failed to terminate for checker purposes.
+const STEP_GUARD: u64 = 200;
+
+/// The recovery workload catalog, by name (for replay).
+pub fn workload_by_name(name: &str, p: usize) -> Option<Workload> {
+    assert!(p >= 2);
+    match name {
+        // One hot sender: processor 0 sends one flit to everyone else.
+        "hot" => Some(workload::one_to_all(p)),
+        // A cycle: everyone sends one flit to its successor.
+        "ring" => Some(Workload::from_dests(
+            (0..p).map(|i| vec![(i + 1) % p]).collect(),
+        )),
+        _ => None,
+    }
+}
+
+struct SessionRun {
+    /// Conservation / termination defects observed while stepping.
+    defects: Vec<String>,
+    /// `(superstep, keys consulted there)` for supersteps that carried
+    /// messages, in execution order.
+    branch_points: Vec<(u64, Vec<ScriptKey>)>,
+    outcome: Option<RecoveryOutcome>,
+}
+
+fn run_session(wl: &Workload, cfg: &RecoveryConfig, script: &FaultScript) -> SessionRun {
+    let params = MachineParams::from_bandwidth(wl.p(), 1, 2);
+    let scheduler = OfflineOptimal;
+    let hook = Arc::new(RecordingHook::new(script.clone()));
+    let mut session = RecoverySession::new(
+        Arc::new(NullSink),
+        wl,
+        &scheduler as &dyn Scheduler,
+        params,
+        SEED,
+        Some(hook.clone() as Arc<dyn DeliveryHook>),
+        cfg,
+    );
+    let mut defects = Vec::new();
+    let mut branch_points = Vec::new();
+    let mut steps = 0u64;
+    loop {
+        let phase = session.step();
+        if phase == RecoveryPhase::Done {
+            break;
+        }
+        steps += 1;
+        let s = session.machine().superstep_index() as u64 - 1;
+        if !session.fault_stats().conserved() {
+            defects.push(format!(
+                "ledger not conserved after superstep {s} ({phase:?}): {:?}",
+                session.fault_stats()
+            ));
+            break;
+        }
+        let keys = hook.keys_at(s);
+        if !keys.is_empty() {
+            branch_points.push((s, keys));
+        }
+        if steps > STEP_GUARD {
+            defects.push(format!(
+                "protocol did not terminate within {STEP_GUARD} supersteps \
+                 (outstanding = {}, round = {})",
+                session.outstanding(),
+                session.rounds()
+            ));
+            break;
+        }
+    }
+    let outcome = session.is_done().then(|| session.into_outcome());
+    SessionRun {
+        defects,
+        branch_points,
+        outcome,
+    }
+}
+
+/// `Σ_{r=1..rounds} min(base·2^{r−1}, cap)` — the public backoff contract
+/// (mirrors `RecoveryConfig`'s internal schedule).
+fn expected_backoff_total(cfg: &RecoveryConfig, rounds: u32) -> u64 {
+    (1..=rounds)
+        .map(|r| {
+            let shifted = if r > 32 {
+                u32::MAX
+            } else {
+                cfg.backoff_base.checked_shl(r - 1).unwrap_or(u32::MAX)
+            };
+            shifted.min(cfg.backoff_cap) as u64
+        })
+        .sum()
+}
+
+/// Audit one completed run against the termination contract. `decisions`
+/// is the number of scripted (faulted) supersteps.
+fn leaf_defects(
+    run: &SessionRun,
+    wl: &Workload,
+    cfg: &RecoveryConfig,
+    decisions: u32,
+) -> Vec<String> {
+    let mut defects = run.defects.clone();
+    let Some(outcome) = &run.outcome else {
+        return defects;
+    };
+    if !outcome.delivered_all {
+        defects.push(format!(
+            "protocol gave up without delivering everything (rounds = {})",
+            outcome.rounds
+        ));
+    }
+    if !outcome.fault_stats.conserved() || outcome.fault_stats.in_flight != 0 {
+        defects.push(format!("terminal ledger broken: {:?}", outcome.fault_stats));
+    }
+    if outcome.rounds > decisions {
+        defects.push(format!(
+            "{} retransmission rounds from only {decisions} faulted superstep(s)",
+            outcome.rounds
+        ));
+    }
+    let expected = expected_backoff_total(cfg, outcome.rounds);
+    if outcome.backoff_supersteps != expected {
+        defects.push(format!(
+            "backoff schedule violated: {} idle supersteps over {} round(s), contract says exactly {expected}",
+            outcome.backoff_supersteps, outcome.rounds
+        ));
+    }
+    if outcome.arrival_steps.len() as u64 != wl.n_flits() {
+        defects.push(format!(
+            "{} arrival step(s) recorded for {} flit(s)",
+            outcome.arrival_steps.len(),
+            wl.n_flits()
+        ));
+    }
+    defects
+}
+
+/// Number of distinct scripted supersteps (= branch decisions taken).
+fn scripted_supersteps(script: &FaultScript) -> u32 {
+    let mut steps: Vec<u64> = script.fates().map(|((s, _, _), _)| s).collect();
+    steps.dedup(); // fates() iterates in key order, so equal steps adjoin
+    steps.len() as u32
+}
+
+/// Replay one recovery counterexample (drop-only `script`) and re-audit.
+pub(crate) fn replay_recovery(
+    wl_name: &str,
+    p: usize,
+    charge_acks: bool,
+    script: &FaultScript,
+) -> Result<(), String> {
+    if script.fates().any(|(_, f)| f != Fate::Drop) {
+        return Err("recovery scripts are drop-only".to_string());
+    }
+    let wl = workload_by_name(wl_name, p)
+        .ok_or_else(|| format!("unknown recovery workload `{wl_name}`"))?;
+    let cfg = RecoveryConfig {
+        charge_acks,
+        ..RecoveryConfig::default()
+    };
+    let run = run_session(&wl, &cfg, script);
+    let defects = leaf_defects(&run, &wl, &cfg, scripted_supersteps(script));
+    if defects.is_empty() {
+        Ok(())
+    } else {
+        Err(defects.join("; "))
+    }
+}
+
+/// Walk every drop pattern for every catalog workload and config.
+pub fn explore(domain: &Domain, budget: &mut Budget) -> FamilyReport {
+    let mut report = FamilyReport::new("recovery");
+    for wl_name in ["hot", "ring"] {
+        let wl = workload_by_name(wl_name, domain.p).unwrap();
+        for charge_acks in [true, false] {
+            let cfg = RecoveryConfig {
+                charge_acks,
+                ..RecoveryConfig::default()
+            };
+            explore_workload(wl_name, &wl, &cfg, domain, budget, &mut report);
+            if report.truncated {
+                return report;
+            }
+        }
+    }
+    report
+}
+
+struct Node {
+    script: FaultScript,
+    decisions: u32,
+}
+
+fn explore_workload(
+    wl_name: &str,
+    wl: &Workload,
+    cfg: &RecoveryConfig,
+    domain: &Domain,
+    budget: &mut Budget,
+    report: &mut FamilyReport,
+) {
+    let subject = format!(
+        "workload={wl_name} p={} charge_acks={}",
+        wl.p(),
+        cfg.charge_acks
+    );
+    let mut stack = vec![Node {
+        script: FaultScript::new(),
+        decisions: 0,
+    }];
+    while let Some(node) = stack.pop() {
+        if !budget.try_charge(1) {
+            report.truncated = true;
+            return;
+        }
+        report.runs += 1;
+        let run = run_session(wl, cfg, &node.script);
+        // Branch: at every messaged superstep past the script's reach,
+        // fork a child per non-empty drop subset. This run itself carries
+        // on as the drop-nothing choice at each of those supersteps.
+        if node.decisions < domain.supersteps as u32 {
+            let decided_hi: i64 = node
+                .script
+                .fates()
+                .map(|((s, _, _), _)| s as i64)
+                .max()
+                .unwrap_or(-1);
+            for (s, keys) in &run.branch_points {
+                if (*s as i64) <= decided_hi {
+                    continue;
+                }
+                let mut keys = keys.clone();
+                if keys.len() > domain.max_messages {
+                    keys.truncate(domain.max_messages);
+                    report.truncated = true;
+                }
+                for mask in 1u32..(1 << keys.len()) {
+                    let mut child = node.script.clone();
+                    for (i, &(ks, src, idx)) in keys.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            child = child.with_fate(ks, src, idx, Fate::Drop);
+                        }
+                    }
+                    stack.push(Node {
+                        script: child,
+                        decisions: node.decisions + 1,
+                    });
+                }
+            }
+        }
+        report.leaves += 1;
+        for d in leaf_defects(&run, wl, cfg, scripted_supersteps(&node.script)) {
+            report.record(Violation {
+                family: "recovery",
+                subject: subject.clone(),
+                script: node.script.to_string(),
+                detail: d,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_has_no_rounds_and_no_defects() {
+        let wl = workload_by_name("hot", 3).unwrap();
+        let cfg = RecoveryConfig::default();
+        let run = run_session(&wl, &cfg, &FaultScript::new());
+        assert!(leaf_defects(&run, &wl, &cfg, 0).is_empty());
+        assert_eq!(run.outcome.as_ref().unwrap().rounds, 0);
+        assert!(!run.branch_points.is_empty());
+    }
+
+    #[test]
+    fn every_single_drop_recovers_in_one_round() {
+        let wl = workload_by_name("ring", 3).unwrap();
+        let cfg = RecoveryConfig::default();
+        let probe = run_session(&wl, &cfg, &FaultScript::new());
+        let (s0, keys) = &probe.branch_points[0];
+        for &(s, src, idx) in keys {
+            assert_eq!(s, *s0);
+            let script = FaultScript::new().with_fate(s, src, idx, Fate::Drop);
+            let run = run_session(&wl, &cfg, &script);
+            let defects = leaf_defects(&run, &wl, &cfg, 1);
+            assert!(defects.is_empty(), "drop {src}.{idx}: {defects:?}");
+            assert_eq!(run.outcome.unwrap().rounds, 1);
+        }
+    }
+
+    #[test]
+    fn backoff_contract_mirror_matches_doubling_with_cap() {
+        let cfg = RecoveryConfig {
+            backoff_base: 1,
+            backoff_cap: 8,
+            ..RecoveryConfig::default()
+        };
+        // 1, 2, 4, 8, 8 → prefix sums
+        assert_eq!(expected_backoff_total(&cfg, 0), 0);
+        assert_eq!(expected_backoff_total(&cfg, 3), 7);
+        assert_eq!(expected_backoff_total(&cfg, 5), 23);
+    }
+}

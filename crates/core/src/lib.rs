@@ -52,7 +52,10 @@ pub mod schedule;
 pub mod schedulers;
 pub mod workload;
 
-pub use recovery::{run_with_recovery, run_with_recovery_to, RecoveryConfig, RecoveryOutcome};
+pub use recovery::{
+    run_with_recovery, run_with_recovery_to, RecoveryConfig, RecoveryOutcome, RecoveryPhase,
+    RecoverySession,
+};
 pub use schedule::{evaluate_schedule, validate_schedule, Schedule, ScheduleCost};
 pub use schedulers::{
     EagerSend, OfflineOptimal, Scheduler, UnbalancedConsecutiveSend, UnbalancedGranularSend,

@@ -301,102 +301,296 @@ pub fn run_with_recovery_to(
     hook: Option<Arc<dyn DeliveryHook>>,
     cfg: &RecoveryConfig,
 ) -> RecoveryOutcome {
-    assert_eq!(wl.p(), params.p, "workload and machine disagree on p");
-    let mut machine: BspMachine<(), FlitTag> = BspMachine::new(params, |_| ());
-    machine.set_sink(sink);
-    machine.set_trace_label("recovery/send");
-    if let Some(h) = hook {
-        machine.set_delivery_hook(h);
+    let mut session = RecoverySession::new(sink, wl, scheduler, params, seed, hook, cfg);
+    while session.step() != RecoveryPhase::Done {}
+    session.into_outcome()
+}
+
+/// Which protocol action one [`RecoverySession::step`] call performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// The initial full-workload send superstep.
+    Send,
+    /// The ack superstep preceding retransmission round `r`.
+    Ack(u32),
+    /// One idle backoff superstep of round `r`.
+    Backoff(u32),
+    /// The retransmission superstep of round `r`.
+    Retransmit(u32),
+    /// One idle drain superstep (the network still holds delayed payloads
+    /// or duplicate copies).
+    Drain,
+    /// The protocol has terminated; the session is inert.
+    Done,
+}
+
+/// Where the protocol resumes on the next [`RecoverySession::step`] call.
+/// Variants that execute a superstep alternate with bookkeeping-only
+/// variants, which `step` burns through without returning.
+enum Resume {
+    Send,
+    LoopHead,
+    Ack,
+    BackoffEnter,
+    Backoff { left: u32 },
+    PostBackoff,
+    Retransmit,
+    Drain,
+    Done,
+}
+
+/// The ack/retransmit protocol of [`run_with_recovery`], exposed one
+/// superstep at a time.
+///
+/// Each [`step`](RecoverySession::step) call advances the underlying
+/// [`BspMachine`] by exactly one superstep (or reports
+/// [`RecoveryPhase::Done`]) and returns which protocol phase that superstep
+/// belonged to. Driving a session to completion performs the *identical*
+/// machine-operation sequence as [`run_with_recovery_to`] — same labels,
+/// same scans, same seeds — so outcomes are bit-exact between the two
+/// entry points (the batch functions are implemented on top of this type).
+///
+/// The per-superstep surface exists for the `pbw-check` bounded model
+/// checker, which interleaves its own invariant probes (ledger
+/// conservation, canonical state hashes) between protocol supersteps.
+pub struct RecoverySession<'a> {
+    wl: &'a Workload,
+    scheduler: &'a dyn Scheduler,
+    cfg: &'a RecoveryConfig,
+    params: MachineParams,
+    seed: u64,
+    machine: BspMachine<(), FlitTag>,
+    ledger: DeliveryLedger,
+    resume: Resume,
+    round: u32,
+    resent_flits: u64,
+    ack_supersteps: u64,
+    backoff_supersteps: u64,
+}
+
+impl<'a> RecoverySession<'a> {
+    /// Set up a session; no superstep runs until [`step`](Self::step).
+    pub fn new(
+        sink: Arc<dyn pbw_trace::TraceSink>,
+        wl: &'a Workload,
+        scheduler: &'a dyn Scheduler,
+        params: MachineParams,
+        seed: u64,
+        hook: Option<Arc<dyn DeliveryHook>>,
+        cfg: &'a RecoveryConfig,
+    ) -> Self {
+        assert_eq!(wl.p(), params.p, "workload and machine disagree on p");
+        let mut machine: BspMachine<(), FlitTag> = BspMachine::new(params, |_| ());
+        machine.set_sink(sink);
+        machine.set_trace_label("recovery/send");
+        if let Some(h) = hook {
+            machine.set_delivery_hook(h);
+        }
+        RecoverySession {
+            ledger: DeliveryLedger::new(wl),
+            wl,
+            scheduler,
+            cfg,
+            params,
+            seed,
+            machine,
+            resume: Resume::Send,
+            round: 0,
+            resent_flits: 0,
+            ack_supersteps: 0,
+            backoff_supersteps: 0,
+        }
     }
 
-    let mut ledger = DeliveryLedger::new(wl);
-    let mut resent_flits = 0u64;
-    let mut ack_supersteps = 0u64;
-    let mut backoff_supersteps = 0u64;
+    fn scan(&mut self) {
+        self.ledger
+            .scan(&self.machine, self.machine.superstep_index() as u64);
+    }
 
-    // Round 0: the full workload, original tags.
-    let full_tags: Vec<Vec<Vec<FlitTag>>> = (0..wl.p())
-        .map(|src| {
-            wl.msgs(src)
-                .iter()
-                .enumerate()
-                .map(|(k, m)| {
-                    (0..m.len as u32)
-                        .map(|f| (src as u32, k as u32, f))
-                        .collect()
-                })
-                .collect()
-        })
-        .collect();
-    let schedule = scheduler.schedule(wl, params.m, seed);
-    send_round(&mut machine, wl, &schedule, &full_tags);
-    ledger.scan(&machine, machine.superstep_index() as u64);
-
-    let idle = |_: Pid, _: &mut (), _: &[FlitTag], _: &mut Outbox<FlitTag>| {};
-    let mut round = 0u32;
-    while ledger.outstanding > 0 && round < cfg.max_rounds {
-        round += 1;
-        // Ack superstep: every destination acks the sources it heard from.
-        if cfg.charge_acks {
-            let acks = ledger.ack_targets(wl);
-            machine.set_trace_label(format!("recovery/ack{round}"));
-            let ack_body = |pid: Pid, _s: &mut (), _in: &[FlitTag], out: &mut Outbox<FlitTag>| {
-                for &src in &acks[pid] {
-                    out.send(src, (ACK_SRC, pid as u32, 0));
+    /// Execute the next protocol superstep, or return
+    /// [`RecoveryPhase::Done`] (a no-op) once the protocol has terminated.
+    pub fn step(&mut self) -> RecoveryPhase {
+        let idle = |_: Pid, _: &mut (), _: &[FlitTag], _: &mut Outbox<FlitTag>| {};
+        loop {
+            match self.resume {
+                Resume::Send => {
+                    // Round 0: the full workload, original tags.
+                    let full_tags: Vec<Vec<Vec<FlitTag>>> = (0..self.wl.p())
+                        .map(|src| {
+                            self.wl
+                                .msgs(src)
+                                .iter()
+                                .enumerate()
+                                .map(|(k, m)| {
+                                    (0..m.len as u32)
+                                        .map(|f| (src as u32, k as u32, f))
+                                        .collect()
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    let schedule = self.scheduler.schedule(self.wl, self.params.m, self.seed);
+                    send_round(&mut self.machine, self.wl, &schedule, &full_tags);
+                    self.scan();
+                    self.resume = Resume::LoopHead;
+                    return RecoveryPhase::Send;
                 }
-            };
-            let ackers: Vec<Pid> = (0..wl.p()).filter(|&d| !acks[d].is_empty()).collect();
-            if ackers.len() * 4 <= wl.p() {
-                machine.superstep_active(&ackers, ack_body);
-            } else {
-                machine.superstep(ack_body);
+                Resume::LoopHead => {
+                    if self.ledger.outstanding > 0 && self.round < self.cfg.max_rounds {
+                        self.round += 1;
+                        self.resume = if self.cfg.charge_acks {
+                            Resume::Ack
+                        } else {
+                            Resume::BackoffEnter
+                        };
+                    } else {
+                        self.resume = Resume::Drain;
+                    }
+                }
+                Resume::Ack => {
+                    // Ack superstep: every destination acks the sources it
+                    // heard from.
+                    let round = self.round;
+                    let acks = self.ledger.ack_targets(self.wl);
+                    self.machine.set_trace_label(format!("recovery/ack{round}"));
+                    let ack_body =
+                        |pid: Pid, _s: &mut (), _in: &[FlitTag], out: &mut Outbox<FlitTag>| {
+                            for &src in &acks[pid] {
+                                out.send(src, (ACK_SRC, pid as u32, 0));
+                            }
+                        };
+                    let ackers: Vec<Pid> =
+                        (0..self.wl.p()).filter(|&d| !acks[d].is_empty()).collect();
+                    if ackers.len() * 4 <= self.wl.p() {
+                        self.machine.superstep_active(&ackers, ack_body);
+                    } else {
+                        self.machine.superstep(ack_body);
+                    }
+                    self.ack_supersteps += 1;
+                    self.scan();
+                    self.resume = Resume::BackoffEnter;
+                    return RecoveryPhase::Ack(round);
+                }
+                Resume::BackoffEnter => {
+                    let left = self.cfg.backoff(self.round);
+                    self.resume = if left == 0 {
+                        Resume::PostBackoff
+                    } else {
+                        Resume::Backoff { left }
+                    };
+                }
+                Resume::Backoff { left } => {
+                    // Bounded exponential backoff (also drains delayed
+                    // payloads). No declared senders: only processors with
+                    // due deliveries or a retained inbox wake, so drain
+                    // steps cost O(arrivals), not O(p).
+                    let round = self.round;
+                    self.machine
+                        .set_trace_label(format!("recovery/backoff{round}"));
+                    self.machine.superstep_active(&[], idle);
+                    self.backoff_supersteps += 1;
+                    self.scan();
+                    self.resume = if left == 1 {
+                        Resume::PostBackoff
+                    } else {
+                        Resume::Backoff { left: left - 1 }
+                    };
+                    return RecoveryPhase::Backoff(round);
+                }
+                Resume::PostBackoff => {
+                    self.resume = if self.ledger.outstanding == 0 {
+                        // Late arrivals cleared the residual during backoff.
+                        Resume::Drain
+                    } else {
+                        Resume::Retransmit
+                    };
+                }
+                Resume::Retransmit => {
+                    // Retransmit the residual through the same scheduler,
+                    // fresh seed.
+                    let round = self.round;
+                    let (residual, tags) = self.ledger.residual(self.wl);
+                    self.resent_flits += residual.n_flits();
+                    let round_seed = self.seed ^ (round as u64).wrapping_mul(0x9E37);
+                    let schedule = self
+                        .scheduler
+                        .schedule(&residual, self.params.m, round_seed);
+                    self.machine
+                        .set_trace_label(format!("recovery/retransmit{round}"));
+                    self.machine.set_fault_round(round);
+                    send_round(&mut self.machine, &residual, &schedule, &tags);
+                    self.scan();
+                    self.resume = Resume::LoopHead;
+                    return RecoveryPhase::Retransmit(round);
+                }
+                Resume::Drain => {
+                    // Drain: payloads still inside the network (delays,
+                    // duplicate copies) arrive within bounded time; idle
+                    // until the network is empty.
+                    if self.machine.faults_in_flight() == 0 {
+                        self.resume = Resume::Done;
+                        continue;
+                    }
+                    self.machine.set_trace_label("recovery/drain");
+                    self.machine.superstep_active(&[], idle);
+                    self.backoff_supersteps += 1;
+                    self.scan();
+                    return RecoveryPhase::Drain;
+                }
+                Resume::Done => return RecoveryPhase::Done,
             }
-            ack_supersteps += 1;
-            ledger.scan(&machine, machine.superstep_index() as u64);
         }
-        // Bounded exponential backoff (also drains delayed payloads).
-        machine.set_trace_label(format!("recovery/backoff{round}"));
-        for _ in 0..cfg.backoff(round) {
-            // No declared senders: only processors with due deliveries or a
-            // retained inbox wake, so drain steps cost O(arrivals), not O(p).
-            machine.superstep_active(&[], idle);
-            backoff_supersteps += 1;
-            ledger.scan(&machine, machine.superstep_index() as u64);
-        }
-        if ledger.outstanding == 0 {
-            break; // late arrivals cleared the residual during backoff
-        }
-        // Retransmit the residual through the same scheduler, fresh seed.
-        let (residual, tags) = ledger.residual(wl);
-        resent_flits += residual.n_flits();
-        let round_seed = seed ^ (round as u64).wrapping_mul(0x9E37);
-        let schedule = scheduler.schedule(&residual, params.m, round_seed);
-        machine.set_trace_label(format!("recovery/retransmit{round}"));
-        machine.set_fault_round(round);
-        send_round(&mut machine, &residual, &schedule, &tags);
-        ledger.scan(&machine, machine.superstep_index() as u64);
     }
 
-    // Drain: payloads still inside the network (delays, duplicate copies)
-    // arrive within bounded time; idle until the network is empty.
-    machine.set_trace_label("recovery/drain");
-    while machine.faults_in_flight() > 0 {
-        machine.superstep_active(&[], idle);
-        backoff_supersteps += 1;
-        ledger.scan(&machine, machine.superstep_index() as u64);
+    /// Whether the protocol has terminated ([`step`](Self::step) would
+    /// return [`RecoveryPhase::Done`]).
+    pub fn is_done(&self) -> bool {
+        matches!(self.resume, Resume::Done)
+            || (matches!(self.resume, Resume::Drain) && self.machine.faults_in_flight() == 0)
     }
 
-    let profiles = machine.profiles().to_vec();
-    RecoveryOutcome {
-        summary: CostSummary::price(params, &profiles),
-        profiles,
-        rounds: round,
-        delivered_all: ledger.outstanding == 0,
-        resent_flits,
-        ack_supersteps,
-        backoff_supersteps,
-        arrival_steps: ledger.arrival_steps,
-        fault_stats: machine.fault_stats(),
+    /// Flits of the original workload not yet delivered.
+    pub fn outstanding(&self) -> u64 {
+        self.ledger.outstanding
+    }
+
+    /// Retransmission rounds started so far.
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+
+    /// The engine's running fault ledger.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.machine.fault_stats()
+    }
+
+    /// The underlying machine (read-only), e.g. for canonical state hashes
+    /// between supersteps.
+    pub fn machine(&self) -> &BspMachine<(), FlitTag> {
+        &self.machine
+    }
+
+    /// Idle backoff/drain supersteps charged so far.
+    pub fn backoff_supersteps(&self) -> u64 {
+        self.backoff_supersteps
+    }
+
+    /// Finish the session into an outcome (normally called once
+    /// [`step`](Self::step) reports done; calling earlier snapshots a
+    /// partial run).
+    pub fn into_outcome(self) -> RecoveryOutcome {
+        let profiles = self.machine.profiles().to_vec();
+        RecoveryOutcome {
+            summary: CostSummary::price(self.params, &profiles),
+            profiles,
+            rounds: self.round,
+            delivered_all: self.ledger.outstanding == 0,
+            resent_flits: self.resent_flits,
+            ack_supersteps: self.ack_supersteps,
+            backoff_supersteps: self.backoff_supersteps,
+            arrival_steps: self.ledger.arrival_steps,
+            fault_stats: self.machine.fault_stats(),
+        }
     }
 }
 
@@ -540,6 +734,75 @@ mod tests {
         assert_eq!(cfg.backoff(3), 8);
         assert_eq!(cfg.backoff(4), 12); // capped
         assert_eq!(cfg.backoff(30), 12);
+    }
+
+    /// Drops src 0's first attempt and delays everything sent in the
+    /// retransmission superstep — forces a round *and* a drain tail.
+    struct DropThenDelay;
+    impl DeliveryHook for DropThenDelay {
+        fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+            if ctx.superstep == 0 && ctx.src == 0 {
+                Fate::Drop
+            } else if ctx.src == 0 {
+                Fate::Delay(2)
+            } else {
+                Fate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn stepped_session_is_bit_exact_with_the_batch_entry_point() {
+        let wl = workload::uniform_random(16, 2, 4);
+        let mp = params(16, 4);
+        let cfg = RecoveryConfig::default();
+        let batch = run_with_recovery(
+            &wl,
+            &OfflineOptimal,
+            mp,
+            3,
+            Some(Arc::new(DropThenDelay)),
+            &cfg,
+        );
+
+        let mut session = RecoverySession::new(
+            pbw_trace::global_sink(),
+            &wl,
+            &OfflineOptimal,
+            mp,
+            3,
+            Some(Arc::new(DropThenDelay)),
+            &cfg,
+        );
+        let mut phases = Vec::new();
+        loop {
+            let ph = session.step();
+            if ph == RecoveryPhase::Done {
+                break;
+            }
+            // The ledger conserves at *every* superstep boundary, not just
+            // at quiescence — the probe pbw-check runs between steps.
+            assert!(session.fault_stats().conserved(), "after {ph:?}");
+            phases.push(ph);
+        }
+        assert!(session.is_done());
+        assert_eq!(phases[0], RecoveryPhase::Send);
+        assert!(phases.contains(&RecoveryPhase::Ack(1)));
+        assert!(phases.contains(&RecoveryPhase::Retransmit(1)));
+        // The delayed retransmissions arrive during round 2's backoff
+        // window, so the protocol ends without a dedicated drain superstep.
+        assert!(matches!(phases.last(), Some(RecoveryPhase::Backoff(2))));
+
+        let stepped = session.into_outcome();
+        assert_eq!(stepped.summary, batch.summary);
+        assert_eq!(stepped.profiles, batch.profiles);
+        assert_eq!(stepped.rounds, batch.rounds);
+        assert_eq!(stepped.delivered_all, batch.delivered_all);
+        assert_eq!(stepped.resent_flits, batch.resent_flits);
+        assert_eq!(stepped.ack_supersteps, batch.ack_supersteps);
+        assert_eq!(stepped.backoff_supersteps, batch.backoff_supersteps);
+        assert_eq!(stepped.arrival_steps, batch.arrival_steps);
+        assert_eq!(stepped.fault_stats, batch.fault_stats);
     }
 
     #[test]

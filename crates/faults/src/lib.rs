@@ -9,6 +9,11 @@
 //! a superstep. Rates are configured by a [`FaultSpec`]; everything else is
 //! derived from a single `u64` seed.
 //!
+//! The crate also ships [`FaultScript`], the *extensional* counterpart of a
+//! plan: an explicit `(superstep, src, msg_idx) → Fate` table with a
+//! canonical text serialization, used by the `pbw-check` bounded model
+//! checker to enumerate fault assignments and to replay counterexamples.
+//!
 //! ## Determinism / seeding contract
 //!
 //! Like the schedulers in `pbw-core`, plans are keyed by the workspace's
@@ -33,6 +38,10 @@
 use pbw_sim::{DeliveryCtx, DeliveryHook, Fate, Pid};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+mod script;
+
+pub use script::{FaultScript, ScriptKey, ScriptParseError};
 
 /// Domain-separation tags so the per-message and per-processor keys of one
 /// seed never collide.

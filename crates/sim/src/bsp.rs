@@ -245,6 +245,15 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     /// The running fault ledger (all-zero counters besides
     /// `injected`/`delivered` when no hook is attached).
     pub fn fault_stats(&self) -> FaultStats {
+        #[cfg(feature = "check-selftest")]
+        if self.fault_stats.delivered > 0 && std::env::var_os("PBW_CHECK_SELFTEST").is_some() {
+            // Deliberate conservation violation for `pbw-check --self-test`:
+            // under-report one delivery so the ledger no longer balances. A
+            // checker that does not flag this is itself broken.
+            let mut broken = self.fault_stats;
+            broken.delivered -= 1;
+            return broken;
+        }
         self.fault_stats
     }
 
@@ -301,6 +310,39 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     /// Profiles of all executed supersteps.
     pub fn profiles(&self) -> &[SuperstepProfile] {
         &self.profiles
+    }
+
+    /// A canonical fingerprint of everything that determines the machine's
+    /// *future* behavior: the superstep index, all processor states, every
+    /// retained inbox, the in-network payload queue (delayed messages and
+    /// duplicate copies, level by level in delivery order), and the fault
+    /// ledger. Cost history (profiles) is deliberately excluded — it never
+    /// feeds back into execution.
+    ///
+    /// Two machines with equal fingerprints behave identically under equal
+    /// program + hook extensions, which is what makes this the sound
+    /// duplicate-pruning key of the `pbw-check` bounded explorer. The value
+    /// is deterministic within a build (SipHash with fixed keys via
+    /// [`DefaultHasher`](std::collections::hash_map::DefaultHasher)) but is
+    /// not a stable serialization format across toolchains.
+    pub fn canonical_hash(&self) -> u64
+    where
+        S: std::hash::Hash,
+        M: std::hash::Hash,
+    {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.superstep.hash(&mut h);
+        self.states.hash(&mut h);
+        for pid in 0..self.params.p {
+            self.inboxes.inbox(pid).hash(&mut h);
+        }
+        self.pending.len().hash(&mut h);
+        for level in &self.pending {
+            level.hash(&mut h);
+        }
+        self.fault_stats.hash(&mut h);
+        h.finish()
     }
 
     /// Total run cost under any cost model: the sum over supersteps.
@@ -1426,5 +1468,51 @@ mod tests {
     fn active_superstep_rejects_out_of_range_pid() {
         let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
         m.superstep_active(&[4], |_pid, _s, _in, _out| {});
+    }
+
+    #[test]
+    fn canonical_hash_tracks_behavioral_state() {
+        let run = |extra: bool| {
+            let mut m: BspMachine<u64, u64> = BspMachine::new(params(4), |_| 0);
+            m.superstep(|pid, _s, _in, out| {
+                out.send((pid + 1) % 4, pid as u64);
+                if extra && pid == 0 {
+                    out.send(2, 99);
+                }
+            });
+            m
+        };
+        // Equal runs fingerprint equally; a diverging send does not.
+        assert_eq!(run(false).canonical_hash(), run(false).canonical_hash());
+        assert_ne!(run(false).canonical_hash(), run(true).canonical_hash());
+        // Advancing the machine changes the fingerprint (superstep index
+        // and inbox contents both move).
+        let mut m = run(false);
+        let before = m.canonical_hash();
+        m.superstep(|_pid, s, inbox, _out| *s += inbox.iter().sum::<u64>());
+        assert_ne!(before, m.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_covers_the_pending_network_queue() {
+        // Same visible inboxes/states, different in-network payloads: a
+        // delayed message must show up in the fingerprint.
+        let run = |delay: u32| {
+            struct D(u32);
+            impl DeliveryHook for D {
+                fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+                    if ctx.superstep == 0 {
+                        Fate::Delay(self.0)
+                    } else {
+                        Fate::Deliver
+                    }
+                }
+            }
+            let mut m: BspMachine<(), u64> = BspMachine::new(params(4), |_| ());
+            m.set_delivery_hook(Arc::new(D(delay)));
+            m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, 7));
+            m
+        };
+        assert_ne!(run(1).canonical_hash(), run(2).canonical_hash());
     }
 }

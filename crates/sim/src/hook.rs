@@ -85,7 +85,7 @@ pub trait DeliveryHook: Send + Sync {
 
 /// Running fault ledger kept by an engine (all zeros when no hook is set,
 /// except `injected`/`delivered`, which count every message).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct FaultStats {
     /// Messages posted by programs (originals only, not duplicates).
     pub injected: u64,

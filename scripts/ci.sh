@@ -32,6 +32,32 @@ PBW_STRESS_SCALE=32 cargo test --release -q --test stress
 echo "== paper claims at p = 2^18 =="
 cargo test --release -q --test paper_claims large_p -- --ignored
 
+# Shrunk proptest counterexamples must never silently rot: the regressions
+# file has to exist with at least one saved case, and the properties suite
+# gets a dedicated invocation (proptest auto-replays the sibling file
+# before generating novel cases).
+echo "== proptest regression replay =="
+grep -q '^cc ' tests/properties.proptest-regressions \
+  || { echo "tests/properties.proptest-regressions holds no saved cases" >&2; exit 1; }
+cargo test --release -q --test properties
+echo "ok: $(grep -c '^cc ' tests/properties.proptest-regressions) saved counterexample(s) replayed"
+
+# The bounded model checker: exhaustively verify all four invariant
+# families (conservation + ledger reconstruction, recovery termination,
+# sparse ≡ dense byte-identity, Thm 6.2 cost envelope) over the CI domain
+# (p ≤ 3, supersteps ≤ 3, messages ≤ 4) against the real engines.
+# --require-exhaustive turns a budget truncation into a failure — the CI
+# domain must stay fully enumerable within the budget.
+echo "== bounded model checker (pbw-check) =="
+PBW_CHECK_BUDGET="${PBW_CHECK_BUDGET:-300000}" \
+  cargo run --release -q -p pbw-check -- --require-exhaustive
+
+# Checker self-test, mirroring bench_gate.sh --self-test: compile in a
+# deliberate conservation violation and prove the checker catches it. A
+# checker that cannot see the planted bug is not checking anything.
+echo "== pbw-check self-test (planted violation) =="
+cargo run --release -q -p pbw-check --features check-selftest -- --self-test
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -63,9 +63,9 @@ pub mod prelude {
     };
     pub use pbw_core::{
         evaluate_schedule, run_with_recovery, validate_schedule, workload, RecoveryConfig,
-        RecoveryOutcome, Schedule, Workload,
+        RecoveryOutcome, RecoveryPhase, RecoverySession, Schedule, Workload,
     };
-    pub use pbw_faults::{FaultPlan, FaultSpec, StallWindow};
+    pub use pbw_faults::{FaultPlan, FaultScript, FaultSpec, StallWindow};
     pub use pbw_models::{
         BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM, SuperstepProfile,
     };

@@ -1,0 +1,70 @@
+//! Counterexample-to-test replay: every script `pbw-check` prints must
+//! replay verbatim through `pbw_check::replay`, so a checker failure can
+//! be committed as a regression test by pasting its coordinates here.
+//!
+//! The seeded coordinates below are real checker output, kept replaying
+//! forever:
+//!
+//! * `program=ring p=3 supersteps=2 / clean` is the first counterexample
+//!   the `--self-test` mode reports when the planted conservation bug is
+//!   compiled in (`--features check-selftest`). On the healthy engine the
+//!   same coordinates must replay clean — the planted ledger defect, and
+//!   only it, separated the two.
+//! * The faulted machine scripts exercise each fate the domain enumerates
+//!   (drop, duplicate, delay, stall) through the canonical text format.
+//! * The recovery script replays a drop pattern through the live
+//!   ack/retransmit session and re-audits the termination contract.
+
+use pbw_check::replay;
+use pbw_check::FaultScript;
+
+/// The `--self-test` provenance coordinates, on the healthy engine.
+#[test]
+fn self_test_counterexample_coordinates_replay_clean_without_the_planted_bug() {
+    replay::machine("ring", 3, 2, "clean")
+        .expect("the self-test counterexample is an artifact of the planted bug alone");
+}
+
+/// Faulted machine scripts in the canonical serialization replay through
+/// the real engines and re-pass every leaf invariant.
+#[test]
+fn checker_scripts_replay_through_the_machine_explorer() {
+    for (program, script) in [
+        ("ring", "delay1@0/0.0 drop@0/1.0 dup@0/2.0 stall@1/p1"),
+        ("fanout", "drop@0/0.0 delay1@0/0.1"),
+        ("echo", "delay1@0/0.0 stall@1/p2"),
+        ("crossfire", "dup@0/1.0 drop@0/2.0"),
+    ] {
+        // The canonical form round-trips: what the checker prints is what
+        // this file commits, byte for byte.
+        let parsed: FaultScript = script.parse().expect(script);
+        assert_eq!(parsed.to_string(), script);
+        replay::machine(program, 3, 3, script)
+            .unwrap_or_else(|e| panic!("{program} / {script}: {e}"));
+    }
+}
+
+/// A drop script replays through the live recovery session and re-passes
+/// the termination audit, for both ack-charging modes.
+#[test]
+fn checker_scripts_replay_through_the_recovery_explorer() {
+    let script = "drop@0/0.0 drop@0/1.0";
+    for charge_acks in [true, false] {
+        replay::recovery("ring", 3, charge_acks, script)
+            .unwrap_or_else(|e| panic!("charge_acks={charge_acks}: {e}"));
+        replay::recovery("hot", 3, charge_acks, script)
+            .unwrap_or_else(|e| panic!("hot charge_acks={charge_acks}: {e}"));
+    }
+}
+
+/// The replay harness rejects coordinates outside the catalog instead of
+/// silently passing them.
+#[test]
+fn replay_rejects_unknown_coordinates_and_ill_typed_scripts() {
+    assert!(replay::machine("no-such-program", 3, 2, "clean").is_err());
+    assert!(replay::recovery("no-such-workload", 3, true, "clean").is_err());
+    assert!(replay::machine("ring", 3, 2, "frob@0/0.0").is_err());
+    // Recovery scripts are drop-only by construction; anything else is a
+    // coordinate error, not a hidden pass.
+    assert!(replay::recovery("ring", 3, true, "dup@0/0.0").is_err());
+}

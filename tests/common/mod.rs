@@ -1,0 +1,144 @@
+//! Helpers shared across the integration-test binaries.
+//!
+//! Each test binary compiles this module independently and uses a subset
+//! of it, so unused-item lints are silenced for the whole module.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use parallel_bandwidth::models::MachineParams;
+use parallel_bandwidth::prelude::{FaultPlan, FaultSpec, FaultStats};
+use parallel_bandwidth::sim::BspMachine;
+use parallel_bandwidth::trace::{RecordingSink, TraceEvent};
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Run `f` inside a pool of exactly `width` threads.
+pub fn at_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("pool construction is infallible in the shim")
+        .install(f)
+}
+
+/// The conformance oracle: `render` must produce byte-identical output at
+/// widths 1 (the sequential baseline), 2 and 8.
+pub fn assert_width_independent(label: &str, render: impl Fn() -> String) {
+    let baseline = at_width(1, &render);
+    for width in [2usize, 8] {
+        let wide = at_width(width, &render);
+        assert_eq!(
+            baseline, wide,
+            "{label}: output at {width} threads differs from the 1-thread baseline"
+        );
+    }
+}
+
+/// Render a trace stream to one JSON line per event.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut s = String::new();
+    for ev in events {
+        s.push_str(&ev.to_json());
+        s.push('\n');
+    }
+    s
+}
+
+/// Quickstart-scale machine: p = 512, m = 32 (g = 16), L = 16.
+pub fn quickstart_params() -> MachineParams {
+    MachineParams::from_bandwidth(512, 32, 16)
+}
+
+/// A trace event must account for exactly the messages the engine says it
+/// delivered — in its injection histogram and per-processor tallies alike.
+pub fn assert_conserves_messages(ev: &TraceEvent) {
+    let injected: u64 = ev.profile.injections.iter().sum();
+    assert_eq!(
+        injected, ev.delivered,
+        "superstep {}: histogram says {injected} injections, engine delivered {}",
+        ev.superstep, ev.delivered
+    );
+    let sent: u64 = ev.per_proc_sent.iter().sum();
+    let recv: u64 = ev.per_proc_recv.iter().sum();
+    assert_eq!(
+        sent, ev.delivered,
+        "per-proc sends disagree with deliveries"
+    );
+    assert_eq!(
+        recv, ev.delivered,
+        "per-proc receives disagree with deliveries"
+    );
+}
+
+/// Skewed BSP run: a hot sender spraying `hot` messages (pipelined slots)
+/// while everyone else sends a few, over several supersteps.
+pub fn run_bsp_hot_sender(
+    params: MachineParams,
+    hot: u64,
+    cold: u64,
+    supersteps: usize,
+    sink: Arc<RecordingSink>,
+) -> BspMachine<(), u64> {
+    let mut machine: BspMachine<(), u64> = BspMachine::new(params, |_| ());
+    machine.set_sink(sink).set_trace_label("conformance-bsp");
+    let p = params.p;
+    for _ in 0..supersteps {
+        machine.superstep(|pid, _s, _in, out| {
+            let n = if pid == 0 { hot } else { cold };
+            for k in 0..n {
+                out.send((pid + 1 + k as usize) % p, k);
+            }
+            out.charge_work(3 + pid as u64 % 5);
+        });
+    }
+    machine
+}
+
+/// Drive a hooked 8-processor machine: every processor sends `fanout`
+/// messages in superstep 0, then the machine idles until nothing is in
+/// flight. Returns the final fault ledger and the recorded trace.
+pub fn run_hooked(plan: FaultPlan, fanout: u64, extra_steps: u64) -> (FaultStats, Vec<TraceEvent>) {
+    let params = MachineParams::from_gap(8, 4, 4);
+    let sink = Arc::new(RecordingSink::new());
+    let mut machine: BspMachine<(), u64> = BspMachine::new(params, |_| ());
+    machine.set_sink(sink.clone()).set_trace_label("fault-prop");
+    machine.set_delivery_hook(Arc::new(plan));
+    let p = params.p;
+    machine.superstep(|pid, _s, _in, out| {
+        for k in 0..fanout {
+            out.send((pid + 1 + k as usize) % p, k);
+        }
+    });
+    for _ in 0..extra_steps {
+        machine.superstep(|_pid, _s, _in, _out| {});
+    }
+    // Drain whatever the plan still holds in flight.
+    while machine.faults_in_flight() > 0 {
+        machine.superstep(|_pid, _s, _in, _out| {});
+    }
+    (machine.fault_stats(), sink.take())
+}
+
+/// An arbitrary mixed-fate fault specification (all rates bounded away
+/// from saturation so runs stay short).
+pub fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
+    (
+        0.0..0.24f64, // drop
+        0.0..0.24f64, // duplicate
+        0.0..0.24f64, // delay
+        0.0..0.24f64, // displace
+        0.0..0.3f64,  // stall
+        1..4u32,      // max_delay
+        1..8u64,      // max_displacement
+    )
+        .prop_map(|(dr, du, de, di, st, md, mx)| FaultSpec {
+            drop_rate: dr,
+            duplicate_rate: du,
+            delay_rate: de,
+            max_delay: md,
+            displace_rate: di,
+            max_displacement: mx,
+            stall_rate: st,
+        })
+}

@@ -3,58 +3,14 @@
 //! runs must replay bit-identically, and the φ = 0 recovery path must be
 //! cost-identical to the reliable direct execution.
 
+mod common;
+
+use common::{run_hooked, spec_strategy};
 use parallel_bandwidth::models::MachineParams;
 use parallel_bandwidth::prelude::*;
 use parallel_bandwidth::sched::exec::run_schedule_on_bsp;
-use parallel_bandwidth::trace::TraceEvent;
 use proptest::prelude::*;
 use std::sync::Arc;
-
-/// Drive a hooked 8-processor machine: every processor sends `fanout`
-/// messages in superstep 0, then the machine idles until nothing is in
-/// flight. Returns the final fault ledger and the recorded trace.
-fn run_hooked(plan: FaultPlan, fanout: u64, extra_steps: u64) -> (FaultStats, Vec<TraceEvent>) {
-    let params = MachineParams::from_gap(8, 4, 4);
-    let sink = Arc::new(parallel_bandwidth::trace::RecordingSink::new());
-    let mut machine: BspMachine<(), u64> = BspMachine::new(params, |_| ());
-    machine.set_sink(sink.clone()).set_trace_label("fault-prop");
-    machine.set_delivery_hook(Arc::new(plan));
-    let p = params.p;
-    machine.superstep(|pid, _s, _in, out| {
-        for k in 0..fanout {
-            out.send((pid + 1 + k as usize) % p, k);
-        }
-    });
-    for _ in 0..extra_steps {
-        machine.superstep(|_pid, _s, _in, _out| {});
-    }
-    // Drain whatever the plan still holds in flight.
-    while machine.faults_in_flight() > 0 {
-        machine.superstep(|_pid, _s, _in, _out| {});
-    }
-    (machine.fault_stats(), sink.take())
-}
-
-fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
-    (
-        0.0..0.24f64, // drop
-        0.0..0.24f64, // duplicate
-        0.0..0.24f64, // delay
-        0.0..0.24f64, // displace
-        0.0..0.3f64,  // stall
-        1..4u32,      // max_delay
-        1..8u64,      // max_displacement
-    )
-        .prop_map(|(dr, du, de, di, st, md, mx)| FaultSpec {
-            drop_rate: dr,
-            duplicate_rate: du,
-            delay_rate: de,
-            max_delay: md,
-            displace_rate: di,
-            max_displacement: mx,
-            stall_rate: st,
-        })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -246,4 +202,72 @@ fn lossy_recovery_delivers_and_seeds_matter() {
         a.resent_flits != b.resent_flits || a.arrival_steps != b.arrival_steps,
         "seeds 1 and 2 produced identical recoveries"
     );
+}
+
+/// Checker-shaped historical regression: a drop pattern whose recovery
+/// round lands inside a stalled window. Under seed 0 the first attempt
+/// loses one data flit, so round 1 retransmits at superstep 3 — exactly
+/// where a scripted [`StallWindow`] silences the sender. The stalled
+/// retransmission must cost one *wasted* round (the engine skips the
+/// sender's closure; nothing reaches the wire), after which round 2
+/// delivers. The protocol may never deadlock, drop the flit on the floor,
+/// or misprice the backoff schedule because a round was swallowed whole.
+///
+/// The timeline is pinned exactly (the plan is seeded and pure), so any
+/// change to stall handling, retransmission scheduling, or the backoff
+/// accounting shows up as a concrete diff, not a flake.
+#[test]
+fn retransmission_round_landing_in_a_stalled_window_costs_one_extra_round() {
+    let params = MachineParams::from_gap(64, 8, 4);
+    let wl = parallel_bandwidth::sched::workload::single_hot_sender(64, 6, 0, 21);
+    let cfg = RecoveryConfig::default();
+    let run = |stall: Option<StallWindow>| {
+        let plan = FaultPlan::new(FaultSpec::drop_only(0.35), 0);
+        let plan = match stall {
+            Some(w) => plan.with_stall_window(w),
+            None => plan,
+        };
+        run_with_recovery(&wl, &OfflineOptimal, params, 13, Some(Arc::new(plan)), &cfg)
+    };
+
+    // Baseline: seed 0 drops one data flit; one round repairs it by step 4.
+    let clean = run(None);
+    assert!(clean.delivered_all);
+    assert_eq!(clean.rounds, 1);
+    assert_eq!(clean.resent_flits, 1);
+    assert_eq!(clean.arrival_steps, vec![1, 1, 1, 1, 1, 4]);
+    assert_eq!(clean.fault_stats.stalled_steps, 0);
+
+    // Timeline with `charge_acks`: send@0, ack@1, backoff@2, retransmit@3.
+    // Stall the sender exactly at superstep 3: the round-1 retransmission
+    // is swallowed, round 2 (ack@4, backoff@5-6, retransmit@7) repairs it.
+    let window = StallWindow {
+        pid: 0,
+        start: 3,
+        len: 1,
+    };
+    let stalled = run(Some(window));
+    assert!(
+        stalled.delivered_all,
+        "stalled retransmission was lost for good"
+    );
+    assert!(stalled.fault_stats.conserved(), "{:?}", stalled.fault_stats);
+    assert_eq!(stalled.fault_stats.in_flight, 0);
+    assert_eq!(stalled.fault_stats.stalled_steps, 1);
+    assert_eq!(
+        stalled.rounds, 2,
+        "the swallowed round must be retried, once"
+    );
+    // The residual flit is *scheduled* twice: once into the stalled window,
+    // once in the round that lands.
+    assert_eq!(stalled.resent_flits, 2);
+    // Backoff is still priced per started round: 1 + 2, never elided.
+    assert_eq!(stalled.backoff_supersteps, 3);
+    assert_eq!(stalled.arrival_steps, vec![1, 1, 1, 1, 1, 8]);
+
+    // The whole outcome replays bit-identically.
+    let again = run(Some(window));
+    assert_eq!(stalled.summary, again.summary);
+    assert_eq!(stalled.arrival_steps, again.arrival_steps);
+    assert_eq!(stalled.fault_stats, again.fault_stats);
 }

@@ -17,8 +17,11 @@
 //! points internally). Property tests then quantify over seeds, machine
 //! shapes and drop rates.
 
+mod common;
+
 use std::sync::Arc;
 
+use common::{assert_width_independent, jsonl};
 use parallel_bandwidth::models::MachineParams;
 use parallel_bandwidth::models::PenaltyFn;
 use parallel_bandwidth::pram::{AccessMode, Pram};
@@ -29,40 +32,8 @@ use parallel_bandwidth::sched::{
     evaluate_schedule, recovery::run_with_recovery_to, validate_schedule, workload, RecoveryConfig,
 };
 use parallel_bandwidth::sim::{BspMachine, DeliveryHook, QsmMachine};
-use parallel_bandwidth::trace::{RecordingSink, TraceEvent, TraceSink};
+use parallel_bandwidth::trace::{RecordingSink, TraceSink};
 use proptest::prelude::*;
-use rayon::ThreadPoolBuilder;
-
-/// Run `f` inside a pool of exactly `width` threads.
-fn at_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
-    ThreadPoolBuilder::new()
-        .num_threads(width)
-        .build()
-        .expect("pool construction is infallible in the shim")
-        .install(f)
-}
-
-/// The conformance oracle: `render` must produce byte-identical output at
-/// widths 1 (the sequential baseline), 2 and 8.
-fn assert_width_independent(label: &str, render: impl Fn() -> String) {
-    let baseline = at_width(1, &render);
-    for width in [2usize, 8] {
-        let wide = at_width(width, &render);
-        assert_eq!(
-            baseline, wide,
-            "{label}: output at {width} threads differs from the 1-thread baseline"
-        );
-    }
-}
-
-fn jsonl(events: &[TraceEvent]) -> String {
-    let mut s = String::new();
-    for ev in events {
-        s.push_str(&ev.to_json());
-        s.push('\n');
-    }
-    s
-}
 
 /// A faulty BSP run rendered to bytes: trace JSONL, fault ledger, final
 /// per-processor states.

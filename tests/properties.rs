@@ -478,6 +478,89 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// φ → 1⁻: at extreme loss rates (0.9, 0.95, 0.99) the recovery
+    /// protocol must stay *bounded* — rounds never exceed `max_rounds`,
+    /// idle time is exactly the bounded-exponential-backoff contract
+    /// `Σ_{r=1..rounds} min(base·2^{r−1}, cap)` (drop-only plans leave
+    /// nothing in the network to drain, so equality holds even when the
+    /// protocol gives up), and a run that did not deliver everything gave
+    /// up only after exhausting every round. Percentile accessors must
+    /// return `None` on out-of-range `q`, never panic, even on these
+    /// degenerate arrival distributions.
+    #[test]
+    fn recovery_stays_bounded_as_phi_approaches_one(
+        phi_idx in 0usize..3,
+        fault_seed in any::<u64>(),
+        run_seed in 0u64..100,
+    ) {
+        use parallel_bandwidth::prelude::{FaultPlan, FaultSpec};
+        use parallel_bandwidth::sched::recovery::run_with_recovery;
+        use parallel_bandwidth::sched::schedulers::OfflineOptimal;
+        use parallel_bandwidth::sched::{workload, RecoveryConfig};
+        use std::sync::Arc;
+
+        let phi = [0.9, 0.95, 0.99][phi_idx];
+        let params = MachineParams::from_gap(8, 4, 4);
+        let wl = workload::uniform_random(8, 3, 5);
+        let cfg = RecoveryConfig::default();
+        let plan = Arc::new(FaultPlan::new(FaultSpec::drop_only(phi), fault_seed));
+        let out = run_with_recovery(&wl, &OfflineOptimal, params, run_seed, Some(plan), &cfg);
+
+        prop_assert!(out.rounds <= cfg.max_rounds);
+        if !out.delivered_all {
+            prop_assert_eq!(out.rounds, cfg.max_rounds, "gave up early");
+        }
+        // The backoff contract, exactly — a drop-only network has no
+        // delayed payloads, so every idle superstep is scheduled backoff.
+        let contract: u64 = (1..=out.rounds)
+            .map(|r| {
+                cfg.backoff_base
+                    .checked_shl(r - 1)
+                    .unwrap_or(u32::MAX)
+                    .min(cfg.backoff_cap) as u64
+            })
+            .sum();
+        prop_assert_eq!(out.backoff_supersteps, contract);
+        prop_assert!(out.fault_stats.conserved(), "ledger {:?}", out.fault_stats);
+
+        // Out-of-range quantiles: None, not a panic.
+        prop_assert_eq!(out.arrival_percentile(-0.01), None);
+        prop_assert_eq!(out.arrival_percentile(1.01), None);
+        prop_assert_eq!(out.arrival_percentile(f64::NAN), None);
+        let median = out.arrival_percentile(0.5);
+        prop_assert_eq!(median.is_some(), !out.arrival_steps.is_empty());
+    }
+
+    /// The same φ → 1⁻ extremes through the interval router: the
+    /// `StabilityTrace` percentile accessor is total on any `q` even when
+    /// retransmission load `α/(1−φ)` swamps the router.
+    #[test]
+    fn stability_trace_percentiles_are_total_at_extreme_phi(
+        phi_idx in 0usize..3,
+        fault_seed in any::<u64>(),
+    ) {
+        use parallel_bandwidth::adversary::adversary::{AqtParams, SteadyAdversary};
+        use parallel_bandwidth::adversary::dynamic::AlgorithmB;
+
+        let phi = [0.9, 0.95, 0.99][phi_idx];
+        let algo = AlgorithmB { p: 8, m: 4, w: 16, eps: 0.3, seed: 5 };
+        let aqt = AqtParams { w: 16, alpha: 2.0, beta: 0.5 };
+        let mut adv = SteadyAdversary::new(8, aqt);
+        let tr = algo.run_with_faults(&mut adv, 12, phi, fault_seed);
+
+        prop_assert_eq!(tr.delay_percentile(-0.1), None);
+        prop_assert_eq!(tr.delay_percentile(1.1), None);
+        prop_assert_eq!(tr.delay_percentile(f64::NAN), None);
+        // In-range q never panics; Some requires a completed batch.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let _ = tr.delay_percentile(q);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// The memoized penalty table ([`PenaltyFn::table`]) is bit-exact

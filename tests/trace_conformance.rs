@@ -12,61 +12,16 @@
 //!    each cost model reproduces the engine's own run totals bit-for-bit:
 //!    the trace is sufficient to audit the run, no engine internals needed.
 
+mod common;
+
 use std::sync::Arc;
 
+use common::{assert_conserves_messages, quickstart_params, run_bsp_hot_sender};
 use parallel_bandwidth::models::{
-    BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM, SelfSchedulingBspM,
+    BspG, BspM, CostModel, PenaltyFn, QsmG, QsmM, SelfSchedulingBspM,
 };
-use parallel_bandwidth::sim::{BspMachine, CostSummary, QsmMachine};
-use parallel_bandwidth::trace::{RecordingSink, TraceEvent, TraceSource};
-
-/// Quickstart-scale machine: p = 512, m = 32 (g = 16), L = 16.
-fn quickstart_params() -> MachineParams {
-    MachineParams::from_bandwidth(512, 32, 16)
-}
-
-fn assert_conserves_messages(ev: &TraceEvent) {
-    let injected: u64 = ev.profile.injections.iter().sum();
-    assert_eq!(
-        injected, ev.delivered,
-        "superstep {}: histogram says {injected} injections, engine delivered {}",
-        ev.superstep, ev.delivered
-    );
-    let sent: u64 = ev.per_proc_sent.iter().sum();
-    let recv: u64 = ev.per_proc_recv.iter().sum();
-    assert_eq!(
-        sent, ev.delivered,
-        "per-proc sends disagree with deliveries"
-    );
-    assert_eq!(
-        recv, ev.delivered,
-        "per-proc receives disagree with deliveries"
-    );
-}
-
-/// Skewed BSP run: a hot sender spraying `hot` messages (pipelined slots)
-/// while everyone else sends a few, over several supersteps.
-fn run_bsp_hot_sender(
-    params: MachineParams,
-    hot: u64,
-    cold: u64,
-    supersteps: usize,
-    sink: Arc<RecordingSink>,
-) -> BspMachine<(), u64> {
-    let mut machine: BspMachine<(), u64> = BspMachine::new(params, |_| ());
-    machine.set_sink(sink).set_trace_label("conformance-bsp");
-    let p = params.p;
-    for _ in 0..supersteps {
-        machine.superstep(|pid, _s, _in, out| {
-            let n = if pid == 0 { hot } else { cold };
-            for k in 0..n {
-                out.send((pid + 1 + k as usize) % p, k);
-            }
-            out.charge_work(3 + pid as u64 % 5);
-        });
-    }
-    machine
-}
+use parallel_bandwidth::sim::{CostSummary, QsmMachine};
+use parallel_bandwidth::trace::{RecordingSink, TraceSource};
 
 #[test]
 fn bsp_trace_conserves_messages_and_respects_injection_rule() {
