@@ -1,6 +1,7 @@
 //! The experiment suite. Each submodule exposes `run(quick) -> String`
 //! returning a rendered report; the `reproduce` binary concatenates them.
 
+pub mod crashes;
 pub mod dynamics;
 pub mod extensions;
 pub mod faults;
@@ -23,6 +24,7 @@ pub const ALL: &[&str] = &[
     "dynamic",
     "mg1",
     "faults",
+    "crashes",
     "cr-sim",
     "leader",
     "hrel-crcw",
@@ -40,11 +42,13 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
 }
 
 /// Dispatch one experiment by id with an explicit seed. Only the seeded
-/// experiments (currently `faults`) consume it; the rest have their seeds
-/// pinned in-line so every report is reproducible regardless.
+/// experiments (currently `faults` and `crashes`) consume it; the rest
+/// have their seeds pinned in-line so every report is reproducible
+/// regardless.
 pub fn run_seeded(id: &str, quick: bool, seed: u64) -> Option<String> {
     Some(match id {
         "faults" => faults::faults_seeded(quick, seed),
+        "crashes" => crashes::crashes_seeded(quick, seed),
         "table1" => separations::table1(quick),
         "broadcast-lb" => separations::broadcast_lb(quick),
         "gvsm-routing" => separations::gvsm_routing(quick),

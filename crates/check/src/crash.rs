@@ -1,0 +1,210 @@
+//! Invariant family 5: checkpoint/rollback recovery under every crash
+//! window in the domain.
+//!
+//! The explorer drives [`pbw_core::run_with_checkpointed_recovery_to`] —
+//! the real checkpoint driver over the real ack/retransmit protocol — for
+//! **every** single-processor crash window expressible in the domain
+//! (`pid × onset × length ≤ 2`), crossed with checkpoint intervals
+//! `k ∈ {1, 2}`, over the recovery workload catalog. Enumerating one
+//! window is exhaustive for this fault class: the wall-clock replay makes
+//! multi-window behaviour a composition of single-window recoveries, and
+//! the seeded chaos soak covers the mixed case statistically.
+//!
+//! Audited at every leaf:
+//!
+//! * **Recovery terminates** — the driver finishes without exhausting its
+//!   rollback bound (every domain window is finite, so wall-clock advance
+//!   must out-wait it);
+//! * **Nothing is lost** — every flit is delivered and has an arrival step
+//!   on record, exactly as in the crash-free run (post-recovery delivery
+//!   state ≡ crash-free delivery state);
+//! * **Conservation with crashes** — the terminal ledger balances under
+//!   the extended law (`injected + duplicated + restored == delivered +
+//!   dropped + crashed + in_flight`) and ends with nothing in flight;
+//! * **Accounting is consistent** — a run that rolled back must have
+//!   charged `restored` payloads and counted `crash_steps`, and replayed
+//!   supersteps are only reported when a rollback happened;
+//! * **Determinism** — re-running the same window bit-identically
+//!   reproduces the summary, the ledger, and the rollback count.
+
+use std::sync::Arc;
+
+use pbw_core::schedulers::{OfflineOptimal, Scheduler};
+use pbw_core::{
+    run_with_checkpointed_recovery_to, CheckpointConfig, CheckpointedOutcome, RecoveryConfig,
+    Workload,
+};
+use pbw_faults::{CrashWindow, FaultPlan, FaultSpec};
+use pbw_models::MachineParams;
+use pbw_sim::{DeliveryHook, Pid};
+use pbw_trace::NullSink;
+
+use crate::recovery::workload_by_name;
+use crate::{Budget, Domain, FamilyReport, Violation};
+
+/// Scheduler seed (the offline optimal ignores it; part of the replay
+/// coordinates, mirroring the recovery family).
+const SEED: u64 = 11;
+
+/// Longest enumerated outage, in supersteps.
+const MAX_LEN: u64 = 2;
+
+/// Rollback ceiling handed to the driver. A domain window of length `L`
+/// starting at onset `s` needs at most `s + L` rollbacks (each advances
+/// the wall clock by at least one superstep), so 16 is generous — hitting
+/// it is a termination defect, not tuning.
+const MAX_ROLLBACKS: u32 = 16;
+
+fn run_window(wl: &Workload, window: CrashWindow, interval: u64) -> CheckpointedOutcome {
+    let params = MachineParams::from_bandwidth(wl.p(), 1, 2);
+    let hook: Arc<dyn DeliveryHook> =
+        Arc::new(FaultPlan::new(FaultSpec::none(), 0).with_crash_window(window));
+    run_with_checkpointed_recovery_to(
+        Arc::new(NullSink),
+        wl,
+        &OfflineOptimal as &dyn Scheduler,
+        params,
+        SEED,
+        Some(hook),
+        &RecoveryConfig::default(),
+        &CheckpointConfig {
+            interval,
+            charge_state_io: true,
+            max_rollbacks: MAX_ROLLBACKS,
+        },
+    )
+}
+
+/// Audit one crash-window run against the recovery contract.
+fn leaf_defects(
+    out: &CheckpointedOutcome,
+    baseline: &CheckpointedOutcome,
+    wl: &Workload,
+) -> Vec<String> {
+    let mut defects = Vec::new();
+    if out.gave_up {
+        defects.push(format!(
+            "recovery did not terminate: gave up after {} rollbacks",
+            out.rollbacks
+        ));
+        return defects;
+    }
+    if !out.recovery.delivered_all {
+        defects.push("a finite crash window lost flits permanently".to_string());
+    }
+    if out.recovery.arrival_steps.len() as u64 != wl.n_flits() {
+        defects.push(format!(
+            "{} arrival step(s) recorded for {} flit(s)",
+            out.recovery.arrival_steps.len(),
+            wl.n_flits()
+        ));
+    }
+    // Post-recovery delivery state ≡ crash-free run: same flits delivered
+    // (delivered_all + the arrival count pins the set; the ledger cannot
+    // have quietly written any of them off).
+    if out.recovery.delivered_all != baseline.recovery.delivered_all
+        || out.recovery.arrival_steps.len() != baseline.recovery.arrival_steps.len()
+    {
+        defects.push("post-recovery delivery state differs from the crash-free run".to_string());
+    }
+    let stats = out.recovery.fault_stats;
+    if !stats.conserved() || stats.in_flight != 0 {
+        defects.push(format!("terminal ledger broken: {stats:?}"));
+    }
+    if out.rollbacks > 0 && stats.crash_steps == 0 {
+        defects.push("rolled back without any crashed superstep on the ledger".to_string());
+    }
+    if out.rollbacks == 0 && out.replayed_supersteps > 0 {
+        defects.push(format!(
+            "{} replayed supersteps without a rollback",
+            out.replayed_supersteps
+        ));
+    }
+    defects
+}
+
+/// Walk every crash window for every catalog workload.
+pub fn explore(domain: &Domain, budget: &mut Budget) -> FamilyReport {
+    let mut report = FamilyReport::new("crash-recovery");
+    if !domain.crashes {
+        return report;
+    }
+    for wl_name in ["hot", "ring"] {
+        let wl = workload_by_name(wl_name, domain.p).unwrap();
+        for interval in [1u64, 2] {
+            // Crash-free baseline for the equivalence check.
+            if !budget.try_charge(1) {
+                report.truncated = true;
+                return report;
+            }
+            report.runs += 1;
+            let baseline = run_window(
+                &wl,
+                // A window that never fires: onset far past any run.
+                CrashWindow::new(0, u64::MAX / 2, 1).expect("window"),
+                interval,
+            );
+            for pid in 0..domain.p as Pid {
+                for onset in 0..domain.supersteps {
+                    for len in 1..=MAX_LEN {
+                        if !budget.try_charge(2) {
+                            report.truncated = true;
+                            return report;
+                        }
+                        report.runs += 2;
+                        report.leaves += 1;
+                        let window = CrashWindow::new(pid, onset, len).expect("window");
+                        let out = run_window(&wl, window, interval);
+                        let again = run_window(&wl, window, interval);
+                        let subject = format!(
+                            "workload={wl_name} p={} k={interval} crash=p{pid}@{onset}+{len}",
+                            wl.p()
+                        );
+                        let mut defects = leaf_defects(&out, &baseline, &wl);
+                        if out.recovery.summary != again.recovery.summary
+                            || out.recovery.fault_stats != again.recovery.fault_stats
+                            || out.rollbacks != again.rollbacks
+                        {
+                            defects.push(
+                                "identical crash windows produced different runs".to_string(),
+                            );
+                        }
+                        for d in defects {
+                            report.record(Violation {
+                                family: "crash-recovery",
+                                subject: subject.clone(),
+                                script: format!("crash window p{pid}@{onset}+{len}"),
+                                detail: d,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_window_recovers_and_matches_baseline() {
+        let wl = workload_by_name("ring", 3).unwrap();
+        let baseline = run_window(&wl, CrashWindow::new(0, u64::MAX / 2, 1).unwrap(), 1);
+        assert_eq!(baseline.rollbacks, 0);
+        let out = run_window(&wl, CrashWindow::new(1, 0, 2).unwrap(), 1);
+        assert!(leaf_defects(&out, &baseline, &wl).is_empty());
+        assert!(out.rollbacks >= 1);
+    }
+
+    #[test]
+    fn ci_domain_crash_family_is_clean() {
+        let mut budget = Budget::new(50_000);
+        let report = explore(&crate::Domain::ci(), &mut budget);
+        assert_eq!(report.n_violations(), 0, "{:?}", report.violations);
+        assert!(!report.truncated);
+        assert!(report.leaves > 0);
+    }
+}

@@ -6,13 +6,15 @@
 //! few messages) and drives the *real* engines — [`pbw_sim::BspMachine`],
 //! [`pbw_core::RecoverySession`], the schedulers — never a model of them.
 //!
-//! Four invariant families are checked:
+//! Five invariant families are checked:
 //!
 //! 1. **Conservation** — at every superstep boundary of every reachable
-//!    fault assignment, the fault ledger balances
-//!    (`injected + duplicated == delivered + dropped + in_flight`), and at
-//!    quiescence the ledger is *reconstructible from the script alone*:
-//!    dropped == scripted drops among consulted messages, and so on.
+//!    fault assignment (crash-stop failures included), the fault ledger
+//!    balances (`injected + duplicated + restored == delivered +
+//!    dropped + crashed + in_flight`), and at quiescence the ledger is
+//!    *reconstructible from the script alone*: dropped == scripted drops
+//!    among consulted messages, crashed == payloads whose custody
+//!    transfer lands on a scripted-dead destination, and so on.
 //! 2. **Recovery termination** — under *every* drop pattern expressible in
 //!    the domain, the ack/retransmit protocol drains: all flits delivered,
 //!    rounds bounded by the number of faulted supersteps, and idle time
@@ -21,7 +23,11 @@
 //!    (`superstep`) execution paths produce *byte-identical* behaviour
 //!    (canonical state hash at every explored node, full trace render at
 //!    every leaf) for every fault assignment, not just clean runs.
-//! 4. **Cost envelope** — for every unit workload in the domain, the
+//! 4. **Crash recovery** — for every single-processor crash window in the
+//!    domain, checkpoint/rollback recovery terminates, delivers every
+//!    flit (post-recovery delivery state ≡ the crash-free run), keeps the
+//!    extended ledger conserved, and replays deterministically.
+//! 5. **Cost envelope** — for every unit workload in the domain, the
 //!    offline optimal is exactly `max(⌈n/m⌉, x̄)` slots with no overload,
 //!    and Unbalanced-Send respects its window structure, its engine replay
 //!    matches its analytic profile, and — whenever its w.h.p. event holds —
@@ -36,6 +42,7 @@
 //! walk was exhaustive or truncated — a truncated pass is reported as such,
 //! never silently presented as full coverage.
 
+pub mod crash;
 pub mod envelope;
 pub mod machine;
 pub mod program;
@@ -62,11 +69,16 @@ pub struct Domain {
     pub fates: Vec<Fate>,
     /// Whether to enumerate per-superstep processor stalls.
     pub stalls: bool,
+    /// Whether to enumerate per-superstep crash-stop failures (a crashed
+    /// processor skips its closure, its unread inbox evaporates, and
+    /// in-flight payloads addressed to it are written off to the ledger's
+    /// `crashed` column).
+    pub crashes: bool,
 }
 
 impl Domain {
     /// The CI domain: `p = 3`, 3 supersteps, ≤ 4 scripted messages per
-    /// superstep, fates {drop, dup, delay 1}, stalls on.
+    /// superstep, fates {drop, dup, delay 1}, stalls and crashes on.
     pub fn ci() -> Self {
         Domain {
             p: 3,
@@ -74,6 +86,7 @@ impl Domain {
             max_messages: 4,
             fates: vec![Fate::Drop, Fate::Duplicate, Fate::Delay(1)],
             stalls: true,
+            crashes: true,
         }
     }
 
@@ -92,6 +105,7 @@ impl Domain {
                 Fate::Displace(1),
             ],
             stalls: true,
+            crashes: true,
         }
     }
 
@@ -103,6 +117,7 @@ impl Domain {
             max_messages: 3,
             fates: vec![Fate::Drop, Fate::Delay(1)],
             stalls: true,
+            crashes: true,
         }
     }
 }
@@ -116,8 +131,9 @@ pub struct Budget {
 }
 
 /// Default budget when `PBW_CHECK_BUDGET` is unset: comfortably above the
-/// ~100k engine runs the CI domain needs, far below anything slow.
-pub const DEFAULT_BUDGET: u64 = 300_000;
+/// ~352k engine runs the crash-enabled wide domain needs (the CI domain
+/// needs under 8k), far below anything slow.
+pub const DEFAULT_BUDGET: u64 = 450_000;
 
 impl Budget {
     /// A budget of `max` engine executions.
@@ -159,7 +175,7 @@ impl Budget {
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Invariant family ("conservation", "recovery", "sparse-dense",
-    /// "envelope").
+    /// "crash-recovery", "envelope").
     pub family: &'static str,
     /// What was being driven (program/workload name, p, config).
     pub subject: String,
@@ -290,13 +306,14 @@ impl fmt::Display for CheckReport {
     }
 }
 
-/// Run all four invariant families under one shared budget.
+/// Run all five invariant families under one shared budget.
 pub fn run_all(domain: &Domain, budget: &mut Budget) -> CheckReport {
     let mf = machine::explore(domain, budget);
     let rec = recovery::explore(domain, budget);
+    let cr = crash::explore(domain, budget);
     let env = envelope::check(domain, budget);
     CheckReport {
-        families: vec![mf.conservation, mf.sparse_dense, rec, env],
+        families: vec![mf.conservation, mf.sparse_dense, rec, cr, env],
         budget_used: budget.used(),
         budget_max: budget.max(),
     }
@@ -356,7 +373,7 @@ mod tests {
         assert!(report.ok(), "unexpected counterexamples:\n{report}");
         assert!(!report.truncated(), "tiny domain must fit the budget");
         assert!(report.families.iter().all(|f| f.leaves > 0));
-        assert_eq!(report.families.len(), 4);
+        assert_eq!(report.families.len(), 5);
     }
 
     #[test]

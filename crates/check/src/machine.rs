@@ -13,12 +13,12 @@
 //!    received traffic. The engine is deterministic, so the probe *is* the
 //!    "all-deliver" child.
 //! 2. **Branch** — enumerate every assignment of the domain's fate
-//!    alphabet over those keys, and every single-processor stall among the
-//!    processors that send at `depth` or received at `depth − 1` (stalling
-//!    anyone else is behaviourally inert for the catalog programs: they
-//!    hold no inbox and post no messages). Stalls change which keys exist,
-//!    so each stalled variant is re-probed before its fates are
-//!    enumerated.
+//!    alphabet over those keys, and every single-processor stall *and
+//!    crash-stop* among the processors that send at `depth` or received at
+//!    `depth − 1` (perturbing anyone else is behaviourally inert for the
+//!    catalog programs: they hold no inbox and post no messages). Stalls
+//!    and crashes change which keys exist, so each perturbed variant is
+//!    re-probed before its fates are enumerated.
 //! 3. **Check + dedup** — every child is executed on both the dense and
 //!    the sparse path; the ledger must conserve at every boundary and the
 //!    two paths' [`BspMachine::canonical_hash`] must agree *at the node
@@ -73,6 +73,8 @@ struct RunOutcome {
     stats: FaultStats,
     hook: Arc<RecordingHook>,
     render: Option<String>,
+    /// Supersteps actually executed (scripted horizon + drain).
+    supersteps_run: u64,
     /// First conservation/drain failure observed, if any.
     violation: Option<String>,
 }
@@ -162,6 +164,7 @@ fn run_program(
         stats: machine.fault_stats(),
         hook,
         render,
+        supersteps_run: ss,
         violation,
     }
 }
@@ -201,7 +204,29 @@ pub fn check_leaf(prog: &Program, script: &FaultScript, supersteps: u64) -> Leaf
     let stats = dense.stats;
     let consulted = dense.hook.consulted();
     let expect = |pred: fn(Fate) -> bool| script.count_matching(consulted.iter().copied(), pred);
-    let checks: [(&str, u64, u64); 7] = [
+    // `crashed` write-offs, per fate timing: a payload is destroyed iff its
+    // destination is down at the superstep its custody transfer lands —
+    // the send superstep for Deliver/Displace (and a Duplicate's
+    // original), one later for the spurious copy, `k` later for Delay(k).
+    let key_dests = dense.hook.key_dests();
+    let crashed_expected: u64 = consulted
+        .iter()
+        .map(|&(s, src, idx)| {
+            let d = key_dests[&(s, src, idx)];
+            let dead = |at: u64| script.crashed_at(at, d) as u64;
+            match script.fate_at(s, src, idx) {
+                Fate::Deliver | Fate::Displace(_) => dead(s),
+                Fate::Drop => 0,
+                Fate::Duplicate => dead(s) + dead(s + 1),
+                Fate::Delay(k) => dead(s + k.max(1) as u64),
+            }
+        })
+        .sum();
+    let crash_steps_expected: u64 = script
+        .crashes()
+        .filter(|&(s, _)| s < dense.supersteps_run)
+        .count() as u64;
+    let checks: [(&str, u64, u64); 9] = [
         ("injected", stats.injected, consulted.len() as u64),
         ("dropped", stats.dropped, expect(|f| f == Fate::Drop)),
         (
@@ -220,10 +245,14 @@ pub fn check_leaf(prog: &Program, script: &FaultScript, supersteps: u64) -> Leaf
             expect(|f| matches!(f, Fate::Displace(_))),
         ),
         ("in_flight", stats.in_flight, 0),
+        ("crashed", stats.crashed, crashed_expected),
+        ("crash_steps", stats.crash_steps, crash_steps_expected),
         (
             "delivered",
             stats.delivered,
-            (consulted.len() as u64 + stats.duplicated).saturating_sub(stats.dropped),
+            (consulted.len() as u64 + stats.duplicated)
+                .saturating_sub(stats.dropped)
+                .saturating_sub(crashed_expected),
         ),
     ];
     for (what, got, want) in checks {
@@ -279,6 +308,14 @@ struct NodeCtx<'a> {
     prog: &'a Program,
     subject: String,
     horizon: u64,
+}
+
+/// One single-processor perturbation enumerated per superstep alongside
+/// the message-fate assignments.
+#[derive(Clone, Copy)]
+enum Perturb {
+    Stall(Pid),
+    Crash(Pid),
 }
 
 /// Run one node on both paths, check node-level invariants, and dedup.
@@ -354,8 +391,8 @@ fn explore_program(
             else {
                 return;
             };
-            let mut stall_candidates: Vec<Option<Pid>> = vec![None];
-            if domain.stalls {
+            let mut candidates: Vec<Option<Perturb>> = vec![None];
+            if domain.stalls || domain.crashes {
                 let mut pids: Vec<Pid> = probe
                     .hook
                     .keys_at(depth)
@@ -367,22 +404,32 @@ fn explore_program(
                 }
                 pids.sort_unstable();
                 pids.dedup();
-                stall_candidates.extend(pids.into_iter().map(Some));
+                if domain.stalls {
+                    candidates.extend(pids.iter().map(|&pid| Some(Perturb::Stall(pid))));
+                }
+                if domain.crashes {
+                    candidates.extend(pids.iter().map(|&pid| Some(Perturb::Crash(pid))));
+                }
             }
-            for stall in stall_candidates {
-                let (base, base_probe) = match stall {
+            for perturb in candidates {
+                let (base, base_probe) = match perturb {
                     None => (script.clone(), None),
-                    Some(pid) => {
-                        // A stall suppresses the stalled processor's sends,
-                        // so the stalled variant has its own key set:
-                        // re-probe before enumerating fates.
-                        let stalled = script.clone().with_stall(depth, pid);
+                    Some(p) => {
+                        // A stall suppresses the stalled processor's sends
+                        // (a crash additionally evaporates its inbox and
+                        // destroys inbound custody), so the perturbed
+                        // variant has its own key set: re-probe before
+                        // enumerating fates.
+                        let varied = match p {
+                            Perturb::Stall(pid) => script.clone().with_stall(depth, pid),
+                            Perturb::Crash(pid) => script.clone().with_crash(depth, pid),
+                        };
                         let Some(p2) =
-                            run_node(&ctx, &stalled, depth, budget, &mut seen, &mut next, fam)
+                            run_node(&ctx, &varied, depth, budget, &mut seen, &mut next, fam)
                         else {
                             return;
                         };
-                        (stalled, Some(p2))
+                        (varied, Some(p2))
                     }
                 };
                 let probe_ref = base_probe.as_ref().unwrap_or(&probe);
@@ -473,6 +520,29 @@ mod tests {
                 prog.name,
                 defects.conservation
             );
+        }
+    }
+
+    #[test]
+    fn crashed_leaves_reconstruct_the_crashed_column() {
+        // A crash alone, a crash meeting a delayed payload, and a crash
+        // meeting a duplicate's spurious copy.
+        for script in [
+            "crash@1/p1",
+            "delay1@0/0.0 crash@1/p1",
+            "dup@0/0.0 crash@1/p1",
+        ] {
+            let script: FaultScript = script.parse().unwrap();
+            for prog in Program::catalog(3) {
+                let defects = check_leaf(&prog, &script, 3);
+                assert!(
+                    defects.is_empty(),
+                    "{} / {script}: {:?} {:?}",
+                    prog.name,
+                    defects.conservation,
+                    defects.sparse_dense
+                );
+            }
         }
     }
 

@@ -9,9 +9,10 @@
 //! PBW_CHECK_BUDGET=500000 pbw-check   # override the engine-run budget
 //! ```
 //!
-//! Exit codes: 0 all invariants verified; 1 counterexamples found; 2 usage
-//! error; 3 walk truncated under `--require-exhaustive`; 4 `--self-test`
-//! without the feature.
+//! Exit codes (also printed by `--help`): 0 all invariants verified;
+//! 1 counterexamples found; 2 usage error; 3 walk truncated under
+//! `--require-exhaustive`; 4 `--self-test` without the feature;
+//! 5 `--self-test` failed (planted violation went undetected).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -30,7 +31,14 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: pbw-check [--wide] [--self-test] [--require-exhaustive]\n\
-                     env: PBW_CHECK_BUDGET=<engine runs> (default {})",
+                     env: PBW_CHECK_BUDGET=<engine runs> (default {})\n\
+                     exit codes:\n\
+                       0  all invariants verified\n\
+                       1  counterexample(s) found\n\
+                       2  usage error\n\
+                       3  walk truncated by budget (--require-exhaustive only)\n\
+                       4  --self-test without the check-selftest feature\n\
+                       5  --self-test failed: planted violation went undetected",
                     pbw_check::DEFAULT_BUDGET
                 );
                 return ExitCode::SUCCESS;
@@ -80,7 +88,7 @@ fn run_self_test() -> ExitCode {
     let caught = families.conservation.n_violations();
     if caught == 0 {
         eprintln!("pbw-check --self-test: FAILED — planted conservation violation went undetected");
-        return ExitCode::FAILURE;
+        return ExitCode::from(5);
     }
     let first = &families.conservation.violations[0];
     println!(

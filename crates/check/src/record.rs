@@ -9,7 +9,7 @@
 //! still a pure function of the presented context (the engine contract),
 //! only the observation is accumulated.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
 use pbw_faults::{FaultScript, ScriptKey};
@@ -22,6 +22,7 @@ pub struct RecordingHook {
     script: FaultScript,
     seen: Mutex<BTreeSet<ScriptKey>>,
     dests: Mutex<BTreeSet<(u64, Pid)>>,
+    key_dests: Mutex<BTreeMap<ScriptKey, Pid>>,
 }
 
 impl RecordingHook {
@@ -31,6 +32,7 @@ impl RecordingHook {
             script,
             seen: Mutex::new(BTreeSet::new()),
             dests: Mutex::new(BTreeSet::new()),
+            key_dests: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -50,6 +52,14 @@ impl RecordingHook {
             .collect()
     }
 
+    /// The destination each consulted key was addressed to — the input the
+    /// leaf audit needs to reconstruct the `crashed` ledger column from
+    /// the script alone (a write-off is charged at the superstep the
+    /// payload's custody transfer lands, per the fate's timing).
+    pub fn key_dests(&self) -> BTreeMap<ScriptKey, Pid> {
+        self.key_dests.lock().unwrap().clone()
+    }
+
     /// Destinations of messages consulted at one superstep (sorted,
     /// deduplicated) — the processors that will be busy *receiving* next
     /// superstep, i.e. the interesting stall candidates.
@@ -67,16 +77,19 @@ impl RecordingHook {
 
 impl DeliveryHook for RecordingHook {
     fn fate(&self, ctx: &DeliveryCtx) -> Fate {
-        self.seen
-            .lock()
-            .unwrap()
-            .insert((ctx.superstep, ctx.src, ctx.msg_idx));
+        let key = (ctx.superstep, ctx.src, ctx.msg_idx);
+        self.seen.lock().unwrap().insert(key);
         self.dests.lock().unwrap().insert((ctx.superstep, ctx.dest));
+        self.key_dests.lock().unwrap().insert(key, ctx.dest);
         self.script.fate(ctx)
     }
 
     fn stalled(&self, superstep: u64, pid: Pid) -> bool {
         self.script.stalled(superstep, pid)
+    }
+
+    fn crashed(&self, superstep: u64, pid: Pid) -> bool {
+        self.script.crashed_at(superstep, pid)
     }
 }
 
@@ -88,7 +101,8 @@ mod tests {
     fn recording_delegates_and_observes() {
         let script = FaultScript::new()
             .with_fate(1, 0, 0, Fate::Drop)
-            .with_stall(0, 1);
+            .with_stall(0, 1)
+            .with_crash(2, 0);
         let hook = RecordingHook::new(script);
         let ctx = DeliveryCtx {
             superstep: 1,
@@ -104,5 +118,8 @@ mod tests {
         assert!(hook.keys_at(0).is_empty());
         assert_eq!(hook.dests_at(1), vec![2]);
         assert_eq!(hook.consulted().len(), 2);
+        assert!(hook.crashed(2, 0));
+        assert!(!hook.crashed(1, 0));
+        assert_eq!(hook.key_dests().get(&(1, 0, 0)), Some(&2));
     }
 }

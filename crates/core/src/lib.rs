@@ -52,9 +52,13 @@ pub mod schedule;
 pub mod schedulers;
 pub mod workload;
 
+pub use recovery::checkpoint::{
+    run_with_checkpointed_recovery, run_with_checkpointed_recovery_to, CheckpointConfig,
+    CheckpointedOutcome, WallClockHook,
+};
 pub use recovery::{
     run_with_recovery, run_with_recovery_to, RecoveryConfig, RecoveryOutcome, RecoveryPhase,
-    RecoverySession,
+    RecoverySession, SessionCheckpoint,
 };
 pub use schedule::{evaluate_schedule, validate_schedule, Schedule, ScheduleCost};
 pub use schedulers::{

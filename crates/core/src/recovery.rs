@@ -36,6 +36,8 @@
 //! to the fault-free path — the recovery machinery prices to zero when
 //! there is nothing to recover.
 
+pub mod checkpoint;
+
 use std::sync::Arc;
 
 use crate::exec::FlitTag;
@@ -43,7 +45,8 @@ use crate::schedule::Schedule;
 use crate::schedulers::Scheduler;
 use crate::workload::{Msg, Workload};
 use pbw_models::{MachineParams, SuperstepProfile};
-use pbw_sim::{BspMachine, CostSummary, DeliveryHook, FaultStats, Outbox, Pid};
+use pbw_sim::{BspMachine, CostSummary, DeliveryHook, FaultStats, MachineCheckpoint, Outbox, Pid};
+use pbw_trace::RecoveryMark;
 
 /// Ack payloads share the flit-tag type; this sentinel source id marks them
 /// so the delivery scan never mistakes an ack for a data flit.
@@ -138,6 +141,7 @@ impl RecoveryOutcome {
 }
 
 /// Tracks which flits of the original workload are still undelivered.
+#[derive(Clone)]
 struct DeliveryLedger {
     /// `missing[src][msg_idx][flit]`.
     missing: Vec<Vec<Vec<bool>>>,
@@ -327,6 +331,7 @@ pub enum RecoveryPhase {
 /// Where the protocol resumes on the next [`RecoverySession::step`] call.
 /// Variants that execute a superstep alternate with bookkeeping-only
 /// variants, which `step` burns through without returning.
+#[derive(Clone, Copy)]
 enum Resume {
     Send,
     LoopHead,
@@ -575,6 +580,58 @@ impl<'a> RecoverySession<'a> {
         self.backoff_supersteps
     }
 
+    /// Snapshot the whole session at the current superstep boundary:
+    /// machine state (via [`BspMachine::checkpoint`]) plus the protocol's
+    /// own state — delivery ledger, resume point, round and superstep
+    /// counters. Passive: taking a snapshot perturbs nothing, so a run
+    /// that checkpoints and never rolls back is byte-identical to one that
+    /// never checkpoints.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            machine: self.machine.checkpoint(),
+            ledger: self.ledger.clone(),
+            resume: self.resume,
+            round: self.round,
+            resent_flits: self.resent_flits,
+            ack_supersteps: self.ack_supersteps,
+            backoff_supersteps: self.backoff_supersteps,
+        }
+    }
+
+    /// Roll the session back to `ckpt` after a crash: machine state reverts
+    /// through the ledger-monotone [`BspMachine::rollback`] (aborted
+    /// in-flight payloads are written off to `crashed`, re-materialized
+    /// snapshot payloads credited to `restored`), protocol state reverts to
+    /// the snapshot, and the next executed superstep's trace event carries
+    /// a [`RecoveryMark::Rollback`] record.
+    ///
+    /// Superstep *profiles* are deliberately not rolled back — the aborted
+    /// timeline's supersteps really executed and stay priced, which is
+    /// exactly the recovery overhead the cost models are meant to see. The
+    /// protocol counters (`rounds`, `resent_flits`, …) do revert, so the
+    /// outcome reports the surviving timeline's protocol shape while
+    /// `profiles`/`summary` price everything that ran.
+    pub fn rollback(&mut self, ckpt: &SessionCheckpoint) {
+        let from = self.machine.superstep_index() as u64;
+        self.machine.rollback(&ckpt.machine);
+        self.machine.set_recovery_mark(RecoveryMark::Rollback {
+            from,
+            to: ckpt.machine.superstep(),
+        });
+        self.ledger = ckpt.ledger.clone();
+        self.resume = ckpt.resume;
+        self.round = ckpt.round;
+        self.resent_flits = ckpt.resent_flits;
+        self.ack_supersteps = ckpt.ack_supersteps;
+        self.backoff_supersteps = ckpt.backoff_supersteps;
+    }
+
+    /// Stamp a [`RecoveryMark`] onto the next executed superstep's trace
+    /// event (the checkpoint driver marks snapshot writes this way).
+    pub fn set_recovery_mark(&mut self, mark: RecoveryMark) {
+        self.machine.set_recovery_mark(mark);
+    }
+
     /// Finish the session into an outcome (normally called once
     /// [`step`](Self::step) reports done; calling earlier snapshots a
     /// partial run).
@@ -591,6 +648,44 @@ impl<'a> RecoverySession<'a> {
             arrival_steps: self.ledger.arrival_steps,
             fault_stats: self.machine.fault_stats(),
         }
+    }
+}
+
+/// A superstep-consistent snapshot of a whole [`RecoverySession`]:
+/// machine state plus protocol state, everything needed to roll back to
+/// the barrier it was taken at. Created by [`RecoverySession::checkpoint`],
+/// consumed by [`RecoverySession::rollback`].
+pub struct SessionCheckpoint {
+    machine: MachineCheckpoint<(), FlitTag>,
+    ledger: DeliveryLedger,
+    resume: Resume,
+    round: u32,
+    resent_flits: u64,
+    ack_supersteps: u64,
+    backoff_supersteps: u64,
+}
+
+impl SessionCheckpoint {
+    /// Superstep boundary the snapshot was taken at.
+    pub fn superstep(&self) -> u64 {
+        self.machine.superstep()
+    }
+
+    /// Words `pid` contributes to a checkpoint write (one word of processor
+    /// state plus its retained inbox payloads) — the per-processor h-relation
+    /// load of writing this snapshot to its buddy.
+    pub fn state_words(&self, pid: Pid) -> u64 {
+        self.machine.state_words(pid)
+    }
+
+    /// Total message payloads captured (inboxes + pending network).
+    pub fn total_payloads(&self) -> u64 {
+        self.machine.total_payloads()
+    }
+
+    /// Number of processors captured.
+    pub fn p(&self) -> usize {
+        self.machine.p()
     }
 }
 

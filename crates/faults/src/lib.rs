@@ -26,7 +26,10 @@
 //!   runs with equal seeds and equal programs are bit-identical, including
 //!   their trace streams (certified by CI, which diffs two `reproduce
 //!   faults --seed 7` traces).
-//! * A stall is a pure function of `(seed, superstep, pid)`.
+//! * A stall is a pure function of `(seed, superstep, pid)`, and so is a
+//!   crash: whether `pid` is dead at superstep `t` depends only on the
+//!   seeded onset draws for the window of candidate onset steps that could
+//!   still cover `t` — never on engine state or on consultation order.
 //! * Because the superstep index is part of the key, a *retransmitted* copy
 //!   of a lost message re-rolls its fate in the superstep it is resent —
 //!   recovery protocols terminate with probability 1 for any drop rate
@@ -47,6 +50,40 @@ pub use script::{FaultScript, ScriptKey, ScriptParseError};
 /// seed never collide.
 const FATE_TAG: u64 = 0xFA7E_0001;
 const STALL_TAG: u64 = 0x57A1_1002;
+const CRASH_TAG: u64 = 0xC4A5_4003;
+
+/// Why a scripted window was rejected by its constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowError {
+    /// `len == 0`: the window covers no superstep at all, which silently
+    /// turned a scripted outage into a no-op before this was validated.
+    Empty,
+    /// `end <= start` in a range-style constructor: the interval is
+    /// inverted (or empty) and covers nothing.
+    Inverted {
+        /// The requested first superstep.
+        start: u64,
+        /// The requested one-past-the-end superstep.
+        end: u64,
+    },
+    /// `start + len` overflows `u64`, so the window's upper edge is not
+    /// representable.
+    Overflow,
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowError::Empty => write!(f, "window length must be at least 1 superstep"),
+            WindowError::Inverted { start, end } => {
+                write!(f, "window range {start}..{end} is empty or inverted")
+            }
+            WindowError::Overflow => write!(f, "window end exceeds u64::MAX"),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
 
 /// Fault rates and magnitudes. All rates are per-message (or per
 /// processor-superstep for `stall_rate`) Bernoulli probabilities; the four
@@ -70,6 +107,16 @@ pub struct FaultSpec {
     pub max_displacement: u64,
     /// Probability that a processor stalls for a whole superstep.
     pub stall_rate: f64,
+    /// Probability, per processor-superstep, that a processor crash-stops
+    /// (an *onset* probability: the processor then stays dead for the
+    /// sampled outage length; overlapping onsets merge into one outage, so
+    /// liveness at step `t` is still a pure function of `(seed, t, pid)`).
+    pub crash_rate: f64,
+    /// Largest outage, in supersteps; a crashed processor stays dead for
+    /// `uniform{1..=max_crash_len}` supersteps, then revives with its state
+    /// as of the crash (recovery is a protocol concern, see
+    /// `pbw_core::recovery::checkpoint`).
+    pub max_crash_len: u64,
 }
 
 impl FaultSpec {
@@ -83,6 +130,8 @@ impl FaultSpec {
             displace_rate: 0.0,
             max_displacement: 1,
             stall_rate: 0.0,
+            crash_rate: 0.0,
+            max_crash_len: 1,
         }
     }
 
@@ -107,8 +156,10 @@ impl FaultSpec {
         rates.iter().all(|r| (0.0..=1.0).contains(r))
             && rates.iter().sum::<f64>() <= 1.0
             && (0.0..=1.0).contains(&self.stall_rate)
+            && (0.0..=1.0).contains(&self.crash_rate)
             && self.max_delay >= 1
             && self.max_displacement >= 1
+            && self.max_crash_len >= 1
     }
 
     /// Whether this spec can never perturb a run.
@@ -118,26 +169,120 @@ impl FaultSpec {
             && self.delay_rate == 0.0
             && self.displace_rate == 0.0
             && self.stall_rate == 0.0
+            && self.crash_rate == 0.0
     }
 }
 
 /// A deterministic window during which one processor is stalled,
 /// independent of `stall_rate` (used to script bursts and targeted
 /// outages).
+///
+/// Fields are private: the only way to build one is through the validating
+/// constructors, which reject empty and inverted ranges that earlier
+/// versions accepted silently (turning a scripted outage into a no-op).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StallWindow {
-    /// The stalled processor.
-    pub pid: Pid,
-    /// First stalled superstep.
-    pub start: u64,
-    /// Number of consecutive stalled supersteps.
-    pub len: u64,
+    pid: Pid,
+    start: u64,
+    len: u64,
 }
 
 impl StallWindow {
+    /// A window stalling `pid` for the `len` supersteps starting at
+    /// `start`. Rejects `len == 0` and ends past `u64::MAX`.
+    pub fn new(pid: Pid, start: u64, len: u64) -> Result<Self, WindowError> {
+        validate_window(start, len)?;
+        Ok(StallWindow { pid, start, len })
+    }
+
+    /// Range-style constructor: stall `pid` over `start..end`. Rejects
+    /// inverted/empty ranges (`end <= start`).
+    pub fn from_range(pid: Pid, start: u64, end: u64) -> Result<Self, WindowError> {
+        if end <= start {
+            return Err(WindowError::Inverted { start, end });
+        }
+        StallWindow::new(pid, start, end - start)
+    }
+
+    /// The stalled processor.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// First stalled superstep.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of consecutive stalled supersteps (always ≥ 1 — the
+    /// constructors reject empty windows, so there is no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
     fn covers(&self, superstep: u64, pid: Pid) -> bool {
         pid == self.pid && superstep >= self.start && superstep < self.start + self.len
     }
+}
+
+/// A deterministic window during which one processor is crash-stopped,
+/// independent of `crash_rate` — the scripted counterpart of a seeded
+/// crash, used by targeted experiments and the chaos soak harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    pid: Pid,
+    start: u64,
+    len: u64,
+}
+
+impl CrashWindow {
+    /// A window crashing `pid` for the `len` supersteps starting at
+    /// `start`. Rejects `len == 0` and ends past `u64::MAX`.
+    pub fn new(pid: Pid, start: u64, len: u64) -> Result<Self, WindowError> {
+        validate_window(start, len)?;
+        Ok(CrashWindow { pid, start, len })
+    }
+
+    /// Range-style constructor: crash `pid` over `start..end`. Rejects
+    /// inverted/empty ranges (`end <= start`).
+    pub fn from_range(pid: Pid, start: u64, end: u64) -> Result<Self, WindowError> {
+        if end <= start {
+            return Err(WindowError::Inverted { start, end });
+        }
+        CrashWindow::new(pid, start, end - start)
+    }
+
+    /// The crashed processor.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// First dead superstep.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of consecutive dead supersteps (always ≥ 1 — the
+    /// constructors reject empty windows, so there is no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn covers(&self, superstep: u64, pid: Pid) -> bool {
+        pid == self.pid && superstep >= self.start && superstep < self.start + self.len
+    }
+}
+
+fn validate_window(start: u64, len: u64) -> Result<(), WindowError> {
+    if len == 0 {
+        return Err(WindowError::Empty);
+    }
+    if start.checked_add(len).is_none() {
+        return Err(WindowError::Overflow);
+    }
+    Ok(())
 }
 
 /// A seeded fault plan: a [`FaultSpec`] plus the `u64` key that makes it a
@@ -163,6 +308,7 @@ pub struct FaultPlan {
     spec: FaultSpec,
     seed: u64,
     stall_windows: Vec<StallWindow>,
+    crash_windows: Vec<CrashWindow>,
 }
 
 impl FaultPlan {
@@ -177,12 +323,19 @@ impl FaultPlan {
             spec,
             seed,
             stall_windows: Vec::new(),
+            crash_windows: Vec::new(),
         }
     }
 
     /// Add a scripted stall window (builder-style).
     pub fn with_stall_window(mut self, window: StallWindow) -> Self {
         self.stall_windows.push(window);
+        self
+    }
+
+    /// Add a scripted crash window (builder-style).
+    pub fn with_crash_window(mut self, window: CrashWindow) -> Self {
+        self.crash_windows.push(window);
         self
     }
 
@@ -225,6 +378,49 @@ impl FaultPlan {
         Fate::Deliver
     }
 
+    /// Whether this plan has `pid` crash-stopped at `superstep` — exposed,
+    /// like [`FaultPlan::fate_of`], so tests and the recovery driver can
+    /// interrogate a plan without running an engine. `crashed` (the hook
+    /// method) delegates here.
+    ///
+    /// Liveness is reconstructed from the bounded history of candidate
+    /// onsets: `pid` is dead at `t` iff some onset drawn at
+    /// `t' ∈ [t − max_crash_len + 1, t]` has `t' + len(t') > t`. Each
+    /// onset and its length come from a dedicated keyed stream, so the
+    /// answer is pure in `(seed, superstep, pid)` and overlapping outages
+    /// merge.
+    pub fn crashed_at(&self, superstep: u64, pid: Pid) -> bool {
+        if self.crash_windows.iter().any(|w| w.covers(superstep, pid)) {
+            return true;
+        }
+        if self.spec.crash_rate == 0.0 {
+            return false;
+        }
+        let lookback = self.spec.max_crash_len.saturating_sub(1);
+        let first = superstep.saturating_sub(lookback);
+        for onset in first..=superstep {
+            let mut rng = self.crash_rng(onset, pid);
+            if !rng.gen_bool(self.spec.crash_rate) {
+                continue;
+            }
+            let len = rng.gen_range(1..=self.spec.max_crash_len);
+            if onset + len > superstep {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn crash_rng(&self, superstep: u64, pid: Pid) -> ChaCha8Rng {
+        let key = self
+            .seed
+            .wrapping_add(CRASH_TAG)
+            .wrapping_add(superstep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        rng.set_stream(pid as u64);
+        rng
+    }
+
     fn message_rng(&self, superstep: u64, src: Pid, msg_idx: usize) -> ChaCha8Rng {
         // Same keying idiom as the pbw-core schedulers: seed xor a
         // golden-ratio multiple of the step index, one stream per message.
@@ -258,6 +454,10 @@ impl DeliveryHook for FaultPlan {
         rng.set_stream(pid as u64);
         rng.gen_bool(self.spec.stall_rate)
     }
+
+    fn crashed(&self, superstep: u64, pid: Pid) -> bool {
+        self.crashed_at(superstep, pid)
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +485,8 @@ mod tests {
             displace_rate: 0.1,
             max_displacement: 4,
             stall_rate: 0.05,
+            crash_rate: 0.02,
+            max_crash_len: 2,
         };
         let a = FaultPlan::new(spec, 7);
         let b = FaultPlan::new(spec, 7);
@@ -294,6 +496,7 @@ mod tests {
                     assert_eq!(a.fate_of(step, src, idx), b.fate_of(step, src, idx));
                 }
                 assert_eq!(a.stalled(step, src), b.stalled(step, src));
+                assert_eq!(a.crashed(step, src), b.crashed(step, src));
             }
         }
     }
@@ -354,15 +557,85 @@ mod tests {
 
     #[test]
     fn stall_windows_are_deterministic_and_bounded() {
-        let plan = FaultPlan::new(FaultSpec::none(), 0).with_stall_window(StallWindow {
-            pid: 2,
-            start: 5,
-            len: 3,
-        });
+        let plan = FaultPlan::new(FaultSpec::none(), 0)
+            .with_stall_window(StallWindow::new(2, 5, 3).unwrap());
         for step in 0..12 {
             assert_eq!(plan.stalled(step, 2), (5..8).contains(&step), "step {step}");
             assert!(!plan.stalled(step, 1));
         }
+    }
+
+    #[test]
+    fn crash_windows_are_deterministic_and_bounded() {
+        let plan = FaultPlan::new(FaultSpec::none(), 0)
+            .with_crash_window(CrashWindow::new(1, 2, 4).unwrap());
+        for step in 0..12 {
+            assert_eq!(
+                plan.crashed_at(step, 1),
+                (2..6).contains(&step),
+                "step {step}"
+            );
+            assert!(!plan.crashed_at(step, 0));
+            assert!(!plan.stalled(step, 1), "a crash is not a stall");
+        }
+    }
+
+    #[test]
+    fn window_constructors_reject_empty_and_inverted_ranges() {
+        // The satellite bugfix: these all used to build silently-inert
+        // windows via the struct literal.
+        assert_eq!(StallWindow::new(0, 3, 0), Err(WindowError::Empty));
+        assert_eq!(CrashWindow::new(0, 3, 0), Err(WindowError::Empty));
+        assert_eq!(
+            StallWindow::from_range(0, 5, 5),
+            Err(WindowError::Inverted { start: 5, end: 5 })
+        );
+        assert_eq!(
+            CrashWindow::from_range(1, 7, 4),
+            Err(WindowError::Inverted { start: 7, end: 4 })
+        );
+        assert_eq!(StallWindow::new(0, u64::MAX, 2), Err(WindowError::Overflow));
+        assert_eq!(
+            CrashWindow::new(0, u64::MAX - 1, 3),
+            Err(WindowError::Overflow)
+        );
+        // Valid windows round-trip through the accessors.
+        let w = StallWindow::from_range(3, 2, 6).unwrap();
+        assert_eq!((w.pid(), w.start(), w.len()), (3, 2, 4));
+        let c = CrashWindow::new(1, 0, 1).unwrap();
+        assert_eq!((c.pid(), c.start(), c.len()), (1, 0, 1));
+    }
+
+    #[test]
+    fn seeded_crashes_are_pure_and_respect_max_len() {
+        let spec = FaultSpec {
+            crash_rate: 0.2,
+            max_crash_len: 3,
+            ..FaultSpec::none()
+        };
+        let a = FaultPlan::new(spec, 13);
+        let b = FaultPlan::new(spec, 13);
+        let mut saw_crash = false;
+        for pid in 0..8 {
+            let mut run = 0u64;
+            let mut longest = 0u64;
+            for step in 0..200 {
+                let dead = a.crashed_at(step, pid);
+                assert_eq!(dead, b.crashed_at(step, pid), "purity at ({step},{pid})");
+                if dead {
+                    saw_crash = true;
+                    run += 1;
+                    longest = longest.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+            // Overlapping onsets can chain outages, but any *isolated*
+            // outage is at most max_crash_len; a run far past the merge
+            // bound would mean the lookback reconstruction is wrong.
+            assert!(longest <= 40, "implausible outage length {longest}");
+        }
+        assert!(saw_crash, "rate 0.2 over 1600 draws produced no crash");
     }
 
     #[test]

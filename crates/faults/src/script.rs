@@ -28,13 +28,15 @@
 //! script  := "clean" | token (" " token)*
 //! token   := fate "@" superstep "/" src "." msg_idx
 //!          | "stall@" superstep "/p" pid
+//!          | "crash@" superstep "/p" pid
 //! fate    := "drop" | "dup" | "delay" K | "displace" D
 //! ```
 //!
 //! Canonical order: all fate tokens sorted by `(superstep, src, msg_idx)`,
-//! then all stall tokens sorted by `(superstep, pid)` — the iteration
-//! order of the underlying B-tree maps, so `Display` is deterministic and
-//! two equal scripts always render identically.
+//! then all stall tokens sorted by `(superstep, pid)`, then all crash
+//! tokens sorted the same way — the iteration order of the underlying
+//! B-tree maps, so `Display` is deterministic and two equal scripts always
+//! render identically.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -52,6 +54,7 @@ pub type ScriptKey = (u64, Pid, usize);
 pub struct FaultScript {
     fates: BTreeMap<ScriptKey, Fate>,
     stalls: BTreeSet<(u64, Pid)>,
+    crashes: BTreeSet<(u64, Pid)>,
 }
 
 impl FaultScript {
@@ -71,6 +74,15 @@ impl FaultScript {
     /// Script a whole-superstep stall for `pid` (builder-style).
     pub fn with_stall(mut self, superstep: u64, pid: Pid) -> Self {
         self.stalls.insert((superstep, pid));
+        self
+    }
+
+    /// Script a whole-superstep crash for `pid` (builder-style). Unlike a
+    /// stall, a crashed processor's inbox and incoming traffic are
+    /// destroyed; script one entry per dead superstep for multi-step
+    /// outages.
+    pub fn with_crash(mut self, superstep: u64, pid: Pid) -> Self {
+        self.crashes.insert((superstep, pid));
         self
     }
 
@@ -94,7 +106,7 @@ impl FaultScript {
 
     /// Whether the script perturbs nothing.
     pub fn is_clean(&self) -> bool {
-        self.fates.is_empty() && self.stalls.is_empty()
+        self.fates.is_empty() && self.stalls.is_empty() && self.crashes.is_empty()
     }
 
     /// Number of non-deliver fate entries.
@@ -107,6 +119,11 @@ impl FaultScript {
         self.stalls.len()
     }
 
+    /// Number of scripted crash processor-supersteps.
+    pub fn n_crashes(&self) -> usize {
+        self.crashes.len()
+    }
+
     /// Iterate the non-deliver fate entries in canonical order.
     pub fn fates(&self) -> impl Iterator<Item = (ScriptKey, Fate)> + '_ {
         self.fates.iter().map(|(&k, &f)| (k, f))
@@ -115,6 +132,18 @@ impl FaultScript {
     /// Iterate the scripted stalls in canonical order.
     pub fn stalls(&self) -> impl Iterator<Item = (u64, Pid)> + '_ {
         self.stalls.iter().copied()
+    }
+
+    /// Iterate the scripted crashes in canonical order.
+    pub fn crashes(&self) -> impl Iterator<Item = (u64, Pid)> + '_ {
+        self.crashes.iter().copied()
+    }
+
+    /// Whether `pid` is scripted dead at `superstep` — the query
+    /// [`DeliveryHook::crashed`] delegates to, exposed for the checker's
+    /// ledger reconstruction.
+    pub fn crashed_at(&self, superstep: u64, pid: Pid) -> bool {
+        self.crashes.contains(&(superstep, pid))
     }
 
     /// Count scripted entries whose fate satisfies `pred` among the given
@@ -139,6 +168,10 @@ impl DeliveryHook for FaultScript {
 
     fn stalled(&self, superstep: u64, pid: Pid) -> bool {
         self.stalls.contains(&(superstep, pid))
+    }
+
+    fn crashed(&self, superstep: u64, pid: Pid) -> bool {
+        self.crashed_at(superstep, pid)
     }
 }
 
@@ -168,6 +201,10 @@ impl fmt::Display for FaultScript {
         for &(superstep, pid) in &self.stalls {
             sep(f)?;
             write!(f, "stall@{superstep}/p{pid}")?;
+        }
+        for &(superstep, pid) in &self.crashes {
+            sep(f)?;
+            write!(f, "crash@{superstep}/p{pid}")?;
         }
         Ok(())
     }
@@ -214,14 +251,18 @@ impl FromStr for FaultScript {
             let superstep: u64 = step_s
                 .parse()
                 .map_err(|_| bad(token, "superstep is not a number"))?;
-            if head == "stall" {
+            if head == "stall" || head == "crash" {
                 let pid_s = rest
                     .strip_prefix('p')
-                    .ok_or_else(|| bad(token, "stall target must be `p<pid>`"))?;
+                    .ok_or_else(|| bad(token, "stall/crash target must be `p<pid>`"))?;
                 let pid: Pid = pid_s
                     .parse()
                     .map_err(|_| bad(token, "pid is not a number"))?;
-                script.stalls.insert((superstep, pid));
+                if head == "stall" {
+                    script.stalls.insert((superstep, pid));
+                } else {
+                    script.crashes.insert((superstep, pid));
+                }
                 continue;
             }
             let (src_s, idx_s) = rest
@@ -285,14 +326,28 @@ mod tests {
             .with_fate(1, 2, 0, Fate::Duplicate)
             .with_fate(2, 0, 0, Fate::Displace(3))
             .with_stall(1, 2)
-            .with_stall(0, 0);
+            .with_stall(0, 0)
+            .with_crash(2, 1);
         let text = s.to_string();
         assert_eq!(
             text,
-            "drop@0/1.0 delay2@1/0.1 dup@1/2.0 displace3@2/0.0 stall@0/p0 stall@1/p2"
+            "drop@0/1.0 delay2@1/0.1 dup@1/2.0 displace3@2/0.0 stall@0/p0 stall@1/p2 crash@2/p1"
         );
         let back: FaultScript = text.parse().unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn crash_tokens_are_distinct_from_stalls() {
+        let s: FaultScript = "crash@1/p0".parse().unwrap();
+        assert!(s.crashed_at(1, 0));
+        assert!(!s.crashed_at(0, 0));
+        assert!(!s.stalled(1, 0));
+        assert_eq!(s.n_crashes(), 1);
+        assert_eq!(s.n_stalls(), 0);
+        assert!(!s.is_clean());
+        assert_eq!(s.to_string(), "crash@1/p0");
+        assert!("crash@1/0".parse::<FaultScript>().is_err());
     }
 
     #[test]

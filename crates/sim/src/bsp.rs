@@ -24,7 +24,7 @@ use crate::arena::MsgArena;
 use crate::hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
 use pbw_models::{EpochCounts, MachineParams, ProfileBuilder, SuperstepProfile};
-use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
+use pbw_trace::{FaultCounters, RecoveryMark, TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 
 /// A message posted during a superstep: destination, payload, and the
@@ -152,6 +152,10 @@ pub struct BspMachine<S, M> {
     fates: Vec<Vec<Fate>>,
     /// Per-processor stall flags for the current superstep.
     stalled: Vec<bool>,
+    /// Per-processor crash flags for the current superstep. A crashed pid
+    /// is strictly worse than a stalled one: closure skipped, no stall
+    /// retention, incoming custody transfers destroyed.
+    crashed: Vec<bool>,
     /// Per-processor receive counts (deliveries only; retained inboxes are
     /// not recounted) — dense path.
     recv_counts: Vec<u64>,
@@ -182,6 +186,9 @@ pub struct BspMachine<S, M> {
     pending_pool: Vec<Vec<(Pid, M)>>,
     fault_stats: FaultStats,
     fault_round: u32,
+    /// Checkpoint/rollback annotation stamped on (and cleared by) the next
+    /// emitted trace event.
+    recovery_mark: Option<RecoveryMark>,
 }
 
 impl<S: Send, M: Send> BspMachine<S, M> {
@@ -203,6 +210,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             resolved: vec![Vec::new(); p],
             fates: Vec::new(),
             stalled: vec![false; p],
+            crashed: vec![false; p],
             recv_counts: vec![0; p],
             arena_counts: vec![0; p],
             sparse_arena_counts: EpochCounts::new(p),
@@ -219,6 +227,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             pending_pool: Vec::new(),
             fault_stats: FaultStats::default(),
             fault_round: 0,
+            recovery_mark: None,
         }
     }
 
@@ -267,6 +276,14 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     /// counters (0 = original transmission; set by recovery protocols).
     pub fn set_fault_round(&mut self, round: u32) -> &mut Self {
         self.fault_round = round;
+        self
+    }
+
+    /// Stamp a checkpoint/rollback annotation on the *next* emitted trace
+    /// event (cleared once consumed, whether or not a sink is enabled).
+    /// Set by recovery drivers, never by the engine itself.
+    pub fn set_recovery_mark(&mut self, mark: RecoveryMark) -> &mut Self {
+        self.recovery_mark = Some(mark);
         self
     }
 
@@ -455,10 +472,12 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         self.inboxes.clear();
 
         // A stalled processor skips its closure this superstep and sees its
-        // inbox again next superstep; `stalled` is pure in `(superstep,
-        // pid)`, so the per-processor queries run in parallel. Stall flags
-        // are only ever read behind `hooked`, so the unhooked paths (dense
-        // and sparse alike) skip the per-superstep O(p) clear the old
+        // inbox again next superstep; a crashed processor skips its closure
+        // *and* loses every payload whose custody would transfer to it this
+        // superstep. Both predicates are pure in `(superstep, pid)`, so the
+        // per-processor queries run in parallel. The flags are only ever
+        // read behind `hooked`, so the unhooked paths (dense and sparse
+        // alike) skip the per-superstep O(p) clear the old
         // `stalled.fill(false)` paid: stale flags are simply never observed.
         let hook = self.hook.clone();
         let hooked = hook.is_some();
@@ -466,8 +485,12 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             let _: Vec<()> = self
                 .stalled
                 .par_iter_mut()
+                .zip(self.crashed.par_iter_mut())
                 .enumerate()
-                .map(|(pid, s)| *s = h.stalled(step, pid))
+                .map(|(pid, (s, c))| {
+                    *s = h.stalled(step, pid);
+                    *c = h.crashed(step, pid);
+                })
                 .collect();
         }
 
@@ -499,6 +522,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             None => {
                 let f = &f;
                 let stalled = &self.stalled;
+                let crashed = &self.crashed;
                 let spare = &self.spare;
                 let _: Vec<()> = self
                     .states
@@ -507,7 +531,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     .enumerate()
                     .map(|(pid, (state, out))| {
                         out.reset();
-                        if !(hooked && stalled[pid]) {
+                        if !(hooked && (stalled[pid] || crashed[pid])) {
                             f(pid, state, spare.inbox(pid), out);
                         }
                     })
@@ -517,7 +541,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                 for i in 0..self.frontier.len() {
                     let pid = self.frontier[i];
                     self.outboxes[pid].reset();
-                    if !(hooked && self.stalled[pid]) {
+                    if !(hooked && (self.stalled[pid] || self.crashed[pid])) {
                         f(
                             pid,
                             &mut self.states[pid],
@@ -624,6 +648,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             ref resolved,
             ref fates,
             ref stalled,
+            ref crashed,
             ref mut recv_counts,
             ref mut arena_counts,
             ref mut sparse_arena_counts,
@@ -639,6 +664,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             ref mut pending_pool,
             ref mut fault_stats,
             ref fault_round,
+            ref mut recovery_mark,
             ..
         } = *self;
 
@@ -674,11 +700,19 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                 // counted as delivered at the previous boundary — not
                 // recounted in `recv_counts`); it is retained ahead of this
                 // superstep's deliveries, exactly where the per-destination
-                // push used to put it.
+                // push used to put it. A *crashed* processor gets no
+                // retention even if simultaneously stalled: its undrained
+                // inbox simply evaporates at the arena swap, exactly as it
+                // does for a live processor that ignores its inbox, so the
+                // ledger (which counted those payloads delivered at the
+                // previous boundary) is untouched.
                 arena_counts.fill(0);
                 if hooked {
                     for pid in 0..p {
-                        if stalled[pid] {
+                        if crashed[pid] {
+                            fault_stats.crash_steps += 1;
+                            counters.crashed_procs += 1;
+                        } else if stalled[pid] {
                             arena_counts[pid] += spare.len(pid);
                             fault_stats.stalled_steps += 1;
                             counters.stalled_procs += 1;
@@ -694,19 +728,23 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                         };
                         match fate {
                             Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
-                                arena_counts[env.dest] += 1
+                                if !(hooked && crashed[env.dest]) {
+                                    arena_counts[env.dest] += 1
+                                }
                             }
                             Fate::Drop | Fate::Delay(_) => {}
                         }
                     }
                 }
                 for &(dest, _) in due.iter() {
-                    arena_counts[dest] += 1;
+                    if !(hooked && crashed[dest]) {
+                        arena_counts[dest] += 1;
+                    }
                 }
                 inboxes.begin(arena_counts);
                 if hooked {
                     for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if is_stalled {
+                        if is_stalled && !crashed[pid] {
                             for msg in spare.inbox(pid) {
                                 inboxes.place(pid, msg.clone());
                             }
@@ -720,6 +758,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     resolved,
                     fates,
                     hooked,
+                    crashed,
                     tracing,
                     per_proc_sent,
                     inboxes,
@@ -745,7 +784,10 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                 sparse_arena_counts.reset();
                 if hooked {
                     for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if is_stalled {
+                        if crashed[pid] {
+                            fault_stats.crash_steps += 1;
+                            counters.crashed_procs += 1;
+                        } else if is_stalled {
                             sparse_arena_counts.add(pid, spare.len(pid) as u64);
                             fault_stats.stalled_steps += 1;
                             counters.stalled_procs += 1;
@@ -762,19 +804,23 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                         };
                         match fate {
                             Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
-                                sparse_arena_counts.add(env.dest, 1)
+                                if !(hooked && crashed[env.dest]) {
+                                    sparse_arena_counts.add(env.dest, 1)
+                                }
                             }
                             Fate::Drop | Fate::Delay(_) => {}
                         }
                     }
                 }
                 for &(dest, _) in due.iter() {
-                    sparse_arena_counts.add(dest, 1);
+                    if !(hooked && crashed[dest]) {
+                        sparse_arena_counts.add(dest, 1);
+                    }
                 }
                 inboxes.begin_sparse(sparse_arena_counts);
                 if hooked {
                     for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if is_stalled {
+                        if is_stalled && !crashed[pid] {
                             for msg in spare.inbox(pid) {
                                 inboxes.place(pid, msg.clone());
                             }
@@ -788,6 +834,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     resolved,
                     fates,
                     hooked,
+                    crashed,
                     tracing,
                     per_proc_sent,
                     inboxes,
@@ -806,6 +853,8 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         };
 
         let profile = builder.snapshot_reset();
+        // Taken unconditionally so mark consumption is sink-independent.
+        let mark = recovery_mark.take();
         if tracing {
             let per_proc_recv: Vec<u64> = match active {
                 None => recv_counts.clone(),
@@ -829,6 +878,9 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             if hooked {
                 ev = ev.with_faults(counters);
             }
+            if let Some(m) = mark {
+                ev = ev.with_recovery(m);
+            }
             sink.record(ev);
         }
         profiles.push(profile.clone());
@@ -851,6 +903,164 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             }
         }
         max_supersteps
+    }
+}
+
+/// A superstep-consistent snapshot of a [`BspMachine`]: exactly the state
+/// [`BspMachine::canonical_hash`] covers — superstep index, processor
+/// states, every retained inbox, the pending network queue, and the fault
+/// ledger. Taken at a barrier (between supersteps) there is nothing else in
+/// flight, which is why a barrier-aligned snapshot is globally consistent
+/// without any coordination protocol.
+#[derive(Debug, Clone)]
+pub struct MachineCheckpoint<S, M> {
+    superstep: usize,
+    states: Vec<S>,
+    inboxes: Vec<Vec<M>>,
+    pending: Vec<Vec<(Pid, M)>>,
+    fault_stats: FaultStats,
+}
+
+impl<S, M> MachineCheckpoint<S, M> {
+    /// Superstep index the snapshot was taken at (the next one to execute).
+    pub fn superstep(&self) -> u64 {
+        self.superstep as u64
+    }
+
+    /// Number of processors captured.
+    pub fn p(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Payloads captured in `pid`'s inbox.
+    pub fn inbox_payloads(&self, pid: Pid) -> u64 {
+        self.inboxes[pid].len() as u64
+    }
+
+    /// State volume `pid` contributes to a checkpoint write, in payload
+    /// units: one word of processor state plus the retained inbox. This is
+    /// what the recovery driver schedules as an h-relation.
+    pub fn state_words(&self, pid: Pid) -> u64 {
+        1 + self.inbox_payloads(pid)
+    }
+
+    /// Total payloads captured across inboxes and the pending network.
+    pub fn total_payloads(&self) -> u64 {
+        let inboxed: u64 = self.inboxes.iter().map(|b| b.len() as u64).sum();
+        inboxed + self.pending_payloads()
+    }
+
+    /// Payloads captured inside the pending network queue.
+    pub fn pending_payloads(&self) -> u64 {
+        self.pending.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// The ledger as of the snapshot.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+}
+
+impl<S: Send + Clone, M: Send + Clone> BspMachine<S, M> {
+    /// Snapshot the machine at the current superstep boundary. Call only
+    /// between supersteps (any `&self` moment is one); the snapshot holds
+    /// exactly the [`BspMachine::canonical_hash`]-covered state, so
+    /// [`BspMachine::restore`] round-trips the hash bit-exactly.
+    ///
+    /// Cost history (profiles) is deliberately excluded, mirroring
+    /// `canonical_hash`: rolled-back supersteps really executed and really
+    /// cost wall-clock time, so their profiles stay on the books.
+    pub fn checkpoint(&self) -> MachineCheckpoint<S, M> {
+        MachineCheckpoint {
+            superstep: self.superstep,
+            states: self.states.clone(),
+            inboxes: (0..self.params.p)
+                .map(|pid| self.inboxes.inbox(pid).to_vec())
+                .collect(),
+            pending: self.pending.iter().cloned().collect(),
+            fault_stats: self.fault_stats,
+        }
+    }
+
+    /// Load snapshot state *exactly*, ledger included: afterwards
+    /// `canonical_hash()` equals the hash at [`BspMachine::checkpoint`]
+    /// time, bit for bit. This is the testing/replay primitive; recovery
+    /// protocols use [`BspMachine::rollback`], which keeps the ledger
+    /// monotone instead of rewinding it.
+    ///
+    /// # Panics
+    /// Panics if the snapshot was taken on a machine with a different `p`.
+    pub fn restore(&mut self, ckpt: &MachineCheckpoint<S, M>) {
+        self.load_snapshot(ckpt);
+        self.fault_stats = ckpt.fault_stats;
+    }
+
+    /// Roll back to `ckpt` the way a recovery protocol does: machine state
+    /// (superstep index, processor states, inboxes, pending network)
+    /// reverts to the snapshot, but the fault ledger stays monotone — the
+    /// aborted timeline's work really happened and stays on the books:
+    ///
+    /// * every payload currently in flight is written off to `crashed`
+    ///   (the rollback abandons it with the timeline);
+    /// * the snapshot's inbox and pending payloads are re-materialized and
+    ///   credited to `restored` (inbox payloads also re-enter `delivered`,
+    ///   since they sit in inboxes again; pending ones re-enter
+    ///   `in_flight`).
+    ///
+    /// The conservation law `injected + duplicated + restored ==
+    /// delivered + dropped + crashed + in_flight` holds after rollback
+    /// whenever it held before — both sides grow by exactly the snapshot's
+    /// payload count.
+    ///
+    /// # Panics
+    /// Panics if the snapshot was taken on a machine with a different `p`.
+    pub fn rollback(&mut self, ckpt: &MachineCheckpoint<S, M>) {
+        let discarded = self.fault_stats.in_flight;
+        let inboxed: u64 = ckpt.inboxes.iter().map(|b| b.len() as u64).sum();
+        let pending = ckpt.pending_payloads();
+        self.load_snapshot(ckpt);
+        self.fault_stats.crashed += discarded;
+        self.fault_stats.restored += inboxed + pending;
+        self.fault_stats.delivered += inboxed;
+        self.fault_stats.in_flight = pending;
+    }
+
+    fn load_snapshot(&mut self, ckpt: &MachineCheckpoint<S, M>) {
+        let p = self.params.p;
+        assert_eq!(
+            ckpt.states.len(),
+            p,
+            "snapshot captured {} processors, machine has {p}",
+            ckpt.states.len()
+        );
+        self.superstep = ckpt.superstep;
+        self.states.clone_from(&ckpt.states);
+        // Rebuild the inbox arena through its normal begin/place/finish
+        // protocol so segment layout and touched-tracking (the sparse
+        // frontier source) match a machine that arrived here by executing.
+        self.inboxes.clear();
+        for (pid, inbox) in ckpt.inboxes.iter().enumerate() {
+            self.arena_counts[pid] = inbox.len();
+        }
+        self.inboxes.begin(&self.arena_counts);
+        for (pid, inbox) in ckpt.inboxes.iter().enumerate() {
+            for msg in inbox {
+                self.inboxes.place(pid, msg.clone());
+            }
+        }
+        self.inboxes.finish();
+        // Recycle the abandoned pending levels, then clone the snapshot's.
+        while let Some(mut level) = self.pending.pop_front() {
+            level.clear();
+            if self.pending_pool.len() < PENDING_POOL_CAP {
+                self.pending_pool.push(level);
+            }
+        }
+        for level in &ckpt.pending {
+            let mut buf = self.pending_pool.pop().unwrap_or_default();
+            buf.extend(level.iter().cloned());
+            self.pending.push_back(buf);
+        }
     }
 }
 
@@ -898,6 +1108,7 @@ fn delivery_pass<M: Clone>(
     resolved: &[Vec<u64>],
     fates: &[Vec<Fate>],
     hooked: bool,
+    crashed: &[bool],
     tracing: bool,
     per_proc_sent: &mut [u64],
     inboxes: &mut MsgArena<M>,
@@ -925,13 +1136,24 @@ fn delivery_pass<M: Clone>(
                 Fate::Deliver
             };
             fault_stats.injected += 1;
+            // A payload bound for a crash-stopped destination is destroyed
+            // at the custody transfer: bandwidth and the injection slot
+            // were consumed (the network accepted the send), but nothing
+            // lands and the `crashed` ledger column is charged instead of
+            // `delivered`.
+            let dest_dead = hooked && crashed[env.dest];
             match fate {
                 Fate::Deliver => {
                     builder.record_injection(slot);
-                    bump_recv(env.dest);
-                    inboxes.place(env.dest, env.payload);
-                    delivered += 1;
-                    fault_stats.delivered += 1;
+                    if dest_dead {
+                        fault_stats.crashed += 1;
+                        counters.crashed += 1;
+                    } else {
+                        bump_recv(env.dest);
+                        inboxes.place(env.dest, env.payload);
+                        delivered += 1;
+                        fault_stats.delivered += 1;
+                    }
                 }
                 Fate::Drop => {
                     // The send consumed bandwidth and a slot; nothing
@@ -943,10 +1165,17 @@ fn delivery_pass<M: Clone>(
                 Fate::Duplicate => {
                     builder.record_injection(slot);
                     let copy = env.payload.clone();
-                    bump_recv(env.dest);
-                    inboxes.place(env.dest, env.payload);
-                    delivered += 1;
-                    fault_stats.delivered += 1;
+                    if dest_dead {
+                        fault_stats.crashed += 1;
+                        counters.crashed += 1;
+                    } else {
+                        bump_recv(env.dest);
+                        inboxes.place(env.dest, env.payload);
+                        delivered += 1;
+                        fault_stats.delivered += 1;
+                    }
+                    // The spurious copy arrives next superstep and meets
+                    // *that* superstep's crash set when it lands.
                     queue_pending(pending, pending_pool, fault_stats, 1, env.dest, copy);
                     fault_stats.duplicated += 1;
                     counters.duplicated += 1;
@@ -966,10 +1195,15 @@ fn delivery_pass<M: Clone>(
                 }
                 Fate::Displace(d) => {
                     builder.record_injection(slot + d);
-                    bump_recv(env.dest);
-                    inboxes.place(env.dest, env.payload);
-                    delivered += 1;
-                    fault_stats.delivered += 1;
+                    if dest_dead {
+                        fault_stats.crashed += 1;
+                        counters.crashed += 1;
+                    } else {
+                        bump_recv(env.dest);
+                        inboxes.place(env.dest, env.payload);
+                        delivered += 1;
+                        fault_stats.delivered += 1;
+                    }
                     fault_stats.displaced += 1;
                     counters.displaced += 1;
                 }
@@ -977,13 +1211,20 @@ fn delivery_pass<M: Clone>(
         }
     }
     // Late arrivals land at the same boundary as this superstep's sends,
-    // after them, and are charged receive bandwidth here.
+    // after them, and are charged receive bandwidth here. A late arrival
+    // whose destination is dead *now* is destroyed now — its earlier delay
+    // only deferred the custody transfer.
     for (dest, payload) in due.drain(..) {
+        fault_stats.in_flight -= 1;
+        if hooked && crashed[dest] {
+            fault_stats.crashed += 1;
+            counters.crashed += 1;
+            continue;
+        }
         bump_recv(dest);
         inboxes.place(dest, payload);
         delivered += 1;
         fault_stats.delivered += 1;
-        fault_stats.in_flight -= 1;
         counters.late_arrivals += 1;
     }
     if due.capacity() > 0 && pending_pool.len() < PENDING_POOL_CAP {
@@ -1514,5 +1755,265 @@ mod tests {
             m
         };
         assert_ne!(run(1).canonical_hash(), run(2).canonical_hash());
+    }
+
+    /// Crashes one pid over a half-open superstep range.
+    struct CrashPid {
+        pid: Pid,
+        from: u64,
+        until: u64,
+    }
+    impl crate::hook::DeliveryHook for CrashPid {
+        fn crashed(&self, superstep: u64, pid: Pid) -> bool {
+            pid == self.pid && (self.from..self.until).contains(&superstep)
+        }
+    }
+
+    #[test]
+    fn crashed_processor_is_silent_and_inbound_custody_charges_crashed() {
+        let mut m: BspMachine<Vec<u8>, u8> = BspMachine::new(params(4), |_| Vec::new());
+        m.set_delivery_hook(Arc::new(CrashPid {
+            pid: 1,
+            from: 1,
+            until: 2,
+        }));
+        // Superstep 0: pid 1 alive; 0→1 delivers into its inbox.
+        m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                out.send(1, 5);
+            }
+        });
+        assert_eq!(m.pending_inbox(1), &[5]);
+        // Superstep 1: pid 1 is down. Its closure is skipped (the retained
+        // [5] evaporates, uncharged — it was already counted delivered) and
+        // pid 2's message to it is destroyed at the custody-transfer point.
+        let r1 = m.superstep(|pid, s, inbox, out| {
+            s.extend_from_slice(inbox);
+            if pid == 2 {
+                out.send(1, 9);
+            }
+        });
+        assert_eq!(r1.delivered, 0);
+        assert!(m.state(1).is_empty());
+        assert!(m.pending_inbox(1).is_empty());
+        // Superstep 2: pid 1 is back, with an empty inbox and no ghosts.
+        m.superstep(|_pid, s, inbox, _out| s.extend_from_slice(inbox));
+        assert!(m.state(1).is_empty());
+        let stats = m.fault_stats();
+        assert_eq!(stats.injected, 2);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.crashed, 1);
+        assert_eq!(stats.crash_steps, 1);
+        assert_eq!(stats.stalled_steps, 0);
+        assert!(stats.conserved(), "ledger {stats:?}");
+    }
+
+    #[test]
+    fn delayed_payload_arriving_at_a_crashed_destination_is_destroyed() {
+        struct DelayThenCrash;
+        impl crate::hook::DeliveryHook for DelayThenCrash {
+            fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+                if ctx.superstep == 0 {
+                    Fate::Delay(2)
+                } else {
+                    Fate::Deliver
+                }
+            }
+            fn crashed(&self, superstep: u64, pid: Pid) -> bool {
+                pid == 1 && superstep == 2
+            }
+        }
+        let mut m: BspMachine<(), u8> = BspMachine::new(params(4), |_| ());
+        m.set_delivery_hook(Arc::new(DelayThenCrash));
+        m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                out.send(1, 7);
+            }
+        });
+        assert_eq!(m.faults_in_flight(), 1);
+        let idle = |_: Pid, _: &mut (), _: &[u8], _: &mut Outbox<u8>| {};
+        m.superstep(idle);
+        // The payload falls due at the end of superstep 2 — exactly when
+        // its destination is down. It dies in the network, charged crashed.
+        let r2 = m.superstep(idle);
+        assert_eq!(r2.delivered, 0);
+        assert!(m.pending_inbox(1).is_empty());
+        let stats = m.fault_stats();
+        assert_eq!(stats.crashed, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.delivered, 0);
+        assert!(stats.conserved(), "ledger {stats:?}");
+    }
+
+    #[test]
+    fn crash_overrides_stall_retention() {
+        struct StallAndCrash;
+        impl crate::hook::DeliveryHook for StallAndCrash {
+            fn stalled(&self, superstep: u64, pid: Pid) -> bool {
+                pid == 1 && superstep == 1
+            }
+            fn crashed(&self, superstep: u64, pid: Pid) -> bool {
+                pid == 1 && superstep == 1
+            }
+        }
+        let mut m: BspMachine<Vec<u8>, u8> = BspMachine::new(params(4), |_| Vec::new());
+        m.set_delivery_hook(Arc::new(StallAndCrash));
+        m.superstep(|pid, _s, _in, out| {
+            if pid == 0 {
+                out.send(1, 5);
+            }
+        });
+        // Both predicates fire at superstep 1: crash wins, so the inbox is
+        // *not* retained the way a pure stall would retain it.
+        m.superstep(|_pid, s, inbox, _out| s.extend_from_slice(inbox));
+        m.superstep(|_pid, s, inbox, _out| s.extend_from_slice(inbox));
+        assert!(m.state(1).is_empty());
+        let stats = m.fault_stats();
+        assert_eq!(stats.crash_steps, 1);
+        assert_eq!(stats.stalled_steps, 0);
+        assert!(stats.conserved(), "ledger {stats:?}");
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_under_crashes() {
+        let hook = || {
+            Arc::new(CrashPid {
+                pid: 3,
+                from: 1,
+                until: 3,
+            })
+        };
+        let program = |pid: Pid, s: &mut Vec<u8>, inbox: &[u8], out: &mut Outbox<u8>| {
+            s.extend_from_slice(inbox);
+            if pid < 4 {
+                out.send(pid + 3, pid as u8);
+            }
+        };
+        let mut dense: BspMachine<Vec<u8>, u8> = BspMachine::new(params(8), |_| Vec::new());
+        dense.set_delivery_hook(hook());
+        let mut sparse: BspMachine<Vec<u8>, u8> = BspMachine::new(params(8), |_| Vec::new());
+        sparse.set_delivery_hook(hook());
+        let senders = [0usize, 1, 2, 3];
+        for _ in 0..4 {
+            dense.superstep(program);
+            sparse.superstep_active(&senders, program);
+        }
+        assert_eq!(dense.states(), sparse.states());
+        assert_eq!(dense.fault_stats(), sparse.fault_stats());
+        assert_eq!(dense.canonical_hash(), sparse.canonical_hash());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_the_canonical_hash() {
+        // Build a machine with every kind of captured state: retained
+        // inboxes (via a stall), a non-empty pending network (via delays),
+        // and a dirty ledger.
+        struct Mixed;
+        impl crate::hook::DeliveryHook for Mixed {
+            fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+                match (ctx.superstep, ctx.src) {
+                    (0, 0) => Fate::Delay(3),
+                    (0, 2) => Fate::Drop,
+                    _ => Fate::Deliver,
+                }
+            }
+            fn stalled(&self, superstep: u64, pid: Pid) -> bool {
+                superstep == 1 && pid == 2
+            }
+        }
+        let mut m: BspMachine<u64, u64> = BspMachine::new(params(4), |_| 0);
+        m.set_delivery_hook(Arc::new(Mixed));
+        m.superstep(|pid, _s, _in, out| out.send((pid + 1) % 4, pid as u64));
+        m.superstep(|_pid, s, inbox, _out| *s += inbox.iter().sum::<u64>());
+        assert!(m.faults_in_flight() > 0, "need in-network state");
+        assert!(!m.pending_inbox(2).is_empty(), "need retained inbox state");
+
+        let ckpt = m.checkpoint();
+        let hash_at_ckpt = m.canonical_hash();
+        assert_eq!(ckpt.superstep(), 2);
+        assert_eq!(ckpt.pending_payloads(), 1);
+
+        // Diverge: run more supersteps, then restore.
+        m.superstep(|pid, s, inbox, out| {
+            *s += inbox.iter().sum::<u64>();
+            out.send((pid + 2) % 4, 40);
+        });
+        m.superstep(|_pid, s, inbox, _out| *s += inbox.iter().sum::<u64>());
+        assert_ne!(m.canonical_hash(), hash_at_ckpt);
+
+        m.restore(&ckpt);
+        assert_eq!(m.canonical_hash(), hash_at_ckpt);
+        assert_eq!(m.fault_stats(), ckpt.fault_stats());
+
+        // The restored machine replays the same future: re-running the
+        // diverging steps reproduces the post-divergence fingerprint.
+        let mut replay_hash = || {
+            m.superstep(|pid, s, inbox, out| {
+                *s += inbox.iter().sum::<u64>();
+                out.send((pid + 2) % 4, 40);
+            });
+            m.superstep(|_pid, s, inbox, _out| *s += inbox.iter().sum::<u64>());
+            let h = m.canonical_hash();
+            m.restore(&ckpt);
+            h
+        };
+        assert_eq!(replay_hash(), replay_hash());
+    }
+
+    #[test]
+    fn rollback_keeps_the_ledger_monotone_and_conserved() {
+        struct DelayOdd;
+        impl crate::hook::DeliveryHook for DelayOdd {
+            fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+                if ctx.msg_idx % 2 == 1 {
+                    Fate::Delay(3)
+                } else {
+                    Fate::Deliver
+                }
+            }
+        }
+        let mut m: BspMachine<u64, u64> = BspMachine::new(params(4), |_| 0);
+        m.set_delivery_hook(Arc::new(DelayOdd));
+        let round = |m: &mut BspMachine<u64, u64>| {
+            m.superstep(|pid, s, inbox, out| {
+                *s += inbox.iter().sum::<u64>();
+                out.send((pid + 1) % 4, 1);
+                out.send((pid + 2) % 4, 2);
+            });
+        };
+        round(&mut m);
+        let ckpt = m.checkpoint();
+        let before = m.fault_stats();
+        assert!(before.in_flight > 0);
+        let b0: u64 = (0..4).map(|pid| ckpt.inbox_payloads(pid)).sum();
+        let f0 = ckpt.pending_payloads();
+        assert!(b0 > 0 && f0 > 0);
+
+        round(&mut m);
+        round(&mut m);
+        let at_crash = m.fault_stats();
+        let discarded = at_crash.in_flight;
+
+        m.rollback(&ckpt);
+        let after = m.fault_stats();
+        // Machine state reverts…
+        assert_eq!(m.superstep_index(), ckpt.superstep() as usize);
+        for pid in 0..4 {
+            assert_eq!(m.pending_inbox(pid).len() as u64, ckpt.inbox_payloads(pid));
+        }
+        // …but the ledger only grows, by exactly the rollback algebra.
+        assert_eq!(after.crashed, at_crash.crashed + discarded);
+        assert_eq!(after.restored, at_crash.restored + b0 + f0);
+        assert_eq!(after.delivered, at_crash.delivered + b0);
+        assert_eq!(after.in_flight, f0);
+        assert!(after.conserved(), "ledger {after:?}");
+
+        // A rolled-back machine plays the same future as a restored one:
+        // only the ledger bookkeeping differs, never the behavior.
+        round(&mut m);
+        let states_after_rollback = m.states().to_vec();
+        m.restore(&ckpt);
+        round(&mut m);
+        assert_eq!(m.states(), &states_after_rollback[..]);
     }
 }

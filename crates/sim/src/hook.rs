@@ -23,8 +23,12 @@
 //!   which the cross-thread-count conformance suite checks by comparing
 //!   traces byte-for-byte.
 //! * **Conservation.** The engine tracks [`FaultStats`] such that
-//!   `injected + duplicated == delivered + dropped + in_flight` at every
-//!   superstep boundary (checked by the property suite).
+//!   `injected + duplicated + restored == delivered + dropped + crashed +
+//!   in_flight` at every superstep boundary (checked by the property suite
+//!   and enumerated exhaustively by `pbw-check`). The `crashed` and
+//!   `restored` columns exist so crash-stop failures and checkpoint
+//!   rollback stay inside the same balance sheet instead of silently
+//!   resetting it.
 
 use crate::Pid;
 
@@ -81,6 +85,18 @@ pub trait DeliveryHook: Send + Sync {
         let _ = (superstep, pid);
         false
     }
+
+    /// Whether `pid` is crash-stopped for the whole of `superstep`. A
+    /// crashed processor is strictly worse than a stalled one: its closure
+    /// does not run, it sends nothing, and any payload whose custody would
+    /// transfer to it during the superstep (fresh delivery, duplicate copy,
+    /// late arrival, or an inbox retained across a simultaneous stall) is
+    /// *destroyed* and charged to [`FaultStats::crashed`]. Like `stalled`,
+    /// this must be pure in `(superstep, pid)`.
+    fn crashed(&self, superstep: u64, pid: Pid) -> bool {
+        let _ = (superstep, pid);
+        false
+    }
 }
 
 /// Running fault ledger kept by an engine (all zeros when no hook is set,
@@ -106,14 +122,28 @@ pub struct FaultStats {
     /// Payloads currently queued inside the network (delays + pending
     /// duplicate copies).
     pub in_flight: u64,
+    /// Payloads destroyed because their custody transferred to a
+    /// crash-stopped processor (inbox wiped at crash onset, deliveries and
+    /// late arrivals addressed to a dead pid, rollback-discarded traffic).
+    pub crashed: u64,
+    /// Payloads re-materialized by checkpoint rollback: a restored snapshot
+    /// re-creates inbox and pending-network payloads that the crash column
+    /// just wrote off, so the books stay balanced.
+    pub restored: u64,
+    /// Processor-supersteps lost to crash outages.
+    pub crash_steps: u64,
 }
 
 impl FaultStats {
     /// The conservation invariant every engine maintains at superstep
-    /// boundaries: `injected + duplicated == delivered + dropped +
-    /// in_flight`.
+    /// boundaries: `injected + duplicated + restored == delivered +
+    /// dropped + crashed + in_flight`.
+    ///
+    /// With no crashes and no rollbacks the two new columns are zero and
+    /// this reduces to the original PR-2 law.
     pub fn conserved(&self) -> bool {
-        self.injected + self.duplicated == self.delivered + self.dropped + self.in_flight
+        self.injected + self.duplicated + self.restored
+            == self.delivered + self.dropped + self.crashed + self.in_flight
     }
 }
 
@@ -136,6 +166,7 @@ mod tests {
         };
         assert_eq!(h.fate(&ctx), Fate::Deliver);
         assert!(!h.stalled(0, 0));
+        assert!(!h.crashed(0, 0));
     }
 
     #[test]
@@ -152,6 +183,28 @@ mod tests {
         let bad = FaultStats {
             injected: 5,
             delivered: 3,
+            ..Default::default()
+        };
+        assert!(!bad.conserved());
+    }
+
+    #[test]
+    fn crash_columns_balance_the_extended_law() {
+        // Two payloads destroyed by a crash, three re-created by rollback.
+        let s = FaultStats {
+            injected: 6,
+            delivered: 5,
+            crashed: 2,
+            restored: 3,
+            in_flight: 2,
+            ..Default::default()
+        };
+        assert!(s.conserved());
+        // A crash that destroys a payload without charging the column
+        // must unbalance the books.
+        let bad = FaultStats {
+            injected: 6,
+            delivered: 5,
             ..Default::default()
         };
         assert!(!bad.conserved());

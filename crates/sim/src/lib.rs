@@ -43,7 +43,7 @@ pub mod rng;
 pub mod summary;
 pub mod timeline;
 
-pub use bsp::{BspMachine, Envelope, Outbox};
+pub use bsp::{BspMachine, Envelope, MachineCheckpoint, Outbox};
 pub use hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
 pub use qsm::{QsmCtx, QsmMachine, Word};
 pub use summary::CostSummary;

@@ -168,6 +168,8 @@ pub struct QsmMachine<S> {
     fates: Vec<Vec<Fate>>,
     /// Per-processor stall flags for the current phase.
     stalled: Vec<bool>,
+    /// Per-processor crash flags for the current phase.
+    crashed: Vec<bool>,
     /// Counting-pass scratch: per-processor result segment sizes.
     arena_counts: Vec<usize>,
     /// Counting-pass scratch for the active-set path: epoch-stamped, so the
@@ -222,6 +224,7 @@ impl<S: Send + Sync> QsmMachine<S> {
             resolved: vec![Vec::new(); p],
             fates: Vec::new(),
             stalled: vec![false; p],
+            crashed: vec![false; p],
             arena_counts: vec![0; p],
             sparse_arena_counts: EpochCounts::new(p),
             readers: vec![0; size],
@@ -262,6 +265,13 @@ impl<S: Send + Sync> QsmMachine<S> {
     /// write is idempotent and treated as normal); [`Fate::Displace`]
     /// shifts the request's injection slot. All fates consume the request's
     /// injection slot and bandwidth.
+    ///
+    /// Crash-stop semantics ([`DeliveryHook::crashed`]): a crashed
+    /// processor's closure is skipped (it issues no requests), its unseen
+    /// read results evaporate uncharged (they were already counted
+    /// `delivered`), and any delayed response falling due while it is down
+    /// is destroyed and charged to the ledger's `crashed` column. Crash
+    /// overrides stall — nothing is retained across a crashed phase.
     pub fn set_delivery_hook(&mut self, hook: Arc<dyn DeliveryHook>) -> &mut Self {
         self.hook = Some(hook);
         self
@@ -419,8 +429,12 @@ impl<S: Send + Sync> QsmMachine<S> {
             let _: Vec<()> = self
                 .stalled
                 .par_iter_mut()
+                .zip(self.crashed.par_iter_mut())
                 .enumerate()
-                .map(|(pid, s)| *s = h.stalled(step, pid))
+                .map(|(pid, (s, c))| {
+                    *s = h.stalled(step, pid);
+                    *c = h.crashed(step, pid);
+                })
                 .collect();
         }
 
@@ -447,6 +461,7 @@ impl<S: Send + Sync> QsmMachine<S> {
             None => {
                 let f = &f;
                 let stalled = &self.stalled;
+                let crashed = &self.crashed;
                 let spare = &self.spare;
                 let _: Vec<()> = self
                     .states
@@ -455,7 +470,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                     .enumerate()
                     .map(|(pid, (state, ctx))| {
                         ctx.reset();
-                        if !(hooked && stalled[pid]) {
+                        if !(hooked && (stalled[pid] || crashed[pid])) {
                             f(pid, state, spare.inbox(pid), ctx);
                         }
                     })
@@ -469,7 +484,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                 for i in 0..self.frontier.len() {
                     let pid = self.frontier[i];
                     self.ctxs[pid].reset();
-                    if !(hooked && self.stalled[pid]) {
+                    if !(hooked && (self.stalled[pid] || self.crashed[pid])) {
                         f(
                             pid,
                             &mut self.states[pid],
@@ -661,6 +676,7 @@ impl<S: Send + Sync> QsmMachine<S> {
             ref resolved,
             ref fates,
             ref stalled,
+            ref crashed,
             ref mut arena_counts,
             ref mut sparse_arena_counts,
             ref readers,
@@ -720,7 +736,13 @@ impl<S: Send + Sync> QsmMachine<S> {
                 arena_counts.fill(0);
                 if hooked {
                     for pid in 0..p {
-                        if stalled[pid] {
+                        // Crash overrides stall: a down processor retains
+                        // nothing (its unseen results evaporate, uncharged —
+                        // they were already counted delivered).
+                        if crashed[pid] {
+                            fault_stats.crash_steps += 1;
+                            counters.crashed_procs += 1;
+                        } else if stalled[pid] {
                             arena_counts[pid] += spare.len(pid);
                             fault_stats.stalled_steps += 1;
                             counters.stalled_procs += 1;
@@ -745,7 +767,9 @@ impl<S: Send + Sync> QsmMachine<S> {
                     }
                 }
                 for &(pid, _) in due.iter() {
-                    arena_counts[pid] += 1;
+                    if !(hooked && crashed[pid]) {
+                        arena_counts[pid] += 1;
+                    }
                 }
                 read_results.begin(arena_counts);
             }
@@ -753,7 +777,10 @@ impl<S: Send + Sync> QsmMachine<S> {
                 sparse_arena_counts.reset();
                 if hooked {
                     for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if is_stalled {
+                        if crashed[pid] {
+                            fault_stats.crash_steps += 1;
+                            counters.crashed_procs += 1;
+                        } else if is_stalled {
                             sparse_arena_counts.add(pid, spare.len(pid) as u64);
                             fault_stats.stalled_steps += 1;
                             counters.stalled_procs += 1;
@@ -778,7 +805,9 @@ impl<S: Send + Sync> QsmMachine<S> {
                     }
                 }
                 for &(pid, _) in due.iter() {
-                    sparse_arena_counts.add(pid, 1);
+                    if !(hooked && crashed[pid]) {
+                        sparse_arena_counts.add(pid, 1);
+                    }
                 }
                 read_results.begin_sparse(sparse_arena_counts);
             }
@@ -787,7 +816,7 @@ impl<S: Send + Sync> QsmMachine<S> {
         // phase instead); they are retained ahead of this phase's serves.
         if hooked {
             for (pid, &is_stalled) in stalled.iter().enumerate() {
-                if is_stalled {
+                if is_stalled && !crashed[pid] {
                     for result in spare.inbox(pid) {
                         read_results.place(pid, *result);
                     }
@@ -830,11 +859,18 @@ impl<S: Send + Sync> QsmMachine<S> {
                 &mut counters,
             ),
         };
-        // Late responses land after this phase's on-time serves.
+        // Late responses land after this phase's on-time serves. A response
+        // falling due while its processor is down dies in the network,
+        // charged to the crash column.
         for (pid, result) in due.drain(..) {
+            fault_stats.in_flight -= 1;
+            if hooked && crashed[pid] {
+                fault_stats.crashed += 1;
+                counters.crashed += 1;
+                continue;
+            }
             read_results.place(pid, result);
             fault_stats.delivered += 1;
-            fault_stats.in_flight -= 1;
             counters.late_arrivals += 1;
             total_reads += 1;
         }
@@ -1356,6 +1392,129 @@ mod tests {
         });
         assert_eq!(*m.state(0), 77);
         assert_eq!(m.fault_stats().stalled_steps, 1);
+    }
+
+    #[test]
+    fn crashed_qsm_processor_issues_nothing_and_loses_unseen_results() {
+        struct CrashP0Phase1;
+        impl crate::hook::DeliveryHook for CrashP0Phase1 {
+            fn crashed(&self, phase: u64, pid: Pid) -> bool {
+                pid == 0 && phase == 1
+            }
+        }
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(4), 8, |_| 0);
+        m.shared_mut()[5] = 77;
+        m.set_delivery_hook(Arc::new(CrashP0Phase1));
+        m.phase(|pid, _s, _res, ctx| {
+            if pid == 0 {
+                ctx.read(5);
+            }
+        });
+        // Phase 1: pid 0 is down. Its unseen result evaporates (no stall-
+        // style retention) and its closure never runs.
+        m.phase(|pid, s, res, ctx| {
+            if pid == 0 {
+                *s = res.first().map_or(-1, |r| r.value);
+                ctx.read(5);
+            }
+        });
+        assert_eq!(*m.state(0), 0, "crashed closure must not run");
+        // Phase 2: pid 0 is back with nothing — the result is gone for good
+        // and no request was issued on its behalf while down.
+        m.phase(|pid, s, res, _ctx| {
+            if pid == 0 {
+                *s = res.first().map_or(-1, |r| r.value);
+            }
+        });
+        assert_eq!(*m.state(0), -1);
+        let stats = m.fault_stats();
+        assert_eq!(stats.crash_steps, 1);
+        assert_eq!(stats.crashed, 0, "evaporated results are not re-charged");
+        assert_eq!((stats.injected, stats.delivered), (1, 1));
+        assert!(stats.conserved(), "ledger {stats:?}");
+    }
+
+    #[test]
+    fn delayed_response_due_at_a_crashed_processor_is_destroyed() {
+        struct DelayIntoCrash;
+        impl crate::hook::DeliveryHook for DelayIntoCrash {
+            fn fate(&self, ctx: &DeliveryCtx) -> Fate {
+                if ctx.superstep == 0 {
+                    Fate::Delay(1)
+                } else {
+                    Fate::Deliver
+                }
+            }
+            fn crashed(&self, phase: u64, pid: Pid) -> bool {
+                // Phase 1 is where the Delay(1) response is released back
+                // to pid 0 — the custody-transfer point.
+                pid == 0 && phase == 1
+            }
+        }
+        let mut m: QsmMachine<Word> = QsmMachine::new(params(4), 8, |_| 0);
+        m.shared_mut()[3] = 10;
+        m.set_delivery_hook(Arc::new(DelayIntoCrash));
+        m.phase(|pid, _s, _res, ctx| {
+            if pid == 0 {
+                ctx.read(3);
+            }
+        });
+        assert_eq!(m.faults_in_flight(), 1);
+        m.phase(|_pid, _s, _res, _ctx| {});
+        // The delayed response fell due exactly while pid 0 was down: it is
+        // destroyed in the network and charged crashed.
+        m.phase(|pid, s, res, _ctx| {
+            if pid == 0 {
+                *s = res.first().map_or(-1, |r| r.value);
+            }
+        });
+        m.phase(|pid, s, res, _ctx| {
+            if pid == 0 && !res.is_empty() {
+                *s = res[0].value;
+            }
+        });
+        // Phase 2 observed an empty result inbox (the map_or default):
+        // the destroyed response never arrived, and never will.
+        assert_eq!(*m.state(0), -1, "destroyed response must never arrive");
+        let stats = m.fault_stats();
+        assert_eq!(stats.crashed, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.delivered, 0);
+        assert!(stats.conserved(), "ledger {stats:?}");
+    }
+
+    #[test]
+    fn sparse_and_dense_qsm_agree_under_crashes() {
+        struct CrashP1;
+        impl crate::hook::DeliveryHook for CrashP1 {
+            fn crashed(&self, phase: u64, pid: Pid) -> bool {
+                pid == 1 && phase == 1
+            }
+        }
+        let actors = [1usize, 5];
+        let program = |pid: Pid, s: &mut Word, res: &[ReadResult], ctx: &mut QsmCtx, ph: usize| {
+            if let Some(r) = res.first() {
+                *s = r.value;
+            }
+            if actors.contains(&pid) && ph < 2 {
+                ctx.read(pid);
+            }
+        };
+        let mut dense: QsmMachine<Word> = QsmMachine::new(params(8), 16, |_| 0);
+        dense.set_delivery_hook(Arc::new(CrashP1));
+        dense.shared_mut()[1] = 11;
+        dense.shared_mut()[5] = 55;
+        let mut sparse: QsmMachine<Word> = QsmMachine::new(params(8), 16, |_| 0);
+        sparse.set_delivery_hook(Arc::new(CrashP1));
+        sparse.shared_mut()[1] = 11;
+        sparse.shared_mut()[5] = 55;
+        for ph in 0..3 {
+            dense.phase(|pid, s, res, ctx| program(pid, s, res, ctx, ph));
+            sparse.phase_active(&actors, |pid, s, res, ctx| program(pid, s, res, ctx, ph));
+        }
+        assert_eq!(dense.states(), sparse.states());
+        assert_eq!(dense.profiles(), sparse.profiles());
+        assert_eq!(dense.fault_stats(), sparse.fault_stats());
     }
 
     #[test]

@@ -84,6 +84,11 @@ pub struct FaultCounters {
     pub stalled_procs: u64,
     /// Previously delayed/duplicated payloads that arrived at this boundary.
     pub late_arrivals: u64,
+    /// Payloads destroyed this superstep because their destination was
+    /// crash-stopped when custody would have transferred.
+    pub crashed: u64,
+    /// Processors crash-stopped for the whole superstep.
+    pub crashed_procs: u64,
     /// Retransmission round this superstep belongs to (0 = original send;
     /// stamped by the recovery protocol in `pbw-core`, not the engines).
     pub retransmit_round: u32,
@@ -95,6 +100,28 @@ impl FaultCounters {
     pub fn is_zero(&self) -> bool {
         *self == FaultCounters::default()
     }
+}
+
+/// A checkpoint/rollback annotation stamped on the superstep event at which
+/// the recovery driver acted. Absent on ordinary supersteps; the JSON-lines
+/// schema renders it as a `"recovery"` object so soak-harness diffs see
+/// recovery decisions, not just their cost side effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum RecoveryMark {
+    /// A superstep-consistent snapshot was committed at this boundary.
+    Checkpoint {
+        /// Total payloads captured in the snapshot (inboxes + pending
+        /// network) — the state volume the checkpoint h-relation moved.
+        payloads: u64,
+    },
+    /// The machine was rolled back to the snapshot taken at `to` before
+    /// this superstep ran.
+    Rollback {
+        /// Superstep index the machine rewound from.
+        from: u64,
+        /// Superstep index of the restored snapshot.
+        to: u64,
+    },
 }
 
 /// One structured record per superstep (or QSM phase, PRAM step, router
@@ -135,6 +162,8 @@ pub struct TraceEvent {
     /// Fault-injection counters; `None` when the emitting engine ran without
     /// a delivery hook (reliable network).
     pub faults: Option<FaultCounters>,
+    /// Checkpoint/rollback annotation; `None` on ordinary supersteps.
+    pub recovery: Option<RecoveryMark>,
 }
 
 impl TraceEvent {
@@ -177,6 +206,7 @@ impl TraceEvent {
             costs,
             slot_penalties,
             faults: None,
+            recovery: None,
         }
     }
 
@@ -184,6 +214,13 @@ impl TraceEvent {
     /// running with a delivery hook).
     pub fn with_faults(mut self, faults: FaultCounters) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Stamp a checkpoint/rollback annotation on the event (builder-style,
+    /// used by engines driven under a recovery protocol).
+    pub fn with_recovery(mut self, mark: RecoveryMark) -> Self {
+        self.recovery = Some(mark);
         self
     }
 
@@ -266,15 +303,30 @@ impl TraceEvent {
             s.push_str(&format!(
                 ",\"faults\":{{\"dropped\":{},\"duplicated\":{},\"delayed\":{},\
                  \"displaced\":{},\"stalled_procs\":{},\"late_arrivals\":{},\
-                 \"retransmit_round\":{}}}",
+                 \"crashed\":{},\"crashed_procs\":{},\"retransmit_round\":{}}}",
                 fc.dropped,
                 fc.duplicated,
                 fc.delayed,
                 fc.displaced,
                 fc.stalled_procs,
                 fc.late_arrivals,
+                fc.crashed,
+                fc.crashed_procs,
                 fc.retransmit_round
             ));
+        }
+        match &self.recovery {
+            Some(RecoveryMark::Checkpoint { payloads }) => {
+                s.push_str(&format!(
+                    ",\"recovery\":{{\"kind\":\"checkpoint\",\"payloads\":{payloads}}}"
+                ));
+            }
+            Some(RecoveryMark::Rollback { from, to }) => {
+                s.push_str(&format!(
+                    ",\"recovery\":{{\"kind\":\"rollback\",\"from\":{from},\"to\":{to}}}"
+                ));
+            }
+            None => {}
         }
         s.push('}');
         s
@@ -586,8 +638,23 @@ mod tests {
         let line = faulty.to_json();
         assert!(line.contains(
             "\"faults\":{\"dropped\":2,\"duplicated\":0,\"delayed\":0,\"displaced\":0,\
-             \"stalled_procs\":0,\"late_arrivals\":1,\"retransmit_round\":3}"
+             \"stalled_procs\":0,\"late_arrivals\":1,\"crashed\":0,\"crashed_procs\":0,\
+             \"retransmit_round\":3}"
         ));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn recovery_marks_render_only_when_present() {
+        let plain = sample_event("plain");
+        assert!(!plain.to_json().contains("\"recovery\""));
+        let ck = sample_event("ck").with_recovery(RecoveryMark::Checkpoint { payloads: 12 });
+        assert!(ck
+            .to_json()
+            .contains("\"recovery\":{\"kind\":\"checkpoint\",\"payloads\":12}"));
+        let rb = sample_event("rb").with_recovery(RecoveryMark::Rollback { from: 9, to: 6 });
+        let line = rb.to_json();
+        assert!(line.contains("\"recovery\":{\"kind\":\"rollback\",\"from\":9,\"to\":6}"));
         assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Seeded chaos soak: crash-stop outages mixed with the whole fault zoo
+# (drops, duplicates, delays, displacements, stalls), driven through the
+# checkpointed recovery path over a fixed seed matrix — and every run
+# repeated, diffing the JSONL trace streams byte-for-byte. Chaos that
+# cannot be replayed cannot be debugged, so determinism is the gate.
+#
+#   scripts/chaos_soak.sh           # heavy soak tier + seed-matrix diffs
+#   scripts/chaos_soak.sh --smoke   # smoke tier only (what CI's test job runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS=(3 5 9 11)
+
+smoke_only=false
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke_only=true ;;
+    *) echo "usage: scripts/chaos_soak.sh [--smoke]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== chaos soak: smoke tier (tests/chaos_soak.rs) =="
+cargo test --release -q --test chaos_soak
+
+if ! $smoke_only; then
+  echo "== chaos soak: heavy tier (8x seed matrix, 8-wide pool) =="
+  cargo test --release -q --test chaos_soak -- --ignored
+fi
+
+echo "== chaos soak: reproduce crashes, seed matrix, repeated-run trace diffs =="
+cargo build --release -q -p pbw-bench --bin reproduce
+
+a="$(mktemp)"; b="$(mktemp)"; w1="$(mktemp)"; w8="$(mktemp)"
+trap 'rm -f "$a" "$b" "$w1" "$w8"' EXIT
+
+for seed in "${SEEDS[@]}"; do
+  ./target/release/reproduce --quick --seed "$seed" --trace "$a" crashes >/dev/null
+  ./target/release/reproduce --quick --seed "$seed" --trace "$b" crashes >/dev/null
+  # An empty pair of traces would diff clean while proving nothing.
+  [ -s "$a" ] || { echo "seed $seed: crash-run trace is empty" >&2; exit 1; }
+  diff -q "$a" "$b" >/dev/null \
+    || { echo "seed $seed: same-seed crash traces differ" >&2; exit 1; }
+
+  PBW_THREADS=1 ./target/release/reproduce --quick --seed "$seed" --trace "$w1" crashes >/dev/null
+  PBW_THREADS=8 ./target/release/reproduce --quick --seed "$seed" --trace "$w8" crashes >/dev/null
+  [ -s "$w1" ] || { echo "seed $seed: width-1 crash trace is empty" >&2; exit 1; }
+  diff -q "$w1" "$w8" >/dev/null \
+    || { echo "seed $seed: crash traces differ between 1 and 8 threads" >&2; exit 1; }
+
+  echo "ok: seed $seed — $(wc -l < "$a") trace events, bit-identical across reruns and pool widths"
+done
+
+echo "chaos soak green"

@@ -42,9 +42,10 @@ grep -q '^cc ' tests/properties.proptest-regressions \
 cargo test --release -q --test properties
 echo "ok: $(grep -c '^cc ' tests/properties.proptest-regressions) saved counterexample(s) replayed"
 
-# The bounded model checker: exhaustively verify all four invariant
-# families (conservation + ledger reconstruction, recovery termination,
-# sparse ≡ dense byte-identity, Thm 6.2 cost envelope) over the CI domain
+# The bounded model checker: exhaustively verify all five invariant
+# families (conservation + ledger reconstruction with the crash/restore
+# columns, recovery termination, sparse ≡ dense byte-identity, crash-stop
+# checkpoint/rollback recovery, Thm 6.2 cost envelope) over the CI domain
 # (p ≤ 3, supersteps ≤ 3, messages ≤ 4) against the real engines.
 # --require-exhaustive turns a budget truncation into a failure — the CI
 # domain must stay fully enumerable within the budget.
@@ -57,6 +58,24 @@ PBW_CHECK_BUDGET="${PBW_CHECK_BUDGET:-300000}" \
 # checker that cannot see the planted bug is not checking anything.
 echo "== pbw-check self-test (planted violation) =="
 cargo run --release -q -p pbw-check --features check-selftest -- --self-test
+
+# The checker's documented exit codes are API: scripts and the workflow
+# branch on them, so each distinct code is asserted here against the
+# table `--help` prints. (0 = verified and 1 = counterexample are covered
+# by the run above and the self-test; here: 2 = usage error, 4 =
+# --self-test without the planted-bug feature compiled in.)
+echo "== pbw-check exit codes =="
+# The self-test run above rebuilt the binary WITH the planted-bug feature;
+# put the featureless one back before asserting its exit codes.
+cargo build --release -q -p pbw-check
+check_bin=./target/release/pbw-check
+[ -x "$check_bin" ] || { echo "pbw-check binary missing after build" >&2; exit 1; }
+"$check_bin" --help | grep -q "exit codes:" || { echo "--help does not document exit codes" >&2; exit 1; }
+rc=0; "$check_bin" --no-such-flag >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "unknown flag exited $rc, want 2" >&2; exit 1; }
+rc=0; "$check_bin" --self-test >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || { echo "featureless --self-test exited $rc, want 4" >&2; exit 1; }
+echo "ok: usage error -> 2, featureless self-test -> 4, both as documented"
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -87,6 +106,9 @@ PBW_THREADS=8 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --s
 [ -s "$fault_w1" ] || { echo "width-1 fault trace is empty" >&2; exit 1; }
 diff -q "$fault_w1" "$fault_w8" || { echo "fault traces differ between 1 and 8 threads" >&2; exit 1; }
 echo "ok: fault-run trace is byte-identical at PBW_THREADS=1 and PBW_THREADS=8"
+
+echo "== chaos soak (crashes x fault zoo, seeded, replay-diffed) =="
+scripts/chaos_soak.sh
 
 echo "== benchmark regression gate =="
 scripts/bench_gate.sh

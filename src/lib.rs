@@ -27,10 +27,11 @@
 //!   (default, zero-cost), `RecordingSink` (tests), or a JSON-lines exporter
 //!   (`reproduce --trace <path>`).
 //! * [`faults`] — seeded, deterministic fault injection (drops,
-//!   duplications, delays, slot displacement, processor stalls) for the
-//!   [`sim`] engines, paired with the ack/retransmit recovery protocol in
-//!   [`sched`]'s `recovery` module and router backpressure in
-//!   [`adversary`].
+//!   duplications, delays, slot displacement, processor stalls, crash-stop
+//!   processor failures) for the [`sim`] engines, paired with the
+//!   ack/retransmit recovery protocol and superstep-consistent
+//!   checkpoint/rollback in [`sched`]'s `recovery` module and router
+//!   backpressure in [`adversary`].
 //!
 //! ## Quickstart
 //!
@@ -62,10 +63,13 @@ pub mod prelude {
         UnbalancedSend,
     };
     pub use pbw_core::{
-        evaluate_schedule, run_with_recovery, validate_schedule, workload, RecoveryConfig,
-        RecoveryOutcome, RecoveryPhase, RecoverySession, Schedule, Workload,
+        evaluate_schedule, run_with_checkpointed_recovery, run_with_recovery, validate_schedule,
+        workload, CheckpointConfig, CheckpointedOutcome, RecoveryConfig, RecoveryOutcome,
+        RecoveryPhase, RecoverySession, Schedule, SessionCheckpoint, Workload,
     };
-    pub use pbw_faults::{FaultPlan, FaultScript, FaultSpec, StallWindow};
+    pub use pbw_faults::{
+        CrashWindow, FaultPlan, FaultScript, FaultSpec, StallWindow, WindowError,
+    };
     pub use pbw_models::{
         BspG, BspM, CostModel, MachineParams, PenaltyFn, QsmG, QsmM, SuperstepProfile,
     };

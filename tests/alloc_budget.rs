@@ -134,6 +134,42 @@ fn pram_allocs_per_step(ops: usize) -> u64 {
     (allocs() - before) / MEASURED
 }
 
+/// Allocations per steady-state superstep on a machine that is being
+/// checkpointed and rolled back: snapshot capture itself allocates (it
+/// clones states, inboxes and the pending queue — that cost is priced by
+/// the recovery driver as an h-relation, not hidden), but the supersteps
+/// *between* snapshots and the supersteps replayed *after* a restore must
+/// stay on the allocation-free hot path. Returns the per-superstep counts
+/// (between snapshots, after restore).
+fn checkpointed_bsp_allocs_per_superstep(fanout: usize) -> (u64, u64) {
+    let mp = MachineParams::from_gap(P, 2, 4);
+    let mut bsp: BspMachine<u64, u64> = BspMachine::new(mp, |pid| pid as u64);
+    let round = |bsp: &mut BspMachine<u64, u64>| {
+        bsp.superstep(|pid, state, inbox, out| {
+            *state = state.wrapping_add(inbox.iter().sum::<u64>());
+            for k in 0..fanout {
+                out.send((pid + k + 1) % P, (pid * fanout + k) as u64);
+            }
+        });
+    };
+    for _ in 0..WARMUP {
+        round(&mut bsp);
+    }
+    let ckpt = bsp.checkpoint();
+    let before = allocs();
+    for _ in 0..MEASURED {
+        round(&mut bsp);
+    }
+    let between = (allocs() - before) / MEASURED;
+    bsp.restore(&ckpt);
+    let before = allocs();
+    for _ in 0..MEASURED {
+        round(&mut bsp);
+    }
+    let replayed = (allocs() - before) / MEASURED;
+    (between, replayed)
+}
+
 /// Allocations per steady-state *active-set* superstep with a fixed
 /// 64-sender workload on a `p`-processor machine: the sparse path's
 /// per-superstep cost must not depend on `p` at all, so the count at
@@ -207,6 +243,33 @@ fn steady_state_supersteps_allocate_o1_sequential() {
                 pram_allocs_per_step(1),
                 pram_allocs_per_step(16),
                 16,
+            );
+        });
+}
+
+/// Checkpoint/rollback recovery must not perturb the hot path: supersteps
+/// between snapshots and supersteps replayed after a restore allocate O(1)
+/// in message volume, exactly like an uncheckpointed run. (The snapshot
+/// clone itself is allowed to allocate — it happens every k supersteps at
+/// the barrier, not per message.)
+#[test]
+fn checkpointed_supersteps_stay_on_the_allocation_free_path() {
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| {
+            let (between_lo, replay_lo) = checkpointed_bsp_allocs_per_superstep(1);
+            let (between_hi, replay_hi) = checkpointed_bsp_allocs_per_superstep(16);
+            assert_o1("bsp between snapshots", between_lo, between_hi, 16);
+            assert_o1("bsp after restore", replay_lo, replay_hi, 16);
+            // And checkpointing must not have knocked the run off the plain
+            // steady-state budget measured by the uncheckpointed probe.
+            assert_eq!(
+                between_hi,
+                bsp_allocs_per_superstep(16),
+                "a superstep between snapshots allocates more than an uncheckpointed one"
             );
         });
 }

@@ -1,0 +1,185 @@
+//! Seeded chaos soak: the *entire* fault zoo at once — drops, duplicates,
+//! delays, displacements, stalls and crash-stop outages — thrown at the
+//! checkpointed recovery driver over a fixed seed matrix.
+//!
+//! Two tiers share one scenario body:
+//!
+//! * the always-on smoke tier walks a small seed matrix (scaled by
+//!   `PBW_SOAK_SEEDS`, default 6 seeds per spec mix);
+//! * the `#[ignore]`d heavy tier (run by `scripts/chaos_soak.sh` and the
+//!   CI `chaos-soak` job) widens the matrix 8×.
+//!
+//! Every run asserts the soak invariants — the ledger conserves with the
+//! crash/restore columns, termination is bounded, a delivering run
+//! accounts for every flit — and every run is executed *twice*, diffing
+//! the rendered JSONL trace streams byte-for-byte: chaos must be
+//! replayable chaos, or no failure it finds is debuggable.
+
+mod common;
+
+use common::at_width;
+use parallel_bandwidth::models::MachineParams;
+use parallel_bandwidth::prelude::{FaultPlan, FaultSpec};
+use parallel_bandwidth::sched::schedulers::OfflineOptimal;
+use parallel_bandwidth::sched::{
+    run_with_checkpointed_recovery_to, workload, CheckpointConfig, RecoveryConfig,
+};
+use parallel_bandwidth::trace::RecordingSink;
+use std::sync::Arc;
+
+/// Seeds per spec mix in the smoke tier (`PBW_SOAK_SEEDS` overrides).
+fn soak_seeds() -> u64 {
+    std::env::var("PBW_SOAK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(6)
+}
+
+/// The zoo mixes the soak rotates through: every fault class enabled at
+/// once in three intensities, plus one crash-dominated mix.
+fn spec_matrix() -> Vec<FaultSpec> {
+    let full = |scale: f64| FaultSpec {
+        drop_rate: 0.05 * scale,
+        duplicate_rate: 0.04 * scale,
+        delay_rate: 0.06 * scale,
+        max_delay: 3,
+        displace_rate: 0.04 * scale,
+        max_displacement: 2,
+        stall_rate: 0.03 * scale,
+        crash_rate: 0.01 * scale,
+        max_crash_len: 2,
+    };
+    vec![
+        full(0.5),
+        full(1.0),
+        full(2.0),
+        FaultSpec {
+            crash_rate: 0.04,
+            max_crash_len: 2,
+            drop_rate: 0.02,
+            ..FaultSpec::none()
+        },
+    ]
+}
+
+struct SoakRun {
+    jsonl: Vec<String>,
+    outcome: parallel_bandwidth::sched::CheckpointedOutcome,
+}
+
+/// One chaos run: checkpointed recovery under `spec`/`seed`, traced.
+fn soak_once(spec: FaultSpec, seed: u64) -> SoakRun {
+    let p = 16;
+    let params = MachineParams::from_gap(p, 4, 8);
+    let wl = workload::uniform_random(p, 3, seed ^ 0xC0FFEE);
+    let cfg = RecoveryConfig::default();
+    let ck = CheckpointConfig {
+        interval: 2,
+        charge_state_io: true,
+        max_rollbacks: 64,
+    };
+    let sink = Arc::new(RecordingSink::new());
+    let plan =
+        Arc::new(FaultPlan::new(spec, seed)) as Arc<dyn parallel_bandwidth::sim::DeliveryHook>;
+    let outcome = run_with_checkpointed_recovery_to(
+        sink.clone(),
+        &wl,
+        &OfflineOptimal,
+        params,
+        seed.wrapping_mul(31).wrapping_add(7),
+        Some(plan),
+        &cfg,
+        &ck,
+    );
+    let jsonl = sink.take().iter().map(|e| e.to_json()).collect();
+    SoakRun { jsonl, outcome }
+}
+
+/// The soak invariants on a single run.
+fn assert_soak_invariants(spec: &FaultSpec, seed: u64, run: &SoakRun) {
+    let o = &run.outcome;
+    let stats = o.recovery.fault_stats;
+    let ctx = format!("spec {spec:?} seed {seed}");
+    assert!(
+        stats.conserved(),
+        "{ctx}: ledger does not conserve: {stats:?}"
+    );
+    assert!(
+        o.rollbacks <= 64,
+        "{ctx}: rollback bound breached ({})",
+        o.rollbacks
+    );
+    if o.gave_up {
+        assert_eq!(o.rollbacks, 64, "{ctx}: gave up before the bound");
+    }
+    if o.recovery.delivered_all {
+        // Duplicates that survive the zoo arrive too, so arrivals can
+        // exceed the workload; they can never undershoot it.
+        assert!(
+            o.recovery.arrival_steps.len() as u64 >= soak_workload_flits(seed),
+            "{ctx}: delivered_all but arrivals undershoot the workload"
+        );
+    }
+    assert!(
+        !run.jsonl.is_empty(),
+        "{ctx}: traced run produced no events — the diff below would be vacuous"
+    );
+}
+
+fn soak_workload_flits(seed: u64) -> u64 {
+    workload::uniform_random(16, 3, seed ^ 0xC0FFEE).n_flits()
+}
+
+/// Walk the matrix: every (spec, seed) runs twice and the rendered traces
+/// must match byte-for-byte, at the given pool width.
+fn soak_matrix(seeds_per_spec: u64, width: usize) {
+    at_width(width, || {
+        for (i, spec) in spec_matrix().into_iter().enumerate() {
+            for s in 0..seeds_per_spec {
+                let seed = (i as u64) * 1000 + s * 17 + 3;
+                let a = soak_once(spec, seed);
+                assert_soak_invariants(&spec, seed, &a);
+                let b = soak_once(spec, seed);
+                assert_eq!(
+                    a.jsonl, b.jsonl,
+                    "spec {spec:?} seed {seed}: same-seed chaos traces differ"
+                );
+                assert_eq!(a.outcome.recovery.summary, b.outcome.recovery.summary);
+                assert_eq!(
+                    a.outcome.recovery.fault_stats,
+                    b.outcome.recovery.fault_stats
+                );
+                assert_eq!(a.outcome.rollbacks, b.outcome.rollbacks);
+            }
+        }
+    });
+}
+
+/// Always-on smoke tier: the scaled matrix at width 1.
+#[test]
+fn chaos_soak_smoke_width_1() {
+    soak_matrix(soak_seeds(), 1);
+}
+
+/// Always-on smoke tier at a parallel pool width — and the width-1 matrix
+/// must replay bit-identically here too (cross-width determinism).
+#[test]
+fn chaos_soak_smoke_width_8_matches_width_1() {
+    let probe_spec = spec_matrix()[1];
+    let narrow = at_width(1, || soak_once(probe_spec, 42));
+    let wide = at_width(8, || soak_once(probe_spec, 42));
+    assert_eq!(
+        narrow.jsonl, wide.jsonl,
+        "chaos trace differs between pool widths 1 and 8"
+    );
+    soak_matrix(soak_seeds().div_ceil(2), 8);
+}
+
+/// Heavy tier: the matrix widened 8×. Opt-in (`--ignored`); run by
+/// `scripts/chaos_soak.sh` and the CI `chaos-soak` job.
+#[test]
+#[ignore = "heavy soak tier — run via scripts/chaos_soak.sh"]
+fn chaos_soak_heavy() {
+    soak_matrix(soak_seeds() * 8, 8);
+}

@@ -121,7 +121,9 @@ pub fn run_hooked(plan: FaultPlan, fanout: u64, extra_steps: u64) -> (FaultStats
 }
 
 /// An arbitrary mixed-fate fault specification (all rates bounded away
-/// from saturation so runs stay short).
+/// from saturation so runs stay short). Crash-stop outages are part of
+/// the mix: every consumer's conservation assertion must use the full
+/// ledger law with the `crashed`/`restored` columns.
 pub fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
     (
         0.0..0.24f64, // drop
@@ -129,10 +131,11 @@ pub fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
         0.0..0.24f64, // delay
         0.0..0.24f64, // displace
         0.0..0.3f64,  // stall
+        0.0..0.1f64,  // crash onset
         1..4u32,      // max_delay
         1..8u64,      // max_displacement
     )
-        .prop_map(|(dr, du, de, di, st, md, mx)| FaultSpec {
+        .prop_map(|(dr, du, de, di, st, cr, md, mx)| FaultSpec {
             drop_rate: dr,
             duplicate_rate: du,
             delay_rate: de,
@@ -140,5 +143,7 @@ pub fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
             displace_rate: di,
             max_displacement: mx,
             stall_rate: st,
+            crash_rate: cr,
+            max_crash_len: 2,
         })
 }

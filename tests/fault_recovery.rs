@@ -15,10 +15,10 @@ use std::sync::Arc;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// `injected + duplicated == delivered + dropped + in_flight` for every
-    /// seeded plan, at quiescence (where `in_flight == 0`, so the ISSUE's
-    /// `injected == delivered + dropped + in_flight` form holds as well
-    /// once spurious duplicates are accounted).
+    /// `injected + duplicated + restored == delivered + dropped + crashed
+    /// + in_flight` for every seeded plan, at quiescence (where
+    /// `in_flight == 0`; plain engine runs never roll back, so `restored`
+    /// stays 0 and crash-stop losses land in `crashed`).
     #[test]
     fn every_seeded_plan_conserves_messages(
         spec in spec_strategy(),
@@ -28,9 +28,10 @@ proptest! {
         let (stats, _) = run_hooked(FaultPlan::new(spec, seed), fanout, 2);
         prop_assert!(stats.conserved(), "ledger {stats:?}");
         prop_assert_eq!(stats.in_flight, 0);
+        prop_assert_eq!(stats.restored, 0);
         prop_assert_eq!(
             stats.injected + stats.duplicated,
-            stats.delivered + stats.dropped
+            stats.delivered + stats.dropped + stats.crashed
         );
     }
 
@@ -241,11 +242,7 @@ fn retransmission_round_landing_in_a_stalled_window_costs_one_extra_round() {
     // Timeline with `charge_acks`: send@0, ack@1, backoff@2, retransmit@3.
     // Stall the sender exactly at superstep 3: the round-1 retransmission
     // is swallowed, round 2 (ack@4, backoff@5-6, retransmit@7) repairs it.
-    let window = StallWindow {
-        pid: 0,
-        start: 3,
-        len: 1,
-    };
+    let window = StallWindow::new(0, 3, 1).expect("non-empty window");
     let stalled = run(Some(window));
     assert!(
         stalled.delivered_all,

@@ -600,3 +600,163 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint → restore must round-trip [`BspMachine::canonical_hash`]
+    /// bit-exactly on arbitrary faulty runs — dense and active-set
+    /// execution paths alike, at pool widths 1 and 8. The snapshot is the
+    /// recovery driver's rollback target; any state it fails to capture
+    /// (retained inboxes, the pending network, the ledger) would silently
+    /// fork the replayed timeline.
+    #[test]
+    fn checkpoint_restore_round_trips_canonical_hash(
+        sender_pct in 1usize..=5,
+        max_fanout in 1usize..6,
+        seed in 0u64..1000,
+        drop_rate in 0.0..0.2f64,
+        delay_rate in 0.0..0.2f64,
+    ) {
+        use parallel_bandwidth::prelude::{FaultPlan, FaultSpec};
+        use parallel_bandwidth::sim::{BspMachine, Outbox};
+        use rayon::ThreadPoolBuilder;
+        use std::sync::Arc;
+
+        let p = 64usize;
+        let n_senders = ((p * sender_pct) / 100).max(1);
+        let senders: Vec<usize> = (0..n_senders)
+            .map(|i| (i * 131 + seed as usize) % p)
+            .collect();
+        let spec = FaultSpec {
+            drop_rate,
+            delay_rate,
+            max_delay: 3,
+            ..FaultSpec::none()
+        };
+
+        let run = |sparse: bool, width: usize| -> (u64, u64) {
+            let senders = senders.clone();
+            ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool construction is infallible in the shim")
+                .install(|| {
+                    let params = MachineParams::from_gap(p, 8, 4);
+                    let mut m: BspMachine<u64, u64> = BspMachine::new(params, |_| 0);
+                    m.set_delivery_hook(Arc::new(FaultPlan::new(spec, seed ^ 0x5A)));
+                    // Captures only by reference / `Copy`, so `body` is
+                    // itself `Copy` and can feed every superstep below.
+                    let senders = &senders;
+                    let body = |pid: usize,
+                                s: &mut u64,
+                                inbox: &[u64],
+                                out: &mut Outbox<u64>| {
+                        *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                        if senders.contains(&pid) {
+                            for j in 0..(1 + (pid + seed as usize) % max_fanout) {
+                                out.send((pid * 7 + j * 13 + 1) % p, (pid + j) as u64);
+                            }
+                        }
+                    };
+                    let step = |m: &mut BspMachine<u64, u64>| {
+                        if sparse {
+                            let active: Vec<usize> = (0..p).collect();
+                            m.superstep_active(&active, body);
+                        } else {
+                            m.superstep(body);
+                        }
+                    };
+                    // Dirty every snapshot dimension: two faulty supersteps
+                    // leave retained inboxes, pending delays and a ledger.
+                    step(&mut m);
+                    step(&mut m);
+                    let ckpt = m.checkpoint();
+                    let at_ckpt = m.canonical_hash();
+                    // Diverge, then restore: the hash must come back bit-
+                    // exactly, ledger included.
+                    step(&mut m);
+                    step(&mut m);
+                    let diverged = m.canonical_hash();
+                    m.restore(&ckpt);
+                    prop_assert_eq!(m.canonical_hash(), at_ckpt, "restore lost state");
+                    prop_assert_eq!(m.fault_stats(), ckpt.fault_stats());
+                    // Replaying the diverged future from the snapshot
+                    // reproduces its fingerprint — restore is a true rewind.
+                    step(&mut m);
+                    step(&mut m);
+                    prop_assert_eq!(m.canonical_hash(), diverged, "replay forked");
+                    (at_ckpt, diverged)
+                })
+        };
+
+        let baseline = run(false, 1);
+        for (sparse, width) in [(true, 1), (false, 8), (true, 8)] {
+            prop_assert_eq!(
+                baseline,
+                run(sparse, width),
+                "sparse={} width={} fingerprints diverged from dense width-1",
+                sparse,
+                width
+            );
+        }
+    }
+
+    /// φ = 0, crash-free: a checkpointed recovery run (state I/O charging
+    /// off) must be *byte-identical* to the plain recovery run — same
+    /// summary, profiles, arrival steps, ledger, and the same rendered
+    /// trace stream. Checkpointing must be a pure observer until a crash
+    /// actually happens.
+    #[test]
+    fn crash_free_checkpointing_is_byte_identical_to_none(
+        p_idx in 0usize..3,
+        fanout in 1u64..5,
+        interval in 1u64..5,
+        run_seed in 0u64..100,
+    ) {
+        use parallel_bandwidth::sched::schedulers::OfflineOptimal;
+        use parallel_bandwidth::sched::{
+            run_with_checkpointed_recovery_to, run_with_recovery_to, workload,
+            CheckpointConfig, RecoveryConfig,
+        };
+        use parallel_bandwidth::trace::RecordingSink;
+        use std::sync::Arc;
+
+        let p = [8, 16, 64][p_idx];
+        let params = MachineParams::from_gap(p, 4, 4);
+        let wl = workload::uniform_random(p, fanout, 5);
+        let cfg = RecoveryConfig::default();
+
+        let plain_sink = Arc::new(RecordingSink::new());
+        let plain = run_with_recovery_to(
+            plain_sink.clone(), &wl, &OfflineOptimal, params, run_seed, None, &cfg,
+        );
+        let ck_sink = Arc::new(RecordingSink::new());
+        let ck = run_with_checkpointed_recovery_to(
+            ck_sink.clone(),
+            &wl,
+            &OfflineOptimal,
+            params,
+            run_seed,
+            None,
+            &cfg,
+            &CheckpointConfig { interval, charge_state_io: false, ..CheckpointConfig::default() },
+        );
+
+        prop_assert_eq!(ck.rollbacks, 0);
+        prop_assert!(!ck.gave_up);
+        prop_assert_eq!(ck.replayed_supersteps, 0);
+        prop_assert_eq!(ck.recovery.summary, plain.summary);
+        prop_assert_eq!(&ck.recovery.profiles, &plain.profiles);
+        prop_assert_eq!(&ck.recovery.arrival_steps, &plain.arrival_steps);
+        prop_assert_eq!(ck.recovery.fault_stats, plain.fault_stats);
+        // With charging off there is no synthesized overhead at all, so
+        // the totals collapse onto the plain run's summary.
+        prop_assert_eq!(ck.total, plain.summary);
+        let plain_jsonl: Vec<String> =
+            plain_sink.take().iter().map(|e| e.to_json()).collect();
+        let ck_jsonl: Vec<String> =
+            ck_sink.take().iter().map(|e| e.to_json()).collect();
+        prop_assert_eq!(plain_jsonl, ck_jsonl, "trace streams diverged");
+    }
+}
