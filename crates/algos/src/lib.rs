@@ -15,6 +15,7 @@
 //! | [`list_ranking`] | list ranking (Table 1 row 4) via the paper's PRAM→QSM(m) conversion |
 //! | [`columnsort`] | Leighton's columnsort — the deterministic sorting substrate of [2] |
 //! | [`sort`] | sorting on QSM(m)/BSP(m) in O(n/m) (Table 1 row 5) |
+//! | [`sample_sort`] | BSP sample sort as a real-algorithm workload: data-driven bucket skew as the emergent BSP(g)/BSP(m) gap |
 //! | [`bitonic`] | the balanced, locally-limited-friendly block bitonic sorter (the g-model's native algorithm) |
 //! | [`convert`] | the "general strategy" of Section 4: EREW/QRQW PRAM → QSM(m)/BSP(m) |
 //! | [`leader`] | Leader Recognition (Theorem 5.2 / Lemma 5.3) |
@@ -32,6 +33,7 @@ pub mod list_ranking;
 pub mod one_to_all;
 pub mod prefix;
 pub mod reduce;
+pub mod sample_sort;
 pub mod sensitivity;
 pub mod sort;
 

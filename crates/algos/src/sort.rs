@@ -45,7 +45,7 @@ fn oversample(n: usize, m: usize, q: usize) -> usize {
 /// (out of `active` concurrently active processors) lands on a slot such
 /// that (a) one processor never occupies a slot twice and (b) no slot
 /// carries more than `m` operations.
-fn stagger(k: u64, j: usize, active: usize, m: usize) -> u64 {
+pub(crate) fn stagger(k: u64, j: usize, active: usize, m: usize) -> u64 {
     let c = (active.div_ceil(m)).max(1) as u64;
     k * c + (j as u64 % c)
 }

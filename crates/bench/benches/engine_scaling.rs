@@ -21,8 +21,13 @@
 //! * `qsm_sparse/p65536` — a QSM phase with 16 active processors (one
 //!   read + one write each) through `phase_active`, pinning the sparse
 //!   contention-audit path.
+//! * `sample_sort_exchange/p32` — the steady-state all-to-all bucket
+//!   exchange of the sample-sort workload (PR 8): every key re-sent every
+//!   superstep through explicit `send_at` slots, pinning the
+//!   explicit-slot resolution path the synthetic scenarios never touch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pbw_algos::sample_sort::{keyset, KeyDist, SampleSortConfig, SampleSortProgram, Sampling};
 use pbw_models::MachineParams;
 use pbw_sim::{BspMachine, Outbox, QsmMachine};
 
@@ -117,6 +122,28 @@ fn bench_sparse_sweep(c: &mut Criterion) {
                     ctx.write(pid, pid as i64);
                 })
             })
+        });
+    }
+    {
+        // The same grid point as `reproduce sorting` (p = 32, n/p = 64,
+        // n = 2048 keys moved per iteration), held at the exchange
+        // superstep: splitters installed, every send an explicit
+        // `send_at`, buffers at their high-water marks.
+        let p = 32;
+        let per = 64;
+        let mp = MachineParams::from_gap(p, 4, 8);
+        let cfg = SampleSortConfig {
+            ratio: 8,
+            sampling: Sampling::Seeded,
+            seed: 7,
+        };
+        let prog = SampleSortProgram::new(p, keyset(KeyDist::Uniform, p * per, 7), cfg);
+        group.bench_function(&format!("sample_sort_exchange/p{p}"), |b| {
+            let mut machine = prog.machine(mp);
+            for _ in 0..prog.exchange_step() {
+                prog.apply_next(&mut machine, false);
+            }
+            b.iter(|| prog.step_exchange(&mut machine))
         });
     }
     group.finish();

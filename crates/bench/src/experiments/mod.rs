@@ -7,6 +7,7 @@ pub mod extensions;
 pub mod faults;
 pub mod scheduling;
 pub mod separations;
+pub mod sorting;
 
 /// All experiment ids in presentation order.
 pub const ALL: &[&str] = &[
@@ -25,6 +26,7 @@ pub const ALL: &[&str] = &[
     "mg1",
     "faults",
     "crashes",
+    "sorting",
     "cr-sim",
     "leader",
     "hrel-crcw",
@@ -42,13 +44,14 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
 }
 
 /// Dispatch one experiment by id with an explicit seed. Only the seeded
-/// experiments (currently `faults` and `crashes`) consume it; the rest
-/// have their seeds pinned in-line so every report is reproducible
-/// regardless.
+/// experiments (currently `faults`, `crashes` and `sorting`) consume it;
+/// the rest have their seeds pinned in-line so every report is
+/// reproducible regardless.
 pub fn run_seeded(id: &str, quick: bool, seed: u64) -> Option<String> {
     Some(match id {
         "faults" => faults::faults_seeded(quick, seed),
         "crashes" => crashes::crashes_seeded(quick, seed),
+        "sorting" => sorting::sorting_seeded(quick, seed),
         "table1" => separations::table1(quick),
         "broadcast-lb" => separations::broadcast_lb(quick),
         "gvsm-routing" => separations::gvsm_routing(quick),

@@ -118,8 +118,10 @@ impl WallClockHook {
         self.offset.load(Ordering::Relaxed)
     }
 
-    /// Set the offset (driver-only, between supersteps).
-    fn set_offset(&self, offset: u64) {
+    /// Set the offset. Driver-only: call strictly *between* supersteps
+    /// (after a rollback, before resuming), never while a superstep is in
+    /// flight — the purity contract above depends on it.
+    pub fn set_offset(&self, offset: u64) {
         self.offset.store(offset, Ordering::Relaxed);
     }
 }

@@ -1238,18 +1238,17 @@ fn delivery_pass<M: Clone>(
 /// earliest slots not explicitly claimed. Errors if two explicit sends
 /// collide or a destination is invalid.
 ///
-/// The all-auto common case is allocation-free once `out` has warmed up;
-/// explicit slots build a transient claim set.
+/// Allocation-free once `out` has warmed up, explicit slots included: the
+/// claim set is a sorted scratch prefix of `out` itself (drained off before
+/// returning), so a steady all-to-all of `send_at` calls — the sample-sort
+/// exchange — touches the heap zero times per superstep.
 fn resolve_slots_into<M>(
     pid: Pid,
     p: usize,
     envelopes: &[Envelope<M>],
     out: &mut Vec<u64>,
 ) -> Result<(), SimError> {
-    use std::collections::BTreeSet;
-    // `BTreeSet::new` does not allocate; nodes appear only when a program
-    // actually pins slots with `send_at`.
-    let mut explicit: BTreeSet<u64> = BTreeSet::new();
+    out.clear();
     for env in envelopes {
         if env.dest >= p {
             return Err(SimError::BadDestination {
@@ -1258,26 +1257,35 @@ fn resolve_slots_into<M>(
             });
         }
         if let Some(s) = env.slot {
-            if !explicit.insert(s) {
-                return Err(SimError::DuplicateSlot { pid, slot: s });
-            }
+            out.push(s);
         }
     }
-    let mut next_auto = 0u64;
-    out.clear();
+    let claimed = out.len();
+    out[..claimed].sort_unstable();
+    if let Some(w) = out[..claimed].windows(2).find(|w| w[0] == w[1]) {
+        return Err(SimError::DuplicateSlot { pid, slot: w[0] });
+    }
     out.reserve(envelopes.len());
+    // Autos merge against the sorted claim prefix: `next_auto` is monotone,
+    // so a single cursor visits each claimed slot at most once.
+    let mut next_auto = 0u64;
+    let mut cursor = 0usize;
     for env in envelopes {
         match env.slot {
             Some(s) => out.push(s),
             None => {
-                while explicit.contains(&next_auto) {
-                    next_auto += 1;
+                while cursor < claimed && out[cursor] <= next_auto {
+                    if out[cursor] == next_auto {
+                        next_auto += 1;
+                    }
+                    cursor += 1;
                 }
                 out.push(next_auto);
                 next_auto += 1;
             }
         }
     }
+    out.drain(..claimed);
     Ok(())
 }
 

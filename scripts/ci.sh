@@ -86,7 +86,9 @@ fault_a="$(mktemp)"
 fault_b="$(mktemp)"
 fault_w1="$(mktemp)"
 fault_w8="$(mktemp)"
-trap 'rm -f "$trace_out" "$fault_a" "$fault_b" "$fault_w1" "$fault_w8"' EXIT
+sort_a="$(mktemp)"
+sort_b="$(mktemp)"
+trap 'rm -f "$trace_out" "$fault_a" "$fault_b" "$fault_w1" "$fault_w8" "$sort_a" "$sort_b"' EXIT
 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --trace "$trace_out" table1 >/dev/null
 [ -s "$trace_out" ] || { echo "trace file is empty" >&2; exit 1; }
 echo "ok: $(wc -l < "$trace_out") trace events"
@@ -97,6 +99,17 @@ cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace 
 [ -s "$fault_a" ] || { echo "fault trace is empty" >&2; exit 1; }
 diff -q "$fault_a" "$fault_b" || { echo "same-seed fault traces differ" >&2; exit 1; }
 echo "ok: $(wc -l < "$fault_a") fault-run trace events, replayed bit-identically"
+
+echo "== sorting determinism: same seed, bit-identical traces =="
+# The sample-sort sweep (seeded keysets + seeded oversampling, 28 sweep
+# points run in parallel) must replay bit-identically, trace stream
+# included — the per-point recording sinks make the JSONL order canonical
+# at any thread width.
+cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$sort_a" sorting >/dev/null
+cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$sort_b" sorting >/dev/null
+[ -s "$sort_a" ] || { echo "sorting trace is empty" >&2; exit 1; }
+diff -q "$sort_a" "$sort_b" || { echo "same-seed sorting traces differ" >&2; exit 1; }
+echo "ok: $(wc -l < "$sort_a") sorting-run trace events, replayed bit-identically"
 
 echo "== cross-thread-count determinism: same seed, widths 1 vs 8 =="
 PBW_THREADS=1 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w1" faults >/dev/null

@@ -23,6 +23,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+use parallel_bandwidth::algos::sample_sort::{
+    keyset, KeyDist, SampleSortConfig, SampleSortProgram, Sampling,
+};
 use parallel_bandwidth::models::MachineParams;
 use parallel_bandwidth::pram::{AccessMode, Pram};
 use parallel_bandwidth::sim::{BspMachine, QsmMachine};
@@ -202,6 +205,37 @@ fn sparse_bsp_allocs_per_superstep(p: usize) -> u64 {
     (allocs() - before) / MEASURED
 }
 
+/// Allocations per steady-state sample-sort *exchange* superstep at the
+/// given per-processor block size. The program is driven through its real
+/// prefix (local sort, sample gather, splitter selection and broadcast) so
+/// the exchange runs with splitters installed, then the exchange body is
+/// re-issued as a standing workload: splitter storage short-circuits before
+/// touching the heap, the bucket partition walks the resident key vector,
+/// and every send lands in a recycled arena — so the count must not move
+/// between a 1× and a 16× block.
+fn sample_sort_exchange_allocs_per_superstep(per: usize) -> u64 {
+    let p = 8;
+    let mp = MachineParams::from_gap(p, 2, 4);
+    let cfg = SampleSortConfig {
+        ratio: 4,
+        sampling: Sampling::Seeded,
+        seed: 7,
+    };
+    let prog = SampleSortProgram::new(p, keyset(KeyDist::Uniform, p * per, 7), cfg);
+    let mut machine = prog.machine(mp);
+    for _ in 0..prog.exchange_step() {
+        prog.apply_next(&mut machine, false);
+    }
+    for _ in 0..WARMUP {
+        prog.step_exchange(&mut machine);
+    }
+    let before = allocs();
+    for _ in 0..MEASURED {
+        prog.step_exchange(&mut machine);
+    }
+    (allocs() - before) / MEASURED
+}
+
 /// Per-superstep allocation count must not grow with message volume, and
 /// must stay under a small absolute budget. `budget` covers the profile
 /// snapshot, the amortized `profiles` push and the pool dispatch; it is
@@ -295,6 +329,29 @@ fn sparse_superstep_allocations_do_not_scale_with_p() {
             assert!(
                 small <= 16,
                 "{small} allocations per sparse superstep exceeds the budget of 16"
+            );
+        });
+}
+
+/// The sample-sort all-to-all (PR 8): a *real-algorithm* superstep, not a
+/// synthetic fanout loop, must sit on the same allocation-free steady
+/// state. Every key moves every superstep, so a 16× block means 16× the
+/// message volume through the same recycled arenas — any per-key or
+/// per-bucket allocation sneaking into the exchange closure shows up as a
+/// count difference between the two volumes.
+#[test]
+fn sample_sort_exchange_stays_on_the_allocation_free_path() {
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| {
+            assert_o1(
+                "sample-sort exchange",
+                sample_sort_exchange_allocs_per_superstep(32),
+                sample_sort_exchange_allocs_per_superstep(512),
+                16,
             );
         });
 }

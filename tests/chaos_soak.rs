@@ -183,3 +183,153 @@ fn chaos_soak_smoke_width_8_matches_width_1() {
 fn chaos_soak_heavy() {
     soak_matrix(soak_seeds() * 8, 8);
 }
+
+// ---------------------------------------------------------------------------
+// Sample-sort chaos tier (PR 8): the same soak discipline — full zoo,
+// seeded, every run executed twice and trace-diffed — applied to a real
+// algorithm whose recovery is taint-based (any ledger movement voids the
+// superstep). Zoo rates are scaled to the algorithm's per-superstep
+// message volume so the geometric replay converges inside the budget.
+// ---------------------------------------------------------------------------
+
+use parallel_bandwidth::algos::sample_sort::{
+    keyset, run_with_checkpointed_recovery_opts, KeyDist, SampleSortConfig, Sampling,
+    SortRecoveryOutcome,
+};
+
+/// The sample-sort zoo mixes: every fault class at once in three
+/// intensities, plus a crash-dominated mix.
+fn sort_spec_matrix() -> Vec<FaultSpec> {
+    let full = |scale: f64| FaultSpec {
+        drop_rate: 0.004 * scale,
+        duplicate_rate: 0.003 * scale,
+        delay_rate: 0.004 * scale,
+        max_delay: 2,
+        displace_rate: 0.003 * scale,
+        max_displacement: 2,
+        stall_rate: 0.01 * scale,
+        crash_rate: 0.005 * scale,
+        max_crash_len: 2,
+    };
+    vec![
+        full(0.5),
+        full(1.0),
+        full(2.0),
+        FaultSpec {
+            crash_rate: 0.02,
+            max_crash_len: 2,
+            drop_rate: 0.004,
+            ..FaultSpec::none()
+        },
+    ]
+}
+
+struct SortSoakRun {
+    jsonl: Vec<String>,
+    outcome: SortRecoveryOutcome,
+}
+
+/// One sample-sort chaos run: taint-based checkpointed recovery under
+/// `spec`/`seed`, traced.
+fn sort_soak_once(spec: FaultSpec, seed: u64) -> SortSoakRun {
+    let p = 8;
+    let per = 8;
+    let params = MachineParams::from_gap(p, 4, 4);
+    let inputs = keyset(KeyDist::ALL[(seed % 4) as usize], p * per, seed);
+    let cfg = SampleSortConfig {
+        ratio: 4,
+        sampling: Sampling::Seeded,
+        seed,
+    };
+    let ck = CheckpointConfig {
+        interval: 1,
+        charge_state_io: false,
+        max_rollbacks: 200,
+    };
+    let sink = Arc::new(RecordingSink::new());
+    let hook =
+        Arc::new(FaultPlan::new(spec, seed)) as Arc<dyn parallel_bandwidth::sim::DeliveryHook>;
+    let outcome = run_with_checkpointed_recovery_opts(
+        params,
+        &inputs,
+        cfg,
+        hook,
+        &ck,
+        false,
+        Some(sink.clone()),
+    );
+    let jsonl = sink.take().iter().map(|e| e.to_json()).collect();
+    SortSoakRun { jsonl, outcome }
+}
+
+/// The sample-sort soak invariants on a single run.
+fn assert_sort_soak_invariants(spec: &FaultSpec, seed: u64, run: &SortSoakRun) {
+    let o = &run.outcome;
+    let ctx = format!("sort spec {spec:?} seed {seed}");
+    assert!(
+        o.fault_stats.conserved(),
+        "{ctx}: ledger does not conserve: {:?}",
+        o.fault_stats
+    );
+    assert!(o.rollbacks <= 200, "{ctx}: rollback bound breached");
+    if o.gave_up {
+        assert_eq!(o.rollbacks, 200, "{ctx}: gave up before the bound");
+    } else {
+        assert!(o.ok, "{ctx}: clean recovery but unsorted output");
+    }
+    assert!(
+        !run.jsonl.is_empty(),
+        "{ctx}: traced run produced no events — the diff below would be vacuous"
+    );
+}
+
+/// Walk the sample-sort matrix: every (spec, seed) runs twice and the
+/// rendered traces must match byte-for-byte, at the given pool width.
+fn sort_soak_matrix(seeds_per_spec: u64, width: usize) {
+    at_width(width, || {
+        for (i, spec) in sort_spec_matrix().into_iter().enumerate() {
+            for s in 0..seeds_per_spec {
+                let seed = (i as u64) * 1000 + s * 17 + 3;
+                let a = sort_soak_once(spec, seed);
+                assert_sort_soak_invariants(&spec, seed, &a);
+                let b = sort_soak_once(spec, seed);
+                assert_eq!(
+                    a.jsonl, b.jsonl,
+                    "sort spec {spec:?} seed {seed}: same-seed chaos traces differ"
+                );
+                assert_eq!(a.outcome.summary, b.outcome.summary);
+                assert_eq!(a.outcome.fault_stats, b.outcome.fault_stats);
+                assert_eq!(a.outcome.rollbacks, b.outcome.rollbacks);
+                assert_eq!(a.outcome.output, b.outcome.output);
+            }
+        }
+    });
+}
+
+/// Always-on sample-sort smoke tier at width 1.
+#[test]
+fn sample_sort_chaos_smoke_width_1() {
+    sort_soak_matrix(soak_seeds(), 1);
+}
+
+/// Always-on sample-sort smoke tier at a parallel pool width, plus the
+/// width-1 ≡ width-8 trace cross-check.
+#[test]
+fn sample_sort_chaos_smoke_width_8_matches_width_1() {
+    let probe_spec = sort_spec_matrix()[1];
+    let narrow = at_width(1, || sort_soak_once(probe_spec, 42));
+    let wide = at_width(8, || sort_soak_once(probe_spec, 42));
+    assert_eq!(
+        narrow.jsonl, wide.jsonl,
+        "sample-sort chaos trace differs between pool widths 1 and 8"
+    );
+    sort_soak_matrix(soak_seeds().div_ceil(2), 8);
+}
+
+/// Heavy tier: the sample-sort matrix widened 8×. Opt-in (`--ignored`);
+/// run by `scripts/chaos_soak.sh` and the CI `chaos-soak` job.
+#[test]
+#[ignore = "heavy soak tier — run via scripts/chaos_soak.sh"]
+fn sample_sort_chaos_heavy() {
+    sort_soak_matrix(soak_seeds() * 8, 8);
+}

@@ -268,3 +268,135 @@ fn retransmission_round_landing_in_a_stalled_window_costs_one_extra_round() {
     assert_eq!(stalled.arrival_steps, again.arrival_steps);
     assert_eq!(stalled.fault_stats, again.fault_stats);
 }
+
+// ---------------------------------------------------------------------------
+// Sample sort under the fault zoo (PR 8). Sample sort is lockstep — every
+// message matters — so its recovery driver rolls back on *any* ledger
+// movement, not just crashes. The zoo rates here are scaled to the
+// algorithm's per-superstep message volume (the exchange carries n
+// messages at once), keeping the per-step clean probability high enough
+// for the geometric retry to converge well inside the rollback budget.
+// ---------------------------------------------------------------------------
+
+/// The scaled fault-zoo matrix sample sort soaks under: every fault class
+/// at once in three intensities, plus a crash-dominated mix.
+fn sample_sort_zoo() -> Vec<FaultSpec> {
+    let full = |scale: f64| FaultSpec {
+        drop_rate: 0.004 * scale,
+        duplicate_rate: 0.003 * scale,
+        delay_rate: 0.004 * scale,
+        max_delay: 2,
+        displace_rate: 0.003 * scale,
+        max_displacement: 2,
+        stall_rate: 0.01 * scale,
+        crash_rate: 0.005 * scale,
+        max_crash_len: 2,
+    };
+    vec![
+        full(0.25),
+        full(0.5),
+        full(1.0),
+        FaultSpec {
+            crash_rate: 0.02,
+            max_crash_len: 2,
+            drop_rate: 0.004,
+            ..FaultSpec::none()
+        },
+    ]
+}
+
+/// Sample sort under `run_with_checkpointed_recovery` across the whole
+/// zoo matrix: the output is still the sorted input, the monotone ledger
+/// conserves, and the rollback bound holds.
+#[test]
+fn sample_sort_recovers_sorted_under_the_full_zoo() {
+    use parallel_bandwidth::algos::sample_sort::{
+        keyset, run_with_checkpointed_recovery, KeyDist, SampleSortConfig, Sampling,
+    };
+    use parallel_bandwidth::sched::CheckpointConfig;
+
+    let p = 8;
+    let per = 8;
+    let params = MachineParams::from_gap(p, 4, 4);
+    let ck = CheckpointConfig {
+        interval: 1,
+        charge_state_io: false,
+        max_rollbacks: 200,
+    };
+    for (i, spec) in sample_sort_zoo().into_iter().enumerate() {
+        for s in 0..3u64 {
+            let seed = (i as u64) * 100 + s * 13 + 1;
+            let inputs = keyset(KeyDist::ALL[(i + s as usize) % 4], p * per, seed);
+            let cfg = SampleSortConfig {
+                ratio: 4,
+                sampling: Sampling::Seeded,
+                seed,
+            };
+            let hook: Arc<dyn DeliveryHook> = Arc::new(FaultPlan::new(spec, seed));
+            let out = run_with_checkpointed_recovery(params, &inputs, cfg, hook, &ck);
+            let ctx = format!("spec {spec:?} seed {seed}");
+            assert!(!out.gave_up, "{ctx}: rollback budget exhausted");
+            assert!(out.ok, "{ctx}: recovered output is not the sorted input");
+            assert!(out.fault_stats.conserved(), "{ctx}: {:?}", out.fault_stats);
+            assert!(out.rollbacks <= 200, "{ctx}");
+            // Replays happen iff something was rolled back.
+            assert_eq!(out.replayed_supersteps > 0, out.rollbacks > 0, "{ctx}");
+        }
+    }
+}
+
+/// A hook hot enough that no clean replay exists: the driver must give up
+/// at its rollback bound instead of looping forever, and the ledger must
+/// still conserve.
+#[test]
+fn sample_sort_recovery_gives_up_at_the_bound_under_saturation_loss() {
+    use parallel_bandwidth::algos::sample_sort::{
+        keyset, run_with_checkpointed_recovery, KeyDist, SampleSortConfig,
+    };
+    use parallel_bandwidth::sched::CheckpointConfig;
+
+    let p = 8;
+    let params = MachineParams::from_gap(p, 4, 4);
+    let inputs = keyset(KeyDist::Uniform, p * 8, 5);
+    let ck = CheckpointConfig {
+        interval: 1,
+        charge_state_io: false,
+        max_rollbacks: 8,
+    };
+    let hook: Arc<dyn DeliveryHook> = Arc::new(FaultPlan::new(FaultSpec::drop_only(0.9), 5));
+    let out =
+        run_with_checkpointed_recovery(params, &inputs, SampleSortConfig::default(), hook, &ck);
+    assert!(out.gave_up);
+    assert!(!out.ok);
+    assert_eq!(out.rollbacks, 8);
+    assert!(out.fault_stats.conserved(), "{:?}", out.fault_stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The *raw* (no-recovery) sample sort under an arbitrary seeded fault
+    /// plan: the run may be wrong, but the ledger always conserves and the
+    /// same seed replays to the identical ledger and output.
+    #[test]
+    fn raw_sample_sort_under_any_plan_conserves_and_replays(
+        spec in spec_strategy(),
+        seed in any::<u64>(),
+    ) {
+        use parallel_bandwidth::algos::sample_sort::{
+            keyset, run_opts, KeyDist, SampleSortConfig,
+        };
+        let p = 8;
+        let params = MachineParams::from_gap(p, 4, 4);
+        let inputs = keyset(KeyDist::Zipf, p * 8, seed);
+        let cfg = SampleSortConfig::default();
+        let hook: Arc<dyn DeliveryHook> = Arc::new(FaultPlan::new(spec, seed));
+        let a = run_opts(params, &inputs, cfg, false, Some(hook.clone()), None);
+        prop_assert!(a.fault_stats.conserved(), "ledger {:?}", a.fault_stats);
+        let hook2: Arc<dyn DeliveryHook> = Arc::new(FaultPlan::new(spec, seed));
+        let b = run_opts(params, &inputs, cfg, false, Some(hook2), None);
+        prop_assert_eq!(a.fault_stats, b.fault_stats);
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.summary, b.summary);
+    }
+}

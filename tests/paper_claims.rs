@@ -223,3 +223,231 @@ fn large_p_gvsm_breakdown() {
     assert_eq!(exec.profile.max_sent, 4096);
     assert_eq!(exec.profile.total_messages, wl.n_flits());
 }
+
+// ---------------------------------------------------------------------------
+// BSP sample sort (PR 8): the local/global split driven by data. On the
+// staggered all-to-all bucket exchange, BSP(m) charges the aggregate n/m
+// while BSP(g) charges g·max_bucket, so their ratio is the bucket
+// imbalance λ = max_bucket/(n/p) — capped at g once λ ≥ g (BSP(m) switches
+// to charging h). The crossover table below is pinned for two fixed seeds.
+// ---------------------------------------------------------------------------
+
+mod sample_sort_claims {
+    use parallel_bandwidth::algos::sample_sort::{
+        keyset, run, run_opts, KeyDist, SampleSortConfig, SampleSortRun, Sampling,
+    };
+    use parallel_bandwidth::models::{bounds, BspG, BspM, CostModel, MachineParams, PenaltyFn};
+
+    const P: usize = 32;
+    const PER: usize = 64;
+    const SEEDS: [u64; 2] = [7, 11];
+
+    fn params() -> MachineParams {
+        MachineParams::from_gap(P, 4, 8)
+    }
+
+    fn sort_run(dist: KeyDist, ratio: usize, seed: u64) -> SampleSortRun {
+        let cfg = SampleSortConfig {
+            ratio,
+            sampling: Sampling::Regular,
+            seed,
+        };
+        let out = run(params(), &keyset(dist, P * PER, seed), cfg);
+        assert!(
+            out.ok,
+            "{} ratio {ratio} seed {seed}: not sorted",
+            dist.name()
+        );
+        out
+    }
+
+    /// Exchange-superstep BSP(g)/BSP(m) price ratio.
+    fn exch_gm(run: &SampleSortRun) -> f64 {
+        let mp = params();
+        let ex = &run.reports[run.exchange_step].profile;
+        let g = BspG { g: mp.g, l: mp.l };
+        let m = BspM {
+            m: mp.m,
+            l: mp.l,
+            penalty: PenaltyFn::Exponential,
+        };
+        g.superstep_cost(ex) / m.superstep_cost(ex)
+    }
+
+    /// The pinned crossover table: at which oversampling ratio the two
+    /// models' exchange predictions come within 5% — and for which skews
+    /// they never do.
+    #[test]
+    fn crossover_ratios_are_pinned_for_two_seeds() {
+        for seed in SEEDS {
+            // Uniform keys cross over exactly at the exact-quantile rung.
+            assert!(
+                exch_gm(&sort_run(KeyDist::Uniform, 64, seed)) <= 1.05,
+                "seed {seed}"
+            );
+            assert!(
+                exch_gm(&sort_run(KeyDist::Uniform, 32, seed)) > 1.05,
+                "seed {seed}"
+            );
+            // Pre-sorted blocks cross earlier: regular sampling recovers
+            // the block boundaries.
+            assert!(
+                exch_gm(&sort_run(KeyDist::PreSorted, 32, seed)) <= 1.05,
+                "seed {seed}"
+            );
+            assert!(
+                exch_gm(&sort_run(KeyDist::PreSorted, 16, seed)) > 1.05,
+                "seed {seed}"
+            );
+            // Zipf never crosses: its hot tie values each hold a block's
+            // worth of unsplittable copies, flooring λ ≈ 2 under exact
+            // splitters.
+            assert!(
+                exch_gm(&sort_run(KeyDist::Zipf, 64, seed)) >= 1.5,
+                "seed {seed}"
+            );
+            // Duplicate-heavy never even leaves saturation: 8 distinct
+            // values pin λ ≥ g at every ratio, so the divergence sits at
+            // its cap g = 4 across the whole ladder.
+            for ratio in [1usize, 4, 16, 64] {
+                let gm = exch_gm(&sort_run(KeyDist::DupHeavy, ratio, seed));
+                assert!(gm >= 3.99, "seed {seed} ratio {ratio}: {gm}");
+            }
+        }
+    }
+
+    /// Low oversampling ratios diverge hard: λ at ratio 1 is an order of
+    /// magnitude over the crossover, and shrinking the ratio 4× at the low
+    /// end more than doubles λ — the models' disagreement grows much
+    /// faster than the sampling budget shrinks.
+    #[test]
+    fn low_ratio_divergence_is_pinned_for_two_seeds() {
+        for seed in SEEDS {
+            for dist in [KeyDist::Uniform, KeyDist::Zipf] {
+                let l1 = sort_run(dist, 1, seed).imbalance(PER);
+                let l4 = sort_run(dist, 4, seed).imbalance(PER);
+                let l16 = sort_run(dist, 16, seed).imbalance(PER);
+                assert!(l1 > 10.0, "{} seed {seed}: λ(1) = {l1}", dist.name());
+                assert!(l1 > 2.0 * l4, "{} seed {seed}: {l1} vs {l4}", dist.name());
+                assert!(l4 > 1.9 * l16, "{} seed {seed}: {l4} vs {l16}", dist.name());
+            }
+        }
+    }
+
+    /// Under BSP(g) the dominant superstep flips across the sweep: at
+    /// ratio 1 the skewed bucket merge binds, past the crossover the
+    /// sample gather into pid 0 does — oversampling is free globally but
+    /// becomes the local bottleneck.
+    #[test]
+    fn bsp_g_dominant_superstep_flips_across_the_sweep() {
+        let mp = params();
+        let g = BspG { g: mp.g, l: mp.l };
+        for seed in SEEDS {
+            let dominant = |ratio: usize| {
+                let run = sort_run(KeyDist::Uniform, ratio, seed);
+                run.reports
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        g.superstep_cost(&a.profile)
+                            .total_cmp(&g.superstep_cost(&b.profile))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty run")
+            };
+            let run = sort_run(KeyDist::Uniform, 1, seed);
+            assert_eq!(
+                dominant(1),
+                run.exchange_step + 1,
+                "seed {seed}: merge binds at ratio 1"
+            );
+            assert_eq!(
+                dominant(64),
+                1,
+                "seed {seed}: splitter selection binds at ratio 64"
+            );
+        }
+    }
+
+    /// Message conservation on the exchange superstep: Σ m_t over the
+    /// injection histogram == delivered == n, every key exactly once, and
+    /// the stagger keeps every slot at or below m.
+    #[test]
+    fn exchange_conserves_sum_mt_equals_delivered() {
+        let n = (P * PER) as u64;
+        for seed in SEEDS {
+            for dist in KeyDist::ALL {
+                let run = sort_run(dist, 8, seed);
+                let ex = &run.reports[run.exchange_step];
+                let sum_mt: u64 = ex.profile.injections.iter().sum();
+                assert_eq!(sum_mt, n, "{} seed {seed}", dist.name());
+                assert_eq!(ex.delivered, n, "{} seed {seed}", dist.name());
+                let m = params().m as u64;
+                for (slot, &count) in ex.profile.injections.iter().enumerate() {
+                    assert!(
+                        count <= m,
+                        "{} seed {seed}: slot {slot} = {count} > m",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Theorem 6.2 envelope on the exchange superstep: with no slot above
+    /// m, the BSP(m) price stays within the self-scheduling target
+    /// `max((1+ε)n/m, x̄, ȳ, L) + τ` — even under the worst skew, because
+    /// x̄ = n/p bounds the work and ȳ = max_bucket bounds h.
+    #[test]
+    fn exchange_meets_thm_6_2_envelope() {
+        let mp = params();
+        let n = (P * PER) as u64;
+        let model = BspM {
+            m: mp.m,
+            l: mp.l,
+            penalty: PenaltyFn::Exponential,
+        };
+        for seed in SEEDS {
+            for dist in KeyDist::ALL {
+                for ratio in [1usize, 8, 64] {
+                    let run = sort_run(dist, ratio, seed);
+                    let ex = &run.reports[run.exchange_step].profile;
+                    let target = bounds::unbalanced_send_target(
+                        n,
+                        mp.m,
+                        ex.max_sent,
+                        ex.max_received,
+                        0.1,
+                        mp.p,
+                        mp.l,
+                    );
+                    let cost = model.superstep_cost(ex);
+                    assert!(
+                        cost <= target,
+                        "{} ratio {ratio} seed {seed}: BSP(m) {cost} over envelope {target}",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The differential oracle holds on the engine's sparse path too (the
+    /// full dense/sparse × width matrix lives in tests/properties.rs).
+    #[test]
+    fn sparse_path_produces_the_same_priced_run() {
+        for seed in SEEDS {
+            let inputs = keyset(KeyDist::Zipf, P * PER, seed);
+            let cfg = SampleSortConfig {
+                ratio: 8,
+                sampling: Sampling::Seeded,
+                seed,
+            };
+            let dense = run_opts(params(), &inputs, cfg, false, None, None);
+            let sparse = run_opts(params(), &inputs, cfg, true, None, None);
+            assert!(dense.ok && sparse.ok);
+            assert_eq!(dense.output, sparse.output);
+            assert_eq!(dense.summary, sparse.summary);
+        }
+    }
+}

@@ -760,3 +760,70 @@ proptest! {
         prop_assert_eq!(plain_jsonl, ck_jsonl, "trace streams diverged");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential sample-sort oracle: for arbitrary (p, n/p, ratio,
+    /// skew, sampling, seed), the BSP sample sort is byte-identical
+    /// between the dense and sparse engine paths at pool widths 1 and 8 —
+    /// rendered trace stream included — and its output equals the
+    /// sequential `sort_unstable` oracle.
+    #[test]
+    fn sample_sort_differential_oracle_across_paths_and_widths(
+        p_sel in 0usize..3,
+        per in 4usize..=24,
+        ratio in 1usize..=8,
+        dist_sel in 0usize..4,
+        seeded in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        use parallel_bandwidth::algos::sample_sort::{
+            keyset, run_opts, KeyDist, SampleSortConfig, Sampling,
+        };
+        use parallel_bandwidth::trace::RecordingSink;
+        use rayon::ThreadPoolBuilder;
+        use std::sync::Arc;
+
+        let p = [4usize, 8, 16][p_sel];
+        let dist = KeyDist::ALL[dist_sel];
+        let params = MachineParams::from_gap(p, 4, 4);
+        let cfg = SampleSortConfig {
+            ratio,
+            sampling: if seeded { Sampling::Seeded } else { Sampling::Regular },
+            seed,
+        };
+        let inputs = keyset(dist, p * per, seed);
+        let mut oracle = inputs.clone();
+        oracle.sort_unstable();
+
+        let run = |sparse: bool, width: usize| {
+            ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool construction is infallible in the shim")
+                .install(|| {
+                    let sink = Arc::new(RecordingSink::new());
+                    let out = run_opts(params, &inputs, cfg, sparse, None, Some(sink.clone()));
+                    let events: Vec<String> =
+                        sink.take().iter().map(|e| e.to_json()).collect();
+                    (events, out.output, out.summary, out.max_bucket)
+                })
+        };
+
+        let baseline = run(false, 1);
+        prop_assert_eq!(
+            &baseline.1, &oracle,
+            "dense width-1 output differs from sort_unstable ({:?}, p={}, per={})",
+            dist, p, per
+        );
+        for (sparse, width) in [(true, 1), (false, 8), (true, 8)] {
+            let other = run(sparse, width);
+            prop_assert_eq!(
+                &baseline, &other,
+                "sparse={} width={} diverged from the dense 1-thread sort",
+                sparse, width
+            );
+        }
+    }
+}
