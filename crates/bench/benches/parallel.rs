@@ -1,6 +1,6 @@
 //! Parallel speedup of the real thread pool behind the `rayon` shim:
-//! the same workload pinned to a 1-thread pool versus an 8-thread pool
-//! via `ThreadPool::install`. Two workloads:
+//! the same workload pinned to 1-, 4-, and 8-thread pools via
+//! `ThreadPool::install`. Two workloads:
 //!
 //! * `ring_superstep/p1024` — the raw BSP engine hot path (per-processor
 //!   compute + injection metering) on a 1024-processor ring.
@@ -9,7 +9,11 @@
 //!
 //! Medians are recorded in `BENCH_parallel.json` at the repo root together
 //! with the host's core count — speedup is bounded by physical cores, so a
-//! 1-core CI box legitimately reports ≈1×.
+//! 1-core CI box legitimately reports ≈1×. The core-aware gate in
+//! `scripts/bench_gate.sh --parallel` asserts a ≥2× floor at 4 threads on
+//! hosts with nproc ≥ 4 and degrades to an overhead ceiling (threads=8 at
+//! most 1.25× threads=1) on narrower containers, where the autotuner's
+//! sequential cutoff is the mechanism keeping wide pools cheap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pbw_models::MachineParams;
@@ -28,7 +32,7 @@ fn bench_ring_superstep(c: &mut Criterion) {
     group.sample_size(20);
     let p = 1024usize;
     let mp = MachineParams::from_gap(p, 16, 8);
-    for width in [1usize, 8] {
+    for width in [1usize, 4, 8] {
         let pool = pool(width);
         group.bench_function(&format!("threads_{width}"), |b| {
             let mut machine: BspMachine<u64, u64> = BspMachine::new(mp, |_| 0);
@@ -54,7 +58,7 @@ fn bench_ring_superstep(c: &mut Criterion) {
 fn bench_faults_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_speedup/faults_sweep_quick");
     group.sample_size(10);
-    for width in [1usize, 8] {
+    for width in [1usize, 4, 8] {
         let pool = pool(width);
         group.bench_function(&format!("threads_{width}"), |b| {
             b.iter(|| pool.install(|| pbw_bench::experiments::faults::faults_seeded(true, 7)))

@@ -38,7 +38,7 @@
 //!   same spec under a different seed is a fresh sample of the same fault
 //!   process.
 
-use pbw_sim::{DeliveryCtx, DeliveryHook, Fate, Pid};
+use pbw_sim::{BatchDests, DeliveryCtx, DeliveryHook, Fate, Pid};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -378,6 +378,52 @@ impl FaultPlan {
         Fate::Deliver
     }
 
+    /// Batched [`FaultPlan::fate_of`]: append the fates of messages
+    /// `0..n` sent by `src` at `superstep` to `out`, bit-identical to
+    /// calling `fate_of` once per message (pinned by a proptest below).
+    ///
+    /// The win over the per-message path is hoisting loop invariants: the
+    /// per-superstep RNG keying happens once (each message then only
+    /// re-streams the cipher), and the fate thresholds are accumulated into
+    /// cumulative edges up front — in the *same `f64` addition order* as
+    /// `fate_of`'s incremental `edge +=` sequence, so the comparisons see
+    /// bit-identical values. The common all-deliver draw takes a branchless
+    /// four-compare path instead of re-deriving the edges per message.
+    pub fn fates_of(&self, superstep: u64, src: Pid, n: usize, out: &mut Vec<Fate>) {
+        if self.spec.is_none() {
+            out.resize(out.len() + n, Fate::Deliver);
+            return;
+        }
+        out.reserve(n);
+        let key = self
+            .seed
+            .wrapping_add(FATE_TAG)
+            .wrapping_add(superstep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        let base = (src as u64) << 24;
+        let drop_edge = self.spec.drop_rate;
+        let dup_edge = drop_edge + self.spec.duplicate_rate;
+        let delay_edge = dup_edge + self.spec.delay_rate;
+        let disp_edge = delay_edge + self.spec.displace_rate;
+        for msg_idx in 0..n {
+            // `set_stream` rewinds the cipher keyed by (seed, stream), so a
+            // re-streamed template is bit-equal to `message_rng(..)`.
+            rng.set_stream(base ^ msg_idx as u64);
+            let u: f64 = rng.gen_range(0.0..1.0);
+            out.push(if u < drop_edge {
+                Fate::Drop
+            } else if u < dup_edge {
+                Fate::Duplicate
+            } else if u < delay_edge {
+                Fate::Delay(rng.gen_range(1..=self.spec.max_delay))
+            } else if u < disp_edge {
+                Fate::Displace(rng.gen_range(1..=self.spec.max_displacement))
+            } else {
+                Fate::Deliver
+            });
+        }
+    }
+
     /// Whether this plan has `pid` crash-stopped at `superstep` — exposed,
     /// like [`FaultPlan::fate_of`], so tests and the recovery driver can
     /// interrogate a plan without running an engine. `crashed` (the hook
@@ -437,6 +483,19 @@ impl FaultPlan {
 impl DeliveryHook for FaultPlan {
     fn fate(&self, ctx: &DeliveryCtx) -> Fate {
         self.fate_of(ctx.superstep, ctx.src, ctx.msg_idx)
+    }
+
+    fn fate_batch(
+        &self,
+        superstep: u64,
+        src: Pid,
+        _dests: BatchDests<'_>,
+        slots: &[u64],
+        out: &mut Vec<Fate>,
+    ) {
+        // A plan's fates ignore dest and slot (pure in superstep/src/
+        // msg_idx), so the batch is just the hoisted-keying loop.
+        self.fates_of(superstep, src, slots.len(), out);
     }
 
     fn stalled(&self, superstep: u64, pid: Pid) -> bool {
@@ -647,5 +706,61 @@ mod tests {
             ..FaultSpec::none()
         };
         let _ = FaultPlan::new(spec, 0);
+    }
+
+    mod batch_props {
+        use super::*;
+        use pbw_sim::BatchDests;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // The batched fate kernel is bit-identical to the scalar
+            // per-message path — including n = 0, n = 1, and batch sizes
+            // that are not a multiple of any internal lane width.
+            #[test]
+            fn fate_batch_matches_scalar_fate(
+                seed in 0u64..u64::MAX,
+                superstep in 0u64..1_000,
+                src in 0usize..4_096,
+                n in 0usize..200,
+                rates in (0u32..4, 0u32..4, 0u32..4, 0u32..4),
+            ) {
+                let (d, dup, del, disp) = rates;
+                let spec = FaultSpec {
+                    drop_rate: d as f64 * 0.08,
+                    duplicate_rate: dup as f64 * 0.08,
+                    delay_rate: del as f64 * 0.08,
+                    max_delay: 5,
+                    displace_rate: disp as f64 * 0.08,
+                    max_displacement: 7,
+                    ..FaultSpec::none()
+                };
+                let plan = FaultPlan::new(spec, seed);
+                let slots: Vec<u64> = (0..n as u64).collect();
+                let mut batch = Vec::new();
+                plan.fate_batch(superstep, src, BatchDests::Uniform(0), &slots, &mut batch);
+                let scalar: Vec<Fate> = (0..n)
+                    .map(|i| plan.fate_of(superstep, src, i))
+                    .collect();
+                prop_assert_eq!(batch, scalar);
+            }
+
+            // The spec-free fast path (resize to Deliver) matches too.
+            #[test]
+            fn fate_batch_matches_scalar_when_spec_is_none(
+                seed in 0u64..u64::MAX,
+                superstep in 0u64..1_000,
+                src in 0usize..4_096,
+                n in 0usize..50,
+            ) {
+                let plan = FaultPlan::new(FaultSpec::none(), seed);
+                let mut batch = Vec::new();
+                plan.fates_of(superstep, src, n, &mut batch);
+                prop_assert_eq!(batch.len(), n);
+                prop_assert!(batch.iter().all(|f| *f == Fate::Deliver));
+            }
+        }
     }
 }

@@ -179,9 +179,32 @@ impl PenaltyTable {
     }
 
     /// Total superstep communication charge `c_m = Σ_t f_m(m_t)`.
+    ///
+    /// Batched: one branch-free max-scan over the `u64` histogram decides
+    /// whether *every* load is memoized; on that (overwhelmingly common)
+    /// path the sum is a tight gather over the table with no per-element
+    /// fallback test left in the loop. Terms are added left-to-right from
+    /// `0.0` either way — the same order `iter().map(charge).sum()` used —
+    /// so the result is bit-identical to the per-element path (pinned by a
+    /// proptest below).
     #[inline]
     pub fn total_charge(&self, injections: &[u64]) -> f64 {
-        injections.iter().map(|&m_t| self.charge(m_t)).sum()
+        let memoized =
+            injections.iter().fold(0u64, |top, &m_t| top.max(m_t)) < self.table.len() as u64;
+        // `iter().sum::<f64>()` folds from -0.0 (the true additive identity
+        // for IEEE addition); seed identically so even the empty histogram
+        // is bit-equal.
+        let mut sum = -0.0f64;
+        if memoized {
+            for &m_t in injections {
+                sum += self.table[m_t as usize];
+            }
+        } else {
+            for &m_t in injections {
+                sum += self.charge(m_t);
+            }
+        }
+        sum
     }
 }
 
@@ -306,5 +329,35 @@ mod tests {
         let t = PenaltyTable::new(PenaltyFn::Linear, 5);
         assert_eq!(t.penalty(), PenaltyFn::Linear);
         assert_eq!(t.bandwidth(), 5);
+    }
+
+    mod batch_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // The batched gather sum is bit-identical to the per-element
+            // `iter().map(charge).sum()` it replaced — empty histograms, a
+            // single step, odd lengths, and loads past the memoized span
+            // (which force the fallback branch) all included.
+            #[test]
+            fn batched_total_charge_is_bit_exact(
+                m in 1usize..32,
+                kind in 0u8..2,
+                injections in proptest::collection::vec(0u64..2_000, 0..50),
+            ) {
+                let penalty = if kind == 0 {
+                    PenaltyFn::Linear
+                } else {
+                    PenaltyFn::Exponential
+                };
+                let table = PenaltyTable::new(penalty, m);
+                let batched = table.total_charge(&injections);
+                let scalar: f64 = injections.iter().map(|&m_t| table.charge(m_t)).sum();
+                prop_assert_eq!(batched.to_bits(), scalar.to_bits());
+            }
+        }
     }
 }

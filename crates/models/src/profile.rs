@@ -123,6 +123,30 @@ impl ProfileBuilder {
         self
     }
 
+    /// Record one injection per slot in `slots` — the batched form of
+    /// calling [`ProfileBuilder::record_injection`] once per element, to
+    /// which it is bit-equivalent (pinned by a proptest below).
+    ///
+    /// The batch hoists what the per-call form repeats per message: one
+    /// max-scan over the `u64` lane (a branch-free reduction rustc
+    /// autovectorizes) decides the final histogram length, one resize grows
+    /// it, and the scatter loop then increments with no bounds/`try_from`
+    /// checks in its body beyond the slice index.
+    pub fn record_injections_batch(&mut self, slots: &[u64]) -> &mut Self {
+        let Some(&max_slot) = slots.iter().max() else {
+            return self;
+        };
+        let top = usize::try_from(max_slot).expect("slot exceeds addressable range");
+        if self.profile.injections.len() <= top {
+            self.profile.injections.resize(top + 1, 0);
+        }
+        for &slot in slots {
+            self.profile.injections[slot as usize] += 1;
+        }
+        self.profile.total_messages += slots.len() as u64;
+        self
+    }
+
     /// Record that some processor issued `reads` shared-memory reads and
     /// `writes` shared-memory writes (QSM).
     pub fn record_memory_ops(&mut self, reads: u64, writes: u64) -> &mut Self {
@@ -294,5 +318,37 @@ mod tests {
         let e = SuperstepProfile::default();
         assert_eq!(e.concat(&p).total_messages, p.total_messages);
         assert_eq!(p.concat(&e).max_work, 4);
+    }
+
+    mod batch_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // The batched injection scatter is bit-identical to recording
+            // each slot individually — including the empty batch, a single
+            // slot, odd tail lengths, and a builder with prior history.
+            #[test]
+            fn injections_batch_matches_scalar(
+                slots in proptest::collection::vec(0u64..64, 0..50),
+                pre in proptest::collection::vec(0u64..16, 0..4),
+            ) {
+                let mut batch = ProfileBuilder::new();
+                for &s in &pre {
+                    batch.record_injection(s);
+                }
+                batch.record_injections_batch(&slots);
+                let mut scalar = ProfileBuilder::new();
+                for &s in &pre {
+                    scalar.record_injection(s);
+                }
+                for &s in &slots {
+                    scalar.record_injection(s);
+                }
+                prop_assert_eq!(batch.build(), scalar.build());
+            }
+        }
     }
 }

@@ -3,24 +3,26 @@
 //! The build environment has no registry access, so upstream rayon cannot be
 //! fetched. Unlike the earlier sequential stand-in, this shim actually runs
 //! parallel chains on a pool of `std::thread` workers ([`mod@pool`]): work is
-//! split into contiguous index chunks, chunks are claimed dynamically off an
-//! atomic counter (chunk-level work stealing), and chunk results are merged
-//! back **in index order** ([`mod@iter`]).
+//! split into contiguous index chunks sized by a calibrated autotuner
+//! ([`mod@tune`]), distributed by work-stealing over per-thread deques
+//! (owner LIFO, thieves FIFO, splitting while idle workers exist), and chunk
+//! results are merged back **in index order** ([`mod@iter`]).
 //!
 //! Contract kept from upstream: `par_iter` / `par_iter_mut` /
 //! `into_par_iter` with `map` / `zip` / `enumerate` / `collect`
 //! (including `collect::<Result<_, _>>()`), `join`, `current_num_threads`,
-//! and `ThreadPoolBuilder` → [`ThreadPool::install`]. Results are
+//! `ThreadPoolBuilder` → [`ThreadPool::install`], and the work-stealing
+//! deque scheduler with split-until-floor chunking. Results are
 //! element-for-element identical to sequential execution at every thread
 //! count — the deterministic ordered merge is the load-bearing guarantee
 //! the workspace's cross-thread-count conformance suite checks.
 //!
-//! Contract NOT kept: upstream's work-stealing deque scheduler, scoped
-//! pools that own their workers (here `install` only pins the parallel
-//! *width* for the calling thread; workers come from one global pool), and
-//! parallel `sum`/`reduce` (deliberately omitted — floating-point tree
-//! reductions would re-associate with the chunk count and break
-//! cross-thread-count bit-equality; collect in order, reduce sequentially).
+//! Contract NOT kept: scoped pools that own their workers (here `install`
+//! only pins the parallel *width* for the calling thread; workers come from
+//! one global pool), and parallel `sum`/`reduce` (deliberately omitted —
+//! floating-point tree reductions would re-associate with the chunk count
+//! and break cross-thread-count bit-equality; collect in order, reduce
+//! sequentially).
 //!
 //! Sizing: `PBW_THREADS` overrides `RAYON_NUM_THREADS` overrides
 //! `std::thread::available_parallelism()`; a width of 1 short-circuits to
@@ -28,6 +30,7 @@
 
 pub mod iter;
 pub mod pool;
+pub mod tune;
 
 pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuilder};
 

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::arena::MsgArena;
-use crate::hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
+use crate::hook::{BatchDests, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
 use pbw_models::{EpochCounts, MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, RecoveryMark, TraceEvent, TraceSink, TraceSource};
@@ -40,9 +40,14 @@ pub struct Envelope<M> {
 }
 
 /// Per-processor output buffer for one superstep.
+///
+/// Destinations are mirrored in a flat structure-of-arrays lane (`dests`)
+/// maintained invariantly by the two send methods — the batch kernels (fate
+/// computation, arena counting) sweep that lane without touching payloads.
 #[derive(Debug)]
 pub struct Outbox<M> {
     envelopes: Vec<Envelope<M>>,
+    dests: Vec<Pid>,
     work: u64,
 }
 
@@ -50,6 +55,7 @@ impl<M> Default for Outbox<M> {
     fn default() -> Self {
         Self {
             envelopes: Vec::new(),
+            dests: Vec::new(),
             work: 0,
         }
     }
@@ -65,6 +71,7 @@ impl<M> Outbox<M> {
             payload,
             slot: None,
         });
+        self.dests.push(dest);
     }
 
     /// Post a message pinned to injection step `slot` (0-based within the
@@ -76,6 +83,7 @@ impl<M> Outbox<M> {
             payload,
             slot: Some(slot),
         });
+        self.dests.push(dest);
     }
 
     /// Charge `w` units of local computation to this processor for this
@@ -89,9 +97,16 @@ impl<M> Outbox<M> {
         self.envelopes.len()
     }
 
+    /// The destination lane: `dests()[i]` is the destination of the i-th
+    /// posted message, in send order.
+    pub fn dests(&self) -> &[Pid] {
+        &self.dests
+    }
+
     /// Empty the outbox for the next superstep, keeping its capacity.
     fn reset(&mut self) {
         self.envelopes.clear();
+        self.dests.clear();
         self.work = 0;
     }
 
@@ -601,17 +616,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                         .enumerate()
                         .map(|(pid, ((out, slots), fates))| {
                             fates.clear();
-                            fates.extend(out.envelopes.iter().zip(slots.iter()).enumerate().map(
-                                |(msg_idx, (env, &slot))| {
-                                    h.fate(&DeliveryCtx {
-                                        superstep: step,
-                                        src: pid,
-                                        dest: env.dest,
-                                        msg_idx,
-                                        slot,
-                                    })
-                                },
-                            ));
+                            h.fate_batch(step, pid, BatchDests::Lane(out.dests()), slots, fates);
                         })
                         .collect();
                 }
@@ -621,17 +626,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                         let slots = &self.resolved[pid];
                         let fates = &mut self.fates[pid];
                         fates.clear();
-                        fates.extend(out.envelopes.iter().zip(slots.iter()).enumerate().map(
-                            |(msg_idx, (env, &slot))| {
-                                h.fate(&DeliveryCtx {
-                                    superstep: step,
-                                    src: pid,
-                                    dest: env.dest,
-                                    msg_idx,
-                                    slot,
-                                })
-                            },
-                        ));
+                        h.fate_batch(step, pid, BatchDests::Lane(out.dests()), slots, fates);
                     }
                 }
             }
@@ -720,20 +715,15 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     }
                 }
                 for (pid, out) in outboxes.iter().enumerate() {
-                    for (msg_idx, env) in out.envelopes.iter().enumerate() {
-                        let fate = if hooked {
-                            fates[pid][msg_idx]
-                        } else {
-                            Fate::Deliver
-                        };
-                        match fate {
-                            Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
-                                if !(hooked && crashed[env.dest]) {
-                                    arena_counts[env.dest] += 1
-                                }
-                            }
-                            Fate::Drop | Fate::Delay(_) => {}
-                        }
+                    if hooked {
+                        crate::kernels::count_dests_hooked(
+                            out.dests(),
+                            &fates[pid],
+                            crashed,
+                            arena_counts,
+                        );
+                    } else {
+                        crate::kernels::count_dests(out.dests(), arena_counts);
                     }
                 }
                 for &(dest, _) in due.iter() {
@@ -796,20 +786,15 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                 }
                 for &pid in frontier.iter() {
                     let out = &outboxes[pid];
-                    for (msg_idx, env) in out.envelopes.iter().enumerate() {
-                        let fate = if hooked {
-                            fates[pid][msg_idx]
-                        } else {
-                            Fate::Deliver
-                        };
-                        match fate {
-                            Fate::Deliver | Fate::Duplicate | Fate::Displace(_) => {
-                                if !(hooked && crashed[env.dest]) {
-                                    sparse_arena_counts.add(env.dest, 1)
-                                }
-                            }
-                            Fate::Drop | Fate::Delay(_) => {}
-                        }
+                    if hooked {
+                        crate::kernels::count_dests_sparse_hooked(
+                            out.dests(),
+                            &fates[pid],
+                            crashed,
+                            sparse_arena_counts,
+                        );
+                    } else {
+                        crate::kernels::count_dests_sparse(out.dests(), sparse_arena_counts);
                     }
                 }
                 for &(dest, _) in due.iter() {
@@ -1129,6 +1114,30 @@ fn delivery_pass<M: Clone>(
         if tracing {
             per_proc_sent[pid] = out.envelopes.len() as u64;
         }
+        if !hooked {
+            // Unhooked batch branch: every fate is `Deliver` and no
+            // destination can be dead, so the per-message ledger updates
+            // collapse to bulk arithmetic and the slot charges to one
+            // batched scatter — bit-identical to the loop below with
+            // `fate = Deliver` and `dest_dead = false` throughout. Empty
+            // outboxes (the common case on a dense near-idle machine) skip
+            // even the bulk arithmetic: a p-sized sweep of quiet
+            // processors must stay a p-sized sweep of nothing.
+            if !out.envelopes.is_empty() {
+                debug_assert_eq!(slots.len(), out.envelopes.len());
+                let n = out.envelopes.len() as u64;
+                builder.record_injections_batch(slots);
+                for env in out.envelopes.drain(..) {
+                    bump_recv(env.dest);
+                    inboxes.place(env.dest, env.payload);
+                }
+                out.dests.clear();
+                fault_stats.injected += n;
+                fault_stats.delivered += n;
+                delivered += n;
+            }
+            continue;
+        }
         for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate() {
             let fate = if hooked {
                 fates[pid][msg_idx]
@@ -1209,6 +1218,7 @@ fn delivery_pass<M: Clone>(
                 }
             }
         }
+        out.dests.clear();
     }
     // Late arrivals land at the same boundary as this superstep's sends,
     // after them, and are charged receive bandwidth here. A late arrival
@@ -1292,6 +1302,7 @@ fn resolve_slots_into<M>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hook::DeliveryCtx;
     use pbw_models::{BspG, BspM, PenaltyFn};
 
     fn params(p: usize) -> MachineParams {

@@ -66,6 +66,32 @@ pub struct DeliveryCtx {
     pub slot: u64,
 }
 
+/// Destination lane for one sender's batched fate computation.
+///
+/// The engines keep destinations as a flat `u64` lane alongside each outbox
+/// (BSP) or know them to be constant (QSM, where every message in a phase
+/// belongs to the requesting processor) — this enum lets one dyn-safe
+/// [`DeliveryHook::fate_batch`] signature serve both without materializing
+/// a per-message context.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchDests<'a> {
+    /// Per-message destinations, indexed by `msg_idx`.
+    Lane(&'a [Pid]),
+    /// Every message in the batch goes to the same processor.
+    Uniform(Pid),
+}
+
+impl BatchDests<'_> {
+    /// Destination of message `msg_idx`.
+    #[inline]
+    pub fn get(&self, msg_idx: usize) -> Pid {
+        match self {
+            BatchDests::Lane(lane) => lane[msg_idx],
+            BatchDests::Uniform(pid) => *pid,
+        }
+    }
+}
+
 /// A fault model consulted at every delivery boundary.
 ///
 /// Implementations must be deterministic functions of their own state and
@@ -76,6 +102,34 @@ pub trait DeliveryHook: Send + Sync {
     fn fate(&self, ctx: &DeliveryCtx) -> Fate {
         let _ = ctx;
         Fate::Deliver
+    }
+
+    /// Decide the fates of one sender's whole outbox for one boundary:
+    /// message `i` was sent by `src` to `dests.get(i)` into resolved slot
+    /// `slots[i]`. Appends exactly `slots.len()` fates to `out` (which the
+    /// engine has cleared), **bit-identical** to calling [`Self::fate`] once
+    /// per message — the provided implementation does exactly that, and any
+    /// override (see `FaultPlan` in `pbw-faults` for the batched seeded
+    /// plan) must preserve the equivalence, which the engines' conformance
+    /// suite and the kernel bit-equality proptests pin.
+    fn fate_batch(
+        &self,
+        superstep: u64,
+        src: Pid,
+        dests: BatchDests<'_>,
+        slots: &[u64],
+        out: &mut Vec<Fate>,
+    ) {
+        out.reserve(slots.len());
+        for (msg_idx, &slot) in slots.iter().enumerate() {
+            out.push(self.fate(&DeliveryCtx {
+                superstep,
+                src,
+                dest: dests.get(msg_idx),
+                msg_idx,
+                slot,
+            }));
+        }
     }
 
     /// Whether `pid` is stalled for the whole of `superstep`: its closure

@@ -38,13 +38,14 @@
 pub(crate) mod arena;
 pub mod bsp;
 pub mod hook;
+pub mod kernels;
 pub mod qsm;
 pub mod rng;
 pub mod summary;
 pub mod timeline;
 
 pub use bsp::{BspMachine, Envelope, MachineCheckpoint, Outbox};
-pub use hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
+pub use hook::{BatchDests, DeliveryCtx, DeliveryHook, Fate, FaultStats};
 pub use qsm::{QsmCtx, QsmMachine, Word};
 pub use summary::CostSummary;
 

@@ -22,7 +22,7 @@
 //!   into the earliest free slots.
 
 use crate::arena::MsgArena;
-use crate::hook::{DeliveryCtx, DeliveryHook, Fate, FaultStats};
+use crate::hook::{BatchDests, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
 use pbw_models::{EpochCounts, MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
@@ -555,15 +555,10 @@ impl<S: Send + Sync> QsmMachine<S> {
                         .enumerate()
                         .map(|(pid, (slots, fates))| {
                             fates.clear();
-                            fates.extend(slots.iter().enumerate().map(|(msg_idx, &slot)| {
-                                h.fate(&DeliveryCtx {
-                                    superstep: step,
-                                    src: pid,
-                                    dest: pid,
-                                    msg_idx,
-                                    slot,
-                                })
-                            }));
+                            // Every request in a QSM phase belongs to the
+                            // requesting processor, so the batch sees one
+                            // uniform destination.
+                            h.fate_batch(step, pid, BatchDests::Uniform(pid), slots, fates);
                         })
                         .collect();
                 }
@@ -572,15 +567,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                         let slots = &self.resolved[pid];
                         let fates = &mut self.fates[pid];
                         fates.clear();
-                        fates.extend(slots.iter().enumerate().map(|(msg_idx, &slot)| {
-                            h.fate(&DeliveryCtx {
-                                superstep: step,
-                                src: pid,
-                                dest: pid,
-                                msg_idx,
-                                slot,
-                            })
-                        }));
+                        h.fate_batch(step, pid, BatchDests::Uniform(pid), slots, fates);
                     }
                 }
             }
@@ -1111,6 +1098,7 @@ fn assign_slots_into(pid: Pid, requests: &[Request], out: &mut Vec<u64>) -> Resu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hook::DeliveryCtx;
     use pbw_models::{PenaltyFn, QsmG, QsmM};
 
     fn params(p: usize) -> MachineParams {

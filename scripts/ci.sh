@@ -1,142 +1,286 @@
 #!/usr/bin/env bash
 # Local CI gate: everything the workflow runs, runnable offline.
+#
+# The gate is split into named stages, each individually timed and run to
+# completion even when an earlier stage fails (so one broken stage reports
+# every other stage's status too — the summary table at the end is the
+# whole picture). Set PBW_CI_FAIL_FAST=1 to stop at the first failure
+# instead. Each stage runs in a fresh `bash -euo pipefail` process (the
+# script re-executes itself with `--stage <name>`), so commands inside a
+# stage keep ordinary errexit semantics.
+#
+# Usage:
+#   scripts/ci.sh                 # run every stage, summary table at the end
+#   scripts/ci.sh --stage build   # run one stage by name (the workflow's
+#                                 # per-job entry point)
+#   scripts/ci.sh --list          # print the stage names
+#   PBW_CI_FAIL_FAST=1 scripts/ci.sh   # stop at the first failing stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== rustfmt =="
-cargo fmt --all -- --check
+# ---------------------------------------------------------------------------
+# Stage bodies. Each is a function named stage_<name> with <name> listed in
+# STAGES below; .github/workflows/ci.yml mirrors this split as one job (or
+# job step) per stage.
+# ---------------------------------------------------------------------------
 
-echo "== build (release) =="
-cargo build --workspace --release
+STAGES=(
+  fmt
+  build
+  test-w1
+  test-w4
+  test-w8
+  stress
+  paper-claims
+  proptest-replay
+  model-check
+  clippy
+  trace-smoke
+  fault-determinism
+  sorting-determinism
+  cross-width-determinism
+  chaos-soak
+  bench-gate
+  parallel-gate
+  tsan
+)
 
-# The tier-1 suite runs twice: once with the thread pool forced sequential
-# and once forced to 8 workers. Both must pass — the engines' contract is
-# that results (traces included) are byte-identical at every width, and
-# tests/parallel_conformance.rs asserts exactly that from inside one run.
-echo "== tests (PBW_THREADS=1) =="
-PBW_THREADS=1 cargo test --workspace -q
+stage_fmt() {
+  cargo fmt --all -- --check
+}
 
-echo "== tests (PBW_THREADS=8) =="
-PBW_THREADS=8 cargo test --workspace -q
+stage_build() {
+  cargo build --workspace --release
+}
+
+# The tier-1 suite runs three times: the thread pool forced sequential,
+# forced to 4 workers, and forced to 8. All must pass — the engines'
+# contract is that results (traces included) are byte-identical at every
+# width, and tests/parallel_conformance.rs asserts exactly that from
+# inside one run.
+stage_test-w1() {
+  PBW_THREADS=1 cargo test --workspace -q
+}
+
+stage_test-w4() {
+  PBW_THREADS=4 cargo test --workspace -q
+}
+
+stage_test-w8() {
+  PBW_THREADS=8 cargo test --workspace -q
+}
 
 # Dedicated rerun of the stress smoke tier (release, extra-downscaled to
 # stay fast) so a scaling regression in the arena/delivery path fails a
-# step attributed to the stress tier rather than drowning in the workspace
-# suites. The #[ignore]d heavy tier stays opt-in.
-echo "== stress smoke (PBW_STRESS_SCALE=32) =="
-PBW_STRESS_SCALE=32 cargo test --release -q --test stress
+# stage attributed to the stress tier rather than drowning in the
+# workspace suites. The #[ignore]d heavy tier stays opt-in.
+stage_stress() {
+  PBW_STRESS_SCALE=32 cargo test --release -q --test stress
+}
 
 # The large-p paper-claims tier: broadcast and the gvsm-routing breakdown
 # at p = 2^18, feasible in CI only because the active-set engine path
 # makes nearly-idle machines cost O(active + messages) per superstep.
-echo "== paper claims at p = 2^18 =="
-cargo test --release -q --test paper_claims large_p -- --ignored
+stage_paper-claims() {
+  cargo test --release -q --test paper_claims large_p -- --ignored
+}
 
 # Shrunk proptest counterexamples must never silently rot: the regressions
 # file has to exist with at least one saved case, and the properties suite
 # gets a dedicated invocation (proptest auto-replays the sibling file
 # before generating novel cases).
-echo "== proptest regression replay =="
-grep -q '^cc ' tests/properties.proptest-regressions \
-  || { echo "tests/properties.proptest-regressions holds no saved cases" >&2; exit 1; }
-cargo test --release -q --test properties
-echo "ok: $(grep -c '^cc ' tests/properties.proptest-regressions) saved counterexample(s) replayed"
+stage_proptest-replay() {
+  grep -q '^cc ' tests/properties.proptest-regressions \
+    || { echo "tests/properties.proptest-regressions holds no saved cases" >&2; exit 1; }
+  cargo test --release -q --test properties
+  echo "ok: $(grep -c '^cc ' tests/properties.proptest-regressions) saved counterexample(s) replayed"
+}
 
 # The bounded model checker: exhaustively verify all five invariant
 # families (conservation + ledger reconstruction with the crash/restore
 # columns, recovery termination, sparse ≡ dense byte-identity, crash-stop
 # checkpoint/rollback recovery, Thm 6.2 cost envelope) over the CI domain
 # (p ≤ 3, supersteps ≤ 3, messages ≤ 4) against the real engines.
-# --require-exhaustive turns a budget truncation into a failure — the CI
-# domain must stay fully enumerable within the budget.
-echo "== bounded model checker (pbw-check) =="
-PBW_CHECK_BUDGET="${PBW_CHECK_BUDGET:-300000}" \
-  cargo run --release -q -p pbw-check -- --require-exhaustive
+# --require-exhaustive turns a budget truncation into a failure. Then the
+# self-test compiles in a deliberate conservation violation and proves the
+# checker catches it, and the documented exit-code table is asserted as
+# API (scripts and the workflow branch on those codes).
+stage_model-check() {
+  PBW_CHECK_BUDGET="${PBW_CHECK_BUDGET:-300000}" \
+    cargo run --release -q -p pbw-check -- --require-exhaustive
 
-# Checker self-test, mirroring bench_gate.sh --self-test: compile in a
-# deliberate conservation violation and prove the checker catches it. A
-# checker that cannot see the planted bug is not checking anything.
-echo "== pbw-check self-test (planted violation) =="
-cargo run --release -q -p pbw-check --features check-selftest -- --self-test
+  echo "== pbw-check self-test (planted violation) =="
+  cargo run --release -q -p pbw-check --features check-selftest -- --self-test
 
-# The checker's documented exit codes are API: scripts and the workflow
-# branch on them, so each distinct code is asserted here against the
-# table `--help` prints. (0 = verified and 1 = counterexample are covered
-# by the run above and the self-test; here: 2 = usage error, 4 =
-# --self-test without the planted-bug feature compiled in.)
-echo "== pbw-check exit codes =="
-# The self-test run above rebuilt the binary WITH the planted-bug feature;
-# put the featureless one back before asserting its exit codes.
-cargo build --release -q -p pbw-check
-check_bin=./target/release/pbw-check
-[ -x "$check_bin" ] || { echo "pbw-check binary missing after build" >&2; exit 1; }
-"$check_bin" --help | grep -q "exit codes:" || { echo "--help does not document exit codes" >&2; exit 1; }
-rc=0; "$check_bin" --no-such-flag >/dev/null 2>&1 || rc=$?
-[ "$rc" -eq 2 ] || { echo "unknown flag exited $rc, want 2" >&2; exit 1; }
-rc=0; "$check_bin" --self-test >/dev/null 2>&1 || rc=$?
-[ "$rc" -eq 4 ] || { echo "featureless --self-test exited $rc, want 4" >&2; exit 1; }
-echo "ok: usage error -> 2, featureless self-test -> 4, both as documented"
+  echo "== pbw-check exit codes =="
+  # The self-test run above rebuilt the binary WITH the planted-bug
+  # feature; put the featureless one back before asserting its exit codes.
+  cargo build --release -q -p pbw-check
+  local check_bin=./target/release/pbw-check
+  [ -x "$check_bin" ] || { echo "pbw-check binary missing after build" >&2; exit 1; }
+  "$check_bin" --help | grep -q "exit codes:" || { echo "--help does not document exit codes" >&2; exit 1; }
+  local rc=0
+  "$check_bin" --no-such-flag >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 2 ] || { echo "unknown flag exited $rc, want 2" >&2; exit 1; }
+  rc=0
+  "$check_bin" --self-test >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 4 ] || { echo "featureless --self-test exited $rc, want 4" >&2; exit 1; }
+  echo "ok: usage error -> 2, featureless self-test -> 4, both as documented"
+}
 
-echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+stage_clippy() {
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "== trace smoke: reproduce --trace =="
-trace_out="$(mktemp)"
-fault_a="$(mktemp)"
-fault_b="$(mktemp)"
-fault_w1="$(mktemp)"
-fault_w8="$(mktemp)"
-sort_a="$(mktemp)"
-sort_b="$(mktemp)"
-trap 'rm -f "$trace_out" "$fault_a" "$fault_b" "$fault_w1" "$fault_w8" "$sort_a" "$sort_b"' EXIT
-cargo run --release -q -p pbw-bench --bin reproduce -- --quick --trace "$trace_out" table1 >/dev/null
-[ -s "$trace_out" ] || { echo "trace file is empty" >&2; exit 1; }
-echo "ok: $(wc -l < "$trace_out") trace events"
+stage_trace-smoke() {
+  local trace_out
+  trace_out="$(mktemp)"
+  trap "rm -f '$trace_out'" EXIT
+  cargo run --release -q -p pbw-bench --bin reproduce -- --quick --trace "$trace_out" table1 >/dev/null
+  [ -s "$trace_out" ] || { echo "trace file is empty" >&2; exit 1; }
+  echo "ok: $(wc -l < "$trace_out") trace events"
+}
 
-echo "== fault determinism: same seed, bit-identical traces =="
-cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_a" faults >/dev/null
-cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_b" faults >/dev/null
-[ -s "$fault_a" ] || { echo "fault trace is empty" >&2; exit 1; }
-diff -q "$fault_a" "$fault_b" || { echo "same-seed fault traces differ" >&2; exit 1; }
-echo "ok: $(wc -l < "$fault_a") fault-run trace events, replayed bit-identically"
+stage_fault-determinism() {
+  local fault_a fault_b
+  fault_a="$(mktemp)"
+  fault_b="$(mktemp)"
+  trap "rm -f '$fault_a' '$fault_b'" EXIT
+  cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_a" faults >/dev/null
+  cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_b" faults >/dev/null
+  [ -s "$fault_a" ] || { echo "fault trace is empty" >&2; exit 1; }
+  diff -q "$fault_a" "$fault_b" || { echo "same-seed fault traces differ" >&2; exit 1; }
+  echo "ok: $(wc -l < "$fault_a") fault-run trace events, replayed bit-identically"
+}
 
-echo "== sorting determinism: same seed, bit-identical traces =="
 # The sample-sort sweep (seeded keysets + seeded oversampling, 28 sweep
 # points run in parallel) must replay bit-identically, trace stream
 # included — the per-point recording sinks make the JSONL order canonical
 # at any thread width.
-cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$sort_a" sorting >/dev/null
-cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$sort_b" sorting >/dev/null
-[ -s "$sort_a" ] || { echo "sorting trace is empty" >&2; exit 1; }
-diff -q "$sort_a" "$sort_b" || { echo "same-seed sorting traces differ" >&2; exit 1; }
-echo "ok: $(wc -l < "$sort_a") sorting-run trace events, replayed bit-identically"
+stage_sorting-determinism() {
+  local sort_a sort_b
+  sort_a="$(mktemp)"
+  sort_b="$(mktemp)"
+  trap "rm -f '$sort_a' '$sort_b'" EXIT
+  cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$sort_a" sorting >/dev/null
+  cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$sort_b" sorting >/dev/null
+  [ -s "$sort_a" ] || { echo "sorting trace is empty" >&2; exit 1; }
+  diff -q "$sort_a" "$sort_b" || { echo "same-seed sorting traces differ" >&2; exit 1; }
+  echo "ok: $(wc -l < "$sort_a") sorting-run trace events, replayed bit-identically"
+}
 
-echo "== cross-thread-count determinism: same seed, widths 1 vs 8 =="
-PBW_THREADS=1 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w1" faults >/dev/null
-PBW_THREADS=8 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w8" faults >/dev/null
-# Guard against the vacuous pass: if tracing silently broke and both files
-# are empty, diff would succeed while proving nothing.
-[ -s "$fault_w1" ] || { echo "width-1 fault trace is empty" >&2; exit 1; }
-diff -q "$fault_w1" "$fault_w8" || { echo "fault traces differ between 1 and 8 threads" >&2; exit 1; }
-echo "ok: fault-run trace is byte-identical at PBW_THREADS=1 and PBW_THREADS=8"
+# Three-way width matrix: the same seeded fault run at pool widths 1, 4,
+# and 8 must produce byte-identical traces. Width 4 is the interesting
+# middle — it exercises chunk boundaries neither the degenerate width-1
+# pool nor the wide-8 pool hits.
+stage_cross-width-determinism() {
+  local fault_w1 fault_w4 fault_w8
+  fault_w1="$(mktemp)"
+  fault_w4="$(mktemp)"
+  fault_w8="$(mktemp)"
+  trap "rm -f '$fault_w1' '$fault_w4' '$fault_w8'" EXIT
+  PBW_THREADS=1 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w1" faults >/dev/null
+  PBW_THREADS=4 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w4" faults >/dev/null
+  PBW_THREADS=8 cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$fault_w8" faults >/dev/null
+  # Guard against the vacuous pass: if tracing silently broke and the files
+  # are empty, diff would succeed while proving nothing.
+  [ -s "$fault_w1" ] || { echo "width-1 fault trace is empty" >&2; exit 1; }
+  diff -q "$fault_w1" "$fault_w4" || { echo "fault traces differ between 1 and 4 threads" >&2; exit 1; }
+  diff -q "$fault_w1" "$fault_w8" || { echo "fault traces differ between 1 and 8 threads" >&2; exit 1; }
+  echo "ok: fault-run trace is byte-identical at PBW_THREADS=1, 4, and 8"
+}
 
-echo "== chaos soak (crashes x fault zoo, seeded, replay-diffed) =="
-scripts/chaos_soak.sh
+# Seeded chaos soak: crashes x fault zoo, seeded, replay-diffed.
+stage_chaos-soak() {
+  scripts/chaos_soak.sh
+}
 
-echo "== benchmark regression gate =="
-scripts/bench_gate.sh
+stage_bench-gate() {
+  scripts/bench_gate.sh
+}
+
+# Core-aware parallel speedup gate: >= 2x at 4 threads on multi-core
+# hosts; overhead ceiling + cross-width determinism on 1-core containers.
+stage_parallel-gate() {
+  scripts/bench_gate.sh --parallel
+}
 
 # ThreadSanitizer needs -Zbuild-std (so std itself is instrumented), which
 # needs the rust-src component — unavailable offline. Run the race check
 # when the toolchain allows; the workflow's tsan job always runs it.
-echo "== thread sanitizer (optional) =="
-if rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
-  RUSTFLAGS="-Zsanitizer=thread" TSAN_OPTIONS="suppressions=/dev/null" \
-    cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
-    -p rayon -q
-  echo "ok: rayon shim pool is race-free under TSan"
-else
-  echo "skipped: nightly rust-src not installed (offline); the ci.yml tsan job covers this"
-fi
+stage_tsan() {
+  if rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
+    (cd crates/shims/rayon && RUSTFLAGS="-Zsanitizer=thread" TSAN_OPTIONS="suppressions=/dev/null" \
+      cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu -q)
+    echo "ok: rayon shim pool is race-free under TSan"
+  else
+    echo "skipped: nightly rust-src not installed (offline); the ci.yml tsan job covers this"
+  fi
+}
 
-echo "CI green"
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+case "${1:-}" in
+  --list)
+    printf '%s\n' "${STAGES[@]}"
+    exit 0
+    ;;
+  --stage)
+    [ $# -eq 2 ] || { echo "usage: $0 --stage <name>" >&2; exit 2; }
+    declare -F "stage_$2" >/dev/null || { echo "ci.sh: unknown stage '$2' (see --list)" >&2; exit 2; }
+    "stage_$2"
+    exit 0
+    ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--list | --stage <name>]" >&2
+    exit 2
+    ;;
+esac
+
+fail_fast="${PBW_CI_FAIL_FAST:-0}"
+declare -a names statuses times
+failures=0
+
+print_summary() {
+  echo ""
+  echo "== stage summary =="
+  printf '%-26s %-8s %8s\n' "stage" "status" "seconds"
+  printf '%-26s %-8s %8s\n' "-----" "------" "-------"
+  local i
+  for i in "${!names[@]}"; do
+    printf '%-26s %-8s %8s\n' "${names[$i]}" "${statuses[$i]}" "${times[$i]}"
+  done
+  echo ""
+  if [ "$failures" -gt 0 ]; then
+    echo "CI red: $failures stage(s) failed"
+  else
+    echo "CI green: all ${#names[@]} stages passed"
+  fi
+}
+
+for s in "${STAGES[@]}"; do
+  echo ""
+  echo "==== stage: $s ===="
+  t0=$(date +%s)
+  rc=0
+  "$0" --stage "$s" || rc=$?
+  t1=$(date +%s)
+  names+=("$s")
+  times+=("$((t1 - t0))")
+  if [ "$rc" -eq 0 ]; then
+    statuses+=("pass")
+  else
+    statuses+=("FAIL:$rc")
+    failures=$((failures + 1))
+    if [ "$fail_fast" = "1" ]; then
+      echo "ci.sh: stage '$s' failed (rc=$rc) and PBW_CI_FAIL_FAST=1; stopping" >&2
+      break
+    fi
+  fi
+done
+
+print_summary
+[ "$failures" -eq 0 ]

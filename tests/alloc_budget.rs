@@ -242,10 +242,21 @@ fn sample_sort_exchange_allocs_per_superstep(per: usize) -> u64 {
 /// deliberately generous so the test fails on O(volume) regressions, not on
 /// constant-factor drift.
 fn assert_o1(engine: &str, low: u64, high: u64, budget: u64) {
-    assert_eq!(
-        low, high,
+    assert_o1_slack(engine, low, high, budget, 0);
+}
+
+/// [`assert_o1`] with a tolerance for sub-superstep jitter. The counts are
+/// truncated averages over `MEASURED` supersteps, so on a multi-threaded
+/// pool a single stray allocation anywhere in the window — a worker waking
+/// for the first time in a while, a lazy std init on a pool thread — can
+/// flip the quotient by one. The O(volume) regressions this suite exists to
+/// catch show up as ≥ fanout (64+) extra allocations per superstep, so a
+/// slack of a couple loses no signal.
+fn assert_o1_slack(engine: &str, low: u64, high: u64, budget: u64, slack: u64) {
+    assert!(
+        low.abs_diff(high) <= slack,
         "{engine}: allocations per superstep grew with message volume \
-         ({low} at 1x vs {high} at 16x)"
+         ({low} at 1x vs {high} at 16x, slack {slack})"
     );
     assert!(
         high <= budget,
@@ -359,30 +370,43 @@ fn sample_sort_exchange_stays_on_the_allocation_free_path() {
 #[test]
 fn steady_state_supersteps_allocate_o1_parallel() {
     let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    // Autotuned chunk sizing is timing-fed: the sequential cutoff can
+    // engage at one message volume and not the other, which legitimately
+    // flickers the dispatch's constant allocation count by one or two.
+    // Pin chunking so dispatch allocations are a pure function of p and
+    // the counts compare exactly; results are unaffected by the pin.
+    rayon::tune::pin_min_chunk(Some(8));
     rayon::ThreadPoolBuilder::new()
         .num_threads(8)
         .build()
         .unwrap()
         .install(|| {
-            // The pool dispatch allocates O(threads) per parallel pass — still
-            // independent of message volume.
-            assert_o1(
+            // The pool dispatch allocates O(threads) per parallel pass —
+            // still independent of message volume. Slack 2: worker wakeups
+            // are demand-driven, so one-off allocations (a thread's lazy
+            // init, a first-wake registration) can land inside either
+            // measured window; see assert_o1_slack.
+            assert_o1_slack(
                 "bsp",
                 bsp_allocs_per_superstep(1),
                 bsp_allocs_per_superstep(16),
                 256,
+                2,
             );
-            assert_o1(
+            assert_o1_slack(
                 "qsm",
                 qsm_allocs_per_phase(1),
                 qsm_allocs_per_phase(16),
                 256,
+                2,
             );
-            assert_o1(
+            assert_o1_slack(
                 "pram",
                 pram_allocs_per_step(1),
                 pram_allocs_per_step(16),
                 256,
+                2,
             );
         });
+    rayon::tune::pin_min_chunk(None);
 }
