@@ -259,14 +259,16 @@ pub fn bsp_g(params: MachineParams) -> Measured {
             };
         // Early rounds are the sparse regime the active-set path exists
         // for: only `k` senders out of `p`, and the absorb superstep's
-        // frontier is discovered from the retained inboxes alone.
-        if k * 4 <= p {
+        // frontier is discovered from the retained inboxes alone. Both
+        // splits use the measured crossover (`pbw_sim::density`), not a
+        // hardcoded ratio.
+        if pbw_sim::density::crossover(k, p) {
             let active: Vec<usize> = (0..k).collect();
             bsp.superstep_active(&active, send);
         } else {
             bsp.superstep(send);
         }
-        if (upper - k) * 4 <= p {
+        if pbw_sim::density::crossover(upper - k, p) {
             bsp.superstep_active(&[], absorb);
         } else {
             bsp.superstep(absorb);

@@ -14,10 +14,17 @@
 //! * `dense_1pct/p{1024,65536}` — the same shape of workload forced down
 //!   the dense all-processor path, as the O(p) baseline the README
 //!   scaling table contrasts against.
-//! * `broadcast_tree/p{1024,65536}` — a complete fan-out-4 broadcast tree
-//!   (p−1 messages over ⌈log₄ p⌉ supersteps) where each round's frontier
-//!   is discovered by the engine itself: only the seed round declares a
-//!   sender, relay rounds wake on retained inboxes alone.
+//! * `broadcast_tree/p{1024,65536,262144}` — a complete fan-out-4
+//!   broadcast tree (p−1 messages over ⌈log₄ p⌉ supersteps) where each
+//!   round's frontier is discovered by the engine itself: only the seed
+//!   round declares a sender, relay rounds wake on retained inboxes
+//!   alone. The deepest leg pins the wide-frontier regime the bitset
+//!   frontier masks exist for.
+//! * `density_sweep/p65536/active{1,4,16,64,100}pct` — one dense-entry
+//!   superstep whose sender count sweeps the active fraction 1% → 100% in
+//!   ×4 steps, so the measured density crossover (`pbw_sim::density`) is
+//!   exercised on both sides of its break-even point and the regression
+//!   gate pins the whole curve, not one regime.
 //! * `qsm_sparse/p65536` — a QSM phase with 16 active processors (one
 //!   read + one write each) through `phase_active`, pinning the sparse
 //!   contention-audit path.
@@ -67,7 +74,7 @@ fn bench_sparse_sweep(c: &mut Criterion) {
             b.iter(|| machine.superstep(&body))
         });
     }
-    for &p in &[1usize << 10, 1 << 16] {
+    for &p in &[1usize << 10, 1 << 16, 1 << 18] {
         let mp = MachineParams::from_gap(p, 16, 8);
         // Relay rounds remaining after the seed: one per tree level whose
         // first node (0, 1, 5, 21, …) still has an in-range child.
@@ -149,5 +156,34 @@ fn bench_sparse_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sparse_sweep);
+fn bench_density_sweep(c: &mut Criterion) {
+    // One dense-entry superstep per iteration; the engine's measured
+    // crossover (`pbw_sim::density`) decides per superstep whether the
+    // delivery side walks all p processors or just the discovered senders.
+    // Sweeping the active fraction 1% → 100% in ×4 steps pins both regimes
+    // and the neighborhood of the break-even point.
+    let mut group = c.benchmark_group("density_sweep");
+    group.sample_size(10);
+    let p = 1usize << 16;
+    let mp = MachineParams::from_gap(p, 16, 8);
+    const SWEEP_FANOUT: usize = 4;
+    for &pct in &[1usize, 4, 16, 64, 100] {
+        let senders = (p * pct / 100).max(1);
+        group.bench_function(&format!("p{p}/active{pct}pct"), |b| {
+            let mut machine: BspMachine<u64, u64> = BspMachine::new(mp, |_| 0);
+            let body = move |pid: usize, s: &mut u64, inbox: &[u64], out: &mut Outbox<u64>| {
+                *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                if pid < senders {
+                    for k in 0..SWEEP_FANOUT {
+                        out.send((pid * 97 + k * 31 + 1) % p, (pid + k) as u64);
+                    }
+                }
+            };
+            b.iter(|| machine.superstep(body))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_sweep, bench_density_sweep);
 criterion_main!(benches);

@@ -51,9 +51,11 @@ pub fn run_schedule_on_bsp(
     };
     // Sparse workloads (the unbalanced regimes Section 6 studies) go through
     // the active-set path: identical results, O(senders + flits) engine
-    // cost. Dense workloads keep the parallel all-processor pass.
+    // cost. Dense workloads keep the parallel all-processor pass. The
+    // branch point is the measured density crossover, not a hardcoded
+    // ratio (see `pbw_sim::density`).
     let active = schedule.active_senders();
-    let report = if active.len() * 4 <= wl.p() {
+    let report = if pbw_sim::density::crossover(active.len(), wl.p()) {
         machine.superstep_active(&active, body)
     } else {
         machine.superstep(body)

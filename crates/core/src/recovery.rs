@@ -255,9 +255,10 @@ fn send_round(
     };
     // Retransmission residuals are sparse by construction (a handful of
     // lossy edges out of p processors); route them through the active-set
-    // path so recovery rounds cost O(senders + flits), not O(p).
+    // path so recovery rounds cost O(senders + flits), not O(p). The
+    // sparse/dense split is the measured crossover from `pbw_sim::density`.
     let active = wl.active_senders();
-    if active.len() * 4 <= wl.p() {
+    if pbw_sim::density::crossover(active.len(), wl.p()) {
         machine.superstep_active(&active, body);
     } else {
         machine.superstep(body);
@@ -466,7 +467,7 @@ impl<'a> RecoverySession<'a> {
                         };
                     let ackers: Vec<Pid> =
                         (0..self.wl.p()).filter(|&d| !acks[d].is_empty()).collect();
-                    if ackers.len() * 4 <= self.wl.p() {
+                    if pbw_sim::density::crossover(ackers.len(), self.wl.p()) {
                         self.machine.superstep_active(&ackers, ack_body);
                     } else {
                         self.machine.superstep(ack_body);

@@ -517,6 +517,43 @@ impl DeliveryHook for FaultPlan {
     fn crashed(&self, superstep: u64, pid: Pid) -> bool {
         self.crashed_at(superstep, pid)
     }
+
+    fn fill_fault_masks(
+        &self,
+        superstep: u64,
+        stalled: &mut pbw_sim::FrontierMask,
+        crashed: &mut pbw_sim::FrontierMask,
+    ) {
+        // With both seeded rates at zero, the fault sets are exactly the
+        // scripted windows covering this superstep: O(windows) insertions
+        // instead of the default per-pid O(p) scan. The universe guard
+        // mirrors the default implementation, which only ever queries pids
+        // `< universe` — a window naming a larger pid contributes nothing
+        // either way. Bit-equivalence to the per-pid predicates is pinned
+        // by `mask_fill_matches_per_pid_predicates` below.
+        if self.spec.stall_rate == 0.0 && self.spec.crash_rate == 0.0 {
+            for w in &self.stall_windows {
+                if w.pid() < stalled.universe() && w.covers(superstep, w.pid()) {
+                    stalled.insert(w.pid());
+                }
+            }
+            for w in &self.crash_windows {
+                if w.pid() < crashed.universe() && w.covers(superstep, w.pid()) {
+                    crashed.insert(w.pid());
+                }
+            }
+            return;
+        }
+        // Seeded rates may fault any pid; fall back to the per-pid scan.
+        for pid in 0..stalled.universe() {
+            if self.stalled(superstep, pid) {
+                stalled.insert(pid);
+            }
+            if self.crashed(superstep, pid) {
+                crashed.insert(pid);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -558,6 +595,54 @@ mod tests {
                 assert_eq!(a.crashed(step, src), b.crashed(step, src));
             }
         }
+    }
+
+    #[test]
+    fn mask_fill_matches_per_pid_predicates() {
+        use pbw_sim::FrontierMask;
+        let p = 70; // straddles a leaf-word boundary
+        let check = |plan: &FaultPlan, steps: std::ops::Range<u64>| {
+            for step in steps {
+                let mut stalled = FrontierMask::new(p);
+                let mut crashed = FrontierMask::new(p);
+                plan.fill_fault_masks(step, &mut stalled, &mut crashed);
+                for pid in 0..p {
+                    assert_eq!(
+                        stalled.contains(pid),
+                        plan.stalled(step, pid),
+                        "stalled mismatch at step {step} pid {pid}"
+                    );
+                    assert_eq!(
+                        crashed.contains(pid),
+                        plan.crashed(step, pid),
+                        "crashed mismatch at step {step} pid {pid}"
+                    );
+                }
+            }
+        };
+        // Scripted-windows-only plan exercises the O(windows) fast path,
+        // including overlapping windows, a word-boundary pid, and a window
+        // pid outside the machine (ignored, like the per-pid scan).
+        let scripted = FaultPlan::new(FaultSpec::none(), 5)
+            .with_stall_window(StallWindow::new(3, 2, 4).unwrap())
+            .with_stall_window(StallWindow::new(3, 4, 1).unwrap())
+            .with_stall_window(StallWindow::new(64, 0, 2).unwrap())
+            .with_crash_window(CrashWindow::new(69, 1, 3).unwrap())
+            .with_crash_window(CrashWindow::new(200, 0, 9).unwrap());
+        check(&scripted, 0..8);
+        // Nonzero seeded rates take the per-pid fallback; windows still
+        // apply on top of the random faults.
+        let seeded = FaultPlan::new(
+            FaultSpec {
+                stall_rate: 0.3,
+                crash_rate: 0.2,
+                max_crash_len: 2,
+                ..FaultSpec::none()
+            },
+            9,
+        )
+        .with_stall_window(StallWindow::new(10, 0, 3).unwrap());
+        check(&seeded, 0..6);
     }
 
     #[test]

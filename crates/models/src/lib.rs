@@ -29,6 +29,7 @@ pub mod bounds;
 pub mod breakdown;
 pub mod cost;
 pub mod emulation;
+pub mod mask;
 pub mod params;
 pub mod penalty;
 pub mod profile;
@@ -36,6 +37,7 @@ pub mod sparse;
 pub mod summary;
 
 pub use cost::{BspG, BspM, CostModel, QsmG, QsmM, SelfSchedulingBspM};
+pub use mask::FrontierMask;
 pub use params::MachineParams;
 pub use penalty::{PenaltyFn, PenaltyTable};
 pub use profile::{ProfileBuilder, SuperstepProfile};

@@ -147,6 +147,37 @@ impl ProfileBuilder {
         self
     }
 
+    /// Record the injections of a whole population of *sequentially-slotted*
+    /// senders at once: `senders_by_len[k]` senders each injected exactly
+    /// `k + 1` messages at slots `0..=k`. Bit-equivalent to calling
+    /// [`ProfileBuilder::record_injections_batch`] with `[0, 1, .., k]` that
+    /// many times (the histogram is a sum, so per-sender order is
+    /// unobservable) — but costs O(max len), not O(messages). This is the
+    /// aggregation the engines' delivery pass uses for plain `send` traffic,
+    /// where every sender's slots are `0..n` by construction.
+    pub fn record_injections_by_len(&mut self, senders_by_len: &[u64]) -> &mut Self {
+        // Trailing zero buckets must not stretch the histogram: only the
+        // longest sender actually observed decides its final length.
+        let top = match senders_by_len.iter().rposition(|&c| c != 0) {
+            Some(i) => i + 1,
+            None => return self,
+        };
+        if self.profile.injections.len() < top {
+            self.profile.injections.resize(top, 0);
+        }
+        // Slot `k` receives one injection from every sender with length
+        // > k: a suffix sum over the length buckets.
+        let mut senders_at_least = 0u64;
+        let mut total = 0u64;
+        for k in (0..top).rev() {
+            senders_at_least += senders_by_len[k];
+            total += senders_by_len[k] * (k as u64 + 1);
+            self.profile.injections[k] += senders_at_least;
+        }
+        self.profile.total_messages += total;
+        self
+    }
+
     /// Record that some processor issued `reads` shared-memory reads and
     /// `writes` shared-memory writes (QSM).
     pub fn record_memory_ops(&mut self, reads: u64, writes: u64) -> &mut Self {
@@ -168,10 +199,9 @@ impl ProfileBuilder {
     /// never raise `max_received`, so walking only the dirty list is exactly
     /// equivalent to scanning every destination — this is what makes the
     /// sparse engines' profile construction O(active) instead of O(p).
-    /// First-touch iteration order is irrelevant: the builder only takes
-    /// maxima.
+    /// Iteration order is irrelevant: the builder only takes maxima.
     pub fn record_recv_sparse(&mut self, counts: &crate::sparse::EpochCounts) -> &mut Self {
-        for &d in counts.touched() {
+        for d in counts.touched().iter() {
             self.record_traffic(0, counts.get(d));
         }
         self

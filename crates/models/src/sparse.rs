@@ -9,48 +9,58 @@
 //! An [`EpochCounts`] replaces `fill(0)` with an epoch stamp: every slot
 //! carries the epoch at which it was last written, and a slot's count is
 //! *valid only if its stamp equals the current epoch*. Resetting the table
-//! is then one epoch bump plus clearing the dirty list — O(1) — and a full
-//! pass over the table never happens. The `touched` list records every index
-//! written this epoch, in first-touch order (deterministic: it mirrors the
-//! engine's sequential counting order), so consumers can iterate exactly the
-//! dirty set instead of all slots.
+//! is then one epoch bump plus clearing the dirty set — O(1) — and a full
+//! pass over the table never happens. The dirty set is a [`FrontierMask`]
+//! recording every index written this epoch; consumers iterate exactly the
+//! touched slots, in **ascending index order** (the mask's iteration order),
+//! instead of all slots. Ascending order is safe for every consumer — the
+//! arena layout pass, the profile maxima, the QSM conflict scans — because
+//! none of them observes the enumeration order, only the touched *set*.
 //!
 //! The epoch counter is a `u64` that only increments; at one reset per
 //! superstep it cannot wrap within any realistic run, so a stale stamp can
 //! never alias the current epoch.
 
-/// A `u64` tally table with O(1) reset and dirty-list iteration.
+use crate::mask::FrontierMask;
+
+/// One tally slot: the count and the epoch that validates it, side by side
+/// so a random-index `add` touches one cache line, not one per array.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    count: u64,
+    stamp: u64,
+}
+
+/// A `u64` tally table with O(1) reset and dirty-set iteration.
 #[derive(Debug, Clone, Default)]
 pub struct EpochCounts {
-    counts: Vec<u64>,
-    stamps: Vec<u64>,
+    slots: Vec<Slot>,
     epoch: u64,
-    touched: Vec<usize>,
+    touched: FrontierMask,
 }
 
 impl EpochCounts {
     /// A table of `n` slots, all reading 0.
     pub fn new(n: usize) -> Self {
         Self {
-            counts: vec![0; n],
             // Stamps start below the first epoch, so every slot is stale
             // (i.e. reads 0) until first touched.
-            stamps: vec![0; n],
+            slots: vec![Slot::default(); n],
             epoch: 1,
-            touched: Vec::new(),
+            touched: FrontierMask::new(n),
         }
     }
 
     /// Number of slots.
     #[inline]
     pub fn len(&self) -> usize {
-        self.counts.len()
+        self.slots.len()
     }
 
     /// Whether the table has zero slots.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.slots.is_empty()
     }
 
     /// Reset every slot to 0 by bumping the epoch. O(1) — no slot is
@@ -62,31 +72,53 @@ impl EpochCounts {
     }
 
     /// Add `n` to slot `idx`, marking it touched for this epoch. `n` may be
-    /// 0: the slot still joins the dirty list (the arena layout pass relies
+    /// 0: the slot still joins the dirty set (the arena layout pass relies
     /// on counted-but-empty destinations being enumerable).
     #[inline]
     pub fn add(&mut self, idx: usize, n: u64) {
-        if self.stamps[idx] != self.epoch {
-            self.stamps[idx] = self.epoch;
-            self.counts[idx] = 0;
-            self.touched.push(idx);
+        let slot = &mut self.slots[idx];
+        if slot.stamp != self.epoch {
+            slot.stamp = self.epoch;
+            slot.count = n;
+            self.touched.insert(idx);
+        } else {
+            slot.count += n;
         }
-        self.counts[idx] += n;
+    }
+
+    /// Add 1 to every slot named by `idxs` — the batched form of
+    /// [`EpochCounts::add`]`(idx, 1)` per element, with the epoch and slot
+    /// base hoisted out of the loop. This is the engines' per-message
+    /// destination-counting kernel.
+    pub fn add_ones(&mut self, idxs: &[usize]) {
+        let epoch = self.epoch;
+        for &idx in idxs {
+            let slot = &mut self.slots[idx];
+            if slot.stamp != epoch {
+                slot.stamp = epoch;
+                slot.count = 1;
+                self.touched.insert(idx);
+            } else {
+                slot.count += 1;
+            }
+        }
     }
 
     /// Slot `idx`'s count this epoch (0 if untouched since the last reset).
     #[inline]
     pub fn get(&self, idx: usize) -> u64 {
-        if self.stamps[idx] == self.epoch {
-            self.counts[idx]
+        let slot = &self.slots[idx];
+        if slot.stamp == self.epoch {
+            slot.count
         } else {
             0
         }
     }
 
-    /// The indices touched since the last reset, in first-touch order.
+    /// The set of indices touched since the last reset; iterate it for the
+    /// dirty slots in ascending index order.
     #[inline]
-    pub fn touched(&self) -> &[usize] {
+    pub fn touched(&self) -> &FrontierMask {
         &self.touched
     }
 }
@@ -94,6 +126,10 @@ impl EpochCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn touched(c: &EpochCounts) -> Vec<usize> {
+        c.touched().iter().collect()
+    }
 
     #[test]
     fn fresh_table_reads_zero() {
@@ -107,7 +143,7 @@ mod tests {
     }
 
     #[test]
-    fn add_accumulates_and_tracks_first_touch_order() {
+    fn add_accumulates_and_tracks_touched_ascending() {
         let mut c = EpochCounts::new(8);
         c.add(5, 2);
         c.add(1, 1);
@@ -115,7 +151,7 @@ mod tests {
         assert_eq!(c.get(5), 5);
         assert_eq!(c.get(1), 1);
         assert_eq!(c.get(0), 0);
-        assert_eq!(c.touched(), &[5, 1]);
+        assert_eq!(touched(&c), vec![1, 5]);
     }
 
     #[test]
@@ -128,7 +164,7 @@ mod tests {
         // A stale count is overwritten, not accumulated into, on re-touch.
         c.add(2, 1);
         assert_eq!(c.get(2), 1);
-        assert_eq!(c.touched(), &[2]);
+        assert_eq!(touched(&c), vec![2]);
     }
 
     #[test]
@@ -136,7 +172,7 @@ mod tests {
         let mut c = EpochCounts::new(3);
         c.add(1, 0);
         assert_eq!(c.get(1), 0);
-        assert_eq!(c.touched(), &[1]);
+        assert_eq!(touched(&c), vec![1]);
     }
 
     #[test]
@@ -149,5 +185,14 @@ mod tests {
         }
         assert_eq!(c.get(0), 0);
         assert_eq!(c.get(1), 0);
+    }
+
+    #[test]
+    fn touched_straddles_word_boundaries() {
+        let mut c = EpochCounts::new(200);
+        for &i in &[130, 64, 63, 0, 199] {
+            c.add(i, 1);
+        }
+        assert_eq!(touched(&c), vec![0, 63, 64, 130, 199]);
     }
 }

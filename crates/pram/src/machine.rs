@@ -202,6 +202,16 @@ impl<'a> PramCtx<'a> {
 /// let mut erew = Pram::new(AccessMode::Erew, 4);
 /// assert!(erew.try_step(8, |pid, ctx| ctx.write(0, pid as i64)).is_err());
 /// ```
+/// Audit-representation crossover: a step is "dense" (flat-array tallies,
+/// O(m) clears) when the shared memory holds at most this many cells per
+/// participating processor; sparser steps use the epoch-stamped tallies.
+/// This is a *cells-vs-procs* axis, distinct from the active-senders-vs-p
+/// crossover that `pbw_sim::density` calibrates at runtime (this crate
+/// doesn't depend on `pbw-sim`); the ratio matches that module's
+/// `DEFAULT_FACTOR`, and either representation yields identical verdicts,
+/// so the constant only moves wall-clock.
+const DENSE_AUDIT_CELLS_PER_PROC: usize = 4;
+
 #[derive(Clone)]
 pub struct Pram {
     mem: Vec<Word>,
@@ -223,7 +233,7 @@ pub struct Pram {
     readers: EpochCounts,
     writers: EpochCounts,
     /// Dense-path tallies (`fill(0)` + direct indexing); only steps with
-    /// `m <= 4 * nprocs` pay their O(m) clears.
+    /// `m <= DENSE_AUDIT_CELLS_PER_PROC * nprocs` pay their O(m) clears.
     dense_readers: Vec<u64>,
     dense_writers: Vec<u64>,
     /// Representative accessor pids; meaningful only at cells the current
@@ -431,7 +441,7 @@ impl Pram {
         // 0..m scan are cheaper per cell than stamp-checked accesses, so
         // dense steps keep the original flat-array path. Both report the
         // violation at the lowest address with identical classification.
-        let dense = m_cells <= 4 * nprocs;
+        let dense = m_cells <= DENSE_AUDIT_CELLS_PER_PROC * nprocs;
         let mut max_r = 0u64;
         let mut max_w = 0u64;
         if dense {
@@ -519,19 +529,20 @@ impl Pram {
                     writer_pid[a] = pid;
                 }
             }
-            for &a in readers.touched() {
+            for a in readers.touched().iter() {
                 max_r = max_r.max(readers.get(a));
             }
-            for &a in writers.touched() {
+            for a in writers.touched().iter() {
                 max_w = max_w.max(writers.get(a));
             }
-            // The dirty lists are in first-touch order, not address order,
-            // so find the lowest violating address first, then classify it
-            // with the same per-cell priority as the dense scan (read
-            // conflict, then write conflict, then hazard).
+            // The touched masks iterate ascending, but the two are chained
+            // (readers then writers), so find the lowest violating address
+            // explicitly, then classify it with the same per-cell priority
+            // as the dense scan (read conflict, then write conflict, then
+            // hazard).
             if matches!(mode, AccessMode::Erew | AccessMode::Crew) {
                 let mut bad: Option<usize> = None;
-                for &addr in readers.touched().iter().chain(writers.touched().iter()) {
+                for addr in readers.touched().iter().chain(writers.touched().iter()) {
                     let r = readers.get(addr);
                     let w = writers.get(addr);
                     let cross_rw = r > 0

@@ -55,7 +55,29 @@
 //! publishes the length only after checking that the number of placements
 //! equals the reserved total, so no uninitialized slot is ever readable.
 
-use pbw_models::EpochCounts;
+use pbw_models::{EpochCounts, FrontierMask};
+
+/// One destination's segment metadata, interleaved so the layout pass, the
+/// placement cursor bump, and the inbox read each touch a single cache line
+/// per destination instead of one line in each of four parallel arrays.
+/// All four fields are `u32` — 16 bytes per destination, four per cache
+/// line — which halves the memory traffic of the counting and layout
+/// sweeps. A fill is capped at `u32::MAX` payloads (enforced in the layout
+/// passes); any larger superstep would hold tens of gigabytes of envelopes
+/// in memory before ever reaching the arena.
+#[derive(Debug, Clone, Copy, Default)]
+struct Seg {
+    /// Start of the segment (valid iff `stamp` equals the arena epoch).
+    start: u32,
+    /// One-past-the-end of the segment (same validity rule). Doubles as the
+    /// count accumulator between [`MsgArena::count`] and
+    /// [`MsgArena::begin_counted`].
+    end: u32,
+    /// Next write index during a fill.
+    cursor: u32,
+    /// Epoch at which this segment was last laid out.
+    stamp: u32,
+}
 
 /// A reusable flat message store with one contiguous segment per
 /// destination and O(1) reset.
@@ -64,21 +86,15 @@ pub(crate) struct MsgArena<M> {
     /// Backing storage; `len()` is 0 while a fill is open, the segment total
     /// once published.
     data: Vec<M>,
-    /// Start of destination `d`'s segment (valid iff `stamps[d] == epoch`).
-    seg_start: Vec<usize>,
-    /// One-past-the-end of destination `d`'s segment (same validity rule).
-    seg_end: Vec<usize>,
-    /// Next write index per destination during a fill.
-    cursors: Vec<usize>,
-    /// Epoch at which destination `d`'s segment was last laid out.
-    stamps: Vec<u64>,
-    /// Current epoch; bumped by `clear` and both `begin` variants. A `u64`
-    /// bumped a few times per superstep never wraps, so stale stamps can't
-    /// alias.
-    epoch: u64,
-    /// Destinations holding at least one message this fill, first-touch
-    /// order.
-    touched: Vec<usize>,
+    /// Per-destination segment table.
+    segs: Vec<Seg>,
+    /// Current epoch; bumped by `clear` and both `begin` variants. A `u32`
+    /// can wrap within a very long run, so the bump hard-resets every stamp
+    /// when it does (once per ~4G resets) — stale stamps never alias.
+    epoch: u32,
+    /// Destinations holding at least one message this fill, as a bitset
+    /// mask (cleared by an O(1) epoch bump alongside the arena's own).
+    touched: FrontierMask,
     /// Total payloads reserved by the open (or last published) fill.
     total: usize,
     /// Payloads placed since `begin`.
@@ -92,14 +108,11 @@ impl<M> MsgArena<M> {
     pub(crate) fn new(p: usize) -> Self {
         Self {
             data: Vec::new(),
-            seg_start: vec![0; p],
-            seg_end: vec![0; p],
-            cursors: vec![0; p],
             // Stamps start below the first epoch, so every destination is
             // unstamped (empty) until a fill lays it out.
-            stamps: vec![0; p],
+            segs: vec![Seg::default(); p],
             epoch: 1,
-            touched: Vec::new(),
+            touched: FrontierMask::new(p),
             total: 0,
             placed: 0,
             filling: false,
@@ -108,7 +121,7 @@ impl<M> MsgArena<M> {
 
     /// Number of destinations.
     pub(crate) fn dests(&self) -> usize {
-        self.stamps.len()
+        self.segs.len()
     }
 
     /// Drop all stored payloads and reset every segment to empty, in O(1):
@@ -117,11 +130,26 @@ impl<M> MsgArena<M> {
     pub(crate) fn clear(&mut self) {
         debug_assert!(!self.filling, "clear during an open fill");
         self.data.clear();
-        self.epoch += 1;
+        self.bump_epoch();
         self.touched.clear();
         self.total = 0;
         self.placed = 0;
         self.filling = false;
+    }
+
+    /// Invalidate every stamp by bumping the epoch. On the (once per ~4G
+    /// resets) wrap, hard-reset every stamp instead, so a stale segment can
+    /// never alias the restarted counter.
+    #[inline]
+    fn bump_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            for seg in &mut self.segs {
+                seg.stamp = 0;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
     }
 
     /// Open a fill from a dense count table: lay out one segment per
@@ -138,19 +166,26 @@ impl<M> MsgArena<M> {
         );
         assert!(!self.filling, "begin while a fill is already open");
         self.data.clear();
-        self.epoch += 1;
+        self.bump_epoch();
         self.touched.clear();
         let mut total = 0usize;
         for (d, &c) in counts.iter().enumerate() {
-            self.stamps[d] = self.epoch;
-            self.seg_start[d] = total;
-            self.cursors[d] = total;
+            let seg = &mut self.segs[d];
+            seg.stamp = self.epoch;
+            seg.start = total as u32;
+            seg.cursor = total as u32;
             total += c;
-            self.seg_end[d] = total;
+            seg.end = total as u32;
             if c > 0 {
-                self.touched.push(d);
+                self.touched.insert(d);
             }
         }
+        // Truncated u32 offsets are never observed: the fill aborts here
+        // before any placement can read them.
+        assert!(
+            total <= u32::MAX as usize,
+            "fill exceeds u32 payload indexing"
+        );
         self.data.reserve(total);
         self.total = total;
         self.placed = 0;
@@ -160,12 +195,19 @@ impl<M> MsgArena<M> {
     /// Open a fill from an epoch-stamped count table, laying out segments
     /// for *only the counted destinations* — O(touched), not O(p). Every
     /// other destination reads as empty (its stamp stays stale). Segments
-    /// are laid out in the counts' first-touch order, which is deterministic
-    /// because the engines' counting pass is sequential.
+    /// are laid out in ascending destination order (the counts' mask
+    /// iteration order); the layout order is unobservable — `inbox(d)`
+    /// addresses each segment through its own start/end, never through its
+    /// neighbours.
+    ///
+    /// Returns the largest single segment laid out (0 when none): the
+    /// layout walk reads every count anyway, and on the unhooked path that
+    /// maximum *is* the superstep's max receive count, which saves the
+    /// engine a second sweep over the touched set.
     ///
     /// # Panics
     /// Panics if `counts.len() != dests()` or a fill is already open.
-    pub(crate) fn begin_sparse(&mut self, counts: &EpochCounts) {
+    pub(crate) fn begin_sparse(&mut self, counts: &EpochCounts) -> u64 {
         assert_eq!(
             counts.len(),
             self.dests(),
@@ -173,24 +215,152 @@ impl<M> MsgArena<M> {
         );
         assert!(!self.filling, "begin while a fill is already open");
         self.data.clear();
-        self.epoch += 1;
+        self.bump_epoch();
         self.touched.clear();
         let mut total = 0usize;
-        for &d in counts.touched() {
-            let c = counts.get(d) as usize;
-            self.stamps[d] = self.epoch;
-            self.seg_start[d] = total;
-            self.cursors[d] = total;
-            total += c;
-            self.seg_end[d] = total;
-            if c > 0 {
-                self.touched.push(d);
+        let mut max_seg = 0usize;
+        // Walk the dirty mask one leaf word at a time, accumulating the
+        // non-empty destinations of each block into a word OR'd in with one
+        // `insert_word` — the per-destination two-level `insert` was a
+        // measurable cost at high message rates.
+        for (leaf, word) in counts.touched().words() {
+            let mut bits = word;
+            let mut nonempty = 0u64;
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                let d = leaf * 64 + bit as usize;
+                let c = counts.get(d) as usize;
+                let seg = &mut self.segs[d];
+                seg.stamp = self.epoch;
+                seg.start = total as u32;
+                seg.cursor = total as u32;
+                total += c;
+                seg.end = total as u32;
+                max_seg = max_seg.max(c);
+                nonempty |= u64::from(c > 0) << bit;
             }
+            self.touched.insert_word(leaf, nonempty);
         }
+        assert!(
+            total <= u32::MAX as usize,
+            "fill exceeds u32 payload indexing"
+        );
         self.data.reserve(total);
         self.total = total;
         self.placed = 0;
         self.filling = true;
+        max_seg as u64
+    }
+
+    /// Counting-phase alternative to an external count table: accumulate
+    /// `n` payloads for `dest` directly into the segment table (`end`
+    /// doubles as the count accumulator until [`MsgArena::begin_counted`]
+    /// converts the counts to offsets by prefix sum). Must run between
+    /// [`MsgArena::clear`] and `begin_counted`. A zero increment on a
+    /// never-counted destination is a no-op: the destination stays
+    /// unstamped and reads as empty, exactly as if it were laid out with an
+    /// empty segment.
+    #[inline]
+    pub(crate) fn count(&mut self, dest: usize, n: usize) {
+        debug_assert!(!self.filling, "count during an open fill");
+        if n == 0 {
+            return;
+        }
+        let seg = &mut self.segs[dest];
+        if seg.stamp != self.epoch {
+            seg.stamp = self.epoch;
+            seg.end = n as u32;
+            self.touched.insert(dest);
+        } else {
+            seg.end += n as u32;
+        }
+    }
+
+    /// Count one payload for every destination in `dests` — the batched
+    /// form of [`MsgArena::count`]`(d, 1)`, with the epoch hoisted. This is
+    /// the unhooked sparse path's per-sender counting kernel.
+    pub(crate) fn count_ones(&mut self, dests: &[usize]) {
+        debug_assert!(!self.filling, "count during an open fill");
+        let epoch = self.epoch;
+        // Newly touched destinations are accumulated one leaf word at a
+        // time and flushed with a single `insert_word` per run — for the
+        // (typical) ascending destination lanes this replaces a two-level
+        // mask insert per destination with one per 64. `insert_word` ORs,
+        // so revisiting a leaf after a non-monotonic jump still lands every
+        // bit.
+        let mut cur_leaf = usize::MAX;
+        let mut cur_bits = 0u64;
+        for &d in dests {
+            let seg = &mut self.segs[d];
+            if seg.stamp != epoch {
+                seg.stamp = epoch;
+                seg.end = 1;
+                let leaf = d / 64;
+                if leaf != cur_leaf {
+                    if cur_bits != 0 {
+                        self.touched.insert_word(cur_leaf, cur_bits);
+                    }
+                    cur_leaf = leaf;
+                    cur_bits = 0;
+                }
+                cur_bits |= 1u64 << (d % 64);
+            } else {
+                seg.end += 1;
+            }
+        }
+        if cur_bits != 0 {
+            self.touched.insert_word(cur_leaf, cur_bits);
+        }
+    }
+
+    /// Open a fill from the counts accumulated by [`MsgArena::count`] /
+    /// [`MsgArena::count_ones`]: one in-place prefix-sum walk over the
+    /// touched mask turns each count into its segment bounds. The epoch is
+    /// *not* bumped (the accumulated stamps must stay valid) — the
+    /// counterpart of [`MsgArena::begin_sparse`] without the external count
+    /// table, saving a second per-destination tally structure and the
+    /// read-back walk over it.
+    ///
+    /// Returns the largest single segment laid out (0 when none), as
+    /// [`MsgArena::begin_sparse`] does.
+    ///
+    /// # Panics
+    /// Panics if a fill is already open.
+    pub(crate) fn begin_counted(&mut self) -> u64 {
+        assert!(!self.filling, "begin while a fill is already open");
+        self.data.clear();
+        let mut total = 0usize;
+        let mut max_seg = 0usize;
+        let Self {
+            ref touched,
+            ref mut segs,
+            ..
+        } = *self;
+        for (leaf, word) in touched.words() {
+            let base = leaf * 64;
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                let seg = &mut segs[base + bit as usize];
+                let c = seg.end as usize;
+                seg.start = total as u32;
+                seg.cursor = total as u32;
+                total += c;
+                seg.end = total as u32;
+                max_seg = max_seg.max(c);
+            }
+        }
+        assert!(
+            total <= u32::MAX as usize,
+            "fill exceeds u32 payload indexing"
+        );
+        self.data.reserve(total);
+        self.total = total;
+        self.placed = 0;
+        self.filling = true;
+        max_seg as u64
     }
 
     /// Place the next payload for `dest`, in delivery order.
@@ -202,23 +372,24 @@ impl<M> MsgArena<M> {
     #[inline]
     pub(crate) fn place(&mut self, dest: usize, payload: M) {
         assert!(self.filling, "place outside an open fill");
+        let seg = &mut self.segs[dest];
         assert!(
-            self.stamps[dest] == self.epoch,
+            seg.stamp == self.epoch,
             "delivery to destination {dest}, which the counting pass never counted"
         );
-        let cursor = self.cursors[dest];
+        let cursor = seg.cursor;
         assert!(
-            cursor < self.seg_end[dest],
+            cursor < seg.end,
             "delivery overflows destination {dest}'s counted segment"
         );
+        seg.cursor = cursor + 1;
         // SAFETY: `begin`/`begin_sparse` reserved capacity for the segment
-        // total; the stamp assert proves `seg_end[dest]` belongs to this
-        // fill's layout, and the cursor assert keeps the write strictly
-        // inside it (hence inside the reservation). The length is still 0,
-        // so this writes an initialized value into reserved, unobservable
-        // capacity (leaked, not double-dropped, on panic).
-        unsafe { self.data.as_mut_ptr().add(cursor).write(payload) };
-        self.cursors[dest] = cursor + 1;
+        // total; the stamp assert proves `seg.end` belongs to this fill's
+        // layout, and the cursor assert keeps the write strictly inside it
+        // (hence inside the reservation). The length is still 0, so this
+        // writes an initialized value into reserved, unobservable capacity
+        // (leaked, not double-dropped, on panic).
+        unsafe { self.data.as_mut_ptr().add(cursor as usize).write(payload) };
         self.placed += 1;
     }
 
@@ -248,8 +419,9 @@ impl<M> MsgArena<M> {
     #[inline]
     pub(crate) fn inbox(&self, d: usize) -> &[M] {
         assert!(!self.filling, "inbox read during an open fill");
-        if self.stamps[d] == self.epoch {
-            &self.data[self.seg_start[d]..self.seg_end[d]]
+        let seg = &self.segs[d];
+        if seg.stamp == self.epoch {
+            &self.data[seg.start as usize..seg.end as usize]
         } else {
             &[]
         }
@@ -258,18 +430,20 @@ impl<M> MsgArena<M> {
     /// Number of messages stored for destination `d`.
     #[inline]
     pub(crate) fn len(&self, d: usize) -> usize {
-        if self.stamps[d] == self.epoch {
-            self.seg_end[d] - self.seg_start[d]
+        let seg = &self.segs[d];
+        if seg.stamp == self.epoch {
+            (seg.end - seg.start) as usize
         } else {
             0
         }
     }
 
-    /// Destinations holding at least one message in the current fill, in
-    /// first-touch (counting) order. The sparse engines use this to seed
-    /// the next superstep's frontier without scanning all `p` inboxes.
+    /// Destinations holding at least one message in the current fill, as a
+    /// bitset. The sparse engines union this mask into the next superstep's
+    /// frontier word-at-a-time, without scanning all `p` inboxes — and
+    /// without the sort the old first-touch-ordered list forced on them.
     #[inline]
-    pub(crate) fn touched(&self) -> &[usize] {
+    pub(crate) fn touched(&self) -> &FrontierMask {
         &self.touched
     }
 }
@@ -304,7 +478,7 @@ mod tests {
         assert_eq!(a.inbox(0), &[1, 2]);
         assert_eq!(a.inbox(1), &[] as &[u32]);
         assert_eq!(a.inbox(2), &[20, 21, 22]);
-        assert_eq!(a.touched(), &[0, 2]);
+        assert_eq!(a.touched().iter().collect::<Vec<_>>(), vec![0, 2]);
     }
 
     #[test]
@@ -354,7 +528,7 @@ mod tests {
         assert!(a.inbox(0).is_empty());
         assert_eq!(a.len(0), 0);
         // Only message-holding destinations are published as touched.
-        assert_eq!(a.touched(), &[6, 1]);
+        assert_eq!(a.touched().iter().collect::<Vec<_>>(), vec![1, 6]);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use crate::arena::MsgArena;
 use crate::hook::{BatchDests, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
-use pbw_models::{EpochCounts, MachineParams, ProfileBuilder, SuperstepProfile};
+use pbw_models::{EpochCounts, FrontierMask, MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, RecoveryMark, TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 
@@ -49,6 +49,10 @@ pub struct Outbox<M> {
     envelopes: Vec<Envelope<M>>,
     dests: Vec<Pid>,
     work: u64,
+    /// Number of `send_at` (explicit-slot) posts since the last reset.
+    /// Zero means every slot is implicit — the slot resolution validates
+    /// the whole outbox from the `dests` lane without touching envelopes.
+    explicit: usize,
 }
 
 impl<M> Default for Outbox<M> {
@@ -57,6 +61,7 @@ impl<M> Default for Outbox<M> {
             envelopes: Vec::new(),
             dests: Vec::new(),
             work: 0,
+            explicit: 0,
         }
     }
 }
@@ -84,6 +89,7 @@ impl<M> Outbox<M> {
             slot: Some(slot),
         });
         self.dests.push(dest);
+        self.explicit += 1;
     }
 
     /// Charge `w` units of local computation to this processor for this
@@ -108,6 +114,7 @@ impl<M> Outbox<M> {
         self.envelopes.clear();
         self.dests.clear();
         self.work = 0;
+        self.explicit = 0;
     }
 
     /// Whether any message has been posted.
@@ -161,16 +168,29 @@ pub struct BspMachine<S, M> {
     spare: MsgArena<M>,
     /// Per-processor outboxes, reset (capacity kept) every superstep.
     outboxes: Vec<Outbox<M>>,
+    /// Whether every outbox is known empty-and-zeroed. True after a
+    /// successful unhooked superstep: every outbox it dirtied was either a
+    /// sender (drained, cleared, and zeroed by the delivery drain) or a
+    /// non-sender frontier member (its closure posted nothing, so the
+    /// reset-time state survived). While true, the closure pass skips the
+    /// per-pid `Outbox::reset` — on a wide frontier that skip is a
+    /// frontier's worth of cache lines never dirtied. Cleared at superstep
+    /// entry and re-established only on clean unhooked exit, so errors,
+    /// panics, and hooked supersteps all fall back to resetting.
+    outboxes_clean: bool,
     /// Per-processor resolved injection slots, refilled every superstep.
     resolved: Vec<Vec<u64>>,
     /// Per-processor precomputed fates (hooked machines only).
     fates: Vec<Vec<Fate>>,
-    /// Per-processor stall flags for the current superstep.
-    stalled: Vec<bool>,
-    /// Per-processor crash flags for the current superstep. A crashed pid
-    /// is strictly worse than a stalled one: closure skipped, no stall
-    /// retention, incoming custody transfers destroyed.
-    crashed: Vec<bool>,
+    /// Stalled processors this superstep (read only behind `hooked`).
+    /// Cleared by an O(1) epoch bump and filled through
+    /// [`DeliveryHook::fill_fault_masks`], so a hook that knows its fault
+    /// windows in closed form never pays the per-pid O(p) scan.
+    stalled: FrontierMask,
+    /// Crash-stopped processors this superstep. A crashed pid is strictly
+    /// worse than a stalled one: closure skipped, no stall retention,
+    /// incoming custody transfers destroyed.
+    crashed: FrontierMask,
     /// Per-processor receive counts (deliveries only; retained inboxes are
     /// not recounted) — dense path.
     recv_counts: Vec<u64>,
@@ -182,9 +202,33 @@ pub struct BspMachine<S, M> {
     sparse_arena_counts: EpochCounts,
     /// Sparse-path receive counts, epoch-stamped like `sparse_arena_counts`.
     sparse_recv_counts: EpochCounts,
+    /// Delivery-pass scratch: `seq_lens[k]` counts the senders that posted
+    /// exactly `k + 1` all-implicit-slot messages this superstep, feeding
+    /// one aggregated histogram update instead of a per-sender scatter.
+    /// Zeroed (never shrunk) after each flush, so it allocates only when a
+    /// sender exceeds every previous length.
+    seq_lens: Vec<u64>,
     /// Sparse-path frontier scratch: the sorted, deduplicated set of pids
-    /// whose closures run this superstep.
+    /// whose closures run this superstep, unloaded from `frontier_mask` in
+    /// ascending pid order (no sort).
     frontier: Vec<Pid>,
+    /// Sparse-path sender scratch: the frontier pids that actually posted
+    /// messages this superstep, collected by the fused counting pass so the
+    /// delivery drain revisits only them (a wide receive-only frontier
+    /// contributes nothing to delivery).
+    senders: Vec<Pid>,
+    /// Mask twin of `frontier`: the declared active set OR-ed word-at-a-time
+    /// with the arena's touched mask — insertion *is* dedup, iteration *is*
+    /// the sort.
+    frontier_mask: FrontierMask,
+    /// Dense-path sender discovery: the parallel closure pass writes one
+    /// byte per pid ("posted a message or charged work"), folded into
+    /// `sender_mask` by a word-building sweep. The resulting sender count
+    /// drives the measured density crossover — a dense superstep whose
+    /// senders are sparse takes the epoch-stamped masked branch instead of
+    /// the O(p) flat-array branch, byte-identically.
+    sender_flags: Vec<u8>,
+    sender_mask: FrontierMask,
     /// Tracing scratch for per-processor send counts.
     per_proc_sent: Vec<u64>,
     /// Profile accumulator, snapshot-and-reset every superstep.
@@ -222,15 +266,22 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             inboxes: MsgArena::new(p),
             spare: MsgArena::new(p),
             outboxes: std::iter::repeat_with(Outbox::default).take(p).collect(),
+            // Fresh outboxes are empty and zeroed by construction.
+            outboxes_clean: true,
             resolved: vec![Vec::new(); p],
             fates: Vec::new(),
-            stalled: vec![false; p],
-            crashed: vec![false; p],
+            stalled: FrontierMask::new(p),
+            crashed: FrontierMask::new(p),
             recv_counts: vec![0; p],
             arena_counts: vec![0; p],
             sparse_arena_counts: EpochCounts::new(p),
             sparse_recv_counts: EpochCounts::new(p),
+            seq_lens: Vec::new(),
             frontier: Vec::new(),
+            senders: Vec::new(),
+            frontier_mask: FrontierMask::new(p),
+            sender_flags: vec![0; p],
+            sender_mask: FrontierMask::new(p),
             per_proc_sent: Vec::new(),
             builder: ProfileBuilder::new(),
             profiles: Vec::new(),
@@ -429,10 +480,11 @@ impl<S: Send, M: Send> BspMachine<S, M> {
     /// frontier outboxes, and the per-destination tallies are epoch-stamped
     /// ([`EpochCounts`]) so resetting them is an epoch bump, never an O(p)
     /// `fill(0)`. Exceptions, documented: a machine with a delivery hook
-    /// pays one O(p) stall scan per superstep (stalls are per-pid, not
-    /// per-message), and a superstep observed by an enabled trace sink
-    /// materializes the dense per-processor traffic vectors its events
-    /// carry.
+    /// reads the stall/crash masks word-at-a-time (O(fault-words), filled
+    /// once per superstep via [`DeliveryHook::fill_fault_masks`]), and a
+    /// superstep observed by an enabled trace sink materializes the dense
+    /// per-processor traffic vectors its events carry (zeroed rows, filled
+    /// O(touched)).
     ///
     /// The result is **byte-identical** to [`BspMachine::try_superstep`] —
     /// same states, profiles, trace events and fault ledger — provided the
@@ -489,50 +541,178 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         // A stalled processor skips its closure this superstep and sees its
         // inbox again next superstep; a crashed processor skips its closure
         // *and* loses every payload whose custody would transfer to it this
-        // superstep. Both predicates are pure in `(superstep, pid)`, so the
-        // per-processor queries run in parallel. The flags are only ever
-        // read behind `hooked`, so the unhooked paths (dense and sparse
-        // alike) skip the per-superstep O(p) clear the old
-        // `stalled.fill(false)` paid: stale flags are simply never observed.
+        // superstep. The masks are cleared in O(1) (epoch bumps) and filled
+        // in one hook call — `fill_fault_masks` lets a hook that knows its
+        // fault windows in closed form (FaultPlan with zero rates) insert
+        // O(windows) bits instead of answering p per-pid queries. The masks
+        // are only ever read behind `hooked`, so the unhooked paths touch
+        // nothing p-sized here.
         let hook = self.hook.clone();
         let hooked = hook.is_some();
+        let tracing = self.sink.enabled();
+        // *Taken*, not read: if this superstep errors or panics the flag
+        // stays false and the next superstep resets as usual; only the
+        // clean unhooked exit at the bottom re-establishes it.
+        let outboxes_were_clean = std::mem::take(&mut self.outboxes_clean);
         if let Some(h) = &hook {
-            let _: Vec<()> = self
-                .stalled
-                .par_iter_mut()
-                .zip(self.crashed.par_iter_mut())
-                .enumerate()
-                .map(|(pid, (s, c))| {
-                    *s = h.stalled(step, pid);
-                    *c = h.crashed(step, pid);
-                })
-                .collect();
+            self.stalled.clear();
+            self.crashed.clear();
+            h.fill_fault_masks(step, &mut self.stalled, &mut self.crashed);
         }
 
         // Sparse path: build the frontier — the caller's declared active set
         // plus every processor whose inbox from the last boundary is
         // non-empty (ordinary deliveries, retained stalled inboxes, and
         // landed delayed payloads all live there, so `spare.touched()`
-        // covers them without scanning p inboxes). Sorted pid order is what
-        // replays the dense path's canonical delivery order exactly.
+        // covers them without scanning p inboxes). The mask OR is the dedup
+        // and its ascending-pid unload is the sort, so the old
+        // sort+dedup over the concatenated lists is gone. Sorted pid order
+        // is what replays the dense path's canonical delivery order exactly.
         if let Some(declared) = active {
             self.frontier.clear();
-            self.frontier.extend_from_slice(declared);
-            self.frontier.extend_from_slice(self.spare.touched());
-            self.frontier.sort_unstable();
-            self.frontier.dedup();
-            if let Some(&max_pid) = self.frontier.last() {
-                assert!(
-                    max_pid < p,
-                    "active set names processor {max_pid}, but the machine has {p} processors"
-                );
+            if declared.is_empty() {
+                // Nothing declared: the frontier is exactly the touched
+                // mask, already deduplicated and ascending — skip the
+                // scratch mask entirely. Unhooked, the pid list itself is
+                // skipped too: the closure pass iterates the mask directly
+                // and every later stage walks the sender list instead.
+                if hooked {
+                    self.spare.touched().push_to(&mut self.frontier);
+                }
+            } else {
+                self.frontier_mask.clear();
+                for &pid in declared {
+                    assert!(
+                        pid < p,
+                        "active set names processor {pid}, but the machine has {p} processors"
+                    );
+                    self.frontier_mask.insert(pid);
+                }
+                self.frontier_mask.union_with(self.spare.touched());
+                self.frontier_mask.push_to(&mut self.frontier);
             }
         }
 
+        // Individual slot values are only ever read by the hooked fate
+        // machinery and the trace multiplicity scan; plain unhooked,
+        // untraced supersteps keep the all-implicit marker instead.
+        let materialize_slots = hooked || tracing;
+        if tracing {
+            // Trace events carry dense per-processor traffic vectors; the
+            // sparse path materializes them too (O(p), tracing only).
+            self.per_proc_sent.clear();
+            self.per_proc_sent.resize(p, 0);
+        }
+        // First resolution error found by the fused sparse closure pass
+        // below (reported only after every frontier closure has run, like
+        // the unfused paths), and the max messages any one sender posted.
+        let mut sparse_err: Option<SimError> = None;
+        let mut sparse_max_sent = 0u64;
+
         // Closure pass. Dense: all p processors in parallel, each filling
-        // its recycled outbox. Sparse: sequentially over the sorted
-        // frontier — the frontier is small by contract, and a sequential
-        // pass is trivially deterministic at every PBW_THREADS width.
+        // its recycled outbox and flagging itself as a sender (one byte,
+        // written unconditionally — the flag lane is what the density
+        // crossover below folds into the sender mask, and writing it here
+        // costs nothing next to the outbox reset it shares a cache line
+        // with). Sparse: sequentially over the sorted frontier — the
+        // frontier is small by contract, and a sequential pass is trivially
+        // deterministic at every PBW_THREADS width. Unhooked, each sender's
+        // slot resolution, destination counting, and profile facts run
+        // right after its closure returns, while the outbox is hot in
+        // cache — see `fused_sender_pass`.
+        //
+        // The macro is the per-sender tail of that fused pass: record the
+        // sender, resolve/validate its slots (first error wins, reported
+        // only after every closure has run, exactly like the unfused
+        // paths), bucket the injection histogram, count destinations
+        // straight into the arena's segment table, and track the traffic
+        // maximum. A sender whose validation fails contributes nothing
+        // further — everything already recorded is discarded wholesale by
+        // the error unwind in the delivery arm below.
+        macro_rules! fused_sender_pass {
+            ($pid:expr) => {{
+                let pid = $pid;
+                let out = &self.outboxes[pid];
+                if !out.envelopes.is_empty() || out.work != 0 {
+                    self.senders.push(pid);
+                    if out.work != 0 {
+                        self.builder.record_work(out.work);
+                    }
+                    if out.envelopes.is_empty() {
+                        // Work-only sender: nothing to resolve or count,
+                        // but the trace multiplicity scan walks this pid's
+                        // slot buffer — keep it cleared.
+                        if materialize_slots {
+                            self.resolved[pid].clear();
+                        }
+                    } else {
+                        let n = out.envelopes.len();
+                        let mut ok = true;
+                        if !materialize_slots && out.explicit == 0 {
+                            // Plain `send`s, slots unread anywhere:
+                            // validate the dests lane inline and bucket the
+                            // all-implicit histogram marker without
+                            // touching the slot buffer —
+                            // `resolve_slots_into`'s fast path minus the
+                            // call and the buffer clear (stale slots are
+                            // fine: no consumer reads them when
+                            // `materialize` is off).
+                            let mut max = 0usize;
+                            for &d in &out.dests {
+                                max = max.max(d);
+                            }
+                            if max >= p {
+                                if sparse_err.is_none() {
+                                    let dest =
+                                        out.dests.iter().copied().find(|&d| d >= p).unwrap_or(max);
+                                    sparse_err = Some(SimError::BadDestination { pid, dest });
+                                }
+                                ok = false;
+                            } else {
+                                if self.seq_lens.len() < n {
+                                    self.seq_lens.resize(n, 0);
+                                }
+                                self.seq_lens[n - 1] += 1;
+                            }
+                        } else {
+                            match resolve_slots_into(
+                                pid,
+                                p,
+                                out,
+                                &mut self.resolved[pid],
+                                materialize_slots,
+                            ) {
+                                Err(e) => {
+                                    if sparse_err.is_none() {
+                                        sparse_err = Some(e);
+                                    }
+                                    ok = false;
+                                }
+                                Ok(()) => {
+                                    let slots = &self.resolved[pid];
+                                    if slots.is_empty() {
+                                        if self.seq_lens.len() < n {
+                                            self.seq_lens.resize(n, 0);
+                                        }
+                                        self.seq_lens[n - 1] += 1;
+                                    } else {
+                                        debug_assert_eq!(slots.len(), n);
+                                        self.builder.record_injections_batch(slots);
+                                    }
+                                }
+                            }
+                        }
+                        if ok {
+                            if tracing {
+                                self.per_proc_sent[pid] = n as u64;
+                            }
+                            self.inboxes.count_ones(out.dests());
+                            sparse_max_sent = sparse_max_sent.max(n as u64);
+                        }
+                    }
+                }
+            }};
+        }
         match active {
             None => {
                 let f = &f;
@@ -543,20 +723,53 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     .states
                     .par_iter_mut()
                     .zip(self.outboxes.par_iter_mut())
+                    .zip(self.sender_flags.par_iter_mut())
                     .enumerate()
-                    .map(|(pid, (state, out))| {
-                        out.reset();
-                        if !(hooked && (stalled[pid] || crashed[pid])) {
+                    .map(|(pid, ((state, out), flag))| {
+                        if !outboxes_were_clean {
+                            out.reset();
+                        }
+                        if !(hooked && (stalled.contains(pid) || crashed.contains(pid))) {
                             f(pid, state, spare.inbox(pid), out);
                         }
+                        *flag = (!out.envelopes.is_empty() || out.work != 0) as u8;
                     })
                     .collect();
             }
+            Some(declared) if !hooked && declared.is_empty() => {
+                // Frontier = touched mask verbatim: iterate it in place —
+                // same ascending pid order, no materialized pid list. The
+                // sender check runs while the outbox is hot in cache; the
+                // fused pass below then revisits only senders, never the
+                // (typically much wider) receive-only part of the frontier.
+                self.senders.clear();
+                for (w, word) in self.spare.touched().words() {
+                    let base = w * 64;
+                    let mut bits = word;
+                    while bits != 0 {
+                        let pid = base + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if !outboxes_were_clean {
+                            self.outboxes[pid].reset();
+                        }
+                        f(
+                            pid,
+                            &mut self.states[pid],
+                            self.spare.inbox(pid),
+                            &mut self.outboxes[pid],
+                        );
+                        fused_sender_pass!(pid);
+                    }
+                }
+            }
             Some(_) => {
+                self.senders.clear();
                 for i in 0..self.frontier.len() {
                     let pid = self.frontier[i];
-                    self.outboxes[pid].reset();
-                    if !(hooked && (self.stalled[pid] || self.crashed[pid])) {
+                    if !outboxes_were_clean {
+                        self.outboxes[pid].reset();
+                    }
+                    if !(hooked && (self.stalled.contains(pid) || self.crashed.contains(pid))) {
                         f(
                             pid,
                             &mut self.states[pid],
@@ -564,34 +777,85 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                             &mut self.outboxes[pid],
                         );
                     }
+                    if !hooked {
+                        fused_sender_pass!(pid);
+                    }
                 }
             }
         }
 
+        // Measured density crossover (dense, unhooked): fold the sender
+        // flags into a mask, and if the senders are sparse enough — per the
+        // once-per-process calibration in `crate::density` — run the rest
+        // of the superstep over the sender set with the epoch-stamped
+        // tallies, exactly as `superstep_active` would. Byte-identical
+        // either way: a flag-less processor has an empty outbox and zero
+        // work, so the only facts it would contribute downstream are
+        // `record_work(0)`/`record_traffic(0, 0)` no-ops, and the parallel
+        // pass above has already reset *all* p outboxes, so no stale buffer
+        // can be read. Hooked dense supersteps keep the flat-array branch:
+        // stall retention and crash accounting want the full-width scans.
+        let mut dense_masked = false;
+        if active.is_none() && !hooked {
+            self.sender_mask.clear();
+            let mut senders = 0usize;
+            for (leaf, chunk) in self.sender_flags.chunks(64).enumerate() {
+                let mut word = 0u64;
+                for (bit, &flag) in chunk.iter().enumerate() {
+                    word |= (flag as u64) << bit;
+                }
+                if word != 0 {
+                    self.sender_mask.insert_word(leaf, word);
+                    senders += word.count_ones() as usize;
+                }
+            }
+            dense_masked = crate::density::crossover(senders, p);
+            if dense_masked {
+                self.frontier.clear();
+                self.sender_mask.push_to(&mut self.frontier);
+            }
+        }
+        // Everything below branches on the tally representation, not on the
+        // caller's path: the masked dense branch *is* the sparse branch run
+        // over the sender set.
+        let sparse_tallies = active.is_some() || dense_masked;
+
         // Slot resolution + validation of the one-injection-per-step rule,
         // into the recycled slot buffers. Dense: a parallel fallible collect
-        // that surfaces the lowest-pid error. Sparse: sequential over the
-        // frontier — non-frontier outboxes are stale from an earlier
-        // superstep and are neither resolved nor read anywhere below.
-        match active {
-            None => {
+        // that surfaces the lowest-pid error. Sparse (and masked dense):
+        // sequential over the frontier — non-frontier outboxes are either
+        // stale from an earlier superstep (sparse) or freshly reset and
+        // empty (masked dense), and are neither resolved nor read anywhere
+        // below; ascending frontier order surfaces the same lowest-pid
+        // error, since only senders can err.
+        match sparse_tallies {
+            false => {
                 let validated: Result<Vec<()>, SimError> = self
                     .outboxes
                     .par_iter()
                     .zip(self.resolved.par_iter_mut())
                     .enumerate()
-                    .map(|(pid, (out, slots))| resolve_slots_into(pid, p, &out.envelopes, slots))
+                    .map(|(pid, (out, slots))| {
+                        resolve_slots_into(pid, p, out, slots, materialize_slots)
+                    })
                     .collect();
                 validated?;
             }
-            Some(_) => {
-                for &pid in &self.frontier {
-                    resolve_slots_into(
-                        pid,
-                        p,
-                        &self.outboxes[pid].envelopes,
-                        &mut self.resolved[pid],
-                    )?;
+            true => {
+                // Hooked sparse supersteps resolve up front: the fate batch
+                // below consumes the slot sequences. Unhooked ones defer
+                // resolution into the fused counting pass further down —
+                // one streaming pass over the frontier outboxes, not two.
+                if hooked {
+                    for &pid in &self.frontier {
+                        resolve_slots_into(
+                            pid,
+                            p,
+                            &self.outboxes[pid],
+                            &mut self.resolved[pid],
+                            materialize_slots,
+                        )?;
+                    }
                 }
             }
         }
@@ -640,7 +904,8 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             ref mut inboxes,
             ref spare,
             ref mut outboxes,
-            ref resolved,
+            ref mut outboxes_clean,
+            ref mut resolved,
             ref fates,
             ref stalled,
             ref crashed,
@@ -648,7 +913,9 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             ref mut arena_counts,
             ref mut sparse_arena_counts,
             ref mut sparse_recv_counts,
+            ref mut seq_lens,
             ref frontier,
+            ref mut senders,
             ref mut per_proc_sent,
             ref mut builder,
             ref mut profiles,
@@ -673,14 +940,6 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         // sends are queued, so a `Delay(k)` waits exactly `k` extra steps.
         let due: Vec<(Pid, M)> = pending.pop_front().unwrap_or_default();
 
-        let tracing = sink.enabled();
-        if tracing {
-            // Trace events carry dense per-processor traffic vectors; the
-            // sparse path materializes them too (O(p), tracing only).
-            per_proc_sent.clear();
-            per_proc_sent.resize(p, 0);
-        }
-
         // Counting pass + delivery. Both branches run the identical
         // sequence — stall accounting, per-destination counting, arena
         // layout, retained-inbox re-placement, then `delivery_pass` — over
@@ -689,8 +948,13 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         // `try_superstep_active` contract, so it contributes nothing). Only
         // the tally representation differs: dense `fill(0)` vectors vs
         // O(1)-reset epoch-stamped counts.
-        let delivered = match active {
-            None => {
+        // Unhooked with no late arrivals, the per-destination receive
+        // tallies are bit-for-bit the arena counts (every counted message
+        // is placed, nothing else is); the sparse arm exploits this below
+        // and the trace row reads the arena counts in that case.
+        let fuse_recv = !hooked && due.is_empty();
+        let delivered = match sparse_tallies {
+            false => {
                 // Stalled processors keep their undrained inbox (already
                 // counted as delivered at the previous boundary — not
                 // recounted in `recv_counts`); it is retained ahead of this
@@ -700,17 +964,26 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                 // inbox simply evaporates at the arena swap, exactly as it
                 // does for a live processor that ignores its inbox, so the
                 // ledger (which counted those payloads delivered at the
-                // previous boundary) is untouched.
+                // previous boundary) is untouched. Both scans walk the
+                // masks word-at-a-time — O(fault-words), not O(p); the
+                // counters are sums and the per-pid updates are disjoint,
+                // so the mask order (ascending pid) reproduces the old
+                // 0..p scan exactly.
                 arena_counts.fill(0);
                 if hooked {
-                    for pid in 0..p {
-                        if crashed[pid] {
-                            fault_stats.crash_steps += 1;
-                            counters.crashed_procs += 1;
-                        } else if stalled[pid] {
+                    let down = crashed.count() as u64;
+                    fault_stats.crash_steps += down;
+                    counters.crashed_procs += down;
+                    for (leaf, word) in stalled.words() {
+                        let live = word & !crashed.word(leaf);
+                        let retained = u64::from(live.count_ones());
+                        fault_stats.stalled_steps += retained;
+                        counters.stalled_procs += retained;
+                        let mut bits = live;
+                        while bits != 0 {
+                            let pid = leaf * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             arena_counts[pid] += spare.len(pid);
-                            fault_stats.stalled_steps += 1;
-                            counters.stalled_procs += 1;
                         }
                     }
                 }
@@ -727,14 +1000,17 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     }
                 }
                 for &(dest, _) in due.iter() {
-                    if !(hooked && crashed[dest]) {
+                    if !(hooked && crashed.contains(dest)) {
                         arena_counts[dest] += 1;
                     }
                 }
                 inboxes.begin(arena_counts);
                 if hooked {
-                    for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if is_stalled && !crashed[pid] {
+                    for (leaf, word) in stalled.words() {
+                        let mut bits = word & !crashed.word(leaf);
+                        while bits != 0 {
+                            let pid = leaf * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             for msg in spare.inbox(pid) {
                                 inboxes.place(pid, msg.clone());
                             }
@@ -758,6 +1034,7 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     fault_stats,
                     &mut counters,
                     due,
+                    seq_lens,
                     |dest| recv_counts[dest] += 1,
                 );
                 inboxes.finish();
@@ -766,21 +1043,186 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                 }
                 delivered
             }
-            Some(_) => {
-                // Same sequence, epoch-stamped tallies. The hooked stall
-                // scans stay O(p) — stalls are per-pid, independent of the
-                // message flow, so no dirty list can cover them; an
-                // unhooked sparse superstep touches nothing p-sized.
+            // Unhooked sparse superstep: one fused streaming pass over the
+            // frontier outboxes does slot resolution, destination counting,
+            // and the per-sender profile facts together (the unfused path
+            // walks the same outboxes three times), and remembers who
+            // actually sent so the delivery drain revisits only senders — a
+            // wide receive-only frontier contributes nothing to delivery.
+            // Every fact lands in the same value the unfused path produces:
+            // work/traffic records are max-updates, the injection histogram
+            // and the destination counts are sums, and the drain places
+            // payloads in the identical ascending (sender pid, send order)
+            // sequence, so the arena bytes and the profile are unchanged.
+            true if !hooked => {
+                // Sparse path: the closure pass recorded the senders *and*
+                // already ran the fused per-sender tail (resolution,
+                // counting, profile facts) while each outbox was hot.
+                // Masked dense: the frontier was *built* from the sender
+                // flags, so it already is the sender set — but its closure
+                // pass ran in parallel over all p, so the fused tail runs
+                // here instead.
+                let live: &[Pid] = if active.is_some() {
+                    &senders[..]
+                } else {
+                    &frontier[..]
+                };
+                let mut err = sparse_err;
+                let mut max_sent = sparse_max_sent;
+                if active.is_none() {
+                    for &pid in live.iter() {
+                        let out = &outboxes[pid];
+                        if out.work != 0 {
+                            builder.record_work(out.work);
+                        }
+                        if out.envelopes.is_empty() {
+                            // Work-only sender: nothing to resolve or
+                            // count, but the trace multiplicity scan walks
+                            // this pid's slot buffer — keep it cleared.
+                            if materialize_slots {
+                                resolved[pid].clear();
+                            }
+                            continue;
+                        }
+                        let n = out.envelopes.len();
+                        if !materialize_slots && out.explicit == 0 {
+                            // Plain `send`s, slots unread anywhere: validate
+                            // the dests lane inline and bucket the
+                            // all-implicit histogram marker without touching
+                            // the slot buffer — `resolve_slots_into`'s fast
+                            // path minus the call and the buffer clear
+                            // (stale slots are fine: no consumer reads them
+                            // when `materialize` is off).
+                            let mut max = 0usize;
+                            for &d in &out.dests {
+                                max = max.max(d);
+                            }
+                            if max >= p {
+                                let dest =
+                                    out.dests.iter().copied().find(|&d| d >= p).unwrap_or(max);
+                                err = Some(SimError::BadDestination { pid, dest });
+                                break;
+                            }
+                            if seq_lens.len() < n {
+                                seq_lens.resize(n, 0);
+                            }
+                            seq_lens[n - 1] += 1;
+                        } else {
+                            if let Err(e) = resolve_slots_into(
+                                pid,
+                                p,
+                                out,
+                                &mut resolved[pid],
+                                materialize_slots,
+                            ) {
+                                err = Some(e);
+                                break;
+                            }
+                            let slots = &resolved[pid];
+                            if slots.is_empty() {
+                                if seq_lens.len() < n {
+                                    seq_lens.resize(n, 0);
+                                }
+                                seq_lens[n - 1] += 1;
+                            } else {
+                                debug_assert_eq!(slots.len(), n);
+                                builder.record_injections_batch(slots);
+                            }
+                        }
+                        if tracing {
+                            per_proc_sent[pid] = n as u64;
+                        }
+                        // Counts accumulate straight into the arena's
+                        // segment table — no second tally structure between
+                        // the counting pass and the layout.
+                        inboxes.count_ones(out.dests());
+                        max_sent = max_sent.max(n as u64);
+                    }
+                }
+                builder.record_traffic(max_sent, 0);
+                if let Some(e) = err {
+                    // A failed superstep must leave the builder and the
+                    // length buckets empty, exactly as the unfused paths do
+                    // (they resolve everything before recording anything),
+                    // and the arena cleared — one epoch bump discards the
+                    // partial counts.
+                    let _ = builder.snapshot_reset();
+                    for c in seq_lens.iter_mut() {
+                        *c = 0;
+                    }
+                    inboxes.clear();
+                    return Err(e);
+                }
+                for &(dest, _) in due.iter() {
+                    inboxes.count(dest, 1);
+                }
+                let max_recv = inboxes.begin_counted();
+                sparse_recv_counts.reset();
+                let mut delivered = 0u64;
+                for &pid in live.iter() {
+                    let out = &mut outboxes[pid];
+                    let n = out.envelopes.len() as u64;
+                    for env in out.envelopes.drain(..) {
+                        if !fuse_recv {
+                            sparse_recv_counts.add(env.dest, 1);
+                        }
+                        inboxes.place(env.dest, env.payload);
+                    }
+                    // Leave the outbox fully zeroed, not just drained, so
+                    // the next superstep's closure pass can skip its reset
+                    // (`outboxes_clean`).
+                    out.dests.clear();
+                    out.work = 0;
+                    out.explicit = 0;
+                    fault_stats.injected += n;
+                    fault_stats.delivered += n;
+                    delivered += n;
+                }
+                builder.record_injections_by_len(seq_lens);
+                for c in seq_lens.iter_mut() {
+                    *c = 0;
+                }
+                let mut due = due;
+                for (dest, payload) in due.drain(..) {
+                    fault_stats.in_flight -= 1;
+                    if !fuse_recv {
+                        sparse_recv_counts.add(dest, 1);
+                    }
+                    inboxes.place(dest, payload);
+                    delivered += 1;
+                    fault_stats.delivered += 1;
+                    counters.late_arrivals += 1;
+                }
+                if due.capacity() > 0 && pending_pool.len() < PENDING_POOL_CAP {
+                    pending_pool.push(due);
+                }
+                inboxes.finish();
+                if fuse_recv {
+                    builder.record_traffic(0, max_recv);
+                } else {
+                    builder.record_recv_sparse(sparse_recv_counts);
+                }
+                delivered
+            }
+            true => {
+                // Same sequence, epoch-stamped tallies, hooked: the stall
+                // scans iterate the fault masks word-at-a-time —
+                // O(fault-words), never O(p).
                 sparse_arena_counts.reset();
                 if hooked {
-                    for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if crashed[pid] {
-                            fault_stats.crash_steps += 1;
-                            counters.crashed_procs += 1;
-                        } else if is_stalled {
+                    let down = crashed.count() as u64;
+                    fault_stats.crash_steps += down;
+                    counters.crashed_procs += down;
+                    for (leaf, word) in stalled.words() {
+                        let live = word & !crashed.word(leaf);
+                        let retained = u64::from(live.count_ones());
+                        fault_stats.stalled_steps += retained;
+                        counters.stalled_procs += retained;
+                        let mut bits = live;
+                        while bits != 0 {
+                            let pid = leaf * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             sparse_arena_counts.add(pid, spare.len(pid) as u64);
-                            fault_stats.stalled_steps += 1;
-                            counters.stalled_procs += 1;
                         }
                     }
                 }
@@ -798,41 +1240,75 @@ impl<S: Send, M: Send> BspMachine<S, M> {
                     }
                 }
                 for &(dest, _) in due.iter() {
-                    if !(hooked && crashed[dest]) {
+                    if !(hooked && crashed.contains(dest)) {
                         sparse_arena_counts.add(dest, 1);
                     }
                 }
-                inboxes.begin_sparse(sparse_arena_counts);
+                let max_recv = inboxes.begin_sparse(sparse_arena_counts);
                 if hooked {
-                    for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if is_stalled && !crashed[pid] {
+                    for (leaf, word) in stalled.words() {
+                        let mut bits = word & !crashed.word(leaf);
+                        while bits != 0 {
+                            let pid = leaf * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             for msg in spare.inbox(pid) {
                                 inboxes.place(pid, msg.clone());
                             }
                         }
                     }
                 }
+                // With `fuse_recv`, the only profile fact the receive
+                // tallies feed is the receive maximum — which the layout
+                // pass above already computed. Skip the per-message recv
+                // bump and the second touched sweep entirely.
                 sparse_recv_counts.reset();
-                let delivered = delivery_pass(
-                    frontier.iter().copied(),
-                    outboxes,
-                    resolved,
-                    fates,
-                    hooked,
-                    crashed,
-                    tracing,
-                    per_proc_sent,
-                    inboxes,
-                    builder,
-                    pending,
-                    pending_pool,
-                    fault_stats,
-                    &mut counters,
-                    due,
-                    |dest| sparse_recv_counts.add(dest, 1),
-                );
+                let delivered = if fuse_recv {
+                    delivery_pass(
+                        frontier.iter().copied(),
+                        outboxes,
+                        resolved,
+                        fates,
+                        hooked,
+                        crashed,
+                        tracing,
+                        per_proc_sent,
+                        inboxes,
+                        builder,
+                        pending,
+                        pending_pool,
+                        fault_stats,
+                        &mut counters,
+                        due,
+                        seq_lens,
+                        |_| {},
+                    )
+                } else {
+                    delivery_pass(
+                        frontier.iter().copied(),
+                        outboxes,
+                        resolved,
+                        fates,
+                        hooked,
+                        crashed,
+                        tracing,
+                        per_proc_sent,
+                        inboxes,
+                        builder,
+                        pending,
+                        pending_pool,
+                        fault_stats,
+                        &mut counters,
+                        due,
+                        seq_lens,
+                        |dest| sparse_recv_counts.add(dest, 1),
+                    )
+                };
                 inboxes.finish();
-                builder.record_recv_sparse(sparse_recv_counts);
+                if fuse_recv {
+                    builder.record_traffic(0, max_recv);
+                } else {
+                    builder.record_recv_sparse(sparse_recv_counts);
+                }
                 delivered
             }
         };
@@ -841,13 +1317,38 @@ impl<S: Send, M: Send> BspMachine<S, M> {
         // Taken unconditionally so mark consumption is sink-independent.
         let mark = recovery_mark.take();
         if tracing {
-            let per_proc_recv: Vec<u64> = match active {
-                None => recv_counts.clone(),
-                Some(_) => (0..p).map(|d| sparse_recv_counts.get(d)).collect(),
+            // Trace rows are dense by format (length p), but the sparse
+            // fill is O(touched): a zeroed row plus one write per receiver
+            // named by the dirty mask, instead of p stamp-checked reads.
+            let per_proc_recv: Vec<u64> = match sparse_tallies {
+                false => recv_counts.clone(),
+                true => {
+                    let mut row = vec![0u64; p];
+                    if fuse_recv {
+                        // Unhooked with no late arrivals: the published
+                        // arena segments *are* the receive tallies.
+                        for d in inboxes.touched().iter() {
+                            row[d] = inboxes.len(d) as u64;
+                        }
+                    } else {
+                        for d in sparse_recv_counts.touched().iter() {
+                            row[d] = sparse_recv_counts.get(d);
+                        }
+                    }
+                    row
+                }
             };
-            let max_mult = match active {
-                None => crate::max_slot_multiplicity(resolved, 0..p),
-                Some(_) => crate::max_slot_multiplicity(resolved, frontier.iter().copied()),
+            let max_mult = match sparse_tallies {
+                false => crate::max_slot_multiplicity(resolved, 0..p),
+                // Unhooked sparse supersteps resolve only the senders (the
+                // fused pass skips receive-only frontier pids, whose slot
+                // buffers may hold stale earlier-superstep data); scan
+                // exactly the resolved set — quiet pids have no envelopes
+                // and would contribute nothing anyway.
+                true if !hooked && active.is_some() => {
+                    crate::max_slot_multiplicity(resolved, senders.iter().copied())
+                }
+                true => crate::max_slot_multiplicity(resolved, frontier.iter().copied()),
             };
             let mut ev = TraceEvent::for_superstep(
                 TraceSource::Bsp,
@@ -869,6 +1370,12 @@ impl<S: Send, M: Send> BspMachine<S, M> {
             sink.record(ev);
         }
         profiles.push(profile.clone());
+        // Unhooked supersteps leave every dirtied outbox drained and zeroed
+        // (see the delivery drains above); combined with an all-clean entry
+        // — or the dense pass's reset of all p — the whole population is
+        // clean again, and the next superstep's closure pass skips its
+        // resets. Hooked supersteps make no such claim.
+        *outboxes_clean = !hooked && (outboxes_were_clean || active.is_none());
         *superstep_idx += 1;
         Ok(SuperstepReport { profile, delivered })
     }
@@ -1093,7 +1600,7 @@ fn delivery_pass<M: Clone>(
     resolved: &[Vec<u64>],
     fates: &[Vec<Fate>],
     hooked: bool,
-    crashed: &[bool],
+    crashed: &FrontierMask,
     tracing: bool,
     per_proc_sent: &mut [u64],
     inboxes: &mut MsgArena<M>,
@@ -1103,14 +1610,24 @@ fn delivery_pass<M: Clone>(
     fault_stats: &mut FaultStats,
     counters: &mut FaultCounters,
     mut due: Vec<(Pid, M)>,
+    seq_lens: &mut Vec<u64>,
     mut bump_recv: impl FnMut(Pid),
 ) -> u64 {
     let mut delivered = 0u64;
     for pid in pids {
         let out = &mut outboxes[pid];
         let slots = &resolved[pid];
-        builder.record_work(out.work);
-        builder.record_traffic(out.envelopes.len() as u64, 0);
+        // `record_work(0)` and `record_traffic(0, 0)` are max-updates with
+        // 0 — semantic no-ops — so quiet processors (the bulk of a wide
+        // receive-only frontier) skip the builder calls entirely.
+        if out.work != 0 {
+            builder.record_work(out.work);
+            // Zeroed where recorded (never unconditionally): quiet outboxes
+            // stay untouched, and a fully drained-and-zeroed population is
+            // what lets the next superstep skip its resets
+            // (`outboxes_clean`).
+            out.work = 0;
+        }
         if tracing {
             per_proc_sent[pid] = out.envelopes.len() as u64;
         }
@@ -1124,20 +1641,36 @@ fn delivery_pass<M: Clone>(
             // even the bulk arithmetic: a p-sized sweep of quiet
             // processors must stay a p-sized sweep of nothing.
             if !out.envelopes.is_empty() {
-                debug_assert_eq!(slots.len(), out.envelopes.len());
                 let n = out.envelopes.len() as u64;
-                builder.record_injections_batch(slots);
+                builder.record_traffic(n, 0);
+                if slots.is_empty() {
+                    // All-implicit marker from the slot resolution: this
+                    // sender's slots are exactly `0..n`. Bucket it by
+                    // length; one `record_injections_by_len` call after the
+                    // loop replays the whole population's histogram
+                    // contributions in bulk (sums — order unobservable).
+                    let k = out.envelopes.len() - 1;
+                    if seq_lens.len() <= k {
+                        seq_lens.resize(k + 1, 0);
+                    }
+                    seq_lens[k] += 1;
+                } else {
+                    debug_assert_eq!(slots.len(), out.envelopes.len());
+                    builder.record_injections_batch(slots);
+                }
                 for env in out.envelopes.drain(..) {
                     bump_recv(env.dest);
                     inboxes.place(env.dest, env.payload);
                 }
                 out.dests.clear();
+                out.explicit = 0;
                 fault_stats.injected += n;
                 fault_stats.delivered += n;
                 delivered += n;
             }
             continue;
         }
+        builder.record_traffic(out.envelopes.len() as u64, 0);
         for (msg_idx, (env, &slot)) in out.envelopes.drain(..).zip(slots.iter()).enumerate() {
             let fate = if hooked {
                 fates[pid][msg_idx]
@@ -1150,7 +1683,7 @@ fn delivery_pass<M: Clone>(
             // were consumed (the network accepted the send), but nothing
             // lands and the `crashed` ledger column is charged instead of
             // `delivered`.
-            let dest_dead = hooked && crashed[env.dest];
+            let dest_dead = hooked && crashed.contains(env.dest);
             match fate {
                 Fate::Deliver => {
                     builder.record_injection(slot);
@@ -1219,6 +1752,11 @@ fn delivery_pass<M: Clone>(
             }
         }
         out.dests.clear();
+        out.explicit = 0;
+    }
+    builder.record_injections_by_len(seq_lens);
+    for c in seq_lens.iter_mut() {
+        *c = 0;
     }
     // Late arrivals land at the same boundary as this superstep's sends,
     // after them, and are charged receive bandwidth here. A late arrival
@@ -1226,7 +1764,7 @@ fn delivery_pass<M: Clone>(
     // only deferred the custody transfer.
     for (dest, payload) in due.drain(..) {
         fault_stats.in_flight -= 1;
-        if hooked && crashed[dest] {
+        if hooked && crashed.contains(dest) {
             fault_stats.crashed += 1;
             counters.crashed += 1;
             continue;
@@ -1255,10 +1793,34 @@ fn delivery_pass<M: Clone>(
 fn resolve_slots_into<M>(
     pid: Pid,
     p: usize,
-    envelopes: &[Envelope<M>],
-    out: &mut Vec<u64>,
+    out: &Outbox<M>,
+    slots: &mut Vec<u64>,
+    materialize: bool,
 ) -> Result<(), SimError> {
-    out.clear();
+    slots.clear();
+    // Fast path: plain `send` calls only (the outbox counted zero `send_at`
+    // posts) — slots are simply `0..n`, and the only remaining check is
+    // destination bounds, a vectorizable max over the flat dests lane (no
+    // envelope walk). On violation the lane is rescanned for the first
+    // offender, the same envelope the general first pass names. When no
+    // consumer reads individual slots (`materialize` false: unhooked,
+    // untraced), the sequence isn't even written — the empty buffer is the
+    // marker the delivery pass aggregates sequentially-slotted senders on.
+    let envelopes = &out.envelopes;
+    if out.explicit == 0 {
+        let mut max = 0usize;
+        for &d in &out.dests {
+            max = max.max(d);
+        }
+        if max >= p {
+            let dest = out.dests.iter().copied().find(|&d| d >= p).unwrap_or(max);
+            return Err(SimError::BadDestination { pid, dest });
+        }
+        if materialize {
+            slots.extend(0..envelopes.len() as u64);
+        }
+        return Ok(());
+    }
     for env in envelopes {
         if env.dest >= p {
             return Err(SimError::BadDestination {
@@ -1267,35 +1829,35 @@ fn resolve_slots_into<M>(
             });
         }
         if let Some(s) = env.slot {
-            out.push(s);
+            slots.push(s);
         }
     }
-    let claimed = out.len();
-    out[..claimed].sort_unstable();
-    if let Some(w) = out[..claimed].windows(2).find(|w| w[0] == w[1]) {
+    let claimed = slots.len();
+    slots[..claimed].sort_unstable();
+    if let Some(w) = slots[..claimed].windows(2).find(|w| w[0] == w[1]) {
         return Err(SimError::DuplicateSlot { pid, slot: w[0] });
     }
-    out.reserve(envelopes.len());
+    slots.reserve(envelopes.len());
     // Autos merge against the sorted claim prefix: `next_auto` is monotone,
     // so a single cursor visits each claimed slot at most once.
     let mut next_auto = 0u64;
     let mut cursor = 0usize;
     for env in envelopes {
         match env.slot {
-            Some(s) => out.push(s),
+            Some(s) => slots.push(s),
             None => {
-                while cursor < claimed && out[cursor] <= next_auto {
-                    if out[cursor] == next_auto {
+                while cursor < claimed && slots[cursor] <= next_auto {
+                    if slots[cursor] == next_auto {
                         next_auto += 1;
                     }
                     cursor += 1;
                 }
-                out.push(next_auto);
+                slots.push(next_auto);
                 next_auto += 1;
             }
         }
     }
-    out.drain(..claimed);
+    slots.drain(..claimed);
     Ok(())
 }
 

@@ -151,6 +151,34 @@ pub trait DeliveryHook: Send + Sync {
         let _ = (superstep, pid);
         false
     }
+
+    /// Fill the superstep's whole-processor fault sets in one call: set bit
+    /// `pid` of `stalled`/`crashed` exactly when [`Self::stalled`] /
+    /// [`Self::crashed`] returns true for `(superstep, pid)`. The engines
+    /// clear both masks (O(1) epoch bumps) before calling, once per
+    /// superstep, and read them word-wise everywhere downstream.
+    ///
+    /// The provided implementation queries every pid — O(p). Hooks that
+    /// know their fault sets in closed form should override it: `FaultPlan`
+    /// in `pbw-faults` inserts scripted stall/crash windows directly,
+    /// O(windows) instead of O(p), whenever its seeded per-pid rates are
+    /// zero. Any override must stay bit-identical to the per-pid
+    /// predicates, which the fault-plan suite pins.
+    fn fill_fault_masks(
+        &self,
+        superstep: u64,
+        stalled: &mut pbw_models::FrontierMask,
+        crashed: &mut pbw_models::FrontierMask,
+    ) {
+        for pid in 0..stalled.universe() {
+            if self.stalled(superstep, pid) {
+                stalled.insert(pid);
+            }
+            if self.crashed(superstep, pid) {
+                crashed.insert(pid);
+            }
+        }
+    }
 }
 
 /// Running fault ledger kept by an engine (all zeros when no hook is set,

@@ -16,7 +16,7 @@
 
 use crate::hook::Fate;
 use crate::Pid;
-use pbw_models::EpochCounts;
+use pbw_models::{EpochCounts, FrontierMask};
 
 /// Exact-width inner chunk: small enough that rustc fully unrolls the inner
 /// loop, large enough to hide the loop-carried scatter dependency.
@@ -47,26 +47,31 @@ pub fn count_dests(dests: &[Pid], counts: &mut [usize]) {
 /// Hooked dense counting: like [`count_dests`], but message `i` counts only
 /// if its fate arrives this superstep and its destination is alive. The
 /// decision is a branchless 0/1 increment — dense counts tolerate `+= 0` —
-/// so the unrolled chunks have no per-element control flow.
-pub fn count_dests_hooked(dests: &[Pid], fates: &[Fate], crashed: &[bool], counts: &mut [usize]) {
+/// so the unrolled chunks have no per-element control flow. The crash lane
+/// is read word-wise out of the [`FrontierMask`]: one shift + mask per
+/// destination, no byte table.
+pub fn count_dests_hooked(
+    dests: &[Pid],
+    fates: &[Fate],
+    crashed: &FrontierMask,
+    counts: &mut [usize],
+) {
     debug_assert_eq!(dests.len(), fates.len());
     let mut d_chunks = dests.chunks_exact(LANE);
     let mut f_chunks = fates.chunks_exact(LANE);
     for (dc, fc) in (&mut d_chunks).zip(&mut f_chunks) {
         for (&d, &f) in dc.iter().zip(fc) {
-            counts[d] += (counts_now(f) & !crashed[d]) as usize;
+            counts[d] += (counts_now(f) & !crashed.contains(d)) as usize;
         }
     }
     for (&d, &f) in d_chunks.remainder().iter().zip(f_chunks.remainder()) {
-        counts[d] += (counts_now(f) & !crashed[d]) as usize;
+        counts[d] += (counts_now(f) & !crashed.contains(d)) as usize;
     }
 }
 
 /// Unhooked sparse counting: [`count_dests`] against epoch-stamped tallies.
 pub fn count_dests_sparse(dests: &[Pid], counts: &mut EpochCounts) {
-    for &d in dests {
-        counts.add(d, 1);
-    }
+    counts.add_ones(dests);
 }
 
 /// Hooked sparse counting: [`count_dests_hooked`] against epoch-stamped
@@ -76,12 +81,12 @@ pub fn count_dests_sparse(dests: &[Pid], counts: &mut EpochCounts) {
 pub fn count_dests_sparse_hooked(
     dests: &[Pid],
     fates: &[Fate],
-    crashed: &[bool],
+    crashed: &FrontierMask,
     counts: &mut EpochCounts,
 ) {
     debug_assert_eq!(dests.len(), fates.len());
     for (&d, &f) in dests.iter().zip(fates) {
-        if counts_now(f) && !crashed[d] {
+        if counts_now(f) && !crashed.contains(d) {
             counts.add(d, 1);
         }
     }
@@ -92,7 +97,8 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    /// The scalar per-envelope loop the dense kernels replaced, verbatim.
+    /// The scalar per-envelope loop the dense kernels replaced, verbatim
+    /// (per-pid bool flags, as the engines carried before the mask).
     fn scalar_count(dests: &[Pid], fates: Option<&[Fate]>, crashed: &[bool], counts: &mut [usize]) {
         for (msg_idx, &dest) in dests.iter().enumerate() {
             let fate = match fates {
@@ -108,6 +114,17 @@ mod tests {
                 Fate::Drop | Fate::Delay(_) => {}
             }
         }
+    }
+
+    /// Lift the scalar reference's bool flags into the mask the kernels take.
+    fn crash_mask_of(crashed: &[bool]) -> FrontierMask {
+        let mut m = FrontierMask::new(crashed.len());
+        for (pid, &c) in crashed.iter().enumerate() {
+            if c {
+                m.insert(pid);
+            }
+        }
+        m
     }
 
     fn fate_strategy() -> impl Strategy<Value = Fate> {
@@ -144,7 +161,7 @@ mod tests {
             let mut expect = vec![0usize; p];
             scalar_count(&dests, Some(&fates), &crashed, &mut expect);
             let mut got = vec![0usize; p];
-            count_dests_hooked(&dests, &fates, &crashed, &mut got);
+            count_dests_hooked(&dests, &fates, &crash_mask_of(&crashed), &mut got);
             prop_assert_eq!(&got, &expect, "hooked");
         }
 
@@ -167,6 +184,7 @@ mod tests {
                 prop_assert_eq!(sparse.get(pid), d as u64, "unhooked pid {}", pid);
             }
 
+            let crashed = crash_mask_of(&crashed);
             let mut dense = vec![0usize; p];
             count_dests_hooked(&dests, &fates, &crashed, &mut dense);
             let mut sparse = EpochCounts::new(p);

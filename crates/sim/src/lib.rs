@@ -37,6 +37,7 @@
 
 pub(crate) mod arena;
 pub mod bsp;
+pub mod density;
 pub mod hook;
 pub mod kernels;
 pub mod qsm;
@@ -46,6 +47,7 @@ pub mod timeline;
 
 pub use bsp::{BspMachine, Envelope, MachineCheckpoint, Outbox};
 pub use hook::{BatchDests, DeliveryCtx, DeliveryHook, Fate, FaultStats};
+pub use pbw_models::FrontierMask;
 pub use qsm::{QsmCtx, QsmMachine, Word};
 pub use summary::CostSummary;
 

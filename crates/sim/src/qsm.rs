@@ -24,7 +24,7 @@
 use crate::arena::MsgArena;
 use crate::hook::{BatchDests, DeliveryHook, Fate, FaultStats};
 use crate::{Pid, SimError};
-use pbw_models::{EpochCounts, MachineParams, ProfileBuilder, SuperstepProfile};
+use pbw_models::{EpochCounts, FrontierMask, MachineParams, ProfileBuilder, SuperstepProfile};
 use pbw_trace::{FaultCounters, TraceEvent, TraceSink, TraceSource};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, VecDeque};
@@ -166,10 +166,12 @@ pub struct QsmMachine<S> {
     resolved: Vec<Vec<u64>>,
     /// Per-processor precomputed fates (hooked machines only).
     fates: Vec<Vec<Fate>>,
-    /// Per-processor stall flags for the current phase.
-    stalled: Vec<bool>,
-    /// Per-processor crash flags for the current phase.
-    crashed: Vec<bool>,
+    /// Stalled processors this phase (read only behind `hooked`); cleared
+    /// by an O(1) epoch bump and filled through
+    /// [`DeliveryHook::fill_fault_masks`].
+    stalled: FrontierMask,
+    /// Crash-stopped processors this phase.
+    crashed: FrontierMask,
     /// Counting-pass scratch: per-processor result segment sizes.
     arena_counts: Vec<usize>,
     /// Counting-pass scratch for the active-set path: epoch-stamped, so the
@@ -182,8 +184,13 @@ pub struct QsmMachine<S> {
     /// per-location tallies, reset in O(1) and walked via their dirty lists.
     sparse_readers: EpochCounts,
     sparse_writers: EpochCounts,
-    /// Active-set scratch: the sorted frontier of pids visited this phase.
+    /// Active-set scratch: the sorted frontier of pids visited this phase,
+    /// unloaded from `frontier_mask` in ascending pid order.
     frontier: Vec<Pid>,
+    /// Mask twin of `frontier`: declared active set OR-ed word-at-a-time
+    /// with the arena's touched mask — insertion is the dedup, iteration
+    /// the sort.
+    frontier_mask: FrontierMask,
     /// Distinct-address scratch for the per-processor contention audit.
     audit_reads: Vec<Addr>,
     audit_writes: Vec<Addr>,
@@ -223,8 +230,8 @@ impl<S: Send + Sync> QsmMachine<S> {
             ctxs: std::iter::repeat_with(QsmCtx::default).take(p).collect(),
             resolved: vec![Vec::new(); p],
             fates: Vec::new(),
-            stalled: vec![false; p],
-            crashed: vec![false; p],
+            stalled: FrontierMask::new(p),
+            crashed: FrontierMask::new(p),
             arena_counts: vec![0; p],
             sparse_arena_counts: EpochCounts::new(p),
             readers: vec![0; size],
@@ -232,6 +239,7 @@ impl<S: Send + Sync> QsmMachine<S> {
             sparse_readers: EpochCounts::new(size),
             sparse_writers: EpochCounts::new(size),
             frontier: Vec::new(),
+            frontier_mask: FrontierMask::new(p),
             audit_reads: Vec::new(),
             audit_writes: Vec::new(),
             pending_writes: Vec::new(),
@@ -387,10 +395,12 @@ impl<S: Send + Sync> QsmMachine<S> {
     /// skipped pid contributes only zero-valued observations that cannot
     /// move any profile maximum.
     ///
-    /// Two caveats: a machine with a delivery hook still pays one O(p)
-    /// stall scan per phase (stalls are per-pid facts the hook may invent
-    /// for any pid), and an enabled trace sink materializes dense
-    /// per-processor vectors (tracing is the observability path).
+    /// Two caveats: a machine with a delivery hook consults the stall and
+    /// crash masks, filled once per phase via
+    /// [`DeliveryHook::fill_fault_masks`] and scanned word-at-a-time —
+    /// O(fault-words), not O(p) — and an enabled trace sink materializes
+    /// dense per-processor vectors (zeroed rows filled O(frontier);
+    /// tracing is the observability path).
     ///
     /// # Panics
     /// Panics if `active` names a pid `>= p`.
@@ -419,41 +429,37 @@ impl<S: Send + Sync> QsmMachine<S> {
         self.read_results.clear();
 
         // A stalled processor skips its closure this phase; its undelivered
-        // read results are re-presented next phase. `stalled` is pure in
-        // `(phase, pid)`, so the per-processor queries run in parallel.
-        // Unhooked machines never read the buffer (every use below is
-        // guarded by `hooked`), so its stale contents need no O(p) clear.
+        // read results are re-presented next phase. The masks are cleared
+        // in O(1) (epoch bumps) and filled in one
+        // [`DeliveryHook::fill_fault_masks`] call, so a hook that knows its
+        // fault windows in closed form never pays the per-pid O(p) scan.
+        // Unhooked machines never read the masks (every use below is
+        // guarded by `hooked`).
         let hook = self.hook.clone();
         let hooked = hook.is_some();
         if let Some(h) = &hook {
-            let _: Vec<()> = self
-                .stalled
-                .par_iter_mut()
-                .zip(self.crashed.par_iter_mut())
-                .enumerate()
-                .map(|(pid, (s, c))| {
-                    *s = h.stalled(step, pid);
-                    *c = h.crashed(step, pid);
-                })
-                .collect();
+            self.stalled.clear();
+            self.crashed.clear();
+            h.fill_fault_masks(step, &mut self.stalled, &mut self.crashed);
         }
 
         // The frontier: declared-active pids plus every pid with read
         // results to consume (`spare.touched()` — retained or late
-        // responses landed there last phase). Sorted ascending so every
-        // sparse pass replays the dense path's canonical pid order.
+        // responses landed there last phase). The mask OR is the dedup and
+        // its ascending-pid unload the sort, so every sparse pass replays
+        // the dense path's canonical pid order.
         if let Some(declared) = active {
-            self.frontier.clear();
-            self.frontier.extend_from_slice(declared);
-            self.frontier.extend_from_slice(self.spare.touched());
-            self.frontier.sort_unstable();
-            self.frontier.dedup();
-            if let Some(&last) = self.frontier.last() {
+            self.frontier_mask.clear();
+            for &pid in declared {
                 assert!(
-                    last < p,
-                    "active set names processor {last}, but the machine has {p} processors"
+                    pid < p,
+                    "active set names processor {pid}, but the machine has {p} processors"
                 );
+                self.frontier_mask.insert(pid);
             }
+            self.frontier_mask.union_with(self.spare.touched());
+            self.frontier.clear();
+            self.frontier_mask.push_to(&mut self.frontier);
         }
 
         // Run the frontier's processors, each filling its recycled context.
@@ -470,7 +476,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                     .enumerate()
                     .map(|(pid, (state, ctx))| {
                         ctx.reset();
-                        if !(hooked && (stalled[pid] || crashed[pid])) {
+                        if !(hooked && (stalled.contains(pid) || crashed.contains(pid))) {
                             f(pid, state, spare.inbox(pid), ctx);
                         }
                     })
@@ -484,7 +490,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                 for i in 0..self.frontier.len() {
                     let pid = self.frontier[i];
                     self.ctxs[pid].reset();
-                    if !(hooked && (self.stalled[pid] || self.crashed[pid])) {
+                    if !(hooked && (self.stalled.contains(pid) || self.crashed.contains(pid))) {
                         f(
                             pid,
                             &mut self.states[pid],
@@ -637,10 +643,11 @@ impl<S: Send + Sync> QsmMachine<S> {
                     }
                 }
                 // The dense scan reports the *lowest* conflicting address;
-                // the dirty lists are in first-touch order, so recompute
-                // that minimum on the (cold) conflict path.
+                // the touched mask already iterates ascending, but keep the
+                // explicit minimum on the (cold) conflict path so the
+                // equivalence doesn't lean on iteration order.
                 let mut conflict: Option<Addr> = None;
-                for &addr in self.sparse_readers.touched() {
+                for addr in self.sparse_readers.touched().iter() {
                     if self.sparse_writers.get(addr) > 0 {
                         conflict = Some(conflict.map_or(addr, |c| c.min(addr)));
                     }
@@ -683,8 +690,8 @@ impl<S: Send + Sync> QsmMachine<S> {
             ..
         } = *self;
 
-        // κ only feeds a maximum, so walking the dirty lists in first-touch
-        // order is equivalent to the dense ascending address scan.
+        // κ only feeds a maximum, so walking the touched masks (ascending)
+        // is equivalent to the dense ascending address scan.
         match active {
             None => {
                 for addr in 0..size {
@@ -695,11 +702,11 @@ impl<S: Send + Sync> QsmMachine<S> {
                 }
             }
             Some(_) => {
-                for &addr in sparse_readers.touched() {
+                for addr in sparse_readers.touched().iter() {
                     builder
                         .record_contention(sparse_readers.get(addr).max(sparse_writers.get(addr)));
                 }
-                for &addr in sparse_writers.touched() {
+                for addr in sparse_writers.touched().iter() {
                     if sparse_readers.get(addr) == 0 {
                         builder.record_contention(sparse_writers.get(addr));
                     }
@@ -715,24 +722,29 @@ impl<S: Send + Sync> QsmMachine<S> {
         // Counting pass: exact per-processor response counts (results a
         // stalled processor retains, reads served now by fate, plus due
         // late responses) lay out the arena segments before any result
-        // moves. Stalls are per-pid facts the hook may invent for any pid,
-        // so hooked machines keep the O(p) retention scans on the sparse
-        // path too (see `try_phase_active`).
+        // moves. Stalls are whole-processor facts the hook filled into the
+        // fault masks, so both paths scan O(stalled-words) rather than O(p)
+        // (see `try_phase_active`).
         match active {
             None => {
                 arena_counts.fill(0);
                 if hooked {
-                    for pid in 0..p {
-                        // Crash overrides stall: a down processor retains
-                        // nothing (its unseen results evaporate, uncharged —
-                        // they were already counted delivered).
-                        if crashed[pid] {
-                            fault_stats.crash_steps += 1;
-                            counters.crashed_procs += 1;
-                        } else if stalled[pid] {
+                    // Crash overrides stall: a down processor retains
+                    // nothing (its unseen results evaporate, uncharged —
+                    // they were already counted delivered).
+                    let down = crashed.count() as u64;
+                    fault_stats.crash_steps += down;
+                    counters.crashed_procs += down;
+                    for (leaf, word) in stalled.words() {
+                        let live = word & !crashed.word(leaf);
+                        let retained = u64::from(live.count_ones());
+                        fault_stats.stalled_steps += retained;
+                        counters.stalled_procs += retained;
+                        let mut bits = live;
+                        while bits != 0 {
+                            let pid = leaf * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             arena_counts[pid] += spare.len(pid);
-                            fault_stats.stalled_steps += 1;
-                            counters.stalled_procs += 1;
                         }
                     }
                 }
@@ -754,7 +766,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                     }
                 }
                 for &(pid, _) in due.iter() {
-                    if !(hooked && crashed[pid]) {
+                    if !(hooked && crashed.contains(pid)) {
                         arena_counts[pid] += 1;
                     }
                 }
@@ -763,14 +775,19 @@ impl<S: Send + Sync> QsmMachine<S> {
             Some(_) => {
                 sparse_arena_counts.reset();
                 if hooked {
-                    for (pid, &is_stalled) in stalled.iter().enumerate() {
-                        if crashed[pid] {
-                            fault_stats.crash_steps += 1;
-                            counters.crashed_procs += 1;
-                        } else if is_stalled {
+                    let down = crashed.count() as u64;
+                    fault_stats.crash_steps += down;
+                    counters.crashed_procs += down;
+                    for (leaf, word) in stalled.words() {
+                        let live = word & !crashed.word(leaf);
+                        let retained = u64::from(live.count_ones());
+                        fault_stats.stalled_steps += retained;
+                        counters.stalled_procs += retained;
+                        let mut bits = live;
+                        while bits != 0 {
+                            let pid = leaf * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             sparse_arena_counts.add(pid, spare.len(pid) as u64);
-                            fault_stats.stalled_steps += 1;
-                            counters.stalled_procs += 1;
                         }
                     }
                 }
@@ -792,7 +809,7 @@ impl<S: Send + Sync> QsmMachine<S> {
                     }
                 }
                 for &(pid, _) in due.iter() {
-                    if !(hooked && crashed[pid]) {
+                    if !(hooked && crashed.contains(pid)) {
                         sparse_arena_counts.add(pid, 1);
                     }
                 }
@@ -802,8 +819,11 @@ impl<S: Send + Sync> QsmMachine<S> {
         // Stalled processors keep their unseen read results (consumed next
         // phase instead); they are retained ahead of this phase's serves.
         if hooked {
-            for (pid, &is_stalled) in stalled.iter().enumerate() {
-                if is_stalled && !crashed[pid] {
+            for (leaf, word) in stalled.words() {
+                let mut bits = word & !crashed.word(leaf);
+                while bits != 0 {
+                    let pid = leaf * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
                     for result in spare.inbox(pid) {
                         read_results.place(pid, *result);
                     }
@@ -851,7 +871,7 @@ impl<S: Send + Sync> QsmMachine<S> {
         // charged to the crash column.
         for (pid, result) in due.drain(..) {
             fault_stats.in_flight -= 1;
-            if hooked && crashed[pid] {
+            if hooked && crashed.contains(pid) {
                 fault_stats.crashed += 1;
                 counters.crashed += 1;
                 continue;
@@ -880,8 +900,9 @@ impl<S: Send + Sync> QsmMachine<S> {
         let profile = builder.snapshot_reset();
         if sink.enabled() {
             // The trace contract is dense per-processor vectors; the sparse
-            // path materializes them from zeros plus the frontier (tracing
-            // is the observability path and pays O(p) by design).
+            // path fills zeroed rows from the frontier / touched mask, so
+            // beyond the unavoidable O(p) allocation the fill itself is
+            // O(frontier).
             let per_proc_sent: Vec<u64> = match active {
                 None => ctxs
                     .iter()
@@ -899,7 +920,18 @@ impl<S: Send + Sync> QsmMachine<S> {
                     sent
                 }
             };
-            let per_proc_recv: Vec<u64> = (0..p).map(|d| read_results.len(d) as u64).collect();
+            let per_proc_recv: Vec<u64> = match active {
+                None => (0..p).map(|d| read_results.len(d) as u64).collect(),
+                Some(_) => {
+                    // O(touched) fill of the dense-by-contract row: only
+                    // pids with live arena segments can hold results.
+                    let mut recv = vec![0u64; p];
+                    for pid in read_results.touched().iter() {
+                        recv[pid] = read_results.len(pid) as u64;
+                    }
+                    recv
+                }
+            };
             let max_mult = match active {
                 None => crate::max_slot_multiplicity(resolved, 0..p),
                 Some(_) => crate::max_slot_multiplicity(resolved, frontier.iter().copied()),

@@ -40,6 +40,7 @@ STAGES=(
   sorting-determinism
   cross-width-determinism
   chaos-soak
+  density-crossover
   bench-gate
   parallel-gate
   tsan
@@ -193,6 +194,46 @@ stage_cross-width-determinism() {
 # Seeded chaos soak: crashes x fault zoo, seeded, replay-diffed.
 stage_chaos-soak() {
   scripts/chaos_soak.sh
+}
+
+# Density-crossover conformance (PR 10). Two claims underwrite the measured
+# crossover's freedom to differ between machines:
+#   (a) calibration is deterministic — `factor_from_probe` is a pure
+#       function of its probe readings, the probed factor is cached and
+#       clamped in-band (the pbw-sim density unit tests pin all of it);
+#   (b) the crossover only ever changes wall-clock — the same seeded run
+#       with every branch forced sparse (PBW_DENSITY_FACTOR=1), forced
+#       dense (a huge factor), and left to the calibrated probe must emit
+#       byte-identical traces, at pool widths 1, 4 and 8.
+# Scenarios: `broadcast-lb` drives the broadcast-tree crossovers, `faults`
+# the recovery-driver ones. Empty traces would make every diff vacuous, so
+# each reference is non-empty guarded.
+stage_density-crossover() {
+  echo "== density-crossover: calibration determinism =="
+  cargo test --release -q -p pbw-sim density
+
+  echo "== density-crossover: forced-sparse / forced-dense / probed trace diff =="
+  local ref out scen w f label
+  ref="$(mktemp)"
+  out="$(mktemp)"
+  trap "rm -f '$ref' '$out'" EXIT
+  for scen in broadcast-lb faults; do
+    PBW_THREADS=1 PBW_DENSITY_FACTOR=1 \
+      cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$ref" "$scen" >/dev/null
+    [ -s "$ref" ] || { echo "density-crossover: $scen reference trace is empty" >&2; exit 1; }
+    for w in 1 4 8; do
+      # PBW_DENSITY_FACTOR="" parses as unset: the calibrated probe decides.
+      for f in 1 1000000 ""; do
+        if [ "$w" = 1 ] && [ "$f" = 1 ]; then continue; fi # the reference itself
+        label="${f:-probed}"
+        PBW_THREADS="$w" PBW_DENSITY_FACTOR="$f" \
+          cargo run --release -q -p pbw-bench --bin reproduce -- --quick --seed 7 --trace "$out" "$scen" >/dev/null
+        diff -q "$ref" "$out" >/dev/null \
+          || { echo "density-crossover: $scen trace differs at width=$w factor=$label" >&2; exit 1; }
+      done
+    done
+    echo "ok: $scen — $(wc -l < "$ref") trace events, byte-identical across widths 1/4/8 x {sparse, dense, probed}"
+  done
 }
 
 stage_bench-gate() {

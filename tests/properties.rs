@@ -762,6 +762,192 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The [`FrontierMask`]'s two-level iteration *is* the sorted-Vec
+    /// frontier (PR 10): for arbitrary insertion multisets — duplicates,
+    /// out of order, re-used across epoch resets — `iter`, `count`,
+    /// `push_to` and the word stream all agree with the sorted, deduped
+    /// `Vec` reference, and the empty and full frontiers come out exact at
+    /// every universe size (including the 64/65 word-boundary straddle the
+    /// `p_extra` offset forces).
+    #[test]
+    fn frontier_mask_iteration_equals_sorted_vec(
+        p_extra in 0usize..=6,
+        raw in proptest::collection::vec(0usize..512, 0..=400),
+        rounds in 1usize..4,
+    ) {
+        use parallel_bandwidth::sim::FrontierMask;
+        // 62..=68 straddles the one-word/two-word boundary exactly.
+        let p = 62 + p_extra;
+        let mut mask = FrontierMask::new(p);
+        for _ in 0..rounds {
+            // Same mask across rounds: `clear` is an epoch bump, so stale
+            // bits from earlier rounds must never leak into this one.
+            mask.clear();
+            let inserted: Vec<usize> = raw.iter().map(|i| i % p).collect();
+            for &i in &inserted {
+                mask.insert(i);
+            }
+            let mut want = inserted;
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(mask.iter().collect::<Vec<_>>(), want.clone());
+            prop_assert_eq!(mask.count(), want.len());
+            prop_assert_eq!(mask.is_empty(), want.is_empty());
+            let mut pushed = Vec::new();
+            mask.push_to(&mut pushed);
+            prop_assert_eq!(pushed, want.clone());
+            for i in 0..p {
+                prop_assert_eq!(mask.contains(i), want.binary_search(&i).is_ok());
+            }
+        }
+        // The empty and full frontiers, exactly.
+        mask.clear();
+        prop_assert!(mask.iter().next().is_none());
+        prop_assert_eq!(mask.count(), 0);
+        for i in 0..p {
+            mask.insert(i);
+        }
+        prop_assert_eq!(mask.iter().collect::<Vec<_>>(), (0..p).collect::<Vec<_>>());
+        prop_assert_eq!(mask.count(), p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mask-discovered vs declared-Vec vs dense execution (PR 10): at *any*
+    /// frontier density — empty, a handful, exactly the word boundary,
+    /// full — three ways of running the same program must be byte-identical
+    /// (trace stream, `canonical_hash`, final states), at pool widths 1 and
+    /// 8 alike:
+    ///
+    /// 1. dense `superstep` every step,
+    /// 2. `superstep_active` with the frontier *declared* as the sorted
+    ///    `Vec` the test computes by hand, and
+    /// 3. `superstep_active(&[])` after the send step, so the frontier is
+    ///    discovered purely by iterating the inbox [`FrontierMask`].
+    ///
+    /// Modes 2 and 3 agreeing is the engine-level statement that mask
+    /// iteration ≡ the sorted-Vec frontier; mode 1 agreeing pins the
+    /// density crossover's freedom — either branch of
+    /// `pbw_sim::density::crossover` gives the same bytes.
+    #[test]
+    fn masked_declared_and_dense_paths_agree_at_any_density(
+        p_sel in 0usize..3,
+        sender_pct in 0usize..=100,
+        max_fanout in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use parallel_bandwidth::sim::{BspMachine, Outbox};
+        use parallel_bandwidth::trace::RecordingSink;
+        use rayon::ThreadPoolBuilder;
+        use std::sync::Arc;
+
+        // 64/72 straddle the mask's word boundary (one exact word, one
+        // word plus a ragged tail); 1024 spans many words. All keep g=8.
+        let p = [64usize, 72, 1024][p_sel];
+        let n_senders = (p * sender_pct) / 100; // 0 ⇒ empty frontier
+        // 131 is prime and never equal to p here, so i ↦ (131·i + seed)
+        // mod p is a bijection: exactly `n_senders` distinct senders.
+        let senders: Vec<usize> = (0..n_senders)
+            .map(|i| (i * 131 + seed as usize) % p)
+            .collect();
+        let is_sender: Vec<bool> = {
+            let mut v = vec![false; p];
+            for &s in &senders {
+                v[s] = true;
+            }
+            v
+        };
+        let fanout_of = |src: usize| 1 + (src + seed as usize) % max_fanout;
+        // The hand-computed sorted-Vec frontier for the drain superstep:
+        // everyone the send step delivered to.
+        let receivers: Vec<usize> = {
+            let mut r: Vec<usize> = senders
+                .iter()
+                .flat_map(|&src| (0..fanout_of(src)).map(move |j| (src * 7 + j * 13 + 1) % p))
+                .collect();
+            r.sort_unstable();
+            r.dedup();
+            r
+        };
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mode {
+            Dense,
+            Declared,
+            Masked,
+        }
+
+        let run = |mode: Mode, width: usize| -> (Vec<String>, Vec<u64>, u64) {
+            ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool construction is infallible in the shim")
+                .install(|| {
+                    let params = MachineParams::from_gap(p, 8, 4);
+                    let sink = Arc::new(RecordingSink::new());
+                    let mut machine: BspMachine<u64, u64> = BspMachine::new(params, |_| 0);
+                    machine.set_sink(sink.clone()).set_trace_label("mask-vs-vec");
+                    let send = |pid: usize, s: &mut u64, inbox: &[u64], out: &mut Outbox<u64>| {
+                        *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                        if is_sender[pid] {
+                            for j in 0..fanout_of(pid) {
+                                out.send((pid * 7 + j * 13 + 1) % p, (pid + j) as u64);
+                            }
+                        }
+                    };
+                    let drain = |_pid: usize, s: &mut u64, inbox: &[u64], _out: &mut Outbox<u64>| {
+                        *s = s.wrapping_add(inbox.iter().sum::<u64>());
+                    };
+                    match mode {
+                        Mode::Dense => {
+                            machine.superstep(send);
+                            machine.superstep(drain);
+                            machine.superstep(drain); // empty frontier
+                        }
+                        Mode::Declared => {
+                            machine.superstep_active(&senders, send);
+                            machine.superstep_active(&receivers, drain);
+                            machine.superstep_active(&[], drain);
+                        }
+                        Mode::Masked => {
+                            machine.superstep_active(&senders, send);
+                            machine.superstep_active(&[], drain);
+                            machine.superstep_active(&[], drain);
+                        }
+                    }
+                    let events: Vec<String> = sink.take().iter().map(|e| e.to_json()).collect();
+                    let hash = machine.canonical_hash();
+                    (events, machine.states().to_vec(), hash)
+                })
+        };
+
+        let baseline = run(Mode::Dense, 1);
+        for mode in [Mode::Dense, Mode::Declared, Mode::Masked] {
+            for width in [1usize, 8] {
+                if mode == Mode::Dense && width == 1 {
+                    continue;
+                }
+                let other = run(mode, width);
+                prop_assert_eq!(
+                    &baseline, &other,
+                    "mode={} width={} diverged from the dense width-1 run (p={}, {}% active)",
+                    match mode {
+                        Mode::Dense => "dense",
+                        Mode::Declared => "declared",
+                        Mode::Masked => "masked",
+                    },
+                    width, p, sender_pct
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Differential sample-sort oracle: for arbitrary (p, n/p, ratio,
